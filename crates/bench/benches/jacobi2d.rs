@@ -1,0 +1,30 @@
+//! Wall-clock for the 3-D extension kernel: 2-D Jacobi over time, all
+//! storage variants, sweeping the grid side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uov_kernels::jacobi2d::{run, Jacobi2dConfig, Variant};
+use uov_kernels::mem::PlainMemory;
+use uov_kernels::workloads;
+
+fn bench_jacobi2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi2d");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let time_steps = 4;
+        let input = workloads::random_f32(n * n, 1);
+        group.throughput(Throughput::Elements((n * n * time_steps) as u64));
+        for variant in Variant::all() {
+            let cfg = Jacobi2dConfig { n, time_steps, tile: None, pad: 0 };
+            group.bench_with_input(BenchmarkId::new(variant.label(), n), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut mem = PlainMemory::new();
+                    run(&mut mem, variant, cfg, &input)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jacobi2d);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Wall-clock counterpart of Figures 8 and 12–14: protein string matching
+//! on the host machine, every storage variant, sweeping string length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uov_kernels::mem::PlainMemory;
+use uov_kernels::psm::{run, PsmConfig, Variant};
+use uov_kernels::workloads;
+
+fn bench_psm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psm");
+    group.sample_size(10);
+    let table = workloads::WeightTable::synthetic(5);
+    for &n in &[100usize, 1_000, 3_000] {
+        let s0 = workloads::random_protein(n, 31);
+        let s1 = workloads::random_protein(n, 41);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        for variant in Variant::all() {
+            let cfg = PsmConfig { n0: n, n1: n, tile: None };
+            group.bench_with_input(BenchmarkId::new(variant.label(), n), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut mem = PlainMemory::new();
+                    run(&mut mem, variant, cfg, &s0, &s1, &table)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_psm);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wall-clock counterpart of Figures 7 and 9–11: the 5-point stencil on
+//! the host machine, every storage variant, sweeping the array length.
+//!
+//! Absolute times are host-specific; the comparison of interest is the
+//! *relative* behaviour of the variants as the problem leaves cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uov_kernels::mem::PlainMemory;
+use uov_kernels::stencil5::{run, Stencil5Config, Variant};
+use uov_kernels::workloads;
+
+fn bench_stencil5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stencil5");
+    group.sample_size(10);
+    for &len in &[10_000usize, 1_000_000, 10_000_000] {
+        let time_steps = 4;
+        let input = workloads::random_f32(len, 1);
+        group.throughput(Throughput::Elements((len * time_steps) as u64));
+        for variant in Variant::all() {
+            // The natural variant at L = 10M would allocate T·L floats;
+            // keep host memory bounded like the paper's graphs cap theirs.
+            if len >= 10_000_000
+                && matches!(variant, Variant::Natural | Variant::NaturalTiled)
+            {
+                continue;
+            }
+            let cfg = Stencil5Config { len, time_steps, tile: None };
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), len),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let mut mem = PlainMemory::new();
+                        run(&mut mem, variant, cfg, &input)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stencil5);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Overhead experiments (Figures 7 and 8): cycles per iteration on
+//! problem sizes that fit in cache, comparing the indexing overhead of
+//! the storage variants.
+
+use uov_kernels::mem::TracedMemory;
+use uov_kernels::{psm, stencil5, workloads};
+use uov_memsim::{machines, Machine};
+
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+
+/// Cycles per iteration of a stencil-5 run on `machine`.
+pub fn stencil5_cpi(
+    machine: Machine,
+    variant: stencil5::Variant,
+    len: usize,
+    time_steps: usize,
+    tile: Option<(usize, usize)>,
+) -> f64 {
+    let input = workloads::random_f32(len, 7);
+    let cfg = stencil5::Stencil5Config { len, time_steps, tile };
+    let mut mem = TracedMemory::new(machine);
+    let _ = stencil5::run(&mut mem, variant, &cfg, &input);
+    mem.machine().cycles() as f64 / (len * time_steps) as f64
+}
+
+/// Cycles per iteration of a PSM run on `machine`.
+pub fn psm_cpi(
+    machine: Machine,
+    variant: psm::Variant,
+    n0: usize,
+    n1: usize,
+    tile: Option<(usize, usize)>,
+) -> f64 {
+    let s0 = workloads::random_protein(n0, 31);
+    let s1 = workloads::random_protein(n1, 41);
+    let table = workloads::WeightTable::synthetic(5);
+    let cfg = psm::PsmConfig { n0, n1, tile };
+    let mut mem = TracedMemory::new(machine);
+    let _ = psm::run(&mut mem, variant, &cfg, &s0, &s1, &table);
+    mem.machine().cycles() as f64 / (n0 * n1) as f64
+}
+
+/// Figure 7: 5-point stencil overhead with an in-L1 working set
+/// (four untiled versions × three machines).
+pub fn fig7(scale: Scale) -> Table {
+    // 2L floats must fit the smallest L1 (8 KB = 2048 floats): L = 512.
+    // Many time steps amortise the cold start.
+    let (len, t_steps) = match scale {
+        Scale::Quick => (512, 32),
+        Scale::Full => (512, 256),
+    };
+    let versions = [
+        stencil5::Variant::StorageOptimized,
+        stencil5::Variant::Natural,
+        stencil5::Variant::OvInterleaved,
+        stencil5::Variant::OvBlocked,
+    ];
+    let mut t = Table::new(
+        format!("Figure 7 — 5-pt stencil overhead, in-cache (L={len}, T={t_steps}), cycles/iter"),
+        std::iter::once("version".to_string())
+            .chain(machines::all().iter().map(|m| m.name().to_string()))
+            .collect(),
+    );
+    for v in versions {
+        let mut row = vec![v.label().to_string()];
+        for m in machines::all() {
+            row.push(fmt_f64(stencil5_cpi(m, v, len, t_steps, None)));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Figure 8: protein string matching overhead with an in-cache working
+/// set (three untiled versions × three machines).
+pub fn fig8(scale: Scale) -> Table {
+    // Natural H (n+1)² floats ≈ 6.6 KB at n = 40 — inside every L1.
+    let n = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 40,
+    };
+    let reps = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 16,
+    };
+    let versions = [
+        psm::Variant::StorageOptimized,
+        psm::Variant::Natural,
+        psm::Variant::OvMapped,
+    ];
+    let mut t = Table::new(
+        format!("Figure 8 — PSM overhead, in-cache (n0=n1={n}, {reps} warm repetitions), cycles/iter"),
+        std::iter::once("version".to_string())
+            .chain(machines::all().iter().map(|m| m.name().to_string()))
+            .collect(),
+    );
+    let s0 = workloads::random_protein(n, 31);
+    let s1 = workloads::random_protein(n, 41);
+    let table = workloads::WeightTable::synthetic(5);
+    let cfg = psm::PsmConfig { n0: n, n1: n, tile: None };
+    for v in versions {
+        let mut row = vec![v.label().to_string()];
+        for machine in machines::all() {
+            let mut mem = TracedMemory::new(machine);
+            for _ in 0..reps {
+                let _ = psm::run(&mut mem, v, &cfg, &s0, &s1, &table);
+            }
+            row.push(fmt_f64(mem.machine().cycles() as f64 / (n * n * reps) as f64));
+        }
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_overheads_are_comparable() {
+        // In cache, all versions must be within a small factor of each
+        // other on every machine (the paper's point: OV overhead is
+        // negligible).
+        let t = fig7(Scale::Quick);
+        for col in 1..=3 {
+            let cpis: Vec<f64> =
+                t.rows().iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
+            let (min, max) =
+                cpis.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+            assert!(
+                max / min < 2.0,
+                "in-cache versions should be within 2x (col {col}: {cpis:?})"
+            );
+            assert!(min > 1.0, "cycles per iteration below 1 is implausible");
+        }
+    }
+
+    #[test]
+    fn fig8_ov_beats_natural_and_opt_beats_ov() {
+        // The paper's Figure 8 ordering: storage-optimized has the lowest
+        // overhead, OV-mapped beats natural.
+        let t = fig8(Scale::Quick);
+        for col in 1..=3 {
+            let opt: f64 = t.rows()[0][col].parse().unwrap();
+            let nat: f64 = t.rows()[1][col].parse().unwrap();
+            let ov: f64 = t.rows()[2][col].parse().unwrap();
+            assert!(opt <= ov + 0.5, "col {col}: opt {opt} vs ov {ov}");
+            assert!(ov <= nat + 0.5, "col {col}: ov {ov} vs nat {nat}");
+        }
+    }
+
+    #[test]
+    fn psm_cpi_reflects_branch_cost() {
+        // Ultra 2 charges 12 cycles per branch vs the Pentium Pro's 4; the
+        // PSM inner loop has 4 branches, so the gap must show.
+        let pp = psm_cpi(machines::pentium_pro(), psm::Variant::Natural, 64, 64, None);
+        let u2 = psm_cpi(machines::ultra_2(), psm::Variant::Natural, 64, 64, None);
+        assert!(u2 > pp + 16.0, "u2 {u2} vs pp {pp}");
+    }
+}

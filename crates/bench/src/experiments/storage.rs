@@ -1,0 +1,233 @@
+//! Analytic experiments: storage requirements and worked examples
+//! (Figures 1–6, Tables 1–2).
+
+use uov_core::objective::storage_class_count;
+use uov_core::search::{find_best_uov, Objective, SearchConfig};
+use uov_core::DoneOracle;
+use uov_isg::{IVec, Polygon2, RectDomain, Stencil};
+use uov_kernels::{fig1, psm, stencil5};
+
+use crate::report::Table;
+
+fn stencil5_stencil() -> Stencil {
+    Stencil::new(vec![
+        IVec::from([1, -2]),
+        IVec::from([1, -1]),
+        IVec::from([1, 0]),
+        IVec::from([1, 1]),
+        IVec::from([1, 2]),
+    ])
+    .expect("5-point stencil")
+}
+
+/// Figure 1: storage of the three versions of the running example, for a
+/// few instance sizes, with the derived UOV.
+pub fn fig1() -> Table {
+    let mut t = Table::new(
+        "Figure 1 — storage requirements of the running example (derived UOV shown)",
+        vec![
+            "n".into(),
+            "m".into(),
+            "uov".into(),
+            "natural (nm)".into(),
+            "ov-mapped (n+m+1)".into(),
+            "storage-optimized (m+2)".into(),
+        ],
+    );
+    for (n, m) in [(8i64, 8i64), (64, 32), (1000, 1000)] {
+        let pipe = fig1::pipeline(n.min(64), m.min(64)); // pipeline checks small sizes
+        let (nat, ov, opt) = fig1::storage_cells(n as u64, m as u64);
+        t.push(vec![
+            n.to_string(),
+            m.to_string(),
+            pipe.uov.to_string(),
+            nat.to_string(),
+            ov.to_string(),
+            opt.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 2: sizes of the DONE and DEAD sets in a window behind a point,
+/// for the figure's 3-vector stencil.
+pub fn fig2() -> Table {
+    let stencil = Stencil::new(vec![
+        IVec::from([1, -1]),
+        IVec::from([1, 0]),
+        IVec::from([1, 1]),
+    ])
+    .expect("fig2 stencil");
+    let oracle = DoneOracle::new(&stencil);
+    let mut t = Table::new(
+        "Figure 2 — DONE and DEAD sets within a k×k window behind q",
+        vec!["window".into(), "|DONE|".into(), "|DEAD|".into()],
+    );
+    for k in [4i64, 6, 8] {
+        let q = IVec::from([k, 0]);
+        let dom = RectDomain::new(IVec::from([0, -k]), IVec::from([k, k]));
+        let done = oracle.done_points(&q, &dom).len();
+        let dead = oracle.dead_points(&q, &dom).len();
+        t.push(vec![format!("{k}x{}", 2 * k + 1), done.to_string(), dead.to_string()]);
+    }
+    t
+}
+
+/// Figure 3: on the skewed ISG the shorter OV (3,0) needs 27 cells while
+/// the longer (3,1) needs 16; the known-bounds search must prefer the
+/// longer one.
+pub fn fig3() -> Table {
+    let isg = Polygon2::fig3_isg();
+    let mut t = Table::new(
+        "Figure 3 — storage of candidate OVs on the skewed ISG (paper: 16 vs 27)",
+        vec!["ov".into(), "length^2".into(), "storage cells".into()],
+    );
+    for ov in [IVec::from([3, 1]), IVec::from([3, 0]), IVec::from([1, 1]), IVec::from([2, 1])] {
+        t.push(vec![
+            ov.to_string(),
+            ov.norm_sq().to_string(),
+            storage_class_count(&isg, &ov).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 5: the branch-and-bound search finds UOV (2,0) for the 5-point
+/// stencil; show the candidates it rejects.
+pub fn fig5() -> Table {
+    let s = stencil5_stencil();
+    let oracle = DoneOracle::new(&s);
+    let best = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+    let mut t = Table::new(
+        "Figure 5 — UOV of the 5-point stencil (paper: (2,0), non-prime)",
+        vec!["vector".into(), "is UOV".into(), "note".into()],
+    );
+    for (v, note) in [
+        (IVec::from([1, 0]), "one time step: not universal"),
+        (IVec::from([1, 2]), "one step diagonal: not universal"),
+        (IVec::from([2, 0]), "the paper's UOV"),
+        (s.sum(), "initial UOV Σvᵢ"),
+    ] {
+        t.push(vec![v.to_string(), oracle.is_uov(&v).to_string(), note.into()]);
+    }
+    t.push(vec![best.uov.to_string(), "true".into(), "branch-and-bound optimum".into()]);
+    t
+}
+
+/// Figure 6: allocation for ov = (1,1) on the bordered grid is n+m+1.
+pub fn fig6() -> Table {
+    let mut t = Table::new(
+        "Figure 6 — allocation via extreme-point projection, ov = (1,1)",
+        vec!["n".into(), "m".into(), "allocated".into(), "n+m+1".into()],
+    );
+    for (n, m) in [(4i64, 6i64), (10, 10), (100, 50)] {
+        let dom = RectDomain::new(IVec::from([0, 0]), IVec::from([n, m]));
+        let cells = storage_class_count(&dom, &IVec::from([1, 1]));
+        t.push(vec![
+            n.to_string(),
+            m.to_string(),
+            cells.to_string(),
+            (n + m + 1).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 1: 5-point stencil temporary storage.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1 — 5-point stencil temporary storage (L = array length, T = time steps)",
+        vec!["version".into(), "formula".into(), "L=10000, T=100".into()],
+    );
+    let rows: [(stencil5::Variant, &str); 3] = [
+        (stencil5::Variant::Natural, "T*L"),
+        (stencil5::Variant::OvBlocked, "2L"),
+        (stencil5::Variant::StorageOptimized, "L+3"),
+    ];
+    for (v, formula) in rows {
+        t.push(vec![
+            v.label().into(),
+            formula.into(),
+            stencil5::storage_cells(v, 10_000, 100).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: protein string matching temporary storage.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2 — protein string matching temporary storage",
+        vec!["version".into(), "formula".into(), "n0=n1=1000".into()],
+    );
+    let rows: [(psm::Variant, &str); 3] = [
+        (psm::Variant::Natural, "n0*n1 + n0 + n1"),
+        (psm::Variant::OvMapped, "2n0 + 2n1 + 1"),
+        (psm::Variant::StorageOptimized, "2n0 + 3"),
+    ];
+    for (v, formula) in rows {
+        t.push(vec![
+            v.label().into(),
+            formula.into(),
+            psm::storage_cells(v, 1000, 1000).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_paper_numbers() {
+        let t = fig3();
+        let row31 = &t.rows()[0];
+        let row30 = &t.rows()[1];
+        assert_eq!(row31[2], "16");
+        assert_eq!(row30[2], "27");
+    }
+
+    #[test]
+    fn fig5_confirms_2_0() {
+        let t = fig5();
+        let last = t.rows().last().unwrap();
+        assert_eq!(last[0], "(2, 0)");
+    }
+
+    #[test]
+    fn fig6_matches_formula() {
+        for row in fig6().rows() {
+            assert_eq!(row[2], row[3], "allocation must equal n+m+1");
+        }
+    }
+
+    #[test]
+    fn tables_have_paper_values() {
+        let t1 = table1();
+        assert_eq!(t1.rows()[0][2], "1000000");
+        assert_eq!(t1.rows()[1][2], "20000");
+        assert_eq!(t1.rows()[2][2], "10003");
+        let t2 = table2();
+        assert_eq!(t2.rows()[0][2], "1002000");
+        assert_eq!(t2.rows()[1][2], "4001");
+        assert_eq!(t2.rows()[2][2], "2003");
+    }
+
+    #[test]
+    fn fig2_dead_subset_of_done() {
+        for row in fig2().rows() {
+            let done: usize = row[1].parse().unwrap();
+            let dead: usize = row[2].parse().unwrap();
+            assert!(dead <= done);
+            assert!(dead > 0);
+        }
+    }
+
+    #[test]
+    fn fig1_uov_column() {
+        for row in fig1().rows() {
+            assert_eq!(row[2], "(1, 1)");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal tabular reporting: markdown to stdout, CSV to disk.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular results table with a title and column headers.
+///
+/// # Examples
+///
+/// ```
+/// use uov_bench::Table;
+///
+/// let mut t = Table::new("demo", vec!["machine".into(), "cycles/iter".into()]);
+/// t.push(vec!["Pentium Pro (sim)".into(), "12.3".into()]);
+/// assert!(t.to_markdown().contains("machine"));
+/// assert!(t.to_csv().starts_with("machine,cycles/iter\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as a markdown table (title as a heading).
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (headers first). Cells containing commas or quotes
+    /// are quoted per RFC 4180 — occupancy vectors print as `(1, 1)`.
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let join = |cells: &[String]| -> String {
+            cells.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+        };
+        let _ = writeln!(out, "{}", join(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", join(row));
+        }
+        out
+    }
+
+    /// Write the CSV next to other results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_csv(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())
+    }
+}
+
+/// Format a float with sensible precision for cycle counts.
+pub fn fmt_f64(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_round_trip() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["3".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### x"));
+        assert!(md.lines().count() >= 5);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(42.25), "42.2");
+        assert_eq!(fmt_f64(1.23456), "1.23");
+    }
+}
+
+#[cfg(test)]
+mod csv_io_tests {
+    use super::*;
+
+    #[test]
+    fn save_csv_writes_and_creates_dirs() {
+        let dir = std::env::temp_dir().join("uov_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push(vec!["1".into()]);
+        t.save_csv(&dir, "demo").expect("writable temp dir");
+        let body = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(body, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn title_accessor() {
+        let t = Table::new("hello", vec!["x".into()]);
+        assert_eq!(t.title(), "hello");
+        assert!(t.rows().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod csv_quoting_tests {
+    use super::*;
+
+    #[test]
+    fn cells_with_commas_are_quoted() {
+        let mut t = Table::new("t", vec!["ov".into(), "n".into()]);
+        t.push(vec!["(1, 1)".into(), "41".into()]);
+        assert_eq!(t.to_csv(), "ov,n\n\"(1, 1)\",41\n");
+    }
+
+    #[test]
+    fn quotes_are_doubled() {
+        let mut t = Table::new("t", vec!["x".into()]);
+        t.push(vec!["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "x\n\"say \"\"hi\"\"\"\n");
+    }
+}

@@ -1,0 +1,15 @@
+use uov_core::npc::PartitionInstance;
+use uov_core::DoneOracle;
+use std::time::Instant;
+fn main() {
+    let values: Vec<i64> = (1..=7).collect();
+    let inst = PartitionInstance::new(values).unwrap();
+    let (stencil, w) = inst.reduce().unwrap();
+    println!("stencil len {} w {w}", stencil.len());
+    println!("phi {:?}", stencil.positive_functional());
+    let oracle = DoneOracle::new(&stencil);
+    let t = Instant::now();
+    // Just one in_done query on w itself first.
+    let d = oracle.in_done(&w);
+    println!("in_done(w) = {d} in {:?}, cache {}", t.elapsed(), oracle.cache_len());
+}

@@ -1,0 +1,12 @@
+use uov_core::npc::PartitionInstance;
+use std::time::Instant;
+fn main() {
+    for n in 5..=9usize {
+        let values: Vec<i64> = (1..=n as i64).collect();
+        let inst = PartitionInstance::new(values.clone()).unwrap();
+        let t = Instant::now();
+        let ans = inst.solve_via_uov();
+        println!("n={n}: {ans} in {:?}", t.elapsed());
+        if t.elapsed().as_secs() > 20 { break; }
+    }
+}

@@ -1,0 +1,154 @@
+//! Common occupancy vectors across multiple stencils (paper §7, future
+//! work: "we might want to select our occupancy vector in a way that
+//! allows two loops to use the same OV-mapping for a given array").
+//!
+//! A vector universal for several stencils at once lets two loop nests —
+//! or several statements feeding one array — share a single OV-mapped
+//! buffer. Unlike the single-stencil case, a common UOV need not exist:
+//! the UOV sets of `{(0,1)}` and `{(1,0)}` are disjoint rays. The search
+//! is therefore bounded and returns `None` when the sets do not meet
+//! within the exploration budget.
+
+use uov_isg::{IVec, Stencil};
+
+use crate::objective::storage_class_count;
+use crate::search::Objective;
+use crate::DoneOracle;
+
+/// Result of [`find_best_common_uov`].
+#[derive(Debug, Clone)]
+pub struct CommonUov {
+    /// A vector universal for every input stencil.
+    pub uov: IVec,
+    /// Objective value (squared length, or storage-class count).
+    pub cost: u128,
+}
+
+fn cost_of(objective: &Objective<'_>, w: &IVec) -> u128 {
+    match objective {
+        Objective::ShortestVector => w.norm_sq() as u128,
+        Objective::KnownBounds(domain) => storage_class_count(*domain, w) as u128,
+    }
+}
+
+/// Find the best vector that is a UOV for *every* stencil in `stencils`,
+/// searching the box `[-radius, radius]^d` exhaustively in cost order.
+///
+/// Returns `None` when the stencil list is empty, dimensions disagree, or
+/// no common UOV exists within the box. A sensible radius is a small
+/// multiple of the largest initial UOV, e.g.
+/// `2 * stencils.iter().map(|s| s.sum().max_abs()).max()`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_core::multi::find_best_common_uov;
+/// use uov_core::search::Objective;
+/// use uov_isg::{ivec, Stencil};
+///
+/// // Two loops over the same array with different stencils.
+/// let a = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])?;
+/// let b = Stencil::new(vec![ivec![1, -1], ivec![1, 1]])?;
+/// let common = find_best_common_uov(&[a, b], Objective::ShortestVector, 6)
+///     .expect("these UOV sets intersect");
+/// // (2,2) is universal for the first stencil but not the second
+/// // ((2,2)−(1,−1) = (1,3) needs a negative coefficient); the shortest
+/// // vector in the intersection is (3,1).
+/// assert_eq!(common.uov, ivec![3, 1]);
+/// # Ok::<(), uov_isg::StencilError>(())
+/// ```
+pub fn find_best_common_uov(
+    stencils: &[Stencil],
+    objective: Objective<'_>,
+    radius: i64,
+) -> Option<CommonUov> {
+    let first = stencils.first()?;
+    let dim = first.dim();
+    if stencils.iter().any(|s| s.dim() != dim) || radius < 0 {
+        return None;
+    }
+    let oracles: Vec<DoneOracle> = stencils.iter().map(DoneOracle::new).collect();
+
+    // Candidates come from the first stencil's UOV set restricted to the
+    // box; each is then checked against the remaining oracles.
+    let mut best: Option<(u128, i128, IVec)> = None;
+    for w in oracles[0].uovs_within(radius) {
+        if !oracles[1..].iter().all(|o| o.is_uov(&w)) {
+            continue;
+        }
+        let key = (cost_of(&objective, &w), w.norm_sq(), w);
+        if best.as_ref().map(|b| key < *b).unwrap_or(true) {
+            best = Some(key);
+        }
+    }
+    best.map(|(cost, _, uov)| CommonUov { uov, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+
+    fn s(vs: Vec<IVec>) -> Stencil {
+        Stencil::new(vs).unwrap()
+    }
+
+    #[test]
+    fn common_uov_is_universal_for_all_inputs() {
+        let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
+        let b = s(vec![ivec![1, -1], ivec![1, 1]]);
+        let common =
+            find_best_common_uov(&[a.clone(), b.clone()], Objective::ShortestVector, 6)
+                .expect("exists");
+        for stencil in [&a, &b] {
+            assert!(DoneOracle::new(stencil).is_uov(&common.uov));
+        }
+    }
+
+    #[test]
+    fn disjoint_uov_sets_yield_none() {
+        let a = s(vec![ivec![0, 1]]); // UOVs: (0, k), k ≥ 1
+        let b = s(vec![ivec![1, 0]]); // UOVs: (k, 0), k ≥ 1
+        assert!(find_best_common_uov(&[a, b], Objective::ShortestVector, 8).is_none());
+    }
+
+    #[test]
+    fn single_stencil_degenerates_to_ordinary_search() {
+        let a = s(vec![ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2]]);
+        let common =
+            find_best_common_uov(&[a], Objective::ShortestVector, 6).expect("exists");
+        assert_eq!(common.uov, ivec![2, 0]);
+        assert_eq!(common.cost, 4);
+    }
+
+    #[test]
+    fn empty_input_and_dim_mismatch() {
+        assert!(find_best_common_uov(&[], Objective::ShortestVector, 4).is_none());
+        let a = s(vec![ivec![1, 0]]);
+        let b = s(vec![ivec![1, 0, 0]]);
+        assert!(find_best_common_uov(&[a, b], Objective::ShortestVector, 4).is_none());
+    }
+
+    #[test]
+    fn known_bounds_objective_applies() {
+        let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
+        let b = s(vec![ivec![1, 1], ivec![2, 1]]);
+        let grid = uov_isg::RectDomain::grid(8, 8);
+        let common = find_best_common_uov(&[a, b], Objective::KnownBounds(&grid), 6)
+            .expect("exists");
+        assert_eq!(
+            common.cost,
+            storage_class_count(&grid, &common.uov) as u128
+        );
+    }
+
+    #[test]
+    fn psm_statements_share_no_short_common_uov() {
+        // H's consumers {(1,1),(1,0),(0,1)} vs E's {(1,0)}: E's UOV set is
+        // the (k,0) ray, none of which is universal for H — the paper's
+        // per-statement disjoint storage is genuinely necessary here.
+        let h = s(vec![ivec![1, 1], ivec![1, 0], ivec![0, 1]]);
+        let e = s(vec![ivec![1, 0]]);
+        assert!(find_best_common_uov(&[h, e], Objective::ShortestVector, 8).is_none());
+    }
+}

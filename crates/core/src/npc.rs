@@ -1,0 +1,264 @@
+//! The NP-completeness reduction of the paper's §3.1 theorem:
+//! PARTITION ≤ₚ UOV-membership.
+//!
+//! Given positive integers `a₀ … a_{n−1}` with half-sum `h`, the paper
+//! constructs a two-dimensional stencil containing, for each `i`, the pair
+//!
+//! ```text
+//! rᵢ = (0,  (n+1)ⁱ + (n+1)ⁿ)
+//! sᵢ = (aᵢ, (n+1)ⁱ + (n+1)ⁿ)
+//! ```
+//!
+//! and the candidate vector `w = (h, n(n+1)ⁿ + ((n+1)ⁿ − 1)/n)`. The "magic
+//! numbers" in the second coordinate force any cone representation of `w`
+//! to pick *exactly one* of `rᵢ`/`sᵢ` for each `i`; the chosen `sᵢ` first
+//! coordinates must then sum to `h` — a PARTITION solution. Hence
+//! `w ∈ UOV(V)` iff the instance is solvable.
+//!
+//! This module builds the reduction and solves PARTITION both ways (via
+//! the UOV oracle and via dynamic programming), which the test-suite uses
+//! to validate the oracle on genuinely hard instances.
+
+use std::error::Error;
+use std::fmt;
+
+use uov_isg::{IVec, Stencil};
+
+use crate::DoneOracle;
+
+/// A PARTITION instance: positive integers to split into two equal-sum
+/// halves.
+///
+/// # Examples
+///
+/// ```
+/// use uov_core::npc::PartitionInstance;
+///
+/// let yes = PartitionInstance::new(vec![3, 1, 1, 2, 2, 1])?;
+/// assert!(yes.solve_brute());
+/// assert!(yes.solve_via_uov());
+///
+/// let no = PartitionInstance::new(vec![1, 3])?;
+/// assert!(!no.solve_brute());
+/// assert!(!no.solve_via_uov());
+/// # Ok::<(), uov_core::npc::NpcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInstance {
+    values: Vec<i64>,
+}
+
+/// Error constructing or reducing a [`PartitionInstance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NpcError {
+    /// The instance must contain at least one value.
+    Empty,
+    /// All values must be strictly positive (the paper's formulation).
+    NonPositive(i64),
+    /// `(n+1)ⁿ` must fit in `i64`; instances are limited to `n ≤ 14`.
+    TooManyValues(usize),
+    /// The reduction needs an integer half-sum; an odd total is trivially
+    /// unsolvable and has no reduction image.
+    OddSum(i64),
+}
+
+impl fmt::Display for NpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpcError::Empty => write!(f, "partition instance is empty"),
+            NpcError::NonPositive(v) => write!(f, "partition values must be positive, got {v}"),
+            NpcError::TooManyValues(n) => {
+                write!(f, "partition instances are limited to 14 values, got {n}")
+            }
+            NpcError::OddSum(s) => write!(f, "total {s} is odd; no integer half-sum exists"),
+        }
+    }
+}
+
+impl Error for NpcError {}
+
+impl PartitionInstance {
+    /// Validate and build an instance. Duplicates are allowed (the paper
+    /// uses sequences, not sets, for exactly this reason).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpcError`] for empty input, non-positive values, or more
+    /// than 14 values (the reduction's magic numbers overflow `i64` beyond
+    /// that).
+    pub fn new(values: Vec<i64>) -> Result<Self, NpcError> {
+        if values.is_empty() {
+            return Err(NpcError::Empty);
+        }
+        if values.len() > 14 {
+            return Err(NpcError::TooManyValues(values.len()));
+        }
+        if let Some(&bad) = values.iter().find(|&&v| v <= 0) {
+            return Err(NpcError::NonPositive(bad));
+        }
+        Ok(PartitionInstance { values })
+    }
+
+    /// The values of the instance.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> i64 {
+        self.values.iter().sum()
+    }
+
+    /// Build the paper's reduction: a stencil `V` and a candidate `w` with
+    /// `w ∈ UOV(V)` iff the instance has a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpcError::OddSum`] when the total is odd (callers should
+    /// report "unsolvable" directly; see [`PartitionInstance::solve_via_uov`]).
+    pub fn reduce(&self) -> Result<(Stencil, IVec), NpcError> {
+        let total = self.total();
+        if total % 2 != 0 {
+            return Err(NpcError::OddSum(total));
+        }
+        let h = total / 2;
+        let n = self.values.len() as i64;
+        let base = n + 1;
+        let pow_n: i64 = (0..n).fold(1i64, |acc, _| acc * base); // (n+1)^n
+        let mut vectors = Vec::with_capacity(2 * self.values.len());
+        let mut pow_i = 1i64;
+        for &a in &self.values {
+            let second = pow_i + pow_n;
+            vectors.push(IVec::from([0, second])); // rᵢ
+            vectors.push(IVec::from([a, second])); // sᵢ
+            pow_i *= base;
+        }
+        // Geometric series: ((n+1)^n − 1) / n  =  Σ_{i<n} (n+1)^i.
+        let w = IVec::from([h, n * pow_n + (pow_n - 1) / n]);
+        let stencil = Stencil::new(vectors).expect("reduction vectors are lex-positive");
+        Ok((stencil, w))
+    }
+
+    /// Solve PARTITION through the UOV-membership oracle, exercising the
+    /// reduction end to end.
+    pub fn solve_via_uov(&self) -> bool {
+        match self.reduce() {
+            Err(NpcError::OddSum(_)) => false,
+            Err(_) => unreachable!("instance was validated at construction"),
+            Ok((stencil, w)) => DoneOracle::new(&stencil).is_uov(&w),
+        }
+    }
+
+    /// Solve PARTITION by subset-sum dynamic programming (the reference
+    /// answer for the reduction round-trip tests).
+    pub fn solve_brute(&self) -> bool {
+        let total = self.total();
+        if total % 2 != 0 {
+            return false;
+        }
+        let h = (total / 2) as usize;
+        let mut reachable = vec![false; h + 1];
+        reachable[0] = true;
+        for &a in &self.values {
+            let a = a as usize;
+            for s in (a..=h).rev() {
+                if reachable[s - a] {
+                    reachable[s] = true;
+                }
+            }
+        }
+        reachable[h]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+
+    #[test]
+    fn validation() {
+        assert_eq!(PartitionInstance::new(vec![]).unwrap_err(), NpcError::Empty);
+        assert_eq!(
+            PartitionInstance::new(vec![1, 0]).unwrap_err(),
+            NpcError::NonPositive(0)
+        );
+        assert_eq!(
+            PartitionInstance::new(vec![1; 15]).unwrap_err(),
+            NpcError::TooManyValues(15)
+        );
+    }
+
+    #[test]
+    fn reduction_shape_n2() {
+        // Worked example from the module docs: a = [1, 1].
+        let inst = PartitionInstance::new(vec![1, 1]).unwrap();
+        let (stencil, w) = inst.reduce().unwrap();
+        assert_eq!(stencil.len(), 4);
+        assert!(stencil.contains(&ivec![0, 10]));
+        assert!(stencil.contains(&ivec![1, 10]));
+        assert!(stencil.contains(&ivec![0, 12]));
+        assert!(stencil.contains(&ivec![1, 12]));
+        assert_eq!(w, ivec![1, 22]);
+    }
+
+    #[test]
+    fn odd_sum_has_no_reduction_and_is_unsolvable() {
+        let inst = PartitionInstance::new(vec![1, 2]).unwrap();
+        assert!(matches!(inst.reduce(), Err(NpcError::OddSum(3))));
+        assert!(!inst.solve_brute());
+        assert!(!inst.solve_via_uov());
+    }
+
+    #[test]
+    fn solvable_instances_roundtrip() {
+        for values in [
+            vec![1, 1],
+            vec![2, 1, 1],
+            vec![3, 1, 2, 2],
+            vec![5, 5, 4, 3, 2, 1],
+            vec![7, 3, 2, 2],
+        ] {
+            let inst = PartitionInstance::new(values.clone()).unwrap();
+            assert!(inst.solve_brute(), "brute force disagrees for {values:?}");
+            assert!(inst.solve_via_uov(), "UOV reduction disagrees for {values:?}");
+        }
+    }
+
+    #[test]
+    fn unsolvable_instances_roundtrip() {
+        for values in [
+            vec![1, 3],
+            vec![2, 2, 2],       // even total 6, half 3, parts all even
+            vec![5, 1, 2],       // total 8, half 4: 5>4, 1+2=3 ≠ 4
+            vec![9, 2, 2, 1],    // total 14, half 7: no subset hits 7
+        ] {
+            let inst = PartitionInstance::new(values.clone()).unwrap();
+            assert!(!inst.solve_brute(), "brute force disagrees for {values:?}");
+            assert!(!inst.solve_via_uov(), "UOV reduction disagrees for {values:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_and_dp_agree_on_exhaustive_small_instances() {
+        // Every multiset over {1,2,3} of size 3 and 4.
+        fn check(values: Vec<i64>) {
+            let inst = PartitionInstance::new(values.clone()).unwrap();
+            assert_eq!(
+                inst.solve_brute(),
+                inst.solve_via_uov(),
+                "mismatch for {values:?}"
+            );
+        }
+        for a in 1..=3i64 {
+            for b in a..=3 {
+                for c in b..=3 {
+                    check(vec![a, b, c]);
+                    for d in c..=3 {
+                        check(vec![a, b, c, d]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Storage cost of an occupancy vector over a concrete iteration domain.
+//!
+//! An occupancy vector partitions the ISG into *storage-equivalence
+//! classes*: two iterations share a cell iff they differ by an integer
+//! multiple of the OV (paper §3.2). When the loop bounds are known at
+//! compile time, the number of classes — hence the number of storage
+//! locations — is the number of integer points in the projection of the
+//! ISG perpendicular to the OV, times the `gcd` of the OV's components for
+//! non-prime OVs (paper §4.2–§4.3).
+//!
+//! Figure 3 of the paper is the motivating case: on a skewed ISG a longer
+//! OV can need *less* storage than the shortest one.
+
+use uov_isg::project::form_range;
+use uov_isg::{IMat, IVec, IterationDomain};
+
+/// Number of storage-equivalence classes the occupancy vector `ov` induces
+/// on `domain`, computed from the domain's extreme points.
+///
+/// Construction: reduce `ov` with [`IMat::lattice_reduction`]; rows `1..d`
+/// of the resulting unimodular matrix are linear forms constant along `ov`,
+/// so the classes are indexed by their values (a box in `Z^{d−1}`) together
+/// with the position-along-`ov` residue modulo `g = ov.content()`.
+///
+/// For 2-D domains this is exactly the paper's count (`span × g`, Fig. 3 /
+/// Fig. 6). For `d ≥ 3` the count uses the bounding box of the projected
+/// extreme points, which is what the d-dimensional storage mapping in
+/// `uov-storage` actually allocates (an upper bound on occupied classes for
+/// skewed domains). The count is capped at the number of iterations — an OV
+/// longer than the domain simply never reuses.
+///
+/// # Panics
+///
+/// Panics if `ov` is zero or `ov.dim() != domain.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, RectDomain, Polygon2};
+/// use uov_core::objective::storage_class_count;
+///
+/// // Figure 6: ov = (1,1) on the n × m grid needs n + m − 1 interior
+/// // classes (the paper's n + m + 1 includes the loop's border inputs;
+/// // see uov-storage's allocator).
+/// let grid = RectDomain::grid(5, 7);
+/// assert_eq!(storage_class_count(&grid, &ivec![1, 1]), 11);
+///
+/// // Figure 3: the longer ov (3,1) beats the shorter (3,0).
+/// let isg = Polygon2::fig3_isg();
+/// assert_eq!(storage_class_count(&isg, &ivec![3, 1]), 16);
+/// assert_eq!(storage_class_count(&isg, &ivec![3, 0]), 27);
+/// ```
+pub fn storage_class_count(domain: &dyn IterationDomain, ov: &IVec) -> u64 {
+    assert!(!ov.is_zero(), "occupancy vector must be non-zero");
+    assert_eq!(ov.dim(), domain.dim(), "dimension mismatch");
+    let g = ov.content() as u64;
+    let w = IMat::lattice_reduction(ov);
+    let mut classes = g;
+    for r in 1..ov.dim() {
+        let (lo, hi) = form_range(domain, &w.row(r));
+        classes = classes.saturating_mul((hi - lo + 1) as u64);
+    }
+    classes.min(domain.num_points())
+}
+
+/// Exact number of *occupied* storage-equivalence classes: enumerates every
+/// iteration and counts distinct classes.
+///
+/// Exponentially slower than [`storage_class_count`]; used by tests to
+/// validate the extreme-point formula and by callers with heavily skewed
+/// high-dimensional domains.
+///
+/// # Panics
+///
+/// Panics if `ov` is zero or `ov.dim() != domain.dim()`.
+pub fn storage_class_count_exact(domain: &dyn IterationDomain, ov: &IVec) -> u64 {
+    assert!(!ov.is_zero(), "occupancy vector must be non-zero");
+    assert_eq!(ov.dim(), domain.dim(), "dimension mismatch");
+    let g = ov.content();
+    let w = IMat::lattice_reduction(ov);
+    let mut classes = std::collections::HashSet::new();
+    for p in domain.points() {
+        let wp = w.mul_vec(&p);
+        let mut key: Vec<i64> = wp.as_slice()[1..].to_vec();
+        key.push(wp[0].rem_euclid(g));
+        classes.insert(key);
+    }
+    classes.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::{ivec, Polygon2, RectDomain};
+
+    #[test]
+    fn fig3_counts_match_paper() {
+        let isg = Polygon2::fig3_isg();
+        assert_eq!(storage_class_count(&isg, &ivec![3, 1]), 16);
+        assert_eq!(storage_class_count(&isg, &ivec![3, 0]), 27);
+    }
+
+    #[test]
+    fn fig3_counts_match_exact_enumeration() {
+        let isg = Polygon2::fig3_isg();
+        // Prime OVs: the span formula is exact on this domain.
+        for ov in [ivec![3, 1], ivec![1, 1], ivec![2, 1]] {
+            assert_eq!(
+                storage_class_count(&isg, &ov),
+                storage_class_count_exact(&isg, &ov),
+                "mismatch for ov {ov}"
+            );
+        }
+        // Non-prime OVs on a skewed domain: the formula is the allocation
+        // size, an upper bound on the occupied classes (the paper's Figure 3
+        // likewise reports the allocation, 27, for ov₂ = (3,0)).
+        for ov in [ivec![3, 0], ivec![4, 2]] {
+            assert!(
+                storage_class_count(&isg, &ov) >= storage_class_count_exact(&isg, &ov),
+                "allocation must cover occupied classes for ov {ov}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_diagonal_matches_fig6_interior() {
+        // Interior iterations only; the full paper figure adds borders.
+        let grid = RectDomain::grid(4, 6);
+        assert_eq!(storage_class_count(&grid, &ivec![1, 1]), 4 + 6 - 1);
+        assert_eq!(
+            storage_class_count_exact(&grid, &ivec![1, 1]),
+            4 + 6 - 1
+        );
+    }
+
+    #[test]
+    fn non_prime_ov_multiplies_by_content() {
+        let grid = RectDomain::grid(8, 5);
+        // ov = (2,0): classes = span of (0,1) × 2 = 5·2 = 10.
+        assert_eq!(storage_class_count(&grid, &ivec![2, 0]), 10);
+        assert_eq!(storage_class_count_exact(&grid, &ivec![2, 0]), 10);
+        // ov = (1,0): 5 classes — one per column.
+        assert_eq!(storage_class_count(&grid, &ivec![1, 0]), 5);
+    }
+
+    #[test]
+    fn count_capped_by_domain_size() {
+        let grid = RectDomain::grid(3, 3);
+        // A huge OV can never reuse storage within the domain.
+        assert!(storage_class_count(&grid, &ivec![100, 0]) <= 9);
+    }
+
+    #[test]
+    fn one_dimensional_ring() {
+        let dom = RectDomain::new(ivec![0], ivec![99]);
+        // ov = (k) is a k-cell ring buffer.
+        assert_eq!(storage_class_count(&dom, &ivec![3]), 3);
+        assert_eq!(storage_class_count_exact(&dom, &ivec![3]), 3);
+    }
+
+    #[test]
+    fn three_dimensional_box() {
+        let dom = RectDomain::new(ivec![1, 1, 1], ivec![4, 5, 6]);
+        // ov along axis 0: classes = extent(1) × extent(2).
+        assert_eq!(storage_class_count(&dom, &ivec![1, 0, 0]), 30);
+        assert_eq!(storage_class_count_exact(&dom, &ivec![1, 0, 0]), 30);
+        // Diagonal ov in 3-D: formula is an upper bound of the exact count.
+        let formula = storage_class_count(&dom, &ivec![1, 1, 1]);
+        let exact = storage_class_count_exact(&dom, &ivec![1, 1, 1]);
+        assert!(formula >= exact, "formula {formula} < exact {exact}");
+    }
+}

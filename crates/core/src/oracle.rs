@@ -1,0 +1,410 @@
+//! Exact decision procedures for the DONE and DEAD sets (paper §3.1).
+//!
+//! For a stencil `V = {v₁, …, vₘ}` and an arbitrary iteration `q`:
+//!
+//! * `DONE(V, q) = { p | ∃ aᵢ ≥ 0 : p + Σ aᵢvᵢ = q }` — iterations that
+//!   must have executed before `q` under *any* legal schedule, because a
+//!   chain of value dependences leads from them to `q`.
+//! * `DEAD(V, q) = { p | ∀ vᵢ ∈ V : p + vᵢ ∈ DONE(V, q) }` — iterations
+//!   whose value has been consumed by every reader once `q`'s inputs are
+//!   ready, so their storage is reusable by `q`.
+//! * `UOV(V) = { q − p | p ∈ DEAD(V, q) }`, independent of `q`.
+//!
+//! Working with offsets `w = q − p`, membership reduces to non-negative
+//! integer *cone* membership: `w ∈ cone(V)` iff `w = Σ aᵢvᵢ, aᵢ ∈ ℤ≥0`.
+//! The oracle decides this exactly by memoised depth-first search. The
+//! search is complete because the stencil's positive functional `φ`
+//! satisfies `φ·vᵢ ≥ 1`, so every step of the recursion strictly decreases
+//! `φ·w` and targets with `φ·w < 0` can be cut off.
+//!
+//! Deciding UOV membership this way is NP-complete in the number of stencil
+//! vectors (paper theorem, see [`crate::npc`]); for realistic stencils the
+//! memoised search is fast, which is the paper's practicality argument.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use uov_isg::{IVec, IterationDomain, Stencil};
+
+/// Memoising decision oracle for DONE/DEAD/UOV membership over one stencil.
+///
+/// The oracle caches cone-membership results across queries, so reuse it
+/// when testing many candidate vectors against the same stencil.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, Stencil};
+/// use uov_core::DoneOracle;
+///
+/// let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])?;
+/// let oracle = DoneOracle::new(&s);
+/// assert!(oracle.in_done(&ivec![2, 1])); // (1,0) + (1,1)
+/// assert!(!oracle.in_done(&ivec![1, -1]));
+/// assert!(oracle.is_uov(&ivec![1, 1]));
+/// # Ok::<(), uov_isg::StencilError>(())
+/// ```
+#[derive(Debug)]
+pub struct DoneOracle {
+    stencil: Stencil,
+    phi: IVec,
+    /// Dual-cone functionals: each is ≥ 0 on every stencil vector, so any
+    /// cone member must satisfy them too. Pruning with these keeps the
+    /// search inside the dependence cone (exact in 2-D), which is what
+    /// makes even the adversarial NP-completeness instances tractable for
+    /// realistic sizes.
+    prunes: Vec<IVec>,
+    cache: RefCell<HashMap<IVec, bool>>,
+}
+
+impl DoneOracle {
+    /// Build an oracle for `stencil`.
+    pub fn new(stencil: &Stencil) -> Self {
+        DoneOracle {
+            stencil: stencil.clone(),
+            phi: stencil.positive_functional(),
+            prunes: dual_cone_functionals(stencil),
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The stencil this oracle decides membership for.
+    pub fn stencil(&self) -> &Stencil {
+        &self.stencil
+    }
+
+    /// Whether the offset `w = q − p` places `p` in `DONE(V, q)`:
+    /// is `w` a non-negative integer combination of stencil vectors?
+    ///
+    /// The zero offset is in the cone (`p = q`, all coefficients zero),
+    /// mirroring `DONE` containing `q` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.dim() != self.stencil().dim()`.
+    pub fn in_done(&self, w: &IVec) -> bool {
+        assert_eq!(w.dim(), self.stencil.dim(), "offset dimension mismatch");
+        self.in_cone_rec(w)
+    }
+
+    fn in_cone_rec(&self, w: &IVec) -> bool {
+        if w.is_zero() {
+            return true;
+        }
+        if self.phi.dot_i128(w) < 0 {
+            return false;
+        }
+        // Dual-cone cuts: a functional non-negative on every generator is
+        // non-negative on the whole cone.
+        if self.prunes.iter().any(|f| f.dot_i128(w) < 0) {
+            return false;
+        }
+        if let Some(&hit) = self.cache.borrow().get(w) {
+            return hit;
+        }
+        // φ·(w − v) < φ·w, so the recursion terminates; no cycles possible.
+        let result = self
+            .stencil
+            .iter()
+            .any(|v| self.in_cone_rec(&(w - v)));
+        self.cache.borrow_mut().insert(w.clone(), result);
+        result
+    }
+
+    /// Whether the offset `w = q − p` places `p` in `DEAD(V, q)`:
+    /// every reader `p + vᵢ` of `p`'s value is itself in `DONE(V, q)`.
+    ///
+    /// Equivalent to `w ∈ UOV(V)` (paper §3.1): by definition the UOV set
+    /// is exactly the set of offsets to DEAD iterations.
+    pub fn in_dead(&self, w: &IVec) -> bool {
+        self.stencil.iter().all(|v| self.in_done(&(w - v)))
+    }
+
+    /// Whether `w` is a universal occupancy vector for the stencil.
+    ///
+    /// Alias of [`DoneOracle::in_dead`], named after the question callers
+    /// actually ask.
+    pub fn is_uov(&self, w: &IVec) -> bool {
+        self.in_dead(w)
+    }
+
+    /// Enumerate `DONE(V, q) ∩ domain` — used to visualise Figure 2 of the
+    /// paper and by exhaustive tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions of `q`, the domain and the stencil disagree.
+    pub fn done_points(&self, q: &IVec, domain: &dyn IterationDomain) -> Vec<IVec> {
+        domain
+            .points()
+            .filter(|p| self.in_done(&(q - p)))
+            .collect()
+    }
+
+    /// Enumerate `DEAD(V, q) ∩ domain` (Figure 2's squares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions of `q`, the domain and the stencil disagree.
+    pub fn dead_points(&self, q: &IVec, domain: &dyn IterationDomain) -> Vec<IVec> {
+        domain
+            .points()
+            .filter(|p| self.in_dead(&(q - p)))
+            .collect()
+    }
+
+    /// Enumerate every UOV whose components all lie in `[-radius, radius]`.
+    ///
+    /// Exponential in dimension; intended for tests and exhaustive
+    /// cross-validation of the branch-and-bound search.
+    pub fn uovs_within(&self, radius: i64) -> Vec<IVec> {
+        assert!(radius >= 0, "radius must be non-negative");
+        let d = self.stencil.dim();
+        let mut out = Vec::new();
+        let mut cur = vec![-radius; d];
+        loop {
+            let w = IVec::from(cur.clone());
+            // Every UOV is a non-trivial cone member, hence lex-positive.
+            if w.is_lex_positive() && self.is_uov(&w) {
+                out.push(w);
+            }
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                if cur[k] < radius {
+                    cur[k] += 1;
+                    break;
+                }
+                cur[k] = -radius;
+            }
+        }
+    }
+
+    /// Number of memoised cone-membership entries (for diagnostics/benches).
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+/// Functionals that are non-negative on every stencil vector.
+///
+/// * In 2-D the cone of lexicographically positive generators is salient
+///   (it spans strictly less than a half-plane), so the two functionals
+///   perpendicular to its angular extreme vectors describe it *exactly*:
+///   `t ∈ cone(V) ⟹ cross(lo, t) ≥ 0 ∧ cross(t, hi) ≥ 0`.
+/// * In any dimension, an axis functional `±e_k` qualifies whenever every
+///   generator's `k`-th component has one sign.
+fn dual_cone_functionals(stencil: &Stencil) -> Vec<IVec> {
+    let mut out = Vec::new();
+    let d = stencil.dim();
+    if d == 2 {
+        // Both rotations of each angular extreme; the validity filter
+        // below keeps exactly the inward-facing pair.
+        let ext = stencil.extreme_vectors();
+        for e in [&ext[0], ext.last().expect("non-empty")] {
+            out.push(IVec::from([-e[1], e[0]]));
+            out.push(IVec::from([e[1], -e[0]]));
+        }
+    }
+    for k in 0..d {
+        if stencil.iter().all(|v| v[k] >= 0) {
+            out.push(IVec::unit(d, k));
+        } else if stencil.iter().all(|v| v[k] <= 0) {
+            out.push(-IVec::unit(d, k));
+        }
+    }
+    // Keep only functionals actually valid on every generator (the 2-D
+    // pair always is; this guards against extreme-vector edge cases).
+    out.retain(|f| stencil.iter().all(|v| f.dot_i128(v) >= 0));
+    out
+}
+
+/// Extension trait: `i128` dot product to keep huge NPC-instance
+/// functionals overflow-free.
+trait DotI128 {
+    fn dot_i128(&self, other: &IVec) -> i128;
+}
+
+impl DotI128 for IVec {
+    fn dot_i128(&self, other: &IVec) -> i128 {
+        self.iter()
+            .zip(other.iter())
+            .map(|(&a, &b)| a as i128 * b as i128)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::{ivec, RectDomain};
+
+    fn fig1_oracle() -> DoneOracle {
+        let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap();
+        DoneOracle::new(&s)
+    }
+
+    fn stencil5_oracle() -> DoneOracle {
+        let s = Stencil::new(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ])
+        .unwrap();
+        DoneOracle::new(&s)
+    }
+
+    #[test]
+    fn zero_is_in_done() {
+        assert!(fig1_oracle().in_done(&ivec![0, 0]));
+    }
+
+    #[test]
+    fn stencil_vectors_are_in_done() {
+        let o = fig1_oracle();
+        for v in o.stencil().vectors().to_vec() {
+            assert!(o.in_done(&v));
+        }
+    }
+
+    #[test]
+    fn done_closed_under_addition() {
+        let o = fig1_oracle();
+        assert!(o.in_done(&ivec![2, 1]));
+        assert!(o.in_done(&ivec![3, 3]));
+        assert!(o.in_done(&ivec![5, 2]));
+    }
+
+    #[test]
+    fn non_members_rejected() {
+        // For the Fig-1 stencil the cone is the whole first quadrant, so the
+        // non-members are exactly the offsets with a negative component.
+        let o = fig1_oracle();
+        assert!(!o.in_done(&ivec![-1, 0]));
+        assert!(!o.in_done(&ivec![0, -1]));
+        assert!(!o.in_done(&ivec![3, -1]));
+        assert!(!o.in_done(&ivec![-2, 5]));
+        assert!(o.in_done(&ivec![1, 2]));
+        assert!(o.in_done(&ivec![2, 3]));
+    }
+
+    #[test]
+    fn cone_with_negative_component_vectors() {
+        // {(1,-2), (1,2)}: the quadrant is NOT all reachable; e.g. (1,0)
+        // needs half-integer coefficients.
+        let s = Stencil::new(vec![ivec![1, -2], ivec![1, 2]]).unwrap();
+        let o = DoneOracle::new(&s);
+        assert!(o.in_done(&ivec![2, 0]));
+        assert!(!o.in_done(&ivec![1, 0]));
+        assert!(o.in_done(&ivec![2, 4]));
+        assert!(!o.in_done(&ivec![2, 3]));
+        assert!(!o.in_done(&ivec![0, 2]));
+    }
+
+    #[test]
+    fn fig1_uov_is_1_1() {
+        let o = fig1_oracle();
+        assert!(o.is_uov(&ivec![1, 1]));
+        assert!(!o.is_uov(&ivec![1, 0]));
+        assert!(!o.is_uov(&ivec![0, 1]));
+        assert!(!o.is_uov(&ivec![0, 0]));
+        // The initial UOV (sum) is always universal.
+        assert!(o.is_uov(&ivec![2, 2]));
+    }
+
+    #[test]
+    fn stencil5_uov_is_2_0() {
+        // Figure 5 of the paper: the optimal UOV of the 5-point stencil is
+        // (2, 0), which is non-prime.
+        let o = stencil5_oracle();
+        assert!(o.is_uov(&ivec![2, 0]));
+        assert!(!o.is_uov(&ivec![1, 0]));
+        for j in -2..=2 {
+            assert!(!o.is_uov(&ivec![1, j]), "single time step (1,{j}) must not be a UOV");
+        }
+    }
+
+    #[test]
+    fn uov_implies_done() {
+        let o = fig1_oracle();
+        for w in o.uovs_within(4) {
+            assert!(o.in_done(&w), "UOV {w} must itself be a DONE offset");
+        }
+    }
+
+    #[test]
+    fn uovs_within_fig1_small_radius() {
+        let o = fig1_oracle();
+        let uovs = o.uovs_within(2);
+        assert!(uovs.contains(&ivec![1, 1]));
+        assert!(uovs.contains(&ivec![2, 1]));
+        assert!(uovs.contains(&ivec![1, 2]));
+        assert!(uovs.contains(&ivec![2, 2]));
+        assert!(!uovs.contains(&ivec![1, 0]));
+        assert!(!uovs.contains(&ivec![0, 1]));
+    }
+
+    #[test]
+    fn done_points_fig2_style() {
+        // DONE(V, q) within a window behind q grows as the dependence cone.
+        let o = fig1_oracle();
+        let q = ivec![5, 5];
+        let dom = RectDomain::new(ivec![3, 3], ivec![5, 7]);
+        let done = o.done_points(&q, &dom);
+        assert!(done.contains(&ivec![5, 5])); // q itself
+        assert!(done.contains(&ivec![4, 4]));
+        assert!(done.contains(&ivec![3, 3])); // offset (2,2) ∈ cone
+        assert!(!done.contains(&ivec![5, 6])); // offset (0,−1) ∉ cone
+        assert!(!done.contains(&ivec![4, 7])); // offset (1,−2) ∉ cone
+    }
+
+    #[test]
+    fn dead_points_are_subset_of_done_points() {
+        let o = fig1_oracle();
+        let q = ivec![6, 6];
+        let dom = RectDomain::new(ivec![1, 1], ivec![6, 6]);
+        let done = o.done_points(&q, &dom);
+        let dead = o.dead_points(&q, &dom);
+        for p in &dead {
+            assert!(done.contains(p), "DEAD ⊆ DONE violated at {p}");
+        }
+        assert!(dead.len() < done.len());
+    }
+
+    #[test]
+    fn cache_is_reused() {
+        let o = fig1_oracle();
+        assert!(o.in_done(&ivec![4, 4]));
+        let after_first = o.cache_len();
+        assert!(after_first > 0);
+        assert!(o.in_done(&ivec![4, 4]));
+        assert_eq!(o.cache_len(), after_first);
+    }
+
+    #[test]
+    fn one_dimensional_stencil() {
+        let s = Stencil::new(vec![ivec![1], ivec![3]]).unwrap();
+        let o = DoneOracle::new(&s);
+        assert!(o.in_done(&ivec![7])); // 1+3+3 or 7·1
+        assert!(!o.in_done(&ivec![-1]));
+        // UOV: w−1 ∈ cone and w−3 ∈ cone; cone = all non-negative ints here.
+        assert!(o.is_uov(&ivec![3]));
+        assert!(o.is_uov(&ivec![4]));
+        assert!(!o.is_uov(&ivec![2])); // 2−3 = −1 ∉ cone
+    }
+
+    #[test]
+    fn three_dimensional_stencil() {
+        let s = Stencil::new(vec![ivec![1, 0, 0], ivec![0, 1, 0], ivec![0, 0, 1]]).unwrap();
+        let o = DoneOracle::new(&s);
+        assert!(o.in_done(&ivec![2, 3, 1]));
+        assert!(!o.in_done(&ivec![1, -1, 1]));
+        assert!(o.is_uov(&ivec![1, 1, 1]));
+        assert!(!o.is_uov(&ivec![1, 1, 0]));
+    }
+}

@@ -1,0 +1,470 @@
+//! Branch-and-bound search for the optimal universal occupancy vector
+//! (paper §3.2).
+//!
+//! The search space is the set of offsets reachable from an arbitrary
+//! origin by walking *backwards* along value dependences; an offset is a
+//! UOV once every stencil dependence has been traversed on some path to it
+//! (the paper's `PATHSET = V` condition, equivalent to the DEAD-set
+//! definition). The search:
+//!
+//! 1. starts from the trivially legal initial UOV `ov₀ = Σ vᵢ`
+//!    ([`initial_uov`]), so a valid answer exists from the first moment —
+//!    a compiler may stop the search at any time and keep the best so far;
+//! 2. explores offsets in best-first order using a priority queue keyed by
+//!    the objective (squared length, or storage-class count when the loop
+//!    bounds are known);
+//! 3. prunes offsets that provably cannot lead to a better UOV than the
+//!    incumbent, using the stencil's positive functional `φ`: every
+//!    backward step increases `φ·w` by at least 1, and by Cauchy–Schwarz
+//!    `|u| ≥ φ·u / |φ|` bounds the length of every descendant — the
+//!    lattice analogue of the paper's bounding parallelepiped (Figure 4).
+//!
+//! For the known-bounds objective the pruning additionally uses a
+//! dimension-independent fact: a class (a line of iterations in direction
+//! `u`) holds at most `diam/|u| + 1` points, so the class count is at least
+//! `N·|u| / (diam + |u|)` for a domain with `N` points and diameter `diam`.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use uov_isg::{IVec, IterationDomain, Stencil};
+
+use crate::objective::storage_class_count;
+
+/// What the search minimises.
+///
+/// The paper (§3.2): with unknown loop bounds, find the shortest UOV; with
+/// known bounds, minimise the actual storage — a longer OV can win
+/// (Figure 3).
+#[derive(Debug, Clone, Copy)]
+pub enum Objective<'a> {
+    /// Minimise the Euclidean length of the UOV (squared, exactly).
+    ShortestVector,
+    /// Minimise the number of storage-equivalence classes on the given
+    /// domain.
+    KnownBounds(&'a dyn IterationDomain),
+}
+
+/// Tunables for [`find_best_uov`].
+#[derive(Debug, Clone, Default)]
+pub struct SearchConfig {
+    /// Stop after visiting this many offsets and report the best UOV found
+    /// so far (`stats.complete` will be `false` if the limit was hit).
+    /// Mirrors the paper's "a compiler could limit the amount of time the
+    /// algorithm runs and just take the best answer found so far".
+    pub max_visits: Option<u64>,
+}
+
+/// Counters describing a finished search, for the ablation experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Offsets extracted from the priority queue.
+    pub visited: u64,
+    /// Queue insertions (including PATHSET-growth re-insertions).
+    pub pushed: u64,
+    /// Times the incumbent bound improved.
+    pub improvements: u64,
+    /// Children cut off by the cost bound.
+    pub pruned: u64,
+    /// Children cut off by the hard exploration cap (see
+    /// [`find_best_uov`]); non-zero only in degenerate known-bounds cases.
+    pub capped: u64,
+    /// Whether the search ran to exhaustion (false if `max_visits` hit).
+    pub complete: bool,
+}
+
+/// Result of [`find_best_uov`].
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best universal occupancy vector found.
+    pub uov: IVec,
+    /// Its objective value (squared length, or storage-class count).
+    pub cost: u128,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// The trivially computed initial UOV `ov₀ = Σ vᵢ` (paper §3.2.1).
+///
+/// Always universal: for each `vᵢ`, `ov₀ − vᵢ = Σ_{j≠i} vⱼ` is a
+/// non-negative combination of stencil vectors.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, Stencil};
+/// use uov_core::search::initial_uov;
+///
+/// let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])?;
+/// assert_eq!(initial_uov(&s), ivec![2, 2]);
+/// # Ok::<(), uov_isg::StencilError>(())
+/// ```
+pub fn initial_uov(stencil: &Stencil) -> IVec {
+    stencil.sum()
+}
+
+fn cost_of(objective: &Objective<'_>, w: &IVec) -> u128 {
+    match objective {
+        Objective::ShortestVector => w.norm_sq() as u128,
+        Objective::KnownBounds(domain) => storage_class_count(*domain, w) as u128,
+    }
+}
+
+fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = n;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x
+}
+
+/// Geometry of the known-bounds objective, precomputed once.
+struct DomainFacts {
+    /// Number of iteration points `N`.
+    num_points: u128,
+    /// Ceiling of the domain's diameter (max pairwise vertex distance).
+    diam: u128,
+}
+
+impl DomainFacts {
+    fn new(domain: &dyn IterationDomain) -> Self {
+        let vertices = domain.extreme_points();
+        let mut diam_sq: u128 = 0;
+        for (i, a) in vertices.iter().enumerate() {
+            for b in &vertices[i + 1..] {
+                diam_sq = diam_sq.max((a - b).norm_sq() as u128);
+            }
+        }
+        DomainFacts { num_points: domain.num_points() as u128, diam: isqrt(diam_sq) + 1 }
+    }
+
+    /// `true` if every descendant of an offset with squared-length lower
+    /// bound `len_sq_lb` must cost at least `best`: classes ≥ N·L/(diam+L).
+    fn dominated(&self, len_sq_lb: u128, best: u128) -> bool {
+        let l = isqrt(len_sq_lb); // floor → weaker bound → sound
+        self.num_points * l >= best * (self.diam + l)
+    }
+}
+
+/// Find the minimum-cost universal occupancy vector for `stencil`.
+///
+/// Implements Algorithm *Visit* of the paper (§3.2.2): best-first traversal
+/// of backward value dependences with per-offset `PATHSET`s; an offset
+/// whose PATHSET covers the whole stencil is a UOV and may tighten the
+/// incumbent bound, which in turn shrinks the search region.
+///
+/// The returned vector is always a legal UOV. It is *optimal* for the
+/// objective whenever `stats.complete` is true and `stats.capped == 0`:
+///
+/// * `complete == false` means `config.max_visits` cut the search short;
+/// * `capped > 0` can only occur for [`Objective::KnownBounds`] on
+///   degenerate domains where storage cannot discriminate candidates (the
+///   hard cap stops exploration at offsets 64× the functional value of the
+///   initial UOV — far beyond any storage-profitable candidate).
+///
+/// # Panics
+///
+/// Panics if the objective's domain dimension differs from the stencil's,
+/// or the stencil has more than 63 vectors (PATHSETs are `u64` bitmasks).
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, Stencil};
+/// use uov_core::search::{find_best_uov, Objective, SearchConfig};
+///
+/// // The 5-point stencil of the paper's §5: the optimal UOV is (2, 0).
+/// let s = Stencil::new(vec![
+///     ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2],
+/// ])?;
+/// let best = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+/// assert_eq!(best.uov, ivec![2, 0]);
+/// assert!(best.stats.complete);
+/// # Ok::<(), uov_isg::StencilError>(())
+/// ```
+pub fn find_best_uov(
+    stencil: &Stencil,
+    objective: Objective<'_>,
+    config: &SearchConfig,
+) -> SearchResult {
+    let domain_facts = match &objective {
+        Objective::KnownBounds(domain) => {
+            assert_eq!(
+                domain.dim(),
+                stencil.dim(),
+                "objective domain dimension must match the stencil"
+            );
+            Some(DomainFacts::new(*domain))
+        }
+        Objective::ShortestVector => None,
+    };
+    let dim = stencil.dim();
+    let m = stencil.len();
+    assert!(m <= 63, "stencils larger than 63 vectors are unsupported");
+    let full: u64 = (1u64 << m) - 1;
+    let phi = stencil.positive_functional();
+    let phi_norm_sq = phi.norm_sq() as u128;
+
+    // Incumbent: the initial UOV is legal from the start (§3.2.1).
+    let mut best = initial_uov(stencil);
+    let mut best_cost = cost_of(&objective, &best);
+    let mut stats = SearchStats { complete: true, ..SearchStats::default() };
+
+    // Hard exploration cap guaranteeing termination even when the storage
+    // objective cannot discriminate (e.g. every candidate costs N).
+    let phi_cap: i128 = 64 * phi_dot_i128(&phi, &best).max(1);
+
+    // Priority queue of (cost, offset, pathset), min-cost first. `known`
+    // remembers the union of PATHSETs discovered per offset; an entry is
+    // re-pushed whenever its PATHSET grows (paper's Visit step 2).
+    let mut known: HashMap<IVec, u64> = HashMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>> = BinaryHeap::new();
+
+    let origin = IVec::zero(dim);
+    known.insert(origin.clone(), 0);
+    heap.push(std::cmp::Reverse((0, origin, 0)));
+    stats.pushed += 1;
+
+    while let Some(std::cmp::Reverse((cost, w, mask))) = heap.pop() {
+        // Skip stale entries: a fresher push carries the grown PATHSET.
+        if known.get(&w).copied().unwrap_or(0) != mask {
+            continue;
+        }
+        stats.visited += 1;
+        if let Some(max) = config.max_visits {
+            if stats.visited > max {
+                stats.complete = false;
+                break;
+            }
+        }
+
+        // Candidate check (paper Visit step 3).
+        if mask == full && cost < best_cost {
+            best_cost = cost;
+            best = w.clone();
+            stats.improvements += 1;
+        }
+
+        // Expand children along backward value dependences (Visit step 2).
+        for (k, v) in stencil.iter().enumerate() {
+            let child = &w + v;
+            let phi_child = phi_dot_i128(&phi, &child);
+            debug_assert!(phi_child > 0, "functional must grow along dependences");
+
+            // Length lower bound for the child and all its descendants:
+            // |u|² ≥ (φ·u)²/|φ|² ≥ (φ·child)²/|φ|² (floor division → sound).
+            let len_sq_lb = (phi_child as u128 * phi_child as u128) / phi_norm_sq;
+            let dominated = match &domain_facts {
+                None => len_sq_lb >= best_cost,
+                Some(facts) => facts.dominated(len_sq_lb, best_cost),
+            };
+            if dominated {
+                stats.pruned += 1;
+                continue;
+            }
+            if phi_child > phi_cap {
+                stats.capped += 1;
+                continue;
+            }
+
+            let child_mask = mask | (1 << k);
+            let entry = known.entry(child.clone()).or_insert(0);
+            let merged = *entry | child_mask;
+            if merged != *entry {
+                *entry = merged;
+                heap.push(std::cmp::Reverse((cost_of(&objective, &child), child, merged)));
+                stats.pushed += 1;
+            }
+        }
+    }
+
+    SearchResult { uov: best, cost: best_cost, stats }
+}
+
+fn phi_dot_i128(phi: &IVec, w: &IVec) -> i128 {
+    phi.iter()
+        .zip(w.iter())
+        .map(|(&a, &b)| a as i128 * b as i128)
+        .sum()
+}
+
+/// Exhaustively enumerate every UOV with components in `[-radius, radius]`
+/// and return the cheapest (ties broken by squared length, then
+/// lexicographically). Cross-validation reference for [`find_best_uov`].
+///
+/// Returns `None` if no UOV lies within the box (radius too small).
+pub fn exhaustive_best_uov(
+    stencil: &Stencil,
+    objective: Objective<'_>,
+    radius: i64,
+) -> Option<SearchResult> {
+    let oracle = crate::DoneOracle::new(stencil);
+    let mut best: Option<(u128, i128, IVec)> = None;
+    for w in oracle.uovs_within(radius) {
+        let key = (cost_of(&objective, &w), w.norm_sq(), w);
+        if best.as_ref().map(|b| key < *b).unwrap_or(true) {
+            best = Some(key);
+        }
+    }
+    best.map(|(cost, _, uov)| SearchResult {
+        uov,
+        cost,
+        stats: SearchStats { complete: true, ..SearchStats::default() },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::{ivec, Polygon2, RectDomain};
+
+    fn fig1() -> Stencil {
+        Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+    }
+
+    fn stencil5() -> Stencil {
+        Stencil::new(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_uov_is_always_universal() {
+        for s in [fig1(), stencil5()] {
+            let oracle = crate::DoneOracle::new(&s);
+            assert!(oracle.is_uov(&initial_uov(&s)));
+        }
+    }
+
+    #[test]
+    fn fig1_best_uov_is_1_1() {
+        let best = find_best_uov(&fig1(), Objective::ShortestVector, &SearchConfig::default());
+        assert_eq!(best.uov, ivec![1, 1]);
+        assert_eq!(best.cost, 2);
+        assert!(best.stats.complete);
+        assert!(best.stats.improvements >= 1);
+    }
+
+    #[test]
+    fn stencil5_best_uov_is_2_0() {
+        let best =
+            find_best_uov(&stencil5(), Objective::ShortestVector, &SearchConfig::default());
+        assert_eq!(best.uov, ivec![2, 0]);
+        assert_eq!(best.cost, 4);
+        assert!(best.stats.complete);
+    }
+
+    #[test]
+    fn result_is_always_a_uov() {
+        for s in [
+            fig1(),
+            stencil5(),
+            Stencil::new(vec![ivec![2, 1], ivec![1, 3]]).unwrap(),
+            Stencil::new(vec![ivec![1, -1], ivec![1, 1], ivec![2, 0]]).unwrap(),
+            Stencil::new(vec![ivec![0, 1], ivec![1, -3]]).unwrap(),
+        ] {
+            let oracle = crate::DoneOracle::new(&s);
+            let best =
+                find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+            assert!(oracle.is_uov(&best.uov), "search returned non-UOV {}", best.uov);
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_shortest() {
+        for s in [
+            fig1(),
+            stencil5(),
+            Stencil::new(vec![ivec![2, 1], ivec![1, 3]]).unwrap(),
+            Stencil::new(vec![ivec![1, -1], ivec![1, 1]]).unwrap(),
+            Stencil::new(vec![ivec![1], ivec![2]]).unwrap(),
+            Stencil::new(vec![ivec![1, 0, 0], ivec![0, 1, 0], ivec![0, 0, 1]]).unwrap(),
+        ] {
+            let bb = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+            let ex = exhaustive_best_uov(&s, Objective::ShortestVector, 8)
+                .expect("radius large enough");
+            assert_eq!(bb.cost, ex.cost, "cost mismatch for {s:?}");
+        }
+    }
+
+    #[test]
+    fn known_bounds_fig3_prefers_longer_vector() {
+        // The crux of Figure 3: with the skewed ISG, the storage-minimal
+        // UOV can differ from the shortest one.
+        let s = Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![0, 1]])
+            .unwrap();
+        let isg = Polygon2::fig3_isg();
+        let shortest =
+            find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+        let storage =
+            find_best_uov(&s, Objective::KnownBounds(&isg), &SearchConfig::default());
+        let oracle = crate::DoneOracle::new(&s);
+        assert!(oracle.is_uov(&storage.uov));
+        // The storage-optimal choice is at least as good on storage.
+        let shortest_storage =
+            crate::objective::storage_class_count(&isg, &shortest.uov) as u128;
+        assert!(storage.cost <= shortest_storage);
+    }
+
+    #[test]
+    fn known_bounds_matches_exhaustive() {
+        let grid = RectDomain::grid(6, 9);
+        for s in [fig1(), stencil5()] {
+            let bb = find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default());
+            let ex = exhaustive_best_uov(&s, Objective::KnownBounds(&grid), 8).unwrap();
+            assert_eq!(bb.cost, ex.cost, "storage cost mismatch for {s:?}");
+            assert_eq!(bb.stats.capped, 0);
+        }
+    }
+
+    #[test]
+    fn known_bounds_terminates_on_degenerate_domain() {
+        // A single-point domain: every candidate costs 1; the hard cap must
+        // stop the search.
+        let dom = RectDomain::new(ivec![0, 0], ivec![0, 0]);
+        let res = find_best_uov(&fig1(), Objective::KnownBounds(&dom), &SearchConfig::default());
+        assert_eq!(res.cost, 1);
+        let oracle = crate::DoneOracle::new(&fig1());
+        assert!(oracle.is_uov(&res.uov));
+    }
+
+    #[test]
+    fn max_visits_truncates_but_stays_legal() {
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let res = find_best_uov(
+            &s,
+            Objective::ShortestVector,
+            &SearchConfig { max_visits: Some(1) },
+        );
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov), "even a truncated search must return a UOV");
+        assert_eq!(res.uov, initial_uov(&s));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let res = find_best_uov(&fig1(), Objective::ShortestVector, &SearchConfig::default());
+        assert!(res.stats.visited > 0);
+        assert!(res.stats.pushed > 0);
+        assert!(res.stats.pruned > 0);
+    }
+
+    #[test]
+    fn isqrt_exactness() {
+        for n in 0u128..2000 {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+        assert_eq!(isqrt(u128::from(u64::MAX)), 4294967295);
+    }
+}

@@ -1,0 +1,144 @@
+//! Text rendering of DONE/DEAD sets — the paper's Figure 2, printable.
+//!
+//! The figure shows, for a fixed point `q` (circled), which earlier
+//! iterations must already have executed (`DONE`, black dots) and which of
+//! those have had every consumer run (`DEAD`, squares). This module
+//! renders the same picture in ASCII, used by the `fig2` experiment and
+//! handy when exploring new stencils interactively.
+
+use uov_isg::{IVec, IterationDomain, RectDomain};
+
+use crate::DoneOracle;
+
+/// Glyphs used by [`render_done_dead`].
+#[derive(Debug, Clone)]
+pub struct Glyphs {
+    /// The reference point `q`.
+    pub q: char,
+    /// Points in `DEAD(V, q)` (reusable storage).
+    pub dead: char,
+    /// Points in `DONE(V, q) \ DEAD(V, q)`.
+    pub done: char,
+    /// All other iteration points.
+    pub other: char,
+}
+
+impl Default for Glyphs {
+    fn default() -> Self {
+        // The paper's legend: squares are DEAD, filled dots are DONE.
+        Glyphs { q: 'Q', dead: '#', done: '*', other: '.' }
+    }
+}
+
+/// Render the DONE/DEAD classification of every point of `window` with
+/// respect to `q`, one text row per first coordinate (top = smallest).
+///
+/// # Panics
+///
+/// Panics unless the window and stencil are two-dimensional.
+///
+/// # Examples
+///
+/// ```
+/// use uov_core::{viz::render_done_dead, DoneOracle};
+/// use uov_isg::{ivec, RectDomain, Stencil};
+///
+/// let s = Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1]])?;
+/// let oracle = DoneOracle::new(&s);
+/// let window = RectDomain::new(ivec![0, -3], ivec![3, 3]);
+/// let art = render_done_dead(&oracle, &ivec![3, 0], &window, &Default::default());
+/// assert!(art.contains('Q'));
+/// assert!(art.contains('#'));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_done_dead(
+    oracle: &DoneOracle,
+    q: &IVec,
+    window: &RectDomain,
+    glyphs: &Glyphs,
+) -> String {
+    assert_eq!(window.dim(), 2, "rendering is two-dimensional");
+    assert_eq!(oracle.stencil().dim(), 2, "rendering is two-dimensional");
+    let mut out = String::new();
+    for i in window.lo()[0]..=window.hi()[0] {
+        for j in window.lo()[1]..=window.hi()[1] {
+            let p = IVec::from([i, j]);
+            let w = q - &p;
+            let ch = if &p == q {
+                glyphs.q
+            } else if oracle.in_dead(&w) {
+                glyphs.dead
+            } else if oracle.in_done(&w) {
+                glyphs.done
+            } else {
+                glyphs.other
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::{ivec, Stencil};
+
+    fn fig2_oracle() -> DoneOracle {
+        DoneOracle::new(
+            &Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn renders_the_fig2_wedge() {
+        let oracle = fig2_oracle();
+        let q = ivec![3, 0];
+        let window = RectDomain::new(ivec![0, -3], ivec![3, 3]);
+        let art = render_done_dead(&oracle, &q, &window, &Glyphs::default());
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 4);
+        // Row of q: only q itself is live there.
+        assert!(rows[3].contains('Q'));
+        // Row 0 (three steps back): the wedge has width 7, with the centre
+        // DEAD (all three consumers of (0,0) lie inside the cone to q).
+        assert_eq!(rows[0].chars().filter(|&c| c != ' ').count(), 7);
+        assert!(rows[0].contains('#'), "deep rows contain DEAD points: {art}");
+        // DEAD never appears in the row immediately above q: those values
+        // still await consumers beside q.
+        assert!(!rows[2].contains('#'), "row above q must not be DEAD:\n{art}");
+    }
+
+    #[test]
+    fn counts_match_oracle_sets() {
+        let oracle = fig2_oracle();
+        let q = ivec![4, 0];
+        let window = RectDomain::new(ivec![0, -4], ivec![4, 4]);
+        let art = render_done_dead(&oracle, &q, &window, &Glyphs::default());
+        let dead_glyphs = art.chars().filter(|&c| c == '#').count();
+        let done_glyphs = art.chars().filter(|&c| c == '*').count();
+        let done_set = oracle.done_points(&q, &window);
+        let dead_set = oracle.dead_points(&q, &window);
+        // q is in DONE (zero offset) but never in DEAD (its own value is
+        // still unconsumed), and it renders as 'Q'.
+        assert_eq!(dead_glyphs, dead_set.len());
+        assert_eq!(done_glyphs + dead_glyphs, done_set.len() - 1);
+    }
+
+    #[test]
+    fn custom_glyphs() {
+        let oracle = fig2_oracle();
+        let window = RectDomain::new(ivec![0, -2], ivec![2, 2]);
+        let art = render_done_dead(
+            &oracle,
+            &ivec![2, 0],
+            &window,
+            &Glyphs { q: 'o', dead: 'D', done: 'd', other: '_' },
+        );
+        assert!(art.contains('o'));
+        assert!(art.contains('_'));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the UOV core.
+
+use proptest::prelude::*;
+use uov_core::npc::PartitionInstance;
+use uov_core::search::{exhaustive_best_uov, find_best_uov, Objective, SearchConfig};
+use uov_core::{initial_uov, DoneOracle};
+use uov_isg::{IVec, RectDomain, Stencil};
+
+fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
+    prop::collection::vec(-bound..=bound, dim)
+        .prop_map(IVec::from)
+        .prop_filter("lexicographically positive", |v| v.is_lex_positive())
+}
+
+fn stencil_2d() -> impl Strategy<Value = Stencil> {
+    prop::collection::vec(lex_positive_vec(2, 3), 1..5)
+        .prop_map(|vs| Stencil::new(vs).expect("validated"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn initial_uov_is_universal(s in stencil_2d()) {
+        let oracle = DoneOracle::new(&s);
+        prop_assert!(oracle.is_uov(&initial_uov(&s)));
+    }
+
+    #[test]
+    fn cone_membership_matches_naive_enumeration(
+        s in stencil_2d(),
+        w in prop::collection::vec(-6i64..=6, 2).prop_map(IVec::from),
+    ) {
+        // Naive reference: BFS over coefficient vectors with the functional
+        // bound Σaᵢ ≤ φ·w.
+        let oracle = DoneOracle::new(&s);
+        let phi = s.positive_functional();
+        let budget = phi.dot(&w);
+        let naive = if budget < 0 {
+            false
+        } else {
+            fn rec(s: &Stencil, w: &IVec, idx: usize, budget: i64) -> bool {
+                if w.is_zero() {
+                    return true;
+                }
+                if idx == s.len() || budget <= 0 {
+                    return false;
+                }
+                let v = &s.vectors()[idx];
+                let mut t = w.clone();
+                let mut used = 0;
+                loop {
+                    if rec(s, &t, idx + 1, budget - used) {
+                        return true;
+                    }
+                    if used >= budget {
+                        return false;
+                    }
+                    t = &t - v;
+                    used += 1;
+                    if t.is_zero() {
+                        return true;
+                    }
+                }
+            }
+            rec(&s, &w, 0, budget)
+        };
+        prop_assert_eq!(oracle.in_done(&w), naive, "stencil {:?} w {}", s, w);
+    }
+
+    #[test]
+    fn uov_definition_equivalence(
+        s in stencil_2d(),
+        w in prop::collection::vec(-6i64..=6, 2).prop_map(IVec::from),
+    ) {
+        // is_uov(w) ⟺ ∀v ∈ V: (w − v) ∈ DONE — the paper's DEAD definition.
+        let oracle = DoneOracle::new(&s);
+        let by_parts = s.iter().all(|v| oracle.in_done(&(&w - v)));
+        prop_assert_eq!(oracle.is_uov(&w), by_parts);
+    }
+
+    #[test]
+    fn uov_set_closed_under_adding_stencil_vectors(
+        s in stencil_2d(),
+        w in prop::collection::vec(-4i64..=4, 2).prop_map(IVec::from),
+    ) {
+        // If w is a UOV, so is w + vᵢ for any stencil vector: the DEAD set
+        // only recedes as q advances.
+        let oracle = DoneOracle::new(&s);
+        if oracle.is_uov(&w) {
+            for v in &s {
+                prop_assert!(oracle.is_uov(&(&w + v)), "w={} v={}", w, v);
+            }
+        }
+    }
+
+    #[test]
+    fn search_matches_exhaustive_on_random_stencils(s in stencil_2d()) {
+        let bb = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+        let radius = initial_uov(&s).max_abs() + 1;
+        let ex = exhaustive_best_uov(&s, Objective::ShortestVector, radius)
+            .expect("initial UOV lies within the radius");
+        prop_assert_eq!(bb.cost, ex.cost, "stencil {:?}", s);
+        prop_assert!(bb.stats.complete);
+    }
+
+    #[test]
+    fn search_known_bounds_never_beats_exhaustive(
+        s in stencil_2d(),
+        n in 2i64..8,
+        m in 2i64..8,
+    ) {
+        let grid = RectDomain::grid(n, m);
+        let bb = find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default());
+        let radius = initial_uov(&s).max_abs() + 1;
+        let ex = exhaustive_best_uov(&s, Objective::KnownBounds(&grid), radius)
+            .expect("initial UOV lies within the radius");
+        // The B&B result can only be at most as costly when it ran to
+        // completion without the cap; equality when radius covers optimum.
+        if bb.stats.capped == 0 {
+            prop_assert!(bb.cost <= ex.cost, "stencil {:?} grid {n}x{m}", s);
+        }
+        let oracle = DoneOracle::new(&s);
+        prop_assert!(oracle.is_uov(&bb.uov));
+    }
+
+    #[test]
+    fn partition_reduction_agrees_with_dp(
+        values in prop::collection::vec(1i64..6, 2..5)
+    ) {
+        let inst = PartitionInstance::new(values.clone()).expect("positive values");
+        prop_assert_eq!(
+            inst.solve_brute(),
+            inst.solve_via_uov(),
+            "values {:?}",
+            values
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Iteration domains: the node sets of iteration space graphs.
+//!
+//! The paper's ISG is "the set of integer solutions to a system of linear
+//! inequalities defined by the loop bounds" (§4.3, footnote 6). Storage
+//! counting with known bounds projects the domain's *extreme points* along
+//! the mapping vector. Most loops in the paper have rectangular domains;
+//! Figure 3 uses a skewed quadrilateral, covered by [`crate::Polygon2`].
+
+use std::fmt;
+
+use crate::vec::IVec;
+
+/// A finite set of integer iteration points, convex, with known extreme
+/// points.
+///
+/// The trait is object-safe so analyses can work over mixed domain shapes.
+pub trait IterationDomain: fmt::Debug {
+    /// Dimensionality of the iteration space.
+    fn dim(&self) -> usize;
+
+    /// Whether `p` is an iteration of the domain.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `p.dim() != self.dim()`.
+    fn contains(&self, p: &IVec) -> bool;
+
+    /// The extreme points (vertices) of the convex hull of the domain.
+    fn extreme_points(&self) -> Vec<IVec>;
+
+    /// All integer points, in lexicographic order.
+    fn points(&self) -> Box<dyn Iterator<Item = IVec> + '_>;
+
+    /// Number of integer points.
+    fn num_points(&self) -> u64 {
+        self.points().count() as u64
+    }
+}
+
+/// An axis-aligned box of iterations: `lo[k] <= p[k] <= hi[k]` for every
+/// axis `k` (bounds inclusive).
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, IterationDomain, RectDomain};
+///
+/// // for i = 1..=2 { for j = 1..=3 { ... } }
+/// let d = RectDomain::new(ivec![1, 1], ivec![2, 3]);
+/// assert_eq!(d.num_points(), 6);
+/// assert!(d.contains(&ivec![2, 1]));
+/// assert!(!d.contains(&ivec![0, 1]));
+/// assert_eq!(d.extreme_points().len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RectDomain {
+    lo: IVec,
+    hi: IVec,
+}
+
+impl RectDomain {
+    /// Build the box `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ, dimension is zero, or `lo[k] > hi[k]`
+    /// for some axis (empty domains are rejected: an ISG always has at
+    /// least one iteration).
+    pub fn new(lo: IVec, hi: IVec) -> Self {
+        assert_eq!(lo.dim(), hi.dim(), "bound dimensions differ");
+        assert!(lo.dim() > 0, "domain must have at least one dimension");
+        for k in 0..lo.dim() {
+            assert!(
+                lo[k] <= hi[k],
+                "empty domain: lo[{k}] = {} > hi[{k}] = {}",
+                lo[k],
+                hi[k]
+            );
+        }
+        RectDomain { lo, hi }
+    }
+
+    /// The `n × m` grid `(1,1) ..= (n,m)` used by the paper's running
+    /// example (Fig. 1 and Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1` or `m < 1`.
+    pub fn grid(n: i64, m: i64) -> Self {
+        RectDomain::new(IVec::from([1, 1]), IVec::from([n, m]))
+    }
+
+    /// Inclusive lower bounds.
+    pub fn lo(&self) -> &IVec {
+        &self.lo
+    }
+
+    /// Inclusive upper bounds.
+    pub fn hi(&self) -> &IVec {
+        &self.hi
+    }
+
+    /// Extent along axis `k`: number of integer values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.dim()`.
+    pub fn extent(&self, k: usize) -> i64 {
+        self.hi[k] - self.lo[k] + 1
+    }
+}
+
+impl IterationDomain for RectDomain {
+    fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    fn contains(&self, p: &IVec) -> bool {
+        assert_eq!(p.dim(), self.dim(), "point dimension mismatch");
+        (0..self.dim()).all(|k| self.lo[k] <= p[k] && p[k] <= self.hi[k])
+    }
+
+    fn extreme_points(&self) -> Vec<IVec> {
+        let d = self.dim();
+        (0..(1u64 << d))
+            .map(|mask| {
+                (0..d)
+                    .map(|k| {
+                        if mask & (1 << k) != 0 {
+                            self.hi[k]
+                        } else {
+                            self.lo[k]
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn points(&self) -> Box<dyn Iterator<Item = IVec> + '_> {
+        Box::new(RectPoints { dom: self, cur: Some(self.lo.clone()) })
+    }
+
+    fn num_points(&self) -> u64 {
+        (0..self.dim()).map(|k| self.extent(k) as u64).product()
+    }
+}
+
+struct RectPoints<'a> {
+    dom: &'a RectDomain,
+    cur: Option<IVec>,
+}
+
+impl Iterator for RectPoints<'_> {
+    type Item = IVec;
+
+    fn next(&mut self) -> Option<IVec> {
+        let cur = self.cur.take()?;
+        // Advance like an odometer, innermost axis fastest.
+        let mut next = cur.clone();
+        let mut k = self.dom.dim();
+        loop {
+            if k == 0 {
+                // Wrapped past the outermost axis: iteration is finished.
+                self.cur = None;
+                break;
+            }
+            k -= 1;
+            if next[k] < self.dom.hi[k] {
+                next[k] += 1;
+                self.cur = Some(next);
+                break;
+            }
+            next[k] = self.dom.lo[k];
+        }
+        Some(cur)
+    }
+}
+
+impl fmt::Debug for RectDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RectDomain[{} ..= {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for RectDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivec;
+
+    #[test]
+    fn grid_counts_points() {
+        let d = RectDomain::grid(4, 5);
+        assert_eq!(d.num_points(), 20);
+        assert_eq!(d.points().count(), 20);
+        assert_eq!(d.extent(0), 4);
+        assert_eq!(d.extent(1), 5);
+    }
+
+    #[test]
+    fn points_are_lexicographic_and_unique() {
+        let d = RectDomain::new(ivec![0, -1], ivec![1, 1]);
+        let pts: Vec<_> = d.points().collect();
+        assert_eq!(pts.len(), 6);
+        let mut sorted = pts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(pts, sorted, "points must come out sorted and unique");
+        assert_eq!(pts[0], ivec![0, -1]);
+        assert_eq!(pts[5], ivec![1, 1]);
+    }
+
+    #[test]
+    fn one_dimensional_domain() {
+        let d = RectDomain::new(ivec![3], ivec![7]);
+        assert_eq!(d.num_points(), 5);
+        assert_eq!(d.extreme_points(), vec![ivec![3], ivec![7]]);
+    }
+
+    #[test]
+    fn three_dimensional_domain() {
+        let d = RectDomain::new(ivec![0, 0, 0], ivec![1, 2, 3]);
+        assert_eq!(d.num_points(), 2 * 3 * 4);
+        assert_eq!(d.extreme_points().len(), 8);
+        assert_eq!(d.points().count() as u64, d.num_points());
+    }
+
+    #[test]
+    fn contains_checks_all_axes() {
+        let d = RectDomain::grid(3, 3);
+        assert!(d.contains(&ivec![1, 1]));
+        assert!(d.contains(&ivec![3, 3]));
+        assert!(!d.contains(&ivec![4, 1]));
+        assert!(!d.contains(&ivec![1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        let _ = RectDomain::new(ivec![2], ivec![1]);
+    }
+
+    #[test]
+    fn single_point_domain() {
+        let d = RectDomain::new(ivec![5, 5], ivec![5, 5]);
+        assert_eq!(d.num_points(), 1);
+        assert_eq!(d.points().collect::<Vec<_>>(), vec![ivec![5, 5]]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Dense integer matrices and unimodular lattice transformations.
+//!
+//! The paper's §4 derives mapping vectors for two-dimensional loops by hand
+//! (`(i,j) → (−j,i)`). The d-dimensional generalisation implemented in
+//! `uov-storage` needs a *unimodular completion*: a change of basis `W` of
+//! `Z^d` whose first coordinate runs along the occupancy vector, so the
+//! remaining `d−1` coordinates enumerate the storage-equivalence classes.
+//! [`IMat::lattice_reduction`] constructs exactly that `W`.
+
+use std::fmt;
+use std::ops::Mul;
+
+use crate::num::extended_gcd;
+use crate::vec::IVec;
+
+/// A dense `rows × cols` integer matrix, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, IMat};
+/// let m = IMat::from_rows(&[ivec![1, 2], ivec![3, 4]]);
+/// assert_eq!(m.mul_vec(&ivec![1, 1]), ivec![3, 7]);
+/// assert_eq!(m.det(), -2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IMat {
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut data = vec![0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1;
+        }
+        IMat { rows: n, cols: n, data }
+    }
+
+    /// Build a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have differing dimensions.
+    pub fn from_rows(rows: &[IVec]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].dim();
+        assert!(
+            rows.iter().all(|r| r.dim() == cols),
+            "all rows must have the same dimension"
+        );
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        IMat { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, r: usize, c: usize) -> i64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut i64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// The `r`-th row as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> IVec {
+        assert!(r < self.rows, "row {r} out of range");
+        IVec::from(&self.data[r * self.cols..(r + 1) * self.cols])
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.cols()`.
+    pub fn mul_vec(&self, v: &IVec) -> IVec {
+        assert_eq!(v.dim(), self.cols, "vector dimension must match columns");
+        (0..self.rows).map(|r| self.row(r).dot(v)).collect()
+    }
+
+    /// Determinant by fraction-free (Bareiss) elimination, exact in `i128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or an intermediate value exceeds
+    /// `i128` (practically impossible for the small matrices used here).
+    pub fn det(&self) -> i64 {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
+        let n = self.rows;
+        let mut a: Vec<i128> = self.data.iter().map(|&x| x as i128).collect();
+        let mut sign = 1i128;
+        let mut prev = 1i128;
+        for k in 0..n {
+            // Pivot: find a non-zero entry in column k at or below row k.
+            if a[k * n + k] == 0 {
+                let Some(swap) = (k + 1..n).find(|&r| a[r * n + k] != 0) else {
+                    return 0;
+                };
+                for c in 0..n {
+                    a.swap(k * n + c, swap * n + c);
+                }
+                sign = -sign;
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let num = a[i * n + j] * a[k * n + k] - a[i * n + k] * a[k * n + j];
+                    a[i * n + j] = num / prev;
+                }
+                a[i * n + k] = 0;
+            }
+            prev = a[k * n + k];
+        }
+        i64::try_from(sign * a[(n - 1) * n + (n - 1)]).expect("determinant overflows i64")
+    }
+
+    /// Whether the matrix is square with determinant `±1` — i.e. an
+    /// automorphism of the lattice `Z^n`.
+    pub fn is_unimodular(&self) -> bool {
+        self.rows == self.cols && self.det().abs() == 1
+    }
+
+    /// Compute a unimodular matrix `W` such that `W·v = (g, 0, …, 0)` where
+    /// `g = v.content()`.
+    ///
+    /// Rows `1..d` of `W` are linear forms vanishing on `v`: they project an
+    /// iteration point onto its storage-equivalence class for the occupancy
+    /// vector `v` (two points `q` and `q' = q + k·v` get identical projected
+    /// coordinates). Row `0` measures lattice position *along* `v`, which is
+    /// what the `modterm` of a non-prime occupancy vector inspects
+    /// (paper §4.2).
+    ///
+    /// For a primitive 2-D vector `(i, j)` the second row of `W` is `±(−j, i)`
+    /// — exactly the paper's 2-D mapping vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the zero vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uov_isg::{ivec, IMat};
+    /// let w = IMat::lattice_reduction(&ivec![2, 0]);
+    /// assert!(w.is_unimodular());
+    /// assert_eq!(w.mul_vec(&ivec![2, 0]), ivec![2, 0]); // content 2
+    /// ```
+    pub fn lattice_reduction(v: &IVec) -> IMat {
+        assert!(!v.is_zero(), "cannot reduce the zero vector");
+        let d = v.dim();
+        let mut w = IMat::identity(d);
+        let mut cur: Vec<i64> = v.as_slice().to_vec();
+        for i in 1..d {
+            let (a, b) = (cur[0], cur[i]);
+            if b == 0 {
+                continue;
+            }
+            let (g, x, y) = extended_gcd(a, b);
+            // Row op with determinant +1:
+            //   row0' =  x·row0 + y·rowi
+            //   rowi' = -(b/g)·row0 + (a/g)·rowi
+            let row0 = w.row(0);
+            let rowi = w.row(i);
+            let new0 = &row0 * x + &rowi * y;
+            let newi = &row0 * (-b / g) + &rowi * (a / g);
+            for c in 0..d {
+                *w.at_mut(0, c) = new0[c];
+                *w.at_mut(i, c) = newi[c];
+            }
+            cur[0] = g;
+            cur[i] = 0;
+        }
+        // Pairwise gcd steps leave cur[0] = ±content; normalise the sign so
+        // row 0 always measures position along +v.
+        if cur[0] < 0 {
+            for c in 0..d {
+                *w.at_mut(0, c) = -w.at(0, c);
+            }
+        }
+        debug_assert_eq!(w.mul_vec(v)[0], v.content());
+        debug_assert!(w.mul_vec(v).iter().skip(1).all(|&c| c == 0));
+        w
+    }
+}
+
+impl Mul for &IMat {
+    type Output = IMat;
+    fn mul(self, rhs: &IMat) -> IMat {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must match");
+        let mut data = vec![0i64; self.rows * rhs.cols];
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    data[r * rhs.cols + c] += a * rhs.at(k, c);
+                }
+            }
+        }
+        IMat { rows: self.rows, cols: rhs.cols, data }
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IMat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivec;
+
+    #[test]
+    fn identity_works() {
+        let id = IMat::identity(3);
+        let v = ivec![1, -2, 3];
+        assert_eq!(id.mul_vec(&v), v);
+        assert_eq!(id.det(), 1);
+        assert!(id.is_unimodular());
+    }
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = IMat::from_rows(&[ivec![1, 2, 3], ivec![4, 5, 6]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.at(1, 2), 6);
+        assert_eq!(m.row(0), ivec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matrix_product() {
+        let a = IMat::from_rows(&[ivec![1, 2], ivec![3, 4]]);
+        let b = IMat::from_rows(&[ivec![0, 1], ivec![1, 0]]);
+        let ab = &a * &b;
+        assert_eq!(ab.row(0), ivec![2, 1]);
+        assert_eq!(ab.row(1), ivec![4, 3]);
+    }
+
+    #[test]
+    fn det_2x2_and_3x3() {
+        assert_eq!(IMat::from_rows(&[ivec![1, 2], ivec![3, 4]]).det(), -2);
+        assert_eq!(
+            IMat::from_rows(&[ivec![2, 0, 0], ivec![0, 3, 0], ivec![0, 0, 4]]).det(),
+            24
+        );
+        assert_eq!(
+            IMat::from_rows(&[ivec![1, 2, 3], ivec![4, 5, 6], ivec![7, 8, 9]]).det(),
+            0
+        );
+        // A matrix needing a pivot swap.
+        assert_eq!(IMat::from_rows(&[ivec![0, 1], ivec![1, 0]]).det(), -1);
+    }
+
+    #[test]
+    fn lattice_reduction_2d_matches_paper_mapping_vector() {
+        // For prime ov = (i, j), the paper chooses mv = (−j, i). Our row 1 is
+        // a form vanishing on ov with primitive coefficients — same line.
+        let ov = ivec![1, 1];
+        let w = IMat::lattice_reduction(&ov);
+        assert!(w.is_unimodular());
+        assert_eq!(w.mul_vec(&ov), ivec![1, 0]);
+        let mv = w.row(1);
+        assert_eq!(mv.dot(&ov), 0);
+        assert_eq!(mv.content(), 1);
+    }
+
+    #[test]
+    fn lattice_reduction_non_prime() {
+        let ov = ivec![3, 0];
+        let w = IMat::lattice_reduction(&ov);
+        assert!(w.is_unimodular());
+        assert_eq!(w.mul_vec(&ov), ivec![3, 0]);
+    }
+
+    #[test]
+    fn lattice_reduction_various_dims() {
+        for v in [
+            ivec![5],
+            ivec![2, 3],
+            ivec![-4, 6],
+            ivec![1, -2, 3],
+            ivec![6, 10, 15],
+            ivec![0, 0, 7],
+            ivec![2, 4, 6, 8],
+            ivec![3, -1, 4, -1, 5],
+        ] {
+            let w = IMat::lattice_reduction(&v);
+            assert!(w.is_unimodular(), "not unimodular for {v}");
+            let wv = w.mul_vec(&v);
+            assert_eq!(wv[0], v.content(), "content mismatch for {v}");
+            assert!(
+                wv.iter().skip(1).all(|&c| c == 0),
+                "tail not annihilated for {v}: {wv}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn lattice_reduction_zero_panics() {
+        let _ = IMat::lattice_reduction(&IVec::zero(2));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = IMat::identity(2);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Elementary number theory used throughout the workspace.
+//!
+//! Occupancy-vector storage mappings lean on the Euclidean algorithm twice:
+//! the greatest common divisor of an occupancy vector's components decides
+//! whether it is *prime* (paper §4.1/§4.2), and Bézout coefficients prove
+//! that prime mapping vectors touch consecutive storage locations.
+
+/// Greatest common divisor of two integers, always non-negative.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::gcd;
+/// assert_eq!(gcd(12, -18), 6);
+/// assert_eq!(gcd(0, 5), 5);
+/// assert_eq!(gcd(0, 0), 0);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two integers, always non-negative.
+///
+/// `lcm(0, x)` is defined as `0`.
+///
+/// # Panics
+///
+/// Panics on overflow in debug builds (as any Rust integer arithmetic does).
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// assert_eq!(lcm(0, 7), 0);
+/// ```
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        (a / gcd(a, b)).abs() * b.abs()
+    }
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` such that `a*x + b*y == g` and `g == gcd(a, b) >= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::extended_gcd;
+/// let (g, x, y) = extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_s, mut s) = (1i64, 0i64);
+    let (mut old_t, mut t) = (0i64, 1i64);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// Greatest common divisor of a slice, always non-negative.
+///
+/// The gcd of the empty slice is `0`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::gcd_slice;
+/// assert_eq!(gcd_slice(&[6, -9, 15]), 3);
+/// assert_eq!(gcd_slice(&[]), 0);
+/// ```
+pub fn gcd_slice(values: &[i64]) -> i64 {
+    values.iter().fold(0, |acc, &v| gcd(acc, v))
+}
+
+/// Mathematical (floor) modulus: the result is always in `0..m.abs()`.
+///
+/// The `%` operator in Rust is a remainder that follows the sign of the
+/// dividend; storage `modterm`s (paper §4.2) need the non-negative residue.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::floor_mod;
+/// assert_eq!(floor_mod(-1, 3), 2);
+/// assert_eq!(floor_mod(7, 3), 1);
+/// ```
+pub fn floor_mod(a: i64, m: i64) -> i64 {
+    let m = m.abs();
+    let r = a % m;
+    if r < 0 {
+        r + m
+    } else {
+        r
+    }
+}
+
+/// Floor division pairing with [`floor_mod`]: `a == floor_div(a,m)*m + floor_mod(a,m)`
+/// for positive `m`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::floor_div;
+/// assert_eq!(floor_div(-1, 3), -1);
+/// assert_eq!(floor_div(7, 3), 2);
+/// ```
+pub fn floor_div(a: i64, m: i64) -> i64 {
+    let q = a / m;
+    if a % m != 0 && ((a < 0) != (m < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(48, 18), 6);
+        assert_eq!(gcd(-48, 18), 6);
+        assert_eq!(gcd(48, -18), 6);
+        assert_eq!(gcd(-48, -18), 6);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(1, 1), 1);
+    }
+
+    #[test]
+    fn gcd_coprime() {
+        assert_eq!(gcd(17, 31), 1);
+        assert_eq!(gcd(1, 1_000_000), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(5, 5), 5);
+        assert_eq!(lcm(0, 0), 0);
+    }
+
+    #[test]
+    fn extended_gcd_bezout_holds() {
+        for a in -30..30i64 {
+            for b in -30..30i64 {
+                let (g, x, y) = extended_gcd(a, b);
+                assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+                assert_eq!(a * x + b * y, g, "Bezout fails for ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_slice_basic() {
+        assert_eq!(gcd_slice(&[4]), 4);
+        assert_eq!(gcd_slice(&[-4]), 4);
+        assert_eq!(gcd_slice(&[2, 0, 4]), 2);
+        assert_eq!(gcd_slice(&[3, 5]), 1);
+    }
+
+    #[test]
+    fn floor_mod_div_agree() {
+        for a in -50..50i64 {
+            for m in 1..10i64 {
+                let q = floor_div(a, m);
+                let r = floor_mod(a, m);
+                assert_eq!(q * m + r, a);
+                assert!((0..m).contains(&r));
+            }
+        }
+    }
+}

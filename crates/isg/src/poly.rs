@@ -1,0 +1,228 @@
+//! Two-dimensional convex polygonal iteration domains.
+//!
+//! Figure 3 of the paper compares storage requirements of two occupancy
+//! vectors on a skewed quadrilateral ISG — the shorter vector needs *more*
+//! storage because the ISG's projection on the perpendicular hyperplane is
+//! wider. [`Polygon2`] models such domains exactly.
+
+use std::fmt;
+
+use crate::domain::IterationDomain;
+use crate::vec::IVec;
+
+/// A convex lattice polygon in `Z²`, defined by its vertices.
+///
+/// Vertices must be given in counter-clockwise order (in standard `(x, y)`
+/// orientation) and must form a convex polygon; both properties are
+/// validated at construction. Collinear intermediate vertices are allowed.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, IterationDomain, Polygon2};
+///
+/// // The Fig. 3 ISG: parallelogram (1,1), (10,4), (10,9), (1,6).
+/// let isg = Polygon2::new(vec![(1, 1), (10, 4), (10, 9), (1, 6)])?;
+/// assert!(isg.contains(&ivec![5, 4]));
+/// assert!(!isg.contains(&ivec![5, 1]));
+/// # Ok::<(), uov_isg::poly::PolygonError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Polygon2 {
+    vertices: Vec<(i64, i64)>,
+}
+
+/// Error constructing a [`Polygon2`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// At least three vertices are required.
+    TooFewVertices(usize),
+    /// The vertex sequence turns clockwise somewhere: not convex/CCW.
+    NotConvexCcw {
+        /// Index of the vertex at which the right turn happens.
+        at: usize,
+    },
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices(n) => {
+                write!(f, "polygon needs at least 3 vertices, got {n}")
+            }
+            PolygonError::NotConvexCcw { at } => {
+                write!(f, "vertex sequence is not convex counter-clockwise at index {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+fn cross(o: (i64, i64), a: (i64, i64), b: (i64, i64)) -> i128 {
+    let (ax, ay) = (a.0 - o.0, a.1 - o.1);
+    let (bx, by) = (b.0 - o.0, b.1 - o.1);
+    ax as i128 * by as i128 - ay as i128 * bx as i128
+}
+
+impl Polygon2 {
+    /// Build a convex CCW polygon from its vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolygonError`] if fewer than three vertices are supplied or
+    /// the boundary makes a clockwise turn.
+    pub fn new(vertices: Vec<(i64, i64)>) -> Result<Self, PolygonError> {
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices(vertices.len()));
+        }
+        let n = vertices.len();
+        for i in 0..n {
+            let o = vertices[i];
+            let a = vertices[(i + 1) % n];
+            let b = vertices[(i + 2) % n];
+            if cross(o, a, b) < 0 {
+                return Err(PolygonError::NotConvexCcw { at: (i + 1) % n });
+            }
+        }
+        Ok(Polygon2 { vertices })
+    }
+
+    /// The quadrilateral ISG of the paper's Figure 3.
+    ///
+    /// The figure labels three corners — (1,1), (1,6) and (10,9); the fourth
+    /// corner (10,4) completes the parallelogram on which ov₁ = (3,1) needs
+    /// 16 storage locations and ov₂ = (3,0) needs 27.
+    pub fn fig3_isg() -> Self {
+        Polygon2::new(vec![(1, 1), (10, 4), (10, 9), (1, 6)])
+            .expect("figure-3 polygon is convex")
+    }
+
+    /// The vertices, counter-clockwise.
+    pub fn vertices(&self) -> &[(i64, i64)] {
+        &self.vertices
+    }
+
+    /// Axis-aligned bounding box as `((min_x, min_y), (max_x, max_y))`.
+    pub fn bounding_box(&self) -> ((i64, i64), (i64, i64)) {
+        let min_x = self.vertices.iter().map(|v| v.0).min().expect("non-empty");
+        let max_x = self.vertices.iter().map(|v| v.0).max().expect("non-empty");
+        let min_y = self.vertices.iter().map(|v| v.1).min().expect("non-empty");
+        let max_y = self.vertices.iter().map(|v| v.1).max().expect("non-empty");
+        ((min_x, min_y), (max_x, max_y))
+    }
+}
+
+impl IterationDomain for Polygon2 {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn contains(&self, p: &IVec) -> bool {
+        assert_eq!(p.dim(), 2, "Polygon2 contains 2-D points only");
+        let q = (p[0], p[1]);
+        let n = self.vertices.len();
+        (0..n).all(|i| cross(self.vertices[i], self.vertices[(i + 1) % n], q) >= 0)
+    }
+
+    fn extreme_points(&self) -> Vec<IVec> {
+        self.vertices
+            .iter()
+            .map(|&(x, y)| IVec::from([x, y]))
+            .collect()
+    }
+
+    fn points(&self) -> Box<dyn Iterator<Item = IVec> + '_> {
+        let ((min_x, min_y), (max_x, max_y)) = self.bounding_box();
+        Box::new(
+            (min_x..=max_x)
+                .flat_map(move |x| (min_y..=max_y).map(move |y| IVec::from([x, y])))
+                .filter(|p| self.contains(p)),
+        )
+    }
+}
+
+impl fmt::Debug for Polygon2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polygon2{:?}", self.vertices)
+    }
+}
+
+impl fmt::Display for Polygon2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivec;
+
+    #[test]
+    fn triangle_membership() {
+        let t = Polygon2::new(vec![(0, 0), (4, 0), (0, 4)]).unwrap();
+        assert!(t.contains(&ivec![0, 0]));
+        assert!(t.contains(&ivec![1, 1]));
+        assert!(t.contains(&ivec![2, 2])); // on the hypotenuse
+        assert!(!t.contains(&ivec![3, 2]));
+        assert!(!t.contains(&ivec![-1, 0]));
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert_eq!(
+            Polygon2::new(vec![(0, 0), (1, 1)]).unwrap_err(),
+            PolygonError::TooFewVertices(2)
+        );
+        // Clockwise square.
+        assert!(matches!(
+            Polygon2::new(vec![(0, 0), (0, 2), (2, 2), (2, 0)]).unwrap_err(),
+            PolygonError::NotConvexCcw { .. }
+        ));
+        // Non-convex (dart).
+        assert!(matches!(
+            Polygon2::new(vec![(0, 0), (4, 0), (1, 1), (0, 4)]).unwrap_err(),
+            PolygonError::NotConvexCcw { .. }
+        ));
+    }
+
+    #[test]
+    fn unit_square_points() {
+        let s = Polygon2::new(vec![(0, 0), (1, 0), (1, 1), (0, 1)]).unwrap();
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(s.num_points(), 4);
+    }
+
+    #[test]
+    fn triangle_point_count_matches_picks_theorem() {
+        // Right triangle with legs 4: Pick's theorem gives
+        // A = 8, B = 12, I = A − B/2 + 1 = 3; total = I + B = 15.
+        let t = Polygon2::new(vec![(0, 0), (4, 0), (0, 4)]).unwrap();
+        assert_eq!(t.num_points(), 15);
+    }
+
+    #[test]
+    fn fig3_isg_shape() {
+        let p = Polygon2::fig3_isg();
+        assert_eq!(p.extreme_points().len(), 4);
+        assert!(p.contains(&ivec![1, 1]));
+        assert!(p.contains(&ivec![10, 9]));
+        assert!(p.contains(&ivec![1, 6]));
+        assert!(p.contains(&ivec![10, 4]));
+        assert!(!p.contains(&ivec![10, 3]));
+        assert!(!p.contains(&ivec![2, 8]));
+        // Columns where the slanted edges pass through lattice points hold 6
+        // points; the others hold 5 (edges have slope 1/3).
+        assert_eq!(p.points().filter(|q| q[0] == 1).count(), 6);
+        assert_eq!(p.points().filter(|q| q[0] == 5).count(), 5);
+        assert_eq!(p.num_points(), 54);
+    }
+
+    #[test]
+    fn collinear_intermediate_vertices_allowed() {
+        let p = Polygon2::new(vec![(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)]).unwrap();
+        assert!(p.contains(&ivec![3, 0]));
+    }
+}

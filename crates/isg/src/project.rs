@@ -1,0 +1,136 @@
+//! Projections of iteration domains onto linear forms.
+//!
+//! Storage counting with known loop bounds (paper §3.2, §4.3) reduces to:
+//! apply the mapping vector to the domain's extreme points and count the
+//! integer values spanned. These helpers compute such spans for arbitrary
+//! linear forms.
+
+use crate::domain::IterationDomain;
+use crate::vec::IVec;
+
+/// Minimum and maximum of the linear form `form · p` over the extreme
+/// points of `domain`.
+///
+/// For a convex domain the extremes of a linear form are attained at
+/// vertices, so this equals the min/max over the whole domain.
+///
+/// # Panics
+///
+/// Panics if `form.dim() != domain.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, project::form_range, RectDomain};
+///
+/// let d = RectDomain::grid(4, 6);
+/// assert_eq!(form_range(&d, &ivec![-1, 1]), (-3, 5));
+/// ```
+pub fn form_range(domain: &dyn IterationDomain, form: &IVec) -> (i64, i64) {
+    assert_eq!(form.dim(), domain.dim(), "form dimension mismatch");
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for p in domain.extreme_points() {
+        let v = form.dot(&p);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Number of integer values the linear form `form · p` spans over the
+/// domain: `max − min + 1` evaluated at the extreme points.
+///
+/// With a *primitive* `form` and the convex lattice domains used in this
+/// workspace, every integer in the range is attained, so this is exactly
+/// the paper's "number of integer points in the projection" (§4.3, Fig. 6).
+///
+/// # Panics
+///
+/// Panics if `form.dim() != domain.dim()`.
+pub fn form_span(domain: &dyn IterationDomain, form: &IVec) -> i64 {
+    let (lo, hi) = form_range(domain, form);
+    hi - lo + 1
+}
+
+/// The minimum projection `P_M` of the domain over a set of candidate
+/// primitive forms: the smallest [`form_span`] among them.
+///
+/// §3.2.1 bounds the known-bounds search with `P_ovo·|ovo| / P_M`; for a
+/// rectangle `P_M` "corresponds to the side with the shortest length"
+/// (footnote 4), i.e. the minimum over the axis forms. Callers choose the
+/// candidate set; [`axis_forms`] provides the axis-aligned ones.
+///
+/// # Panics
+///
+/// Panics if `forms` is empty or dimensions mismatch.
+pub fn min_projection(domain: &dyn IterationDomain, forms: &[IVec]) -> i64 {
+    assert!(!forms.is_empty(), "need at least one candidate form");
+    forms
+        .iter()
+        .map(|f| form_span(domain, f))
+        .min()
+        .expect("non-empty")
+}
+
+/// The `d` axis-aligned unit forms of a `d`-dimensional space.
+pub fn axis_forms(dim: usize) -> Vec<IVec> {
+    (0..dim).map(|k| IVec::unit(dim, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::RectDomain;
+    use crate::ivec;
+    use crate::poly::Polygon2;
+
+    #[test]
+    fn axis_spans_match_extents() {
+        let d = RectDomain::grid(4, 6);
+        assert_eq!(form_span(&d, &ivec![1, 0]), 4);
+        assert_eq!(form_span(&d, &ivec![0, 1]), 6);
+    }
+
+    #[test]
+    fn diagonal_form_on_grid() {
+        // The Fig. 6 computation: mv = (−1, 1) on the n × m grid spans
+        // n + m − 1 values over (1,1)..=(n,m) — with the paper's border
+        // points included the storage mapping allocates n + m + 1 (checked
+        // in uov-storage).
+        let d = RectDomain::grid(5, 7);
+        assert_eq!(form_span(&d, &ivec![-1, 1]), 5 + 7 - 1);
+    }
+
+    #[test]
+    fn fig3_projection_spans() {
+        let isg = Polygon2::fig3_isg();
+        // Perpendicular to ov1 = (3,1): mv = (−1, 3).
+        assert_eq!(form_span(&isg, &ivec![-1, 3]), 16);
+        // Perpendicular to ov2 = (3,0) (primitive direction (1,0)): mv = (0,1).
+        assert_eq!(form_span(&isg, &ivec![0, 1]), 9);
+    }
+
+    #[test]
+    fn min_projection_picks_shortest_side() {
+        let d = RectDomain::grid(4, 9);
+        assert_eq!(min_projection(&d, &axis_forms(2)), 4);
+    }
+
+    #[test]
+    fn form_span_exactness_vs_enumeration() {
+        // For primitive forms on small convex domains the span equals the
+        // exact count of attained values.
+        let isg = Polygon2::fig3_isg();
+        for form in [ivec![1, 0], ivec![0, 1], ivec![-1, 3], ivec![1, 1], ivec![-1, 1]] {
+            let mut values: Vec<i64> = isg.points().map(|p| form.dot(&p)).collect();
+            values.sort();
+            values.dedup();
+            assert_eq!(
+                values.len() as i64,
+                form_span(&isg, &form),
+                "span mismatch for form {form}"
+            );
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Dependence stencils: the regular pattern of value flow in an ISG.
+//!
+//! The paper (§2) assumes every node of the iteration space graph has the
+//! same pattern of incoming value dependences, called a *stencil* after
+//! Reed, Adams and Patrick. A stencil vector `v` means: the value consumed
+//! by iteration `q` was produced by iteration `q − v`.
+//!
+//! For a sequentially executable loop nest every flow-dependence distance is
+//! lexicographically positive, and [`Stencil::new`] enforces exactly that —
+//! it is the precondition for the DONE/DEAD machinery of `uov-core` to
+//! terminate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::vec::IVec;
+
+/// A validated set of constant-distance value dependences.
+///
+/// Invariants (enforced at construction):
+/// * non-empty,
+/// * all vectors have the same dimension,
+/// * every vector is lexicographically positive (hence non-zero),
+/// * vectors are deduplicated and stored sorted.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, Stencil};
+///
+/// // The 5-point stencil of the paper's §5: value at (t, x) flows to
+/// // (t+1, x−2) … (t+1, x+2).
+/// let s = Stencil::new(vec![
+///     ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2],
+/// ])?;
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.sum(), ivec![5, 0]);
+/// # Ok::<(), uov_isg::StencilError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Stencil {
+    vectors: Vec<IVec>,
+    dim: usize,
+}
+
+/// Error constructing a [`Stencil`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StencilError {
+    /// A stencil must contain at least one dependence vector.
+    Empty,
+    /// All dependence vectors must share one dimension.
+    DimMismatch {
+        /// Dimension of the first vector.
+        expected: usize,
+        /// Dimension of the offending vector.
+        found: usize,
+    },
+    /// A dependence distance must be lexicographically positive to be
+    /// realisable by any sequential loop nest.
+    NotLexPositive(IVec),
+}
+
+impl fmt::Display for StencilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StencilError::Empty => write!(f, "stencil has no dependence vectors"),
+            StencilError::DimMismatch { expected, found } => write!(
+                f,
+                "stencil vectors have mismatched dimensions ({expected} vs {found})"
+            ),
+            StencilError::NotLexPositive(v) => write!(
+                f,
+                "dependence distance {v} is not lexicographically positive"
+            ),
+        }
+    }
+}
+
+impl Error for StencilError {}
+
+impl Stencil {
+    /// Validate and build a stencil from flow-dependence distance vectors.
+    ///
+    /// Duplicates are removed and the vectors are stored in sorted order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StencilError`] if the set is empty, dimensions differ, or a
+    /// vector is not lexicographically positive.
+    pub fn new(vectors: Vec<IVec>) -> Result<Self, StencilError> {
+        let Some(first) = vectors.first() else {
+            return Err(StencilError::Empty);
+        };
+        let dim = first.dim();
+        for v in &vectors {
+            if v.dim() != dim {
+                return Err(StencilError::DimMismatch { expected: dim, found: v.dim() });
+            }
+            if !v.is_lex_positive() {
+                return Err(StencilError::NotLexPositive(v.clone()));
+            }
+        }
+        let mut vectors = vectors;
+        vectors.sort();
+        vectors.dedup();
+        Ok(Stencil { vectors, dim })
+    }
+
+    /// Dimensionality of the iteration space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of (distinct) dependence vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// A stencil is never empty; this exists for clippy/API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The dependence vectors, sorted and deduplicated.
+    pub fn vectors(&self) -> &[IVec] {
+        &self.vectors
+    }
+
+    /// Iterate over dependence vectors.
+    pub fn iter(&self) -> std::slice::Iter<'_, IVec> {
+        self.vectors.iter()
+    }
+
+    /// Whether `v` is one of the stencil's dependence vectors.
+    pub fn contains(&self, v: &IVec) -> bool {
+        self.vectors.binary_search(v).is_ok()
+    }
+
+    /// Sum of all dependence vectors: the paper's trivially legal initial
+    /// universal occupancy vector `ov₀ = Σ vᵢ` (§3.2.1).
+    pub fn sum(&self) -> IVec {
+        self.vectors
+            .iter()
+            .fold(IVec::zero(self.dim), |acc, v| &acc + v)
+    }
+
+    /// A linear functional `φ` with `φ · vᵢ ≥ 1` for every stencil vector.
+    ///
+    /// Existence follows from lexicographic positivity: take
+    /// `φ = (M^{d−1}, …, M, 1)` with `M = d·c + 1` where `c` is the largest
+    /// absolute component in the stencil. The functional certifies that
+    /// non-negative integer combinations of stencil vectors have bounded
+    /// coefficient sums (`Σaᵢ ≤ φ·w`), which makes the DONE-set decision
+    /// procedure in `uov-core` a *complete* search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `M^{d−1}` overflows `i64` (only possible for extreme
+    /// dimension/magnitude combinations far outside realistic stencils).
+    pub fn positive_functional(&self) -> IVec {
+        let c = self
+            .vectors
+            .iter()
+            .map(|v| v.max_abs())
+            .max()
+            .expect("stencil is non-empty")
+            .max(1);
+        let m = c
+            .checked_mul(self.dim as i64)
+            .and_then(|x| x.checked_add(1))
+            .expect("functional base overflows i64");
+        let mut phi = vec![1i64; self.dim];
+        for k in (0..self.dim.saturating_sub(1)).rev() {
+            phi[k] = phi[k + 1]
+                .checked_mul(m)
+                .expect("positive functional overflows i64; stencil too large");
+        }
+        let phi = IVec::from(phi);
+        debug_assert!(self.vectors.iter().all(|v| phi.dot(v) >= 1));
+        phi
+    }
+
+    /// The *extreme vectors* of the stencil: a subset whose cone of
+    /// directions contains every stencil vector.
+    ///
+    /// Used to build the bounding parallelepiped of the branch-and-bound
+    /// search (paper Fig. 4, citing Ramanujam & Sadayappan). In two
+    /// dimensions this returns the two angular extremes; in other dimensions
+    /// it conservatively returns all vectors (still a correct bound, merely
+    /// not minimal).
+    pub fn extreme_vectors(&self) -> Vec<IVec> {
+        if self.dim != 2 || self.vectors.len() <= 2 {
+            return self.vectors.clone();
+        }
+        // cross(a, b) > 0 ⟺ b is counter-clockwise from a.
+        let cross =
+            |a: &IVec, b: &IVec| -> i128 { a[0] as i128 * b[1] as i128 - a[1] as i128 * b[0] as i128 };
+        let mut lo = self.vectors[0].clone();
+        let mut hi = self.vectors[0].clone();
+        for v in &self.vectors[1..] {
+            if cross(&lo, v) < 0 {
+                lo = v.clone();
+            }
+            if cross(&hi, v) > 0 {
+                hi = v.clone();
+            }
+        }
+        if lo == hi {
+            vec![lo]
+        } else {
+            vec![lo, hi]
+        }
+    }
+}
+
+impl fmt::Debug for Stencil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Stencil{{")?;
+        for (i, v) in self.vectors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Stencil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl<'a> IntoIterator for &'a Stencil {
+    type Item = &'a IVec;
+    type IntoIter = std::slice::Iter<'a, IVec>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vectors.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivec;
+
+    fn fig1() -> Stencil {
+        Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Stencil::new(vec![]).unwrap_err(), StencilError::Empty);
+        assert_eq!(
+            Stencil::new(vec![ivec![1], ivec![1, 2]]).unwrap_err(),
+            StencilError::DimMismatch { expected: 1, found: 2 }
+        );
+        assert_eq!(
+            Stencil::new(vec![ivec![0, 0]]).unwrap_err(),
+            StencilError::NotLexPositive(ivec![0, 0])
+        );
+        assert_eq!(
+            Stencil::new(vec![ivec![1, 0], ivec![-1, 2]]).unwrap_err(),
+            StencilError::NotLexPositive(ivec![-1, 2])
+        );
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let s = Stencil::new(vec![ivec![1, 1], ivec![1, 0], ivec![1, 1]]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vectors(), &[ivec![1, 0], ivec![1, 1]]);
+        assert!(s.contains(&ivec![1, 1]));
+        assert!(!s.contains(&ivec![0, 1]));
+    }
+
+    #[test]
+    fn sum_is_initial_uov() {
+        assert_eq!(fig1().sum(), ivec![2, 2]);
+    }
+
+    #[test]
+    fn positive_functional_dominates() {
+        for s in [
+            fig1(),
+            Stencil::new(vec![
+                ivec![1, -2],
+                ivec![1, -1],
+                ivec![1, 0],
+                ivec![1, 1],
+                ivec![1, 2],
+            ])
+            .unwrap(),
+            Stencil::new(vec![ivec![0, 0, 1], ivec![1, -5, -5]]).unwrap(),
+        ] {
+            let phi = s.positive_functional();
+            for v in &s {
+                assert!(phi.dot(v) >= 1, "phi={phi} fails on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_vectors_2d() {
+        let s = Stencil::new(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ])
+        .unwrap();
+        let ext = s.extreme_vectors();
+        assert_eq!(ext.len(), 2);
+        assert!(ext.contains(&ivec![1, -2]));
+        assert!(ext.contains(&ivec![1, 2]));
+    }
+
+    #[test]
+    fn extreme_vectors_non_2d_returns_all() {
+        let s = Stencil::new(vec![ivec![1, 0, 0], ivec![0, 1, 0], ivec![0, 0, 1]]).unwrap();
+        assert_eq!(s.extreme_vectors().len(), 3);
+    }
+
+    #[test]
+    fn extreme_vectors_collinear() {
+        let s = Stencil::new(vec![ivec![1, 1], ivec![2, 2], ivec![3, 3]]).unwrap();
+        let ext = s.extreme_vectors();
+        // All directions coincide; a single extreme spans the cone.
+        assert!(!ext.is_empty() && ext.len() <= 2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(format!("{:?}", fig1()).contains("(1, 1)"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Integer vectors over `Z^d`.
+//!
+//! [`IVec`] is the workhorse type of the workspace: iteration points,
+//! dependence distances, occupancy vectors and mapping vectors are all
+//! integer vectors. The type is a thin, heap-allocated wrapper around
+//! `Vec<i64>` with arithmetic, lexicographic ordering and lattice helpers.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::num::{floor_mod, gcd_slice};
+
+/// An integer vector in `Z^d`.
+///
+/// The derived [`Ord`] is the lexicographic order on components, which for
+/// equal-dimension vectors is exactly the sequential execution order of loop
+/// iterations — a dependence distance is legal for the original loop iff it
+/// is lexicographically positive ([`IVec::is_lex_positive`]).
+///
+/// Arithmetic between vectors of different dimensions panics; mixing
+/// dimensions is always a logic error in this domain.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::ivec;
+///
+/// let p = ivec![3, 4];
+/// let v = ivec![1, 1];
+/// assert_eq!(&p - &v, ivec![2, 3]);
+/// assert_eq!(p.dot(&v), 7);
+/// assert!(v.is_lex_positive());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IVec(Vec<i64>);
+
+/// Convenience constructor for [`IVec`].
+///
+/// ```
+/// use uov_isg::{ivec, IVec};
+/// assert_eq!(ivec![1, -2, 3], IVec::from(vec![1, -2, 3]));
+/// ```
+#[macro_export]
+macro_rules! ivec {
+    ($($x:expr),* $(,)?) => {
+        $crate::IVec::from(vec![$($x as i64),*])
+    };
+}
+
+impl IVec {
+    /// The zero vector of dimension `dim`.
+    ///
+    /// ```
+    /// use uov_isg::{ivec, IVec};
+    /// assert_eq!(IVec::zero(3), ivec![0, 0, 0]);
+    /// ```
+    pub fn zero(dim: usize) -> Self {
+        IVec(vec![0; dim])
+    }
+
+    /// The `axis`-th standard basis vector of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= dim`.
+    ///
+    /// ```
+    /// use uov_isg::{ivec, IVec};
+    /// assert_eq!(IVec::unit(3, 1), ivec![0, 1, 0]);
+    /// ```
+    pub fn unit(dim: usize, axis: usize) -> Self {
+        assert!(axis < dim, "axis {axis} out of range for dimension {dim}");
+        let mut v = vec![0; dim];
+        v[axis] = 1;
+        IVec(v)
+    }
+
+    /// Number of components.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![1, 2, 3].dim(), 3);
+    /// ```
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether every component is zero.
+    ///
+    /// ```
+    /// use uov_isg::{ivec, IVec};
+    /// assert!(IVec::zero(2).is_zero());
+    /// assert!(!ivec![0, 1].is_zero());
+    /// ```
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Whether the first non-zero component is positive (and the vector is
+    /// non-zero). This is the legality condition for a dependence distance in
+    /// a sequentially executed loop nest.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert!(ivec![0, 1].is_lex_positive());
+    /// assert!(ivec![1, -5].is_lex_positive());
+    /// assert!(!ivec![0, 0].is_lex_positive());
+    /// assert!(!ivec![-1, 9].is_lex_positive());
+    /// ```
+    pub fn is_lex_positive(&self) -> bool {
+        for &c in &self.0 {
+            if c != 0 {
+                return c > 0;
+            }
+        }
+        false
+    }
+
+    /// Dot product.
+    ///
+    /// Computed in `i128` and checked back into `i64`, so intermediate
+    /// overflow cannot silently wrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or the result exceeds `i64`.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![1, 2].dot(&ivec![3, 4]), 11);
+    /// ```
+    pub fn dot(&self, other: &IVec) -> i64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dot product of mismatched dimensions {} and {}",
+            self.dim(),
+            other.dim()
+        );
+        let sum: i128 = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a as i128 * b as i128)
+            .sum();
+        i64::try_from(sum).expect("dot product overflows i64")
+    }
+
+    /// Squared Euclidean length, in `i128` to avoid overflow.
+    ///
+    /// The branch-and-bound search compares candidate occupancy vectors by
+    /// length (paper §3.2.1); comparing squared lengths avoids floating
+    /// point entirely.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![3, 4].norm_sq(), 25);
+    /// ```
+    pub fn norm_sq(&self) -> i128 {
+        self.0.iter().map(|&c| c as i128 * c as i128).sum()
+    }
+
+    /// Maximum absolute component value.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![3, -7].max_abs(), 7);
+    /// ```
+    pub fn max_abs(&self) -> i64 {
+        self.0.iter().map(|&c| c.abs()).max().unwrap_or(0)
+    }
+
+    /// Non-negative gcd of all components (`0` for the zero vector).
+    ///
+    /// An occupancy vector is *prime* (paper §4.1) iff its content is 1.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![2, 0].content(), 2);
+    /// assert_eq!(ivec![-3, 1].content(), 1);
+    /// ```
+    pub fn content(&self) -> i64 {
+        gcd_slice(&self.0)
+    }
+
+    /// The primitive vector in the same direction: `self / self.content()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero vector.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![4, -2].primitive(), ivec![2, -1]);
+    /// ```
+    pub fn primitive(&self) -> IVec {
+        let g = self.content();
+        assert!(g != 0, "the zero vector has no direction");
+        IVec(self.0.iter().map(|&c| c / g).collect())
+    }
+
+    /// Component-wise floor modulus by a positive modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn mod_components(&self, m: i64) -> IVec {
+        IVec(self.0.iter().map(|&c| floor_mod(c, m)).collect())
+    }
+
+    /// Components as a slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, i64> {
+        self.0.iter()
+    }
+
+    /// Scale by an integer.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// assert_eq!(ivec![1, -2].scaled(3), ivec![3, -6]);
+    /// ```
+    pub fn scaled(&self, k: i64) -> IVec {
+        IVec(self.0.iter().map(|&c| c * k).collect())
+    }
+
+    /// Consume into the underlying `Vec<i64>`.
+    pub fn into_inner(self) -> Vec<i64> {
+        self.0
+    }
+}
+
+impl From<Vec<i64>> for IVec {
+    fn from(v: Vec<i64>) -> Self {
+        IVec(v)
+    }
+}
+
+impl From<&[i64]> for IVec {
+    fn from(v: &[i64]) -> Self {
+        IVec(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[i64; N]> for IVec {
+    fn from(v: [i64; N]) -> Self {
+        IVec(v.to_vec())
+    }
+}
+
+impl FromIterator<i64> for IVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        IVec(iter.into_iter().collect())
+    }
+}
+
+impl AsRef<[i64]> for IVec {
+    fn as_ref(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl Index<usize> for IVec {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for IVec {
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.0[i]
+    }
+}
+
+impl fmt::Debug for IVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for IVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &IVec {
+            type Output = IVec;
+            fn $method(self, rhs: &IVec) -> IVec {
+                assert_eq!(
+                    self.dim(),
+                    rhs.dim(),
+                    concat!(stringify!($method), " of mismatched dimensions")
+                );
+                IVec(self.0.iter().zip(&rhs.0).map(|(&a, &b)| a $op b).collect())
+            }
+        }
+        impl $trait for IVec {
+            type Output = IVec;
+            fn $method(self, rhs: IVec) -> IVec {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&IVec> for IVec {
+            type Output = IVec;
+            fn $method(self, rhs: &IVec) -> IVec {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<IVec> for &IVec {
+            type Output = IVec;
+            fn $method(self, rhs: IVec) -> IVec {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+binop!(Add, add, +);
+binop!(Sub, sub, -);
+
+impl Neg for &IVec {
+    type Output = IVec;
+    fn neg(self) -> IVec {
+        IVec(self.0.iter().map(|&c| -c).collect())
+    }
+}
+
+impl Neg for IVec {
+    type Output = IVec;
+    fn neg(self) -> IVec {
+        -&self
+    }
+}
+
+impl Mul<i64> for &IVec {
+    type Output = IVec;
+    fn mul(self, k: i64) -> IVec {
+        self.scaled(k)
+    }
+}
+
+impl Mul<i64> for IVec {
+    type Output = IVec;
+    fn mul(self, k: i64) -> IVec {
+        self.scaled(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_basics() {
+        let v = ivec![1, -2, 3];
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v[1], -2);
+        assert_eq!(v.as_slice(), &[1, -2, 3]);
+        assert_eq!(format!("{v}"), "(1, -2, 3)");
+        assert_eq!(format!("{v:?}"), "(1, -2, 3)");
+    }
+
+    #[test]
+    fn zero_and_unit() {
+        assert!(IVec::zero(4).is_zero());
+        assert_eq!(IVec::unit(2, 0), ivec![1, 0]);
+        assert_eq!(IVec::unit(2, 1), ivec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis")]
+    fn unit_out_of_range_panics() {
+        let _ = IVec::unit(2, 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ivec![1, 2];
+        let b = ivec![3, -4];
+        assert_eq!(&a + &b, ivec![4, -2]);
+        assert_eq!(&a - &b, ivec![-2, 6]);
+        assert_eq!(-&a, ivec![-1, -2]);
+        assert_eq!(&a * 5, ivec![5, 10]);
+        // Owned variants too.
+        assert_eq!(a.clone() + b.clone(), ivec![4, -2]);
+        assert_eq!(a.clone() - b.clone(), ivec![-2, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched dimensions")]
+    fn add_dim_mismatch_panics() {
+        let _ = ivec![1] + ivec![1, 2];
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(ivec![1, 2, 3].dot(&ivec![4, 5, 6]), 32);
+        assert_eq!(ivec![3, 4].norm_sq(), 25);
+        assert_eq!(IVec::zero(2).norm_sq(), 0);
+    }
+
+    #[test]
+    fn lex_positive() {
+        assert!(ivec![1].is_lex_positive());
+        assert!(ivec![0, 0, 1].is_lex_positive());
+        assert!(ivec![0, 1, -100].is_lex_positive());
+        assert!(!ivec![0, 0, 0].is_lex_positive());
+        assert!(!ivec![0, -1, 100].is_lex_positive());
+    }
+
+    #[test]
+    fn lex_ordering_matches_sequential_execution() {
+        // Execution order of a 2-deep nest is lexicographic on (i, j).
+        let mut points = vec![ivec![1, 2], ivec![0, 9], ivec![1, 0], ivec![0, 0]];
+        points.sort();
+        assert_eq!(
+            points,
+            vec![ivec![0, 0], ivec![0, 9], ivec![1, 0], ivec![1, 2]]
+        );
+    }
+
+    #[test]
+    fn content_and_primitive() {
+        assert_eq!(ivec![2, 0].content(), 2);
+        assert_eq!(ivec![6, -9].content(), 3);
+        assert_eq!(ivec![6, -9].primitive(), ivec![2, -3]);
+        assert_eq!(ivec![0, 0, 5].primitive(), ivec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn primitive_of_zero_panics() {
+        let _ = IVec::zero(2).primitive();
+    }
+
+    #[test]
+    fn max_abs_works() {
+        assert_eq!(ivec![-9, 3].max_abs(), 9);
+        assert_eq!(IVec::zero(3).max_abs(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: IVec = (0..3).map(|x| x * 2).collect();
+        assert_eq!(v, ivec![0, 2, 4]);
+    }
+}

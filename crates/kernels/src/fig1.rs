@@ -1,0 +1,135 @@
+//! The paper's Figure-1 running example, end to end.
+//!
+//! `A[i,j] = f(A[i-1,j], A[i,j-1], A[i-1,j-1])` over an `n×m` grid: row 0
+//! is the input, column 0 a constant, only row `n` is live-out. The three
+//! storage treatments of Figure 1:
+//!
+//! | version            | storage    | tileable |
+//! |--------------------|------------|----------|
+//! | natural (1a)       | `n·m`      | yes      |
+//! | OV-mapped (1b)     | `n+m+1`    | yes      |
+//! | storage-opt (1c)   | `m+2`      | no       |
+//!
+//! This module wires the whole pipeline together: the loop comes from
+//! `uov-loopir`, its stencil from value-based dependence analysis, the UOV
+//! from `uov-core`'s search, the mapping from `uov-storage`, and execution
+//! from the reference interpreter — it is the machine-checked version of
+//! the paper's §1.
+
+use uov_core::search::{find_best_uov, Objective, SearchConfig};
+use uov_isg::{IVec, RectDomain, Stencil};
+use uov_loopir::{analysis, examples, interp, LoopNest};
+use uov_storage::{Layout, OvMap, StorageMap};
+
+/// Everything the compiler pipeline derives for the Figure-1 loop.
+#[derive(Debug)]
+pub struct Fig1Pipeline {
+    /// The loop nest (from `uov-loopir`).
+    pub nest: LoopNest,
+    /// Its value-dependence stencil `{(1,0),(0,1),(1,1)}`.
+    pub stencil: Stencil,
+    /// The optimal UOV `(1,1)` found by branch-and-bound.
+    pub uov: IVec,
+    /// The OV storage mapping over the bordered domain.
+    pub map: OvMap,
+}
+
+/// Storage cell counts of the three Figure-1 versions.
+///
+/// ```
+/// use uov_kernels::fig1::storage_cells;
+/// assert_eq!(storage_cells(6, 4), (24, 11, 6));
+/// ```
+pub fn storage_cells(n: u64, m: u64) -> (u64, u64, u64) {
+    (n * m, n + m + 1, m + 2)
+}
+
+/// Run the full pipeline for an `n×m` instance.
+///
+/// # Panics
+///
+/// Panics if `n < 1` or `m < 1`, or if any pipeline stage disagrees with
+/// the paper (the derivations are asserted, not assumed).
+pub fn pipeline(n: i64, m: i64) -> Fig1Pipeline {
+    let nest = examples::fig1_nest(n, m);
+    let stencil = analysis::flow_stencil(&nest, 0).expect("Fig-1 loop is regular");
+    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+    assert_eq!(best.uov, IVec::from([1, 1]), "the paper's UOV for Figure 1");
+    // The mapping covers the bordered domain (inputs in row 0 / column 0),
+    // giving the paper's n + m + 1 cells.
+    let bordered = RectDomain::new(IVec::from([0, 0]), IVec::from([n, m]));
+    let map = OvMap::new(&bordered, best.uov.clone(), Layout::Interleaved);
+    assert_eq!(map.size() as i64, n + m + 1);
+    Fig1Pipeline { nest, stencil, uov: best.uov, map }
+}
+
+/// Execute the natural and OV-mapped versions under `order` and return
+/// the live-out row (row `n`), asserting they agree.
+///
+/// # Panics
+///
+/// Panics if the mapped run diverges from the natural run — i.e. if the
+/// UOV mapping failed to preserve semantics.
+pub fn run_and_check(pipe: &Fig1Pipeline, order: &[IVec]) -> Vec<f64> {
+    let domain = pipe.nest.domain();
+    let n = domain.hi()[0];
+    let m = domain.hi()[1];
+    let input = |_: usize, e: &IVec| -> f64 {
+        if e[0] == 0 {
+            1.0 + 0.1 * e[1] as f64 // initialized zero-th row
+        } else {
+            0.5 // constant zero-th column
+        }
+    };
+    let live_out: Vec<(usize, IVec)> =
+        (1..=m).map(|j| (0usize, IVec::from([n, j]))).collect();
+    let outputs =
+        interp::assert_mapping_preserves_semantics(&pipe.nest, 0, &pipe.map, order, &input, &live_out);
+    (1..=m)
+        .map(|j| outputs[&(0usize, IVec::from([n, j]))])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::IterationDomain as _;
+    use uov_schedule::{random_topological_order, LoopSchedule};
+
+    #[test]
+    fn pipeline_derives_paper_artifacts() {
+        let pipe = pipeline(6, 4);
+        assert_eq!(pipe.stencil.len(), 3);
+        assert_eq!(pipe.uov, IVec::from([1, 1]));
+        assert_eq!(pipe.map.size(), 11);
+    }
+
+    #[test]
+    fn storage_cell_ordering_matches_fig1() {
+        // natural > OV-mapped > storage-optimized for any reasonable size.
+        for (n, m) in [(4, 4), (10, 3), (100, 100)] {
+            let (nat, ov, opt) = storage_cells(n, m);
+            assert!(nat > ov, "n={n} m={m}");
+            assert!(ov > opt, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn runs_agree_across_schedules() {
+        let pipe = pipeline(5, 4);
+        let lex: Vec<IVec> = pipe.nest.domain().points().collect();
+        let baseline = run_and_check(&pipe, &lex);
+        for schedule in [
+            LoopSchedule::Interchange(vec![1, 0]),
+            LoopSchedule::tiled(vec![2, 2]),
+            LoopSchedule::Wavefront(IVec::from([1, 1])),
+        ] {
+            let order = schedule.order(pipe.nest.domain());
+            assert_eq!(run_and_check(&pipe, &order), baseline, "{schedule}");
+        }
+        for seed in 0..8 {
+            let order = random_topological_order(pipe.nest.domain(), &pipe.stencil, seed);
+            assert_eq!(run_and_check(&pipe, &order), baseline, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! A 2-D Jacobi stencil over time — a **three-dimensional** iteration
+//! space exercising the d-dimensional generalisation of the paper's
+//! machinery (the paper works out 2-D in detail, §4; the theory of §3 is
+//! dimension-independent).
+//!
+//! `A[t,x,y] = Σ w·A[t-1, x±{0,1}, y±{0,1}]` (5-point cross in space,
+//! edges clamped). The flow stencil is
+//! `{(1,0,0), (1,±1,0), (1,0,±1)}`; its optimal UOV is `(2,0,0)` — the
+//! lattice derivation of classic *double buffering*: two `N×N` planes,
+//! `addr = plane(x,y) + (t mod 2)·N²`.
+//!
+//! Variants:
+//!
+//! | variant            | temporary storage | tileable |
+//! |--------------------|-------------------|----------|
+//! | natural            | `T·N²`            | yes (skew 1,1) |
+//! | OV-mapped          | `2·N²`            | yes (skew 1,1) |
+//! | storage-optimized  | `N² + N + 2`      | no |
+//!
+//! The storage-optimized version updates one plane in place, carrying the
+//! previous time step's current row and one scalar — the 2-D analogue of
+//! Figure 1(c), and just as untileable.
+
+use crate::mem::{Buf, Memory};
+
+/// Stencil weights: centre and the four cross neighbours (sums to 1).
+pub const WEIGHTS: [f32; 5] = [0.6, 0.1, 0.1, 0.1, 0.1];
+
+/// Arithmetic operations per inner iteration.
+pub const ALU_BASE: u64 = 9;
+
+/// Storage variant of the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Full `T×N×N` expansion.
+    Natural,
+    /// UOV `(2,0,0)`: two planes (double buffering, derived).
+    Ov,
+    /// Two planes, skew-(1,1) tiled traversal.
+    OvTiled,
+    /// In-place plane with a carried row; lexicographic only.
+    StorageOptimized,
+}
+
+impl Variant {
+    /// All variants.
+    pub fn all() -> [Variant; 4] {
+        [Variant::StorageOptimized, Variant::Natural, Variant::Ov, Variant::OvTiled]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Natural => "Natural",
+            Variant::Ov => "OV-Mapped",
+            Variant::OvTiled => "OV-Mapped Tiled",
+            Variant::StorageOptimized => "Storage Optimized",
+        }
+    }
+}
+
+/// Problem configuration.
+#[derive(Debug, Clone)]
+pub struct Jacobi2dConfig {
+    /// Grid side `N`.
+    pub n: usize,
+    /// Time steps `T ≥ 1`.
+    pub time_steps: usize,
+    /// Tile shape `(tile_t, tile_u, tile_v)` in skewed coordinates
+    /// (`u = x + t`, `v = y + t`); `None` picks an L1-ish default.
+    pub tile: Option<(usize, usize, usize)>,
+    /// Extra cells inserted between the two OV planes — the paper's §4
+    /// array-padding remark ("it would not be difficult to incorporate
+    /// data layout techniques such as array padding"). Power-of-two plane
+    /// sizes alias perfectly in direct-mapped caches; a few lines of pad
+    /// break the aliasing. Ignored by non-OV variants.
+    pub pad: usize,
+}
+
+impl Jacobi2dConfig {
+    fn tile_shape(&self) -> (usize, usize, usize) {
+        self.tile.unwrap_or((self.time_steps.min(8), 32, 32))
+    }
+}
+
+/// Temporary storage cells per variant.
+///
+/// ```
+/// use uov_kernels::jacobi2d::{storage_cells, Variant};
+/// assert_eq!(storage_cells(Variant::Natural, 100, 8), 80_000);
+/// assert_eq!(storage_cells(Variant::Ov, 100, 8), 20_000);
+/// assert_eq!(storage_cells(Variant::StorageOptimized, 100, 8), 10_102);
+/// ```
+pub fn storage_cells(variant: Variant, n: u64, time_steps: u64) -> u64 {
+    match variant {
+        Variant::Natural => time_steps * n * n,
+        Variant::Ov | Variant::OvTiled => 2 * n * n,
+        Variant::StorageOptimized => n * n + n + 2,
+    }
+}
+
+#[inline]
+fn clamp(c: i64, n: usize) -> usize {
+    c.clamp(0, n as i64 - 1) as usize
+}
+
+/// Run the kernel over `input` (row-major `N×N`) and return the final
+/// plane. All variants are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `input.len() != n*n` or a size is zero.
+pub fn run<M: Memory>(
+    mem: &mut M,
+    variant: Variant,
+    cfg: &Jacobi2dConfig,
+    input: &[f32],
+) -> Vec<f32> {
+    let n = cfg.n;
+    assert_eq!(input.len(), n * n, "input must be an N×N plane");
+    assert!(n > 0 && cfg.time_steps > 0, "degenerate problem size");
+    match variant {
+        Variant::Natural => natural(mem, cfg, input),
+        Variant::Ov => ov(mem, cfg, input, false),
+        Variant::OvTiled => ov(mem, cfg, input, true),
+        Variant::StorageOptimized => storage_optimized(mem, cfg, input),
+    }
+}
+
+fn load_input<M: Memory>(mem: &mut M, input: &[f32]) -> Buf {
+    let buf = mem.alloc(input.len());
+    for (i, &v) in input.iter().enumerate() {
+        mem.write(buf, i, v);
+    }
+    buf
+}
+
+/// One cell of the cross stencil; `read_prev` resolves `(x, y)` in the
+/// previous time plane.
+#[inline]
+fn cell<M: Memory>(
+    mem: &mut M,
+    n: usize,
+    x: usize,
+    y: usize,
+    mut read_prev: impl FnMut(&mut M, usize, usize) -> f32,
+) -> f32 {
+    let c = read_prev(mem, x, y);
+    let up = read_prev(mem, clamp(x as i64 - 1, n), y);
+    let dn = read_prev(mem, clamp(x as i64 + 1, n), y);
+    let lf = read_prev(mem, x, clamp(y as i64 - 1, n));
+    let rt = read_prev(mem, x, clamp(y as i64 + 1, n));
+    mem.alu(ALU_BASE + 3);
+    WEIGHTS[0] * c + WEIGHTS[1] * up + WEIGHTS[2] * dn + WEIGHTS[3] * lf + WEIGHTS[4] * rt
+}
+
+fn natural<M: Memory>(mem: &mut M, cfg: &Jacobi2dConfig, input: &[f32]) -> Vec<f32> {
+    let (n, t_steps) = (cfg.n, cfg.time_steps);
+    let input_buf = load_input(mem, input);
+    let a = mem.alloc(t_steps * n * n); // planes 1..=T
+    for t in 1..=t_steps {
+        for x in 0..n {
+            for y in 0..n {
+                let v = cell(mem, n, x, y, |m, xx, yy| {
+                    if t == 1 {
+                        m.read(input_buf, xx * n + yy)
+                    } else {
+                        m.read(a, (t - 2) * n * n + xx * n + yy)
+                    }
+                });
+                mem.write(a, (t - 1) * n * n + x * n + y, v);
+            }
+        }
+    }
+    (0..n * n)
+        .map(|i| mem.read(a, (t_steps - 1) * n * n + i))
+        .collect()
+}
+
+fn ov<M: Memory>(mem: &mut M, cfg: &Jacobi2dConfig, input: &[f32], tiled: bool) -> Vec<f32> {
+    let (n, t_steps) = (cfg.n, cfg.time_steps);
+    let input_buf = load_input(mem, input);
+    // UOV (2,0,0): rows 1..3 of the reduction are the plane coordinates,
+    // the residue is t mod 2 — double buffering, derived not assumed.
+    let plane = n * n + cfg.pad;
+    let a = mem.alloc(2 * plane);
+    let addr = move |t: usize, x: usize, y: usize| (t & 1) * plane + x * n + y;
+    let body = |mem: &mut M, t: usize, x: usize, y: usize| {
+        let v = cell(mem, n, x, y, |m, xx, yy| {
+            if t == 1 {
+                m.read(input_buf, xx * n + yy)
+            } else {
+                m.read(a, addr(t - 1, xx, yy))
+            }
+        });
+        mem.write(a, addr(t, x, y), v);
+    };
+    if tiled {
+        // Skew u = x + t, v = y + t; deps become component-wise ≥ 0, so
+        // rectangular tiles of the skewed space run legally in lex order.
+        let (bt, bu, bv) = cfg.tile_shape();
+        let (t_lo, t_hi) = (1i64, t_steps as i64);
+        let (u_lo, u_hi) = (t_lo, n as i64 - 1 + t_hi);
+        let (v_lo, v_hi) = (t_lo, n as i64 - 1 + t_hi);
+        let mut tb = t_lo;
+        while tb <= t_hi {
+            let te = (tb + bt as i64 - 1).min(t_hi);
+            let mut ub = u_lo;
+            while ub <= u_hi {
+                let ue = (ub + bu as i64 - 1).min(u_hi);
+                let mut vb = v_lo;
+                while vb <= v_hi {
+                    let ve = (vb + bv as i64 - 1).min(v_hi);
+                    for t in tb..=te {
+                        for u in ub..=ue {
+                            let x = u - t;
+                            if x < 0 || x >= n as i64 {
+                                continue;
+                            }
+                            for v in vb..=ve {
+                                let y = v - t;
+                                if y >= 0 && y < n as i64 {
+                                    body(mem, t as usize, x as usize, y as usize);
+                                }
+                            }
+                        }
+                    }
+                    vb = ve + 1;
+                }
+                ub = ue + 1;
+            }
+            tb = te + 1;
+        }
+    } else {
+        for t in 1..=t_steps {
+            for x in 0..n {
+                for y in 0..n {
+                    body(mem, t, x, y);
+                }
+            }
+        }
+    }
+    (0..n).flat_map(|x| (0..n).map(move |y| (x, y)))
+        .map(|(x, y)| mem.read(a, addr(t_steps, x, y)))
+        .collect()
+}
+
+fn storage_optimized<M: Memory>(
+    mem: &mut M,
+    cfg: &Jacobi2dConfig,
+    input: &[f32],
+) -> Vec<f32> {
+    let (n, t_steps) = (cfg.n, cfg.time_steps);
+    // One plane updated in place (the input/output array)…
+    let a = load_input(mem, input);
+    // …plus a carried copy of the previous time step's current row and
+    // two scalars (N² + N + 2 cells).
+    let prev_row = mem.alloc(n);
+    for _t in 1..=t_steps {
+        // prev_row starts as the old row −1 (clamped: old row 0).
+        for y in 0..n {
+            let v = mem.read(a, y);
+            mem.write(prev_row, y, v);
+        }
+        for x in 0..n {
+            // Scalars carrying old A[x][y-1] and old A[x][y].
+            let mut old_left = mem.read(a, x * n); // old value at y = 0 (clamped)
+            for y in 0..n {
+                let c = mem.read(a, x * n + y); // old A[x][y] (not yet overwritten)
+                let up = mem.read(prev_row, y); // old A[x-1][y] (clamped at x = 0)
+                let dn = mem.read(a, clamp(x as i64 + 1, n) * n + y); // not yet overwritten
+                let rt = mem.read(a, x * n + clamp(y as i64 + 1, n)); // not yet overwritten
+                let lf = if y == 0 { c } else { old_left };
+                // Same expression order as `cell` for bit-identity:
+                let v = WEIGHTS[0] * c
+                    + WEIGHTS[1] * up
+                    + WEIGHTS[2] * dn
+                    + WEIGHTS[3] * lf
+                    + WEIGHTS[4] * rt;
+                mem.alu(ALU_BASE + 3 + 2);
+                // Preserve old values for the next neighbours.
+                old_left = c;
+                mem.write(prev_row, y, c);
+                mem.write(a, x * n + y, v);
+            }
+        }
+    }
+    (0..n * n).map(|i| mem.read(a, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{PlainMemory, TracedMemory};
+    use crate::workloads;
+    use uov_memsim::machines;
+
+    fn reference(input: &[f32], n: usize, t_steps: usize) -> Vec<f32> {
+        let mut prev = input.to_vec();
+        for _ in 0..t_steps {
+            let mut next = vec![0.0f32; n * n];
+            for x in 0..n {
+                for y in 0..n {
+                    let c = prev[x * n + y];
+                    let up = prev[clamp(x as i64 - 1, n) * n + y];
+                    let dn = prev[clamp(x as i64 + 1, n) * n + y];
+                    let lf = prev[x * n + clamp(y as i64 - 1, n)];
+                    let rt = prev[x * n + clamp(y as i64 + 1, n)];
+                    next[x * n + y] = WEIGHTS[0] * c
+                        + WEIGHTS[1] * up
+                        + WEIGHTS[2] * dn
+                        + WEIGHTS[3] * lf
+                        + WEIGHTS[4] * rt;
+                }
+            }
+            prev = next;
+        }
+        prev
+    }
+
+    #[test]
+    fn all_variants_match_reference_bitwise() {
+        let n = 13;
+        let input = workloads::random_f32(n * n, 17);
+        let want = reference(&input, n, 5);
+        for variant in Variant::all() {
+            let cfg = Jacobi2dConfig { n, time_steps: 5, tile: Some((2, 4, 5)), pad: 0 };
+            let got = run(&mut PlainMemory::new(), variant, &cfg, &input);
+            assert_eq!(got, want, "variant {variant:?} diverged");
+        }
+    }
+
+    #[test]
+    fn tiny_grids() {
+        for n in [1usize, 2, 3] {
+            let input = workloads::random_f32(n * n, 3);
+            let want = reference(&input, n, 3);
+            for variant in Variant::all() {
+                let cfg = Jacobi2dConfig { n, time_steps: 3, tile: Some((1, 2, 2)), pad: 0 };
+                assert_eq!(
+                    run(&mut PlainMemory::new(), variant, &cfg, &input),
+                    want,
+                    "n {n} variant {variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_and_even_time_steps() {
+        let n = 8;
+        let input = workloads::random_f32(n * n, 9);
+        for t in 1..=4 {
+            let want = reference(&input, n, t);
+            let cfg = Jacobi2dConfig { n, time_steps: t, tile: None, pad: 0 };
+            assert_eq!(run(&mut PlainMemory::new(), Variant::Ov, &cfg, &input), want);
+            assert_eq!(run(&mut PlainMemory::new(), Variant::OvTiled, &cfg, &input), want);
+        }
+    }
+
+    #[test]
+    fn uov_derivation_is_2_0_0() {
+        use uov_core::search::{find_best_uov, Objective, SearchConfig};
+        use uov_isg::{IVec, Stencil};
+        let stencil = Stencil::new(vec![
+            IVec::from([1, 0, 0]),
+            IVec::from([1, 1, 0]),
+            IVec::from([1, -1, 0]),
+            IVec::from([1, 0, 1]),
+            IVec::from([1, 0, -1]),
+        ])
+        .unwrap();
+        let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+        assert_eq!(best.uov, IVec::from([2, 0, 0]), "double buffering, derived");
+    }
+
+    #[test]
+    fn traced_run_matches_plain() {
+        let n = 24;
+        let input = workloads::random_f32(n * n, 5);
+        let cfg = Jacobi2dConfig { n, time_steps: 3, tile: None, pad: 0 };
+        let plain = run(&mut PlainMemory::new(), Variant::Ov, &cfg, &input);
+        let mut traced = TracedMemory::new(machines::alpha_21164());
+        let got = run(&mut traced, Variant::Ov, &cfg, &input);
+        assert_eq!(got, plain);
+        assert!(traced.machine().stats().accesses as usize >= n * n * 3 * 6);
+    }
+
+    #[test]
+    fn padding_preserves_results() {
+        let n = 10;
+        let input = workloads::random_f32(n * n, 31);
+        let plain = run(
+            &mut PlainMemory::new(),
+            Variant::Ov,
+            &Jacobi2dConfig { n, time_steps: 4, tile: None, pad: 0 },
+            &input,
+        );
+        for pad in [1usize, 64, 1000] {
+            let padded = run(
+                &mut PlainMemory::new(),
+                Variant::Ov,
+                &Jacobi2dConfig { n, time_steps: 4, tile: None, pad },
+                &input,
+            );
+            assert_eq!(padded, plain, "pad {pad} changed results");
+        }
+    }
+
+    #[test]
+    fn storage_formulas() {
+        assert_eq!(storage_cells(Variant::Natural, 64, 10), 40_960);
+        assert_eq!(storage_cells(Variant::OvTiled, 64, 10), 8_192);
+        assert_eq!(storage_cells(Variant::StorageOptimized, 64, 10), 4_162);
+    }
+}

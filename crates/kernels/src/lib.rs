@@ -1,0 +1,54 @@
+//! The evaluation kernels of the paper's §5, in every storage variant.
+//!
+//! Two codes, exactly as in the paper:
+//!
+//! * [`stencil5`] — a 5-point one-dimensional stencil: an array of length
+//!   `L` evolves over `T` time steps, each new element a weighted average
+//!   of its five predecessors. Variants: *natural* (a `T×L` array),
+//!   *OV-mapped* (UOV `(2,0)`, two rows — blocked or interleaved,
+//!   Figure 5), and *storage-optimized* (`L + 3` cells, untileable). Tiled
+//!   versions use skewed tiling (skew factor 2), the only legal tiling for
+//!   this stencil.
+//! * [`psm`] — protein string matching: affine-gap Smith–Waterman (Gotoh)
+//!   over a 23-letter amino-acid alphabet with a 23×23 weight table. Three
+//!   temporaries (`H`, `E`, `F`) are treated as separate assignments with
+//!   disjoint storage (paper §3): their consumer stencils are
+//!   `{(1,1),(1,0),(0,1)}`, `{(1,0)}` and `{(0,1)}`, with UOVs `(1,1)`,
+//!   `(1,0)` and `(0,1)` — reproducing Table 2's `2n₀+2n₁+1` exactly.
+//!
+//! Every variant of a kernel computes **bit-identical** results (each
+//! output element is one fixed expression of previous values, so traversal
+//! order cannot perturb floating point), which the test suite exploits:
+//! variant equality is the end-to-end proof that OV-mapped storage
+//! preserves semantics.
+//!
+//! Kernels are generic over a [`Memory`] backend: [`PlainMemory`] computes
+//! values at full speed (for wall-clock benches), [`TracedMemory`] also
+//! streams every access through a [`uov_memsim::Machine`] (for the
+//! cycles-per-iteration experiments of Figures 7–14).
+//!
+//! # Example
+//!
+//! ```
+//! use uov_kernels::mem::PlainMemory;
+//! use uov_kernels::stencil5::{run, Stencil5Config, Variant};
+//! use uov_kernels::workloads;
+//!
+//! let input = workloads::random_f32(64, 1);
+//! let cfg = Stencil5Config { len: 64, time_steps: 8, tile: None };
+//! let a = run(&mut PlainMemory::new(), Variant::Natural, &cfg, &input);
+//! let b = run(&mut PlainMemory::new(), Variant::OvBlocked, &cfg, &input);
+//! assert_eq!(a, b);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fig1;
+pub mod jacobi2d;
+pub mod mem;
+pub mod parallel;
+pub mod psm;
+pub mod stencil5;
+pub mod workloads;
+
+pub use mem::{Buf, Memory, PlainMemory, TracedMemory};

@@ -1,0 +1,478 @@
+//! Protein string matching (paper §5, Table 2, Figures 8, 12–14).
+//!
+//! The paper's PSM code is the affine-gap local-alignment family
+//! (Alpern–Carter–Gatlin's storage-optimized code is cited as the source
+//! of the optimized variant). We implement the Gotoh recurrence over two
+//! strings of lengths `n₀` and `n₁` with a 23×23 substitution table:
+//!
+//! ```text
+//! E[i,j] = max(H[i-1,j] − GO, E[i-1,j] − GE)   (vertical gap)
+//! F[i,j] = max(H[i,j-1] − GO, F[i,j-1] − GE)   (horizontal gap)
+//! H[i,j] = max(0, H[i-1,j-1] + W(s₁[i], s₀[j]), E[i,j], F[i,j])
+//! ```
+//!
+//! Following the paper's §3, each assignment gets disjoint storage; the
+//! *consumer* stencils are `V_H = {(1,1),(1,0),(0,1)}` (Figure 1's
+//! stencil), `V_E = {(1,0)}`, `V_F = {(0,1)}`, with optimal UOVs `(1,1)`,
+//! `(1,0)` and `(0,1)`. The resulting allocations reproduce Table 2
+//! exactly:
+//!
+//! | variant            | temporary storage      | tileable |
+//! |--------------------|------------------------|----------|
+//! | natural            | `n₀n₁ + n₀ + n₁`       | yes      |
+//! | OV-mapped          | `2n₀ + 2n₁ + 1`        | yes      |
+//! | storage-optimized  | `2n₀ + 3`              | no       |
+//!
+//! (Natural: full `H` plus an `E` row and an `F` column; OV-mapped:
+//! `n₀+n₁+1` anti-diagonal cells for `H` plus `n₀` for `E` and `n₁` for
+//! `F`.) All variants produce bit-identical best scores.
+
+use crate::mem::{Buf, Memory};
+use crate::workloads::{WeightTable, ALPHABET};
+
+/// Gap-open penalty.
+pub const GAP_OPEN: f32 = 5.0;
+/// Gap-extend penalty.
+pub const GAP_EXTEND: f32 = 1.0;
+/// Arithmetic operations per cell (adds/subs around the max chain).
+pub const ALU_BASE: u64 = 6;
+/// Hard-to-predict branches per cell (the four max selections) — the knob
+/// behind the paper's Ultra 2 / Alpha plateau (§5.2).
+pub const BRANCHES: u64 = 4;
+
+const NEG: f32 = f32::NEG_INFINITY;
+
+/// Storage variant of the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Full `H` matrix (with borders), `E` row, `F` column.
+    Natural,
+    /// Natural storage, rectangular tiled traversal.
+    NaturalTiled,
+    /// `H` mapped along UOV `(1,1)` (anti-diagonal cells), `E` along
+    /// `(1,0)`, `F` along `(0,1)`.
+    OvMapped,
+    /// OV storage, rectangular tiled traversal.
+    OvMappedTiled,
+    /// Rolling rows: previous-`H` row + `E` row + three scalars;
+    /// lexicographic schedule only.
+    StorageOptimized,
+}
+
+impl Variant {
+    /// All variants, in the paper's presentation order.
+    pub fn all() -> [Variant; 5] {
+        [
+            Variant::StorageOptimized,
+            Variant::Natural,
+            Variant::NaturalTiled,
+            Variant::OvMapped,
+            Variant::OvMappedTiled,
+        ]
+    }
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Natural => "Natural",
+            Variant::NaturalTiled => "Natural Tiled",
+            Variant::OvMapped => "OV-Mapped",
+            Variant::OvMappedTiled => "OV-Mapped Tiled",
+            Variant::StorageOptimized => "Storage Optimized",
+        }
+    }
+
+    /// Per-cell address-arithmetic overhead: the 2-D row-major `H` index
+    /// needs a multiply, the OV anti-diagonal only adds, the rolling row
+    /// of the optimized variant is cheapest (cf. Figure 8, where OV-mapped
+    /// beats natural and storage-optimized beats both).
+    fn index_alu(&self) -> u64 {
+        match self {
+            Variant::Natural | Variant::NaturalTiled => 4,
+            Variant::OvMapped | Variant::OvMappedTiled => 2,
+            Variant::StorageOptimized => 1,
+        }
+    }
+
+    /// Whether this variant runs a tiled schedule.
+    pub fn is_tiled(&self) -> bool {
+        matches!(self, Variant::NaturalTiled | Variant::OvMappedTiled)
+    }
+}
+
+/// Problem configuration.
+#[derive(Debug, Clone)]
+pub struct PsmConfig {
+    /// Length of string `s0` (the inner, `j`, dimension).
+    pub n0: usize,
+    /// Length of string `s1` (the outer, `i`, dimension).
+    pub n1: usize,
+    /// Tile shape `(tile_i, tile_j)`; `None` uses a default sized for an
+    /// 8 KB L1.
+    pub tile: Option<(usize, usize)>,
+}
+
+impl PsmConfig {
+    /// Tile shape to use.
+    pub fn tile_shape(&self) -> (usize, usize) {
+        self.tile.unwrap_or((64, 512))
+    }
+}
+
+/// Temporary storage cells of a variant — the Table 2 formulas.
+///
+/// # Examples
+///
+/// ```
+/// use uov_kernels::psm::{storage_cells, Variant};
+/// assert_eq!(storage_cells(Variant::Natural, 100, 50), 100 * 50 + 100 + 50);
+/// assert_eq!(storage_cells(Variant::OvMapped, 100, 50), 2 * 100 + 2 * 50 + 1);
+/// assert_eq!(storage_cells(Variant::StorageOptimized, 100, 50), 2 * 100 + 3);
+/// ```
+pub fn storage_cells(variant: Variant, n0: u64, n1: u64) -> u64 {
+    match variant {
+        Variant::Natural | Variant::NaturalTiled => n0 * n1 + n0 + n1,
+        Variant::OvMapped | Variant::OvMappedTiled => 2 * n0 + 2 * n1 + 1,
+        Variant::StorageOptimized => 2 * n0 + 3,
+    }
+}
+
+/// How `H` cells are addressed.
+#[derive(Clone, Copy)]
+enum HLayout {
+    /// Row-major over the bordered `(n1+1)×(n0+1)` matrix.
+    Full { stride: usize },
+    /// Anti-diagonal classes of UOV `(1,1)`: `addr = j − i + n1`.
+    Diag { n1: usize },
+}
+
+impl HLayout {
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        match *self {
+            HLayout::Full { stride } => i * stride + j,
+            HLayout::Diag { n1 } => j + n1 - i,
+        }
+    }
+
+    fn cells(&self, n0: usize, n1: usize) -> usize {
+        match *self {
+            HLayout::Full { stride } => stride * (n1 + 1),
+            HLayout::Diag { .. } => n0 + n1 + 1,
+        }
+    }
+}
+
+struct PsmBufs {
+    h: Buf,
+    e: Buf,
+    f: Buf,
+    s0: Buf,
+    s1: Buf,
+    w: Buf,
+}
+
+/// Load strings and the weight table into traced buffers.
+fn load_tables<M: Memory>(mem: &mut M, s0: &[u8], s1: &[u8], table: &WeightTable) -> (Buf, Buf, Buf) {
+    let s0b = mem.alloc(s0.len());
+    for (k, &c) in s0.iter().enumerate() {
+        mem.write(s0b, k, c as f32);
+    }
+    let s1b = mem.alloc(s1.len());
+    for (k, &c) in s1.iter().enumerate() {
+        mem.write(s1b, k, c as f32);
+    }
+    let wb = mem.alloc(ALPHABET * ALPHABET);
+    for a in 0..ALPHABET as u8 {
+        for b in 0..ALPHABET as u8 {
+            mem.write(wb, a as usize * ALPHABET + b as usize, table.score(a, b));
+        }
+    }
+    (s0b, s1b, wb)
+}
+
+/// One Gotoh cell; returns the new `H[i,j]`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn cell<M: Memory>(
+    mem: &mut M,
+    bufs: &PsmBufs,
+    layout: HLayout,
+    extra_alu: u64,
+    i: usize,
+    j: usize,
+) -> f32 {
+    let c1 = mem.read(bufs.s1, i - 1) as usize;
+    let c0 = mem.read(bufs.s0, j - 1) as usize;
+    let w = mem.read(bufs.w, c1 * ALPHABET + c0);
+
+    let h_up = mem.read(bufs.h, layout.addr(i - 1, j));
+    let h_diag = mem.read(bufs.h, layout.addr(i - 1, j - 1));
+    let h_left = mem.read(bufs.h, layout.addr(i, j - 1));
+
+    let e = (h_up - GAP_OPEN).max(mem.read(bufs.e, j - 1) - GAP_EXTEND);
+    mem.write(bufs.e, j - 1, e);
+    let f = (h_left - GAP_OPEN).max(mem.read(bufs.f, i - 1) - GAP_EXTEND);
+    mem.write(bufs.f, i - 1, f);
+
+    let h = 0.0f32.max(h_diag + w).max(e).max(f);
+    mem.write(bufs.h, layout.addr(i, j), h);
+    mem.alu(ALU_BASE + extra_alu);
+    mem.branch(BRANCHES);
+    h
+}
+
+/// Run the kernel and return the best local-alignment score.
+///
+/// All variants return bit-identical scores.
+///
+/// # Panics
+///
+/// Panics if string lengths do not match the configuration or are zero.
+pub fn run<M: Memory>(
+    mem: &mut M,
+    variant: Variant,
+    cfg: &PsmConfig,
+    s0: &[u8],
+    s1: &[u8],
+    table: &WeightTable,
+) -> f32 {
+    assert_eq!(s0.len(), cfg.n0, "s0 length must match configuration");
+    assert_eq!(s1.len(), cfg.n1, "s1 length must match configuration");
+    assert!(cfg.n0 > 0 && cfg.n1 > 0, "degenerate problem size");
+    match variant {
+        Variant::Natural => sweep(mem, cfg, s0, s1, table, HLayout::Full { stride: cfg.n0 + 1 }, false),
+        Variant::NaturalTiled => {
+            sweep(mem, cfg, s0, s1, table, HLayout::Full { stride: cfg.n0 + 1 }, true)
+        }
+        Variant::OvMapped => sweep(mem, cfg, s0, s1, table, HLayout::Diag { n1: cfg.n1 }, false),
+        Variant::OvMappedTiled => {
+            sweep(mem, cfg, s0, s1, table, HLayout::Diag { n1: cfg.n1 }, true)
+        }
+        Variant::StorageOptimized => storage_optimized(mem, cfg, s0, s1, table),
+    }
+}
+
+fn sweep<M: Memory>(
+    mem: &mut M,
+    cfg: &PsmConfig,
+    s0: &[u8],
+    s1: &[u8],
+    table: &WeightTable,
+    layout: HLayout,
+    tiled: bool,
+) -> f32 {
+    let (n0, n1) = (cfg.n0, cfg.n1);
+    let (s0b, s1b, wb) = load_tables(mem, s0, s1, table);
+    let h = mem.alloc(layout.cells(n0, n1));
+    let e = mem.alloc(n0);
+    let f = mem.alloc(n1);
+    let bufs = PsmBufs { h, e, f, s0: s0b, s1: s1b, w: wb };
+    let extra_alu = if matches!(layout, HLayout::Full { .. }) {
+        Variant::Natural.index_alu()
+    } else {
+        Variant::OvMapped.index_alu()
+    };
+
+    // Borders: H row 0 and column 0 are zero; E and F start at −∞ so the
+    // first max in each chain picks the H-derived branch.
+    for j in 0..=n0 {
+        mem.write(bufs.h, layout.addr(0, j), 0.0);
+    }
+    for i in 0..=n1 {
+        mem.write(bufs.h, layout.addr(i, 0), 0.0);
+    }
+    for j in 0..n0 {
+        mem.write(bufs.e, j, NEG);
+    }
+    for i in 0..n1 {
+        mem.write(bufs.f, i, NEG);
+    }
+
+    let mut best = 0.0f32;
+    if tiled {
+        let (ti, tj) = cfg.tile_shape();
+        let mut ib = 1;
+        while ib <= n1 {
+            let ie = (ib + ti - 1).min(n1);
+            let mut jb = 1;
+            while jb <= n0 {
+                let je = (jb + tj - 1).min(n0);
+                for i in ib..=ie {
+                    for j in jb..=je {
+                        best = best.max(cell(mem, &bufs, layout, extra_alu, i, j));
+                    }
+                }
+                jb = je + 1;
+            }
+            ib = ie + 1;
+        }
+    } else {
+        for i in 1..=n1 {
+            for j in 1..=n0 {
+                best = best.max(cell(mem, &bufs, layout, extra_alu, i, j));
+            }
+        }
+    }
+    best
+}
+
+fn storage_optimized<M: Memory>(
+    mem: &mut M,
+    cfg: &PsmConfig,
+    s0: &[u8],
+    s1: &[u8],
+    table: &WeightTable,
+) -> f32 {
+    let (n0, n1) = (cfg.n0, cfg.n1);
+    let (s0b, s1b, wb) = load_tables(mem, s0, s1, table);
+    // Rolling storage (Table 2: 2n₀ + 3): the previous H row, the E row,
+    // and three scalars (h_diag, h_left, f).
+    let h_row = mem.alloc(n0 + 1); // H[i-1][0..=n0], overwritten in place
+    let e_row = mem.alloc(n0);
+    let extra_alu = Variant::StorageOptimized.index_alu();
+
+    for j in 0..=n0 {
+        mem.write(h_row, j, 0.0);
+    }
+    for j in 0..n0 {
+        mem.write(e_row, j, NEG);
+    }
+
+    let mut best = 0.0f32;
+    for i in 1..=n1 {
+        let c1 = mem.read(s1b, i - 1) as usize;
+        let mut h_diag = mem.read(h_row, 0); // H[i-1][0] = 0
+        let mut h_left = 0.0f32; // H[i][0]
+        let mut f = NEG; // F[i][0]
+        for j in 1..=n0 {
+            let c0 = mem.read(s0b, j - 1) as usize;
+            let w = mem.read(wb, c1 * ALPHABET + c0);
+            let h_up = mem.read(h_row, j); // still H[i-1][j]
+            let e = (h_up - GAP_OPEN).max(mem.read(e_row, j - 1) - GAP_EXTEND);
+            mem.write(e_row, j - 1, e);
+            f = (h_left - GAP_OPEN).max(f - GAP_EXTEND);
+            let h = 0.0f32.max(h_diag + w).max(e).max(f);
+            h_diag = h_up;
+            h_left = h;
+            mem.write(h_row, j, h);
+            mem.alu(ALU_BASE + extra_alu);
+            mem.branch(BRANCHES);
+            best = best.max(h);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{PlainMemory, TracedMemory};
+    use crate::workloads;
+    use uov_memsim::machines;
+
+    fn reference(s0: &[u8], s1: &[u8], table: &WeightTable) -> f32 {
+        // Straightforward full-matrix Gotoh.
+        let (n0, n1) = (s0.len(), s1.len());
+        let mut h = vec![vec![0.0f32; n0 + 1]; n1 + 1];
+        let mut e = vec![vec![NEG; n0 + 1]; n1 + 1];
+        let mut f = vec![vec![NEG; n0 + 1]; n1 + 1];
+        let mut best = 0.0f32;
+        for i in 1..=n1 {
+            for j in 1..=n0 {
+                e[i][j] = (h[i - 1][j] - GAP_OPEN).max(e[i - 1][j] - GAP_EXTEND);
+                f[i][j] = (h[i][j - 1] - GAP_OPEN).max(f[i][j - 1] - GAP_EXTEND);
+                let w = table.score(s1[i - 1], s0[j - 1]);
+                h[i][j] = 0.0f32.max(h[i - 1][j - 1] + w).max(e[i][j]).max(f[i][j]);
+                best = best.max(h[i][j]);
+            }
+        }
+        best
+    }
+
+    fn setup(n0: usize, n1: usize) -> (Vec<u8>, Vec<u8>, WeightTable) {
+        (
+            workloads::random_protein(n0, 100),
+            workloads::random_protein(n1, 200),
+            WeightTable::synthetic(42),
+        )
+    }
+
+    #[test]
+    fn all_variants_match_reference_bitwise() {
+        let (s0, s1, table) = setup(37, 23);
+        let want = reference(&s0, &s1, &table);
+        assert!(want > 0.0, "random proteins should align somewhere");
+        for variant in Variant::all() {
+            let cfg = PsmConfig { n0: 37, n1: 23, tile: Some((4, 8)) };
+            let got = run(&mut PlainMemory::new(), variant, &cfg, &s0, &s1, &table);
+            assert_eq!(got, want, "variant {variant:?} diverged");
+        }
+    }
+
+    #[test]
+    fn identical_strings_score_diagonal_sum() {
+        let table = WeightTable::synthetic(7);
+        let s: Vec<u8> = (0..10).map(|k| k % ALPHABET as u8).collect();
+        let want: f32 = s.iter().map(|&c| table.score(c, c)).sum();
+        let cfg = PsmConfig { n0: 10, n1: 10, tile: None };
+        let got = run(&mut PlainMemory::new(), Variant::Natural, &cfg, &s, &s, &table);
+        assert_eq!(got, want, "perfect self-alignment sums the diagonal");
+    }
+
+    #[test]
+    fn single_character_strings() {
+        let table = WeightTable::synthetic(3);
+        for variant in Variant::all() {
+            let cfg = PsmConfig { n0: 1, n1: 1, tile: Some((1, 1)) };
+            let got = run(&mut PlainMemory::new(), variant, &cfg, &[5], &[5], &table);
+            assert_eq!(got, table.score(5, 5).max(0.0));
+        }
+    }
+
+    #[test]
+    fn asymmetric_sizes_and_ragged_tiles() {
+        let (s0, s1, table) = setup(61, 7);
+        let want = reference(&s0, &s1, &table);
+        for variant in [Variant::NaturalTiled, Variant::OvMappedTiled] {
+            for tile in [(2, 9), (7, 61), (3, 64), (1, 1)] {
+                let cfg = PsmConfig { n0: 61, n1: 7, tile: Some(tile) };
+                let got = run(&mut PlainMemory::new(), variant, &cfg, &s0, &s1, &table);
+                assert_eq!(got, want, "variant {variant:?} tile {tile:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_matches_plain() {
+        let (s0, s1, table) = setup(32, 32);
+        let cfg = PsmConfig { n0: 32, n1: 32, tile: None };
+        let plain = run(&mut PlainMemory::new(), Variant::OvMapped, &cfg, &s0, &s1, &table);
+        let mut traced = TracedMemory::new(machines::ultra_2());
+        let got = run(&mut traced, Variant::OvMapped, &cfg, &s0, &s1, &table);
+        assert_eq!(got, plain);
+        assert!(traced.machine().stats().accesses > 32 * 32 * 8);
+    }
+
+    #[test]
+    fn storage_cells_table2() {
+        assert_eq!(storage_cells(Variant::Natural, 200, 300), 200 * 300 + 500);
+        assert_eq!(storage_cells(Variant::OvMapped, 200, 300), 1001);
+        assert_eq!(storage_cells(Variant::StorageOptimized, 200, 300), 403);
+    }
+
+    #[test]
+    fn ov_allocation_matches_formula() {
+        // The OV sweep's actual H+E+F allocation equals Table 2's count.
+        let layout = HLayout::Diag { n1: 9 };
+        assert_eq!(layout.cells(13, 9) + 13 + 9, storage_cells(Variant::OvMapped, 13, 9) as usize);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Variant::all().iter().map(|v| v.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

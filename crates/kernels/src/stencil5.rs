@@ -1,0 +1,454 @@
+//! The 5-point one-dimensional stencil (paper §5, Table 1, Figures 5, 7,
+//! 9–11).
+//!
+//! A length-`L` array evolves over `T` time steps; each new value is a
+//! weighted average of the five neighbours in the previous time step
+//! (indices clamped at the ends). The flow stencil is
+//! `{(1,-2), (1,-1), (1,0), (1,1), (1,2)}`, its optimal UOV is `(2,0)`
+//! (Figure 5), and rectangular tiling is legal only after skewing by 2.
+//!
+//! Storage variants (Table 1):
+//!
+//! | variant            | temporary storage | tileable |
+//! |--------------------|-------------------|----------|
+//! | natural            | `T·L`             | yes (skewed) |
+//! | OV-mapped          | `2·L`             | yes (skewed) |
+//! | storage-optimized  | `L + 3`           | no |
+//!
+//! Every variant computes each output element with the identical
+//! expression, so results are **bit-for-bit equal** across variants and
+//! schedules — asserted by the test suite.
+
+use crate::mem::{Buf, Memory};
+
+/// The five stencil weights (a smoothing kernel; sums to 1 so values stay
+/// bounded over arbitrarily many time steps).
+pub const WEIGHTS: [f32; 5] = [0.1, 0.2, 0.4, 0.2, 0.1];
+
+/// Arithmetic operations per inner iteration (5 multiplies + 4 adds).
+pub const ALU_BASE: u64 = 9;
+
+/// Storage variant of the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Full `T×L` array expansion, time-major.
+    Natural,
+    /// Natural storage, skew-2 tiled traversal.
+    NaturalTiled,
+    /// UOV `(2,0)`, the two rows stored consecutively (`addr = x + (t mod 2)·L`).
+    OvBlocked,
+    /// UOV `(2,0)`, the two rows interleaved (`addr = 2x + (t mod 2)`, Figure 5).
+    OvInterleaved,
+    /// Blocked OV storage, skew-2 tiled traversal.
+    OvBlockedTiled,
+    /// Interleaved OV storage, skew-2 tiled traversal.
+    OvInterleavedTiled,
+    /// In-place update with three scalar temporaries; lexicographic
+    /// schedule only.
+    StorageOptimized,
+}
+
+impl Variant {
+    /// All variants, in the paper's presentation order.
+    pub fn all() -> [Variant; 7] {
+        [
+            Variant::StorageOptimized,
+            Variant::Natural,
+            Variant::NaturalTiled,
+            Variant::OvBlocked,
+            Variant::OvBlockedTiled,
+            Variant::OvInterleaved,
+            Variant::OvInterleavedTiled,
+        ]
+    }
+
+    /// Short label for experiment output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Natural => "Natural",
+            Variant::NaturalTiled => "Natural Tiled",
+            Variant::OvBlocked => "OV-Mapped",
+            Variant::OvInterleaved => "OV-Mapped Interleaved",
+            Variant::OvBlockedTiled => "OV-Mapped Tiled",
+            Variant::OvInterleavedTiled => "OV-Mapped Interleaved Tiled",
+            Variant::StorageOptimized => "Storage Optimized",
+        }
+    }
+
+    /// Per-iteration address-arithmetic overhead in ALU operations —
+    /// OV mappings cost about as much as ordinary array indexing (§4), the
+    /// interleaved layout pays one extra shift.
+    fn index_alu(&self) -> u64 {
+        match self {
+            Variant::Natural | Variant::NaturalTiled => 2,
+            Variant::OvBlocked | Variant::OvBlockedTiled => 2,
+            Variant::OvInterleaved | Variant::OvInterleavedTiled => 3,
+            Variant::StorageOptimized => 2,
+        }
+    }
+
+    /// Whether this variant runs a skew-tiled schedule.
+    pub fn is_tiled(&self) -> bool {
+        matches!(
+            self,
+            Variant::NaturalTiled | Variant::OvBlockedTiled | Variant::OvInterleavedTiled
+        )
+    }
+}
+
+/// Problem configuration.
+#[derive(Debug, Clone)]
+pub struct Stencil5Config {
+    /// Array length `L`.
+    pub len: usize,
+    /// Number of time steps `T ≥ 1`.
+    pub time_steps: usize,
+    /// Tile shape `(tile_t, tile_u)` in skewed coordinates (`u = x + 2t`);
+    /// `None` uses a default sized for an 8 KB L1.
+    pub tile: Option<(usize, usize)>,
+}
+
+impl Stencil5Config {
+    /// Tile shape to use (defaults target an 8 KB L1: 1024 floats wide).
+    pub fn tile_shape(&self) -> (usize, usize) {
+        self.tile.unwrap_or((self.time_steps.min(32), 1024))
+    }
+}
+
+/// Temporary storage cells of a variant — the Table 1 formulas.
+///
+/// # Examples
+///
+/// ```
+/// use uov_kernels::stencil5::{storage_cells, Variant};
+/// assert_eq!(storage_cells(Variant::Natural, 1000, 8), 8000);
+/// assert_eq!(storage_cells(Variant::OvInterleaved, 1000, 8), 2000);
+/// assert_eq!(storage_cells(Variant::StorageOptimized, 1000, 8), 1003);
+/// ```
+pub fn storage_cells(variant: Variant, len: u64, time_steps: u64) -> u64 {
+    match variant {
+        Variant::Natural | Variant::NaturalTiled => time_steps * len,
+        Variant::OvBlocked
+        | Variant::OvInterleaved
+        | Variant::OvBlockedTiled
+        | Variant::OvInterleavedTiled => 2 * len,
+        Variant::StorageOptimized => len + 3,
+    }
+}
+
+#[inline]
+fn clamp(x: i64, len: usize) -> usize {
+    x.clamp(0, len as i64 - 1) as usize
+}
+
+/// Run the kernel: evolve `input` over `cfg.time_steps` steps and return
+/// the final row.
+///
+/// All variants return bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `input.len() != cfg.len`, or `len == 0`, or `time_steps == 0`.
+pub fn run<M: Memory>(
+    mem: &mut M,
+    variant: Variant,
+    cfg: &Stencil5Config,
+    input: &[f32],
+) -> Vec<f32> {
+    assert_eq!(input.len(), cfg.len, "input length must match configuration");
+    assert!(cfg.len > 0 && cfg.time_steps > 0, "degenerate problem size");
+    match variant {
+        Variant::Natural => natural(mem, cfg, input, false),
+        Variant::NaturalTiled => natural(mem, cfg, input, true),
+        Variant::OvBlocked => ov(mem, cfg, input, false, false),
+        Variant::OvInterleaved => ov(mem, cfg, input, true, false),
+        Variant::OvBlockedTiled => ov(mem, cfg, input, false, true),
+        Variant::OvInterleavedTiled => ov(mem, cfg, input, true, true),
+        Variant::StorageOptimized => storage_optimized(mem, cfg, input),
+    }
+}
+
+/// Load the input into a traced buffer (both the natural and OV versions
+/// read the 1-D input array when computing the first row, §5).
+fn load_input<M: Memory>(mem: &mut M, input: &[f32]) -> Buf {
+    let buf = mem.alloc(input.len());
+    for (x, &v) in input.iter().enumerate() {
+        mem.write(buf, x, v);
+    }
+    buf
+}
+
+/// One cell: `out = Σ w_k · prev[clamp(x+k)]` where `prev` is read through
+/// `read_prev(clamped_x)`.
+#[inline]
+fn cell<M: Memory>(
+    mem: &mut M,
+    len: usize,
+    x: usize,
+    alu: u64,
+    mut read_prev: impl FnMut(&mut M, usize) -> f32,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for (k, w) in (-2i64..=2).zip(WEIGHTS) {
+        let xx = clamp(x as i64 + k, len);
+        acc += w * read_prev(mem, xx);
+    }
+    mem.alu(ALU_BASE + alu);
+    acc
+}
+
+/// Skew-2 tiled traversal: visit `(t, x)` tile by tile in skewed
+/// coordinates `u = x + 2t`; `body(t, x)` runs once per iteration.
+fn skewed_tiles(
+    time_steps: usize,
+    len: usize,
+    (tile_t, tile_u): (usize, usize),
+    mut body: impl FnMut(usize, usize),
+) {
+    let t_lo = 1i64;
+    let t_hi = time_steps as i64;
+    let u_lo = 2 * t_lo; // x = 0 at t = t_lo
+    let u_hi = (len as i64 - 1) + 2 * t_hi;
+    let mut tb = t_lo;
+    while tb <= t_hi {
+        let te = (tb + tile_t as i64 - 1).min(t_hi);
+        let mut ub = u_lo;
+        while ub <= u_hi {
+            let ue = (ub + tile_u as i64 - 1).min(u_hi);
+            for t in tb..=te {
+                for u in ub..=ue {
+                    let x = u - 2 * t;
+                    if x >= 0 && x < len as i64 {
+                        body(t as usize, x as usize);
+                    }
+                }
+            }
+            ub = ue + 1;
+        }
+        tb = te + 1;
+    }
+}
+
+fn natural<M: Memory>(mem: &mut M, cfg: &Stencil5Config, input: &[f32], tiled: bool) -> Vec<f32> {
+    let (len, t_steps) = (cfg.len, cfg.time_steps);
+    let input_buf = load_input(mem, input);
+    // Rows 1..=T of the expanded array; row t lives at (t-1)·L.
+    let a = mem.alloc(t_steps * len);
+    let alu = Variant::Natural.index_alu();
+    let body = |mem: &mut M, t: usize, x: usize| {
+        let v = cell(mem, len, x, alu, |m, xx| {
+            if t == 1 {
+                m.read(input_buf, xx)
+            } else {
+                m.read(a, (t - 2) * len + xx)
+            }
+        });
+        mem.write(a, (t - 1) * len + x, v);
+    };
+    if tiled {
+        // SAFETY of the borrow dance: skewed_tiles only needs FnMut.
+        let mem_ref = mem;
+        skewed_tiles(t_steps, len, cfg.tile_shape(), |t, x| body(mem_ref, t, x));
+        let mem = mem_ref;
+        (0..len).map(|x| mem.read(a, (t_steps - 1) * len + x)).collect()
+    } else {
+        for t in 1..=t_steps {
+            for x in 0..len {
+                body(mem, t, x);
+            }
+        }
+        (0..len).map(|x| mem.read(a, (t_steps - 1) * len + x)).collect()
+    }
+}
+
+fn ov<M: Memory>(
+    mem: &mut M,
+    cfg: &Stencil5Config,
+    input: &[f32],
+    interleaved: bool,
+    tiled: bool,
+) -> Vec<f32> {
+    let (len, t_steps) = (cfg.len, cfg.time_steps);
+    let input_buf = load_input(mem, input);
+    let a = mem.alloc(2 * len); // UOV (2,0): two rows
+    let variant = if interleaved { Variant::OvInterleaved } else { Variant::OvBlocked };
+    let alu = variant.index_alu();
+    // SMov (§4.2): interleaved addr = 2x + (t mod 2); blocked addr = x + (t mod 2)·L.
+    let addr = move |t: usize, x: usize| -> usize {
+        if interleaved {
+            2 * x + (t & 1)
+        } else {
+            x + (t & 1) * len
+        }
+    };
+    let body = |mem: &mut M, t: usize, x: usize| {
+        let v = cell(mem, len, x, alu, |m, xx| {
+            if t == 1 {
+                m.read(input_buf, xx)
+            } else {
+                m.read(a, addr(t - 1, xx))
+            }
+        });
+        mem.write(a, addr(t, x), v);
+    };
+    if tiled {
+        let mem_ref = mem;
+        skewed_tiles(t_steps, len, cfg.tile_shape(), |t, x| body(mem_ref, t, x));
+        let mem = mem_ref;
+        (0..len).map(|x| mem.read(a, addr(t_steps, x))).collect()
+    } else {
+        for t in 1..=t_steps {
+            for x in 0..len {
+                body(mem, t, x);
+            }
+        }
+        (0..len).map(|x| mem.read(a, addr(t_steps, x))).collect()
+    }
+}
+
+fn storage_optimized<M: Memory>(mem: &mut M, cfg: &Stencil5Config, input: &[f32]) -> Vec<f32> {
+    let (len, t_steps) = (cfg.len, cfg.time_steps);
+    // The input/output array itself, updated in place…
+    let a = load_input(mem, input);
+    let alu = Variant::StorageOptimized.index_alu();
+    // …plus exactly three scalar temporaries (Table 1: L + 3).
+    for _t in 1..=t_steps {
+        let first = mem.read(a, 0);
+        let mut om1 = first; // old A[x-1] (clamped at the left edge)
+        let mut om2 = first; // old A[x-2]
+        for x in 0..len {
+            let c = mem.read(a, x); // old A[x]
+            let p1 = mem.read(a, clamp(x as i64 + 1, len));
+            let p2 = mem.read(a, clamp(x as i64 + 2, len));
+            let v = WEIGHTS[0] * om2 + WEIGHTS[1] * om1 + WEIGHTS[2] * c
+                + WEIGHTS[3] * p1
+                + WEIGHTS[4] * p2;
+            mem.alu(ALU_BASE + alu + 2); // +2: the scalar rotation below
+            om2 = om1;
+            om1 = c;
+            mem.write(a, x, v);
+        }
+    }
+    (0..len).map(|x| mem.read(a, x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{PlainMemory, TracedMemory};
+    use crate::workloads;
+    use uov_memsim::machines;
+
+    fn reference(input: &[f32], t_steps: usize) -> Vec<f32> {
+        let len = input.len();
+        let mut prev = input.to_vec();
+        for _ in 0..t_steps {
+            let mut next = vec![0.0f32; len];
+            for (x, slot) in next.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (k, w) in (-2i64..=2).zip(WEIGHTS) {
+                    acc += w * prev[clamp(x as i64 + k, len)];
+                }
+                *slot = acc;
+            }
+            prev = next;
+        }
+        prev
+    }
+
+    #[test]
+    fn all_variants_match_reference_bitwise() {
+        let input = workloads::random_f32(97, 11);
+        let want = reference(&input, 6);
+        for variant in Variant::all() {
+            let cfg = Stencil5Config { len: 97, time_steps: 6, tile: Some((2, 16)) };
+            let got = run(&mut PlainMemory::new(), variant, &cfg, &input);
+            assert_eq!(got, want, "variant {variant:?} diverged");
+        }
+    }
+
+    #[test]
+    fn single_time_step() {
+        let input = workloads::random_f32(16, 3);
+        let want = reference(&input, 1);
+        for variant in Variant::all() {
+            let cfg = Stencil5Config { len: 16, time_steps: 1, tile: Some((1, 4)) };
+            assert_eq!(run(&mut PlainMemory::new(), variant, &cfg, &input), want);
+        }
+    }
+
+    #[test]
+    fn tiny_arrays_with_clamping() {
+        // len < stencil radius exercises the clamp paths hard.
+        for len in [1usize, 2, 3, 4] {
+            let input = workloads::random_f32(len, 5);
+            let want = reference(&input, 4);
+            for variant in Variant::all() {
+                let cfg = Stencil5Config { len, time_steps: 4, tile: Some((2, 2)) };
+                assert_eq!(
+                    run(&mut PlainMemory::new(), variant, &cfg, &input),
+                    want,
+                    "len {len} variant {variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_time_step_parity() {
+        // Odd T lands the output in the other OV row; must still be right.
+        let input = workloads::random_f32(33, 9);
+        for t in 1..=5 {
+            let want = reference(&input, t);
+            for variant in [Variant::OvBlocked, Variant::OvInterleaved] {
+                let cfg = Stencil5Config { len: 33, time_steps: t, tile: None };
+                assert_eq!(run(&mut PlainMemory::new(), variant, &cfg, &input), want);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_counts() {
+        let input = workloads::random_f32(256, 21);
+        let cfg = Stencil5Config { len: 256, time_steps: 4, tile: None };
+        let plain = run(&mut PlainMemory::new(), Variant::OvInterleaved, &cfg, &input);
+        let mut traced = TracedMemory::new(machines::pentium_pro());
+        let out = run(&mut traced, Variant::OvInterleaved, &cfg, &input);
+        assert_eq!(out, plain);
+        let stats = traced.machine().stats();
+        // 5 reads + 1 write per iteration, plus input load and output read.
+        let iters = 256 * 4;
+        assert!(stats.accesses as usize >= iters * 6);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn storage_cells_table1() {
+        assert_eq!(storage_cells(Variant::Natural, 100, 7), 700);
+        assert_eq!(storage_cells(Variant::NaturalTiled, 100, 7), 700);
+        assert_eq!(storage_cells(Variant::OvBlocked, 100, 7), 200);
+        assert_eq!(storage_cells(Variant::OvBlockedTiled, 100, 7), 200);
+        assert_eq!(storage_cells(Variant::StorageOptimized, 100, 7), 103);
+    }
+
+    #[test]
+    fn ov_variants_use_less_memory_footprint() {
+        // Confirm the traced allocation sizes follow Table 1.
+        let input = workloads::random_f32(64, 2);
+        let cfg = Stencil5Config { len: 64, time_steps: 8, tile: None };
+        let mut nat = TracedMemory::new(machines::pentium_pro());
+        run(&mut nat, Variant::Natural, &cfg, &input);
+        let mut ovm = TracedMemory::new(machines::pentium_pro());
+        run(&mut ovm, Variant::OvBlocked, &cfg, &input);
+        // natural touches T·L distinct cells; OV touches 2·L.
+        assert!(nat.machine().stats().accesses > ovm.machine().stats().accesses / 2);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Variant::all().iter().map(|v| v.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+    }
+}

@@ -1,0 +1,91 @@
+//! Seeded workload generators for the two kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of amino-acid symbols (the paper: "23 possible string
+/// characters").
+pub const ALPHABET: usize = 23;
+
+/// A 23×23 substitution-weight table for protein string matching.
+///
+/// The paper used the table of Alpern–Carter–Gatlin's code, which is not
+/// available; this synthetic stand-in is BLOSUM-shaped — strong positive
+/// diagonal, mildly negative off-diagonal, symmetric — which preserves the
+/// kernel's arithmetic and branch structure (the only properties the
+/// evaluation depends on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightTable {
+    weights: Vec<f32>,
+}
+
+impl WeightTable {
+    /// Deterministically generate a table from a seed.
+    pub fn synthetic(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = vec![0.0f32; ALPHABET * ALPHABET];
+        for a in 0..ALPHABET {
+            for b in a..ALPHABET {
+                let w = if a == b {
+                    rng.gen_range(4..=11) as f32
+                } else {
+                    rng.gen_range(-4..=3) as f32
+                };
+                weights[a * ALPHABET + b] = w;
+                weights[b * ALPHABET + a] = w;
+            }
+        }
+        WeightTable { weights }
+    }
+
+    /// The weight of aligning symbols `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol is `≥ 23`.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> f32 {
+        self.weights[a as usize * ALPHABET + b as usize]
+    }
+}
+
+/// A random protein string of length `len` over the 23-symbol alphabet.
+pub fn random_protein(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..ALPHABET as u8)).collect()
+}
+
+/// A random `f32` array in `[0, 1)` — the stencil kernel's initial state.
+pub fn random_f32(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_table_is_symmetric_with_positive_diagonal() {
+        let t = WeightTable::synthetic(42);
+        for a in 0..ALPHABET as u8 {
+            assert!(t.score(a, a) >= 4.0);
+            for b in 0..ALPHABET as u8 {
+                assert_eq!(t.score(a, b), t.score(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_protein(64, 7), random_protein(64, 7));
+        assert_eq!(random_f32(64, 7), random_f32(64, 7));
+        assert_ne!(random_f32(64, 7), random_f32(64, 8));
+        assert_eq!(WeightTable::synthetic(1), WeightTable::synthetic(1));
+    }
+
+    #[test]
+    fn protein_symbols_in_range() {
+        assert!(random_protein(1000, 3).iter().all(|&c| (c as usize) < ALPHABET));
+    }
+}

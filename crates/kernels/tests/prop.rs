@@ -1,0 +1,126 @@
+//! Property-based tests for the kernels: every storage variant of every
+//! kernel is bit-identical to every other, on random sizes, tiles and
+//! workloads — the executable form of the paper's claim that OV mapping
+//! changes storage, not semantics.
+
+use proptest::prelude::*;
+use uov_kernels::mem::{PlainMemory, TracedMemory};
+use uov_kernels::{jacobi2d, psm, stencil5, workloads};
+use uov_memsim::machines;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stencil5_variants_agree(
+        len in 1usize..80,
+        t_steps in 1usize..7,
+        tile_t in 1usize..5,
+        tile_u in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let input = workloads::random_f32(len, seed);
+        let cfg = stencil5::Stencil5Config { len, time_steps: t_steps, tile: Some((tile_t, tile_u)) };
+        let reference = stencil5::run(
+            &mut PlainMemory::new(),
+            stencil5::Variant::Natural,
+            &cfg,
+            &input,
+        );
+        for variant in stencil5::Variant::all() {
+            let got = stencil5::run(&mut PlainMemory::new(), variant, &cfg, &input);
+            prop_assert_eq!(
+                &got, &reference,
+                "variant {:?} diverged (len {}, T {}, tile {:?})",
+                variant, len, t_steps, (tile_t, tile_u)
+            );
+        }
+    }
+
+    #[test]
+    fn psm_variants_agree(
+        n0 in 1usize..40,
+        n1 in 1usize..40,
+        tile_i in 1usize..6,
+        tile_j in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let s0 = workloads::random_protein(n0, seed);
+        let s1 = workloads::random_protein(n1, seed + 1);
+        let table = workloads::WeightTable::synthetic(seed + 2);
+        let cfg = psm::PsmConfig { n0, n1, tile: Some((tile_i, tile_j)) };
+        let reference = psm::run(
+            &mut PlainMemory::new(),
+            psm::Variant::Natural,
+            &cfg,
+            &s0,
+            &s1,
+            &table,
+        );
+        for variant in psm::Variant::all() {
+            let got = psm::run(&mut PlainMemory::new(), variant, &cfg, &s0, &s1, &table);
+            prop_assert_eq!(
+                got, reference,
+                "variant {:?} diverged (n0 {}, n1 {})",
+                variant, n0, n1
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_variants_agree(
+        n in 1usize..16,
+        t_steps in 1usize..5,
+        tile in (1usize..4, 1usize..8, 1usize..8),
+        seed in 0u64..1000,
+    ) {
+        let input = workloads::random_f32(n * n, seed);
+        let cfg = jacobi2d::Jacobi2dConfig { n, time_steps: t_steps, tile: Some(tile), pad: 0 };
+        let reference = jacobi2d::run(
+            &mut PlainMemory::new(),
+            jacobi2d::Variant::Natural,
+            &cfg,
+            &input,
+        );
+        for variant in jacobi2d::Variant::all() {
+            let got = jacobi2d::run(&mut PlainMemory::new(), variant, &cfg, &input);
+            prop_assert_eq!(
+                &got, &reference,
+                "variant {:?} diverged (n {}, T {}, tile {:?})",
+                variant, n, t_steps, tile
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_never_changes_results(
+        len in 1usize..50,
+        t_steps in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let input = workloads::random_f32(len, seed);
+        let cfg = stencil5::Stencil5Config { len, time_steps: t_steps, tile: None };
+        for variant in [stencil5::Variant::OvBlocked, stencil5::Variant::StorageOptimized] {
+            let plain = stencil5::run(&mut PlainMemory::new(), variant, &cfg, &input);
+            let mut traced = TracedMemory::new(machines::ultra_2());
+            let got = stencil5::run(&mut traced, variant, &cfg, &input);
+            prop_assert_eq!(got, plain);
+        }
+    }
+
+    #[test]
+    fn machine_cycles_are_monotone_in_work(
+        len in 8usize..64,
+        t_steps in 1usize..4,
+    ) {
+        // More time steps can never cost fewer total cycles.
+        let input = workloads::random_f32(len, 3);
+        let cycles = |t: usize| {
+            let cfg = stencil5::Stencil5Config { len, time_steps: t, tile: None };
+            let mut mem = TracedMemory::new(machines::pentium_pro());
+            let _ = stencil5::run(&mut mem, stencil5::Variant::OvBlocked, &cfg, &input);
+            mem.machine().cycles()
+        };
+        prop_assert!(cycles(t_steps + 1) > cycles(t_steps));
+    }
+}

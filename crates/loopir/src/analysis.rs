@@ -1,0 +1,362 @@
+//! Value-based dependence analysis and array region analysis for the
+//! uniform single-assignment case.
+//!
+//! The paper cites Feautrier-style dataflow analysis \[13, 20, 21\] and the
+//! array region analysis of Creusillet & Irigoin \[11\] as the machinery that
+//! establishes a loop's eligibility for UOV mapping. For the *regular*
+//! loops the UOV targets — uniform subscripts, one assignment per array,
+//! each element written once — both analyses collapse to constant-offset
+//! arithmetic, implemented exactly here:
+//!
+//! * a read `A[i + c_r]` in a loop whose single write is `A[i + c_w]` reads
+//!   the value produced `c_w − c_r` iterations earlier when that distance
+//!   is lexicographically positive, and an *imported* (pre-loop) value
+//!   otherwise;
+//! * the imported region is the read footprint minus the written region;
+//!   temporaries are written elements outside a declared live-out region.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use uov_isg::{IVec, IterationDomain, Stencil, StencilError};
+
+use crate::expr::AffineExpr;
+use crate::nest::LoopNest;
+
+/// Why a statement fails to be a *regular* (UOV-eligible) assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The statement index is out of range.
+    NoSuchStatement(usize),
+    /// A subscript is not of the uniform `i_k + c` form.
+    NonUniformSubscript(String),
+    /// Two subscript positions use the same loop index, or a loop index is
+    /// missing: the write must be a bijection between iterations and
+    /// elements.
+    NonInjectiveWrite,
+    /// Another statement writes the same array: value-based analysis for
+    /// multiple writers is out of scope (the paper treats one assignment at
+    /// a time with disjoint storage, §3).
+    MultipleWriters(usize),
+    /// The statement has no self-carried flow dependence: there is nothing
+    /// for an occupancy vector to map (every value is either imported or
+    /// exported).
+    NoCarriedDependence,
+    /// The carried distances do not form a valid stencil.
+    BadStencil(StencilError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoSuchStatement(s) => write!(f, "no statement {s}"),
+            AnalysisError::NonUniformSubscript(e) => {
+                write!(f, "subscript `{e}` is not of the form i_k + c")
+            }
+            AnalysisError::NonInjectiveWrite => {
+                write!(f, "write subscript is not a permutation of the loop indices")
+            }
+            AnalysisError::MultipleWriters(a) => {
+                write!(f, "array {a} is written by more than one statement")
+            }
+            AnalysisError::NoCarriedDependence => {
+                write!(f, "statement carries no flow dependence")
+            }
+            AnalysisError::BadStencil(e) => write!(f, "invalid stencil: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// Decompose a uniform subscript vector into `(index permutation, offset)`.
+///
+/// For `A[i+c0, j+c1]` in a 2-deep nest this is `([0, 1], (c0, c1))`.
+fn uniform_shape(
+    subscript: &[AffineExpr],
+    depth: usize,
+) -> Result<(Vec<usize>, IVec), AnalysisError> {
+    let mut perm = Vec::with_capacity(subscript.len());
+    let mut offset = Vec::with_capacity(subscript.len());
+    for e in subscript {
+        let (k, c) = e
+            .index_offset()
+            .ok_or_else(|| AnalysisError::NonUniformSubscript(e.to_string()))?;
+        perm.push(k);
+        offset.push(c);
+    }
+    let mut seen = vec![false; depth];
+    for &k in &perm {
+        if seen[k] {
+            return Err(AnalysisError::NonInjectiveWrite);
+        }
+        seen[k] = true;
+    }
+    Ok((perm, IVec::from(offset)))
+}
+
+/// Value-based flow-dependence analysis for statement `stmt` of `nest`:
+/// the dependence stencil of values the statement produces and itself
+/// consumes.
+///
+/// For the uniform single-assignment case the last-write analysis is
+/// exact: iteration `q` reading `A[q∘σ + c_r]` consumes the value written
+/// by iteration `q + d` with `d∘σ = c_r − c_w`... equivalently, the value
+/// of iteration `q − v` with `v∘σ = c_w − c_r`, whenever `v` is
+/// lexicographically positive (otherwise the read sees a pre-loop value —
+/// an imported element, not a dependence).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when the statement is not a regular
+/// assignment in the paper's sense.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::ivec;
+/// use uov_loopir::{analysis::flow_stencil, examples};
+///
+/// let nest = examples::fig1_nest(5, 5);
+/// let s = flow_stencil(&nest, 0)?;
+/// assert_eq!(s.vectors(), &[ivec![0, 1], ivec![1, 0], ivec![1, 1]]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn flow_stencil(nest: &LoopNest, stmt: usize) -> Result<Stencil, AnalysisError> {
+    let depth = nest.depth();
+    let s = nest
+        .stmts()
+        .get(stmt)
+        .ok_or(AnalysisError::NoSuchStatement(stmt))?;
+    // One writer per array.
+    for (i, other) in nest.stmts().iter().enumerate() {
+        if i != stmt && other.array == s.array {
+            return Err(AnalysisError::MultipleWriters(s.array));
+        }
+    }
+    let (write_perm, write_off) = uniform_shape(&s.subscript, depth)?;
+    if write_perm.len() != depth {
+        // The write must cover all loop indices for iteration↔element
+        // bijection (e.g. A[i,j] in a 2-deep nest, not A[i]).
+        return Err(AnalysisError::NonInjectiveWrite);
+    }
+
+    let mut distances = Vec::new();
+    for (array, subscript) in s.rhs.reads() {
+        if array != s.array {
+            continue; // reads of other arrays are imported by definition
+        }
+        let (read_perm, read_off) = uniform_shape(subscript, depth)?;
+        if read_perm != write_perm {
+            return Err(AnalysisError::NonUniformSubscript(format!(
+                "read permutes indices differently from the write ({read_perm:?} vs {write_perm:?})"
+            )));
+        }
+        // Element read at q: E_r(q) = q∘σ + c_r. Its producer p satisfies
+        // E_w(p) = E_r(q):  p∘σ + c_w = q∘σ + c_r  ⇒  (q − p)∘σ = c_w − c_r.
+        // Undo the permutation to get the iteration-space distance.
+        let elem_diff = &write_off - &read_off;
+        let mut v = vec![0i64; depth];
+        for (pos, &k) in write_perm.iter().enumerate() {
+            v[k] = elem_diff[pos];
+        }
+        let v = IVec::from(v);
+        if v.is_lex_positive() {
+            distances.push(v);
+        }
+        // Non-positive distances read imported values; region analysis
+        // accounts for them.
+    }
+    if distances.is_empty() {
+        return Err(AnalysisError::NoCarriedDependence);
+    }
+    Stencil::new(distances).map_err(AnalysisError::BadStencil)
+}
+
+/// Array region analysis for one statement's array (paper §2, after
+/// Creusillet & Irigoin): which elements are imported into the loop, which
+/// are written, and which of the written ones are temporaries given a
+/// declared live-out region.
+///
+/// Regions are enumerated explicitly, so this is meant for the moderate
+/// domains of analyses and tests, not for multi-million-point kernels.
+#[derive(Debug, Clone)]
+pub struct RegionAnalysis {
+    /// Elements read before being written inside the loop (loop inputs).
+    pub imported: BTreeSet<IVec>,
+    /// Elements written by the statement.
+    pub written: BTreeSet<IVec>,
+}
+
+impl RegionAnalysis {
+    /// Run the analysis for statement `stmt` of `nest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] under the same conditions as
+    /// [`flow_stencil`], minus the carried-dependence requirement.
+    pub fn run(nest: &LoopNest, stmt: usize) -> Result<Self, AnalysisError> {
+        let depth = nest.depth();
+        let s = nest
+            .stmts()
+            .get(stmt)
+            .ok_or(AnalysisError::NoSuchStatement(stmt))?;
+        let (_, _) = uniform_shape(&s.subscript, depth)?;
+        let mut written = BTreeSet::new();
+        for p in nest.domain().points() {
+            written.insert(nest.write_element(stmt, &p));
+        }
+        let mut imported = BTreeSet::new();
+        for p in nest.domain().points() {
+            for (array, subscript) in s.rhs.reads() {
+                if array != s.array {
+                    continue;
+                }
+                let elem: IVec = subscript.iter().map(|e| e.eval(&p)).collect();
+                if !written.contains(&elem) {
+                    imported.insert(elem);
+                }
+            }
+        }
+        Ok(RegionAnalysis { imported, written })
+    }
+
+    /// The temporaries: written elements not in the declared live-out set.
+    ///
+    /// In the paper's Fig-1 example only the last row is live-out, so all
+    /// other written elements are temporaries — the storage the UOV
+    /// mapping is allowed to fold.
+    pub fn temporaries(&self, live_out: &BTreeSet<IVec>) -> BTreeSet<IVec> {
+        self.written.difference(live_out).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use uov_isg::ivec;
+
+    #[test]
+    fn fig1_stencil_extracted() {
+        let nest = examples::fig1_nest(6, 4);
+        let s = flow_stencil(&nest, 0).unwrap();
+        assert_eq!(s.vectors(), &[ivec![0, 1], ivec![1, 0], ivec![1, 1]]);
+    }
+
+    #[test]
+    fn stencil5_extracted() {
+        let nest = examples::stencil5_nest(6, 10);
+        let s = flow_stencil(&nest, 0).unwrap();
+        assert_eq!(
+            s.vectors(),
+            &[ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2]]
+        );
+    }
+
+    #[test]
+    fn fig1_regions() {
+        // Domain (1,1)..(n,m); reads A[i-1,j], A[i,j-1], A[i-1,j-1]:
+        // imported = row 0 and column 0.
+        let nest = examples::fig1_nest(4, 3);
+        let r = RegionAnalysis::run(&nest, 0).unwrap();
+        assert_eq!(r.written.len(), 12);
+        assert!(r.imported.contains(&ivec![0, 0]));
+        assert!(r.imported.contains(&ivec![0, 3]));
+        assert!(r.imported.contains(&ivec![4, 0]));
+        assert!(!r.imported.contains(&ivec![1, 1]));
+        assert_eq!(r.imported.len(), 4 + 3 + 1); // row 0 (m+1 wide) + col 0
+    }
+
+    #[test]
+    fn fig1_temporaries_exclude_live_out_row() {
+        let nest = examples::fig1_nest(4, 3);
+        let r = RegionAnalysis::run(&nest, 0).unwrap();
+        let live_out: BTreeSet<IVec> = (1..=3).map(|j| ivec![4, j]).collect();
+        let temps = r.temporaries(&live_out);
+        assert_eq!(temps.len(), 12 - 3);
+        assert!(!temps.contains(&ivec![4, 1]));
+        assert!(temps.contains(&ivec![1, 1]));
+    }
+
+    #[test]
+    fn rejects_scaled_subscripts() {
+        use crate::expr::{AffineExpr, Expr};
+        use crate::nest::{ArrayDecl, Assign, LoopNest};
+        use uov_isg::RectDomain;
+        // A[1, j] = … — a constant subscript position is non-uniform.
+        let stmt = Assign {
+            array: 0,
+            subscript: vec![AffineExpr::constant(2, 1), AffineExpr::index(2, 1)],
+            rhs: Expr::Const(0.0),
+        };
+        let nest = LoopNest::new(
+            RectDomain::grid(3, 3),
+            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![stmt],
+        )
+        .unwrap();
+        assert!(matches!(
+            flow_stencil(&nest, 0),
+            Err(AnalysisError::NonUniformSubscript(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_multiple_writers() {
+        use crate::expr::{AffineExpr, Expr};
+        use crate::nest::{ArrayDecl, Assign, LoopNest};
+        use uov_isg::RectDomain;
+        let full = vec![AffineExpr::index(2, 0), AffineExpr::index(2, 1)];
+        let stmt = Assign { array: 0, subscript: full.clone(), rhs: Expr::Const(0.0) };
+        let nest = LoopNest::new(
+            RectDomain::grid(3, 3),
+            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![stmt.clone(), stmt],
+        )
+        .unwrap();
+        assert!(matches!(
+            flow_stencil(&nest, 0),
+            Err(AnalysisError::MultipleWriters(0))
+        ));
+    }
+
+    #[test]
+    fn no_carried_dependence_detected() {
+        use crate::expr::{AffineExpr, Expr};
+        use crate::nest::{ArrayDecl, Assign, LoopNest};
+        use uov_isg::RectDomain;
+        // B[i,j] = A[i,j] + 1: no self-flow.
+        let full = vec![AffineExpr::index(2, 0), AffineExpr::index(2, 1)];
+        let stmt = Assign {
+            array: 1,
+            subscript: full.clone(),
+            rhs: Expr::add(Expr::read(0, full), Expr::Const(1.0)),
+        };
+        let nest = LoopNest::new(
+            RectDomain::grid(3, 3),
+            vec![
+                ArrayDecl { name: "A".into(), rank: 2 },
+                ArrayDecl { name: "B".into(), rank: 2 },
+            ],
+            vec![stmt],
+        )
+        .unwrap();
+        assert!(matches!(
+            flow_stencil(&nest, 0),
+            Err(AnalysisError::NoCarriedDependence)
+        ));
+    }
+
+    #[test]
+    fn psm_nest_two_statements_disjoint_stencils() {
+        let nest = examples::psm_nest(4, 5);
+        // Statement 0 (H): stencil {(1,0),(0,1),(1,1)}.
+        let h = flow_stencil(&nest, 0).unwrap();
+        assert_eq!(h.vectors(), &[ivec![0, 1], ivec![1, 0], ivec![1, 1]]);
+        // Statement 1 (E): stencil {(1,0)}.
+        let e = flow_stencil(&nest, 1).unwrap();
+        assert_eq!(e.vectors(), &[ivec![1, 0]]);
+    }
+}

@@ -1,0 +1,364 @@
+//! C-like pseudocode emission for a nest under a storage mapping.
+//!
+//! §4 of the paper: "After selecting an occupancy vector … we must
+//! determine a storage mapping **in order to generate code**." This module
+//! renders the transformed loop the way the paper's Figure 1(b) does —
+//! the 2-D array access rewritten into a one-dimensional buffer indexed
+//! by `mv·q + shift + modterm` — so the storage transformation can be
+//! inspected (and pasted into a C file) rather than only executed.
+
+use std::fmt::Write as _;
+
+use uov_isg::{IterationDomain as _, IVec};
+use uov_storage::{Layout, OvMap, StorageMap as _};
+
+use crate::expr::{AffineExpr, Expr};
+use crate::nest::LoopNest;
+
+/// Index-variable names used for emitted loops (`i0`, `i1`, … beyond 3).
+fn index_name(k: usize) -> String {
+    match k {
+        0 => "i".to_string(),
+        1 => "j".to_string(),
+        2 => "k".to_string(),
+        _ => format!("i{k}"),
+    }
+}
+
+fn affine_to_c(e: &AffineExpr) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (k, &c) in e.coeffs().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        match (first, c) {
+            (true, 1) => out.push_str(&index_name(k)),
+            (true, -1) => {
+                out.push('-');
+                out.push_str(&index_name(k));
+            }
+            (true, c) => {
+                let _ = write!(out, "{c}*{}", index_name(k));
+            }
+            (false, 1) => {
+                let _ = write!(out, " + {}", index_name(k));
+            }
+            (false, -1) => {
+                let _ = write!(out, " - {}", index_name(k));
+            }
+            (false, c) if c > 0 => {
+                let _ = write!(out, " + {c}*{}", index_name(k));
+            }
+            (false, c) => {
+                let _ = write!(out, " - {}*{}", -c, index_name(k));
+            }
+        }
+        first = false;
+    }
+    let c = e.constant_term();
+    if first {
+        let _ = write!(out, "{c}");
+    } else if c > 0 {
+        let _ = write!(out, " + {c}");
+    } else if c < 0 {
+        let _ = write!(out, " - {}", -c);
+    }
+    out
+}
+
+fn expr_to_c(e: &Expr, nest: &LoopNest, mapped: Option<(usize, &OvMapCode)>) -> String {
+    match e {
+        Expr::Const(c) => format!("{c:?}f"),
+        Expr::Index(k) => format!("(float){}", index_name(*k)),
+        Expr::Add(a, b) => format!(
+            "({} + {})",
+            expr_to_c(a, nest, mapped),
+            expr_to_c(b, nest, mapped)
+        ),
+        Expr::Sub(a, b) => format!(
+            "({} - {})",
+            expr_to_c(a, nest, mapped),
+            expr_to_c(b, nest, mapped)
+        ),
+        Expr::Mul(a, b) => format!(
+            "({} * {})",
+            expr_to_c(a, nest, mapped),
+            expr_to_c(b, nest, mapped)
+        ),
+        Expr::Max(a, b) => format!(
+            "fmaxf({}, {})",
+            expr_to_c(a, nest, mapped),
+            expr_to_c(b, nest, mapped)
+        ),
+        Expr::Read { array, subscript } => {
+            access_to_c(nest, *array, subscript, mapped)
+        }
+    }
+}
+
+fn access_to_c(
+    nest: &LoopNest,
+    array: usize,
+    subscript: &[AffineExpr],
+    mapped: Option<(usize, &OvMapCode)>,
+) -> String {
+    let name = &nest.arrays()[array].name;
+    if let Some((mapped_array, code)) = mapped {
+        if array == mapped_array {
+            // The producing iteration of A[s(i)] is p = s(i) − c_w for the
+            // uniform write A[i + c_w]; apply SMov to p.
+            return code.apply(name, subscript);
+        }
+    }
+    let idx: Vec<String> = subscript.iter().map(affine_to_c).collect();
+    format!("{name}[{}]", idx.join("]["))
+}
+
+/// Precomputed symbolic pieces of an OV mapping `SMov(q) = mv·q + shift
+/// (+ modterm)` for emission.
+struct OvMapCode {
+    mv: IVec,
+    shift: i64,
+    g: i64,
+    position_form: IVec,
+    layout: Layout,
+    block: i64,
+    /// Constant offset turning a read subscript into its producer
+    /// iteration (the write offset `c_w`, negated per dimension).
+    write_offset: IVec,
+}
+
+impl OvMapCode {
+    fn apply(&self, name: &str, subscript: &[AffineExpr]) -> String {
+        // Producer iteration p_k = subscript_k − c_w[k]; then index =
+        // Σ mv[k]·p_k + shift (+ modterm from position_form·p mod g).
+        let mut linear = AffineExpr::constant(subscript[0].depth(), self.shift);
+        let mut position = AffineExpr::constant(subscript[0].depth(), 0);
+        for (k, sub) in subscript.iter().enumerate() {
+            let p_k = sub.clone() + -self.write_offset[k];
+            linear = linear.add_scaled(&p_k, self.mv[k]);
+            position = position.add_scaled(&p_k, self.position_form[k]);
+        }
+        if self.g <= 1 {
+            return format!("{name}[{}]", affine_to_c(&linear));
+        }
+        match self.layout {
+            Layout::Interleaved => {
+                // class·g + residue with class = mv·p − lo: scale the
+                // whole linear form (whose constant already folds −lo in
+                // via `shift`) by g.
+                let scaled = AffineExpr::constant(subscript[0].depth(), 0)
+                    .add_scaled(&linear, self.g);
+                format!(
+                    "{name}[{} + mod({}, {})]",
+                    affine_to_c(&scaled),
+                    affine_to_c(&position),
+                    self.g
+                )
+            }
+            Layout::Blocked => format!(
+                "{name}[{} + mod({}, {})*{}]",
+                affine_to_c(&linear),
+                affine_to_c(&position),
+                self.g,
+                self.block
+            ),
+        }
+    }
+}
+
+/// Emit C-like pseudocode for the nest with natural array storage.
+///
+/// # Examples
+///
+/// ```
+/// use uov_loopir::{codegen, examples};
+/// let nest = examples::fig1_nest(8, 8);
+/// let code = codegen::emit_natural(&nest);
+/// assert!(code.contains("for (i = 1; i <= 8; i++)"));
+/// assert!(code.contains("A[i][j]"));
+/// ```
+pub fn emit_natural(nest: &LoopNest) -> String {
+    emit(nest, None)
+}
+
+/// Emit C-like pseudocode with statement `stmt`'s array folded through
+/// the given OV mapping — the Figure-1(b) transformation.
+///
+/// The emitted index is the paper's `SMov(q) = mv·q + shift + modterm`
+/// applied to each access's *producing* iteration.
+///
+/// # Panics
+///
+/// Panics if the statement's subscripts are not uniform (`i_k + c`).
+pub fn emit_ov_mapped(nest: &LoopNest, stmt: usize, map: &OvMap) -> String {
+    let write = &nest.stmts()[stmt].subscript;
+    let depth = nest.depth();
+    let mut write_offset = vec![0i64; write.len()];
+    for (pos, e) in write.iter().enumerate() {
+        let (_, c) = e.index_offset().expect("uniform write subscript");
+        write_offset[pos] = c;
+    }
+    // Reconstruct the symbolic pieces from the mapping.
+    let mv = map
+        .mapping_vector_2d()
+        .expect("codegen currently supports 2-D mappings");
+    let dom = nest.domain();
+    let shift = -(dom
+        .extreme_points()
+        .iter()
+        .map(|p| mv.dot(p))
+        .min()
+        .expect("non-empty domain"));
+    let g = map.ov().content();
+    let code = OvMapCode {
+        shift,
+        g,
+        position_form: position_form_of(map, depth),
+        layout: map.layout(),
+        block: (map.size() as i64) / g.max(1),
+        mv,
+        write_offset: IVec::from(write_offset),
+    };
+    emit(nest, Some((nest.stmts()[stmt].array, &code)))
+}
+
+fn position_form_of(map: &OvMap, _depth: usize) -> IVec {
+    // The position row of the reduction: reconstruct from the OV — any
+    // form with form·ov = g works for the modterm; use the one the map
+    // itself uses via residue probing on unit vectors.
+    let d = map.ov().dim();
+    let zero = IVec::zero(d);
+    let base = map.residue(&zero);
+    (0..d)
+        .map(|k| {
+            let r = map.residue(&IVec::unit(d, k)) - base;
+            r.rem_euclid(map.ov().content().max(1))
+        })
+        .collect()
+}
+
+fn emit(nest: &LoopNest, mapped: Option<(usize, &OvMapCode)>) -> String {
+    let mut out = String::new();
+    let dom = nest.domain();
+    for k in 0..nest.depth() {
+        let _ = writeln!(
+            out,
+            "{:indent$}for ({name} = {lo}; {name} <= {hi}; {name}++) {{",
+            "",
+            indent = k * 2,
+            name = index_name(k),
+            lo = dom.lo()[k],
+            hi = dom.hi()[k],
+        );
+    }
+    let body_indent = nest.depth() * 2;
+    for stmt in nest.stmts() {
+        let lhs = access_to_c(nest, stmt.array, &stmt.subscript, mapped);
+        let rhs = expr_to_c(&stmt.rhs, nest, mapped);
+        let _ = writeln!(out, "{:indent$}{lhs} = {rhs};", "", indent = body_indent);
+    }
+    for k in (0..nest.depth()).rev() {
+        let _ = writeln!(out, "{:indent$}}}", "", indent = k * 2);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use uov_isg::ivec;
+    use uov_storage::Layout;
+
+    #[test]
+    fn natural_fig1_shape() {
+        let nest = examples::fig1_nest(4, 3);
+        let code = emit_natural(&nest);
+        assert!(code.contains("for (i = 1; i <= 4; i++) {"));
+        assert!(code.contains("  for (j = 1; j <= 3; j++) {"));
+        assert!(code.contains("A[i][j] ="));
+        assert!(code.contains("A[i - 1][j]"));
+        assert!(code.contains("A[i - 1][j - 1]"));
+    }
+
+    #[test]
+    fn ov_mapped_fig1_matches_paper_form() {
+        // Figure 1(b): A[n-i+j] = f(A[n-(i-1)+j], A[n-i+(j-1)], …) — our
+        // form is j - i + n with n = 4.
+        let nest = examples::fig1_nest(4, 3);
+        let map = OvMap::new(nest.domain(), ivec![1, 1], Layout::Interleaved);
+        let code = emit_ov_mapped(&nest, 0, &map);
+        // Writes and reads collapse to the 1-D diagonal index.
+        assert!(
+            code.contains("A[-i + j + 3]") || code.contains("A[i - j + 2]"),
+            "unexpected mapped index:\n{code}"
+        );
+        // No 2-D access survives.
+        assert!(!code.contains("]["), "2-D access leaked:\n{code}");
+    }
+
+    #[test]
+    fn ov_mapped_code_indices_agree_with_map() {
+        // The emitted affine index must equal OvMap::map at every point.
+        use uov_isg::IterationDomain as _;
+        let nest = examples::fig1_nest(5, 4);
+        let map = OvMap::new(nest.domain(), ivec![1, 1], Layout::Interleaved);
+        let mv = map.mapping_vector_2d().unwrap();
+        let shift = -nest
+            .domain()
+            .extreme_points()
+            .iter()
+            .map(|p| mv.dot(p))
+            .min()
+            .unwrap();
+        for q in nest.domain().points() {
+            assert_eq!(map.map(&q) as i64, mv.dot(&q) + shift, "at {q}");
+        }
+    }
+
+    #[test]
+    fn stencil5_nest_emits() {
+        let nest = examples::stencil5_nest(3, 8);
+        let code = emit_natural(&nest);
+        assert!(code.contains("A[i - 1][j + 2]"));
+        assert!(code.contains("A[i - 1][j - 2]"));
+    }
+}
+
+#[cfg(test)]
+mod blocked_layout_tests {
+    use super::*;
+    use crate::examples;
+    use uov_isg::ivec;
+    use uov_storage::Layout;
+
+    #[test]
+    fn blocked_modterm_emits_block_offset() {
+        // UOV (2,0) blocked: index = class + mod(position, 2)·L.
+        let nest = examples::stencil5_nest(4, 8);
+        let map = OvMap::new(nest.domain(), ivec![2, 0], Layout::Blocked);
+        let code = emit_ov_mapped(&nest, 0, &map);
+        assert!(code.contains("mod("), "blocked code needs a modterm:\n{code}");
+        assert!(code.contains("*8"), "block offset L = 8 expected:\n{code}");
+    }
+
+    #[test]
+    fn prime_uov_needs_no_modterm() {
+        let nest = examples::fig1_nest(5, 5);
+        let map = OvMap::new(nest.domain(), ivec![1, 1], Layout::Blocked);
+        let code = emit_ov_mapped(&nest, 0, &map);
+        assert!(!code.contains("mod("), "prime OV emits a pure affine index:\n{code}");
+    }
+
+    #[test]
+    fn psm_second_statement_maps_independently() {
+        // Emit with statement 1 (E) mapped while H stays 2-D.
+        let nest = examples::psm_nest(4, 6);
+        let map = OvMap::new(nest.domain(), ivec![1, 0], Layout::Interleaved);
+        let code = emit_ov_mapped(&nest, 1, &map);
+        assert!(code.contains("H[i - 1][j]"), "H stays natural:\n{code}");
+        assert!(!code.contains("E[i"), "E is folded to 1-D:\n{code}");
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's loops, expressed in the IR.
+
+use uov_isg::RectDomain;
+
+use crate::expr::{AffineExpr, Expr};
+use crate::nest::{ArrayDecl, Assign, LoopNest};
+
+fn idx(depth: usize, k: usize, off: i64) -> AffineExpr {
+    AffineExpr::index(depth, k) + off
+}
+
+/// Figure 1(a): `A[i,j] = f(A[i-1,j], A[i,j-1], A[i-1,j-1])` over the
+/// `n × m` grid, with `f` a fixed convex combination (so values stay
+/// bounded and runs are deterministic).
+///
+/// # Panics
+///
+/// Panics if `n < 1` or `m < 1`.
+pub fn fig1_nest(n: i64, m: i64) -> LoopNest {
+    let d = 2;
+    let f = Expr::add(
+        Expr::mul(Expr::Const(0.5), Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)])),
+        Expr::add(
+            Expr::mul(Expr::Const(0.3), Expr::read(0, vec![idx(d, 0, 0), idx(d, 1, -1)])),
+            Expr::mul(Expr::Const(0.2), Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, -1)])),
+        ),
+    );
+    LoopNest::new(
+        RectDomain::grid(n, m),
+        vec![ArrayDecl { name: "A".into(), rank: 2 }],
+        vec![Assign {
+            array: 0,
+            subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
+            rhs: f,
+        }],
+    )
+    .expect("fig1 nest is well-formed")
+}
+
+/// The §5 5-point stencil: `A[t,x] = Σ w_k · A[t-1, x+k]` for
+/// `k ∈ {-2,…,2}`, over `t ∈ 1..=T`, `x ∈ 0..=L-1` (reads at `x±2` touch
+/// the imported halo).
+///
+/// # Panics
+///
+/// Panics if `t_steps < 1` or `len < 1`.
+pub fn stencil5_nest(t_steps: i64, len: i64) -> LoopNest {
+    let d = 2;
+    let weights = [0.1, 0.2, 0.4, 0.2, 0.1];
+    let mut rhs = Expr::Const(0.0);
+    for (k, w) in (-2i64..=2).zip(weights) {
+        rhs = Expr::add(
+            rhs,
+            Expr::mul(Expr::Const(w), Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, k)])),
+        );
+    }
+    LoopNest::new(
+        RectDomain::new(uov_isg::IVec::from([1, 0]), uov_isg::IVec::from([t_steps, len - 1])),
+        vec![ArrayDecl { name: "A".into(), rank: 2 }],
+        vec![Assign {
+            array: 0,
+            subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
+            rhs,
+        }],
+    )
+    .expect("stencil5 nest is well-formed")
+}
+
+/// Protein string matching as IR: a linear-gap local-alignment score `H`
+/// plus a vertical-gap helper `E` — two assignments whose temporaries get
+/// *disjoint* OV-mapped storage (paper §3, first paragraph).
+///
+/// The full affine-gap kernel (with the 23×23 weight table) lives in
+/// `uov-kernels`; this IR version exists for the analyses and for
+/// semantics-preservation tests, so its "weights" are a deterministic
+/// function of the iteration point.
+///
+/// # Panics
+///
+/// Panics if `n1 < 1` or `n0 < 1`.
+pub fn psm_nest(n1: i64, n0: i64) -> LoopNest {
+    let d = 2;
+    // Pseudo-weight w(i,j) = 0.25·i − 0.125·j (stands in for W[s1[i]][s0[j]]).
+    let w = Expr::sub(
+        Expr::mul(Expr::Const(0.25), Expr::Index(0)),
+        Expr::mul(Expr::Const(0.125), Expr::Index(1)),
+    );
+    let h = Assign {
+        array: 0,
+        subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
+        rhs: Expr::max(
+            Expr::add(Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, -1)]), w),
+            Expr::max(
+                Expr::sub(Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)]), Expr::Const(1.0)),
+                Expr::sub(Expr::read(0, vec![idx(d, 0, 0), idx(d, 1, -1)]), Expr::Const(1.0)),
+            ),
+        ),
+    };
+    let e = Assign {
+        array: 1,
+        subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
+        rhs: Expr::max(
+            Expr::sub(Expr::read(1, vec![idx(d, 0, -1), idx(d, 1, 0)]), Expr::Const(0.5)),
+            Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)]),
+        ),
+    };
+    LoopNest::new(
+        RectDomain::grid(n1, n0),
+        vec![
+            ArrayDecl { name: "H".into(), rank: 2 },
+            ArrayDecl { name: "E".into(), rank: 2 },
+        ],
+        vec![h, e],
+    )
+    .expect("psm nest is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nests_build() {
+        assert_eq!(fig1_nest(3, 3).stmts().len(), 1);
+        assert_eq!(stencil5_nest(4, 16).depth(), 2);
+        assert_eq!(psm_nest(3, 4).arrays().len(), 2);
+    }
+}

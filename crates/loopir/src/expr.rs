@@ -1,0 +1,281 @@
+//! Expressions of the loop-nest IR.
+
+use std::fmt;
+
+use uov_isg::IVec;
+
+/// An affine function of the loop indices: `Σ coeffs[k]·i_k + constant`.
+///
+/// Array subscripts in the IR are vectors of affine expressions. The UOV
+/// technique needs *uniform* subscripts — identity coefficients plus a
+/// constant offset — and [`AffineExpr::index_offset`] recognises exactly
+/// that shape.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::ivec;
+/// use uov_loopir::AffineExpr;
+///
+/// // "i - 1" in a 2-deep nest.
+/// let e = AffineExpr::index(2, 0) + (-1);
+/// assert_eq!(e.eval(&ivec![5, 3]), 4);
+/// assert_eq!(e.index_offset(), Some((0, -1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c` in a `depth`-deep nest.
+    pub fn constant(depth: usize, c: i64) -> Self {
+        AffineExpr { coeffs: vec![0; depth], constant: c }
+    }
+
+    /// The loop index `i_k` in a `depth`-deep nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= depth`.
+    pub fn index(depth: usize, k: usize) -> Self {
+        assert!(k < depth, "index {k} out of range for depth {depth}");
+        let mut coeffs = vec![0; depth];
+        coeffs[k] = 1;
+        AffineExpr { coeffs, constant: 0 }
+    }
+
+    /// Build `Σ coeffs[k]·i_k + constant` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    ///
+    /// ```
+    /// use uov_isg::ivec;
+    /// use uov_loopir::AffineExpr;
+    /// let e = AffineExpr::from_parts(vec![2, -1], 3);
+    /// assert_eq!(e.eval(&ivec![5, 4]), 9);
+    /// ```
+    pub fn from_parts(coeffs: Vec<i64>, constant: i64) -> Self {
+        assert!(!coeffs.is_empty(), "expression needs at least one index");
+        AffineExpr { coeffs, constant }
+    }
+
+    /// `self + k·other`, the linear combination used when composing
+    /// storage-mapping forms with subscripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if depths differ.
+    pub fn add_scaled(&self, other: &AffineExpr, k: i64) -> AffineExpr {
+        assert_eq!(self.depth(), other.depth(), "depth mismatch");
+        AffineExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| a + k * b)
+                .collect(),
+            constant: self.constant + k * other.constant,
+        }
+    }
+
+    /// Number of loop indices this expression ranges over.
+    pub fn depth(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficients of the loop indices.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Evaluate at an iteration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.dim() != self.depth()`.
+    pub fn eval(&self, p: &IVec) -> i64 {
+        assert_eq!(p.dim(), self.coeffs.len(), "iteration dimension mismatch");
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .zip(p.iter())
+                .map(|(&c, &i)| c * i)
+                .sum::<i64>()
+    }
+
+    /// If this expression is `i_k + c` for a single index `k`, return
+    /// `(k, c)` — the *uniform subscript* shape required by the UOV
+    /// technique.
+    pub fn index_offset(&self) -> Option<(usize, i64)> {
+        let mut hit = None;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            match c {
+                0 => {}
+                1 if hit.is_none() => hit = Some(k),
+                _ => return None,
+            }
+        }
+        hit.map(|k| (k, self.constant))
+    }
+}
+
+impl std::ops::Add<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, c: i64) -> AffineExpr {
+        self.constant += c;
+        self
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            if c == 1 {
+                write!(f, "i{k}")?;
+            } else {
+                write!(f, "{c}·i{k}")?;
+            }
+            first = false;
+        }
+        if self.constant != 0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// A scalar expression over array reads, loop indices and constants.
+///
+/// Deliberately small: enough to express the paper's two kernels (weighted
+/// stencil averages; max/plus dynamic programming) plus the Fig-1 example.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Read `array[subscript]`.
+    Read {
+        /// Index into the nest's array table.
+        array: usize,
+        /// One affine expression per array dimension.
+        subscript: Vec<AffineExpr>,
+    },
+    /// A floating-point literal.
+    Const(f64),
+    /// The value of loop index `k` as a float (for data-dependent weights).
+    Index(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Maximum (for dynamic-programming kernels).
+    Max(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder helpers, not operators
+impl Expr {
+    /// Convenience: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: a read with the given subscripts.
+    pub fn read(array: usize, subscript: Vec<AffineExpr>) -> Expr {
+        Expr::Read { array, subscript }
+    }
+
+    /// Collect every read in the expression tree (array id + subscript).
+    pub fn reads(&self) -> Vec<(usize, &[AffineExpr])> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads<'a>(&'a self, out: &mut Vec<(usize, &'a [AffineExpr])>) {
+        match self {
+            Expr::Read { array, subscript } => out.push((*array, subscript)),
+            Expr::Const(_) | Expr::Index(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Max(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+
+    #[test]
+    fn affine_eval() {
+        let e = AffineExpr::index(3, 1) + 4;
+        assert_eq!(e.eval(&ivec![7, 2, 9]), 6);
+        let c = AffineExpr::constant(3, -2);
+        assert_eq!(c.eval(&ivec![7, 2, 9]), -2);
+    }
+
+    #[test]
+    fn index_offset_recognition() {
+        assert_eq!((AffineExpr::index(2, 0) + -1).index_offset(), Some((0, -1)));
+        assert_eq!(AffineExpr::index(2, 1).index_offset(), Some((1, 0)));
+        assert_eq!(AffineExpr::constant(2, 5).index_offset(), None);
+        // 2·i is not uniform.
+        let mut skew = AffineExpr::index(2, 0);
+        skew = AffineExpr { coeffs: skew.coeffs().iter().map(|&c| c * 2).collect(), constant: 0 };
+        assert_eq!(skew.index_offset(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", AffineExpr::index(2, 0) + -1), "i0 + -1");
+        assert_eq!(format!("{}", AffineExpr::constant(2, 0)), "0");
+    }
+
+    #[test]
+    fn reads_are_collected() {
+        let e = Expr::max(
+            Expr::read(0, vec![AffineExpr::index(2, 0)]),
+            Expr::add(Expr::read(1, vec![AffineExpr::index(2, 1)]), Expr::Const(1.0)),
+        );
+        let reads = e.reads();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].0, 0);
+        assert_eq!(reads[1].0, 1);
+    }
+}

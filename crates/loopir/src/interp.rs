@@ -1,0 +1,327 @@
+//! Reference interpreter: execute a nest under any order, natural or
+//! OV-mapped.
+//!
+//! The interpreter is the semantic ground truth for the whole workspace:
+//! running a nest with full array storage and running it with a designated
+//! statement's array folded through a
+//! [`uov_storage::StorageMap`] must produce identical live-out
+//! values for every legal execution order — that is what "the mapping
+//! introduces no further dependences" *means* operationally.
+
+use std::collections::HashMap;
+
+use uov_isg::{IVec, IterationDomain, Stencil};
+use uov_storage::StorageMap;
+
+use crate::expr::{AffineExpr, Expr};
+use crate::nest::LoopNest;
+
+/// Values produced by a run: `(statement index, element) → value` for
+/// every element each statement wrote.
+pub type Outputs = HashMap<(usize, IVec), f64>;
+
+/// How a statement's array is stored during interpretation.
+enum Backing<'a> {
+    /// One cell per element (array expansion).
+    Natural(HashMap<IVec, f64>),
+    /// Cells shared according to a storage mapping over producing
+    /// iterations.
+    Mapped { map: &'a dyn StorageMap, cells: Vec<f64> },
+}
+
+/// Execute `nest` in the given `order`.
+///
+/// * `maps[s]`, when present, folds statement `s`'s array through the
+///   given storage mapping (addresses are producer iterations); `None`
+///   uses natural per-element storage. `maps` may be shorter than the
+///   statement list; missing entries mean natural storage.
+/// * `input(array, element)` supplies imported values — elements read but
+///   never written inside the loop (the halo/borders).
+/// * `live_out` values are captured *as they are produced* (the paper's
+///   kernels stream results to an output array), so reuse never destroys a
+///   result.
+///
+/// Returns the values of all written elements for natural statements, and
+/// of `live_out ∩ written` for mapped statements.
+///
+/// # Panics
+///
+/// Panics if the order reads an in-loop element before it is written
+/// (i.e. the order is not a topological extension of the value
+/// dependences), or if points lie outside the nest domain.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::IterationDomain;
+/// use uov_loopir::{examples, interp};
+///
+/// let nest = examples::fig1_nest(4, 4);
+/// let order: Vec<_> = nest.domain().points().collect();
+/// let out = interp::run(&nest, &order, &[], &|_, e| e[1] as f64, &[]);
+/// assert_eq!(out.len(), 16);
+/// ```
+pub fn run(
+    nest: &LoopNest,
+    order: &[IVec],
+    maps: &[Option<&dyn StorageMap>],
+    input: &dyn Fn(usize, &IVec) -> f64,
+    live_out: &[(usize, IVec)],
+) -> Outputs {
+    let nstmts = nest.stmts().len();
+    // Which statement writes each array (validated: at most one for mapped
+    // use; natural arrays tolerate multiple writers by last-write-wins in
+    // order, matching sequential semantics).
+    let mut writer_of: HashMap<usize, usize> = HashMap::new();
+    for (s, stmt) in nest.stmts().iter().enumerate() {
+        writer_of.entry(stmt.array).or_insert(s);
+    }
+
+    let mut backing: Vec<Backing<'_>> = (0..nstmts)
+        .map(|s| match maps.get(s).copied().flatten() {
+            Some(map) => Backing::Mapped { map, cells: vec![0.0; map.size()] },
+            None => Backing::Natural(HashMap::new()),
+        })
+        .collect();
+
+    // Written regions per statement, to distinguish "imported" from
+    // "not yet written" on reads.
+    let written_region: Vec<std::collections::HashSet<IVec>> = (0..nstmts)
+        .map(|s| {
+            nest.domain()
+                .points()
+                .map(|p| nest.write_element(s, &p))
+                .collect()
+        })
+        .collect();
+
+    let mut outputs: Outputs = HashMap::new();
+    let live_out_set: std::collections::HashSet<&(usize, IVec)> = live_out.iter().collect();
+
+    for q in order {
+        assert!(nest.domain().contains(q), "order leaves the domain at {q}");
+        for (s, stmt) in nest.stmts().iter().enumerate() {
+            let value = eval(
+                &stmt.rhs,
+                q,
+                nest,
+                &backing,
+                &writer_of,
+                &written_region,
+                input,
+            );
+            let elem = nest.write_element(s, q);
+            match &mut backing[s] {
+                Backing::Natural(store) => {
+                    store.insert(elem.clone(), value);
+                    outputs.insert((s, elem), value);
+                }
+                Backing::Mapped { map, cells } => {
+                    cells[map.map(q)] = value;
+                    if live_out_set.contains(&(s, elem.clone())) {
+                        outputs.insert((s, elem), value);
+                    }
+                }
+            }
+        }
+    }
+    outputs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval(
+    expr: &Expr,
+    q: &IVec,
+    nest: &LoopNest,
+    backing: &[Backing<'_>],
+    writer_of: &HashMap<usize, usize>,
+    written_region: &[std::collections::HashSet<IVec>],
+    input: &dyn Fn(usize, &IVec) -> f64,
+) -> f64 {
+    match expr {
+        Expr::Const(c) => *c,
+        Expr::Index(k) => q[*k] as f64,
+        Expr::Add(a, b) => {
+            eval(a, q, nest, backing, writer_of, written_region, input)
+                + eval(b, q, nest, backing, writer_of, written_region, input)
+        }
+        Expr::Sub(a, b) => {
+            eval(a, q, nest, backing, writer_of, written_region, input)
+                - eval(b, q, nest, backing, writer_of, written_region, input)
+        }
+        Expr::Mul(a, b) => {
+            eval(a, q, nest, backing, writer_of, written_region, input)
+                * eval(b, q, nest, backing, writer_of, written_region, input)
+        }
+        Expr::Max(a, b) => eval(a, q, nest, backing, writer_of, written_region, input)
+            .max(eval(b, q, nest, backing, writer_of, written_region, input)),
+        Expr::Read { array, subscript } => {
+            let elem: IVec = subscript.iter().map(|e| e.eval(q)).collect();
+            let Some(&s) = writer_of.get(array) else {
+                return input(*array, &elem); // array never written: pure input
+            };
+            if !written_region[s].contains(&elem) {
+                return input(*array, &elem); // imported halo element
+            }
+            match &backing[s] {
+                Backing::Natural(store) => *store.get(&elem).unwrap_or_else(|| {
+                    panic!("read of {elem} before it was written: illegal order")
+                }),
+                Backing::Mapped { map, cells } => {
+                    let producer = producing_iteration(nest, s, &elem);
+                    cells[map.map(&producer)]
+                }
+            }
+        }
+    }
+}
+
+/// Invert a uniform write subscript: the iteration that writes `elem`.
+fn producing_iteration(nest: &LoopNest, stmt: usize, elem: &IVec) -> IVec {
+    let subscript: &[AffineExpr] = &nest.stmts()[stmt].subscript;
+    let depth = nest.depth();
+    let mut p = vec![0i64; depth];
+    for (pos, e) in subscript.iter().enumerate() {
+        let (k, c) = e
+            .index_offset()
+            .expect("mapped statements must have uniform subscripts");
+        p[k] = elem[pos] - c;
+    }
+    IVec::from(p)
+}
+
+/// Convenience for tests and examples: run in lexicographic order with
+/// natural storage everywhere.
+pub fn run_natural(nest: &LoopNest, input: &dyn Fn(usize, &IVec) -> f64) -> Outputs {
+    let order: Vec<IVec> = nest.domain().points().collect();
+    run(nest, &order, &[], input, &[])
+}
+
+/// Differential harness: assert that folding statement `stmt` through
+/// `map` preserves every `live_out` value under the given order, against a
+/// natural lexicographic reference run. Returns the mapped outputs.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) if any live-out value differs —
+/// this is the semantics-preservation oracle used across the workspace's
+/// integration tests.
+pub fn assert_mapping_preserves_semantics(
+    nest: &LoopNest,
+    stmt: usize,
+    map: &dyn StorageMap,
+    order: &[IVec],
+    input: &dyn Fn(usize, &IVec) -> f64,
+    live_out: &[(usize, IVec)],
+) -> Outputs {
+    let reference = run_natural(nest, input);
+    let mut maps: Vec<Option<&dyn StorageMap>> = vec![None; nest.stmts().len()];
+    maps[stmt] = Some(map);
+    let mapped = run(nest, order, &maps, input, live_out);
+    for key in live_out {
+        let want = reference
+            .get(key)
+            .unwrap_or_else(|| panic!("live-out {key:?} was never produced"));
+        let got = mapped
+            .get(key)
+            .unwrap_or_else(|| panic!("mapped run lost live-out {key:?}"));
+        assert!(
+            (want - got).abs() <= 1e-9 * want.abs().max(1.0),
+            "live-out {key:?} differs: natural {want} vs mapped {got} ({})",
+            map.describe()
+        );
+    }
+    mapped
+}
+
+/// The flow stencil of a statement, re-exported here for harness
+/// ergonomics (see [`crate::analysis::flow_stencil`]).
+pub fn stencil_of(nest: &LoopNest, stmt: usize) -> Stencil {
+    crate::analysis::flow_stencil(nest, stmt).expect("statement must be regular")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use uov_isg::ivec;
+    use uov_storage::{Layout, NaturalMap, OvMap};
+
+    fn border_input(_array: usize, e: &IVec) -> f64 {
+        // Deterministic, varied border values.
+        (e[0] * 31 + e[1] * 7) as f64 * 0.01 + 1.0
+    }
+
+    #[test]
+    fn natural_run_is_order_independent_across_legal_orders() {
+        let nest = examples::fig1_nest(5, 5);
+        let s = stencil_of(&nest, 0);
+        let lex = run_natural(&nest, &border_input);
+        for seed in 0..8 {
+            let order = uov_schedule::random_topological_order(nest.domain(), &s, seed);
+            let out = run(&nest, &order, &[], &border_input, &[]);
+            assert_eq!(out.len(), lex.len());
+            for (k, v) in &lex {
+                assert!((out[k] - v).abs() < 1e-12, "divergence at {k:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_ov_mapping_preserves_semantics() {
+        let nest = examples::fig1_nest(6, 5);
+        let s = stencil_of(&nest, 0);
+        let map = OvMap::new(nest.domain(), ivec![1, 1], Layout::Interleaved);
+        let live_out: Vec<(usize, IVec)> = (1..=5).map(|j| (0usize, ivec![6, j])).collect();
+        for seed in 0..12 {
+            let order = uov_schedule::random_topological_order(nest.domain(), &s, seed);
+            assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border_input, &live_out);
+        }
+    }
+
+    #[test]
+    fn stencil5_ov_mapping_preserves_semantics_under_skewed_tiling() {
+        let nest = examples::stencil5_nest(6, 12);
+        let map = OvMap::new(nest.domain(), ivec![2, 0], Layout::Interleaved);
+        let blocked = OvMap::new(nest.domain(), ivec![2, 0], Layout::Blocked);
+        let live_out: Vec<(usize, IVec)> =
+            (0..12).map(|x| (0usize, ivec![6, x])).collect();
+        let order = uov_schedule::LoopSchedule::skewed_tiled_2d(2, vec![3, 4])
+            .order(nest.domain());
+        assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border_input, &live_out);
+        assert_mapping_preserves_semantics(&nest, 0, &blocked, &order, &border_input, &live_out);
+    }
+
+    #[test]
+    fn natural_map_through_mapped_path_matches() {
+        // Folding through NaturalMap on producer iterations is just another
+        // bijection — outputs must match the plain natural run.
+        let nest = examples::fig1_nest(4, 4);
+        let map = NaturalMap::new(nest.domain());
+        let live_out: Vec<(usize, IVec)> = (1..=4).map(|j| (0usize, ivec![4, j])).collect();
+        let order: Vec<IVec> = nest.domain().points().collect();
+        assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border_input, &live_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs")]
+    fn broken_mapping_is_detected() {
+        // (1,0) is not a UOV for Fig-1; under an interchanged order the
+        // diagonal read sees clobbered data and the harness must catch it.
+        let nest = examples::fig1_nest(5, 5);
+        let map = OvMap::new(nest.domain(), ivec![1, 0], Layout::Interleaved);
+        let live_out: Vec<(usize, IVec)> = (1..=5).map(|j| (0usize, ivec![5, j])).collect();
+        let order = uov_schedule::LoopSchedule::Interchange(vec![1, 0]).order(nest.domain());
+        assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border_input, &live_out);
+    }
+
+    #[test]
+    fn psm_two_statement_run() {
+        let nest = examples::psm_nest(4, 4);
+        let out = run_natural(&nest, &|_, _| 0.0);
+        // Both statements produce 16 elements each.
+        assert_eq!(out.len(), 32);
+        // H values grow with i (pseudo-weights favour larger i).
+        assert!(out[&(0, ivec![4, 4])] > out[&(0, ivec![1, 1])]);
+    }
+}

@@ -1,0 +1,47 @@
+//! A small perfect-loop-nest IR with the analyses the paper presumes.
+//!
+//! §1–2 of the paper: "We can determine whether our assumptions are valid
+//! for a given loop nest by applying array region analysis and value-based
+//! dependence analysis." This crate supplies working (deliberately
+//! restricted) versions of both, over an explicit IR:
+//!
+//! * [`LoopNest`] — a perfectly nested loop with constant bounds whose body
+//!   is a sequence of array assignments with *uniform* (identity + constant
+//!   offset) subscripts — exactly the "regular loops" the UOV technique
+//!   targets;
+//! * [`analysis::flow_stencil`] — value-based dependence analysis for the
+//!   uniform single-assignment case, producing the dependence [`Stencil`]
+//!   consumed by `uov-core`;
+//! * [`analysis::RegionAnalysis`] — array region analysis classifying
+//!   elements as imported, written, and temporary with respect to a
+//!   declared live-out region;
+//! * [`interp`] — a reference interpreter that can run the
+//!   nest under any execution order and, crucially, through any
+//!   [`uov_storage::StorageMap`] — the end-to-end proof that an OV mapping
+//!   preserves semantics.
+//!
+//! [`Stencil`]: uov_isg::Stencil
+//!
+//! # Example
+//!
+//! ```
+//! use uov_loopir::{analysis, examples};
+//!
+//! // The paper's Figure-1 loop as IR.
+//! let nest = examples::fig1_nest(6, 4);
+//! let stencil = analysis::flow_stencil(&nest, 0)?;
+//! assert_eq!(stencil.len(), 3); // (1,0), (0,1), (1,1)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod codegen;
+pub mod examples;
+pub mod expr;
+pub mod interp;
+pub mod nest;
+
+pub use expr::{AffineExpr, Expr};
+pub use nest::{ArrayDecl, Assign, LoopNest, NestError};

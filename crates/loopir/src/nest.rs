@@ -1,0 +1,239 @@
+//! The loop-nest IR: perfectly nested loops over a rectangular domain.
+
+use std::error::Error;
+use std::fmt;
+
+use uov_isg::{IVec, IterationDomain as _, RectDomain};
+
+use crate::expr::{AffineExpr, Expr};
+
+/// Declaration of an array used by the nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name (for diagnostics and experiment output).
+    pub name: String,
+    /// Number of dimensions.
+    pub rank: usize,
+}
+
+/// One assignment statement `array[subscript] = rhs` in the nest body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Index into [`LoopNest::arrays`] of the written array.
+    pub array: usize,
+    /// Subscript of the write, one affine expression per array dimension.
+    pub subscript: Vec<AffineExpr>,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+/// A perfect loop nest with constant rectangular bounds.
+///
+/// Built with [`LoopNest::new`], which validates the structural rules of
+/// the IR (ranks and depths line up). Whether the nest is *regular* in the
+/// paper's sense — uniform subscripts, one assignment per array — is a
+/// separate, analysis-level question answered by
+/// [`crate::analysis::flow_stencil`].
+///
+/// # Examples
+///
+/// ```
+/// use uov_loopir::examples;
+/// let nest = examples::fig1_nest(4, 4);
+/// assert_eq!(nest.depth(), 2);
+/// assert_eq!(nest.arrays().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    domain: RectDomain,
+    arrays: Vec<ArrayDecl>,
+    stmts: Vec<Assign>,
+}
+
+/// Structural error building a [`LoopNest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestError {
+    /// The nest must contain at least one statement.
+    NoStatements,
+    /// A statement writes an array id that is not declared.
+    UnknownArray(usize),
+    /// A subscript's length does not match the array's rank.
+    RankMismatch {
+        /// The offending array id.
+        array: usize,
+        /// The array's declared rank.
+        rank: usize,
+        /// The subscript length found.
+        found: usize,
+    },
+    /// An affine expression ranges over the wrong number of loop indices.
+    DepthMismatch {
+        /// The nest depth.
+        depth: usize,
+        /// The depth found in the expression.
+        found: usize,
+    },
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestError::NoStatements => write!(f, "loop nest has no statements"),
+            NestError::UnknownArray(a) => write!(f, "statement references undeclared array {a}"),
+            NestError::RankMismatch { array, rank, found } => write!(
+                f,
+                "array {array} has rank {rank} but a subscript of length {found}"
+            ),
+            NestError::DepthMismatch { depth, found } => write!(
+                f,
+                "nest depth is {depth} but an expression ranges over {found} indices"
+            ),
+        }
+    }
+}
+
+impl Error for NestError {}
+
+impl LoopNest {
+    /// Validate and build a nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NestError`] when statements reference undeclared arrays or
+    /// subscript/expression shapes do not line up.
+    pub fn new(
+        domain: RectDomain,
+        arrays: Vec<ArrayDecl>,
+        stmts: Vec<Assign>,
+    ) -> Result<Self, NestError> {
+        if stmts.is_empty() {
+            return Err(NestError::NoStatements);
+        }
+        let depth = domain.dim();
+        let check_subscript = |array: usize, subscript: &[AffineExpr]| -> Result<(), NestError> {
+            let decl = arrays.get(array).ok_or(NestError::UnknownArray(array))?;
+            if subscript.len() != decl.rank {
+                return Err(NestError::RankMismatch {
+                    array,
+                    rank: decl.rank,
+                    found: subscript.len(),
+                });
+            }
+            for e in subscript {
+                if e.depth() != depth {
+                    return Err(NestError::DepthMismatch { depth, found: e.depth() });
+                }
+            }
+            Ok(())
+        };
+        for stmt in &stmts {
+            check_subscript(stmt.array, &stmt.subscript)?;
+            for (array, subscript) in stmt.rhs.reads() {
+                check_subscript(array, subscript)?;
+            }
+        }
+        Ok(LoopNest { domain, arrays, stmts })
+    }
+
+    /// The iteration domain.
+    pub fn domain(&self) -> &RectDomain {
+        &self.domain
+    }
+
+    /// Nest depth (number of loops).
+    pub fn depth(&self) -> usize {
+        self.domain.dim()
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Body statements, in program order.
+    pub fn stmts(&self) -> &[Assign] {
+        &self.stmts
+    }
+
+    /// Evaluate the write subscript of statement `stmt` at iteration `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stmt` is out of range.
+    pub fn write_element(&self, stmt: usize, p: &IVec) -> IVec {
+        self.stmts[stmt]
+            .subscript
+            .iter()
+            .map(|e| e.eval(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use uov_isg::ivec;
+
+    #[test]
+    fn fig1_nest_is_well_formed() {
+        let nest = examples::fig1_nest(5, 3);
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.stmts().len(), 1);
+        assert_eq!(nest.write_element(0, &ivec![2, 3]), ivec![2, 3]);
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let err = LoopNest::new(RectDomain::grid(2, 2), vec![], vec![]).unwrap_err();
+        assert_eq!(err, NestError::NoStatements);
+    }
+
+    #[test]
+    fn rejects_unknown_array() {
+        let stmt = Assign {
+            array: 3,
+            subscript: vec![AffineExpr::index(2, 0), AffineExpr::index(2, 1)],
+            rhs: Expr::Const(0.0),
+        };
+        let err = LoopNest::new(
+            RectDomain::grid(2, 2),
+            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![stmt],
+        )
+        .unwrap_err();
+        assert_eq!(err, NestError::UnknownArray(3));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let stmt = Assign {
+            array: 0,
+            subscript: vec![AffineExpr::index(2, 0)],
+            rhs: Expr::Const(0.0),
+        };
+        let err = LoopNest::new(
+            RectDomain::grid(2, 2),
+            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![stmt],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestError::RankMismatch { array: 0, rank: 2, found: 1 }));
+    }
+
+    #[test]
+    fn rejects_depth_mismatch_in_reads() {
+        let stmt = Assign {
+            array: 0,
+            subscript: vec![AffineExpr::index(2, 0), AffineExpr::index(2, 1)],
+            rhs: Expr::read(0, vec![AffineExpr::index(3, 0), AffineExpr::index(3, 1)]),
+        };
+        let err = LoopNest::new(
+            RectDomain::grid(2, 2),
+            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![stmt],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestError::DepthMismatch { depth: 2, found: 3 }));
+    }
+}

@@ -1,0 +1,278 @@
+//! Set-associative LRU caches and TLBs.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set). `1` is direct-mapped.
+    pub assoc: u32,
+    /// Cycles charged on a hit at this level.
+    pub hit_cycles: u64,
+}
+
+impl CacheConfig {
+    fn num_sets(&self) -> u64 {
+        let lines = self.size_bytes / self.line_bytes;
+        (lines / self.assoc as u64).max(1)
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tags are stored per set in most-recently-used-first order; an access is
+/// a linear scan of at most `assoc` entries — plenty fast for the small
+/// associativities of real caches.
+///
+/// # Examples
+///
+/// ```
+/// use uov_memsim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig {
+///     size_bytes: 256, line_bytes: 32, assoc: 2, hit_cycles: 1,
+/// });
+/// assert!(!c.access(0));   // cold miss
+/// assert!(c.access(16));   // same 32-byte line
+/// assert!(!c.access(4096));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds up to `assoc` line tags, MRU first.
+    sets: Vec<Vec<u64>>,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, the associativity is
+    /// zero, or the capacity is smaller than one line.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            config.size_bytes >= config.line_bytes,
+            "cache must hold at least one line"
+        );
+        let num_sets = config.num_sets();
+        assert!(
+            num_sets.is_power_of_two(),
+            "size / line / assoc must yield a power-of-two set count"
+        );
+        Cache {
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            sets: vec![Vec::with_capacity(config.assoc as usize); num_sets as usize],
+            config,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Touch the line containing `addr`; returns `true` on a hit. Misses
+    /// allocate (write-allocate policy for both reads and writes).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            set[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.assoc as usize {
+                set.pop(); // evict LRU
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Associativity; use `entries` for fully associative.
+    pub assoc: u32,
+    /// Cycles charged on a TLB miss (page-table walk).
+    pub miss_cycles: u64,
+}
+
+/// A TLB: a cache keyed by page number.
+///
+/// # Examples
+///
+/// ```
+/// use uov_memsim::{Tlb, TlbConfig};
+///
+/// let mut t = Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, assoc: 2, miss_cycles: 30 });
+/// assert!(!t.access(0));
+/// assert!(t.access(100));      // same page
+/// assert!(!t.access(4096));    // next page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    inner: Cache,
+    miss_cycles: u64,
+}
+
+impl Tlb {
+    /// Build an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same geometry conditions as [`Cache::new`].
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb {
+            inner: Cache::new(CacheConfig {
+                size_bytes: config.page_bytes * config.entries as u64,
+                line_bytes: config.page_bytes,
+                assoc: config.assoc,
+                hit_cycles: 0,
+            }),
+            miss_cycles: config.miss_cycles,
+        }
+    }
+
+    /// Translate `addr`; returns `true` on a TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.inner.access(addr)
+    }
+
+    /// Cycles charged per miss.
+    pub fn miss_cycles(&self) -> u64 {
+        self.miss_cycles
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Drop all contents and statistics.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2, hit_cycles: 1 })
+    }
+
+    #[test]
+    fn hit_within_line() {
+        let mut c = small();
+        assert!(!c.access(0));
+        for off in 1..16 {
+            assert!(c.access(off), "offset {off} should hit the same line");
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 15);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 128B / 16B lines / 2-way = 4 sets. Lines mapping to set 0:
+        // addresses 0, 64, 128, 192 (line numbers 0, 4, 8, 12).
+        let mut c = small();
+        c.access(0);
+        c.access(64);
+        assert!(c.access(0)); // 0 now MRU
+        c.access(128); // evicts 64 (LRU), not 0
+        assert!(c.access(0), "0 must have survived");
+        assert!(!c.access(64), "64 must have been evicted");
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, assoc: 1, hit_cycles: 1 });
+        // 4 sets; addresses 0 and 64 collide.
+        c.access(0);
+        c.access(64);
+        assert!(!c.access(0), "direct-mapped conflict must evict");
+    }
+
+    #[test]
+    fn full_capacity_streaming() {
+        let mut c = small();
+        // Touch 8 distinct lines = full capacity; all fit.
+        for i in 0..8u64 {
+            c.access(i * 16);
+        }
+        for i in 0..8u64 {
+            assert!(c.access(i * 16), "line {i} should still be resident");
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn tlb_page_granularity() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            assoc: 4,
+            miss_cycles: 30,
+        });
+        assert!(!t.access(0));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 96, line_bytes: 24, assoc: 1, hit_cycles: 1 });
+    }
+}

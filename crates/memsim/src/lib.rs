@@ -1,0 +1,49 @@
+//! A deterministic memory-hierarchy simulator.
+//!
+//! The paper's evaluation (§5) ran two kernels on three 1998 machines — a
+//! 200 MHz Pentium Pro, a 200 MHz Sun Ultra 2 and a 500 MHz DEC Alpha
+//! 21164 — and reported *cycles per iteration* as problem sizes sweep from
+//! cache-resident to out-of-memory. None of that hardware is available, so
+//! this crate substitutes a transparent capacity/latency model:
+//!
+//! * set-associative, LRU caches with configurable size / line /
+//!   associativity and per-level hit latencies ([`Cache`]);
+//! * a TLB modelled as a cache of page numbers with a miss penalty
+//!   ([`Tlb`]);
+//! * a physical-memory capacity with LRU page residency — exceeding it
+//!   sends accesses to "disk", reproducing the paper's cycles-per-iteration
+//!   cliff when a storage variant falls out of memory;
+//! * per-iteration ALU and branch-misprediction costs, the knobs behind
+//!   the paper's observation that branchy code (protein string matching)
+//!   is stall-bound rather than memory-bound on the Ultra 2 and Alpha.
+//!
+//! The three presets in [`machines`] use the documented cache geometries
+//! of the original machines with approximate latencies (in each machine's
+//! own cycles); memory capacities are scaled down (64–128 MB) so the
+//! out-of-memory cliff is reachable by CI-scale sweeps. The *shapes* of
+//! the resulting curves — who wins, where crossovers fall — are the
+//! reproduction target, not absolute cycle counts.
+//!
+//! # Example
+//!
+//! ```
+//! use uov_memsim::machines;
+//!
+//! let mut m = machines::pentium_pro();
+//! for i in 0..1024u64 {
+//!     m.read(i * 4);
+//!     m.alu(2);
+//! }
+//! let stats = m.stats();
+//! assert!(stats.cycles > 0);
+//! assert!(stats.l1_misses < stats.accesses);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod machine;
+pub mod machines;
+
+pub use cache::{Cache, CacheConfig, Tlb, TlbConfig};
+pub use machine::{Machine, MachineConfig, MachineStats};

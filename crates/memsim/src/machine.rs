@@ -1,0 +1,453 @@
+//! A whole machine: cache levels, TLB, physical-memory residency, and
+//! instruction cost accounting.
+
+use std::collections::HashMap;
+
+use crate::cache::{Cache, CacheConfig, Tlb, TlbConfig};
+
+/// Full description of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Display name (e.g. `"Pentium Pro (sim)"`).
+    pub name: String,
+    /// First-level data cache.
+    pub l1: CacheConfig,
+    /// Optional unified second-level cache.
+    pub l2: Option<CacheConfig>,
+    /// Data TLB.
+    pub tlb: TlbConfig,
+    /// Latency of a main-memory access (after the last cache level misses).
+    pub mem_cycles: u64,
+    /// Physical memory capacity in bytes; beyond it pages spill to "disk".
+    pub mem_capacity_bytes: u64,
+    /// Cost of a *major* page fault — re-reading an evicted page from
+    /// disk, in cycles. First-touch (minor) faults only pay
+    /// `minor_fault_cycles`.
+    pub disk_cycles: u64,
+    /// Cost of a minor (first-touch, zero-fill) page fault, in cycles.
+    pub minor_fault_cycles: u64,
+    /// Cycles per arithmetic operation (pipelined, so usually ~1).
+    pub alu_cycles: u64,
+    /// Cycles charged per hard-to-predict branch — the knob behind the
+    /// paper's Ultra 2 / Alpha protein-matching plateau (§5.2).
+    pub branch_cycles: u64,
+}
+
+/// Counters accumulated by a [`Machine`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Memory accesses (reads + writes).
+    pub accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses (0 when the machine has no L2).
+    pub l2_misses: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Minor page faults (first touch of a page).
+    pub minor_faults: u64,
+    /// Major page faults (re-reading a page evicted to disk).
+    pub major_faults: u64,
+    /// Dirty pages written back to disk on eviction.
+    pub page_outs: u64,
+}
+
+/// A simulated machine executing a stream of reads, writes, ALU operations
+/// and branches.
+///
+/// Determinism: identical call sequences produce identical statistics.
+///
+/// # Examples
+///
+/// ```
+/// use uov_memsim::machines;
+///
+/// let mut m = machines::alpha_21164();
+/// m.write(0);
+/// m.read(0);
+/// assert_eq!(m.stats().accesses, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    l1: Cache,
+    l2: Option<Cache>,
+    tlb: Tlb,
+    /// Exact-LRU resident set with O(1) touch and eviction.
+    resident: LruPages,
+    /// Pages that have been evicted to disk at least once; touching one
+    /// again is a major fault.
+    evicted: std::collections::HashSet<u64>,
+    page_shift: u32,
+    stats: MachineStats,
+}
+
+/// An exact-LRU set of page numbers with O(1) touch/insert/evict, backed
+/// by a doubly-linked list threaded through a slot arena.
+#[derive(Debug, Clone)]
+struct LruPages {
+    map: HashMap<u64, usize>,
+    slots: Vec<LruSlot>,
+    free: Vec<usize>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    capacity: usize,
+}
+
+#[derive(Debug, Clone)]
+struct LruSlot {
+    page: u64,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Result of touching a page in the resident set.
+enum TouchOutcome {
+    /// Already resident (LRU position refreshed).
+    Resident,
+    /// Newly inserted; `evicted` is the victim page (with its dirty bit),
+    /// if the set was full.
+    Inserted {
+        evicted: Option<(u64, bool)>,
+    },
+}
+
+impl LruPages {
+    fn new(capacity: usize) -> Self {
+        LruPages {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Touch `page` (marking it dirty if `is_write`). When the set is
+    /// full, the least recently used page is evicted first and reported in
+    /// the outcome together with its dirty bit.
+    fn touch(&mut self, page: u64, is_write: bool) -> TouchOutcome {
+        if let Some(&i) = self.map.get(&page) {
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            self.slots[i].dirty |= is_write;
+            return TouchOutcome::Resident;
+        }
+        let mut victim_page = None;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            victim_page = Some((self.slots[victim].page, self.slots[victim].dirty));
+            self.map.remove(&self.slots[victim].page);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i].page = page;
+                self.slots[i].dirty = is_write;
+                i
+            }
+            None => {
+                self.slots.push(LruSlot { page, dirty: is_write, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(page, i);
+        self.push_front(i);
+        TouchOutcome::Inserted { evicted: victim_page }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+impl Machine {
+    /// Build a machine with cold caches and an empty resident set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache geometry is invalid (see [`Cache::new`]) or the
+    /// memory capacity is smaller than one page.
+    pub fn new(config: MachineConfig) -> Self {
+        let page_bytes = config.tlb.page_bytes;
+        assert!(
+            config.mem_capacity_bytes >= page_bytes,
+            "memory must hold at least one page"
+        );
+        Machine {
+            l1: Cache::new(config.l1.clone()),
+            l2: config.l2.clone().map(Cache::new),
+            tlb: Tlb::new(config.tlb.clone()),
+            resident: LruPages::new((config.mem_capacity_bytes / page_bytes) as usize),
+            evicted: std::collections::HashSet::new(),
+            page_shift: page_bytes.trailing_zeros(),
+            stats: MachineStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration of this machine.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Simulate a load from `addr`.
+    pub fn read(&mut self, addr: u64) {
+        self.access(addr, false);
+    }
+
+    /// Simulate a store to `addr` (write-allocate; evicting a dirtied page
+    /// from physical memory later pays a disk write-back).
+    pub fn write(&mut self, addr: u64) {
+        self.access(addr, true);
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.stats.accesses += 1;
+        // Address translation.
+        if !self.tlb.access(addr) {
+            self.stats.tlb_misses += 1;
+            self.stats.cycles += self.tlb.miss_cycles();
+        }
+        // Residency: page faults dominate everything else.
+        self.touch_page(addr >> self.page_shift, is_write);
+        // Cache hierarchy.
+        self.stats.cycles += self.config.l1.hit_cycles;
+        if self.l1.access(addr) {
+            return;
+        }
+        self.stats.l1_misses += 1;
+        if let Some(l2) = &mut self.l2 {
+            self.stats.cycles += l2.config().hit_cycles;
+            if l2.access(addr) {
+                return;
+            }
+            self.stats.l2_misses += 1;
+        }
+        self.stats.cycles += self.config.mem_cycles;
+    }
+
+    fn touch_page(&mut self, page: u64, is_write: bool) {
+        match self.resident.touch(page, is_write) {
+            TouchOutcome::Resident => {}
+            TouchOutcome::Inserted { evicted } => {
+                if self.evicted.remove(&page) {
+                    self.stats.major_faults += 1;
+                    self.stats.cycles += self.config.disk_cycles;
+                } else {
+                    self.stats.minor_faults += 1;
+                    self.stats.cycles += self.config.minor_fault_cycles;
+                }
+                if let Some((victim, dirty)) = evicted {
+                    self.evicted.insert(victim);
+                    if dirty {
+                        // The page's contents must reach the swap device.
+                        self.stats.page_outs += 1;
+                        self.stats.cycles += self.config.disk_cycles;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charge `n` pipelined arithmetic operations.
+    pub fn alu(&mut self, n: u64) {
+        self.stats.cycles += n * self.config.alu_cycles;
+    }
+
+    /// Charge `n` hard-to-predict branches.
+    pub fn branch(&mut self, n: u64) {
+        self.stats.cycles += n * self.config.branch_cycles;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Cycles so far (shorthand for `stats().cycles`).
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Cold-start the machine again: caches, TLB, residency and counters.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        if let Some(l2) = &mut self.l2 {
+            l2.reset();
+        }
+        self.tlb.reset();
+        self.resident.clear();
+        self.evicted.clear();
+        self.stats = MachineStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    fn tiny() -> Machine {
+        Machine::new(MachineConfig {
+            name: "tiny".into(),
+            l1: CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2, hit_cycles: 1 },
+            l2: Some(CacheConfig { size_bytes: 512, line_bytes: 16, assoc: 4, hit_cycles: 4 }),
+            tlb: TlbConfig { entries: 2, page_bytes: 256, assoc: 2, miss_cycles: 20 },
+            mem_cycles: 50,
+            mem_capacity_bytes: 1024,
+            disk_cycles: 10_000,
+            minor_fault_cycles: 50,
+            alu_cycles: 1,
+            branch_cycles: 5,
+        })
+    }
+
+    #[test]
+    fn sequential_reuse_is_cheap() {
+        let mut m = tiny();
+        m.read(0); // cold: tlb miss + fault + l1 miss + l2 miss
+        let cold = m.cycles();
+        m.read(4); // same line, same page
+        let warm = m.cycles() - cold;
+        assert!(warm < cold / 10, "warm access ({warm}) should be far cheaper than cold ({cold})");
+    }
+
+    #[test]
+    fn capacity_thrashing_hits_disk() {
+        let mut m = tiny();
+        // 8 pages cycled through a 4-page memory → every round faults.
+        for round in 0..3u64 {
+            for p in 0..8u64 {
+                m.read(p * 256);
+            }
+            if round == 0 {
+                assert_eq!(m.stats().minor_faults, 8);
+                assert_eq!(m.stats().major_faults, 0);
+            }
+        }
+        assert_eq!(m.stats().minor_faults, 8);
+        assert_eq!(m.stats().major_faults, 16, "strict LRU cycling must re-fault every time");
+    }
+
+    #[test]
+    fn small_working_set_never_faults_again() {
+        let mut m = tiny();
+        for _ in 0..10 {
+            for p in 0..3u64 {
+                m.read(p * 256);
+            }
+        }
+        assert_eq!(m.stats().minor_faults, 3);
+        assert_eq!(m.stats().major_faults, 0);
+    }
+
+    #[test]
+    fn alu_and_branch_costs() {
+        let mut m = tiny();
+        m.alu(7);
+        assert_eq!(m.cycles(), 7);
+        m.branch(2);
+        assert_eq!(m.cycles(), 17);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = tiny();
+        m.read(0);
+        m.read(0);
+        m.reset();
+        assert_eq!(m.stats(), &MachineStats::default());
+        m.read(0);
+        assert_eq!(m.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut m = tiny();
+            for i in 0..1000u64 {
+                m.read((i * 97) % 4096);
+                m.alu(1);
+            }
+            m.stats().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn presets_construct_and_differ() {
+        let pp = machines::pentium_pro();
+        let u2 = machines::ultra_2();
+        let al = machines::alpha_21164();
+        assert_ne!(pp.name(), u2.name());
+        assert_ne!(u2.name(), al.name());
+        // The Alpha's L1 is the smallest of the three.
+        assert!(al.config().l1.size_bytes <= pp.config().l1.size_bytes);
+        assert!(u2.config().l2.as_ref().unwrap().size_bytes > pp.config().l2.as_ref().unwrap().size_bytes);
+    }
+
+    #[test]
+    fn streaming_beats_striding_on_cycles() {
+        // Locality must matter: sequential touch of 64KB vs page-striding.
+        let mut seq = machines::pentium_pro();
+        for i in 0..16_384u64 {
+            seq.read(i * 4);
+        }
+        let mut stride = machines::pentium_pro();
+        for i in 0..16_384u64 {
+            stride.read((i * 4096) % (4096 * 512) + (i % 8) * 4);
+        }
+        assert!(
+            seq.cycles() < stride.cycles(),
+            "sequential ({}) must beat striding ({})",
+            seq.cycles(),
+            stride.cycles()
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the memory-hierarchy simulator.
+
+use proptest::prelude::*;
+use uov_memsim::{machines, Cache, CacheConfig};
+
+fn small_cache() -> impl Strategy<Value = Cache> {
+    (0u32..4, 0u32..3, 0u32..3).prop_map(|(sets_log, assoc_log, line_log)| {
+        let line = 16u64 << line_log;
+        let assoc = 1u32 << assoc_log;
+        let sets = 1u64 << sets_log;
+        Cache::new(CacheConfig {
+            size_bytes: sets * assoc as u64 * line,
+            line_bytes: line,
+            assoc,
+            hit_cycles: 1,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accesses_equal_hits_plus_misses(
+        mut cache in small_cache(),
+        addrs in prop::collection::vec(0u64..4096, 1..200),
+    ) {
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn immediate_rereference_always_hits(
+        mut cache in small_cache(),
+        addrs in prop::collection::vec(0u64..4096, 1..100),
+    ) {
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(cache.access(a), "re-access of {a} must hit");
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_all_hits(
+        assoc_log in 0u32..3,
+        lines in 1u64..8,
+    ) {
+        let assoc = 1u32 << assoc_log;
+        let line = 32u64;
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 8 * assoc as u64 * line, // 8 sets
+            line_bytes: line,
+            assoc,
+            hit_cycles: 1,
+        });
+        // A working set no bigger than one set's worth per set index.
+        let addrs: Vec<u64> = (0..lines.min(assoc as u64)).map(|i| i * line * 8).collect();
+        for _ in 0..3 {
+            for &a in &addrs {
+                cache.access(a);
+            }
+        }
+        let before = cache.misses();
+        for &a in &addrs {
+            prop_assert!(cache.access(a));
+        }
+        prop_assert_eq!(cache.misses(), before);
+    }
+
+    #[test]
+    fn machine_determinism(addrs in prop::collection::vec(0u64..(1 << 20), 1..300)) {
+        let run = |addrs: &[u64]| {
+            let mut m = machines::alpha_21164();
+            for &a in addrs {
+                m.read(a);
+            }
+            m.stats().clone()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    #[test]
+    fn cycles_monotone_under_extension(
+        prefix in prop::collection::vec(0u64..(1 << 16), 1..100),
+        extra in prop::collection::vec(0u64..(1 << 16), 1..50),
+    ) {
+        let mut a = machines::pentium_pro();
+        for &x in &prefix {
+            a.read(x);
+        }
+        let cycles_prefix = a.cycles();
+        for &x in &extra {
+            a.read(x);
+        }
+        prop_assert!(a.cycles() > cycles_prefix);
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..100),
+    ) {
+        let mut warm = machines::ultra_2();
+        for &a in &addrs {
+            warm.read(a);
+        }
+        warm.reset();
+        for &a in &addrs {
+            warm.read(a);
+        }
+        let mut cold = machines::ultra_2();
+        for &a in &addrs {
+            cold.read(a);
+        }
+        prop_assert_eq!(warm.stats(), cold.stats());
+    }
+}

@@ -1,0 +1,238 @@
+//! Schedule legality against a dependence stencil.
+//!
+//! A schedule is legal iff every producer executes before its consumers:
+//! for each iteration `q` and stencil vector `v`, if `q − v` is in the
+//! domain then it must precede `q` in the execution order. Storage-related
+//! dependences restrict schedules exactly the same way — which is why the
+//! paper removes them and reintroduces only UOV-induced ones that are
+//! already implied by value flow.
+
+use std::collections::HashMap;
+
+use uov_isg::{IMat, IVec, RectDomain, Stencil};
+
+use crate::order::LoopSchedule;
+
+/// Exhaustively check that `schedule` respects `stencil` on `domain`.
+///
+/// Cost is `O(points × stencil)`: intended for validation and tests, not
+/// for compile-time decisions on large domains (use the analytic checks
+/// below for those).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, RectDomain, Stencil};
+/// use uov_schedule::{legality::respects_dependences, LoopSchedule};
+///
+/// let s = Stencil::new(vec![ivec![1, -1]])?;
+/// let dom = RectDomain::grid(3, 3);
+/// // (1,-1) flows down-left; plain interchange breaks it…
+/// assert!(!respects_dependences(&LoopSchedule::Interchange(vec![1, 0]), &dom, &s));
+/// // …while the original order is fine.
+/// assert!(respects_dependences(&LoopSchedule::Lexicographic, &dom, &s));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn respects_dependences(
+    schedule: &LoopSchedule,
+    domain: &RectDomain,
+    stencil: &Stencil,
+) -> bool {
+    order_respects_dependences(&schedule.order(domain), domain, stencil)
+}
+
+/// Check an explicit execution order (any total order, e.g. a random
+/// topological extension) against the stencil.
+///
+/// Returns `false` also when the order is not a permutation of the domain.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn order_respects_dependences(
+    order: &[IVec],
+    domain: &RectDomain,
+    stencil: &Stencil,
+) -> bool {
+    use uov_isg::IterationDomain as _;
+    if order.len() as u64 != domain.num_points() {
+        return false;
+    }
+    let rank: HashMap<&IVec, usize> =
+        order.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    if rank.len() != order.len() {
+        return false;
+    }
+    for (i, q) in order.iter().enumerate() {
+        for v in stencil {
+            let p = q - v;
+            if domain.contains(&p) {
+                match rank.get(&p) {
+                    Some(&rp) if rp < i => {}
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Analytic criterion: rectangular tiling (of the original space, any tile
+/// shape, atomic tiles in lexicographic order) is legal iff every
+/// dependence distance is component-wise non-negative.
+///
+/// This is the classical condition of Irigoin & Triolet; the paper's Fig-1
+/// stencil satisfies it, the 5-point stencil does not (it needs skewing).
+pub fn rectangular_tiling_legal(stencil: &Stencil) -> bool {
+    stencil
+        .iter()
+        .all(|v| v.iter().all(|&c| c >= 0))
+}
+
+/// Find the smallest non-negative skew factor `f` such that the 2-D skew
+/// `j' = j + f·i` makes every dependence component-wise non-negative, i.e.
+/// makes rectangular tiling of the skewed space legal.
+///
+/// Returns `None` if the stencil is not 2-dimensional or some dependence
+/// has `i = 0, j < 0` (impossible for a lexicographically positive
+/// stencil, so in practice only the dimension check can fail).
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, Stencil};
+/// use uov_schedule::legality::skew_factor_for_tiling;
+///
+/// // The paper's 5-point stencil needs f = 2: (1,-2) ↦ (1,0).
+/// let s = Stencil::new(vec![
+///     ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2],
+/// ])?;
+/// assert_eq!(skew_factor_for_tiling(&s), Some(2));
+/// # Ok::<(), uov_isg::StencilError>(())
+/// ```
+pub fn skew_factor_for_tiling(stencil: &Stencil) -> Option<i64> {
+    if stencil.dim() != 2 {
+        return None;
+    }
+    let mut f = 0i64;
+    for v in stencil {
+        let (a, b) = (v[0], v[1]);
+        if a == 0 {
+            if b < 0 {
+                return None; // cannot happen for validated stencils
+            }
+        } else {
+            // Need b + f·a ≥ 0 ⇒ f ≥ ⌈−b/a⌉ for a > 0.
+            let need = (-b + a - 1).div_euclid(a).max(0);
+            f = f.max(need);
+        }
+    }
+    Some(f)
+}
+
+/// The unimodular skew matrix `[[1, 0], [f, 1]]` realising
+/// [`skew_factor_for_tiling`].
+pub fn skew_matrix_2d(f: i64) -> IMat {
+    IMat::from_rows(&[IVec::from([1, 0]), IVec::from([f, 1])])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+
+    fn fig1() -> Stencil {
+        Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+    }
+
+    fn stencil5() -> Stencil {
+        Stencil::new(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lexicographic_always_legal() {
+        let dom = RectDomain::grid(5, 5);
+        for s in [fig1(), stencil5()] {
+            assert!(respects_dependences(&LoopSchedule::Lexicographic, &dom, &s));
+        }
+    }
+
+    #[test]
+    fn fig1_is_fully_permutable() {
+        let dom = RectDomain::grid(4, 4);
+        let s = fig1();
+        assert!(respects_dependences(&LoopSchedule::Interchange(vec![1, 0]), &dom, &s));
+        assert!(respects_dependences(&LoopSchedule::tiled(vec![2, 2]), &dom, &s));
+        assert!(respects_dependences(&LoopSchedule::Wavefront(ivec![1, 1]), &dom, &s));
+        assert!(rectangular_tiling_legal(&s));
+    }
+
+    #[test]
+    fn stencil5_needs_skewing() {
+        let dom = RectDomain::grid(5, 8);
+        let s = stencil5();
+        assert!(!rectangular_tiling_legal(&s));
+        // Naive tiling violates the (1,−2) dependence…
+        assert!(!respects_dependences(&LoopSchedule::tiled(vec![2, 2]), &dom, &s));
+        // …but tiling the skewed space is legal.
+        assert_eq!(skew_factor_for_tiling(&s), Some(2));
+        let skew_tiled = LoopSchedule::skewed_tiled_2d(2, vec![2, 3]);
+        assert!(respects_dependences(&skew_tiled, &dom, &s));
+    }
+
+    #[test]
+    fn interchange_breaks_negative_dependences() {
+        let s = Stencil::new(vec![ivec![1, -1]]).unwrap();
+        let dom = RectDomain::grid(3, 3);
+        assert!(!respects_dependences(&LoopSchedule::Interchange(vec![1, 0]), &dom, &s));
+    }
+
+    #[test]
+    fn skew_factor_zero_when_already_tileable() {
+        assert_eq!(skew_factor_for_tiling(&fig1()), Some(0));
+    }
+
+    #[test]
+    fn skew_factor_handles_large_negative_components() {
+        let s = Stencil::new(vec![ivec![2, -5]]).unwrap();
+        // Need −5 + 2f ≥ 0 ⇒ f ≥ 3 (ceil of 5/2).
+        assert_eq!(skew_factor_for_tiling(&s), Some(3));
+    }
+
+    #[test]
+    fn skew_factor_none_for_other_dims() {
+        let s = Stencil::new(vec![ivec![1, 0, 0]]).unwrap();
+        assert_eq!(skew_factor_for_tiling(&s), None);
+    }
+
+    #[test]
+    fn order_checker_rejects_incomplete_orders() {
+        let dom = RectDomain::grid(2, 2);
+        let s = fig1();
+        assert!(!order_respects_dependences(&[ivec![1, 1]], &dom, &s));
+        // Duplicate point.
+        assert!(!order_respects_dependences(
+            &[ivec![1, 1], ivec![1, 1], ivec![2, 1], ivec![2, 2]],
+            &dom,
+            &s
+        ));
+    }
+
+    #[test]
+    fn skew_matrix_is_unimodular() {
+        for f in 0..5 {
+            assert!(skew_matrix_2d(f).is_unimodular());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Loop schedules over iteration space graphs.
+//!
+//! A universal occupancy vector's defining property is *schedule
+//! independence*: the storage reuse it induces is safe under **every**
+//! execution order that respects the loop's value dependences (paper §3.1).
+//! This crate supplies the schedules needed to state — and test — that
+//! property:
+//!
+//! * [`LoopSchedule`] — lexicographic execution, loop interchange,
+//!   unimodular transformations (skewing), wavefronts, and rectangular
+//!   tiling (optionally of a skewed space), each producing a concrete
+//!   execution order over a [`uov_isg::RectDomain`];
+//! * [`legality`] — exhaustive and analytic checks that a schedule
+//!   respects a dependence stencil, including the classic
+//!   "all-dependences-non-negative" criterion for rectangular tiling and
+//!   the skew that makes a 2-D stencil tileable;
+//! * [`random_topological_order`] — seeded random linear extensions of the
+//!   dependence DAG, the adversarial schedules used by the property tests
+//!   in `uov-storage`.
+//!
+//! # Example
+//!
+//! ```
+//! use uov_isg::{ivec, RectDomain, Stencil};
+//! use uov_schedule::{legality, LoopSchedule};
+//!
+//! let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])?;
+//! let domain = RectDomain::grid(4, 4);
+//!
+//! // The Fig-1 stencil has all-non-negative dependences: tiling is legal
+//! // without skewing, and so is plain interchange.
+//! assert!(legality::rectangular_tiling_legal(&stencil));
+//! let tiled = LoopSchedule::tiled(vec![2, 2]);
+//! assert!(legality::respects_dependences(&tiled, &domain, &stencil));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hierarchical;
+pub mod legality;
+pub mod order;
+pub mod random;
+
+pub use hierarchical::HierarchicalTiling;
+pub use order::LoopSchedule;
+pub use random::random_topological_order;

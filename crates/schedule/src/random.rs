@@ -1,0 +1,168 @@
+//! Random linear extensions of the dependence DAG.
+//!
+//! "Any legal schedule" in the UOV definition quantifies over *every*
+//! topological order of the reduced ISG — including orders no loop
+//! transformation would ever produce. The property tests in `uov-storage`
+//! sample this space adversarially: a storage mapping is only
+//! schedule-independent if no sampled extension ever produces a conflict.
+//!
+//! The generator is self-contained (a seeded xorshift PRNG) so the crate
+//! needs no runtime dependencies and orders are reproducible.
+
+use std::collections::HashMap;
+
+use uov_isg::{IVec, IterationDomain, RectDomain, Stencil};
+
+/// A tiny deterministic xorshift64* PRNG — reproducible random schedules
+/// without external dependencies.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.wrapping_mul(2685821657736338717).max(1) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Produce a random topological order of the iterations of `domain` with
+/// respect to the value dependences in `stencil`.
+///
+/// Kahn's algorithm with a randomly chosen ready vertex at every step; the
+/// same `(domain, stencil, seed)` triple always yields the same order.
+///
+/// # Panics
+///
+/// Panics if `domain.dim() != stencil.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, RectDomain, Stencil};
+/// use uov_schedule::{legality::order_respects_dependences, random_topological_order};
+///
+/// let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1]])?;
+/// let dom = RectDomain::grid(3, 3);
+/// let order = random_topological_order(&dom, &s, 42);
+/// assert!(order_respects_dependences(&order, &dom, &s));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn random_topological_order(
+    domain: &RectDomain,
+    stencil: &Stencil,
+    seed: u64,
+) -> Vec<IVec> {
+    assert_eq!(domain.dim(), stencil.dim(), "dimension mismatch");
+    let points: Vec<IVec> = domain.points().collect();
+    let index: HashMap<&IVec, usize> =
+        points.iter().enumerate().map(|(i, p)| (p, i)).collect();
+
+    // In-degree of q = number of in-domain producers q − v.
+    let mut indegree: Vec<usize> = points
+        .iter()
+        .map(|q| {
+            stencil
+                .iter()
+                .filter(|v| domain.contains(&(q - *v)))
+                .count()
+        })
+        .collect();
+
+    let mut ready: Vec<usize> = (0..points.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut rng = XorShift64::new(seed);
+    let mut order = Vec::with_capacity(points.len());
+
+    while !ready.is_empty() {
+        let pick = rng.below(ready.len());
+        let i = ready.swap_remove(pick);
+        let q = &points[i];
+        order.push(q.clone());
+        // Releasing q may ready its consumers q + v.
+        for v in stencil {
+            let consumer = q + v;
+            if let Some(&ci) = index.get(&consumer) {
+                indegree[ci] -= 1;
+                if indegree[ci] == 0 {
+                    ready.push(ci);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), points.len(), "dependence graph must be acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::order_respects_dependences;
+    use uov_isg::ivec;
+
+    fn fig1() -> Stencil {
+        Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+    }
+
+    #[test]
+    fn orders_are_legal_permutations() {
+        let dom = RectDomain::grid(4, 5);
+        let s = fig1();
+        for seed in 0..20 {
+            let order = random_topological_order(&dom, &s, seed);
+            assert!(
+                order_respects_dependences(&order, &dom, &s),
+                "seed {seed} produced an illegal order"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dom = RectDomain::grid(3, 3);
+        let s = fig1();
+        assert_eq!(
+            random_topological_order(&dom, &s, 7),
+            random_topological_order(&dom, &s, 7)
+        );
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let dom = RectDomain::grid(4, 4);
+        let s = fig1();
+        let a = random_topological_order(&dom, &s, 1);
+        let b = random_topological_order(&dom, &s, 2);
+        assert_ne!(a, b, "two seeds giving identical orders is vanishingly unlikely");
+    }
+
+    #[test]
+    fn works_with_negative_component_stencil() {
+        let s = Stencil::new(vec![ivec![1, -2], ivec![1, 2]]).unwrap();
+        let dom = RectDomain::grid(4, 6);
+        for seed in 0..10 {
+            let order = random_topological_order(&dom, &s, seed);
+            assert!(order_respects_dependences(&order, &dom, &s));
+        }
+    }
+
+    #[test]
+    fn single_point_domain() {
+        let dom = RectDomain::new(ivec![0, 0], ivec![0, 0]);
+        let order = random_topological_order(&dom, &fig1(), 3);
+        assert_eq!(order, vec![ivec![0, 0]]);
+    }
+}

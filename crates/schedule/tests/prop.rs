@@ -1,0 +1,126 @@
+//! Property-based tests for schedules.
+
+use proptest::prelude::*;
+use uov_isg::{IVec, RectDomain, Stencil};
+use uov_schedule::hierarchical::HierarchicalTiling;
+use uov_schedule::legality::{
+    order_respects_dependences, rectangular_tiling_legal, skew_factor_for_tiling,
+    skew_matrix_2d,
+};
+use uov_schedule::{random_topological_order, LoopSchedule};
+
+fn lex_positive_vec(bound: i64) -> impl Strategy<Value = IVec> {
+    prop::collection::vec(-bound..=bound, 2)
+        .prop_map(IVec::from)
+        .prop_filter("lexicographically positive", |v| v.is_lex_positive())
+}
+
+fn stencil_2d() -> impl Strategy<Value = Stencil> {
+    prop::collection::vec(lex_positive_vec(2), 1..4)
+        .prop_map(|vs| Stencil::new(vs).expect("validated"))
+}
+
+fn small_domain() -> impl Strategy<Value = RectDomain> {
+    (1i64..6, 1i64..6).prop_map(|(n, m)| RectDomain::grid(n, m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_schedule_is_a_permutation(
+        dom in small_domain(),
+        tile_a in 1i64..4,
+        tile_b in 1i64..4,
+        f in 0i64..3,
+    ) {
+        use uov_isg::IterationDomain as _;
+        for schedule in [
+            LoopSchedule::Lexicographic,
+            LoopSchedule::Interchange(vec![1, 0]),
+            LoopSchedule::tiled(vec![tile_a, tile_b]),
+            LoopSchedule::skewed_tiled_2d(f, vec![tile_a, tile_b]),
+            LoopSchedule::Wavefront(IVec::from([1, 1])),
+        ] {
+            let order = schedule.order(&dom);
+            prop_assert_eq!(order.len() as u64, dom.num_points());
+            let mut sorted = order.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), order.len(), "{} repeats points", schedule);
+        }
+    }
+
+    #[test]
+    fn random_orders_respect_dependences(
+        s in stencil_2d(),
+        dom in small_domain(),
+        seed in 0u64..500,
+    ) {
+        let order = random_topological_order(&dom, &s, seed);
+        prop_assert!(order_respects_dependences(&order, &dom, &s));
+    }
+
+    #[test]
+    fn skewed_tiling_is_always_legal(
+        s in stencil_2d(),
+        dom in small_domain(),
+        tile_a in 1i64..4,
+        tile_b in 1i64..4,
+    ) {
+        let f = skew_factor_for_tiling(&s).expect("2-D stencil");
+        let schedule = LoopSchedule::skewed_tiled_2d(f, vec![tile_a, tile_b]);
+        let order = schedule.order(&dom);
+        prop_assert!(
+            order_respects_dependences(&order, &dom, &s),
+            "skew {f} tiles {tile_a}x{tile_b} illegal for {:?}",
+            s
+        );
+    }
+
+    #[test]
+    fn skew_factor_is_minimal(s in stencil_2d()) {
+        let f = skew_factor_for_tiling(&s).expect("2-D");
+        // After skewing by f every dependence is non-negative…
+        let skew = skew_matrix_2d(f);
+        for v in &s {
+            let img = skew.mul_vec(v);
+            prop_assert!(img.iter().all(|&c| c >= 0));
+        }
+        // …and f−1 (if ≥ 0) leaves some dependence negative.
+        if f > 0 {
+            let weaker = skew_matrix_2d(f - 1);
+            prop_assert!(
+                s.iter().any(|v| weaker.mul_vec(v).iter().any(|&c| c < 0)),
+                "skew factor {f} not minimal for {:?}",
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn rect_tiling_legality_criterion_is_exact(
+        s in stencil_2d(),
+        dom in small_domain(),
+    ) {
+        // If the analytic criterion says legal, every rectangular tiling
+        // must pass the exhaustive check.
+        if rectangular_tiling_legal(&s) {
+            let order = LoopSchedule::tiled(vec![2, 2]).order(&dom);
+            prop_assert!(order_respects_dependences(&order, &dom, &s));
+        }
+    }
+
+    #[test]
+    fn hierarchical_refines_single_level(
+        dom in small_domain(),
+        outer in 2i64..5,
+    ) {
+        use uov_isg::IterationDomain as _;
+        // inner == outer degenerates to single-level tiling.
+        let h = HierarchicalTiling::new(vec![outer, outer], vec![outer, outer]).order(&dom);
+        let flat = LoopSchedule::tiled(vec![outer, outer]).order(&dom);
+        prop_assert_eq!(h, flat);
+        let _ = dom.num_points();
+    }
+}

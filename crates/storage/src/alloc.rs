@@ -1,0 +1,66 @@
+//! Storage allocation sizing (paper §4.3 and Figure 6).
+//!
+//! "We apply [the mapping vector] to the extreme points of the ISG,
+//! obtaining the number of integer points in this projection. If the OV is
+//! non-prime the number of storage-equivalence classes which lie along the
+//! OV must be taken into account."
+
+use uov_isg::{IVec, IterationDomain};
+
+/// Number of storage cells an OV mapping allocates over `domain` —
+/// identical to the size of [`crate::OvMap`] and to
+/// [`uov_core::objective::storage_class_count`], re-exported here under
+/// the §4.3 name.
+///
+/// # Panics
+///
+/// Panics if `ov` is zero or dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, RectDomain};
+/// use uov_storage::alloc::allocation_size;
+///
+/// // Figure 6: |mv·xp1 − mv·xp2| + 1 = n + m + 1 for ov = (1,1) on the
+/// // bordered (n+1)×(m+1) ISG.
+/// let (n, m) = (9, 5);
+/// let isg = RectDomain::new(ivec![0, 0], ivec![n, m]);
+/// assert_eq!(allocation_size(&isg, &ivec![1, 1]), (n + m + 1) as u64);
+/// ```
+pub fn allocation_size(domain: &dyn IterationDomain, ov: &IVec) -> u64 {
+    uov_core::objective::storage_class_count(domain, ov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Layout, OvMap, StorageMap};
+    use uov_isg::{ivec, Polygon2, RectDomain};
+
+    #[test]
+    fn fig6_allocation() {
+        let isg = RectDomain::new(ivec![0, 0], ivec![7, 4]);
+        assert_eq!(allocation_size(&isg, &ivec![1, 1]), 12);
+    }
+
+    #[test]
+    fn allocation_matches_ovmap_size() {
+        let rect = RectDomain::new(ivec![0, 0], ivec![9, 6]);
+        for ov in [ivec![1, 1], ivec![2, 0], ivec![3, 1], ivec![1, -2], ivec![2, 2]] {
+            let map = OvMap::new(&rect, ov.clone(), Layout::Interleaved);
+            assert_eq!(
+                map.size() as u64,
+                allocation_size(&rect, &ov).max(1),
+                "size mismatch for {ov}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_allocations() {
+        let isg = Polygon2::fig3_isg();
+        assert_eq!(allocation_size(&isg, &ivec![3, 1]), 16);
+        assert_eq!(allocation_size(&isg, &ivec![3, 0]), 27);
+    }
+}

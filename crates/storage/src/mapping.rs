@@ -1,0 +1,501 @@
+//! Storage mappings: from iteration points to one-dimensional memory.
+
+use std::fmt;
+
+use uov_isg::num::floor_mod;
+use uov_isg::project::form_range;
+use uov_isg::{IMat, IVec, IterationDomain, RectDomain};
+
+/// A function mapping each iteration of a domain to a storage cell index in
+/// `0 .. size()`.
+///
+/// Implementations must be total on their domain; mapping a point outside
+/// the domain may panic or return an arbitrary in-range index.
+pub trait StorageMap: fmt::Debug {
+    /// The storage cell written by iteration `q`.
+    fn map(&self, q: &IVec) -> usize;
+
+    /// Number of storage cells the mapping may return (allocation size).
+    fn size(&self) -> usize;
+
+    /// Human-readable description for experiment output.
+    fn describe(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// Full array expansion: every iteration gets its own cell, row-major over
+/// the domain box — the "natural" storage of the paper's §5.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, RectDomain};
+/// use uov_storage::{NaturalMap, StorageMap};
+///
+/// let map = NaturalMap::new(&RectDomain::grid(3, 4));
+/// assert_eq!(map.size(), 12);
+/// assert_eq!(map.map(&ivec![1, 1]), 0);
+/// assert_eq!(map.map(&ivec![1, 2]), 1);
+/// assert_eq!(map.map(&ivec![2, 1]), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaturalMap {
+    lo: IVec,
+    strides: Vec<i64>,
+    size: usize,
+}
+
+impl NaturalMap {
+    /// Row-major expansion over the rectangular domain.
+    pub fn new(domain: &RectDomain) -> Self {
+        let d = domain.dim();
+        let mut strides = vec![1i64; d];
+        for k in (0..d.saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * domain.extent(k + 1);
+        }
+        let size = (domain.num_points()).try_into().expect("domain too large");
+        NaturalMap { lo: domain.lo().clone(), strides, size }
+    }
+}
+
+impl StorageMap for NaturalMap {
+    fn map(&self, q: &IVec) -> usize {
+        let mut idx = 0i64;
+        for k in 0..q.dim() {
+            idx += (q[k] - self.lo[k]) * self.strides[k];
+        }
+        usize::try_from(idx).expect("point below domain lower corner")
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn describe(&self) -> String {
+        format!("natural (array expansion, {} cells)", self.size)
+    }
+}
+
+/// Storage layout for non-prime occupancy vectors (paper §4.2).
+///
+/// A non-prime OV (component gcd `g > 1`) passes through `g`
+/// storage-equivalence classes; the mapping must keep them apart. The two
+/// layouts differ only in where the `modterm` places them:
+///
+/// * [`Layout::Interleaved`] — cells of the `g` classes alternate:
+///   `addr = class·g + residue`. The paper's Figure 5 layout; avoids
+///   associativity conflicts, but references are not unit-stride.
+/// * [`Layout::Blocked`] — each residue class owns a contiguous block:
+///   `addr = class + residue·L`. Unit-stride within a sweep; the paper's
+///   "two rows stored consecutively" variant.
+///
+/// For prime OVs (`g = 1`) the layouts coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Alternate cells of the residue classes (`addr = class·g + residue`).
+    Interleaved,
+    /// Give each residue class a contiguous block (`addr = class + residue·L`).
+    Blocked,
+}
+
+/// An occupancy-vector storage mapping `SMov(q) = mv·q + shift + modterm`
+/// (paper §4), for any dimension.
+///
+/// Construction reduces the OV with a unimodular `W` such that
+/// `W·ov = (g, 0, …, 0)`: rows `1..d` of `W` are linear forms constant
+/// along the OV (in 2-D, the paper's mapping vector `(−j, i)`), and the
+/// position row `0` feeds the `modterm` residue for non-prime OVs. Shifts
+/// are chosen from the domain's extreme points so addresses are exactly
+/// `0 .. size`.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, RectDomain};
+/// use uov_storage::{Layout, OvMap, StorageMap};
+///
+/// // Figure 5: the 5-point stencil's UOV (2,0) with interleaved storage.
+/// let domain = RectDomain::new(ivec![0, 0], ivec![9, 7]);
+/// let map = OvMap::new(&domain, ivec![2, 0], Layout::Interleaved);
+/// assert_eq!(map.size(), 16); // two rows of L = 8
+/// // Interleaved: (t, x) ↦ 2x + (t mod 2).
+/// assert_eq!(map.map(&ivec![0, 0]), 0);
+/// assert_eq!(map.map(&ivec![1, 0]), 1);
+/// assert_eq!(map.map(&ivec![0, 1]), 2);
+/// assert_eq!(map.map(&ivec![2, 0]), map.map(&ivec![0, 0])); // reuse along ov
+/// ```
+#[derive(Clone)]
+pub struct OvMap {
+    ov: IVec,
+    g: i64,
+    /// Rows 1..d of the reduction: the class-projection forms.
+    class_forms: Vec<IVec>,
+    /// Row 0: position along the OV (mod g = residue class).
+    position_form: IVec,
+    /// Per-form minimum over the domain (the paper's `shift`).
+    shifts: Vec<i64>,
+    /// Per-form span (number of integer values over the domain).
+    spans: Vec<i64>,
+    layout: Layout,
+    size: usize,
+}
+
+impl OvMap {
+    /// Build the OV mapping for `ov` over `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ov` is zero or its dimension differs from the domain's.
+    pub fn new(domain: &dyn IterationDomain, ov: IVec, layout: Layout) -> Self {
+        assert!(!ov.is_zero(), "occupancy vector must be non-zero");
+        assert_eq!(ov.dim(), domain.dim(), "dimension mismatch");
+        let g = ov.content();
+        let w = IMat::lattice_reduction(&ov);
+        let d = ov.dim();
+        let mut class_forms = Vec::with_capacity(d - 1);
+        let mut shifts = Vec::with_capacity(d - 1);
+        let mut spans = Vec::with_capacity(d - 1);
+        for r in 1..d {
+            let form = w.row(r);
+            let (lo, hi) = form_range(domain, &form);
+            class_forms.push(form);
+            shifts.push(lo);
+            spans.push(hi - lo + 1);
+        }
+        let classes: i64 = spans.iter().product();
+        let size = usize::try_from(classes * g).expect("allocation too large");
+        OvMap {
+            ov,
+            g,
+            class_forms,
+            position_form: w.row(0),
+            shifts,
+            spans,
+            layout,
+            size,
+        }
+    }
+
+    /// The occupancy vector realised by this mapping.
+    pub fn ov(&self) -> &IVec {
+        &self.ov
+    }
+
+    /// The layout used for non-prime OVs.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The paper's *mapping vector* in 2-D (`(−j, i)` up to sign for a
+    /// prime OV `(i, j)`); `None` for other dimensions.
+    ///
+    /// ```
+    /// use uov_isg::{ivec, RectDomain};
+    /// use uov_storage::{Layout, OvMap};
+    ///
+    /// let dom = RectDomain::grid(4, 4);
+    /// let map = OvMap::new(&dom, ivec![1, 1], Layout::Interleaved);
+    /// let mv = map.mapping_vector_2d().unwrap();
+    /// assert_eq!(mv.dot(&ivec![1, 1]), 0); // perpendicular in the lattice sense
+    /// ```
+    pub fn mapping_vector_2d(&self) -> Option<IVec> {
+        if self.ov.dim() == 2 {
+            Some(self.class_forms[0].clone())
+        } else {
+            None
+        }
+    }
+
+    /// The flattened storage-equivalence class index of `q` (row-major over
+    /// the projected box), in `0 .. size/g`.
+    fn class_index(&self, q: &IVec) -> i64 {
+        let mut idx = 0i64;
+        for (k, form) in self.class_forms.iter().enumerate() {
+            let c = form.dot(q) - self.shifts[k];
+            debug_assert!(
+                (0..self.spans[k]).contains(&c),
+                "point {q} projects outside the domain box"
+            );
+            idx = idx * self.spans[k] + c;
+        }
+        idx
+    }
+
+    /// The residue class of `q` along the OV — the paper's `modterm`
+    /// input, `0` for prime OVs.
+    pub fn residue(&self, q: &IVec) -> i64 {
+        floor_mod(self.position_form.dot(q), self.g)
+    }
+}
+
+impl StorageMap for OvMap {
+    fn map(&self, q: &IVec) -> usize {
+        let class = self.class_index(q);
+        let residue = self.residue(q);
+        let addr = match self.layout {
+            Layout::Interleaved => class * self.g + residue,
+            Layout::Blocked => class + residue * (self.size as i64 / self.g),
+        };
+        addr as usize
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ov-mapped (ov = {}, {:?}, {} cells)",
+            self.ov, self.layout, self.size
+        )
+    }
+}
+
+impl fmt::Debug for OvMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OvMap{{ov: {}, g: {}, layout: {:?}, size: {}}}",
+            self.ov, self.g, self.layout, self.size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+
+    #[test]
+    fn natural_map_is_bijective_row_major() {
+        let dom = RectDomain::new(ivec![0, -1], ivec![2, 1]);
+        let map = NaturalMap::new(&dom);
+        use uov_isg::IterationDomain as _;
+        let mut seen = vec![false; map.size()];
+        for p in dom.points() {
+            let a = map.map(&p);
+            assert!(!seen[a], "address {a} reused by {p}");
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn natural_map_3d() {
+        let dom = RectDomain::new(ivec![0, 0, 0], ivec![1, 2, 3]);
+        let map = NaturalMap::new(&dom);
+        assert_eq!(map.size(), 24);
+        assert_eq!(map.map(&ivec![0, 0, 0]), 0);
+        assert_eq!(map.map(&ivec![0, 0, 1]), 1);
+        assert_eq!(map.map(&ivec![0, 1, 0]), 4);
+        assert_eq!(map.map(&ivec![1, 0, 0]), 12);
+    }
+
+    #[test]
+    fn fig1b_mapping_matches_paper() {
+        // SMov(q) = (−1,1)·q + n on the bordered grid, n+m+1 cells.
+        let (n, m) = (5i64, 3i64);
+        let dom = RectDomain::new(ivec![0, 0], ivec![n, m]);
+        let map = OvMap::new(&dom, ivec![1, 1], Layout::Interleaved);
+        assert_eq!(map.size() as i64, n + m + 1);
+        use uov_isg::IterationDomain as _;
+        for q in dom.points() {
+            let a = map.map(&q) as i64;
+            assert!((0..n + m + 1).contains(&a), "address {a} out of range at {q}");
+            // Reuse exactly along the OV.
+            let r = &q + &ivec![1, 1];
+            if dom.contains(&r) {
+                assert_eq!(map.map(&r), map.map(&q));
+            }
+            let s = &q + &ivec![1, 0];
+            if dom.contains(&s) {
+                assert_ne!(map.map(&s), map.map(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn ovmap_addresses_cover_range_exactly() {
+        use uov_isg::IterationDomain as _;
+        let dom = RectDomain::new(ivec![0, 0], ivec![7, 5]);
+        // Prime OVs and axis-aligned non-prime OVs populate every cell of
+        // the allocation (requirement 3 of §4.1: consecutive storage).
+        for (ov, layout) in [
+            (ivec![1, 1], Layout::Interleaved),
+            (ivec![2, 0], Layout::Interleaved),
+            (ivec![2, 0], Layout::Blocked),
+            (ivec![1, -1], Layout::Interleaved),
+            (ivec![3, 1], Layout::Interleaved),
+        ] {
+            let map = OvMap::new(&dom, ov.clone(), layout);
+            let mut seen = vec![false; map.size()];
+            for p in dom.points() {
+                let a = map.map(&p);
+                assert!(a < map.size(), "address out of bounds for ov {ov}");
+                seen[a] = true;
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "unused cells for ov {ov} {layout:?}: {seen:?}"
+            );
+        }
+        // Skewed non-prime OVs leave a few corner cells unused (a corner
+        // class holds a single point, so only one of its g residues occurs);
+        // the used count still equals the exact occupied-class count.
+        for (ov, layout) in [(ivec![2, 2], Layout::Blocked), (ivec![2, 2], Layout::Interleaved)] {
+            let map = OvMap::new(&dom, ov.clone(), layout);
+            let mut seen = vec![false; map.size()];
+            for p in dom.points() {
+                let a = map.map(&p);
+                assert!(a < map.size(), "address out of bounds for ov {ov}");
+                seen[a] = true;
+            }
+            let used = seen.iter().filter(|&&s| s).count() as u64;
+            assert_eq!(
+                used,
+                uov_core::objective::storage_class_count_exact(&dom, &ov),
+                "occupied cells must match exact class count for {ov}"
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_is_exactly_multiples_of_ov() {
+        use uov_isg::IterationDomain as _;
+        let dom = RectDomain::new(ivec![0, 0], ivec![6, 6]);
+        for layout in [Layout::Interleaved, Layout::Blocked] {
+            let ov = ivec![2, 1];
+            let map = OvMap::new(&dom, ov.clone(), layout);
+            let pts: Vec<_> = dom.points().collect();
+            for a in &pts {
+                for b in &pts {
+                    let same = map.map(a) == map.map(b);
+                    let diff = a - b;
+                    let along = !diff.is_zero()
+                        && diff.content() != 0
+                        && {
+                            // diff = k·ov for integer k?
+                            let k_num = diff[0];
+                            let k_den = ov[0];
+                            k_den != 0
+                                && k_num % k_den == 0
+                                && &ov * (k_num / k_den) == diff
+                        }
+                        || diff.is_zero();
+                    assert_eq!(same, along, "a={a} b={b} layout={layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_interleaved_and_blocked() {
+        // UOV (2,0) for the 5-point stencil; t rows of length L = 8.
+        let dom = RectDomain::new(ivec![0, 0], ivec![9, 7]);
+        let inter = OvMap::new(&dom, ivec![2, 0], Layout::Interleaved);
+        let block = OvMap::new(&dom, ivec![2, 0], Layout::Blocked);
+        assert_eq!(inter.size(), 16);
+        assert_eq!(block.size(), 16);
+        // Interleaved: SMov(q) = (0,2)·q + (q0 mod 2).
+        assert_eq!(inter.map(&ivec![4, 3]), 6);
+        assert_eq!(inter.map(&ivec![5, 3]), 7);
+        // Blocked: SMov(q) = (0,1)·q + (q0 mod 2)·L.
+        assert_eq!(block.map(&ivec![4, 3]), 3);
+        assert_eq!(block.map(&ivec![5, 3]), 3 + 8);
+    }
+
+    #[test]
+    fn residue_distinguishes_classes_of_non_prime_ov() {
+        let dom = RectDomain::new(ivec![0, 0], ivec![5, 5]);
+        let map = OvMap::new(&dom, ivec![3, 0], Layout::Interleaved);
+        assert_eq!(map.residue(&ivec![0, 2]), 0);
+        assert_eq!(map.residue(&ivec![1, 2]), 1);
+        assert_eq!(map.residue(&ivec![2, 2]), 2);
+        assert_eq!(map.residue(&ivec![3, 2]), 0);
+    }
+
+    #[test]
+    fn three_dimensional_ovmap() {
+        use uov_isg::IterationDomain as _;
+        let dom = RectDomain::new(ivec![0, 0, 0], ivec![3, 3, 3]);
+        let ov = ivec![1, 1, 1];
+        let map = OvMap::new(&dom, ov.clone(), Layout::Interleaved);
+        for p in dom.points() {
+            let q = &p + &ov;
+            if dom.contains(&q) {
+                assert_eq!(map.map(&p), map.map(&q));
+            }
+            let r = &p + &ivec![1, 0, 0];
+            if dom.contains(&r) {
+                assert_ne!(map.map(&p), map.map(&r));
+            }
+            assert!(map.map(&p) < map.size());
+        }
+    }
+
+    #[test]
+    fn mapping_vector_2d_is_perpendicular() {
+        let dom = RectDomain::grid(5, 5);
+        for ov in [ivec![1, 1], ivec![2, 1], ivec![1, -2], ivec![4, 2]] {
+            let map = OvMap::new(&dom, ov.clone(), Layout::Interleaved);
+            let mv = map.mapping_vector_2d().expect("2-D");
+            assert_eq!(mv.dot(&ov), 0, "mv not perpendicular for {ov}");
+            assert_eq!(mv.content(), 1, "mv must be primitive for {ov}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ov_rejected() {
+        let dom = RectDomain::grid(3, 3);
+        let _ = OvMap::new(&dom, IVec::zero(2), Layout::Interleaved);
+    }
+}
+
+#[cfg(test)]
+mod domain_shape_tests {
+    //! OvMap over non-rectangular domains: the paper's footnote-6 ISGs.
+    use super::*;
+    use uov_isg::{ivec, HalfspaceDomain2, IterationDomain as _, Polygon2};
+
+    #[test]
+    fn ovmap_on_fig3_polygon() {
+        let isg = Polygon2::fig3_isg();
+        let map = OvMap::new(&isg, ivec![3, 1], Layout::Interleaved);
+        assert_eq!(map.size(), 16, "Figure 3's count for ov (3,1)");
+        let mut seen = vec![false; map.size()];
+        for p in isg.points() {
+            let a = map.map(&p);
+            assert!(a < map.size());
+            seen[a] = true;
+            let q = &p + &ivec![3, 1];
+            if isg.contains(&q) {
+                assert_eq!(map.map(&p), map.map(&q));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every Figure-3 cell is used");
+    }
+
+    #[test]
+    fn ovmap_on_fig3_polygon_nonprime() {
+        let isg = Polygon2::fig3_isg();
+        let map = OvMap::new(&isg, ivec![3, 0], Layout::Blocked);
+        assert_eq!(map.size(), 27, "Figure 3's count for ov (3,0)");
+        for p in isg.points() {
+            assert!(map.map(&p) < map.size());
+        }
+    }
+
+    #[test]
+    fn ovmap_on_triangle() {
+        let tri = HalfspaceDomain2::lower_triangle(0, 9);
+        let map = OvMap::new(&tri, ivec![1, 1], Layout::Interleaved);
+        // Anti-diagonal classes of the triangle: span of (−1,1) over the
+        // hull {(0,0),(9,0),(9,9)} = 0 − (−9) + 1 = 10.
+        assert_eq!(map.size(), 10);
+        for p in tri.points() {
+            assert!(map.map(&p) < map.size());
+        }
+    }
+}

