@@ -14,7 +14,12 @@ fn bench_jacobi2d(c: &mut Criterion) {
         let input = workloads::random_f32(n * n, 1);
         group.throughput(Throughput::Elements((n * n * time_steps) as u64));
         for variant in Variant::all() {
-            let cfg = Jacobi2dConfig { n, time_steps, tile: None, pad: 0 };
+            let cfg = Jacobi2dConfig {
+                n,
+                time_steps,
+                tile: None,
+                pad: 0,
+            };
             group.bench_with_input(BenchmarkId::new(variant.label(), n), &cfg, |b, cfg| {
                 b.iter(|| {
                     let mut mem = PlainMemory::new();

@@ -15,7 +15,11 @@ fn bench_psm(c: &mut Criterion) {
         let s1 = workloads::random_protein(n, 41);
         group.throughput(Throughput::Elements((n * n) as u64));
         for variant in Variant::all() {
-            let cfg = PsmConfig { n0: n, n1: n, tile: None };
+            let cfg = PsmConfig {
+                n0: n,
+                n1: n,
+                tile: None,
+            };
             group.bench_with_input(BenchmarkId::new(variant.label(), n), &cfg, |b, cfg| {
                 b.iter(|| {
                     let mut mem = PlainMemory::new();

@@ -19,22 +19,20 @@ fn bench_stencil5(c: &mut Criterion) {
         for variant in Variant::all() {
             // The natural variant at L = 10M would allocate T·L floats;
             // keep host memory bounded like the paper's graphs cap theirs.
-            if len >= 10_000_000
-                && matches!(variant, Variant::Natural | Variant::NaturalTiled)
-            {
+            if len >= 10_000_000 && matches!(variant, Variant::Natural | Variant::NaturalTiled) {
                 continue;
             }
-            let cfg = Stencil5Config { len, time_steps, tile: None };
-            group.bench_with_input(
-                BenchmarkId::new(variant.label(), len),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let mut mem = PlainMemory::new();
-                        run(&mut mem, variant, cfg, &input)
-                    })
-                },
-            );
+            let cfg = Stencil5Config {
+                len,
+                time_steps,
+                tile: None,
+            };
+            group.bench_with_input(BenchmarkId::new(variant.label(), len), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut mem = PlainMemory::new();
+                    run(&mut mem, variant, cfg, &input)
+                })
+            });
         }
     }
     group.finish();

@@ -53,9 +53,11 @@ fn bench_npc(c: &mut Criterion) {
     for n in [4usize, 6, 8] {
         let values: Vec<i64> = (1..=n as i64).collect();
         let inst = PartitionInstance::new(values).unwrap();
-        group.bench_with_input(BenchmarkId::new("partition_via_uov", n), &inst, |b, inst| {
-            b.iter(|| inst.solve_via_uov())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("partition_via_uov", n),
+            &inst,
+            |b, inst| b.iter(|| inst.solve_via_uov()),
+        );
     }
     group.finish();
 }

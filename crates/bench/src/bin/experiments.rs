@@ -37,7 +37,10 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() || names.iter().any(|n| n == "all") {
-        names = experiments::all_names().iter().map(|s| s.to_string()).collect();
+        names = experiments::all_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     for name in &names {

@@ -2,6 +2,9 @@
 //! the search does on a zoo of stencils, and what the objective choice
 //! (shortest vector vs known bounds) changes.
 
+use std::time::Duration;
+
+use uov_core::budget::{Budget, Exhausted};
 use uov_core::search::{exhaustive_best_uov, find_best_uov, Objective, SearchConfig};
 use uov_isg::{IVec, Polygon2, RectDomain, Stencil};
 
@@ -11,14 +14,23 @@ use crate::Scale;
 fn zoo() -> Vec<(&'static str, Stencil)> {
     let v = |coords: &[[i64; 2]]| -> Vec<IVec> { coords.iter().map(|&c| IVec::from(c)).collect() };
     vec![
-        ("fig1 (3-pt)", Stencil::new(v(&[[1, 0], [0, 1], [1, 1]])).unwrap()),
+        (
+            "fig1 (3-pt)",
+            Stencil::new(v(&[[1, 0], [0, 1], [1, 1]])).unwrap(),
+        ),
         (
             "5-pt stencil",
             Stencil::new(v(&[[1, -2], [1, -1], [1, 0], [1, 1], [1, 2]])).unwrap(),
         ),
-        ("fig2 (wedge)", Stencil::new(v(&[[1, -1], [1, 0], [1, 1]])).unwrap()),
+        (
+            "fig2 (wedge)",
+            Stencil::new(v(&[[1, -1], [1, 0], [1, 1]])).unwrap(),
+        ),
         ("skewed pair", Stencil::new(v(&[[2, 1], [1, 3]])).unwrap()),
-        ("wide fan", Stencil::new(v(&[[1, -3], [1, 0], [1, 3]])).unwrap()),
+        (
+            "wide fan",
+            Stencil::new(v(&[[1, -3], [1, 0], [1, 3]])).unwrap(),
+        ),
         (
             "9-pt stencil",
             Stencil::new(v(&[
@@ -54,9 +66,10 @@ pub fn search_stats(scale: Scale) -> Table {
         ],
     );
     for (name, s) in zoo() {
-        let res = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+        let res = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default())
+            .expect("zoo stencils are in range");
         let verified = if scale == Scale::Full || s.len() <= 5 {
-            let radius = s.sum().max_abs() + 1;
+            let radius = i64::try_from(s.sum().max_abs()).expect("zoo stencils are small") + 1;
             exhaustive_best_uov(&s, Objective::ShortestVector, radius)
                 .map(|ex| ex.cost == res.cost)
                 .unwrap_or(false)
@@ -100,14 +113,15 @@ pub fn objective_comparison() -> Table {
             "its storage".into(),
         ],
     );
-    let shortest = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+    let shortest = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default())
+        .expect("fig3 stencil is in range");
     for (name, domain) in [
         ("fig3 skewed ISG", &fig3 as &dyn uov_isg::IterationDomain),
         ("10x10 grid", &square as &dyn uov_isg::IterationDomain),
     ] {
-        let best = find_best_uov(&s, Objective::KnownBounds(domain), &SearchConfig::default());
-        let shortest_storage =
-            uov_core::objective::storage_class_count(domain, &shortest.uov);
+        let best = find_best_uov(&s, Objective::KnownBounds(domain), &SearchConfig::default())
+            .expect("fig3 stencil is in range");
+        let shortest_storage = uov_core::objective::storage_class_count(domain, &shortest.uov);
         t.push(vec![
             name.into(),
             shortest.uov.to_string(),
@@ -143,10 +157,18 @@ pub fn budget_truncation() -> Table {
         let res = find_best_uov(
             &s,
             Objective::ShortestVector,
-            &SearchConfig { max_visits: (budget != u64::MAX).then_some(budget) },
-        );
+            &SearchConfig {
+                max_visits: (budget != u64::MAX).then_some(budget),
+                ..SearchConfig::default()
+            },
+        )
+        .expect("5-pt stencil is in range");
         t.push(vec![
-            if budget == u64::MAX { "∞".into() } else { budget.to_string() },
+            if budget == u64::MAX {
+                "∞".into()
+            } else {
+                budget.to_string()
+            },
             res.uov.to_string(),
             res.cost.to_string(),
             res.stats.complete.to_string(),
@@ -155,9 +177,83 @@ pub fn budget_truncation() -> Table {
     t
 }
 
+/// Graceful-degradation statistics: the zoo under deliberately tiny
+/// resource budgets. Every run still yields a legal UOV (at worst the
+/// initial `Σvᵢ`); the table records which resource ran out, whether the
+/// answer fell back to `Σvᵢ`, and the memo size at truncation.
+pub fn degradation_stats() -> Table {
+    let mut t = Table::new(
+        "§3.2 ablation — graceful degradation under tiny budgets",
+        vec![
+            "stencil".into(),
+            "budget".into(),
+            "UOV kept".into(),
+            "fallback to Σvᵢ".into(),
+            "exhausted by".into(),
+            "memo at cutoff".into(),
+        ],
+    );
+    let budgets: Vec<(&str, Budget)> = vec![
+        (
+            "deadline 0ns",
+            Budget::unlimited().with_deadline(Duration::ZERO),
+        ),
+        ("4 nodes", Budget::unlimited().with_max_nodes(4)),
+        ("memo 2", Budget::unlimited().with_max_memo_entries(2)),
+    ];
+    let mut deadline_hits = 0u64;
+    let mut fallbacks = 0u64;
+    let mut runs = 0u64;
+    for (name, s) in zoo() {
+        for (bname, budget) in &budgets {
+            let res = find_best_uov(
+                &s,
+                Objective::ShortestVector,
+                &SearchConfig {
+                    max_visits: None,
+                    budget: budget.clone(),
+                },
+            )
+            .expect("zoo stencils are in range even under a tiny budget");
+            runs += 1;
+            let fell_back = res.uov == s.sum();
+            fallbacks += u64::from(fell_back);
+            let (reason, memo) = match &res.degradation {
+                Some(d) => {
+                    deadline_hits += u64::from(d.reason == Exhausted::Deadline);
+                    (d.reason.to_string(), d.memo_entries_at_stop.to_string())
+                }
+                None => ("-".into(), "-".into()),
+            };
+            t.push(vec![
+                name.into(),
+                (*bname).into(),
+                res.uov.to_string(),
+                fell_back.to_string(),
+                reason,
+                memo,
+            ]);
+        }
+    }
+    t.push(vec![
+        "TOTAL".into(),
+        format!("{runs} runs"),
+        String::new(),
+        format!("{fallbacks} fallbacks"),
+        format!("{deadline_hits} deadline hits"),
+        String::new(),
+    ]);
+    t
+}
+
 /// All ablation tables.
 pub fn all(scale: Scale) -> Vec<Table> {
-    vec![search_stats(scale), objective_comparison(), budget_truncation()]
+    vec![
+        search_stats(scale),
+        objective_comparison(),
+        budget_truncation(),
+        degradation_stats(),
+    ]
 }
 
 #[cfg(test)]
@@ -179,6 +275,31 @@ mod tests {
         let shortest_storage: u64 = fig3_row[2].parse().unwrap();
         let best_storage: u64 = fig3_row[4].parse().unwrap();
         assert!(best_storage <= shortest_storage);
+    }
+
+    #[test]
+    fn degradation_stats_always_keep_a_legal_uov() {
+        use uov_core::DoneOracle;
+        let t = degradation_stats();
+        let zoo_by_name: std::collections::HashMap<_, _> = zoo().into_iter().collect();
+        for row in t.rows() {
+            if row[0] == "TOTAL" {
+                continue;
+            }
+            let s = &zoo_by_name[row[0].as_str()];
+            let uov: IVec = row[2]
+                .trim_matches(|c| c == '(' || c == ')')
+                .split(", ")
+                .map(|c| c.parse::<i64>().unwrap())
+                .collect();
+            assert!(
+                DoneOracle::new(s).is_uov(&uov),
+                "degraded answer must stay legal: {row:?}"
+            );
+        }
+        // The zero deadline rows must all report a deadline degradation.
+        let total = t.rows().last().unwrap().clone();
+        assert!(total[4].starts_with(&zoo().len().to_string()), "{total:?}");
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub fn storage_vs_schedule(scale: Scale) -> Table {
 /// admit genuinely shorter OVs than the UOV — the storage premium paid
 /// for schedule independence becomes visible.
 pub fn storage_vs_schedule_no_diag(scale: Scale) -> Table {
-    let stencil = Stencil::new(vec![IVec::from([1, 0]), IVec::from([0, 1])])
-        .expect("no-diagonal stencil");
+    let stencil =
+        Stencil::new(vec![IVec::from([1, 0]), IVec::from([0, 1])]).expect("no-diagonal stencil");
     table_for(scale, "no-diagonal loop", &stencil, IVec::from([1, 1]))
 }
 
@@ -64,7 +64,10 @@ fn table_for(scale: Scale, label: &str, stencil: &Stencil, uov: IVec) -> Table {
             "interchange".into(),
             LoopSchedule::Interchange(vec![1, 0]).order(&dom),
         ),
-        ("tiled 4x4".into(), LoopSchedule::tiled(vec![4, 4]).order(&dom)),
+        (
+            "tiled 4x4".into(),
+            LoopSchedule::tiled(vec![4, 4]).order(&dom),
+        ),
         (
             "wavefront".into(),
             LoopSchedule::Wavefront(IVec::from([1, 1])).order(&dom),
@@ -105,8 +108,14 @@ mod tests {
             let floor: usize = row[1].parse().unwrap();
             let fixed: usize = row[3].parse().unwrap();
             let uov: usize = row[4].parse().unwrap();
-            assert!(floor <= fixed, "renaming floor must lower-bound any OV: {row:?}");
-            assert!(fixed <= uov, "fixed-schedule OV can never need more than the UOV: {row:?}");
+            assert!(
+                floor <= fixed,
+                "renaming floor must lower-bound any OV: {row:?}"
+            );
+            assert!(
+                fixed <= uov,
+                "fixed-schedule OV can never need more than the UOV: {row:?}"
+            );
             assert!(uov < natural, "UOV must beat full expansion: {row:?}");
         }
     }
@@ -119,7 +128,10 @@ mod tests {
         let lex = &t.rows()[0];
         let fixed: usize = lex[3].parse().unwrap();
         let uov: usize = lex[4].parse().unwrap();
-        assert!(fixed < uov, "without the diagonal the premium is real: {lex:?}");
+        assert!(
+            fixed < uov,
+            "without the diagonal the premium is real: {lex:?}"
+        );
     }
 
     #[test]

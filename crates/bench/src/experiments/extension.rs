@@ -24,7 +24,12 @@ pub fn jacobi(scale: Scale) -> Table {
         IVec::from([1, 0, -1]),
     ])
     .expect("jacobi stencil");
-    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+    let best = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("3-D stencil is in range");
     assert_eq!(best.uov, IVec::from([2, 0, 0]), "double buffering, derived");
 
     let (n, t_steps) = match scale {
@@ -33,7 +38,12 @@ pub fn jacobi(scale: Scale) -> Table {
         Scale::Full => (512, 4),
     };
     let input = workloads::random_f32(n * n, 23);
-    let cfg = jacobi2d::Jacobi2dConfig { n, time_steps: t_steps, tile: None, pad: 0 };
+    let cfg = jacobi2d::Jacobi2dConfig {
+        n,
+        time_steps: t_steps,
+        tile: None,
+        pad: 0,
+    };
 
     let mut t = Table::new(
         format!(
@@ -59,7 +69,12 @@ pub fn jacobi(scale: Scale) -> Table {
     }
     // §4's padding remark, demonstrated: power-of-two planes alias in the
     // Ultra 2's direct-mapped L2; padding by a few cache lines removes it.
-    let padded = jacobi2d::Jacobi2dConfig { n, time_steps: t_steps, tile: None, pad: 128 };
+    let padded = jacobi2d::Jacobi2dConfig {
+        n,
+        time_steps: t_steps,
+        tile: None,
+        pad: 128,
+    };
     let mut row = vec!["OV-Mapped (padded)".to_string()];
     for machine in machines::all() {
         let mut mem = TracedMemory::new(machine);
@@ -119,7 +134,7 @@ mod tests {
     fn jacobi_table_has_all_variants() {
         let t = jacobi(Scale::Quick);
         assert_eq!(t.rows().len(), 5); // 4 variants + the padded OV row
-        // Storage ordering: natural > OV > optimized.
+                                       // Storage ordering: natural > OV > optimized.
         let cells: Vec<u64> = t.rows().iter().map(|r| r[4].parse().unwrap()).collect();
         let nat = cells[1];
         let ov = cells[2];

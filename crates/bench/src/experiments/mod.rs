@@ -45,6 +45,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
 pub fn all_names() -> Vec<&'static str> {
     vec![
         "fig1", "fig2", "fig3", "fig5", "fig6", "table1", "table2", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "fig12", "fig13", "fig14", "npc", "ablation", "jacobi", "tiles", "baseline",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "npc", "ablation", "jacobi", "tiles",
+        "baseline",
     ]
 }

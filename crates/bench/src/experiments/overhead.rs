@@ -18,7 +18,11 @@ pub fn stencil5_cpi(
     tile: Option<(usize, usize)>,
 ) -> f64 {
     let input = workloads::random_f32(len, 7);
-    let cfg = stencil5::Stencil5Config { len, time_steps, tile };
+    let cfg = stencil5::Stencil5Config {
+        len,
+        time_steps,
+        tile,
+    };
     let mut mem = TracedMemory::new(machine);
     let _ = stencil5::run(&mut mem, variant, &cfg, &input);
     mem.machine().cycles() as f64 / (len * time_steps) as f64
@@ -90,7 +94,9 @@ pub fn fig8(scale: Scale) -> Table {
         psm::Variant::OvMapped,
     ];
     let mut t = Table::new(
-        format!("Figure 8 — PSM overhead, in-cache (n0=n1={n}, {reps} warm repetitions), cycles/iter"),
+        format!(
+            "Figure 8 — PSM overhead, in-cache (n0=n1={n}, {reps} warm repetitions), cycles/iter"
+        ),
         std::iter::once("version".to_string())
             .chain(machines::all().iter().map(|m| m.name().to_string()))
             .collect(),
@@ -98,7 +104,11 @@ pub fn fig8(scale: Scale) -> Table {
     let s0 = workloads::random_protein(n, 31);
     let s1 = workloads::random_protein(n, 41);
     let table = workloads::WeightTable::synthetic(5);
-    let cfg = psm::PsmConfig { n0: n, n1: n, tile: None };
+    let cfg = psm::PsmConfig {
+        n0: n,
+        n1: n,
+        tile: None,
+    };
     for v in versions {
         let mut row = vec![v.label().to_string()];
         for machine in machines::all() {
@@ -106,7 +116,9 @@ pub fn fig8(scale: Scale) -> Table {
             for _ in 0..reps {
                 let _ = psm::run(&mut mem, v, &cfg, &s0, &s1, &table);
             }
-            row.push(fmt_f64(mem.machine().cycles() as f64 / (n * n * reps) as f64));
+            row.push(fmt_f64(
+                mem.machine().cycles() as f64 / (n * n * reps) as f64,
+            ));
         }
         t.push(row);
     }
@@ -124,10 +136,14 @@ mod tests {
         // negligible).
         let t = fig7(Scale::Quick);
         for col in 1..=3 {
-            let cpis: Vec<f64> =
-                t.rows().iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
-            let (min, max) =
-                cpis.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+            let cpis: Vec<f64> = t
+                .rows()
+                .iter()
+                .map(|r| r[col].parse::<f64>().unwrap())
+                .collect();
+            let (min, max) = cpis
+                .iter()
+                .fold((f64::MAX, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
             assert!(
                 max / min < 2.0,
                 "in-cache versions should be within 2x (col {col}: {cpis:?})"

@@ -66,7 +66,13 @@ pub fn stencil5_scaling(machine_idx: usize, scale: Scale) -> Table {
             if natural && len > NATURAL_MAX_LEN {
                 row.push("oom".to_string());
             } else {
-                row.push(fmt_f64(stencil5_cpi(machine(machine_idx), v, len, STENCIL_T, None)));
+                row.push(fmt_f64(stencil5_cpi(
+                    machine(machine_idx),
+                    v,
+                    len,
+                    STENCIL_T,
+                    None,
+                )));
             }
         }
         t.push(row);
@@ -130,8 +136,14 @@ mod tests {
         let nat = col(&t, "Natural", last);
         let ov_tiled = col(&t, "OV-Mapped Tiled", last);
         let opt = col(&t, "Storage Optimized", last);
-        assert!(ov_tiled < nat, "tiled OV ({ov_tiled}) must beat natural ({nat})");
-        assert!(opt < nat, "storage-optimized ({opt}) must beat natural ({nat})");
+        assert!(
+            ov_tiled < nat,
+            "tiled OV ({ov_tiled}) must beat natural ({nat})"
+        );
+        assert!(
+            opt < nat,
+            "storage-optimized ({opt}) must beat natural ({nat})"
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub fn fig2() -> Table {
         let dom = RectDomain::new(IVec::from([0, -k]), IVec::from([k, k]));
         let done = oracle.done_points(&q, &dom).len();
         let dead = oracle.dead_points(&q, &dom).len();
-        t.push(vec![format!("{k}x{}", 2 * k + 1), done.to_string(), dead.to_string()]);
+        t.push(vec![
+            format!("{k}x{}", 2 * k + 1),
+            done.to_string(),
+            dead.to_string(),
+        ]);
     }
     t
 }
@@ -82,7 +86,12 @@ pub fn fig3() -> Table {
         "Figure 3 — storage of candidate OVs on the skewed ISG (paper: 16 vs 27)",
         vec!["ov".into(), "length^2".into(), "storage cells".into()],
     );
-    for ov in [IVec::from([3, 1]), IVec::from([3, 0]), IVec::from([1, 1]), IVec::from([2, 1])] {
+    for ov in [
+        IVec::from([3, 1]),
+        IVec::from([3, 0]),
+        IVec::from([1, 1]),
+        IVec::from([2, 1]),
+    ] {
         t.push(vec![
             ov.to_string(),
             ov.norm_sq().to_string(),
@@ -97,7 +106,8 @@ pub fn fig3() -> Table {
 pub fn fig5() -> Table {
     let s = stencil5_stencil();
     let oracle = DoneOracle::new(&s);
-    let best = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+    let best = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default())
+        .expect("stencil is in range");
     let mut t = Table::new(
         "Figure 5 — UOV of the 5-point stencil (paper: (2,0), non-prime)",
         vec!["vector".into(), "is UOV".into(), "note".into()],
@@ -108,9 +118,17 @@ pub fn fig5() -> Table {
         (IVec::from([2, 0]), "the paper's UOV"),
         (s.sum(), "initial UOV Σvᵢ"),
     ] {
-        t.push(vec![v.to_string(), oracle.is_uov(&v).to_string(), note.into()]);
+        t.push(vec![
+            v.to_string(),
+            oracle.is_uov(&v).to_string(),
+            note.into(),
+        ]);
     }
-    t.push(vec![best.uov.to_string(), "true".into(), "branch-and-bound optimum".into()]);
+    t.push(vec![
+        best.uov.to_string(),
+        "true".into(),
+        "branch-and-bound optimum".into(),
+    ]);
     t
 }
 

@@ -27,7 +27,11 @@ pub struct Table {
 impl Table {
     /// An empty table with the given title and column headers.
     pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
-        Table { title: title.into(), headers, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// The table's title.

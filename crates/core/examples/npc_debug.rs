@@ -1,6 +1,6 @@
+use std::time::Instant;
 use uov_core::npc::PartitionInstance;
 use uov_core::DoneOracle;
-use std::time::Instant;
 fn main() {
     let values: Vec<i64> = (1..=7).collect();
     let inst = PartitionInstance::new(values).unwrap();
@@ -11,5 +11,9 @@ fn main() {
     let t = Instant::now();
     // Just one in_done query on w itself first.
     let d = oracle.in_done(&w);
-    println!("in_done(w) = {d} in {:?}, cache {}", t.elapsed(), oracle.cache_len());
+    println!(
+        "in_done(w) = {d} in {:?}, cache {}",
+        t.elapsed(),
+        oracle.cache_len()
+    );
 }

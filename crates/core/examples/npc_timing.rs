@@ -1,5 +1,5 @@
-use uov_core::npc::PartitionInstance;
 use std::time::Instant;
+use uov_core::npc::PartitionInstance;
 fn main() {
     for n in 5..=9usize {
         let values: Vec<i64> = (1..=n as i64).collect();
@@ -7,6 +7,8 @@ fn main() {
         let t = Instant::now();
         let ans = inst.solve_via_uov();
         println!("n={n}: {ans} in {:?}", t.elapsed());
-        if t.elapsed().as_secs() > 20 { break; }
+        if t.elapsed().as_secs() > 20 {
+            break;
+        }
     }
 }

@@ -22,6 +22,8 @@
 //!   iteration domains (paper §3.2, Fig. 3 and Fig. 6).
 //! * [`npc`] — the PARTITION ⇒ UOV-membership reduction from the paper's
 //!   NP-completeness theorem, usable in both directions for testing.
+//! * [`budget`] — resource budgets (deadline, node/memo caps, cancellation)
+//!   with graceful degradation to the always-legal initial UOV.
 //!
 //! # Example
 //!
@@ -36,13 +38,16 @@
 //! assert!(oracle.is_uov(&ivec![1, 1]));   // the paper's chosen UOV
 //! assert!(!oracle.is_uov(&ivec![1, 0]));  // legal for *some* schedules only
 //!
-//! let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+//! let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default())?;
 //! assert_eq!(best.uov, ivec![1, 1]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
+pub mod error;
 pub mod frontier;
 pub mod multi;
 pub mod npc;
@@ -51,5 +56,7 @@ pub mod oracle;
 pub mod search;
 pub mod viz;
 
+pub use budget::{Budget, Degradation, Exhausted};
+pub use error::SearchError;
 pub use oracle::DoneOracle;
 pub use search::{find_best_uov, initial_uov, Objective, SearchConfig, SearchResult, SearchStats};

@@ -11,8 +11,10 @@
 
 use uov_isg::{IVec, Stencil};
 
+use crate::budget::{Budget, Degradation};
+use crate::error::SearchError;
 use crate::objective::storage_class_count;
-use crate::search::Objective;
+use crate::search::{try_cost_of, Objective};
 use crate::DoneOracle;
 
 /// Result of [`find_best_common_uov`].
@@ -84,6 +86,70 @@ pub fn find_best_common_uov(
     best.map(|(cost, _, uov)| CommonUov { uov, cost })
 }
 
+/// Budgeted [`find_best_common_uov`] for untrusted stencils and bounded
+/// latency: oracle construction errors are surfaced instead of panicking,
+/// and when the budget runs out mid-enumeration the best common UOV found
+/// so far (if any) is returned together with a [`Degradation`] record.
+///
+/// Unlike the single-stencil search there is no always-legal fallback — a
+/// common UOV may simply not exist — so a degraded result can be `None`
+/// even when the full search would have found one.
+///
+/// # Errors
+///
+/// Hard failures only: an unrepresentable positive functional or
+/// arithmetic overflow while checking a candidate.
+pub fn find_best_common_uov_budgeted(
+    stencils: &[Stencil],
+    objective: Objective<'_>,
+    radius: i64,
+    budget: &Budget,
+) -> Result<(Option<CommonUov>, Option<Degradation>), SearchError> {
+    let Some(first) = stencils.first() else {
+        return Ok((None, None));
+    };
+    let dim = first.dim();
+    if stencils.iter().any(|s| s.dim() != dim) || radius < 0 {
+        return Ok((None, None));
+    }
+    let oracles = stencils
+        .iter()
+        .map(DoneOracle::try_new)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let (candidates, mut degradation) = oracles[0].uovs_within_budgeted(radius, budget)?;
+    let mut best: Option<(u128, i128, IVec)> = None;
+    'candidates: for w in candidates {
+        for o in &oracles[1..] {
+            match o.is_uov_budgeted(&w, budget) {
+                Ok(true) => {}
+                Ok(false) => continue 'candidates,
+                Err(SearchError::Exhausted(reason)) => {
+                    degradation
+                        .get_or_insert_with(|| budget.degradation(reason, o.cache_len(), false));
+                    break 'candidates;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // A candidate whose cost overflows can simply never win.
+        let Ok(cost) = try_cost_of(&objective, &w) else {
+            continue;
+        };
+        let Ok(norm) = w.try_norm_sq() else {
+            continue;
+        };
+        let key = (cost, norm, w);
+        if best.as_ref().map(|b| key < *b).unwrap_or(true) {
+            best = Some(key);
+        }
+    }
+    Ok((
+        best.map(|(cost, _, uov)| CommonUov { uov, cost }),
+        degradation,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,9 +163,8 @@ mod tests {
     fn common_uov_is_universal_for_all_inputs() {
         let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
         let b = s(vec![ivec![1, -1], ivec![1, 1]]);
-        let common =
-            find_best_common_uov(&[a.clone(), b.clone()], Objective::ShortestVector, 6)
-                .expect("exists");
+        let common = find_best_common_uov(&[a.clone(), b.clone()], Objective::ShortestVector, 6)
+            .expect("exists");
         for stencil in [&a, &b] {
             assert!(DoneOracle::new(stencil).is_uov(&common.uov));
         }
@@ -114,9 +179,14 @@ mod tests {
 
     #[test]
     fn single_stencil_degenerates_to_ordinary_search() {
-        let a = s(vec![ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2]]);
-        let common =
-            find_best_common_uov(&[a], Objective::ShortestVector, 6).expect("exists");
+        let a = s(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ]);
+        let common = find_best_common_uov(&[a], Objective::ShortestVector, 6).expect("exists");
         assert_eq!(common.uov, ivec![2, 0]);
         assert_eq!(common.cost, 4);
     }
@@ -134,12 +204,45 @@ mod tests {
         let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
         let b = s(vec![ivec![1, 1], ivec![2, 1]]);
         let grid = uov_isg::RectDomain::grid(8, 8);
-        let common = find_best_common_uov(&[a, b], Objective::KnownBounds(&grid), 6)
-            .expect("exists");
-        assert_eq!(
-            common.cost,
-            storage_class_count(&grid, &common.uov) as u128
-        );
+        let common =
+            find_best_common_uov(&[a, b], Objective::KnownBounds(&grid), 6).expect("exists");
+        assert_eq!(common.cost, storage_class_count(&grid, &common.uov) as u128);
+    }
+
+    #[test]
+    fn budgeted_common_uov_matches_unbudgeted_when_unlimited() {
+        let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
+        let b = s(vec![ivec![1, -1], ivec![1, 1]]);
+        let (found, degradation) = find_best_common_uov_budgeted(
+            &[a.clone(), b.clone()],
+            Objective::ShortestVector,
+            6,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(degradation.is_none());
+        let reference = find_best_common_uov(&[a, b], Objective::ShortestVector, 6).unwrap();
+        assert_eq!(found.unwrap().uov, reference.uov);
+    }
+
+    #[test]
+    fn budgeted_common_uov_degrades_under_tiny_budget() {
+        let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
+        let b = s(vec![ivec![1, -1], ivec![1, 1]]);
+        let tight = Budget::unlimited().with_max_nodes(3);
+        let (found, degradation) = find_best_common_uov_budgeted(
+            &[a.clone(), b.clone()],
+            Objective::ShortestVector,
+            6,
+            &tight,
+        )
+        .unwrap();
+        assert!(degradation.is_some(), "tiny budget must degrade");
+        if let Some(common) = found {
+            for stencil in [&a, &b] {
+                assert!(DoneOracle::new(stencil).is_uov(&common.uov));
+            }
+        }
     }
 
     #[test]

@@ -135,7 +135,12 @@ impl PartitionInstance {
         }
         // Geometric series: ((n+1)^n − 1) / n  =  Σ_{i<n} (n+1)^i.
         let w = IVec::from([h, n * pow_n + (pow_n - 1) / n]);
-        let stencil = Stencil::new(vectors).expect("reduction vectors are lex-positive");
+        let stencil = match Stencil::new(vectors) {
+            Ok(s) => s,
+            // Unreachable by construction: every rᵢ/sᵢ has a positive
+            // second component, and validation bounded the magnitudes.
+            Err(e) => unreachable!("reduction vectors are lex-positive: {e}"),
+        };
         Ok((stencil, w))
     }
 
@@ -221,7 +226,10 @@ mod tests {
         ] {
             let inst = PartitionInstance::new(values.clone()).unwrap();
             assert!(inst.solve_brute(), "brute force disagrees for {values:?}");
-            assert!(inst.solve_via_uov(), "UOV reduction disagrees for {values:?}");
+            assert!(
+                inst.solve_via_uov(),
+                "UOV reduction disagrees for {values:?}"
+            );
         }
     }
 
@@ -229,13 +237,16 @@ mod tests {
     fn unsolvable_instances_roundtrip() {
         for values in [
             vec![1, 3],
-            vec![2, 2, 2],       // even total 6, half 3, parts all even
-            vec![5, 1, 2],       // total 8, half 4: 5>4, 1+2=3 ≠ 4
-            vec![9, 2, 2, 1],    // total 14, half 7: no subset hits 7
+            vec![2, 2, 2],    // even total 6, half 3, parts all even
+            vec![5, 1, 2],    // total 8, half 4: 5>4, 1+2=3 ≠ 4
+            vec![9, 2, 2, 1], // total 14, half 7: no subset hits 7
         ] {
             let inst = PartitionInstance::new(values.clone()).unwrap();
             assert!(!inst.solve_brute(), "brute force disagrees for {values:?}");
-            assert!(!inst.solve_via_uov(), "UOV reduction disagrees for {values:?}");
+            assert!(
+                !inst.solve_via_uov(),
+                "UOV reduction disagrees for {values:?}"
+            );
         }
     }
 

@@ -11,8 +11,8 @@
 //! Figure 3 of the paper is the motivating case: on a skewed ISG a longer
 //! OV can need *less* storage than the shortest one.
 
-use uov_isg::project::form_range;
-use uov_isg::{IMat, IVec, IterationDomain};
+use uov_isg::project::try_form_range;
+use uov_isg::{IMat, IVec, IsgError, IterationDomain};
 
 /// Number of storage-equivalence classes the occupancy vector `ov` induces
 /// on `domain`, computed from the domain's extreme points.
@@ -51,16 +51,39 @@ use uov_isg::{IMat, IVec, IterationDomain};
 /// assert_eq!(storage_class_count(&isg, &ivec![3, 0]), 27);
 /// ```
 pub fn storage_class_count(domain: &dyn IterationDomain, ov: &IVec) -> u64 {
-    assert!(!ov.is_zero(), "occupancy vector must be non-zero");
-    assert_eq!(ov.dim(), domain.dim(), "dimension mismatch");
-    let g = ov.content() as u64;
-    let w = IMat::lattice_reduction(ov);
+    match try_storage_class_count(domain, ov) {
+        Ok(n) => n,
+        Err(IsgError::ZeroVector) => panic!("occupancy vector must be non-zero"),
+        Err(IsgError::DimMismatch { .. }) => panic!("dimension mismatch"),
+        Err(e) => panic!("storage class count failed: {e}"),
+    }
+}
+
+/// [`storage_class_count`] returning [`IsgError`] on a zero vector,
+/// dimension mismatch, or coordinate overflow during lattice reduction and
+/// projection.
+pub fn try_storage_class_count(domain: &dyn IterationDomain, ov: &IVec) -> Result<u64, IsgError> {
+    if ov.is_zero() {
+        return Err(IsgError::ZeroVector);
+    }
+    if ov.dim() != domain.dim() {
+        return Err(IsgError::DimMismatch {
+            expected: domain.dim(),
+            found: ov.dim(),
+        });
+    }
+    let g = ov.try_content()? as u64;
+    let w = IMat::try_lattice_reduction(ov)?;
     let mut classes = g;
     for r in 1..ov.dim() {
-        let (lo, hi) = form_range(domain, &w.row(r));
-        classes = classes.saturating_mul((hi - lo + 1) as u64);
+        let (lo, hi) = try_form_range(domain, &w.row(r))?;
+        let span = hi
+            .checked_sub(lo)
+            .and_then(|s| s.checked_add(1))
+            .ok_or(IsgError::Overflow("storage class span"))?;
+        classes = classes.saturating_mul(span as u64);
     }
-    classes.min(domain.num_points())
+    Ok(classes.min(domain.num_points()))
 }
 
 /// Exact number of *occupied* storage-equivalence classes: enumerates every
@@ -127,10 +150,7 @@ mod tests {
         // Interior iterations only; the full paper figure adds borders.
         let grid = RectDomain::grid(4, 6);
         assert_eq!(storage_class_count(&grid, &ivec![1, 1]), 4 + 6 - 1);
-        assert_eq!(
-            storage_class_count_exact(&grid, &ivec![1, 1]),
-            4 + 6 - 1
-        );
+        assert_eq!(storage_class_count_exact(&grid, &ivec![1, 1]), 4 + 6 - 1);
     }
 
     #[test]

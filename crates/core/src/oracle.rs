@@ -26,6 +26,9 @@ use std::collections::HashMap;
 
 use uov_isg::{IVec, IterationDomain, Stencil};
 
+use crate::budget::{Budget, Degradation};
+use crate::error::SearchError;
+
 /// Memoising decision oracle for DONE/DEAD/UOV membership over one stencil.
 ///
 /// The oracle caches cone-membership results across queries, so reuse it
@@ -57,15 +60,37 @@ pub struct DoneOracle {
     cache: RefCell<HashMap<IVec, bool>>,
 }
 
+/// Outcome of inspecting a cone node without expanding it.
+enum Eval {
+    Decided(bool),
+    Expand,
+}
+
 impl DoneOracle {
     /// Build an oracle for `stencil`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stencil's positive functional overflows `i64`
+    /// (adversarially large coordinates). Use [`DoneOracle::try_new`] on
+    /// untrusted input.
     pub fn new(stencil: &Stencil) -> Self {
-        DoneOracle {
+        match Self::try_new(stencil) {
+            Ok(o) => o,
+            Err(e) => panic!("oracle construction failed: {e}"),
+        }
+    }
+
+    /// [`DoneOracle::new`] returning [`SearchError`] instead of panicking
+    /// when the positive functional cannot be represented.
+    pub fn try_new(stencil: &Stencil) -> Result<Self, SearchError> {
+        let phi = stencil.try_positive_functional()?;
+        Ok(DoneOracle {
             stencil: stencil.clone(),
-            phi: stencil.positive_functional(),
+            phi,
             prunes: dual_cone_functionals(stencil),
             cache: RefCell::new(HashMap::new()),
-        }
+        })
     }
 
     /// The stencil this oracle decides membership for.
@@ -81,34 +106,123 @@ impl DoneOracle {
     ///
     /// # Panics
     ///
-    /// Panics if `w.dim() != self.stencil().dim()`.
+    /// Panics if `w.dim() != self.stencil().dim()` or on coordinate overflow
+    /// for adversarial input. Use [`DoneOracle::in_done_budgeted`] on
+    /// untrusted input.
     pub fn in_done(&self, w: &IVec) -> bool {
-        assert_eq!(w.dim(), self.stencil.dim(), "offset dimension mismatch");
-        self.in_cone_rec(w)
+        match self.in_done_budgeted(w, &Budget::unlimited()) {
+            Ok(b) => b,
+            Err(e) => panic!("oracle query failed: {e}"),
+        }
     }
 
-    fn in_cone_rec(&self, w: &IVec) -> bool {
+    /// Budgeted [`DoneOracle::in_done`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SearchError::DimMismatch`] if `w`'s dimension disagrees with the
+    ///   stencil's.
+    /// * [`SearchError::Isg`] on coordinate overflow while walking the cone.
+    /// * [`SearchError::Exhausted`] when `budget` runs out mid-query; the
+    ///   memo-table cap counts as exhaustion when a needed insertion would
+    ///   exceed it.
+    pub fn in_done_budgeted(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
+        if w.dim() != self.stencil.dim() {
+            return Err(SearchError::DimMismatch {
+                stencil: self.stencil.dim(),
+                domain: w.dim(),
+            });
+        }
+        budget.charge()?;
+        if let Eval::Decided(b) = self.quick_eval(w) {
+            return Ok(b);
+        }
+        self.in_cone_dfs(w, budget)
+    }
+
+    /// Inspect one node without expanding: base cases, functional cuts, and
+    /// the memo table.
+    fn quick_eval(&self, w: &IVec) -> Eval {
         if w.is_zero() {
-            return true;
+            return Eval::Decided(true);
         }
         if self.phi.dot_i128(w) < 0 {
-            return false;
+            return Eval::Decided(false);
         }
         // Dual-cone cuts: a functional non-negative on every generator is
         // non-negative on the whole cone.
         if self.prunes.iter().any(|f| f.dot_i128(w) < 0) {
-            return false;
+            return Eval::Decided(false);
         }
         if let Some(&hit) = self.cache.borrow().get(w) {
-            return hit;
+            return Eval::Decided(hit);
         }
-        // φ·(w − v) < φ·w, so the recursion terminates; no cycles possible.
-        let result = self
-            .stencil
-            .iter()
-            .any(|v| self.in_cone_rec(&(w - v)));
-        self.cache.borrow_mut().insert(w.clone(), result);
-        result
+        Eval::Expand
+    }
+
+    /// Iterative memoised DFS over the cone: an explicit frame stack
+    /// replaces recursion so adversarial NPC instances cannot overflow the
+    /// call stack, and the budget is charged per expanded node.
+    ///
+    /// Termination: φ·(w − v) ≤ φ·w − 1, so every edge strictly decreases
+    /// φ and the frame chain is acyclic.
+    fn in_cone_dfs(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
+        struct Frame {
+            w: IVec,
+            next_child: usize,
+        }
+        let m = self.stencil.len();
+        let mut stack = vec![Frame {
+            w: w.clone(),
+            next_child: 0,
+        }];
+        while let Some(top_idx) = stack.len().checked_sub(1) {
+            let child_idx = stack[top_idx].next_child;
+            if child_idx >= m {
+                // Every child failed: this node is not in the cone.
+                let done = stack.pop().map(|f| f.w);
+                if let Some(done) = done {
+                    self.cache_insert(done, false, budget)?;
+                }
+                continue;
+            }
+            stack[top_idx].next_child += 1;
+            let child = stack[top_idx]
+                .w
+                .checked_sub(&self.stencil.vectors()[child_idx])?;
+            budget.charge()?;
+            match self.quick_eval(&child) {
+                Eval::Decided(true) => {
+                    // The whole ancestor chain is in the cone. Memoise what
+                    // fits under the cap — the answer is already decided, so
+                    // a full table only costs future queries, not this one.
+                    for f in stack {
+                        if budget.check_memo(self.cache.borrow().len()).is_err() {
+                            break;
+                        }
+                        self.cache.borrow_mut().insert(f.w, true);
+                    }
+                    return Ok(true);
+                }
+                Eval::Decided(false) => {}
+                Eval::Expand => stack.push(Frame {
+                    w: child,
+                    next_child: 0,
+                }),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Memoise a *computed* verdict; a full memo table here is a hard stop
+    /// because discarding the verdict would make the time bound vacuous.
+    fn cache_insert(&self, w: IVec, val: bool, budget: &Budget) -> Result<(), SearchError> {
+        let mut cache = self.cache.borrow_mut();
+        if !cache.contains_key(&w) {
+            budget.check_memo(cache.len())?;
+            cache.insert(w, val);
+        }
+        Ok(())
     }
 
     /// Whether the offset `w = q − p` places `p` in `DEAD(V, q)`:
@@ -117,7 +231,22 @@ impl DoneOracle {
     /// Equivalent to `w ∈ UOV(V)` (paper §3.1): by definition the UOV set
     /// is exactly the set of offsets to DEAD iterations.
     pub fn in_dead(&self, w: &IVec) -> bool {
-        self.stencil.iter().all(|v| self.in_done(&(w - v)))
+        match self.in_dead_budgeted(w, &Budget::unlimited()) {
+            Ok(b) => b,
+            Err(e) => panic!("oracle query failed: {e}"),
+        }
+    }
+
+    /// Budgeted [`DoneOracle::in_dead`]; see [`DoneOracle::in_done_budgeted`]
+    /// for the error conditions.
+    pub fn in_dead_budgeted(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
+        for v in self.stencil.iter() {
+            let offset = w.checked_sub(v)?;
+            if !self.in_done_budgeted(&offset, budget)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Whether `w` is a universal occupancy vector for the stencil.
@@ -128,6 +257,12 @@ impl DoneOracle {
         self.in_dead(w)
     }
 
+    /// Budgeted [`DoneOracle::is_uov`]; see [`DoneOracle::in_done_budgeted`]
+    /// for the error conditions.
+    pub fn is_uov_budgeted(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
+        self.in_dead_budgeted(w, budget)
+    }
+
     /// Enumerate `DONE(V, q) ∩ domain` — used to visualise Figure 2 of the
     /// paper and by exhaustive tests.
     ///
@@ -135,10 +270,7 @@ impl DoneOracle {
     ///
     /// Panics if dimensions of `q`, the domain and the stencil disagree.
     pub fn done_points(&self, q: &IVec, domain: &dyn IterationDomain) -> Vec<IVec> {
-        domain
-            .points()
-            .filter(|p| self.in_done(&(q - p)))
-            .collect()
+        domain.points().filter(|p| self.in_done(&(q - p))).collect()
     }
 
     /// Enumerate `DEAD(V, q) ∩ domain` (Figure 2's squares).
@@ -147,10 +279,7 @@ impl DoneOracle {
     ///
     /// Panics if dimensions of `q`, the domain and the stencil disagree.
     pub fn dead_points(&self, q: &IVec, domain: &dyn IterationDomain) -> Vec<IVec> {
-        domain
-            .points()
-            .filter(|p| self.in_dead(&(q - p)))
-            .collect()
+        domain.points().filter(|p| self.in_dead(&(q - p))).collect()
     }
 
     /// Enumerate every UOV whose components all lie in `[-radius, radius]`.
@@ -183,6 +312,54 @@ impl DoneOracle {
         }
     }
 
+    /// Budgeted [`DoneOracle::uovs_within`]: stops enumerating once the
+    /// budget runs out and returns the UOVs found so far together with a
+    /// [`Degradation`] record.
+    ///
+    /// Exhaustion is *not* an error here — every returned vector is a
+    /// verified UOV, the list is merely possibly incomplete. Hard errors
+    /// are reserved for arithmetic overflow during a membership query.
+    pub fn uovs_within_budgeted(
+        &self,
+        radius: i64,
+        budget: &Budget,
+    ) -> Result<(Vec<IVec>, Option<Degradation>), SearchError> {
+        if radius < 0 {
+            return Ok((Vec::new(), None));
+        }
+        let d = self.stencil.dim();
+        let mut out = Vec::new();
+        let mut degradation = None;
+        let mut cur = vec![-radius; d];
+        'walk: loop {
+            let w = IVec::from(cur.clone());
+            if w.is_lex_positive() {
+                match self.is_uov_budgeted(&w, budget) {
+                    Ok(true) => out.push(w),
+                    Ok(false) => {}
+                    Err(SearchError::Exhausted(reason)) => {
+                        degradation = Some(budget.degradation(reason, self.cache_len(), false));
+                        break 'walk;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    break 'walk;
+                }
+                k -= 1;
+                if cur[k] < radius {
+                    cur[k] += 1;
+                    continue 'walk;
+                }
+                cur[k] = -radius;
+            }
+        }
+        Ok((out, degradation))
+    }
+
     /// Number of memoised cone-membership entries (for diagnostics/benches).
     pub fn cache_len(&self) -> usize {
         self.cache.borrow().len()
@@ -202,11 +379,15 @@ fn dual_cone_functionals(stencil: &Stencil) -> Vec<IVec> {
     let d = stencil.dim();
     if d == 2 {
         // Both rotations of each angular extreme; the validity filter
-        // below keeps exactly the inward-facing pair.
+        // below keeps exactly the inward-facing pair. The functionals are
+        // an optional optimisation, so extremes whose rotation is not
+        // representable (an i64::MIN component) are simply skipped.
         let ext = stencil.extreme_vectors();
-        for e in [&ext[0], ext.last().expect("non-empty")] {
-            out.push(IVec::from([-e[1], e[0]]));
-            out.push(IVec::from([e[1], -e[0]]));
+        for e in ext.first().into_iter().chain(ext.last()) {
+            if let (Some(nx), Some(ny)) = (e[1].checked_neg(), e[0].checked_neg()) {
+                out.push(IVec::from([nx, e[0]]));
+                out.push(IVec::from([e[1], ny]));
+            }
         }
     }
     for k in 0..d {
@@ -220,21 +401,6 @@ fn dual_cone_functionals(stencil: &Stencil) -> Vec<IVec> {
     // pair always is; this guards against extreme-vector edge cases).
     out.retain(|f| stencil.iter().all(|v| f.dot_i128(v) >= 0));
     out
-}
-
-/// Extension trait: `i128` dot product to keep huge NPC-instance
-/// functionals overflow-free.
-trait DotI128 {
-    fn dot_i128(&self, other: &IVec) -> i128;
-}
-
-impl DotI128 for IVec {
-    fn dot_i128(&self, other: &IVec) -> i128 {
-        self.iter()
-            .zip(other.iter())
-            .map(|(&a, &b)| a as i128 * b as i128)
-            .sum()
-    }
 }
 
 #[cfg(test)]
@@ -325,7 +491,10 @@ mod tests {
         assert!(o.is_uov(&ivec![2, 0]));
         assert!(!o.is_uov(&ivec![1, 0]));
         for j in -2..=2 {
-            assert!(!o.is_uov(&ivec![1, j]), "single time step (1,{j}) must not be a UOV");
+            assert!(
+                !o.is_uov(&ivec![1, j]),
+                "single time step (1,{j}) must not be a UOV"
+            );
         }
     }
 
@@ -396,6 +565,93 @@ mod tests {
         assert!(o.is_uov(&ivec![3]));
         assert!(o.is_uov(&ivec![4]));
         assert!(!o.is_uov(&ivec![2])); // 2−3 = −1 ∉ cone
+    }
+
+    #[test]
+    fn budgeted_queries_agree_with_unlimited() {
+        let o = stencil5_oracle();
+        let b = Budget::unlimited();
+        for w in [ivec![2, 0], ivec![1, 0], ivec![3, 1], ivec![0, 0]] {
+            assert_eq!(
+                o.is_uov_budgeted(&w, &b).unwrap(),
+                o.is_uov(&w),
+                "mismatch at {w}"
+            );
+        }
+        assert!(b.nodes_charged() > 0);
+    }
+
+    #[test]
+    fn node_budget_exhausts_oracle_query() {
+        let s = Stencil::new(vec![ivec![1, -2], ivec![1, 2]]).unwrap();
+        let o = DoneOracle::new(&s);
+        let b = Budget::unlimited().with_max_nodes(2);
+        let r = o.in_done_budgeted(&ivec![40, 0], &b);
+        assert_eq!(
+            r,
+            Err(SearchError::Exhausted(crate::budget::Exhausted::Nodes))
+        );
+    }
+
+    #[test]
+    fn memo_budget_exhausts_during_memoization() {
+        // A membership test that fails only deep in the walk generates many
+        // memo entries; capping the table must surface Exhausted::Memo.
+        let s = Stencil::new(vec![ivec![1, -2], ivec![1, 2]]).unwrap();
+        let o = DoneOracle::new(&s);
+        let b = Budget::unlimited().with_max_memo_entries(1);
+        let r = o.in_done_budgeted(&ivec![9, 1], &b);
+        assert_eq!(
+            r,
+            Err(SearchError::Exhausted(crate::budget::Exhausted::Memo))
+        );
+        assert!(o.cache_len() <= 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_panic() {
+        let o = fig1_oracle();
+        assert!(matches!(
+            o.in_done_budgeted(&ivec![1, 2, 3], &Budget::unlimited()),
+            Err(SearchError::DimMismatch {
+                stencil: 2,
+                domain: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_overflowing_functional() {
+        // max_abs near i64::MAX in 2-D: φ's base c·d + 1 overflows.
+        let s = Stencil::new(vec![ivec![1, i64::MAX], ivec![1, -i64::MAX]]).unwrap();
+        assert!(matches!(DoneOracle::try_new(&s), Err(SearchError::Isg(_))));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // A long, thin cone walk: the iterative DFS must handle a chain far
+        // deeper than any safe recursion depth.
+        let s = Stencil::new(vec![ivec![0, 1], ivec![1, 0]]).unwrap();
+        let o = DoneOracle::new(&s);
+        assert!(o.in_done(&ivec![500_000, 1]));
+    }
+
+    #[test]
+    fn budgeted_enumeration_degrades_to_prefix() {
+        let o = fig1_oracle();
+        let (complete, none) = o.uovs_within_budgeted(2, &Budget::unlimited()).unwrap();
+        assert!(none.is_none());
+        assert_eq!(complete, o.uovs_within(2));
+
+        let tight = Budget::unlimited().with_max_nodes(5);
+        let (partial, degradation) = o.uovs_within_budgeted(2, &tight).unwrap();
+        let d = degradation.expect("tight budget must degrade");
+        assert_eq!(d.reason, crate::budget::Exhausted::Nodes);
+        // Every reported vector is a verified UOV and part of the full set.
+        for w in &partial {
+            assert!(complete.contains(w));
+        }
+        assert!(partial.len() <= complete.len());
     }
 
     #[test]

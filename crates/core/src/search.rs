@@ -26,9 +26,11 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use uov_isg::{IVec, IterationDomain, Stencil};
+use uov_isg::{IVec, IsgError, IterationDomain, Stencil};
 
-use crate::objective::storage_class_count;
+use crate::budget::{Budget, Degradation, Exhausted};
+use crate::error::SearchError;
+use crate::objective::{storage_class_count, try_storage_class_count};
 
 /// What the search minimises.
 ///
@@ -52,6 +54,11 @@ pub struct SearchConfig {
     /// Mirrors the paper's "a compiler could limit the amount of time the
     /// algorithm runs and just take the best answer found so far".
     pub max_visits: Option<u64>,
+    /// Resource budget (deadline, node cap, memo cap, cancellation). When
+    /// it runs out the search degrades to the best incumbent — at worst the
+    /// always-legal initial UOV — and records a
+    /// [`Degradation`](crate::budget::Degradation) in the result.
+    pub budget: Budget,
 }
 
 /// Counters describing a finished search, for the ablation experiments.
@@ -81,6 +88,9 @@ pub struct SearchResult {
     pub cost: u128,
     /// Search statistics.
     pub stats: SearchStats,
+    /// Present iff the search was cut short (budget or `max_visits`); the
+    /// UOV above is still legal, merely possibly non-optimal.
+    pub degradation: Option<Degradation>,
 }
 
 /// The trivially computed initial UOV `ov₀ = Σ vᵢ` (paper §3.2.1).
@@ -109,6 +119,15 @@ fn cost_of(objective: &Objective<'_>, w: &IVec) -> u128 {
     }
 }
 
+/// [`cost_of`] with overflow reported instead of panicking; the searches
+/// use this so one adversarial candidate cannot sink the whole run.
+pub(crate) fn try_cost_of(objective: &Objective<'_>, w: &IVec) -> Result<u128, IsgError> {
+    match objective {
+        Objective::ShortestVector => Ok(w.try_norm_sq()? as u128),
+        Objective::KnownBounds(domain) => Ok(try_storage_class_count(*domain, w)? as u128),
+    }
+}
+
 fn isqrt(n: u128) -> u128 {
     if n < 2 {
         return n;
@@ -131,15 +150,18 @@ struct DomainFacts {
 }
 
 impl DomainFacts {
-    fn new(domain: &dyn IterationDomain) -> Self {
+    fn try_new(domain: &dyn IterationDomain) -> Result<Self, IsgError> {
         let vertices = domain.extreme_points();
         let mut diam_sq: u128 = 0;
         for (i, a) in vertices.iter().enumerate() {
             for b in &vertices[i + 1..] {
-                diam_sq = diam_sq.max((a - b).norm_sq() as u128);
+                diam_sq = diam_sq.max(a.checked_sub(b)?.try_norm_sq()? as u128);
             }
         }
-        DomainFacts { num_points: domain.num_points() as u128, diam: isqrt(diam_sq) + 1 }
+        Ok(DomainFacts {
+            num_points: domain.num_points() as u128,
+            diam: isqrt(diam_sq) + 1,
+        })
     }
 
     /// `true` if every descendant of an offset with squared-length lower
@@ -160,16 +182,25 @@ impl DomainFacts {
 /// The returned vector is always a legal UOV. It is *optimal* for the
 /// objective whenever `stats.complete` is true and `stats.capped == 0`:
 ///
-/// * `complete == false` means `config.max_visits` cut the search short;
+/// * `complete == false` means `config.max_visits` or the budget cut the
+///   search short; `result.degradation` says which and how far it got;
 /// * `capped > 0` can only occur for [`Objective::KnownBounds`] on
 ///   degenerate domains where storage cannot discriminate candidates (the
 ///   hard cap stops exploration at offsets 64× the functional value of the
-///   initial UOV — far beyond any storage-profitable candidate).
+///   initial UOV — far beyond any storage-profitable candidate), or when
+///   individual candidates overflowed `i64` and were discarded.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the objective's domain dimension differs from the stencil's,
-/// or the stencil has more than 63 vectors (PATHSETs are `u64` bitmasks).
+/// * [`SearchError::TooManyVectors`] for stencils beyond 63 vectors
+///   (PATHSETs are `u64` bitmasks).
+/// * [`SearchError::DimMismatch`] when the objective's domain dimension
+///   differs from the stencil's.
+/// * [`SearchError::Isg`] when the stencil itself is out of numeric range
+///   (positive functional or initial UOV overflows `i64`).
+///
+/// Budget exhaustion is **not** an error: the search returns the best
+/// incumbent with a [`Degradation`] record attached.
 ///
 /// # Examples
 ///
@@ -181,42 +212,51 @@ impl DomainFacts {
 /// let s = Stencil::new(vec![
 ///     ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2],
 /// ])?;
-/// let best = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+/// let best = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default())?;
 /// assert_eq!(best.uov, ivec![2, 0]);
 /// assert!(best.stats.complete);
-/// # Ok::<(), uov_isg::StencilError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn find_best_uov(
     stencil: &Stencil,
     objective: Objective<'_>,
     config: &SearchConfig,
-) -> SearchResult {
+) -> Result<SearchResult, SearchError> {
     let domain_facts = match &objective {
         Objective::KnownBounds(domain) => {
-            assert_eq!(
-                domain.dim(),
-                stencil.dim(),
-                "objective domain dimension must match the stencil"
-            );
-            Some(DomainFacts::new(*domain))
+            if domain.dim() != stencil.dim() {
+                return Err(SearchError::DimMismatch {
+                    stencil: stencil.dim(),
+                    domain: domain.dim(),
+                });
+            }
+            Some(DomainFacts::try_new(*domain)?)
         }
         Objective::ShortestVector => None,
     };
     let dim = stencil.dim();
     let m = stencil.len();
-    assert!(m <= 63, "stencils larger than 63 vectors are unsupported");
+    if m > 63 {
+        return Err(SearchError::TooManyVectors(m));
+    }
     let full: u64 = (1u64 << m) - 1;
-    let phi = stencil.positive_functional();
-    let phi_norm_sq = phi.norm_sq() as u128;
+    let phi = stencil.try_positive_functional()?;
+    let phi_norm_sq = phi.try_norm_sq()? as u128;
+    let budget = &config.budget;
 
     // Incumbent: the initial UOV is legal from the start (§3.2.1).
-    let mut best = initial_uov(stencil);
-    let mut best_cost = cost_of(&objective, &best);
-    let mut stats = SearchStats { complete: true, ..SearchStats::default() };
+    let initial = stencil.try_sum()?;
+    let mut best = initial.clone();
+    let mut best_cost = try_cost_of(&objective, &best)?;
+    let mut stats = SearchStats {
+        complete: true,
+        ..SearchStats::default()
+    };
+    let mut degradation: Option<Degradation> = None;
 
     // Hard exploration cap guaranteeing termination even when the storage
     // objective cannot discriminate (e.g. every candidate costs N).
-    let phi_cap: i128 = 64 * phi_dot_i128(&phi, &best).max(1);
+    let phi_cap: i128 = 64 * phi.dot_i128(&best).max(1);
 
     // Priority queue of (cost, offset, pathset), min-cost first. `known`
     // remembers the union of PATHSETs discovered per offset; an entry is
@@ -229,15 +269,22 @@ pub fn find_best_uov(
     heap.push(std::cmp::Reverse((0, origin, 0)));
     stats.pushed += 1;
 
-    while let Some(std::cmp::Reverse((cost, w, mask))) = heap.pop() {
+    'search: while let Some(std::cmp::Reverse((cost, w, mask))) = heap.pop() {
         // Skip stale entries: a fresher push carries the grown PATHSET.
         if known.get(&w).copied().unwrap_or(0) != mask {
             continue;
         }
         stats.visited += 1;
+        if let Err(reason) = budget.charge() {
+            stats.complete = false;
+            degradation = Some(budget.degradation(reason, known.len(), best == initial));
+            break;
+        }
         if let Some(max) = config.max_visits {
             if stats.visited > max {
                 stats.complete = false;
+                degradation =
+                    Some(budget.degradation(Exhausted::Nodes, known.len(), best == initial));
                 break;
             }
         }
@@ -251,8 +298,13 @@ pub fn find_best_uov(
 
         // Expand children along backward value dependences (Visit step 2).
         for (k, v) in stencil.iter().enumerate() {
-            let child = &w + v;
-            let phi_child = phi_dot_i128(&phi, &child);
+            // A child beyond i64 range can never beat the in-range
+            // incumbent; discard it like a capped offset.
+            let Ok(child) = w.checked_add(v) else {
+                stats.capped += 1;
+                continue;
+            };
+            let phi_child = phi.dot_i128(&child);
             debug_assert!(phi_child > 0, "functional must grow along dependences");
 
             // Length lower bound for the child and all its descendants:
@@ -272,24 +324,35 @@ pub fn find_best_uov(
             }
 
             let child_mask = mask | (1 << k);
+            let is_new = !known.contains_key(&child);
+            if is_new {
+                if let Err(reason) = budget.check_memo(known.len()) {
+                    stats.complete = false;
+                    degradation = Some(budget.degradation(reason, known.len(), best == initial));
+                    break 'search;
+                }
+            }
             let entry = known.entry(child.clone()).or_insert(0);
             let merged = *entry | child_mask;
             if merged != *entry {
                 *entry = merged;
-                heap.push(std::cmp::Reverse((cost_of(&objective, &child), child, merged)));
+                // A candidate whose cost overflows is discarded, not fatal.
+                let Ok(child_cost) = try_cost_of(&objective, &child) else {
+                    stats.capped += 1;
+                    continue;
+                };
+                heap.push(std::cmp::Reverse((child_cost, child, merged)));
                 stats.pushed += 1;
             }
         }
     }
 
-    SearchResult { uov: best, cost: best_cost, stats }
-}
-
-fn phi_dot_i128(phi: &IVec, w: &IVec) -> i128 {
-    phi.iter()
-        .zip(w.iter())
-        .map(|(&a, &b)| a as i128 * b as i128)
-        .sum()
+    Ok(SearchResult {
+        uov: best,
+        cost: best_cost,
+        stats,
+        degradation,
+    })
 }
 
 /// Exhaustively enumerate every UOV with components in `[-radius, radius]`
@@ -313,7 +376,11 @@ pub fn exhaustive_best_uov(
     best.map(|(cost, _, uov)| SearchResult {
         uov,
         cost,
-        stats: SearchStats { complete: true, ..SearchStats::default() },
+        stats: SearchStats {
+            complete: true,
+            ..SearchStats::default()
+        },
+        degradation: None,
     })
 }
 
@@ -347,17 +414,23 @@ mod tests {
 
     #[test]
     fn fig1_best_uov_is_1_1() {
-        let best = find_best_uov(&fig1(), Objective::ShortestVector, &SearchConfig::default());
+        let best =
+            find_best_uov(&fig1(), Objective::ShortestVector, &SearchConfig::default()).unwrap();
         assert_eq!(best.uov, ivec![1, 1]);
         assert_eq!(best.cost, 2);
         assert!(best.stats.complete);
+        assert!(best.degradation.is_none());
         assert!(best.stats.improvements >= 1);
     }
 
     #[test]
     fn stencil5_best_uov_is_2_0() {
-        let best =
-            find_best_uov(&stencil5(), Objective::ShortestVector, &SearchConfig::default());
+        let best = find_best_uov(
+            &stencil5(),
+            Objective::ShortestVector,
+            &SearchConfig::default(),
+        )
+        .unwrap();
         assert_eq!(best.uov, ivec![2, 0]);
         assert_eq!(best.cost, 4);
         assert!(best.stats.complete);
@@ -374,8 +447,12 @@ mod tests {
         ] {
             let oracle = crate::DoneOracle::new(&s);
             let best =
-                find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
-            assert!(oracle.is_uov(&best.uov), "search returned non-UOV {}", best.uov);
+                find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default()).unwrap();
+            assert!(
+                oracle.is_uov(&best.uov),
+                "search returned non-UOV {}",
+                best.uov
+            );
         }
     }
 
@@ -389,9 +466,10 @@ mod tests {
             Stencil::new(vec![ivec![1], ivec![2]]).unwrap(),
             Stencil::new(vec![ivec![1, 0, 0], ivec![0, 1, 0], ivec![0, 0, 1]]).unwrap(),
         ] {
-            let bb = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
-            let ex = exhaustive_best_uov(&s, Objective::ShortestVector, 8)
-                .expect("radius large enough");
+            let bb =
+                find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default()).unwrap();
+            let ex =
+                exhaustive_best_uov(&s, Objective::ShortestVector, 8).expect("radius large enough");
             assert_eq!(bb.cost, ex.cost, "cost mismatch for {s:?}");
         }
     }
@@ -400,18 +478,16 @@ mod tests {
     fn known_bounds_fig3_prefers_longer_vector() {
         // The crux of Figure 3: with the skewed ISG, the storage-minimal
         // UOV can differ from the shortest one.
-        let s = Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![0, 1]])
-            .unwrap();
+        let s = Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![0, 1]]).unwrap();
         let isg = Polygon2::fig3_isg();
         let shortest =
-            find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+            find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default()).unwrap();
         let storage =
-            find_best_uov(&s, Objective::KnownBounds(&isg), &SearchConfig::default());
+            find_best_uov(&s, Objective::KnownBounds(&isg), &SearchConfig::default()).unwrap();
         let oracle = crate::DoneOracle::new(&s);
         assert!(oracle.is_uov(&storage.uov));
         // The storage-optimal choice is at least as good on storage.
-        let shortest_storage =
-            crate::objective::storage_class_count(&isg, &shortest.uov) as u128;
+        let shortest_storage = crate::objective::storage_class_count(&isg, &shortest.uov) as u128;
         assert!(storage.cost <= shortest_storage);
     }
 
@@ -419,7 +495,8 @@ mod tests {
     fn known_bounds_matches_exhaustive() {
         let grid = RectDomain::grid(6, 9);
         for s in [fig1(), stencil5()] {
-            let bb = find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default());
+            let bb =
+                find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default()).unwrap();
             let ex = exhaustive_best_uov(&s, Objective::KnownBounds(&grid), 8).unwrap();
             assert_eq!(bb.cost, ex.cost, "storage cost mismatch for {s:?}");
             assert_eq!(bb.stats.capped, 0);
@@ -431,10 +508,30 @@ mod tests {
         // A single-point domain: every candidate costs 1; the hard cap must
         // stop the search.
         let dom = RectDomain::new(ivec![0, 0], ivec![0, 0]);
-        let res = find_best_uov(&fig1(), Objective::KnownBounds(&dom), &SearchConfig::default());
+        let res = find_best_uov(
+            &fig1(),
+            Objective::KnownBounds(&dom),
+            &SearchConfig::default(),
+        )
+        .unwrap();
         assert_eq!(res.cost, 1);
         let oracle = crate::DoneOracle::new(&fig1());
         assert!(oracle.is_uov(&res.uov));
+    }
+
+    #[test]
+    fn dim_mismatch_is_an_error() {
+        let dom = RectDomain::grid(4, 4);
+        let s = Stencil::new(vec![ivec![1, 0, 0], ivec![0, 1, 0], ivec![0, 0, 1]]).unwrap();
+        let err =
+            find_best_uov(&s, Objective::KnownBounds(&dom), &SearchConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::DimMismatch {
+                stencil: 3,
+                domain: 2
+            }
+        ));
     }
 
     #[test]
@@ -444,16 +541,117 @@ mod tests {
         let res = find_best_uov(
             &s,
             Objective::ShortestVector,
-            &SearchConfig { max_visits: Some(1) },
-        );
+            &SearchConfig {
+                max_visits: Some(1),
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
         assert!(!res.stats.complete);
-        assert!(oracle.is_uov(&res.uov), "even a truncated search must return a UOV");
+        assert!(
+            oracle.is_uov(&res.uov),
+            "even a truncated search must return a UOV"
+        );
+        assert_eq!(res.uov, initial_uov(&s));
+        let d = res
+            .degradation
+            .expect("truncated search must record degradation");
+        assert_eq!(d.reason, Exhausted::Nodes);
+        assert!(d.fell_back_to_initial);
+    }
+
+    #[test]
+    fn node_budget_truncates_with_degradation() {
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let config = SearchConfig {
+            max_visits: None,
+            budget: Budget::unlimited().with_max_nodes(2),
+        };
+        let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov));
+        let d = res
+            .degradation
+            .expect("budget truncation must record degradation");
+        assert_eq!(d.reason, Exhausted::Nodes);
+        assert!(d.nodes_at_stop >= 2);
+    }
+
+    #[test]
+    fn deadline_budget_truncates_with_degradation() {
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let config = SearchConfig {
+            max_visits: None,
+            budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+        };
+        let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov));
+        let d = res
+            .degradation
+            .expect("expired deadline must record degradation");
+        assert_eq!(d.reason, Exhausted::Deadline);
+        assert!(d.fell_back_to_initial);
         assert_eq!(res.uov, initial_uov(&s));
     }
 
     #[test]
+    fn cancellation_token_truncates_with_degradation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let token = Arc::new(AtomicBool::new(true));
+        token.store(true, Ordering::Relaxed);
+        let config = SearchConfig {
+            max_visits: None,
+            budget: Budget::unlimited().with_cancel_token(token),
+        };
+        let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov));
+        let d = res
+            .degradation
+            .expect("cancelled search must record degradation");
+        assert_eq!(d.reason, Exhausted::Cancelled);
+    }
+
+    #[test]
+    fn memo_budget_truncates_with_degradation() {
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let config = SearchConfig {
+            max_visits: None,
+            budget: Budget::unlimited().with_max_memo_entries(2),
+        };
+        let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov));
+        let d = res.degradation.expect("memo cap must record degradation");
+        assert_eq!(d.reason, Exhausted::Memo);
+        assert!(d.memo_entries_at_stop >= 2);
+    }
+
+    #[test]
+    fn generous_budget_still_finds_optimum() {
+        let config = SearchConfig {
+            max_visits: None,
+            budget: Budget::unlimited()
+                .with_max_nodes(1_000_000)
+                .with_deadline(std::time::Duration::from_secs(60)),
+        };
+        let best = find_best_uov(&stencil5(), Objective::ShortestVector, &config).unwrap();
+        assert_eq!(best.uov, ivec![2, 0]);
+        assert!(best.stats.complete);
+        assert!(best.degradation.is_none());
+    }
+
+    #[test]
     fn stats_are_populated() {
-        let res = find_best_uov(&fig1(), Objective::ShortestVector, &SearchConfig::default());
+        let res =
+            find_best_uov(&fig1(), Objective::ShortestVector, &SearchConfig::default()).unwrap();
         assert!(res.stats.visited > 0);
         assert!(res.stats.pushed > 0);
         assert!(res.stats.pruned > 0);

@@ -26,7 +26,12 @@ pub struct Glyphs {
 impl Default for Glyphs {
     fn default() -> Self {
         // The paper's legend: squares are DEAD, filled dots are DONE.
-        Glyphs { q: 'Q', dead: '#', done: '*', other: '.' }
+        Glyphs {
+            q: 'Q',
+            dead: '#',
+            done: '*',
+            other: '.',
+        }
     }
 }
 
@@ -88,9 +93,7 @@ mod tests {
     use uov_isg::{ivec, Stencil};
 
     fn fig2_oracle() -> DoneOracle {
-        DoneOracle::new(
-            &Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1]]).unwrap(),
-        )
+        DoneOracle::new(&Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1]]).unwrap())
     }
 
     #[test]
@@ -106,10 +109,16 @@ mod tests {
         // Row 0 (three steps back): the wedge has width 7, with the centre
         // DEAD (all three consumers of (0,0) lie inside the cone to q).
         assert_eq!(rows[0].chars().filter(|&c| c != ' ').count(), 7);
-        assert!(rows[0].contains('#'), "deep rows contain DEAD points: {art}");
+        assert!(
+            rows[0].contains('#'),
+            "deep rows contain DEAD points: {art}"
+        );
         // DEAD never appears in the row immediately above q: those values
         // still await consumers beside q.
-        assert!(!rows[2].contains('#'), "row above q must not be DEAD:\n{art}");
+        assert!(
+            !rows[2].contains('#'),
+            "row above q must not be DEAD:\n{art}"
+        );
     }
 
     #[test]
@@ -136,7 +145,12 @@ mod tests {
             &oracle,
             &ivec![2, 0],
             &window,
-            &Glyphs { q: 'o', dead: 'D', done: 'd', other: '_' },
+            &Glyphs {
+                q: 'o',
+                dead: 'D',
+                done: 'd',
+                other: '_',
+            },
         );
         assert!(art.contains('o'));
         assert!(art.contains('_'));

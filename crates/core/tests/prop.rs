@@ -96,8 +96,9 @@ proptest! {
 
     #[test]
     fn search_matches_exhaustive_on_random_stencils(s in stencil_2d()) {
-        let bb = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
-        let radius = initial_uov(&s).max_abs() + 1;
+        let bb = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default())
+            .expect("in-range stencil");
+        let radius = i64::try_from(initial_uov(&s).max_abs()).expect("small stencil") + 1;
         let ex = exhaustive_best_uov(&s, Objective::ShortestVector, radius)
             .expect("initial UOV lies within the radius");
         prop_assert_eq!(bb.cost, ex.cost, "stencil {:?}", s);
@@ -111,8 +112,9 @@ proptest! {
         m in 2i64..8,
     ) {
         let grid = RectDomain::grid(n, m);
-        let bb = find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default());
-        let radius = initial_uov(&s).max_abs() + 1;
+        let bb = find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default())
+            .expect("in-range stencil");
+        let radius = i64::try_from(initial_uov(&s).max_abs()).expect("small stencil") + 1;
         let ex = exhaustive_best_uov(&s, Objective::KnownBounds(&grid), radius)
             .expect("initial UOV lies within the radius");
         // The B&B result can only be at most as costly when it ran to

@@ -100,13 +100,17 @@ impl RectDomain {
         &self.hi
     }
 
-    /// Extent along axis `k`: number of integer values.
+    /// Extent along axis `k`: number of integer values, saturating at
+    /// `i64::MAX` for adversarially wide boxes.
     ///
     /// # Panics
     ///
     /// Panics if `k >= self.dim()`.
     pub fn extent(&self, k: usize) -> i64 {
-        self.hi[k] - self.lo[k] + 1
+        self.hi[k]
+            .checked_sub(self.lo[k])
+            .and_then(|w| w.checked_add(1))
+            .unwrap_or(i64::MAX)
     }
 }
 
@@ -138,11 +142,18 @@ impl IterationDomain for RectDomain {
     }
 
     fn points(&self) -> Box<dyn Iterator<Item = IVec> + '_> {
-        Box::new(RectPoints { dom: self, cur: Some(self.lo.clone()) })
+        Box::new(RectPoints {
+            dom: self,
+            cur: Some(self.lo.clone()),
+        })
     }
 
     fn num_points(&self) -> u64 {
-        (0..self.dim()).map(|k| self.extent(k) as u64).product()
+        // Saturating: a count beyond u64::MAX only ever feeds caps and
+        // cost estimates, where "absurdly many" is answer enough.
+        (0..self.dim())
+            .map(|k| self.extent(k) as u64)
+            .fold(1u64, u64::saturating_mul)
     }
 }
 

@@ -1,0 +1,65 @@
+//! The crate-wide error type for lattice arithmetic and geometry.
+//!
+//! Everything in this crate operates on `i64` lattice coordinates, so every
+//! non-trivial operation has an overflow failure mode on adversarial inputs
+//! (coordinates near `i64::MAX`, huge positive-functional bases, …). The
+//! `try_*`/`checked_*` variants across the crate return [`IsgError`] instead
+//! of panicking; the panicking convenience wrappers remain for callers whose
+//! inputs are known-small (tests, examples, fixtures).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from lattice arithmetic or geometric construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsgError {
+    /// An intermediate or final value does not fit the target integer type.
+    /// The payload names the operation for diagnostics.
+    Overflow(&'static str),
+    /// The operation needs a non-zero vector (direction, occupancy vector).
+    ZeroVector,
+    /// Two operands must agree on dimension and do not.
+    DimMismatch {
+        /// Dimension of the first operand.
+        expected: usize,
+        /// Dimension of the offending operand.
+        found: usize,
+    },
+    /// The operation needs a non-empty collection (forms, rows, vertices).
+    Empty,
+}
+
+impl fmt::Display for IsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsgError::Overflow(what) => write!(f, "integer overflow in {what}"),
+            IsgError::ZeroVector => write!(f, "operation requires a non-zero vector"),
+            IsgError::DimMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            IsgError::Empty => write!(f, "operation requires a non-empty input"),
+        }
+    }
+}
+
+impl Error for IsgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(IsgError::Overflow("dot product")
+            .to_string()
+            .contains("dot product"));
+        assert!(IsgError::ZeroVector.to_string().contains("non-zero"));
+        assert!(IsgError::DimMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(IsgError::Empty.to_string().contains("non-empty"));
+    }
+}

@@ -122,13 +122,15 @@ impl HalfspaceDomain2 {
     /// Panics if `lo > hi`.
     pub fn lower_triangle(lo: i64, hi: i64) -> Self {
         assert!(lo <= hi, "empty triangle");
-        HalfspaceDomain2::new(vec![
+        match HalfspaceDomain2::new(vec![
             (IVec::from([-1, 0]), -lo),
             (IVec::from([1, 0]), hi),
             (IVec::from([0, -1]), -lo),
             (IVec::from([-1, 1]), 0),
-        ])
-        .expect("triangle is bounded and non-empty")
+        ]) {
+            Ok(d) => d,
+            Err(e) => panic!("triangle construction failed: {e}"),
+        }
     }
 
     /// Rational vertex enumeration → conservative integer bounding box.
@@ -150,9 +152,9 @@ impl HalfspaceDomain2 {
                 let x = (b1 * a2[1] - b2 * a1[1]) as f64 / det as f64;
                 let y = (a1[0] * b2 - a2[0] * b1) as f64 / det as f64;
                 // Feasible within a small tolerance?
-                let feasible = constraints.iter().all(|(a, b)| {
-                    a[0] as f64 * x + a[1] as f64 * y <= *b as f64 + 1e-9
-                });
+                let feasible = constraints
+                    .iter()
+                    .all(|(a, b)| a[0] as f64 * x + a[1] as f64 * y <= *b as f64 + 1e-9);
                 if feasible {
                     any = true;
                     min_x = min_x.min(x);
@@ -287,18 +289,17 @@ mod tests {
         assert!(ext.contains(&ivec![0, 0]));
         assert!(ext.contains(&ivec![4, 0]));
         assert!(ext.contains(&ivec![4, 4]));
-        assert!(ext.len() <= 4, "triangle hull has ≤ 4 lattice vertices: {ext:?}");
+        assert!(
+            ext.len() <= 4,
+            "triangle hull has ≤ 4 lattice vertices: {ext:?}"
+        );
     }
 
     #[test]
     fn unbounded_rejected() {
         assert_eq!(
-            HalfspaceDomain2::new(vec![
-                (ivec![-1, 0], 0),
-                (ivec![0, -1], 0),
-                (ivec![0, 1], 5),
-            ])
-            .unwrap_err(),
+            HalfspaceDomain2::new(vec![(ivec![-1, 0], 0), (ivec![0, -1], 0), (ivec![0, 1], 5),])
+                .unwrap_err(),
             HalfspaceError::Unbounded
         );
     }
@@ -324,12 +325,8 @@ mod tests {
             HalfspaceError::TooFewConstraints(1)
         ));
         assert!(matches!(
-            HalfspaceDomain2::new(vec![
-                (ivec![0, 0], 1),
-                (ivec![1, 0], 1),
-                (ivec![0, 1], 1),
-            ])
-            .unwrap_err(),
+            HalfspaceDomain2::new(vec![(ivec![0, 0], 1), (ivec![1, 0], 1), (ivec![0, 1], 1),])
+                .unwrap_err(),
             HalfspaceError::BadConstraint(_)
         ));
     }

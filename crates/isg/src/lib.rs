@@ -29,8 +29,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod domain;
+pub mod error;
 pub mod halfspace;
 pub mod matrix;
 pub mod num;
@@ -40,6 +42,7 @@ pub mod stencil;
 pub mod vec;
 
 pub use domain::{IterationDomain, RectDomain};
+pub use error::IsgError;
 pub use halfspace::HalfspaceDomain2;
 pub use matrix::IMat;
 pub use poly::Polygon2;

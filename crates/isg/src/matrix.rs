@@ -10,7 +10,8 @@
 use std::fmt;
 use std::ops::Mul;
 
-use crate::num::extended_gcd;
+use crate::error::IsgError;
+use crate::num::checked_extended_gcd;
 use crate::vec::IVec;
 
 /// A dense `rows × cols` integer matrix, row-major.
@@ -37,7 +38,11 @@ impl IMat {
         for i in 0..n {
             data[i * n + i] = 1;
         }
-        IMat { rows: n, cols: n, data }
+        IMat {
+            rows: n,
+            cols: n,
+            data,
+        }
     }
 
     /// Build a matrix from row vectors.
@@ -53,7 +58,11 @@ impl IMat {
             "all rows must have the same dimension"
         );
         let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        IMat { rows: rows.len(), cols, data }
+        IMat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -72,7 +81,10 @@ impl IMat {
     ///
     /// Panics if out of range.
     pub fn at(&self, r: usize, c: usize) -> i64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -100,23 +112,51 @@ impl IMat {
         (0..self.rows).map(|r| self.row(r).dot(v)).collect()
     }
 
+    /// [`IMat::mul_vec`] returning [`IsgError`] on dimension mismatch or
+    /// when a row product exceeds `i64`.
+    pub fn try_mul_vec(&self, v: &IVec) -> Result<IVec, IsgError> {
+        if v.dim() != self.cols {
+            return Err(IsgError::DimMismatch {
+                expected: self.cols,
+                found: v.dim(),
+            });
+        }
+        (0..self.rows).map(|r| self.row(r).try_dot(v)).collect()
+    }
+
     /// Determinant by fraction-free (Bareiss) elimination, exact in `i128`.
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not square or an intermediate value exceeds
-    /// `i128` (practically impossible for the small matrices used here).
+    /// Panics if the matrix is not square or the result/intermediates exceed
+    /// the integer range. Use [`IMat::try_det`] on untrusted input.
     pub fn det(&self) -> i64 {
+        match self.try_det() {
+            Ok(d) => d,
+            Err(e) => panic!("determinant failed: {e}"),
+        }
+    }
+
+    /// [`IMat::det`] with every Bareiss intermediate overflow-checked in
+    /// `i128`, returning [`IsgError::Overflow`] instead of wrapping or
+    /// panicking on adversarial entries.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the matrix is not square — that is a logic error at
+    /// the call site, not an input property.
+    pub fn try_det(&self) -> Result<i64, IsgError> {
         assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
         let n = self.rows;
         let mut a: Vec<i128> = self.data.iter().map(|&x| x as i128).collect();
         let mut sign = 1i128;
         let mut prev = 1i128;
+        let err = IsgError::Overflow("determinant intermediate");
         for k in 0..n {
             // Pivot: find a non-zero entry in column k at or below row k.
             if a[k * n + k] == 0 {
                 let Some(swap) = (k + 1..n).find(|&r| a[r * n + k] != 0) else {
-                    return 0;
+                    return Ok(0);
                 };
                 for c in 0..n {
                     a.swap(k * n + c, swap * n + c);
@@ -125,20 +165,28 @@ impl IMat {
             }
             for i in k + 1..n {
                 for j in k + 1..n {
-                    let num = a[i * n + j] * a[k * n + k] - a[i * n + k] * a[k * n + j];
+                    let num = a[i * n + j]
+                        .checked_mul(a[k * n + k])
+                        .and_then(|x| {
+                            a[i * n + k]
+                                .checked_mul(a[k * n + j])
+                                .and_then(|y| x.checked_sub(y))
+                        })
+                        .ok_or(err.clone())?;
                     a[i * n + j] = num / prev;
                 }
                 a[i * n + k] = 0;
             }
             prev = a[k * n + k];
         }
-        i64::try_from(sign * a[(n - 1) * n + (n - 1)]).expect("determinant overflows i64")
+        i64::try_from(sign * a[(n - 1) * n + (n - 1)])
+            .map_err(|_| IsgError::Overflow("determinant"))
     }
 
     /// Whether the matrix is square with determinant `±1` — i.e. an
     /// automorphism of the lattice `Z^n`.
     pub fn is_unimodular(&self) -> bool {
-        self.rows == self.cols && self.det().abs() == 1
+        self.rows == self.cols && matches!(self.try_det(), Ok(1) | Ok(-1))
     }
 
     /// Compute a unimodular matrix `W` such that `W·v = (g, 0, …, 0)` where
@@ -156,7 +204,9 @@ impl IMat {
     ///
     /// # Panics
     ///
-    /// Panics if `v` is the zero vector.
+    /// Panics if `v` is the zero vector, or on integer overflow for
+    /// adversarial coordinates. Use [`IMat::try_lattice_reduction`] on
+    /// untrusted input.
     ///
     /// # Examples
     ///
@@ -167,7 +217,23 @@ impl IMat {
     /// assert_eq!(w.mul_vec(&ivec![2, 0]), ivec![2, 0]); // content 2
     /// ```
     pub fn lattice_reduction(v: &IVec) -> IMat {
-        assert!(!v.is_zero(), "cannot reduce the zero vector");
+        match Self::try_lattice_reduction(v) {
+            Ok(w) => w,
+            Err(IsgError::ZeroVector) => panic!("cannot reduce the zero vector"),
+            Err(e) => panic!("lattice reduction failed: {e}"),
+        }
+    }
+
+    /// [`IMat::lattice_reduction`] returning [`IsgError::ZeroVector`] for
+    /// the zero vector and [`IsgError::Overflow`] when a row operation's
+    /// coefficients exceed `i64`.
+    pub fn try_lattice_reduction(v: &IVec) -> Result<IMat, IsgError> {
+        if v.is_zero() {
+            return Err(IsgError::ZeroVector);
+        }
+        // A content of 2⁶³ (all components 0 or i64::MIN) cannot appear in
+        // row 0 of the result; reject it before the elimination loop.
+        v.try_content()?;
         let d = v.dim();
         let mut w = IMat::identity(d);
         let mut cur: Vec<i64> = v.as_slice().to_vec();
@@ -176,14 +242,24 @@ impl IMat {
             if b == 0 {
                 continue;
             }
-            let (g, x, y) = extended_gcd(a, b);
+            let (g, x, y) =
+                checked_extended_gcd(a, b).ok_or(IsgError::Overflow("lattice reduction gcd"))?;
             // Row op with determinant +1:
             //   row0' =  x·row0 + y·rowi
             //   rowi' = -(b/g)·row0 + (a/g)·rowi
+            // g > 0 here (a or b non-zero), so b/g and a/g cannot hit the
+            // i64::MIN / -1 overflow; the scalings and sums can.
             let row0 = w.row(0);
             let rowi = w.row(i);
-            let new0 = &row0 * x + &rowi * y;
-            let newi = &row0 * (-b / g) + &rowi * (a / g);
+            let neg_b_over_g = (b / g)
+                .checked_neg()
+                .ok_or(IsgError::Overflow("lattice reduction coefficient"))?;
+            let new0 = row0
+                .checked_scaled(x)?
+                .checked_add(&rowi.checked_scaled(y)?)?;
+            let newi = row0
+                .checked_scaled(neg_b_over_g)?
+                .checked_add(&rowi.checked_scaled(a / g)?)?;
             for c in 0..d {
                 *w.at_mut(0, c) = new0[c];
                 *w.at_mut(i, c) = newi[c];
@@ -195,12 +271,16 @@ impl IMat {
         // row 0 always measures position along +v.
         if cur[0] < 0 {
             for c in 0..d {
-                *w.at_mut(0, c) = -w.at(0, c);
+                let negated = w
+                    .at(0, c)
+                    .checked_neg()
+                    .ok_or(IsgError::Overflow("row normalisation"))?;
+                *w.at_mut(0, c) = negated;
             }
         }
         debug_assert_eq!(w.mul_vec(v)[0], v.content());
         debug_assert!(w.mul_vec(v).iter().skip(1).all(|&c| c == 0));
-        w
+        Ok(w)
     }
 }
 
@@ -220,7 +300,11 @@ impl Mul for &IMat {
                 }
             }
         }
-        IMat { rows: self.rows, cols: rhs.cols, data }
+        IMat {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        }
     }
 }
 
@@ -341,5 +425,55 @@ mod tests {
     fn debug_is_nonempty() {
         let m = IMat::identity(2);
         assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn try_det_reports_overflow() {
+        let m = IMat::from_rows(&[ivec![i64::MAX, 1], ivec![1, i64::MAX]]);
+        assert!(matches!(m.try_det(), Err(IsgError::Overflow(_))));
+        assert_eq!(
+            IMat::from_rows(&[ivec![1, 2], ivec![3, 4]]).try_det(),
+            Ok(-2)
+        );
+    }
+
+    #[test]
+    fn try_lattice_reduction_extremes() {
+        assert_eq!(
+            IMat::try_lattice_reduction(&IVec::zero(3)),
+            Err(IsgError::ZeroVector)
+        );
+        // Large but well-conditioned input succeeds.
+        let v = ivec![i64::MAX, 0];
+        let w = IMat::try_lattice_reduction(&v).unwrap();
+        assert!(w.is_unimodular());
+        assert_eq!(w.mul_vec(&v), ivec![i64::MAX, 0]);
+        // i64::MIN components: the content (2^63) is unrepresentable.
+        assert!(matches!(
+            IMat::try_lattice_reduction(&ivec![i64::MIN, 0]),
+            Err(IsgError::Overflow(_))
+        ));
+        // Mixed extreme coordinates still reduce (gcd is small).
+        let v = ivec![i64::MIN, 3];
+        if let Ok(w) = IMat::try_lattice_reduction(&v) {
+            assert!(w.is_unimodular());
+        }
+    }
+
+    #[test]
+    fn try_mul_vec_checks() {
+        let m = IMat::from_rows(&[ivec![i64::MAX, i64::MAX]]);
+        assert!(matches!(
+            m.try_mul_vec(&ivec![1, 1]),
+            Err(IsgError::Overflow(_))
+        ));
+        assert!(matches!(
+            m.try_mul_vec(&ivec![1]),
+            Err(IsgError::DimMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert_eq!(m.try_mul_vec(&ivec![1, 0]), Ok(ivec![i64::MAX]));
     }
 }

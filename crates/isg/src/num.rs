@@ -4,21 +4,17 @@
 //! the greatest common divisor of an occupancy vector's components decides
 //! whether it is *prime* (paper §4.1/§4.2), and Bézout coefficients prove
 //! that prime mapping vectors touch consecutive storage locations.
+//!
+//! All functions here are exact over the full `i64` range, including
+//! `i64::MIN` (whose absolute value does not fit in `i64`): internals run in
+//! `u64`/`i128`. The one unrepresentable corner is a gcd of exactly `2⁶³`
+//! (`gcd(i64::MIN, 0)`, `gcd(i64::MIN, i64::MIN)`): the `checked_*` variants
+//! return `None` there and on `lcm`/`floor_div` overflow, while the plain
+//! variants keep their documented panics for callers with known-small
+//! inputs.
 
-/// Greatest common divisor of two integers, always non-negative.
-///
-/// `gcd(0, 0)` is defined as `0`.
-///
-/// # Examples
-///
-/// ```
-/// use uov_isg::num::gcd;
-/// assert_eq!(gcd(12, -18), 6);
-/// assert_eq!(gcd(0, 5), 5);
-/// assert_eq!(gcd(0, 0), 0);
-/// ```
-pub fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+/// Greatest common divisor in `u64`, exact for all inputs.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
         let r = a % b;
         a = b;
@@ -27,13 +23,54 @@ pub fn gcd(a: i64, b: i64) -> i64 {
     a
 }
 
+/// Greatest common divisor of two integers, always non-negative.
+///
+/// `gcd(0, 0)` is defined as `0`. Exact for every input pair except the
+/// single unrepresentable corner where the mathematical gcd is `2⁶³`.
+///
+/// # Panics
+///
+/// Panics iff the result is `2⁶³` (only `gcd(i64::MIN, 0)` and
+/// `gcd(i64::MIN, i64::MIN)`), which exceeds `i64::MAX`. Use
+/// [`checked_gcd`] on untrusted input.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::num::gcd;
+/// assert_eq!(gcd(12, -18), 6);
+/// assert_eq!(gcd(0, 5), 5);
+/// assert_eq!(gcd(0, 0), 0);
+/// assert_eq!(gcd(i64::MIN, 3), 1);
+/// assert_eq!(gcd(i64::MIN, 2), 2);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    match checked_gcd(a, b) {
+        Some(g) => g,
+        None => panic!("gcd({a}, {b}) is 2^63, which does not fit in i64"),
+    }
+}
+
+/// [`gcd`] returning `None` when the result (`2⁶³`) does not fit in `i64`.
+///
+/// ```
+/// use uov_isg::num::checked_gcd;
+/// assert_eq!(checked_gcd(i64::MIN, 0), None);
+/// assert_eq!(checked_gcd(i64::MIN, i64::MIN), None);
+/// assert_eq!(checked_gcd(i64::MIN, 6), Some(2));
+/// ```
+pub fn checked_gcd(a: i64, b: i64) -> Option<i64> {
+    i64::try_from(gcd_u64(a.unsigned_abs(), b.unsigned_abs())).ok()
+}
+
 /// Least common multiple of two integers, always non-negative.
 ///
 /// `lcm(0, x)` is defined as `0`.
 ///
 /// # Panics
 ///
-/// Panics on overflow in debug builds (as any Rust integer arithmetic does).
+/// Panics when the result exceeds `i64::MAX`. Use [`checked_lcm`] on
+/// untrusted input.
 ///
 /// # Examples
 ///
@@ -43,16 +80,40 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 /// assert_eq!(lcm(0, 7), 0);
 /// ```
 pub fn lcm(a: i64, b: i64) -> i64 {
-    if a == 0 || b == 0 {
-        0
-    } else {
-        (a / gcd(a, b)).abs() * b.abs()
+    match checked_lcm(a, b) {
+        Some(l) => l,
+        None => panic!("lcm({a}, {b}) overflows i64"),
     }
+}
+
+/// [`lcm`] returning `None` on overflow.
+///
+/// ```
+/// use uov_isg::num::checked_lcm;
+/// assert_eq!(checked_lcm(4, 6), Some(12));
+/// assert_eq!(checked_lcm(i64::MAX, i64::MAX - 1), None);
+/// assert_eq!(checked_lcm(i64::MIN, 1), None); // |i64::MIN| itself overflows
+/// ```
+pub fn checked_lcm(a: i64, b: i64) -> Option<i64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd_u64(a.unsigned_abs(), b.unsigned_abs());
+    let l = (a.unsigned_abs() / g).checked_mul(b.unsigned_abs())?;
+    i64::try_from(l).ok()
 }
 
 /// Extended Euclidean algorithm.
 ///
 /// Returns `(g, x, y)` such that `a*x + b*y == g` and `g == gcd(a, b) >= 0`.
+/// Internals run in `i128`; for every representable gcd the Bézout
+/// coefficients are bounded by `|b/(2g)|` and `|a/(2g)|`, so they always fit
+/// in `i64`.
+///
+/// # Panics
+///
+/// Panics iff `gcd(a, b)` is `2⁶³` (see [`gcd`]). Use
+/// [`checked_extended_gcd`] on untrusted input.
 ///
 /// # Examples
 ///
@@ -61,12 +122,31 @@ pub fn lcm(a: i64, b: i64) -> i64 {
 /// let (g, x, y) = extended_gcd(240, 46);
 /// assert_eq!(g, 2);
 /// assert_eq!(240 * x + 46 * y, 2);
+/// let (g, x, y) = extended_gcd(i64::MIN, 3);
+/// assert_eq!(g, 1);
+/// assert_eq!((i64::MIN as i128) * x as i128 + 3 * y as i128, 1);
 /// ```
 pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
-    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
-    let (mut old_r, mut r) = (a, b);
-    let (mut old_s, mut s) = (1i64, 0i64);
-    let (mut old_t, mut t) = (0i64, 1i64);
+    match checked_extended_gcd(a, b) {
+        Some(t) => t,
+        None => panic!("gcd({a}, {b}) is 2^63, which does not fit in i64"),
+    }
+}
+
+/// [`extended_gcd`] returning `None` when the gcd (`2⁶³`) does not fit.
+///
+/// ```
+/// use uov_isg::num::checked_extended_gcd;
+/// assert_eq!(checked_extended_gcd(i64::MIN, 0), None);
+/// assert!(checked_extended_gcd(i64::MIN, i64::MAX).is_some());
+/// ```
+pub fn checked_extended_gcd(a: i64, b: i64) -> Option<(i64, i64, i64)> {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t. All values stay
+    // within i128 comfortably: remainders shrink and coefficient magnitudes
+    // are bounded by the starting operands.
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
     while r != 0 {
         let q = old_r / r;
         (old_r, r) = (r, old_r - q * r);
@@ -74,9 +154,15 @@ pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
         (old_t, t) = (t, old_t - q * t);
     }
     if old_r < 0 {
-        (-old_r, -old_s, -old_t)
-    } else {
-        (old_r, old_s, old_t)
+        (old_r, old_s, old_t) = (-old_r, -old_s, -old_t);
+    }
+    match (
+        i64::try_from(old_r),
+        i64::try_from(old_s),
+        i64::try_from(old_t),
+    ) {
+        (Ok(g), Ok(x), Ok(y)) => Some((g, x, y)),
+        _ => None,
     }
 }
 
@@ -84,25 +170,50 @@ pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
 ///
 /// The gcd of the empty slice is `0`.
 ///
+/// # Panics
+///
+/// Panics iff the result is `2⁶³` (every element is `0` or `i64::MIN`, with
+/// at least one `i64::MIN`). Use [`checked_gcd_slice`] on untrusted input.
+///
 /// # Examples
 ///
 /// ```
 /// use uov_isg::num::gcd_slice;
 /// assert_eq!(gcd_slice(&[6, -9, 15]), 3);
 /// assert_eq!(gcd_slice(&[]), 0);
+/// assert_eq!(gcd_slice(&[i64::MIN, 6]), 2);
 /// ```
 pub fn gcd_slice(values: &[i64]) -> i64 {
-    values.iter().fold(0, |acc, &v| gcd(acc, v))
+    match checked_gcd_slice(values) {
+        Some(g) => g,
+        None => panic!("gcd of {values:?} is 2^63, which does not fit in i64"),
+    }
+}
+
+/// [`gcd_slice`] returning `None` when the result (`2⁶³`) does not fit.
+///
+/// ```
+/// use uov_isg::num::checked_gcd_slice;
+/// assert_eq!(checked_gcd_slice(&[i64::MIN, 0]), None);
+/// assert_eq!(checked_gcd_slice(&[i64::MIN, 4]), Some(4));
+/// ```
+pub fn checked_gcd_slice(values: &[i64]) -> Option<i64> {
+    let g = values
+        .iter()
+        .fold(0u64, |acc, &v| gcd_u64(acc, v.unsigned_abs()));
+    i64::try_from(g).ok()
 }
 
 /// Mathematical (floor) modulus: the result is always in `0..m.abs()`.
 ///
 /// The `%` operator in Rust is a remainder that follows the sign of the
 /// dividend; storage `modterm`s (paper §4.2) need the non-negative residue.
+/// Computed in `i128`, so it is exact for every `(a, m)` with `m != 0` —
+/// the result is below `|m| ≤ 2⁶³`, hence representable.
 ///
 /// # Panics
 ///
-/// Panics if `m == 0`.
+/// Panics if `m == 0`. Use [`checked_floor_mod`] on untrusted input.
 ///
 /// # Examples
 ///
@@ -110,15 +221,23 @@ pub fn gcd_slice(values: &[i64]) -> i64 {
 /// use uov_isg::num::floor_mod;
 /// assert_eq!(floor_mod(-1, 3), 2);
 /// assert_eq!(floor_mod(7, 3), 1);
+/// assert_eq!(floor_mod(i64::MIN, i64::MAX), i64::MAX - 1);
 /// ```
 pub fn floor_mod(a: i64, m: i64) -> i64 {
-    let m = m.abs();
-    let r = a % m;
-    if r < 0 {
-        r + m
-    } else {
-        r
+    match checked_floor_mod(a, m) {
+        Some(r) => r,
+        None => panic!("floor_mod by zero"),
     }
+}
+
+/// [`floor_mod`] returning `None` for `m == 0`.
+pub fn checked_floor_mod(a: i64, m: i64) -> Option<i64> {
+    if m == 0 {
+        return None;
+    }
+    let r = (a as i128).rem_euclid((m as i128).abs());
+    // r ∈ [0, |m|) ⊆ [0, 2⁶³), and 2⁶³ − 1 = i64::MAX, so this always fits.
+    i64::try_from(r).ok()
 }
 
 /// Floor division pairing with [`floor_mod`]: `a == floor_div(a,m)*m + floor_mod(a,m)`
@@ -126,7 +245,8 @@ pub fn floor_mod(a: i64, m: i64) -> i64 {
 ///
 /// # Panics
 ///
-/// Panics if `m == 0`.
+/// Panics if `m == 0`, or for the single overflowing quotient
+/// `floor_div(i64::MIN, -1)`. Use [`checked_floor_div`] on untrusted input.
 ///
 /// # Examples
 ///
@@ -136,12 +256,26 @@ pub fn floor_mod(a: i64, m: i64) -> i64 {
 /// assert_eq!(floor_div(7, 3), 2);
 /// ```
 pub fn floor_div(a: i64, m: i64) -> i64 {
-    let q = a / m;
-    if a % m != 0 && ((a < 0) != (m < 0)) {
-        q - 1
-    } else {
-        q
+    match checked_floor_div(a, m) {
+        Some(q) => q,
+        None => panic!("floor_div({a}, {m}) is undefined or overflows i64"),
     }
+}
+
+/// [`floor_div`] returning `None` for `m == 0` or quotient overflow.
+///
+/// ```
+/// use uov_isg::num::checked_floor_div;
+/// assert_eq!(checked_floor_div(7, 0), None);
+/// assert_eq!(checked_floor_div(i64::MIN, -1), None);
+/// assert_eq!(checked_floor_div(i64::MIN, 2), Some(i64::MIN / 2));
+/// ```
+pub fn checked_floor_div(a: i64, m: i64) -> Option<i64> {
+    if m == 0 {
+        return None;
+    }
+    let q = (a as i128).div_euclid(m as i128);
+    i64::try_from(q).ok()
 }
 
 #[cfg(test)]
@@ -166,11 +300,41 @@ mod tests {
     }
 
     #[test]
+    fn gcd_handles_i64_min() {
+        // The historical bug: .abs() on i64::MIN overflows. Regression
+        // coverage for the full corner-case matrix.
+        assert_eq!(gcd(i64::MIN, 1), 1);
+        assert_eq!(gcd(i64::MIN, 3), 1);
+        assert_eq!(gcd(i64::MIN, 2), 2);
+        assert_eq!(gcd(i64::MIN, 1024), 1024);
+        assert_eq!(gcd(i64::MIN, i64::MAX), 1);
+        assert_eq!(gcd(1, i64::MIN), 1);
+        assert_eq!(checked_gcd(i64::MIN, 0), None);
+        assert_eq!(checked_gcd(0, i64::MIN), None);
+        assert_eq!(checked_gcd(i64::MIN, i64::MIN), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^63")]
+    fn gcd_of_min_and_zero_panics() {
+        let _ = gcd(i64::MIN, 0);
+    }
+
+    #[test]
     fn lcm_basic() {
         assert_eq!(lcm(4, 6), 12);
         assert_eq!(lcm(-4, 6), 12);
         assert_eq!(lcm(5, 5), 5);
         assert_eq!(lcm(0, 0), 0);
+    }
+
+    #[test]
+    fn lcm_extremes() {
+        assert_eq!(checked_lcm(i64::MAX, i64::MAX), Some(i64::MAX));
+        assert_eq!(checked_lcm(i64::MAX, 2), None);
+        assert_eq!(checked_lcm(i64::MIN, 1), None);
+        assert_eq!(checked_lcm(i64::MIN, 0), Some(0));
+        assert_eq!(checked_lcm(i64::MIN / 2, 2), Some(1i64 << 62));
     }
 
     #[test]
@@ -185,11 +349,41 @@ mod tests {
     }
 
     #[test]
+    fn extended_gcd_extremes() {
+        // Bézout identity checked in i128 to avoid overflow in the test
+        // itself.
+        for (a, b) in [
+            (i64::MIN, 1),
+            (i64::MIN, 3),
+            (i64::MIN, i64::MAX),
+            (i64::MAX, i64::MIN),
+            (i64::MAX, i64::MAX - 1),
+            (i64::MIN, 2),
+            (i64::MIN + 1, i64::MAX),
+            (1, i64::MIN),
+        ] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert!(g >= 0);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(
+                a as i128 * x as i128 + b as i128 * y as i128,
+                g as i128,
+                "Bezout fails for ({a},{b})"
+            );
+        }
+        assert_eq!(checked_extended_gcd(i64::MIN, 0), None);
+        assert_eq!(checked_extended_gcd(i64::MIN, i64::MIN), None);
+    }
+
+    #[test]
     fn gcd_slice_basic() {
         assert_eq!(gcd_slice(&[4]), 4);
         assert_eq!(gcd_slice(&[-4]), 4);
         assert_eq!(gcd_slice(&[2, 0, 4]), 2);
         assert_eq!(gcd_slice(&[3, 5]), 1);
+        assert_eq!(gcd_slice(&[i64::MIN, 6]), 2);
+        assert_eq!(checked_gcd_slice(&[i64::MIN]), None);
+        assert_eq!(checked_gcd_slice(&[i64::MIN, 0, i64::MIN]), None);
     }
 
     #[test]
@@ -201,6 +395,28 @@ mod tests {
                 assert_eq!(q * m + r, a);
                 assert!((0..m).contains(&r));
             }
+        }
+    }
+
+    #[test]
+    fn floor_mod_div_extremes() {
+        assert_eq!(floor_mod(i64::MIN, i64::MAX), i64::MAX - 1);
+        assert_eq!(floor_mod(i64::MIN, -1), 0);
+        assert_eq!(floor_mod(i64::MIN, i64::MIN), 0);
+        assert_eq!(floor_mod(i64::MAX, i64::MIN), i64::MAX);
+        assert_eq!(checked_floor_mod(5, 0), None);
+        assert_eq!(checked_floor_div(i64::MIN, -1), None);
+        assert_eq!(checked_floor_div(i64::MIN, 1), Some(i64::MIN));
+        assert_eq!(checked_floor_div(i64::MAX, -1), Some(-i64::MAX));
+        // The pairing identity on representable extreme quotients, in i128.
+        for (a, m) in [(i64::MIN, 3), (i64::MAX, -7), (i64::MIN, i64::MAX)] {
+            let q = floor_div(a, m) as i128;
+            let r = floor_mod(a, m) as i128;
+            let m_abs = (m as i128).abs();
+            // div_euclid/rem_euclid pair on |m|: a = q·|m|·sign… verify via
+            // the defining property of rem_euclid against |m|.
+            assert_eq!((a as i128).rem_euclid(m_abs), r);
+            assert_eq!((a as i128).div_euclid(m as i128), q);
         }
     }
 }

@@ -6,6 +6,7 @@
 //! linear forms.
 
 use crate::domain::IterationDomain;
+use crate::error::IsgError;
 use crate::vec::IVec;
 
 /// Minimum and maximum of the linear form `form · p` over the extreme
@@ -27,15 +28,30 @@ use crate::vec::IVec;
 /// assert_eq!(form_range(&d, &ivec![-1, 1]), (-3, 5));
 /// ```
 pub fn form_range(domain: &dyn IterationDomain, form: &IVec) -> (i64, i64) {
-    assert_eq!(form.dim(), domain.dim(), "form dimension mismatch");
-    let mut lo = i64::MAX;
-    let mut hi = i64::MIN;
-    for p in domain.extreme_points() {
-        let v = form.dot(&p);
-        lo = lo.min(v);
-        hi = hi.max(v);
+    match try_form_range(domain, form) {
+        Ok(r) => r,
+        Err(e) => panic!("form range failed: {e}"),
     }
-    (lo, hi)
+}
+
+/// [`form_range`] returning [`IsgError`] on dimension mismatch, an empty
+/// extreme-point set, or dot-product overflow.
+pub fn try_form_range(domain: &dyn IterationDomain, form: &IVec) -> Result<(i64, i64), IsgError> {
+    if form.dim() != domain.dim() {
+        return Err(IsgError::DimMismatch {
+            expected: domain.dim(),
+            found: form.dim(),
+        });
+    }
+    let mut range: Option<(i64, i64)> = None;
+    for p in domain.extreme_points() {
+        let v = form.try_dot(&p)?;
+        range = Some(match range {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        });
+    }
+    range.ok_or(IsgError::Empty)
 }
 
 /// Number of integer values the linear form `form · p` spans over the
@@ -49,8 +65,19 @@ pub fn form_range(domain: &dyn IterationDomain, form: &IVec) -> (i64, i64) {
 ///
 /// Panics if `form.dim() != domain.dim()`.
 pub fn form_span(domain: &dyn IterationDomain, form: &IVec) -> i64 {
-    let (lo, hi) = form_range(domain, form);
-    hi - lo + 1
+    match try_form_span(domain, form) {
+        Ok(s) => s,
+        Err(e) => panic!("form span failed: {e}"),
+    }
+}
+
+/// [`form_span`] returning [`IsgError`] when the range computation fails or
+/// `hi − lo + 1` overflows `i64`.
+pub fn try_form_span(domain: &dyn IterationDomain, form: &IVec) -> Result<i64, IsgError> {
+    let (lo, hi) = try_form_range(domain, form)?;
+    hi.checked_sub(lo)
+        .and_then(|w| w.checked_add(1))
+        .ok_or(IsgError::Overflow("form span"))
 }
 
 /// The minimum projection `P_M` of the domain over a set of candidate
@@ -65,12 +92,22 @@ pub fn form_span(domain: &dyn IterationDomain, form: &IVec) -> i64 {
 ///
 /// Panics if `forms` is empty or dimensions mismatch.
 pub fn min_projection(domain: &dyn IterationDomain, forms: &[IVec]) -> i64 {
-    assert!(!forms.is_empty(), "need at least one candidate form");
-    forms
-        .iter()
-        .map(|f| form_span(domain, f))
-        .min()
-        .expect("non-empty")
+    match try_min_projection(domain, forms) {
+        Ok(m) => m,
+        Err(IsgError::Empty) => panic!("need at least one candidate form"),
+        Err(e) => panic!("min projection failed: {e}"),
+    }
+}
+
+/// [`min_projection`] returning [`IsgError::Empty`] for an empty candidate
+/// set and propagating span failures.
+pub fn try_min_projection(domain: &dyn IterationDomain, forms: &[IVec]) -> Result<i64, IsgError> {
+    let mut best: Option<i64> = None;
+    for f in forms {
+        let span = try_form_span(domain, f)?;
+        best = Some(best.map_or(span, |b| b.min(span)));
+    }
+    best.ok_or(IsgError::Empty)
 }
 
 /// The `d` axis-aligned unit forms of a `d`-dimensional space.
@@ -118,11 +155,36 @@ mod tests {
     }
 
     #[test]
+    fn try_variants_report_errors() {
+        let d = RectDomain::grid(4, 6);
+        assert!(matches!(
+            try_form_range(&d, &ivec![1]),
+            Err(IsgError::DimMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert_eq!(try_form_range(&d, &ivec![-1, 1]), Ok((-3, 5)));
+        assert!(matches!(
+            try_form_span(&d, &ivec![i64::MAX, i64::MAX]),
+            Err(IsgError::Overflow(_))
+        ));
+        assert_eq!(try_min_projection(&d, &[]), Err(IsgError::Empty));
+        assert_eq!(try_min_projection(&d, &axis_forms(2)), Ok(4));
+    }
+
+    #[test]
     fn form_span_exactness_vs_enumeration() {
         // For primitive forms on small convex domains the span equals the
         // exact count of attained values.
         let isg = Polygon2::fig3_isg();
-        for form in [ivec![1, 0], ivec![0, 1], ivec![-1, 3], ivec![1, 1], ivec![-1, 1]] {
+        for form in [
+            ivec![1, 0],
+            ivec![0, 1],
+            ivec![-1, 3],
+            ivec![1, 1],
+            ivec![-1, 1],
+        ] {
             let mut values: Vec<i64> = isg.points().map(|p| form.dot(&p)).collect();
             values.sort();
             values.dedup();

@@ -13,6 +13,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::error::IsgError;
 use crate::vec::IVec;
 
 /// A validated set of constant-distance value dependences.
@@ -94,7 +95,10 @@ impl Stencil {
         let dim = first.dim();
         for v in &vectors {
             if v.dim() != dim {
-                return Err(StencilError::DimMismatch { expected: dim, found: v.dim() });
+                return Err(StencilError::DimMismatch {
+                    expected: dim,
+                    found: v.dim(),
+                });
             }
             if !v.is_lex_positive() {
                 return Err(StencilError::NotLexPositive(v.clone()));
@@ -138,10 +142,24 @@ impl Stencil {
 
     /// Sum of all dependence vectors: the paper's trivially legal initial
     /// universal occupancy vector `ov₀ = Σ vᵢ` (§3.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component sum overflows `i64`. Use [`Stencil::try_sum`]
+    /// on untrusted input.
     pub fn sum(&self) -> IVec {
+        match self.try_sum() {
+            Ok(s) => s,
+            Err(e) => panic!("stencil sum failed: {e}"),
+        }
+    }
+
+    /// [`Stencil::sum`] returning [`IsgError::Overflow`] when a component sum
+    /// exceeds `i64`.
+    pub fn try_sum(&self) -> Result<IVec, IsgError> {
         self.vectors
             .iter()
-            .fold(IVec::zero(self.dim), |acc, v| &acc + v)
+            .try_fold(IVec::zero(self.dim), |acc, v| acc.checked_add(v))
     }
 
     /// A linear functional `φ` with `φ · vᵢ ≥ 1` for every stencil vector.
@@ -155,29 +173,40 @@ impl Stencil {
     ///
     /// # Panics
     ///
-    /// Panics if `M^{d−1}` overflows `i64` (only possible for extreme
-    /// dimension/magnitude combinations far outside realistic stencils).
+    /// Panics if `M^{d−1}` overflows `i64` (possible for extreme
+    /// dimension/magnitude combinations). Use
+    /// [`Stencil::try_positive_functional`] on untrusted input.
     pub fn positive_functional(&self) -> IVec {
+        match self.try_positive_functional() {
+            Ok(phi) => phi,
+            Err(e) => panic!("positive functional failed: {e}"),
+        }
+    }
+
+    /// [`Stencil::positive_functional`] returning [`IsgError::Overflow`]
+    /// when the functional's geometric components exceed `i64`.
+    pub fn try_positive_functional(&self) -> Result<IVec, IsgError> {
         let c = self
             .vectors
             .iter()
             .map(|v| v.max_abs())
             .max()
-            .expect("stencil is non-empty")
+            .unwrap_or(1) // a stencil is never empty by construction
             .max(1);
-        let m = c
-            .checked_mul(self.dim as i64)
+        let m = i64::try_from(c)
+            .ok()
+            .and_then(|c| c.checked_mul(self.dim as i64))
             .and_then(|x| x.checked_add(1))
-            .expect("functional base overflows i64");
+            .ok_or(IsgError::Overflow("positive functional base"))?;
         let mut phi = vec![1i64; self.dim];
         for k in (0..self.dim.saturating_sub(1)).rev() {
             phi[k] = phi[k + 1]
                 .checked_mul(m)
-                .expect("positive functional overflows i64; stencil too large");
+                .ok_or(IsgError::Overflow("positive functional component"))?;
         }
         let phi = IVec::from(phi);
-        debug_assert!(self.vectors.iter().all(|v| phi.dot(v) >= 1));
-        phi
+        debug_assert!(self.vectors.iter().all(|v| phi.dot_i128(v) >= 1));
+        Ok(phi)
     }
 
     /// The *extreme vectors* of the stencil: a subset whose cone of
@@ -193,8 +222,9 @@ impl Stencil {
             return self.vectors.clone();
         }
         // cross(a, b) > 0 ⟺ b is counter-clockwise from a.
-        let cross =
-            |a: &IVec, b: &IVec| -> i128 { a[0] as i128 * b[1] as i128 - a[1] as i128 * b[0] as i128 };
+        let cross = |a: &IVec, b: &IVec| -> i128 {
+            a[0] as i128 * b[1] as i128 - a[1] as i128 * b[0] as i128
+        };
         let mut lo = self.vectors[0].clone();
         let mut hi = self.vectors[0].clone();
         for v in &self.vectors[1..] {
@@ -254,7 +284,10 @@ mod tests {
         assert_eq!(Stencil::new(vec![]).unwrap_err(), StencilError::Empty);
         assert_eq!(
             Stencil::new(vec![ivec![1], ivec![1, 2]]).unwrap_err(),
-            StencilError::DimMismatch { expected: 1, found: 2 }
+            StencilError::DimMismatch {
+                expected: 1,
+                found: 2
+            }
         );
         assert_eq!(
             Stencil::new(vec![ivec![0, 0]]).unwrap_err(),
@@ -334,5 +367,23 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(format!("{:?}", fig1()).contains("(1, 1)"));
+    }
+
+    #[test]
+    fn try_variants_report_overflow_instead_of_panicking() {
+        // Near-i64::MAX coordinates: Σvᵢ and φ both overflow.
+        let s = Stencil::new(vec![ivec![i64::MAX, 0], ivec![1, i64::MAX]]).unwrap();
+        assert!(matches!(s.try_sum(), Err(IsgError::Overflow(_))));
+        assert!(matches!(
+            s.try_positive_functional(),
+            Err(IsgError::Overflow(_))
+        ));
+        // A well-behaved stencil round-trips through the try_ paths.
+        let f = fig1();
+        assert_eq!(f.try_sum().unwrap(), f.sum());
+        assert_eq!(
+            f.try_positive_functional().unwrap(),
+            f.positive_functional()
+        );
     }
 }

@@ -8,7 +8,8 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
-use crate::num::{floor_mod, gcd_slice};
+use crate::error::IsgError;
+use crate::num::{checked_floor_mod, checked_gcd_slice, floor_mod, gcd_slice};
 
 /// An integer vector in `Z^d`.
 ///
@@ -130,6 +131,58 @@ impl IVec {
     /// assert_eq!(ivec![1, 2].dot(&ivec![3, 4]), 11);
     /// ```
     pub fn dot(&self, other: &IVec) -> i64 {
+        match self.try_dot(other) {
+            Ok(d) => d,
+            Err(IsgError::DimMismatch { expected, found }) => {
+                panic!("dot product of mismatched dimensions {expected} and {found}")
+            }
+            Err(_) => panic!("dot product overflows i64"),
+        }
+    }
+
+    /// [`IVec::dot`] returning [`IsgError`] on dimension mismatch or when the
+    /// result exceeds `i64`.
+    ///
+    /// The per-term products and their sum are exact in `i128` (`d · 2¹²⁶`
+    /// cannot reach `i128::MAX` for any realistic dimension), so the only
+    /// failure is the final narrowing.
+    ///
+    /// ```
+    /// use uov_isg::{ivec, IsgError};
+    /// assert_eq!(ivec![1, 2].try_dot(&ivec![3, 4]), Ok(11));
+    /// assert!(matches!(
+    ///     ivec![i64::MAX, i64::MAX].try_dot(&ivec![2, 2]),
+    ///     Err(IsgError::Overflow(_))
+    /// ));
+    /// ```
+    pub fn try_dot(&self, other: &IVec) -> Result<i64, IsgError> {
+        if self.dim() != other.dim() {
+            return Err(IsgError::DimMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        let mut sum = 0i128;
+        for (&a, &b) in self.0.iter().zip(&other.0) {
+            let term = (a as i128)
+                .checked_mul(b as i128)
+                .ok_or(IsgError::Overflow("dot product term"))?;
+            sum = sum
+                .checked_add(term)
+                .ok_or(IsgError::Overflow("dot product sum"))?;
+        }
+        i64::try_from(sum).map_err(|_| IsgError::Overflow("dot product"))
+    }
+
+    /// Dot product as `i128`, exact for all `i64` components.
+    ///
+    /// Used where the caller only needs the sign or an `i128` comparison and
+    /// must not fail on magnitude (cone-membership tests, pruning bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot_i128(&self, other: &IVec) -> i128 {
         assert_eq!(
             self.dim(),
             other.dim(),
@@ -137,13 +190,13 @@ impl IVec {
             self.dim(),
             other.dim()
         );
-        let sum: i128 = self
-            .0
+        // Each term is at most 2¹²⁶ in magnitude; i128 sums of realistic
+        // dimensions (d ≤ hundreds) cannot wrap.
+        self.0
             .iter()
             .zip(&other.0)
             .map(|(&a, &b)| a as i128 * b as i128)
-            .sum();
-        i64::try_from(sum).expect("dot product overflows i64")
+            .sum()
     }
 
     /// Squared Euclidean length, in `i128` to avoid overflow.
@@ -157,22 +210,47 @@ impl IVec {
     /// assert_eq!(ivec![3, 4].norm_sq(), 25);
     /// ```
     pub fn norm_sq(&self) -> i128 {
+        // Each square is < 2¹²⁶; i128 accumulation cannot wrap for any
+        // dimension this workspace handles (it would take ≥ 4 components at
+        // i64::MIN to approach i128::MAX, and even that fits: 4·2¹²⁶ < 2¹²⁷).
         self.0.iter().map(|&c| c as i128 * c as i128).sum()
     }
 
-    /// Maximum absolute component value.
+    /// [`IVec::norm_sq`] with explicit overflow checking on the `i128`
+    /// accumulation, for adversarial high-dimension input.
+    pub fn try_norm_sq(&self) -> Result<i128, IsgError> {
+        let mut sum = 0i128;
+        for &c in &self.0 {
+            let sq = (c as i128)
+                .checked_mul(c as i128)
+                .ok_or(IsgError::Overflow("norm_sq term"))?;
+            sum = sum
+                .checked_add(sq)
+                .ok_or(IsgError::Overflow("norm_sq sum"))?;
+        }
+        Ok(sum)
+    }
+
+    /// Maximum absolute component value, as `u64` so `i64::MIN` is exact.
     ///
     /// ```
     /// use uov_isg::ivec;
     /// assert_eq!(ivec![3, -7].max_abs(), 7);
+    /// assert_eq!(ivec![i64::MIN].max_abs(), 1 << 63);
     /// ```
-    pub fn max_abs(&self) -> i64 {
-        self.0.iter().map(|&c| c.abs()).max().unwrap_or(0)
+    pub fn max_abs(&self) -> u64 {
+        self.0.iter().map(|&c| c.unsigned_abs()).max().unwrap_or(0)
     }
 
     /// Non-negative gcd of all components (`0` for the zero vector).
     ///
     /// An occupancy vector is *prime* (paper §4.1) iff its content is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics iff the content is `2⁶³` (every component `0` or `i64::MIN`,
+    /// at least one `i64::MIN`). Use [`IVec::try_content`] on untrusted
+    /// input.
     ///
     /// ```
     /// use uov_isg::ivec;
@@ -181,6 +259,12 @@ impl IVec {
     /// ```
     pub fn content(&self) -> i64 {
         gcd_slice(&self.0)
+    }
+
+    /// [`IVec::content`] returning [`IsgError::Overflow`] when the gcd
+    /// (`2⁶³`) does not fit in `i64`.
+    pub fn try_content(&self) -> Result<i64, IsgError> {
+        checked_gcd_slice(&self.0).ok_or(IsgError::Overflow("vector content"))
     }
 
     /// The primitive vector in the same direction: `self / self.content()`.
@@ -194,9 +278,24 @@ impl IVec {
     /// assert_eq!(ivec![4, -2].primitive(), ivec![2, -1]);
     /// ```
     pub fn primitive(&self) -> IVec {
-        let g = self.content();
-        assert!(g != 0, "the zero vector has no direction");
-        IVec(self.0.iter().map(|&c| c / g).collect())
+        match self.try_primitive() {
+            Ok(p) => p,
+            Err(IsgError::ZeroVector) => panic!("the zero vector has no direction"),
+            Err(e) => panic!("primitive failed: {e}"),
+        }
+    }
+
+    /// [`IVec::primitive`] returning [`IsgError::ZeroVector`] on the zero
+    /// vector and [`IsgError::Overflow`] on the `2⁶³`-content corner.
+    pub fn try_primitive(&self) -> Result<IVec, IsgError> {
+        if self.is_zero() {
+            return Err(IsgError::ZeroVector);
+        }
+        let g = self.try_content()?;
+        // g divides every component exactly; component/g never overflows
+        // because |component/g| ≤ |component|, except i64::MIN / -1 which
+        // cannot occur (g > 0).
+        Ok(IVec(self.0.iter().map(|&c| c / g).collect()))
     }
 
     /// Component-wise floor modulus by a positive modulus.
@@ -206,6 +305,53 @@ impl IVec {
     /// Panics if `m == 0`.
     pub fn mod_components(&self, m: i64) -> IVec {
         IVec(self.0.iter().map(|&c| floor_mod(c, m)).collect())
+    }
+
+    /// [`IVec::mod_components`] returning [`IsgError`] for `m == 0`.
+    pub fn try_mod_components(&self, m: i64) -> Result<IVec, IsgError> {
+        self.0
+            .iter()
+            .map(|&c| checked_floor_mod(c, m).ok_or(IsgError::Overflow("floor_mod by zero")))
+            .collect::<Result<Vec<_>, _>>()
+            .map(IVec)
+    }
+
+    /// Checked component-wise addition.
+    pub fn checked_add(&self, other: &IVec) -> Result<IVec, IsgError> {
+        if self.dim() != other.dim() {
+            return Err(IsgError::DimMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| {
+                a.checked_add(b)
+                    .ok_or(IsgError::Overflow("vector addition"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(IVec)
+    }
+
+    /// Checked component-wise subtraction.
+    pub fn checked_sub(&self, other: &IVec) -> Result<IVec, IsgError> {
+        if self.dim() != other.dim() {
+            return Err(IsgError::DimMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| {
+                a.checked_sub(b)
+                    .ok_or(IsgError::Overflow("vector subtraction"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(IVec)
     }
 
     /// Components as a slice.
@@ -225,7 +371,20 @@ impl IVec {
     /// assert_eq!(ivec![1, -2].scaled(3), ivec![3, -6]);
     /// ```
     pub fn scaled(&self, k: i64) -> IVec {
-        IVec(self.0.iter().map(|&c| c * k).collect())
+        match self.checked_scaled(k) {
+            Ok(v) => v,
+            Err(e) => panic!("vector scaling failed: {e}"),
+        }
+    }
+
+    /// [`IVec::scaled`] returning [`IsgError::Overflow`] when any component
+    /// product exceeds `i64`.
+    pub fn checked_scaled(&self, k: i64) -> Result<IVec, IsgError> {
+        self.0
+            .iter()
+            .map(|&c| c.checked_mul(k).ok_or(IsgError::Overflow("vector scaling")))
+            .collect::<Result<Vec<_>, _>>()
+            .map(IVec)
     }
 
     /// Consume into the underlying `Vec<i64>`.
@@ -297,7 +456,7 @@ impl fmt::Display for IVec {
 }
 
 macro_rules! binop {
-    ($trait:ident, $method:ident, $op:tt) => {
+    ($trait:ident, $method:ident, $checked:ident) => {
         impl $trait for &IVec {
             type Output = IVec;
             fn $method(self, rhs: &IVec) -> IVec {
@@ -306,7 +465,20 @@ macro_rules! binop {
                     rhs.dim(),
                     concat!(stringify!($method), " of mismatched dimensions")
                 );
-                IVec(self.0.iter().zip(&rhs.0).map(|(&a, &b)| a $op b).collect())
+                // Overflow panics even in release builds (where the plain
+                // operator would wrap silently).
+                IVec(
+                    self.0
+                        .iter()
+                        .zip(&rhs.0)
+                        .map(|(&a, &b)| match a.$checked(b) {
+                            Some(c) => c,
+                            None => {
+                                panic!(concat!("vector ", stringify!($method), " overflows i64"))
+                            }
+                        })
+                        .collect(),
+                )
             }
         }
         impl $trait for IVec {
@@ -330,13 +502,21 @@ macro_rules! binop {
     };
 }
 
-binop!(Add, add, +);
-binop!(Sub, sub, -);
+binop!(Add, add, checked_add);
+binop!(Sub, sub, checked_sub);
 
 impl Neg for &IVec {
     type Output = IVec;
     fn neg(self) -> IVec {
-        IVec(self.0.iter().map(|&c| -c).collect())
+        IVec(
+            self.0
+                .iter()
+                .map(|&c| match c.checked_neg() {
+                    Some(n) => n,
+                    None => panic!("vector negation overflows i64 (component i64::MIN)"),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -458,5 +638,76 @@ mod tests {
     fn collect_from_iterator() {
         let v: IVec = (0..3).map(|x| x * 2).collect();
         assert_eq!(v, ivec![0, 2, 4]);
+    }
+
+    #[test]
+    fn checked_arithmetic_reports_overflow() {
+        let big = ivec![i64::MAX, 1];
+        let one = ivec![1, 1];
+        assert!(matches!(big.checked_add(&one), Err(IsgError::Overflow(_))));
+        assert_eq!(big.checked_sub(&one), Ok(ivec![i64::MAX - 1, 0]));
+        let low = ivec![i64::MIN, 0];
+        assert!(matches!(low.checked_sub(&one), Err(IsgError::Overflow(_))));
+        assert!(matches!(
+            big.checked_add(&ivec![1]),
+            Err(IsgError::DimMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(matches!(big.checked_scaled(3), Err(IsgError::Overflow(_))));
+        assert_eq!(ivec![2, -3].checked_scaled(4), Ok(ivec![8, -12]));
+    }
+
+    #[test]
+    fn try_dot_extremes() {
+        assert_eq!(ivec![i64::MAX].try_dot(&ivec![1]), Ok(i64::MAX));
+        assert!(matches!(
+            ivec![i64::MAX, i64::MAX].try_dot(&ivec![1, 1]),
+            Err(IsgError::Overflow(_))
+        ));
+        assert_eq!(
+            ivec![i64::MAX, i64::MAX].dot_i128(&ivec![1, 1]),
+            i64::MAX as i128 * 2
+        );
+        assert_eq!(
+            ivec![i64::MIN].dot_i128(&ivec![i64::MIN]),
+            (i64::MIN as i128).pow(2)
+        );
+    }
+
+    #[test]
+    fn try_norm_and_content_extremes() {
+        assert_eq!(ivec![i64::MIN].try_norm_sq(), Ok((i64::MIN as i128).pow(2)));
+        assert_eq!(ivec![i64::MIN].max_abs(), 1u64 << 63);
+        assert!(matches!(
+            ivec![i64::MIN, 0].try_content(),
+            Err(IsgError::Overflow(_))
+        ));
+        assert_eq!(ivec![i64::MIN, 6].try_content(), Ok(2));
+        assert!(matches!(
+            IVec::zero(2).try_primitive(),
+            Err(IsgError::ZeroVector)
+        ));
+        assert_eq!(
+            ivec![i64::MIN, 0].try_primitive(),
+            Err(IsgError::Overflow("vector content"))
+        );
+        assert_eq!(
+            ivec![i64::MIN, 6].try_primitive(),
+            Ok(ivec![i64::MIN / 2, 3])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows i64")]
+    fn operator_add_panics_on_overflow() {
+        let _ = ivec![i64::MAX] + ivec![1];
+    }
+
+    #[test]
+    #[should_panic(expected = "negation overflows")]
+    fn neg_panics_on_min() {
+        let _ = -ivec![i64::MIN];
     }
 }

@@ -53,14 +53,24 @@ pub fn storage_cells(n: u64, m: u64) -> (u64, u64, u64) {
 pub fn pipeline(n: i64, m: i64) -> Fig1Pipeline {
     let nest = examples::fig1_nest(n, m);
     let stencil = analysis::flow_stencil(&nest, 0).expect("Fig-1 loop is regular");
-    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+    let best = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("Fig-1 stencil is in range");
     assert_eq!(best.uov, IVec::from([1, 1]), "the paper's UOV for Figure 1");
     // The mapping covers the bordered domain (inputs in row 0 / column 0),
     // giving the paper's n + m + 1 cells.
     let bordered = RectDomain::new(IVec::from([0, 0]), IVec::from([n, m]));
     let map = OvMap::new(&bordered, best.uov.clone(), Layout::Interleaved);
     assert_eq!(map.size() as i64, n + m + 1);
-    Fig1Pipeline { nest, stencil, uov: best.uov, map }
+    Fig1Pipeline {
+        nest,
+        stencil,
+        uov: best.uov,
+        map,
+    }
 }
 
 /// Execute the natural and OV-mapped versions under `order` and return
@@ -81,10 +91,10 @@ pub fn run_and_check(pipe: &Fig1Pipeline, order: &[IVec]) -> Vec<f64> {
             0.5 // constant zero-th column
         }
     };
-    let live_out: Vec<(usize, IVec)> =
-        (1..=m).map(|j| (0usize, IVec::from([n, j]))).collect();
-    let outputs =
-        interp::assert_mapping_preserves_semantics(&pipe.nest, 0, &pipe.map, order, &input, &live_out);
+    let live_out: Vec<(usize, IVec)> = (1..=m).map(|j| (0usize, IVec::from([n, j]))).collect();
+    let outputs = interp::assert_mapping_preserves_semantics(
+        &pipe.nest, 0, &pipe.map, order, &input, &live_out,
+    );
     (1..=m)
         .map(|j| outputs[&(0usize, IVec::from([n, j]))])
         .collect()

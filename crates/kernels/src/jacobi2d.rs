@@ -45,7 +45,12 @@ pub enum Variant {
 impl Variant {
     /// All variants.
     pub fn all() -> [Variant; 4] {
-        [Variant::StorageOptimized, Variant::Natural, Variant::Ov, Variant::OvTiled]
+        [
+            Variant::StorageOptimized,
+            Variant::Natural,
+            Variant::Ov,
+            Variant::OvTiled,
+        ]
     }
 
     /// Display label.
@@ -240,16 +245,13 @@ fn ov<M: Memory>(mem: &mut M, cfg: &Jacobi2dConfig, input: &[f32], tiled: bool) 
             }
         }
     }
-    (0..n).flat_map(|x| (0..n).map(move |y| (x, y)))
+    (0..n)
+        .flat_map(|x| (0..n).map(move |y| (x, y)))
         .map(|(x, y)| mem.read(a, addr(t_steps, x, y)))
         .collect()
 }
 
-fn storage_optimized<M: Memory>(
-    mem: &mut M,
-    cfg: &Jacobi2dConfig,
-    input: &[f32],
-) -> Vec<f32> {
+fn storage_optimized<M: Memory>(mem: &mut M, cfg: &Jacobi2dConfig, input: &[f32]) -> Vec<f32> {
     let (n, t_steps) = (cfg.n, cfg.time_steps);
     // One plane updated in place (the input/output array)…
     let a = load_input(mem, input);
@@ -324,7 +326,12 @@ mod tests {
         let input = workloads::random_f32(n * n, 17);
         let want = reference(&input, n, 5);
         for variant in Variant::all() {
-            let cfg = Jacobi2dConfig { n, time_steps: 5, tile: Some((2, 4, 5)), pad: 0 };
+            let cfg = Jacobi2dConfig {
+                n,
+                time_steps: 5,
+                tile: Some((2, 4, 5)),
+                pad: 0,
+            };
             let got = run(&mut PlainMemory::new(), variant, &cfg, &input);
             assert_eq!(got, want, "variant {variant:?} diverged");
         }
@@ -336,7 +343,12 @@ mod tests {
             let input = workloads::random_f32(n * n, 3);
             let want = reference(&input, n, 3);
             for variant in Variant::all() {
-                let cfg = Jacobi2dConfig { n, time_steps: 3, tile: Some((1, 2, 2)), pad: 0 };
+                let cfg = Jacobi2dConfig {
+                    n,
+                    time_steps: 3,
+                    tile: Some((1, 2, 2)),
+                    pad: 0,
+                };
                 assert_eq!(
                     run(&mut PlainMemory::new(), variant, &cfg, &input),
                     want,
@@ -352,9 +364,20 @@ mod tests {
         let input = workloads::random_f32(n * n, 9);
         for t in 1..=4 {
             let want = reference(&input, n, t);
-            let cfg = Jacobi2dConfig { n, time_steps: t, tile: None, pad: 0 };
-            assert_eq!(run(&mut PlainMemory::new(), Variant::Ov, &cfg, &input), want);
-            assert_eq!(run(&mut PlainMemory::new(), Variant::OvTiled, &cfg, &input), want);
+            let cfg = Jacobi2dConfig {
+                n,
+                time_steps: t,
+                tile: None,
+                pad: 0,
+            };
+            assert_eq!(
+                run(&mut PlainMemory::new(), Variant::Ov, &cfg, &input),
+                want
+            );
+            assert_eq!(
+                run(&mut PlainMemory::new(), Variant::OvTiled, &cfg, &input),
+                want
+            );
         }
     }
 
@@ -370,7 +393,12 @@ mod tests {
             IVec::from([1, 0, -1]),
         ])
         .unwrap();
-        let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+        let best = find_best_uov(
+            &stencil,
+            Objective::ShortestVector,
+            &SearchConfig::default(),
+        )
+        .expect("stencil is in range");
         assert_eq!(best.uov, IVec::from([2, 0, 0]), "double buffering, derived");
     }
 
@@ -378,7 +406,12 @@ mod tests {
     fn traced_run_matches_plain() {
         let n = 24;
         let input = workloads::random_f32(n * n, 5);
-        let cfg = Jacobi2dConfig { n, time_steps: 3, tile: None, pad: 0 };
+        let cfg = Jacobi2dConfig {
+            n,
+            time_steps: 3,
+            tile: None,
+            pad: 0,
+        };
         let plain = run(&mut PlainMemory::new(), Variant::Ov, &cfg, &input);
         let mut traced = TracedMemory::new(machines::alpha_21164());
         let got = run(&mut traced, Variant::Ov, &cfg, &input);
@@ -393,14 +426,24 @@ mod tests {
         let plain = run(
             &mut PlainMemory::new(),
             Variant::Ov,
-            &Jacobi2dConfig { n, time_steps: 4, tile: None, pad: 0 },
+            &Jacobi2dConfig {
+                n,
+                time_steps: 4,
+                tile: None,
+                pad: 0,
+            },
             &input,
         );
         for pad in [1usize, 64, 1000] {
             let padded = run(
                 &mut PlainMemory::new(),
                 Variant::Ov,
-                &Jacobi2dConfig { n, time_steps: 4, tile: None, pad },
+                &Jacobi2dConfig {
+                    n,
+                    time_steps: 4,
+                    tile: None,
+                    pad,
+                },
                 &input,
             );
             assert_eq!(padded, plain, "pad {pad} changed results");

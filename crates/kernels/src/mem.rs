@@ -63,7 +63,9 @@ impl PlainMemory {
 impl Memory for PlainMemory {
     fn alloc(&mut self, len: usize) -> Buf {
         self.bufs.push(vec![0.0; len]);
-        Buf { id: (self.bufs.len() - 1) as u32 }
+        Buf {
+            id: (self.bufs.len() - 1) as u32,
+        }
     }
 
     #[inline]
@@ -94,7 +96,12 @@ pub const ELEM_BYTES: u64 = 4;
 impl TracedMemory {
     /// Wrap a machine. The machine should be freshly reset (cold caches).
     pub fn new(machine: Machine) -> Self {
-        TracedMemory { bufs: Vec::new(), bases: Vec::new(), next_base: 0, machine }
+        TracedMemory {
+            bufs: Vec::new(),
+            bases: Vec::new(),
+            next_base: 0,
+            machine,
+        }
     }
 
     /// The wrapped machine's accumulated statistics.
@@ -125,15 +132,17 @@ impl TracedMemory {
 impl Memory for TracedMemory {
     fn alloc(&mut self, len: usize) -> Buf {
         const PAGE: u64 = 8 << 10; // ≥ the largest preset page size
-        // Stagger buffer starts by a few cache lines, as a real allocator
-        // would: without this every buffer begins at the same cache set
-        // and direct-mapped caches conflict pathologically.
+                                   // Stagger buffer starts by a few cache lines, as a real allocator
+                                   // would: without this every buffer begins at the same cache set
+                                   // and direct-mapped caches conflict pathologically.
         let stagger = (self.bufs.len() as u64 % 13) * 192;
         self.bufs.push(vec![0.0; len]);
         self.bases.push(self.next_base + stagger);
         let bytes = (len as u64 * ELEM_BYTES + stagger).max(1);
         self.next_base += bytes.div_ceil(PAGE) * PAGE + PAGE;
-        Buf { id: (self.bufs.len() - 1) as u32 }
+        Buf {
+            id: (self.bufs.len() - 1) as u32,
+        }
     }
 
     #[inline]

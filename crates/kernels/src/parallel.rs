@@ -54,12 +54,12 @@ impl TheoremCell {
 /// # Panics
 ///
 /// Panics if `input.len() != cfg.len`, sizes are zero, or `threads == 0`.
-pub fn run_stencil5_wavefront(
-    cfg: &Stencil5Config,
-    input: &[f32],
-    threads: usize,
-) -> Vec<f32> {
-    assert_eq!(input.len(), cfg.len, "input length must match configuration");
+pub fn run_stencil5_wavefront(cfg: &Stencil5Config, input: &[f32], threads: usize) -> Vec<f32> {
+    assert_eq!(
+        input.len(),
+        cfg.len,
+        "input length must match configuration"
+    );
     assert!(cfg.len > 0 && cfg.time_steps > 0, "degenerate problem size");
     assert!(threads > 0, "need at least one worker");
     let (len, t_steps) = (cfg.len, cfg.time_steps);
@@ -68,7 +68,10 @@ pub fn run_stencil5_wavefront(
 
     // OV (2,0) blocked storage: addr = x + (t mod 2)·L.
     let mut buf = vec![0.0f32; 2 * len];
-    let shared = TheoremCell { ptr: buf.as_mut_ptr(), len: buf.len() };
+    let shared = TheoremCell {
+        ptr: buf.as_mut_ptr(),
+        len: buf.len(),
+    };
     let addr = |t: i64, x: i64| -> usize { x as usize + ((t & 1) as usize) * len };
 
     // Tile grid in skewed coordinates u = x + 2t.
@@ -150,7 +153,11 @@ mod tests {
     fn parallel_matches_sequential_bitwise() {
         let (len, t_steps) = (4097usize, 9usize);
         let input = workloads::random_f32(len, 77);
-        let cfg = Stencil5Config { len, time_steps: t_steps, tile: Some((3, 256)) };
+        let cfg = Stencil5Config {
+            len,
+            time_steps: t_steps,
+            tile: Some((3, 256)),
+        };
         let sequential = run(&mut PlainMemory::new(), Variant::OvBlocked, &cfg, &input);
         for threads in [1usize, 2, 4, 8] {
             let parallel = run_stencil5_wavefront(&cfg, &input, threads);
@@ -163,7 +170,11 @@ mod tests {
         // Races, if any existed, would be flaky: hammer the schedule.
         let (len, t_steps) = (513usize, 6usize);
         let input = workloads::random_f32(len, 3);
-        let cfg = Stencil5Config { len, time_steps: t_steps, tile: Some((2, 64)) };
+        let cfg = Stencil5Config {
+            len,
+            time_steps: t_steps,
+            tile: Some((2, 64)),
+        };
         let want = run(&mut PlainMemory::new(), Variant::Natural, &cfg, &input);
         for _ in 0..20 {
             assert_eq!(run_stencil5_wavefront(&cfg, &input, 4), want);
@@ -174,9 +185,17 @@ mod tests {
     fn tiny_problems_and_single_tiles() {
         for (len, t) in [(1usize, 1usize), (3, 2), (8, 1), (5, 7)] {
             let input = workloads::random_f32(len, 9);
-            let cfg = Stencil5Config { len, time_steps: t, tile: Some((2, 4)) };
+            let cfg = Stencil5Config {
+                len,
+                time_steps: t,
+                tile: Some((2, 4)),
+            };
             let want = run(&mut PlainMemory::new(), Variant::OvBlocked, &cfg, &input);
-            assert_eq!(run_stencil5_wavefront(&cfg, &input, 3), want, "len {len} T {t}");
+            assert_eq!(
+                run_stencil5_wavefront(&cfg, &input, 3),
+                want,
+                "len {len} T {t}"
+            );
         }
     }
 }

@@ -173,7 +173,12 @@ struct PsmBufs {
 }
 
 /// Load strings and the weight table into traced buffers.
-fn load_tables<M: Memory>(mem: &mut M, s0: &[u8], s1: &[u8], table: &WeightTable) -> (Buf, Buf, Buf) {
+fn load_tables<M: Memory>(
+    mem: &mut M,
+    s0: &[u8],
+    s1: &[u8],
+    table: &WeightTable,
+) -> (Buf, Buf, Buf) {
     let s0b = mem.alloc(s0.len());
     for (k, &c) in s0.iter().enumerate() {
         mem.write(s0b, k, c as f32);
@@ -241,10 +246,24 @@ pub fn run<M: Memory>(
     assert_eq!(s1.len(), cfg.n1, "s1 length must match configuration");
     assert!(cfg.n0 > 0 && cfg.n1 > 0, "degenerate problem size");
     match variant {
-        Variant::Natural => sweep(mem, cfg, s0, s1, table, HLayout::Full { stride: cfg.n0 + 1 }, false),
-        Variant::NaturalTiled => {
-            sweep(mem, cfg, s0, s1, table, HLayout::Full { stride: cfg.n0 + 1 }, true)
-        }
+        Variant::Natural => sweep(
+            mem,
+            cfg,
+            s0,
+            s1,
+            table,
+            HLayout::Full { stride: cfg.n0 + 1 },
+            false,
+        ),
+        Variant::NaturalTiled => sweep(
+            mem,
+            cfg,
+            s0,
+            s1,
+            table,
+            HLayout::Full { stride: cfg.n0 + 1 },
+            true,
+        ),
         Variant::OvMapped => sweep(mem, cfg, s0, s1, table, HLayout::Diag { n1: cfg.n1 }, false),
         Variant::OvMappedTiled => {
             sweep(mem, cfg, s0, s1, table, HLayout::Diag { n1: cfg.n1 }, true)
@@ -267,7 +286,14 @@ fn sweep<M: Memory>(
     let h = mem.alloc(layout.cells(n0, n1));
     let e = mem.alloc(n0);
     let f = mem.alloc(n1);
-    let bufs = PsmBufs { h, e, f, s0: s0b, s1: s1b, w: wb };
+    let bufs = PsmBufs {
+        h,
+        e,
+        f,
+        s0: s0b,
+        s1: s1b,
+        w: wb,
+    };
     let extra_alu = if matches!(layout, HLayout::Full { .. }) {
         Variant::Natural.index_alu()
     } else {
@@ -404,7 +430,11 @@ mod tests {
         let want = reference(&s0, &s1, &table);
         assert!(want > 0.0, "random proteins should align somewhere");
         for variant in Variant::all() {
-            let cfg = PsmConfig { n0: 37, n1: 23, tile: Some((4, 8)) };
+            let cfg = PsmConfig {
+                n0: 37,
+                n1: 23,
+                tile: Some((4, 8)),
+            };
             let got = run(&mut PlainMemory::new(), variant, &cfg, &s0, &s1, &table);
             assert_eq!(got, want, "variant {variant:?} diverged");
         }
@@ -415,8 +445,19 @@ mod tests {
         let table = WeightTable::synthetic(7);
         let s: Vec<u8> = (0..10).map(|k| k % ALPHABET as u8).collect();
         let want: f32 = s.iter().map(|&c| table.score(c, c)).sum();
-        let cfg = PsmConfig { n0: 10, n1: 10, tile: None };
-        let got = run(&mut PlainMemory::new(), Variant::Natural, &cfg, &s, &s, &table);
+        let cfg = PsmConfig {
+            n0: 10,
+            n1: 10,
+            tile: None,
+        };
+        let got = run(
+            &mut PlainMemory::new(),
+            Variant::Natural,
+            &cfg,
+            &s,
+            &s,
+            &table,
+        );
         assert_eq!(got, want, "perfect self-alignment sums the diagonal");
     }
 
@@ -424,7 +465,11 @@ mod tests {
     fn single_character_strings() {
         let table = WeightTable::synthetic(3);
         for variant in Variant::all() {
-            let cfg = PsmConfig { n0: 1, n1: 1, tile: Some((1, 1)) };
+            let cfg = PsmConfig {
+                n0: 1,
+                n1: 1,
+                tile: Some((1, 1)),
+            };
             let got = run(&mut PlainMemory::new(), variant, &cfg, &[5], &[5], &table);
             assert_eq!(got, table.score(5, 5).max(0.0));
         }
@@ -436,7 +481,11 @@ mod tests {
         let want = reference(&s0, &s1, &table);
         for variant in [Variant::NaturalTiled, Variant::OvMappedTiled] {
             for tile in [(2, 9), (7, 61), (3, 64), (1, 1)] {
-                let cfg = PsmConfig { n0: 61, n1: 7, tile: Some(tile) };
+                let cfg = PsmConfig {
+                    n0: 61,
+                    n1: 7,
+                    tile: Some(tile),
+                };
                 let got = run(&mut PlainMemory::new(), variant, &cfg, &s0, &s1, &table);
                 assert_eq!(got, want, "variant {variant:?} tile {tile:?}");
             }
@@ -446,8 +495,19 @@ mod tests {
     #[test]
     fn traced_matches_plain() {
         let (s0, s1, table) = setup(32, 32);
-        let cfg = PsmConfig { n0: 32, n1: 32, tile: None };
-        let plain = run(&mut PlainMemory::new(), Variant::OvMapped, &cfg, &s0, &s1, &table);
+        let cfg = PsmConfig {
+            n0: 32,
+            n1: 32,
+            tile: None,
+        };
+        let plain = run(
+            &mut PlainMemory::new(),
+            Variant::OvMapped,
+            &cfg,
+            &s0,
+            &s1,
+            &table,
+        );
         let mut traced = TracedMemory::new(machines::ultra_2());
         let got = run(&mut traced, Variant::OvMapped, &cfg, &s0, &s1, &table);
         assert_eq!(got, plain);
@@ -465,7 +525,10 @@ mod tests {
     fn ov_allocation_matches_formula() {
         // The OV sweep's actual H+E+F allocation equals Table 2's count.
         let layout = HLayout::Diag { n1: 9 };
-        assert_eq!(layout.cells(13, 9) + 13 + 9, storage_cells(Variant::OvMapped, 13, 9) as usize);
+        assert_eq!(
+            layout.cells(13, 9) + 13 + 9,
+            storage_cells(Variant::OvMapped, 13, 9) as usize
+        );
     }
 
     #[test]

@@ -155,7 +155,11 @@ pub fn run<M: Memory>(
     cfg: &Stencil5Config,
     input: &[f32],
 ) -> Vec<f32> {
-    assert_eq!(input.len(), cfg.len, "input length must match configuration");
+    assert_eq!(
+        input.len(),
+        cfg.len,
+        "input length must match configuration"
+    );
     assert!(cfg.len > 0 && cfg.time_steps > 0, "degenerate problem size");
     match variant {
         Variant::Natural => natural(mem, cfg, input, false),
@@ -250,14 +254,18 @@ fn natural<M: Memory>(mem: &mut M, cfg: &Stencil5Config, input: &[f32], tiled: b
         let mem_ref = mem;
         skewed_tiles(t_steps, len, cfg.tile_shape(), |t, x| body(mem_ref, t, x));
         let mem = mem_ref;
-        (0..len).map(|x| mem.read(a, (t_steps - 1) * len + x)).collect()
+        (0..len)
+            .map(|x| mem.read(a, (t_steps - 1) * len + x))
+            .collect()
     } else {
         for t in 1..=t_steps {
             for x in 0..len {
                 body(mem, t, x);
             }
         }
-        (0..len).map(|x| mem.read(a, (t_steps - 1) * len + x)).collect()
+        (0..len)
+            .map(|x| mem.read(a, (t_steps - 1) * len + x))
+            .collect()
     }
 }
 
@@ -271,7 +279,11 @@ fn ov<M: Memory>(
     let (len, t_steps) = (cfg.len, cfg.time_steps);
     let input_buf = load_input(mem, input);
     let a = mem.alloc(2 * len); // UOV (2,0): two rows
-    let variant = if interleaved { Variant::OvInterleaved } else { Variant::OvBlocked };
+    let variant = if interleaved {
+        Variant::OvInterleaved
+    } else {
+        Variant::OvBlocked
+    };
     let alu = variant.index_alu();
     // SMov (§4.2): interleaved addr = 2x + (t mod 2); blocked addr = x + (t mod 2)·L.
     let addr = move |t: usize, x: usize| -> usize {
@@ -320,7 +332,9 @@ fn storage_optimized<M: Memory>(mem: &mut M, cfg: &Stencil5Config, input: &[f32]
             let c = mem.read(a, x); // old A[x]
             let p1 = mem.read(a, clamp(x as i64 + 1, len));
             let p2 = mem.read(a, clamp(x as i64 + 2, len));
-            let v = WEIGHTS[0] * om2 + WEIGHTS[1] * om1 + WEIGHTS[2] * c
+            let v = WEIGHTS[0] * om2
+                + WEIGHTS[1] * om1
+                + WEIGHTS[2] * c
                 + WEIGHTS[3] * p1
                 + WEIGHTS[4] * p2;
             mem.alu(ALU_BASE + alu + 2); // +2: the scalar rotation below
@@ -361,7 +375,11 @@ mod tests {
         let input = workloads::random_f32(97, 11);
         let want = reference(&input, 6);
         for variant in Variant::all() {
-            let cfg = Stencil5Config { len: 97, time_steps: 6, tile: Some((2, 16)) };
+            let cfg = Stencil5Config {
+                len: 97,
+                time_steps: 6,
+                tile: Some((2, 16)),
+            };
             let got = run(&mut PlainMemory::new(), variant, &cfg, &input);
             assert_eq!(got, want, "variant {variant:?} diverged");
         }
@@ -372,7 +390,11 @@ mod tests {
         let input = workloads::random_f32(16, 3);
         let want = reference(&input, 1);
         for variant in Variant::all() {
-            let cfg = Stencil5Config { len: 16, time_steps: 1, tile: Some((1, 4)) };
+            let cfg = Stencil5Config {
+                len: 16,
+                time_steps: 1,
+                tile: Some((1, 4)),
+            };
             assert_eq!(run(&mut PlainMemory::new(), variant, &cfg, &input), want);
         }
     }
@@ -384,7 +406,11 @@ mod tests {
             let input = workloads::random_f32(len, 5);
             let want = reference(&input, 4);
             for variant in Variant::all() {
-                let cfg = Stencil5Config { len, time_steps: 4, tile: Some((2, 2)) };
+                let cfg = Stencil5Config {
+                    len,
+                    time_steps: 4,
+                    tile: Some((2, 2)),
+                };
                 assert_eq!(
                     run(&mut PlainMemory::new(), variant, &cfg, &input),
                     want,
@@ -401,7 +427,11 @@ mod tests {
         for t in 1..=5 {
             let want = reference(&input, t);
             for variant in [Variant::OvBlocked, Variant::OvInterleaved] {
-                let cfg = Stencil5Config { len: 33, time_steps: t, tile: None };
+                let cfg = Stencil5Config {
+                    len: 33,
+                    time_steps: t,
+                    tile: None,
+                };
                 assert_eq!(run(&mut PlainMemory::new(), variant, &cfg, &input), want);
             }
         }
@@ -410,8 +440,17 @@ mod tests {
     #[test]
     fn traced_run_matches_plain_and_counts() {
         let input = workloads::random_f32(256, 21);
-        let cfg = Stencil5Config { len: 256, time_steps: 4, tile: None };
-        let plain = run(&mut PlainMemory::new(), Variant::OvInterleaved, &cfg, &input);
+        let cfg = Stencil5Config {
+            len: 256,
+            time_steps: 4,
+            tile: None,
+        };
+        let plain = run(
+            &mut PlainMemory::new(),
+            Variant::OvInterleaved,
+            &cfg,
+            &input,
+        );
         let mut traced = TracedMemory::new(machines::pentium_pro());
         let out = run(&mut traced, Variant::OvInterleaved, &cfg, &input);
         assert_eq!(out, plain);
@@ -435,7 +474,11 @@ mod tests {
     fn ov_variants_use_less_memory_footprint() {
         // Confirm the traced allocation sizes follow Table 1.
         let input = workloads::random_f32(64, 2);
-        let cfg = Stencil5Config { len: 64, time_steps: 8, tile: None };
+        let cfg = Stencil5Config {
+            len: 64,
+            time_steps: 8,
+            tile: None,
+        };
         let mut nat = TracedMemory::new(machines::pentium_pro());
         run(&mut nat, Variant::Natural, &cfg, &input);
         let mut ovm = TracedMemory::new(machines::pentium_pro());

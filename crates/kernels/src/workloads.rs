@@ -86,6 +86,8 @@ mod tests {
 
     #[test]
     fn protein_symbols_in_range() {
-        assert!(random_protein(1000, 3).iter().all(|&c| (c as usize) < ALPHABET));
+        assert!(random_protein(1000, 3)
+            .iter()
+            .all(|&c| (c as usize) < ALPHABET));
     }
 }

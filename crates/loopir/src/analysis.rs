@@ -55,7 +55,10 @@ impl fmt::Display for AnalysisError {
                 write!(f, "subscript `{e}` is not of the form i_k + c")
             }
             AnalysisError::NonInjectiveWrite => {
-                write!(f, "write subscript is not a permutation of the loop indices")
+                write!(
+                    f,
+                    "write subscript is not a permutation of the loop indices"
+                )
             }
             AnalysisError::MultipleWriters(a) => {
                 write!(f, "array {a} is written by more than one statement")
@@ -251,7 +254,13 @@ mod tests {
         let s = flow_stencil(&nest, 0).unwrap();
         assert_eq!(
             s.vectors(),
-            &[ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2]]
+            &[
+                ivec![1, -2],
+                ivec![1, -1],
+                ivec![1, 0],
+                ivec![1, 1],
+                ivec![1, 2]
+            ]
         );
     }
 
@@ -293,7 +302,10 @@ mod tests {
         };
         let nest = LoopNest::new(
             RectDomain::grid(3, 3),
-            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![ArrayDecl {
+                name: "A".into(),
+                rank: 2,
+            }],
             vec![stmt],
         )
         .unwrap();
@@ -309,10 +321,17 @@ mod tests {
         use crate::nest::{ArrayDecl, Assign, LoopNest};
         use uov_isg::RectDomain;
         let full = vec![AffineExpr::index(2, 0), AffineExpr::index(2, 1)];
-        let stmt = Assign { array: 0, subscript: full.clone(), rhs: Expr::Const(0.0) };
+        let stmt = Assign {
+            array: 0,
+            subscript: full.clone(),
+            rhs: Expr::Const(0.0),
+        };
         let nest = LoopNest::new(
             RectDomain::grid(3, 3),
-            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![ArrayDecl {
+                name: "A".into(),
+                rank: 2,
+            }],
             vec![stmt.clone(), stmt],
         )
         .unwrap();
@@ -337,8 +356,14 @@ mod tests {
         let nest = LoopNest::new(
             RectDomain::grid(3, 3),
             vec![
-                ArrayDecl { name: "A".into(), rank: 2 },
-                ArrayDecl { name: "B".into(), rank: 2 },
+                ArrayDecl {
+                    name: "A".into(),
+                    rank: 2,
+                },
+                ArrayDecl {
+                    name: "B".into(),
+                    rank: 2,
+                },
             ],
             vec![stmt],
         )

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use uov_isg::{IterationDomain as _, IVec};
+use uov_isg::{IVec, IterationDomain as _};
 use uov_storage::{Layout, OvMap, StorageMap as _};
 
 use crate::expr::{AffineExpr, Expr};
@@ -91,9 +91,7 @@ fn expr_to_c(e: &Expr, nest: &LoopNest, mapped: Option<(usize, &OvMapCode)>) -> 
             expr_to_c(a, nest, mapped),
             expr_to_c(b, nest, mapped)
         ),
-        Expr::Read { array, subscript } => {
-            access_to_c(nest, *array, subscript, mapped)
-        }
+        Expr::Read { array, subscript } => access_to_c(nest, *array, subscript, mapped),
     }
 }
 
@@ -148,8 +146,8 @@ impl OvMapCode {
                 // class·g + residue with class = mv·p − lo: scale the
                 // whole linear form (whose constant already folds −lo in
                 // via `shift`) by g.
-                let scaled = AffineExpr::constant(subscript[0].depth(), 0)
-                    .add_scaled(&linear, self.g);
+                let scaled =
+                    AffineExpr::constant(subscript[0].depth(), 0).add_scaled(&linear, self.g);
                 format!(
                     "{name}[{} + mod({}, {})]",
                     affine_to_c(&scaled),
@@ -197,20 +195,26 @@ pub fn emit_ov_mapped(nest: &LoopNest, stmt: usize, map: &OvMap) -> String {
     let depth = nest.depth();
     let mut write_offset = vec![0i64; write.len()];
     for (pos, e) in write.iter().enumerate() {
-        let (_, c) = e.index_offset().expect("uniform write subscript");
+        let Some((_, c)) = e.index_offset() else {
+            panic!("write subscript {pos} of statement {stmt} is not uniform (i_k + c)")
+        };
         write_offset[pos] = c;
     }
     // Reconstruct the symbolic pieces from the mapping.
-    let mv = map
-        .mapping_vector_2d()
-        .expect("codegen currently supports 2-D mappings");
+    let Some(mv) = map.mapping_vector_2d() else {
+        panic!(
+            "codegen currently supports 2-D mappings; got ov {}",
+            map.ov()
+        )
+    };
     let dom = nest.domain();
+    // Domains are non-empty by construction; an empty hull needs no shift.
     let shift = -(dom
         .extreme_points()
         .iter()
         .map(|p| mv.dot(p))
         .min()
-        .expect("non-empty domain"));
+        .unwrap_or(0));
     let g = map.ov().content();
     let code = OvMapCode {
         shift,
@@ -340,7 +344,10 @@ mod blocked_layout_tests {
         let nest = examples::stencil5_nest(4, 8);
         let map = OvMap::new(nest.domain(), ivec![2, 0], Layout::Blocked);
         let code = emit_ov_mapped(&nest, 0, &map);
-        assert!(code.contains("mod("), "blocked code needs a modterm:\n{code}");
+        assert!(
+            code.contains("mod("),
+            "blocked code needs a modterm:\n{code}"
+        );
         assert!(code.contains("*8"), "block offset L = 8 expected:\n{code}");
     }
 
@@ -349,7 +356,10 @@ mod blocked_layout_tests {
         let nest = examples::fig1_nest(5, 5);
         let map = OvMap::new(nest.domain(), ivec![1, 1], Layout::Blocked);
         let code = emit_ov_mapped(&nest, 0, &map);
-        assert!(!code.contains("mod("), "prime OV emits a pure affine index:\n{code}");
+        assert!(
+            !code.contains("mod("),
+            "prime OV emits a pure affine index:\n{code}"
+        );
     }
 
     #[test]

@@ -19,22 +19,34 @@ fn idx(depth: usize, k: usize, off: i64) -> AffineExpr {
 pub fn fig1_nest(n: i64, m: i64) -> LoopNest {
     let d = 2;
     let f = Expr::add(
-        Expr::mul(Expr::Const(0.5), Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)])),
+        Expr::mul(
+            Expr::Const(0.5),
+            Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)]),
+        ),
         Expr::add(
-            Expr::mul(Expr::Const(0.3), Expr::read(0, vec![idx(d, 0, 0), idx(d, 1, -1)])),
-            Expr::mul(Expr::Const(0.2), Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, -1)])),
+            Expr::mul(
+                Expr::Const(0.3),
+                Expr::read(0, vec![idx(d, 0, 0), idx(d, 1, -1)]),
+            ),
+            Expr::mul(
+                Expr::Const(0.2),
+                Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, -1)]),
+            ),
         ),
     );
     LoopNest::new(
         RectDomain::grid(n, m),
-        vec![ArrayDecl { name: "A".into(), rank: 2 }],
+        vec![ArrayDecl {
+            name: "A".into(),
+            rank: 2,
+        }],
         vec![Assign {
             array: 0,
             subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
             rhs: f,
         }],
     )
-    .expect("fig1 nest is well-formed")
+    .unwrap_or_else(|e| panic!("fig1 nest is well-formed: {e}"))
 }
 
 /// The §5 5-point stencil: `A[t,x] = Σ w_k · A[t-1, x+k]` for
@@ -51,19 +63,28 @@ pub fn stencil5_nest(t_steps: i64, len: i64) -> LoopNest {
     for (k, w) in (-2i64..=2).zip(weights) {
         rhs = Expr::add(
             rhs,
-            Expr::mul(Expr::Const(w), Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, k)])),
+            Expr::mul(
+                Expr::Const(w),
+                Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, k)]),
+            ),
         );
     }
     LoopNest::new(
-        RectDomain::new(uov_isg::IVec::from([1, 0]), uov_isg::IVec::from([t_steps, len - 1])),
-        vec![ArrayDecl { name: "A".into(), rank: 2 }],
+        RectDomain::new(
+            uov_isg::IVec::from([1, 0]),
+            uov_isg::IVec::from([t_steps, len - 1]),
+        ),
+        vec![ArrayDecl {
+            name: "A".into(),
+            rank: 2,
+        }],
         vec![Assign {
             array: 0,
             subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
             rhs,
         }],
     )
-    .expect("stencil5 nest is well-formed")
+    .unwrap_or_else(|e| panic!("stencil5 nest is well-formed: {e}"))
 }
 
 /// Protein string matching as IR: a linear-gap local-alignment score `H`
@@ -91,8 +112,14 @@ pub fn psm_nest(n1: i64, n0: i64) -> LoopNest {
         rhs: Expr::max(
             Expr::add(Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, -1)]), w),
             Expr::max(
-                Expr::sub(Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)]), Expr::Const(1.0)),
-                Expr::sub(Expr::read(0, vec![idx(d, 0, 0), idx(d, 1, -1)]), Expr::Const(1.0)),
+                Expr::sub(
+                    Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)]),
+                    Expr::Const(1.0),
+                ),
+                Expr::sub(
+                    Expr::read(0, vec![idx(d, 0, 0), idx(d, 1, -1)]),
+                    Expr::Const(1.0),
+                ),
             ),
         ),
     };
@@ -100,19 +127,28 @@ pub fn psm_nest(n1: i64, n0: i64) -> LoopNest {
         array: 1,
         subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
         rhs: Expr::max(
-            Expr::sub(Expr::read(1, vec![idx(d, 0, -1), idx(d, 1, 0)]), Expr::Const(0.5)),
+            Expr::sub(
+                Expr::read(1, vec![idx(d, 0, -1), idx(d, 1, 0)]),
+                Expr::Const(0.5),
+            ),
             Expr::read(0, vec![idx(d, 0, -1), idx(d, 1, 0)]),
         ),
     };
     LoopNest::new(
         RectDomain::grid(n1, n0),
         vec![
-            ArrayDecl { name: "H".into(), rank: 2 },
-            ArrayDecl { name: "E".into(), rank: 2 },
+            ArrayDecl {
+                name: "H".into(),
+                rank: 2,
+            },
+            ArrayDecl {
+                name: "E".into(),
+                rank: 2,
+            },
         ],
         vec![h, e],
     )
-    .expect("psm nest is well-formed")
+    .unwrap_or_else(|e| panic!("psm nest is well-formed: {e}"))
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c` in a `depth`-deep nest.
     pub fn constant(depth: usize, c: i64) -> Self {
-        AffineExpr { coeffs: vec![0; depth], constant: c }
+        AffineExpr {
+            coeffs: vec![0; depth],
+            constant: c,
+        }
     }
 
     /// The loop index `i_k` in a `depth`-deep nest.
@@ -43,7 +46,10 @@ impl AffineExpr {
         assert!(k < depth, "index {k} out of range for depth {depth}");
         let mut coeffs = vec![0; depth];
         coeffs[k] = 1;
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Build `Σ coeffs[k]·i_k + constant` directly.
@@ -257,7 +263,10 @@ mod tests {
         assert_eq!(AffineExpr::constant(2, 5).index_offset(), None);
         // 2·i is not uniform.
         let mut skew = AffineExpr::index(2, 0);
-        skew = AffineExpr { coeffs: skew.coeffs().iter().map(|&c| c * 2).collect(), constant: 0 };
+        skew = AffineExpr {
+            coeffs: skew.coeffs().iter().map(|&c| c * 2).collect(),
+            constant: 0,
+        };
         assert_eq!(skew.index_offset(), None);
     }
 
@@ -271,7 +280,10 @@ mod tests {
     fn reads_are_collected() {
         let e = Expr::max(
             Expr::read(0, vec![AffineExpr::index(2, 0)]),
-            Expr::add(Expr::read(1, vec![AffineExpr::index(2, 1)]), Expr::Const(1.0)),
+            Expr::add(
+                Expr::read(1, vec![AffineExpr::index(2, 1)]),
+                Expr::Const(1.0),
+            ),
         );
         let reads = e.reads();
         assert_eq!(reads.len(), 2);

@@ -26,7 +26,10 @@ enum Backing<'a> {
     Natural(HashMap<IVec, f64>),
     /// Cells shared according to a storage mapping over producing
     /// iterations.
-    Mapped { map: &'a dyn StorageMap, cells: Vec<f64> },
+    Mapped {
+        map: &'a dyn StorageMap,
+        cells: Vec<f64>,
+    },
 }
 
 /// Execute `nest` in the given `order`.
@@ -79,7 +82,10 @@ pub fn run(
 
     let mut backing: Vec<Backing<'_>> = (0..nstmts)
         .map(|s| match maps.get(s).copied().flatten() {
-            Some(map) => Backing::Mapped { map, cells: vec![0.0; map.size()] },
+            Some(map) => Backing::Mapped {
+                map,
+                cells: vec![0.0; map.size()],
+            },
             None => Backing::Natural(HashMap::new()),
         })
         .collect();
@@ -153,8 +159,15 @@ fn eval(
             eval(a, q, nest, backing, writer_of, written_region, input)
                 * eval(b, q, nest, backing, writer_of, written_region, input)
         }
-        Expr::Max(a, b) => eval(a, q, nest, backing, writer_of, written_region, input)
-            .max(eval(b, q, nest, backing, writer_of, written_region, input)),
+        Expr::Max(a, b) => eval(a, q, nest, backing, writer_of, written_region, input).max(eval(
+            b,
+            q,
+            nest,
+            backing,
+            writer_of,
+            written_region,
+            input,
+        )),
         Expr::Read { array, subscript } => {
             let elem: IVec = subscript.iter().map(|e| e.eval(q)).collect();
             let Some(&s) = writer_of.get(array) else {
@@ -182,9 +195,9 @@ fn producing_iteration(nest: &LoopNest, stmt: usize, elem: &IVec) -> IVec {
     let depth = nest.depth();
     let mut p = vec![0i64; depth];
     for (pos, e) in subscript.iter().enumerate() {
-        let (k, c) = e
-            .index_offset()
-            .expect("mapped statements must have uniform subscripts");
+        let Some((k, c)) = e.index_offset() else {
+            panic!("mapped statement {stmt} has a non-uniform subscript {pos}")
+        };
         p[k] = elem[pos] - c;
     }
     IVec::from(p)
@@ -237,7 +250,10 @@ pub fn assert_mapping_preserves_semantics(
 /// The flow stencil of a statement, re-exported here for harness
 /// ergonomics (see [`crate::analysis::flow_stencil`]).
 pub fn stencil_of(nest: &LoopNest, stmt: usize) -> Stencil {
-    crate::analysis::flow_stencil(nest, stmt).expect("statement must be regular")
+    match crate::analysis::flow_stencil(nest, stmt) {
+        Ok(s) => s,
+        Err(e) => panic!("statement {stmt} has no regular flow stencil: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +278,10 @@ mod tests {
             let out = run(&nest, &order, &[], &border_input, &[]);
             assert_eq!(out.len(), lex.len());
             for (k, v) in &lex {
-                assert!((out[k] - v).abs() < 1e-12, "divergence at {k:?} seed {seed}");
+                assert!(
+                    (out[k] - v).abs() < 1e-12,
+                    "divergence at {k:?} seed {seed}"
+                );
             }
         }
     }
@@ -284,10 +303,8 @@ mod tests {
         let nest = examples::stencil5_nest(6, 12);
         let map = OvMap::new(nest.domain(), ivec![2, 0], Layout::Interleaved);
         let blocked = OvMap::new(nest.domain(), ivec![2, 0], Layout::Blocked);
-        let live_out: Vec<(usize, IVec)> =
-            (0..12).map(|x| (0usize, ivec![6, x])).collect();
-        let order = uov_schedule::LoopSchedule::skewed_tiled_2d(2, vec![3, 4])
-            .order(nest.domain());
+        let live_out: Vec<(usize, IVec)> = (0..12).map(|x| (0usize, ivec![6, x])).collect();
+        let order = uov_schedule::LoopSchedule::skewed_tiled_2d(2, vec![3, 4]).order(nest.domain());
         assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border_input, &live_out);
         assert_mapping_preserves_semantics(&nest, 0, &blocked, &order, &border_input, &live_out);
     }

@@ -121,7 +121,10 @@ impl LoopNest {
             }
             for e in subscript {
                 if e.depth() != depth {
-                    return Err(NestError::DepthMismatch { depth, found: e.depth() });
+                    return Err(NestError::DepthMismatch {
+                        depth,
+                        found: e.depth(),
+                    });
                 }
             }
             Ok(())
@@ -132,7 +135,11 @@ impl LoopNest {
                 check_subscript(array, subscript)?;
             }
         }
-        Ok(LoopNest { domain, arrays, stmts })
+        Ok(LoopNest {
+            domain,
+            arrays,
+            stmts,
+        })
     }
 
     /// The iteration domain.
@@ -198,7 +205,10 @@ mod tests {
         };
         let err = LoopNest::new(
             RectDomain::grid(2, 2),
-            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![ArrayDecl {
+                name: "A".into(),
+                rank: 2,
+            }],
             vec![stmt],
         )
         .unwrap_err();
@@ -214,11 +224,21 @@ mod tests {
         };
         let err = LoopNest::new(
             RectDomain::grid(2, 2),
-            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![ArrayDecl {
+                name: "A".into(),
+                rank: 2,
+            }],
             vec![stmt],
         )
         .unwrap_err();
-        assert!(matches!(err, NestError::RankMismatch { array: 0, rank: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            NestError::RankMismatch {
+                array: 0,
+                rank: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]
@@ -230,10 +250,16 @@ mod tests {
         };
         let err = LoopNest::new(
             RectDomain::grid(2, 2),
-            vec![ArrayDecl { name: "A".into(), rank: 2 }],
+            vec![ArrayDecl {
+                name: "A".into(),
+                rank: 2,
+            }],
             vec![stmt],
         )
         .unwrap_err();
-        assert!(matches!(err, NestError::DepthMismatch { depth: 2, found: 3 }));
+        assert!(matches!(
+            err,
+            NestError::DepthMismatch { depth: 2, found: 3 }
+        ));
     }
 }

@@ -57,7 +57,10 @@ impl Cache {
     /// Panics if the line size is not a power of two, the associativity is
     /// zero, or the capacity is smaller than one line.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.assoc >= 1, "associativity must be at least 1");
         assert!(
             config.size_bytes >= config.line_bytes,
@@ -198,7 +201,12 @@ mod tests {
     use super::*;
 
     fn small() -> Cache {
-        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2, hit_cycles: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            assoc: 2,
+            hit_cycles: 1,
+        })
     }
 
     #[test]
@@ -227,8 +235,12 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c =
-            Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, assoc: 1, hit_cycles: 1 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            assoc: 1,
+            hit_cycles: 1,
+        });
         // 4 sets; addresses 0 and 64 collide.
         c.access(0);
         c.access(64);
@@ -273,6 +285,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 96, line_bytes: 24, assoc: 1, hit_cycles: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 96,
+            line_bytes: 24,
+            assoc: 1,
+            hit_cycles: 1,
+        });
     }
 }

@@ -112,9 +112,7 @@ enum TouchOutcome {
     Resident,
     /// Newly inserted; `evicted` is the victim page (with its dirty bit),
     /// if the set was full.
-    Inserted {
-        evicted: Option<(u64, bool)>,
-    },
+    Inserted { evicted: Option<(u64, bool)> },
 }
 
 impl LruPages {
@@ -183,13 +181,20 @@ impl LruPages {
                 i
             }
             None => {
-                self.slots.push(LruSlot { page, dirty: is_write, prev: NIL, next: NIL });
+                self.slots.push(LruSlot {
+                    page,
+                    dirty: is_write,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.slots.len() - 1
             }
         };
         self.map.insert(page, i);
         self.push_front(i);
-        TouchOutcome::Inserted { evicted: victim_page }
+        TouchOutcome::Inserted {
+            evicted: victim_page,
+        }
     }
 
     fn clear(&mut self) {
@@ -336,9 +341,24 @@ mod tests {
     fn tiny() -> Machine {
         Machine::new(MachineConfig {
             name: "tiny".into(),
-            l1: CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2, hit_cycles: 1 },
-            l2: Some(CacheConfig { size_bytes: 512, line_bytes: 16, assoc: 4, hit_cycles: 4 }),
-            tlb: TlbConfig { entries: 2, page_bytes: 256, assoc: 2, miss_cycles: 20 },
+            l1: CacheConfig {
+                size_bytes: 128,
+                line_bytes: 16,
+                assoc: 2,
+                hit_cycles: 1,
+            },
+            l2: Some(CacheConfig {
+                size_bytes: 512,
+                line_bytes: 16,
+                assoc: 4,
+                hit_cycles: 4,
+            }),
+            tlb: TlbConfig {
+                entries: 2,
+                page_bytes: 256,
+                assoc: 2,
+                miss_cycles: 20,
+            },
             mem_cycles: 50,
             mem_capacity_bytes: 1024,
             disk_cycles: 10_000,
@@ -355,7 +375,10 @@ mod tests {
         let cold = m.cycles();
         m.read(4); // same line, same page
         let warm = m.cycles() - cold;
-        assert!(warm < cold / 10, "warm access ({warm}) should be far cheaper than cold ({cold})");
+        assert!(
+            warm < cold / 10,
+            "warm access ({warm}) should be far cheaper than cold ({cold})"
+        );
     }
 
     #[test]
@@ -372,7 +395,11 @@ mod tests {
             }
         }
         assert_eq!(m.stats().minor_faults, 8);
-        assert_eq!(m.stats().major_faults, 16, "strict LRU cycling must re-fault every time");
+        assert_eq!(
+            m.stats().major_faults,
+            16,
+            "strict LRU cycling must re-fault every time"
+        );
     }
 
     #[test]
@@ -429,7 +456,10 @@ mod tests {
         assert_ne!(u2.name(), al.name());
         // The Alpha's L1 is the smallest of the three.
         assert!(al.config().l1.size_bytes <= pp.config().l1.size_bytes);
-        assert!(u2.config().l2.as_ref().unwrap().size_bytes > pp.config().l2.as_ref().unwrap().size_bytes);
+        assert!(
+            u2.config().l2.as_ref().unwrap().size_bytes
+                > pp.config().l2.as_ref().unwrap().size_bytes
+        );
     }
 
     #[test]

@@ -20,9 +20,24 @@ use crate::machine::{Machine, MachineConfig};
 pub fn pentium_pro() -> Machine {
     Machine::new(MachineConfig {
         name: "Pentium Pro (sim)".into(),
-        l1: CacheConfig { size_bytes: 8 << 10, line_bytes: 32, assoc: 2, hit_cycles: 1 },
-        l2: Some(CacheConfig { size_bytes: 256 << 10, line_bytes: 32, assoc: 4, hit_cycles: 7 }),
-        tlb: TlbConfig { entries: 64, page_bytes: 4 << 10, assoc: 4, miss_cycles: 25 },
+        l1: CacheConfig {
+            size_bytes: 8 << 10,
+            line_bytes: 32,
+            assoc: 2,
+            hit_cycles: 1,
+        },
+        l2: Some(CacheConfig {
+            size_bytes: 256 << 10,
+            line_bytes: 32,
+            assoc: 4,
+            hit_cycles: 7,
+        }),
+        tlb: TlbConfig {
+            entries: 64,
+            page_bytes: 4 << 10,
+            assoc: 4,
+            miss_cycles: 25,
+        },
         mem_cycles: 60,
         mem_capacity_bytes: 64 << 20,
         disk_cycles: 1_000_000,
@@ -38,9 +53,24 @@ pub fn pentium_pro() -> Machine {
 pub fn ultra_2() -> Machine {
     Machine::new(MachineConfig {
         name: "Ultra 2 (sim)".into(),
-        l1: CacheConfig { size_bytes: 16 << 10, line_bytes: 32, assoc: 1, hit_cycles: 1 },
-        l2: Some(CacheConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 1, hit_cycles: 10 }),
-        tlb: TlbConfig { entries: 64, page_bytes: 8 << 10, assoc: 64, miss_cycles: 30 },
+        l1: CacheConfig {
+            size_bytes: 16 << 10,
+            line_bytes: 32,
+            assoc: 1,
+            hit_cycles: 1,
+        },
+        l2: Some(CacheConfig {
+            size_bytes: 1 << 20,
+            line_bytes: 64,
+            assoc: 1,
+            hit_cycles: 10,
+        }),
+        tlb: TlbConfig {
+            entries: 64,
+            page_bytes: 8 << 10,
+            assoc: 64,
+            miss_cycles: 30,
+        },
         mem_cycles: 50,
         mem_capacity_bytes: 128 << 20,
         disk_cycles: 1_200_000,
@@ -56,9 +86,24 @@ pub fn ultra_2() -> Machine {
 pub fn alpha_21164() -> Machine {
     Machine::new(MachineConfig {
         name: "Alpha 21164 (sim)".into(),
-        l1: CacheConfig { size_bytes: 8 << 10, line_bytes: 32, assoc: 1, hit_cycles: 1 },
-        l2: Some(CacheConfig { size_bytes: 96 << 10, line_bytes: 32, assoc: 3, hit_cycles: 6 }),
-        tlb: TlbConfig { entries: 64, page_bytes: 8 << 10, assoc: 64, miss_cycles: 40 },
+        l1: CacheConfig {
+            size_bytes: 8 << 10,
+            line_bytes: 32,
+            assoc: 1,
+            hit_cycles: 1,
+        },
+        l2: Some(CacheConfig {
+            size_bytes: 96 << 10,
+            line_bytes: 32,
+            assoc: 3,
+            hit_cycles: 6,
+        }),
+        tlb: TlbConfig {
+            entries: 64,
+            page_bytes: 8 << 10,
+            assoc: 64,
+            miss_cycles: 40,
+        },
         mem_cycles: 120,
         mem_capacity_bytes: 96 << 20,
         disk_cycles: 2_500_000,
@@ -97,8 +142,7 @@ mod tests {
             for i in 0..1024u64 {
                 m.read(i * 4);
             }
-            let per_access = (m.cycles() - warm_start) as f64
-                / (m.stats().accesses - base) as f64;
+            let per_access = (m.cycles() - warm_start) as f64 / (m.stats().accesses - base) as f64;
             assert!(
                 per_access < 2.0,
                 "{}: warm per-access cost {per_access} too high",
@@ -123,7 +167,11 @@ mod tests {
             m.read(p * 4096);
         }
         let second_sweep = m.cycles() - first_sweep;
-        assert_eq!(m.stats().major_faults, pages, "cycling must re-fault every page");
+        assert_eq!(
+            m.stats().major_faults,
+            pages,
+            "cycling must re-fault every page"
+        );
         assert!(
             second_sweep as f64 / pages as f64 > m.config().disk_cycles as f64 * 0.9,
             "re-faulting sweep should be disk-dominated"

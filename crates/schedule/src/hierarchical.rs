@@ -49,7 +49,11 @@ impl HierarchicalTiling {
             assert!(*i >= 1 && *o >= 1, "tile extents must be >= 1");
             assert!(i <= o, "inner tiles must nest inside outer tiles");
         }
-        HierarchicalTiling { outer, inner, transform: None }
+        HierarchicalTiling {
+            outer,
+            inner,
+            transform: None,
+        }
     }
 
     /// Apply the tiling in the image of a unimodular transformation (e.g.
@@ -83,10 +87,8 @@ impl HierarchicalTiling {
                 None => p.clone(),
             };
             let rel: Vec<i64> = (0..d).map(|k| img[k] - lo_img[k]).collect();
-            let outer_idx: Vec<i64> =
-                (0..d).map(|k| floor_div(rel[k], self.outer[k])).collect();
-            let inner_idx: Vec<i64> =
-                (0..d).map(|k| floor_div(rel[k], self.inner[k])).collect();
+            let outer_idx: Vec<i64> = (0..d).map(|k| floor_div(rel[k], self.outer[k])).collect();
+            let inner_idx: Vec<i64> = (0..d).map(|k| floor_div(rel[k], self.inner[k])).collect();
             (outer_idx, inner_idx, img)
         });
         points

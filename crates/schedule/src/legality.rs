@@ -53,17 +53,12 @@ pub fn respects_dependences(
 /// # Panics
 ///
 /// Panics if dimensions disagree.
-pub fn order_respects_dependences(
-    order: &[IVec],
-    domain: &RectDomain,
-    stencil: &Stencil,
-) -> bool {
+pub fn order_respects_dependences(order: &[IVec], domain: &RectDomain, stencil: &Stencil) -> bool {
     use uov_isg::IterationDomain as _;
     if order.len() as u64 != domain.num_points() {
         return false;
     }
-    let rank: HashMap<&IVec, usize> =
-        order.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let rank: HashMap<&IVec, usize> = order.iter().enumerate().map(|(i, p)| (p, i)).collect();
     if rank.len() != order.len() {
         return false;
     }
@@ -88,9 +83,7 @@ pub fn order_respects_dependences(
 /// This is the classical condition of Irigoin & Triolet; the paper's Fig-1
 /// stencil satisfies it, the 5-point stencil does not (it needs skewing).
 pub fn rectangular_tiling_legal(stencil: &Stencil) -> bool {
-    stencil
-        .iter()
-        .all(|v| v.iter().all(|&c| c >= 0))
+    stencil.iter().all(|v| v.iter().all(|&c| c >= 0))
 }
 
 /// Find the smallest non-negative skew factor `f` such that the 2-D skew
@@ -172,9 +165,21 @@ mod tests {
     fn fig1_is_fully_permutable() {
         let dom = RectDomain::grid(4, 4);
         let s = fig1();
-        assert!(respects_dependences(&LoopSchedule::Interchange(vec![1, 0]), &dom, &s));
-        assert!(respects_dependences(&LoopSchedule::tiled(vec![2, 2]), &dom, &s));
-        assert!(respects_dependences(&LoopSchedule::Wavefront(ivec![1, 1]), &dom, &s));
+        assert!(respects_dependences(
+            &LoopSchedule::Interchange(vec![1, 0]),
+            &dom,
+            &s
+        ));
+        assert!(respects_dependences(
+            &LoopSchedule::tiled(vec![2, 2]),
+            &dom,
+            &s
+        ));
+        assert!(respects_dependences(
+            &LoopSchedule::Wavefront(ivec![1, 1]),
+            &dom,
+            &s
+        ));
         assert!(rectangular_tiling_legal(&s));
     }
 
@@ -184,7 +189,11 @@ mod tests {
         let s = stencil5();
         assert!(!rectangular_tiling_legal(&s));
         // Naive tiling violates the (1,−2) dependence…
-        assert!(!respects_dependences(&LoopSchedule::tiled(vec![2, 2]), &dom, &s));
+        assert!(!respects_dependences(
+            &LoopSchedule::tiled(vec![2, 2]),
+            &dom,
+            &s
+        ));
         // …but tiling the skewed space is legal.
         assert_eq!(skew_factor_for_tiling(&s), Some(2));
         let skew_tiled = LoopSchedule::skewed_tiled_2d(2, vec![2, 3]);
@@ -195,7 +204,11 @@ mod tests {
     fn interchange_breaks_negative_dependences() {
         let s = Stencil::new(vec![ivec![1, -1]]).unwrap();
         let dom = RectDomain::grid(3, 3);
-        assert!(!respects_dependences(&LoopSchedule::Interchange(vec![1, 0]), &dom, &s));
+        assert!(!respects_dependences(
+            &LoopSchedule::Interchange(vec![1, 0]),
+            &dom,
+            &s
+        ));
     }
 
     #[test]

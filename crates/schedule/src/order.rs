@@ -106,9 +106,7 @@ impl LoopSchedule {
                     check.iter().copied().eq(0..d),
                     "interchange must be a permutation of 0..{d}"
                 );
-                points.sort_by_key(|p| {
-                    perm.iter().map(|&axis| p[axis]).collect::<Vec<i64>>()
-                });
+                points.sort_by_key(|p| perm.iter().map(|&axis| p[axis]).collect::<Vec<i64>>());
                 points
             }
             LoopSchedule::Transformed(m) => {
@@ -125,7 +123,10 @@ impl LoopSchedule {
             }
             LoopSchedule::TransformedTiled { transform, tile } => {
                 assert_eq!(transform.cols(), d, "transform width must match dimension");
-                assert!(transform.is_unimodular(), "schedule transform must be unimodular");
+                assert!(
+                    transform.is_unimodular(),
+                    "schedule transform must be unimodular"
+                );
                 validate_tile(tile, d);
                 // Tile the image space; anchor tiles at the image of the
                 // domain's lower corner so tiling is translation-stable.
@@ -207,7 +208,14 @@ mod tests {
         // Column-major: (1,1), (2,1), (1,2), (2,2), (1,3), (2,3).
         assert_eq!(
             order,
-            vec![ivec![1, 1], ivec![2, 1], ivec![1, 2], ivec![2, 2], ivec![1, 3], ivec![2, 3]]
+            vec![
+                ivec![1, 1],
+                ivec![2, 1],
+                ivec![1, 2],
+                ivec![2, 2],
+                ivec![1, 3],
+                ivec![2, 3]
+            ]
         );
     }
 

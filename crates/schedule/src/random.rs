@@ -22,7 +22,9 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        XorShift64 { state: seed.wrapping_mul(2685821657736338717).max(1) }
+        XorShift64 {
+            state: seed.wrapping_mul(2685821657736338717).max(1),
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -62,15 +64,10 @@ impl XorShift64 {
 /// assert!(order_respects_dependences(&order, &dom, &s));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn random_topological_order(
-    domain: &RectDomain,
-    stencil: &Stencil,
-    seed: u64,
-) -> Vec<IVec> {
+pub fn random_topological_order(domain: &RectDomain, stencil: &Stencil, seed: u64) -> Vec<IVec> {
     assert_eq!(domain.dim(), stencil.dim(), "dimension mismatch");
     let points: Vec<IVec> = domain.points().collect();
-    let index: HashMap<&IVec, usize> =
-        points.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let index: HashMap<&IVec, usize> = points.iter().enumerate().map(|(i, p)| (p, i)).collect();
 
     // In-degree of q = number of in-domain producers q − v.
     let mut indegree: Vec<usize> = points
@@ -103,7 +100,11 @@ pub fn random_topological_order(
             }
         }
     }
-    debug_assert_eq!(order.len(), points.len(), "dependence graph must be acyclic");
+    debug_assert_eq!(
+        order.len(),
+        points.len(),
+        "dependence graph must be acyclic"
+    );
     order
 }
 
@@ -146,7 +147,10 @@ mod tests {
         let s = fig1();
         let a = random_topological_order(&dom, &s, 1);
         let b = random_topological_order(&dom, &s, 2);
-        assert_ne!(a, b, "two seeds giving identical orders is vanishingly unlikely");
+        assert_ne!(
+            a, b,
+            "two seeds giving identical orders is vanishingly unlikely"
+        );
     }
 
     #[test]

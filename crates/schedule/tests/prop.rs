@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use uov_isg::{IVec, RectDomain, Stencil};
 use uov_schedule::hierarchical::HierarchicalTiling;
 use uov_schedule::legality::{
-    order_respects_dependences, rectangular_tiling_legal, skew_factor_for_tiling,
-    skew_matrix_2d,
+    order_respects_dependences, rectangular_tiling_legal, skew_factor_for_tiling, skew_matrix_2d,
 };
 use uov_schedule::{random_topological_order, LoopSchedule};
 

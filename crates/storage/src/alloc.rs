@@ -47,7 +47,13 @@ mod tests {
     #[test]
     fn allocation_matches_ovmap_size() {
         let rect = RectDomain::new(ivec![0, 0], ivec![9, 6]);
-        for ov in [ivec![1, 1], ivec![2, 0], ivec![3, 1], ivec![1, -2], ivec![2, 2]] {
+        for ov in [
+            ivec![1, 1],
+            ivec![2, 0],
+            ivec![3, 1],
+            ivec![1, -2],
+            ivec![2, 2],
+        ] {
             let map = OvMap::new(&rect, ov.clone(), Layout::Interleaved);
             assert_eq!(
                 map.size() as u64,

@@ -172,7 +172,10 @@ mod tests {
         let lex: Vec<IVec> = dom.points().collect();
         let (ov, cells) = min_ov_for_schedule(&lex, &dom, &s, 3).expect("found");
         assert_eq!(ov, ivec![1, 1]);
-        assert_eq!(cells, OvMap::new(&dom, ivec![1, 1], Layout::Interleaved).size());
+        assert_eq!(
+            cells,
+            OvMap::new(&dom, ivec![1, 1], Layout::Interleaved).size()
+        );
     }
 
     fn no_diag() -> Stencil {
@@ -190,7 +193,10 @@ mod tests {
         let (ov, cells) = min_ov_for_schedule(&lex, &dom, &s, 3).expect("found");
         assert_eq!(ov, ivec![1, 0]);
         let uov_cells = OvMap::new(&dom, ivec![1, 1], Layout::Interleaved).size();
-        assert!(cells < uov_cells, "fixed-schedule {cells} vs UOV {uov_cells}");
+        assert!(
+            cells < uov_cells,
+            "fixed-schedule {cells} vs UOV {uov_cells}"
+        );
     }
 
     #[test]

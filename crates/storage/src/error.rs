@@ -1,0 +1,82 @@
+//! Typed errors for storage-mapping construction.
+
+use std::fmt;
+
+use uov_isg::IsgError;
+
+/// Error building a storage mapping from untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The occupancy vector is zero — it names no reuse direction.
+    ZeroVector,
+    /// The occupancy vector and the domain disagree on dimensionality.
+    DimMismatch {
+        /// Dimension of the domain.
+        domain: usize,
+        /// Dimension of the occupancy vector.
+        vector: usize,
+    },
+    /// The allocation (or an intermediate span product) does not fit in
+    /// the address space.
+    AllocationTooLarge,
+    /// Lattice arithmetic failed (overflow on adversarial coordinates, or
+    /// a degenerate/empty domain).
+    Isg(IsgError),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ZeroVector => {
+                write!(f, "occupancy vector must be non-zero")
+            }
+            MappingError::DimMismatch { domain, vector } => {
+                write!(
+                    f,
+                    "occupancy vector dimension {vector} does not match domain dimension {domain}"
+                )
+            }
+            MappingError::AllocationTooLarge => {
+                write!(f, "storage allocation exceeds the addressable range")
+            }
+            MappingError::Isg(e) => write!(f, "lattice arithmetic failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MappingError::Isg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsgError> for MappingError {
+    fn from(e: IsgError) -> Self {
+        MappingError::Isg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(MappingError::ZeroVector.to_string().contains("non-zero"));
+        assert!(MappingError::DimMismatch {
+            domain: 2,
+            vector: 3
+        }
+        .to_string()
+        .contains("3"));
+        assert!(MappingError::AllocationTooLarge
+            .to_string()
+            .contains("allocation"));
+        let e: MappingError = IsgError::Overflow("dot product").into();
+        assert!(matches!(e, MappingError::Isg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

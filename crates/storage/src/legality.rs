@@ -284,7 +284,10 @@ mod tests {
         let interchanged = LoopSchedule::Interchange(vec![1, 0]).order(&dom);
         let err = check_order(&interchanged, &dom, &s, &map).unwrap_err();
         let msg = format!("{err}");
-        assert!(msg.contains("cell"), "message should mention the cell: {msg}");
+        assert!(
+            msg.contains("cell"),
+            "message should mention the cell: {msg}"
+        );
     }
 
     #[test]

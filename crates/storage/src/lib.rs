@@ -39,11 +39,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alloc;
 pub mod baseline;
+pub mod error;
 pub mod legality;
 pub mod mapping;
 
+pub use error::MappingError;
 pub use legality::{check_order, Conflict};
 pub use mapping::{Layout, NaturalMap, OvMap, StorageMap};

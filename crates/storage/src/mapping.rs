@@ -3,8 +3,10 @@
 use std::fmt;
 
 use uov_isg::num::floor_mod;
-use uov_isg::project::form_range;
+use uov_isg::project::try_form_range;
 use uov_isg::{IMat, IVec, IterationDomain, RectDomain};
+
+use crate::error::MappingError;
 
 /// A function mapping each iteration of a domain to a storage cell index in
 /// `0 .. size()`.
@@ -48,14 +50,39 @@ pub struct NaturalMap {
 
 impl NaturalMap {
     /// Row-major expansion over the rectangular domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has more points than the address space holds.
+    /// Use [`NaturalMap::try_new`] on untrusted input.
     pub fn new(domain: &RectDomain) -> Self {
+        match Self::try_new(domain) {
+            Ok(m) => m,
+            Err(e) => panic!("natural mapping construction failed: {e}"),
+        }
+    }
+
+    /// [`NaturalMap::new`] returning [`MappingError::AllocationTooLarge`]
+    /// instead of panicking on oversized domains.
+    pub fn try_new(domain: &RectDomain) -> Result<Self, MappingError> {
         let d = domain.dim();
         let mut strides = vec![1i64; d];
         for k in (0..d.saturating_sub(1)).rev() {
-            strides[k] = strides[k + 1] * domain.extent(k + 1);
+            strides[k] = strides[k + 1]
+                .checked_mul(domain.extent(k + 1))
+                .ok_or(MappingError::AllocationTooLarge)?;
         }
-        let size = (domain.num_points()).try_into().expect("domain too large");
-        NaturalMap { lo: domain.lo().clone(), strides, size }
+        // The address computation in `map` runs in i64, so the whole
+        // allocation must fit there, not merely in usize.
+        let size = (0..d)
+            .try_fold(1i64, |acc, k| acc.checked_mul(domain.extent(k)))
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or(MappingError::AllocationTooLarge)?;
+        Ok(NaturalMap {
+            lo: domain.lo().clone(),
+            strides,
+            size,
+        })
     }
 }
 
@@ -65,7 +92,10 @@ impl StorageMap for NaturalMap {
         for k in 0..q.dim() {
             idx += (q[k] - self.lo[k]) * self.strides[k];
         }
-        usize::try_from(idx).expect("point below domain lower corner")
+        match usize::try_from(idx) {
+            Ok(a) => a,
+            Err(_) => panic!("point {q} below domain lower corner"),
+        }
     }
 
     fn size(&self) -> usize {
@@ -91,9 +121,11 @@ impl StorageMap for NaturalMap {
 ///   "two rows stored consecutively" variant.
 ///
 /// For prime OVs (`g = 1`) the layouts coincide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Layout {
     /// Alternate cells of the residue classes (`addr = class·g + residue`).
+    /// The paper's primary layout, hence the default.
+    #[default]
     Interleaved,
     /// Give each residue class a contiguous block (`addr = class + residue·L`).
     Blocked,
@@ -146,26 +178,63 @@ impl OvMap {
     ///
     /// # Panics
     ///
-    /// Panics if `ov` is zero or its dimension differs from the domain's.
+    /// Panics if `ov` is zero, its dimension differs from the domain's, the
+    /// allocation overflows the address space, or the coordinates overflow
+    /// during lattice reduction. Use [`OvMap::try_new`] on untrusted input.
     pub fn new(domain: &dyn IterationDomain, ov: IVec, layout: Layout) -> Self {
-        assert!(!ov.is_zero(), "occupancy vector must be non-zero");
-        assert_eq!(ov.dim(), domain.dim(), "dimension mismatch");
-        let g = ov.content();
-        let w = IMat::lattice_reduction(&ov);
+        match Self::try_new(domain, ov, layout) {
+            Ok(m) => m,
+            Err(MappingError::ZeroVector) => {
+                panic!("occupancy vector must be non-zero")
+            }
+            Err(MappingError::DimMismatch { .. }) => panic!("dimension mismatch"),
+            Err(e) => panic!("OV mapping construction failed: {e}"),
+        }
+    }
+
+    /// [`OvMap::new`] returning [`MappingError`] instead of panicking on a
+    /// zero vector, dimension mismatch, coordinate overflow, or an
+    /// allocation beyond the address space.
+    pub fn try_new(
+        domain: &dyn IterationDomain,
+        ov: IVec,
+        layout: Layout,
+    ) -> Result<Self, MappingError> {
+        if ov.is_zero() {
+            return Err(MappingError::ZeroVector);
+        }
+        if ov.dim() != domain.dim() {
+            return Err(MappingError::DimMismatch {
+                domain: domain.dim(),
+                vector: ov.dim(),
+            });
+        }
+        let g = ov.try_content()?;
+        let w = IMat::try_lattice_reduction(&ov)?;
         let d = ov.dim();
         let mut class_forms = Vec::with_capacity(d - 1);
         let mut shifts = Vec::with_capacity(d - 1);
         let mut spans = Vec::with_capacity(d - 1);
         for r in 1..d {
             let form = w.row(r);
-            let (lo, hi) = form_range(domain, &form);
+            let (lo, hi) = try_form_range(domain, &form)?;
+            let span = hi
+                .checked_sub(lo)
+                .and_then(|s| s.checked_add(1))
+                .ok_or(MappingError::AllocationTooLarge)?;
             class_forms.push(form);
             shifts.push(lo);
-            spans.push(hi - lo + 1);
+            spans.push(span);
         }
-        let classes: i64 = spans.iter().product();
-        let size = usize::try_from(classes * g).expect("allocation too large");
-        OvMap {
+        let classes = spans
+            .iter()
+            .try_fold(1i64, |acc, &s| acc.checked_mul(s))
+            .ok_or(MappingError::AllocationTooLarge)?;
+        let size = classes
+            .checked_mul(g)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or(MappingError::AllocationTooLarge)?;
+        Ok(OvMap {
             ov,
             g,
             class_forms,
@@ -174,7 +243,7 @@ impl OvMap {
             spans,
             layout,
             size,
-        }
+        })
     }
 
     /// The occupancy vector realised by this mapping.
@@ -302,7 +371,10 @@ mod tests {
         use uov_isg::IterationDomain as _;
         for q in dom.points() {
             let a = map.map(&q) as i64;
-            assert!((0..n + m + 1).contains(&a), "address {a} out of range at {q}");
+            assert!(
+                (0..n + m + 1).contains(&a),
+                "address {a} out of range at {q}"
+            );
             // Reuse exactly along the OV.
             let r = &q + &ivec![1, 1];
             if dom.contains(&r) {
@@ -343,7 +415,10 @@ mod tests {
         // Skewed non-prime OVs leave a few corner cells unused (a corner
         // class holds a single point, so only one of its g residues occurs);
         // the used count still equals the exact occupied-class count.
-        for (ov, layout) in [(ivec![2, 2], Layout::Blocked), (ivec![2, 2], Layout::Interleaved)] {
+        for (ov, layout) in [
+            (ivec![2, 2], Layout::Blocked),
+            (ivec![2, 2], Layout::Interleaved),
+        ] {
             let map = OvMap::new(&dom, ov.clone(), layout);
             let mut seen = vec![false; map.size()];
             for p in dom.points() {
@@ -372,17 +447,12 @@ mod tests {
                 for b in &pts {
                     let same = map.map(a) == map.map(b);
                     let diff = a - b;
-                    let along = !diff.is_zero()
-                        && diff.content() != 0
-                        && {
-                            // diff = k·ov for integer k?
-                            let k_num = diff[0];
-                            let k_den = ov[0];
-                            k_den != 0
-                                && k_num % k_den == 0
-                                && &ov * (k_num / k_den) == diff
-                        }
-                        || diff.is_zero();
+                    let along = !diff.is_zero() && diff.content() != 0 && {
+                        // diff = k·ov for integer k?
+                        let k_num = diff[0];
+                        let k_den = ov[0];
+                        k_den != 0 && k_num % k_den == 0 && &ov * (k_num / k_den) == diff
+                    } || diff.is_zero();
                     assert_eq!(same, along, "a={a} b={b} layout={layout:?}");
                 }
             }
@@ -451,13 +521,55 @@ mod tests {
         let dom = RectDomain::grid(3, 3);
         let _ = OvMap::new(&dom, IVec::zero(2), Layout::Interleaved);
     }
+
+    #[test]
+    fn try_new_reports_errors_instead_of_panicking() {
+        let dom = RectDomain::grid(3, 3);
+        assert_eq!(
+            OvMap::try_new(&dom, IVec::zero(2), Layout::Interleaved).unwrap_err(),
+            MappingError::ZeroVector
+        );
+        assert_eq!(
+            OvMap::try_new(&dom, ivec![1, 1, 1], Layout::Interleaved).unwrap_err(),
+            MappingError::DimMismatch {
+                domain: 2,
+                vector: 3
+            }
+        );
+        // Adversarial coordinates: the lattice reduction overflows.
+        assert!(matches!(
+            OvMap::try_new(&dom, ivec![i64::MIN, 0], Layout::Interleaved),
+            Err(MappingError::Isg(_))
+        ));
+        // A domain whose projected span cannot be allocated.
+        let huge = RectDomain::new(ivec![0, 0], ivec![i64::MAX - 1, i64::MAX - 1]);
+        assert!(matches!(
+            OvMap::try_new(&huge, ivec![1, 1], Layout::Interleaved),
+            Err(MappingError::AllocationTooLarge)
+        ));
+        // The happy path agrees with the panicking constructor.
+        let a = OvMap::try_new(&dom, ivec![1, 1], Layout::Interleaved).unwrap();
+        let b = OvMap::new(&dom, ivec![1, 1], Layout::Interleaved);
+        assert_eq!(a.size(), b.size());
+    }
+
+    #[test]
+    fn natural_try_new_rejects_oversized_domain() {
+        let huge = RectDomain::new(ivec![0, 0], ivec![i64::MAX - 1, i64::MAX - 1]);
+        assert_eq!(
+            NaturalMap::try_new(&huge).unwrap_err(),
+            MappingError::AllocationTooLarge
+        );
+        let ok = NaturalMap::try_new(&RectDomain::grid(3, 4)).unwrap();
+        assert_eq!(ok.size(), 12);
+    }
 }
 
 #[cfg(test)]
 mod domain_shape_tests {
     //! OvMap over non-rectangular domains: the paper's footnote-6 ISGs.
     use super::*;
-    use uov_isg::{ivec, HalfspaceDomain2, IterationDomain as _, Polygon2};
+    use uov_isg::{ivec, HalfspaceDomain2, Polygon2};
 
     #[test]
     fn ovmap_on_fig3_polygon() {

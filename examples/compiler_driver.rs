@@ -8,15 +8,24 @@ use uov::driver::plan;
 use uov::loopir::{codegen, examples};
 use uov::storage::Layout;
 
-fn main() {
+fn main() -> Result<(), uov::Error> {
     for (name, nest) in [
-        ("figure-1 running example (12×8)", examples::fig1_nest(12, 8)),
-        ("5-point stencil (T=6, L=24)", examples::stencil5_nest(6, 24)),
-        ("protein string matching (10×14)", examples::psm_nest(10, 14)),
+        (
+            "figure-1 running example (12×8)",
+            examples::fig1_nest(12, 8),
+        ),
+        (
+            "5-point stencil (T=6, L=24)",
+            examples::stencil5_nest(6, 24),
+        ),
+        (
+            "protein string matching (10×14)",
+            examples::psm_nest(10, 14),
+        ),
     ] {
         println!("======== {name} ========\n");
         println!("-- original --\n{}", codegen::emit_natural(&nest));
-        let p = plan(&nest, Layout::Interleaved);
+        let p = plan(&nest, Layout::Interleaved)?;
         for (idx, stmt) in p.statements.iter().enumerate() {
             match stmt {
                 Err(e) => println!("statement {idx}: not UOV-eligible: {e}"),
@@ -33,10 +42,7 @@ fn main() {
             if p.rectangular_tiling_legal {
                 "rectangular tiling legal as-is".to_string()
             } else {
-                format!(
-                    "needs skew j' = j + {}·i",
-                    p.skew_factor.expect("2-D nest")
-                )
+                format!("needs skew j' = j + {}·i", p.skew_factor.expect("2-D nest"))
             }
         );
         if let Some(Ok(s)) = p.statements.first() {
@@ -45,4 +51,26 @@ fn main() {
             }
         }
     }
+
+    // The same pass under a hard real-time budget: statements whose search
+    // is cut short keep the best legal UOV found and record a degradation.
+    // (An already-expired deadline, so the degraded path always shows; a
+    // real pass would use e.g. `with_deadline(Duration::from_millis(1))`.)
+    use std::time::Duration;
+    use uov::core::Budget;
+    use uov::driver::{plan_with, PlanConfig};
+    let nest = examples::stencil5_nest(6, 24);
+    let config = PlanConfig {
+        layout: Layout::Interleaved,
+        budget: Budget::unlimited().with_deadline(Duration::ZERO),
+    };
+    let p = plan_with(&nest, &config)?;
+    println!("======== budgeted pass (expired deadline) ========\n");
+    for stmt in p.statements.iter().flatten() {
+        match &stmt.degradation {
+            Some(d) => println!("UOV {} — {d}", stmt.uov),
+            None => println!("UOV {} — search ran to completion", stmt.uov),
+        }
+    }
+    Ok(())
 }

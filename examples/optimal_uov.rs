@@ -11,16 +11,19 @@ use uov::isg::{ivec, Polygon2, Stencil};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Figure 3: on a skewed ISG, the shortest UOV wastes storage. ---
-    let stencil = Stencil::new(vec![
-        ivec![1, -1],
-        ivec![1, 0],
-        ivec![1, 1],
-        ivec![0, 1],
-    ])?;
+    let stencil = Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![0, 1]])?;
     let isg = Polygon2::fig3_isg();
 
-    let shortest = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
-    let storage = find_best_uov(&stencil, Objective::KnownBounds(&isg), &SearchConfig::default());
+    let shortest = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )?;
+    let storage = find_best_uov(
+        &stencil,
+        Objective::KnownBounds(&isg),
+        &SearchConfig::default(),
+    )?;
     println!("Figure-3 ISG (skewed parallelogram):");
     println!(
         "  shortest UOV    = {}  → {} storage cells",
@@ -46,11 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let res = find_best_uov(
             &stencil5,
             Objective::ShortestVector,
-            &SearchConfig { max_visits: (budget != u64::MAX).then_some(budget) },
-        );
+            &SearchConfig {
+                max_visits: (budget != u64::MAX).then_some(budget),
+                ..SearchConfig::default()
+            },
+        )?;
         println!(
             "  max_visits {:>4} → UOV {} (len² {}) complete={}",
-            if budget == u64::MAX { "∞".to_string() } else { budget.to_string() },
+            if budget == u64::MAX {
+                "∞".to_string()
+            } else {
+                budget.to_string()
+            },
             res.uov,
             res.cost,
             res.stats.complete
@@ -59,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- NP-completeness: PARTITION answered through UOV membership. ---
     println!("\nPARTITION via the §3.1 reduction:");
-    for values in [vec![3, 1, 1, 2, 2, 1], vec![1, 3], vec![8, 7, 6, 5, 4, 3, 2, 1]] {
+    for values in [
+        vec![3, 1, 1, 2, 2, 1],
+        vec![1, 3],
+        vec![8, 7, 6, 5, 4, 3, 2, 1],
+    ] {
         let inst = PartitionInstance::new(values.clone())?;
         let dp = inst.solve_brute();
         let uov = inst.solve_via_uov();

@@ -35,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = WeightTable::synthetic(5);
     let cfg = PsmConfig { n0, n1, tile: None };
 
-    let reference = run(&mut PlainMemory::new(), Variant::Natural, &cfg, &s0, &s1, &table);
+    let reference = run(
+        &mut PlainMemory::new(),
+        Variant::Natural,
+        &cfg,
+        &s0,
+        &s1,
+        &table,
+    );
     println!("aligning |s0| = {n0} vs |s1| = {n1}: best local score = {reference}");
     println!(
         "\n{:<22}{:>16}{:>22}{:>22}",

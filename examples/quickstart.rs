@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("initial UOV Σvᵢ    : {}", stencil.sum());
 
     // Branch-and-bound finds the optimal (shortest) UOV — here (1,1).
-    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+    let best = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )?;
     println!(
         "optimal UOV        : {}  (visited {} offsets, {} pruned)",
         best.uov, best.stats.visited, best.stats.pruned
@@ -62,17 +66,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LoopSchedule::Wavefront(ivec![1, 1]),
     ] {
         let order = schedule.order(&domain);
-        check_order(&order, &domain, &stencil, &mapped)
-            .map_err(|c| format!("{schedule}: {c}"))?;
+        check_order(&order, &domain, &stencil, &mapped).map_err(|c| format!("{schedule}: {c}"))?;
         println!("verified           : conflict-free under {schedule}");
     }
     for seed in 0..5 {
         let order = random_topological_order(&domain, &stencil, seed);
-        check_order(&order, &domain, &stencil, &mapped)
-            .map_err(|c| format!("seed {seed}: {c}"))?;
+        check_order(&order, &domain, &stencil, &mapped).map_err(|c| format!("seed {seed}: {c}"))?;
     }
     println!("verified           : conflict-free under 5 random legal orders");
-    println!("\nThe UOV mapping folds {}x less storage in, with no schedule restrictions.",
-        natural.size() / mapped.size());
+    println!(
+        "\nThe UOV mapping folds {}x less storage in, with no schedule restrictions.",
+        natural.size() / mapped.size()
+    );
     Ok(())
 }

@@ -24,14 +24,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("tiling      : illegal as-is; legal after skew j' = j + {skew}·t");
 
     // 3. The optimal UOV is (2,0) — two rows of storage, Figure 5.
-    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
-    println!("optimal UOV : {} (searched {} offsets)", best.uov, best.stats.visited);
+    let best = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )?;
+    println!(
+        "optimal UOV : {} (searched {} offsets)",
+        best.uov, best.stats.visited
+    );
 
     // 4. Run every variant on a simulated Pentium Pro; results must be
     //    bit-identical, cycles differ.
     let (len, t_steps) = (200_000usize, 4usize);
     let input = workloads::random_f32(len, 1);
-    let cfg = Stencil5Config { len, time_steps: t_steps, tile: None };
+    let cfg = Stencil5Config {
+        len,
+        time_steps: t_steps,
+        tile: None,
+    };
 
     let reference = run(&mut PlainMemory::new(), Variant::Natural, &cfg, &input);
     println!("\nL = {len}, T = {t_steps}:");
@@ -57,10 +68,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    wavefronts of skewed tiles run on real threads, race-free by the
     //    UOV theorem.
     use uov::kernels::parallel::run_stencil5_wavefront;
-    let par_cfg = Stencil5Config { len, time_steps: 16, tile: Some((4, 4096)) };
+    let par_cfg = Stencil5Config {
+        len,
+        time_steps: 16,
+        tile: Some((4, 4096)),
+    };
     let big_input = workloads::random_f32(len, 1);
     let seq_start = std::time::Instant::now();
-    let seq = run(&mut PlainMemory::new(), Variant::OvBlocked, &par_cfg, &big_input);
+    let seq = run(
+        &mut PlainMemory::new(),
+        Variant::OvBlocked,
+        &par_cfg,
+        &big_input,
+    );
     let seq_time = seq_start.elapsed();
     let par_start = std::time::Instant::now();
     let par = run_stencil5_wavefront(&par_cfg, &big_input, 4);

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal, API-compatible subset instead of the
+//! real `rand`. It provides exactly what the workspace uses:
+//!
+//! * [`rngs::StdRng`] / [`rngs::SmallRng`] — a deterministic splitmix64
+//!   generator (NOT cryptographic, NOT the real StdRng stream);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over integer and float ranges.
+//!
+//! Determinism per seed is the only property callers rely on (seeded
+//! workload generators and reproducible schedules), and this shim keeps
+//! it. Streams differ from the real `rand`, which is fine because no
+//! golden values depend on the exact stream.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level generator interface: a source of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (modulo bias is acceptable here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+        Self: Sized,
+    {
+        T::sample_range(self, &range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Draw one sample from `range` using `rng`.
+    fn sample_range<G: RngCore, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                let lo: i128 = match range.start_bound() {
+                    Bound::Included(&b) => b as i128,
+                    Bound::Excluded(&b) => b as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Bound::Included(&b) => b as i128,
+                    Bound::Excluded(&b) => b as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let width = (hi - lo + 1) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % width;
+                (lo + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                let lo = match range.start_bound() {
+                    Bound::Included(&b) | Bound::Excluded(&b) => b,
+                    Bound::Unbounded => 0.0,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&b) | Bound::Excluded(&b) => b,
+                    Bound::Unbounded => 1.0,
+                };
+                assert!(lo < hi, "cannot sample from an empty float range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// The generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic splitmix64 generator (shim for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    /// Alias of [`StdRng`] in this shim.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): passes BigCrush, one u64 of
+            // state, and every seed yields an independent-looking stream.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-4i64..=3);
+            assert!((-4..=3).contains(&v));
+            let u = rng.gen_range(0u8..23);
+            assert!(u < 23);
+            let f = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_i64_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+    }
+}

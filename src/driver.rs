@@ -7,7 +7,10 @@
 //!    statement's flow stencil; non-regular statements are reported, not
 //!    silently skipped.
 //! 2. **UOV selection** (§3): branch-and-bound per statement, using the
-//!    known-bounds objective since the nest's domain is concrete.
+//!    known-bounds objective since the nest's domain is concrete. The
+//!    search honours a caller-supplied [`Budget`]; when it runs out, the
+//!    statement keeps the best legal UOV found (at worst `Σvᵢ`) and the
+//!    plan records the [`Degradation`].
 //! 3. **Mapping construction** (§4): an [`OvMap`] per statement, with the
 //!    modterm layout chosen by the caller.
 //! 4. **Schedule advice** (§2/§5): whether rectangular tiling is already
@@ -22,13 +25,16 @@
 //! use uov::storage::Layout;
 //!
 //! let nest = examples::fig1_nest(32, 16);
-//! let plan = plan(&nest, Layout::Interleaved);
+//! let plan = plan(&nest, Layout::Interleaved)?;
 //! let stmt = &plan.statements[0].as_ref().expect("regular statement");
 //! assert_eq!(stmt.uov.to_string(), "(1, 1)");
+//! assert!(stmt.degradation.is_none()); // search ran to completion
 //! assert!(plan.rectangular_tiling_legal);
 //! assert!(stmt.natural_cells > stmt.mapped_cells);
+//! # Ok::<(), uov::Error>(())
 //! ```
 
+use uov_core::budget::{Budget, Degradation};
 use uov_core::search::{find_best_uov, Objective, SearchConfig};
 use uov_isg::{IVec, IterationDomain as _, Stencil};
 use uov_loopir::analysis::{flow_stencil, AnalysisError};
@@ -36,12 +42,26 @@ use uov_loopir::{codegen, LoopNest};
 use uov_schedule::legality;
 use uov_storage::{Layout, OvMap, StorageMap as _};
 
+use crate::error::Error;
+
+/// Tunables for [`plan_with`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanConfig {
+    /// Modterm layout for non-prime occupancy vectors.
+    pub layout: Layout,
+    /// Resource budget applied to each statement's UOV search. A deadline
+    /// or cancellation token is global (every statement shares the same
+    /// wall clock and flag); node and memo caps apply per statement.
+    pub budget: Budget,
+}
+
 /// The storage plan for one regular statement.
 #[derive(Debug)]
 pub struct StatementPlan {
     /// The statement's flow-dependence stencil.
     pub stencil: Stencil,
-    /// The storage-minimal universal occupancy vector for this domain.
+    /// The storage-minimal universal occupancy vector for this domain —
+    /// or, if the budget ran out, the best legal UOV found in time.
     pub uov: IVec,
     /// The constructed mapping.
     pub map: OvMap,
@@ -49,6 +69,9 @@ pub struct StatementPlan {
     pub natural_cells: u64,
     /// Cells of the OV-mapped storage.
     pub mapped_cells: u64,
+    /// Present iff the UOV search was cut short by the budget; the UOV
+    /// above is still universal, merely possibly non-optimal.
+    pub degradation: Option<Degradation>,
     /// Transformed pseudocode (2-D nests only; `None` otherwise).
     pub code: Option<String>,
 }
@@ -67,10 +90,48 @@ pub struct TransformPlan {
     pub skew_factor: Option<i64>,
 }
 
-/// Derive the complete schedule-independent storage plan for `nest`.
+impl TransformPlan {
+    /// Degradation records of every budget-truncated statement search.
+    pub fn degradations(&self) -> Vec<&Degradation> {
+        self.statements
+            .iter()
+            .filter_map(|s| s.as_ref().ok())
+            .filter_map(|s| s.degradation.as_ref())
+            .collect()
+    }
+}
+
+/// Derive the complete schedule-independent storage plan for `nest` with
+/// an unlimited budget.
 ///
-/// Never panics on irregular statements — they surface as `Err` entries.
-pub fn plan(nest: &LoopNest, layout: Layout) -> TransformPlan {
+/// Irregular statements never fail the whole plan — they surface as `Err`
+/// entries in [`TransformPlan::statements`].
+///
+/// # Errors
+///
+/// Hard failures only: coordinates outside `i64` range anywhere in the
+/// pipeline, a stencil too large for the search, or a mapping whose
+/// allocation cannot be addressed.
+pub fn plan(nest: &LoopNest, layout: Layout) -> Result<TransformPlan, Error> {
+    plan_with(
+        nest,
+        &PlanConfig {
+            layout,
+            budget: Budget::unlimited(),
+        },
+    )
+}
+
+/// [`plan`] with an explicit [`PlanConfig`] (layout and search budget).
+///
+/// When the budget expires mid-search, the affected statements keep their
+/// best incumbent UOV — at worst the always-legal initial UOV `Σvᵢ` — and
+/// carry a [`Degradation`] record; this function still returns `Ok`.
+///
+/// # Errors
+///
+/// Same hard failures as [`plan`].
+pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, Error> {
     let mut statements = Vec::with_capacity(nest.stmts().len());
     let mut union: Vec<IVec> = Vec::new();
     for stmt in 0..nest.stmts().len() {
@@ -78,20 +139,26 @@ pub fn plan(nest: &LoopNest, layout: Layout) -> TransformPlan {
             Err(e) => statements.push(Err(e)),
             Ok(stencil) => {
                 union.extend(stencil.vectors().iter().cloned());
+                let search_config = SearchConfig {
+                    max_visits: None,
+                    // Fresh node counter per statement; deadline and
+                    // cancellation stay global through the clone.
+                    budget: config.budget.clone(),
+                };
                 let best = find_best_uov(
                     &stencil,
                     Objective::KnownBounds(nest.domain()),
-                    &SearchConfig::default(),
-                );
-                let map = OvMap::new(nest.domain(), best.uov.clone(), layout);
-                let code = (nest.depth() == 2)
-                    .then(|| codegen::emit_ov_mapped(nest, stmt, &map));
+                    &search_config,
+                )?;
+                let map = OvMap::try_new(nest.domain(), best.uov.clone(), config.layout)?;
+                let code = (nest.depth() == 2).then(|| codegen::emit_ov_mapped(nest, stmt, &map));
                 statements.push(Ok(StatementPlan {
                     natural_cells: nest.domain().num_points(),
                     mapped_cells: map.size() as u64,
                     stencil,
                     uov: best.uov,
                     map,
+                    degradation: best.degradation,
                     code,
                 }));
             }
@@ -109,31 +176,43 @@ pub fn plan(nest: &LoopNest, layout: Layout) -> TransformPlan {
         }
         Err(_) => (true, Some(0)), // no carried dependences at all
     };
-    TransformPlan { statements, rectangular_tiling_legal, skew_factor }
+    Ok(TransformPlan {
+        statements,
+        rectangular_tiling_legal,
+        skew_factor,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+    use uov_core::budget::Exhausted;
+    use uov_core::DoneOracle;
     use uov_loopir::examples;
 
     #[test]
     fn fig1_plan() {
         let nest = examples::fig1_nest(10, 6);
-        let p = plan(&nest, Layout::Interleaved);
+        let p = plan(&nest, Layout::Interleaved).unwrap();
         assert_eq!(p.statements.len(), 1);
         let s = p.statements[0].as_ref().unwrap();
         assert_eq!(s.uov, IVec::from([1, 1]));
+        assert!(s.degradation.is_none());
         assert!(p.rectangular_tiling_legal);
         assert_eq!(p.skew_factor, Some(0));
-        assert!(s.code.as_ref().unwrap().contains("for (i = 1; i <= 10; i++)"));
+        assert!(s
+            .code
+            .as_ref()
+            .unwrap()
+            .contains("for (i = 1; i <= 10; i++)"));
         assert!(s.mapped_cells < s.natural_cells);
     }
 
     #[test]
     fn stencil5_plan_needs_skew() {
         let nest = examples::stencil5_nest(6, 20);
-        let p = plan(&nest, Layout::Blocked);
+        let p = plan(&nest, Layout::Blocked).unwrap();
         let s = p.statements[0].as_ref().unwrap();
         assert_eq!(s.uov[0], 2, "two time steps of reuse");
         assert!(!p.rectangular_tiling_legal);
@@ -143,7 +222,7 @@ mod tests {
     #[test]
     fn psm_plan_has_two_statements() {
         let nest = examples::psm_nest(8, 8);
-        let p = plan(&nest, Layout::Interleaved);
+        let p = plan(&nest, Layout::Interleaved).unwrap();
         assert_eq!(p.statements.len(), 2);
         assert!(p.statements.iter().all(|s| s.is_ok()));
         // Rectangular tiling is legal for the combined dependences.
@@ -158,8 +237,14 @@ mod tests {
         let nest = LoopNest::new(
             uov_isg::RectDomain::grid(3, 3),
             vec![
-                ArrayDecl { name: "A".into(), rank: 2 },
-                ArrayDecl { name: "B".into(), rank: 2 },
+                ArrayDecl {
+                    name: "A".into(),
+                    rank: 2,
+                },
+                ArrayDecl {
+                    name: "B".into(),
+                    rank: 2,
+                },
             ],
             vec![Assign {
                 array: 1,
@@ -168,11 +253,48 @@ mod tests {
             }],
         )
         .unwrap();
-        let p = plan(&nest, Layout::Interleaved);
+        let p = plan(&nest, Layout::Interleaved).unwrap();
         assert!(matches!(
             p.statements[0],
             Err(AnalysisError::NoCarriedDependence)
         ));
         assert!(p.rectangular_tiling_legal);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_legal_uov() {
+        let nest = examples::stencil5_nest(6, 20);
+        let config = PlanConfig {
+            layout: Layout::Interleaved,
+            budget: Budget::unlimited().with_deadline(Duration::ZERO),
+        };
+        let p = plan_with(&nest, &config).unwrap();
+        let s = p.statements[0].as_ref().unwrap();
+        let d = s
+            .degradation
+            .as_ref()
+            .expect("expired deadline must degrade");
+        assert_eq!(d.reason, Exhausted::Deadline);
+        assert_eq!(p.degradations().len(), 1);
+        // The degraded UOV is still universal for the stencil.
+        assert!(DoneOracle::new(&s.stencil).is_uov(&s.uov));
+        // And the mapping realises it.
+        assert_eq!(s.map.ov(), &s.uov);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_plan() {
+        let nest = examples::fig1_nest(10, 6);
+        let config = PlanConfig {
+            layout: Layout::Interleaved,
+            budget: Budget::unlimited()
+                .with_deadline(Duration::from_secs(60))
+                .with_max_nodes(10_000_000),
+        };
+        let p = plan_with(&nest, &config).unwrap();
+        let s = p.statements[0].as_ref().unwrap();
+        assert_eq!(s.uov, IVec::from([1, 1]));
+        assert!(s.degradation.is_none());
+        assert!(p.degradations().is_empty());
     }
 }

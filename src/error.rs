@@ -1,0 +1,100 @@
+//! The workspace-wide error type of the facade.
+
+use std::fmt;
+
+use uov_core::error::SearchError;
+use uov_isg::IsgError;
+use uov_loopir::analysis::AnalysisError;
+use uov_storage::MappingError;
+
+/// Any error the end-to-end pipeline can produce.
+///
+/// The driver reserves this for *hard* failures — inputs out of numeric
+/// range, impossible mappings. Recoverable conditions degrade instead:
+/// irregular statements surface as per-statement [`AnalysisError`]s inside
+/// the plan, and budget exhaustion yields a legal-but-possibly-suboptimal
+/// UOV carrying a [`Degradation`](uov_core::budget::Degradation) record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Dependence analysis failed for the whole nest (not per-statement).
+    Analysis(AnalysisError),
+    /// Lattice arithmetic overflowed on adversarial coordinates.
+    Isg(IsgError),
+    /// The UOV search rejected the instance (too many vectors, dimension
+    /// mismatch, numeric range).
+    Search(SearchError),
+    /// Storage-mapping construction failed.
+    Mapping(MappingError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Analysis(e) => write!(f, "dependence analysis failed: {e}"),
+            Error::Isg(e) => write!(f, "lattice arithmetic failed: {e}"),
+            Error::Search(e) => write!(f, "UOV search failed: {e}"),
+            Error::Mapping(e) => write!(f, "storage mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Analysis(e) => Some(e),
+            Error::Isg(e) => Some(e),
+            Error::Search(e) => Some(e),
+            Error::Mapping(e) => Some(e),
+        }
+    }
+}
+
+impl From<AnalysisError> for Error {
+    fn from(e: AnalysisError) -> Self {
+        Error::Analysis(e)
+    }
+}
+
+impl From<IsgError> for Error {
+    fn from(e: IsgError) -> Self {
+        Error::Isg(e)
+    }
+}
+
+impl From<SearchError> for Error {
+    fn from(e: SearchError) -> Self {
+        // Flatten: an Isg failure inside the search is still an Isg failure.
+        match e {
+            SearchError::Isg(inner) => Error::Isg(inner),
+            other => Error::Search(other),
+        }
+    }
+}
+
+impl From<MappingError> for Error {
+    fn from(e: MappingError) -> Self {
+        match e {
+            MappingError::Isg(inner) => Error::Isg(inner),
+            other => Error::Mapping(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_flatten_isg_causes() {
+        let e: Error = SearchError::Isg(IsgError::ZeroVector).into();
+        assert!(matches!(e, Error::Isg(IsgError::ZeroVector)));
+        let e: Error = MappingError::AllocationTooLarge.into();
+        assert!(matches!(
+            e,
+            Error::Mapping(MappingError::AllocationTooLarge)
+        ));
+        let e: Error = SearchError::TooManyVectors(64).into();
+        assert!(e.to_string().contains("64"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -38,7 +38,7 @@
 //! let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])?;
 //!
 //! // 2. Find the optimal universal occupancy vector.
-//! let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+//! let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default())?;
 //! assert_eq!(best.uov, ivec![1, 1]);
 //!
 //! // 3. Build the storage mapping: n+m+1 cells instead of n·m.
@@ -52,8 +52,12 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod driver;
+pub mod error;
+
+pub use error::Error;
 
 pub use uov_bench as bench;
 pub use uov_core as core;

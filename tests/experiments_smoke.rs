@@ -10,7 +10,11 @@ fn every_experiment_runs_and_is_nonempty() {
             .unwrap_or_else(|| panic!("unknown experiment {name}"));
         assert!(!tables.is_empty(), "{name} produced no tables");
         for t in &tables {
-            assert!(!t.rows().is_empty(), "{name}: table `{}` is empty", t.title());
+            assert!(
+                !t.rows().is_empty(),
+                "{name}: table `{}` is empty",
+                t.title()
+            );
             assert!(t.to_markdown().contains("###"));
             assert!(!t.to_csv().is_empty());
         }
@@ -36,11 +40,7 @@ fn series(table: &uov::bench::Table, label: &str) -> Vec<f64> {
 #[test]
 fn stencil_scaling_shapes_hold_on_all_machines() {
     for machine in 0..3 {
-        let t = &experiments::run(
-            ["fig9", "fig10", "fig11"][machine],
-            Scale::Quick,
-        )
-        .unwrap()[0];
+        let t = &experiments::run(["fig9", "fig10", "fig11"][machine], Scale::Quick).unwrap()[0];
         let natural = series(t, "Natural");
         let ov_tiled = series(t, "OV-Mapped Tiled");
         // At the largest quick size the tiled OV version wins against
@@ -76,7 +76,7 @@ fn npc_table_agrees_everywhere() {
 #[test]
 fn ablation_confirms_optimality() {
     let tables = experiments::run("ablation", Scale::Quick).unwrap();
-    assert_eq!(tables.len(), 3);
+    assert_eq!(tables.len(), 4);
     for row in tables[0].rows() {
         if row[7] != "(skipped)" {
             assert_eq!(row[7], "true", "B&B missed the optimum: {row:?}");

@@ -1,0 +1,253 @@
+//! Fault injection: adversarial inputs and starvation budgets against the
+//! whole engine. The contract under attack:
+//!
+//! 1. **No panics.** Malformed or extreme inputs produce `Err`, never a
+//!    crash — library crates deny `unwrap`/`expect` outside tests.
+//! 2. **Budgets are respected.** The node cap is exact; deadline and
+//!    cancellation overshoot is bounded by one check interval of node
+//!    expansions ([`Budget::CHECK_INTERVAL`]).
+//! 3. **Degradation stays legal.** A budget-truncated search still returns
+//!    a true UOV (at worst the initial `Σvᵢ`), verified by the exact
+//!    oracle after the fact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use uov::core::npc::PartitionInstance;
+use uov::core::search::{find_best_uov, initial_uov, Objective, SearchConfig};
+use uov::core::{Budget, DoneOracle, Exhausted, SearchError};
+use uov::driver::{plan_with, PlanConfig};
+use uov::isg::{ivec, IVec, IsgError, RectDomain, Stencil};
+use uov::loopir::examples;
+use uov::storage::{Layout, MappingError, NaturalMap, OvMap};
+
+fn budgeted(budget: Budget) -> SearchConfig {
+    SearchConfig {
+        max_visits: None,
+        budget,
+    }
+}
+
+/// PARTITION reductions are the engine's worst case (§3.1: UOV membership
+/// is NP-complete). Starve them with a 1 ms deadline: the search must
+/// come back immediately with a verified-legal answer, not hang or crash.
+#[test]
+fn partition_reductions_survive_one_ms_deadline() {
+    let instances = [
+        vec![3, 1, 1, 2, 2, 1],
+        vec![5, 5, 4, 3, 2, 1],
+        vec![9, 2, 2, 1],
+        vec![13, 11, 9, 7, 2],
+    ];
+    // (At most 6 values each: the reduction's coordinates grow like 7^m,
+    // and the *verification* below uses the exact oracle — itself the
+    // NP-hard computation, intractable past m ≈ 6. The deadline, not the
+    // instance size, is what this test starves.)
+    for values in instances {
+        let inst = PartitionInstance::new(values.clone()).expect("positive values");
+        let (stencil, _candidate) = inst.reduce().expect("reduction in range");
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(1));
+        let res = find_best_uov(&stencil, Objective::ShortestVector, &budgeted(budget))
+            .expect("a deadline never turns a valid instance into an error");
+        // Degraded or not, the answer must be a true UOV.
+        assert!(
+            DoneOracle::new(&stencil).is_uov(&res.uov),
+            "illegal answer for {values:?}: {}",
+            res.uov
+        );
+        if let Some(d) = &res.degradation {
+            assert_eq!(d.reason, Exhausted::Deadline, "{values:?}");
+        }
+    }
+}
+
+/// An already-expired deadline must stop the search within one check
+/// interval of node charges — the promised overshoot bound.
+#[test]
+fn deadline_overshoot_is_bounded_by_one_check_interval() {
+    let inst = PartitionInstance::new(vec![8, 7, 6, 5, 4, 3, 2, 1]).expect("positive");
+    let (stencil, _) = inst.reduce().expect("in range");
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    let res = find_best_uov(&stencil, Objective::ShortestVector, &budgeted(budget))
+        .expect("degrades, not errors");
+    let d = res.degradation.expect("expired deadline must degrade");
+    assert_eq!(d.reason, Exhausted::Deadline);
+    assert!(
+        d.nodes_at_stop <= Budget::CHECK_INTERVAL,
+        "overshoot {} nodes exceeds one check interval",
+        d.nodes_at_stop
+    );
+    assert_eq!(res.uov, initial_uov(&stencil), "no time to improve on Σvᵢ");
+}
+
+/// A pre-tripped cancellation token is observed on the very first charge.
+#[test]
+fn cancellation_token_stops_search_immediately() {
+    let inst = PartitionInstance::new(vec![5, 5, 4, 3, 2, 1]).expect("positive");
+    let (stencil, _) = inst.reduce().expect("in range");
+    let token = Arc::new(AtomicBool::new(true));
+    let budget = Budget::unlimited().with_cancel_token(token.clone());
+    let res = find_best_uov(&stencil, Objective::ShortestVector, &budgeted(budget))
+        .expect("cancellation degrades, not errors");
+    let d = res.degradation.expect("tripped token must degrade");
+    assert_eq!(d.reason, Exhausted::Cancelled);
+    assert!(d.nodes_at_stop <= Budget::CHECK_INTERVAL);
+    assert!(DoneOracle::new(&stencil).is_uov(&res.uov));
+    // Un-tripping after the fact changes nothing about the returned record.
+    token.store(false, Ordering::Relaxed);
+    assert_eq!(d.reason, Exhausted::Cancelled);
+}
+
+/// Near-`i64::MAX` coordinates: every layer reports overflow as an error
+/// value instead of panicking (debug builds) or wrapping (release builds).
+#[test]
+fn extreme_coordinates_error_instead_of_panicking() {
+    let huge = i64::MAX - 1;
+
+    // Stencil construction itself accepts the coordinates…
+    let s = Stencil::new(vec![ivec![huge, 0], ivec![huge, huge]]).expect("lex-positive");
+    // …but the search's setup arithmetic (Σvᵢ, ‖v‖², functional bounds)
+    // overflows and must say so.
+    let res = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default());
+    assert!(
+        matches!(res, Err(SearchError::Isg(IsgError::Overflow { .. }))),
+        "expected overflow, got {res:?}"
+    );
+
+    // i64::MIN is unnegatable: gcd/content paths must reject it.
+    assert!(ivec![i64::MIN, 0].try_content().is_err());
+
+    // A domain too large to address: mapping construction reports it.
+    let vast = RectDomain::new(ivec![0, 0], ivec![huge, huge]);
+    assert!(matches!(
+        NaturalMap::try_new(&vast),
+        Err(MappingError::AllocationTooLarge)
+    ));
+    // An axis-collapsing OV still fits in the address space, but a
+    // diagonal one needs ~2·i64::MAX classes — typed error, no wrap.
+    assert!(OvMap::try_new(&vast, ivec![1, 0], Layout::Interleaved).is_ok());
+    assert!(matches!(
+        OvMap::try_new(&vast, ivec![1, 1], Layout::Interleaved),
+        Err(MappingError::AllocationTooLarge | MappingError::Isg(_))
+    ));
+}
+
+/// Degenerate stencils: empty, zero vectors, lex-negative vectors, and
+/// dimension mismatches are rejected as typed errors.
+#[test]
+fn degenerate_stencils_are_rejected_not_crashed() {
+    assert!(Stencil::new(vec![]).is_err(), "empty stencil");
+    assert!(Stencil::new(vec![ivec![0, 0]]).is_err(), "zero vector");
+    assert!(Stencil::new(vec![ivec![-1, 2]]).is_err(), "lex-negative");
+
+    // A single-vector stencil is its own optimal UOV.
+    let s = Stencil::new(vec![ivec![1, 0]]).expect("valid");
+    let res =
+        find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default()).expect("in range");
+    assert_eq!(res.uov, ivec![1, 0]);
+
+    // Mapping with a vector of the wrong dimension: typed error.
+    let dom = RectDomain::grid(4, 4);
+    assert!(matches!(
+        OvMap::try_new(&dom, ivec![1, 0, 0], Layout::Interleaved),
+        Err(MappingError::DimMismatch {
+            domain: 2,
+            vector: 3
+        })
+    ));
+    assert!(matches!(
+        OvMap::try_new(&dom, ivec![0, 0], Layout::Interleaved),
+        Err(MappingError::ZeroVector)
+    ));
+}
+
+/// The end-to-end driver under a starvation deadline: the plan still
+/// materialises, every statement keeps a legal UOV, and the degradations
+/// are reported per statement.
+#[test]
+fn driver_degrades_gracefully_under_starvation() {
+    for nest in [
+        examples::fig1_nest(16, 16),
+        examples::stencil5_nest(8, 32),
+        examples::psm_nest(12, 12),
+    ] {
+        let config = PlanConfig {
+            layout: Layout::Interleaved,
+            budget: Budget::unlimited().with_deadline(Duration::ZERO),
+        };
+        let p = plan_with(&nest, &config).expect("starvation must not fail the plan");
+        for stmt in p.statements.iter().flatten() {
+            assert!(
+                DoneOracle::new(&stmt.stencil).is_uov(&stmt.uov),
+                "driver kept an illegal UOV under starvation"
+            );
+            let d = stmt
+                .degradation
+                .as_ref()
+                .expect("zero deadline must degrade");
+            assert!(d.nodes_at_stop <= Budget::CHECK_INTERVAL);
+        }
+    }
+}
+
+fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
+    prop::collection::vec(-bound..=bound, dim)
+        .prop_map(IVec::from)
+        .prop_filter("lexicographically positive", |v| v.is_lex_positive())
+}
+
+fn stencil_2d() -> impl Strategy<Value = Stencil> {
+    prop::collection::vec(lex_positive_vec(2, 4), 1..6)
+        .prop_map(|vs| Stencil::new(vs).expect("validated"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any node cap, any stencil: the search returns (never panics) and
+    /// whatever it returns is a true UOV. The node cap is exact, so the
+    /// recorded stop point never exceeds cap + 1.
+    #[test]
+    fn starved_search_is_always_legal(s in stencil_2d(), cap in 1u64..200) {
+        let budget = Budget::unlimited().with_max_nodes(cap);
+        let res = find_best_uov(&s, Objective::ShortestVector, &budgeted(budget))
+            .expect("small coordinates cannot overflow");
+        prop_assert!(DoneOracle::new(&s).is_uov(&res.uov));
+        if let Some(d) = &res.degradation {
+            prop_assert_eq!(d.reason, Exhausted::Nodes);
+            prop_assert!(d.nodes_at_stop <= cap + 1, "node cap is exact");
+        }
+    }
+
+    /// Budgeted and unbudgeted searches agree whenever the budget did not
+    /// actually bind — degradation is the *only* way answers may differ.
+    #[test]
+    fn generous_budget_changes_nothing(s in stencil_2d()) {
+        let exact = find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default())
+            .expect("in range");
+        let budget = Budget::unlimited()
+            .with_deadline(Duration::from_secs(120))
+            .with_max_nodes(u64::MAX)
+            .with_max_memo_entries(usize::MAX);
+        let roomy = find_best_uov(&s, Objective::ShortestVector, &budgeted(budget))
+            .expect("in range");
+        prop_assert!(roomy.degradation.is_none());
+        prop_assert_eq!(exact.cost, roomy.cost);
+    }
+
+    /// Memo-capped oracle queries: either a definitive answer or a typed
+    /// exhaustion — and the raw query is the one place exhaustion is an
+    /// error, because there is no legal fallback for a membership bit.
+    #[test]
+    fn memo_capped_oracle_never_lies(s in stencil_2d(), w in lex_positive_vec(2, 6)) {
+        let oracle = DoneOracle::new(&s);
+        let budget = Budget::unlimited().with_max_memo_entries(4);
+        match oracle.is_uov_budgeted(&w, &budget) {
+            Ok(answer) => prop_assert_eq!(answer, oracle.is_uov(&w), "budget changed the answer"),
+            Err(SearchError::Exhausted(reason)) => prop_assert_eq!(reason, Exhausted::Memo),
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}

@@ -16,8 +16,14 @@ fn fig1_stencil() -> Stencil {
 }
 
 fn stencil5_stencil() -> Stencil {
-    Stencil::new(vec![ivec![1, -2], ivec![1, -1], ivec![1, 0], ivec![1, 1], ivec![1, 2]])
-        .unwrap()
+    Stencil::new(vec![
+        ivec![1, -2],
+        ivec![1, -1],
+        ivec![1, 0],
+        ivec![1, 1],
+        ivec![1, 2],
+    ])
+    .unwrap()
 }
 
 /// §1/Fig 1: "we can reduce the amount of storage … from mn to n+m+1" with
@@ -106,7 +112,8 @@ fn fig5_stencil5_uov() {
         &stencil5_stencil(),
         Objective::ShortestVector,
         &SearchConfig::default(),
-    );
+    )
+    .expect("stencil is in range");
     assert_eq!(best.uov, ivec![2, 0]);
     assert_eq!(best.uov.content(), 2, "non-prime: the modterm case of §4.2");
 }
@@ -136,8 +143,14 @@ fn mapping_vector_requirements() {
 #[test]
 fn table1_formulas() {
     for (l, t) in [(100u64, 10u64), (1 << 20, 64)] {
-        assert_eq!(stencil5::storage_cells(stencil5::Variant::Natural, l, t), t * l);
-        assert_eq!(stencil5::storage_cells(stencil5::Variant::OvBlocked, l, t), 2 * l);
+        assert_eq!(
+            stencil5::storage_cells(stencil5::Variant::Natural, l, t),
+            t * l
+        );
+        assert_eq!(
+            stencil5::storage_cells(stencil5::Variant::OvBlocked, l, t),
+            2 * l
+        );
         assert_eq!(
             stencil5::storage_cells(stencil5::Variant::StorageOptimized, l, t),
             l + 3
@@ -173,9 +186,15 @@ fn psm_per_statement_uovs_sum_to_table2() {
     let v_h = Stencil::new(vec![ivec![1, 1], ivec![1, 0], ivec![0, 1]]).unwrap();
     let v_e = Stencil::new(vec![ivec![1, 0]]).unwrap();
     let v_f = Stencil::new(vec![ivec![0, 1]]).unwrap();
-    let h_uov = find_best_uov(&v_h, Objective::ShortestVector, &SearchConfig::default()).uov;
-    let e_uov = find_best_uov(&v_e, Objective::ShortestVector, &SearchConfig::default()).uov;
-    let f_uov = find_best_uov(&v_f, Objective::ShortestVector, &SearchConfig::default()).uov;
+    let h_uov = find_best_uov(&v_h, Objective::ShortestVector, &SearchConfig::default())
+        .expect("stencil is in range")
+        .uov;
+    let e_uov = find_best_uov(&v_e, Objective::ShortestVector, &SearchConfig::default())
+        .expect("stencil is in range")
+        .uov;
+    let f_uov = find_best_uov(&v_f, Objective::ShortestVector, &SearchConfig::default())
+        .expect("stencil is in range")
+        .uov;
     assert_eq!(h_uov, ivec![1, 1]);
     assert_eq!(e_uov, ivec![1, 0]);
     assert_eq!(f_uov, ivec![0, 1]);

@@ -11,14 +11,24 @@ use uov::storage::legality::{check_order, schedule_independent_on_samples};
 use uov::storage::{Layout, OvMap, StorageMap};
 
 fn border(_array: usize, e: &IVec) -> f64 {
-    (e.iter().enumerate().map(|(k, &c)| (k as i64 + 1) * c).sum::<i64>()) as f64 * 0.01 + 1.0
+    (e.iter()
+        .enumerate()
+        .map(|(k, &c)| (k as i64 + 1) * c)
+        .sum::<i64>()) as f64
+        * 0.01
+        + 1.0
 }
 
 #[test]
 fn fig1_full_pipeline() {
     let nest = examples::fig1_nest(7, 5);
     let stencil = analysis::flow_stencil(&nest, 0).expect("regular loop");
-    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+    let best = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("stencil is in range");
     assert_eq!(best.uov, IVec::from([1, 1]));
 
     let map = OvMap::new(nest.domain(), best.uov.clone(), Layout::Interleaved);
@@ -49,7 +59,12 @@ fn stencil5_full_pipeline() {
 
     // The optimal UOV is the paper's (2,0); rectangular tiling is illegal
     // but skew-2 tiling works.
-    let best = find_best_uov(&stencil, Objective::ShortestVector, &SearchConfig::default());
+    let best = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("stencil is in range");
     assert_eq!(best.uov, IVec::from([2, 0]));
     assert!(!legality::rectangular_tiling_legal(&stencil));
     assert_eq!(legality::skew_factor_for_tiling(&stencil), Some(2));
@@ -59,8 +74,7 @@ fn stencil5_full_pipeline() {
         assert_eq!(map.size(), 2 * 14, "two rows of storage (Table 1)");
         let order = LoopSchedule::skewed_tiled_2d(2, vec![2, 5]).order(nest.domain());
         assert!(check_order(&order, nest.domain(), &stencil, &map).is_ok());
-        let live_out: Vec<(usize, IVec)> =
-            (0..14).map(|x| (0usize, IVec::from([6, x]))).collect();
+        let live_out: Vec<(usize, IVec)> = (0..14).map(|x| (0usize, IVec::from([6, x]))).collect();
         interp::assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border, &live_out);
     }
 }
@@ -73,8 +87,18 @@ fn psm_per_statement_pipeline() {
     let h_stencil = analysis::flow_stencil(&nest, 0).expect("H is regular");
     let e_stencil = analysis::flow_stencil(&nest, 1).expect("E is regular");
 
-    let h_best = find_best_uov(&h_stencil, Objective::ShortestVector, &SearchConfig::default());
-    let e_best = find_best_uov(&e_stencil, Objective::ShortestVector, &SearchConfig::default());
+    let h_best = find_best_uov(
+        &h_stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("stencil is in range");
+    let e_best = find_best_uov(
+        &e_stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("stencil is in range");
     assert_eq!(h_best.uov, IVec::from([1, 1]));
     assert_eq!(e_best.uov, IVec::from([1, 0]));
 
@@ -90,11 +114,13 @@ fn psm_per_statement_pipeline() {
     for seed in 0..8 {
         let order = random_topological_order(nest.domain(), &h_stencil, seed);
         let maps: Vec<Option<&dyn StorageMap>> = vec![Some(&h_map), Some(&e_map)];
-        let live_out: Vec<(usize, IVec)> =
-            (1..=8).map(|j| (0usize, IVec::from([6, j]))).collect();
+        let live_out: Vec<(usize, IVec)> = (1..=8).map(|j| (0usize, IVec::from([6, j]))).collect();
         let out = interp::run(&nest, &order, &maps, &border, &live_out);
         for key in &live_out {
-            assert_eq!(out[key], reference[key], "mismatch at {key:?} (seed {seed})");
+            assert_eq!(
+                out[key], reference[key],
+                "mismatch at {key:?} (seed {seed})"
+            );
         }
     }
 }
@@ -122,7 +148,8 @@ fn known_bounds_objective_integrates_with_mapping() {
         &stencil,
         Objective::KnownBounds(nest.domain()),
         &SearchConfig::default(),
-    );
+    )
+    .expect("stencil is in range");
     let map = OvMap::new(nest.domain(), best.uov.clone(), Layout::Interleaved);
     assert_eq!(map.size() as u128, best.cost);
     assert!(DoneOracle::new(&stencil).is_uov(&best.uov));
@@ -137,8 +164,7 @@ fn natural_and_mapped_agree_on_a_bigger_grid() {
     let nest = examples::fig1_nest(12, 9);
     let stencil = analysis::flow_stencil(&nest, 0).expect("regular");
     let map = OvMap::new(nest.domain(), IVec::from([1, 1]), Layout::Blocked);
-    let live_out: Vec<(usize, IVec)> =
-        (1..=9).map(|j| (0usize, IVec::from([12, j]))).collect();
+    let live_out: Vec<(usize, IVec)> = (1..=9).map(|j| (0usize, IVec::from([12, j]))).collect();
     for seed in 100..108 {
         let order = random_topological_order(nest.domain(), &stencil, seed);
         interp::assert_mapping_preserves_semantics(&nest, 0, &map, &order, &border, &live_out);
