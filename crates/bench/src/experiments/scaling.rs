@@ -58,23 +58,20 @@ pub fn stencil5_scaling(machine_idx: usize, scale: Scale) -> Table {
     );
     for v in stencil5::Variant::all() {
         let mut row = vec![v.label().to_string()];
-        for &len in &lengths {
+        // The lengths of one series are independent simulations: fan them
+        // out across the host cores (order-preserving, so the table is
+        // identical to the sequential sweep).
+        row.extend(crate::par_map(&lengths, crate::sweep_threads(), |&len| {
             let natural = matches!(
                 v,
                 stencil5::Variant::Natural | stencil5::Variant::NaturalTiled
             );
             if natural && len > NATURAL_MAX_LEN {
-                row.push("oom".to_string());
+                "oom".to_string()
             } else {
-                row.push(fmt_f64(stencil5_cpi(
-                    machine(machine_idx),
-                    v,
-                    len,
-                    STENCIL_T,
-                    None,
-                )));
+                fmt_f64(stencil5_cpi(machine(machine_idx), v, len, STENCIL_T, None))
             }
-        }
+        }));
         t.push(row);
     }
     t
@@ -105,9 +102,9 @@ pub fn psm_scaling(machine_idx: usize, scale: Scale) -> Table {
     );
     for v in psm::Variant::all() {
         let mut row = vec![v.label().to_string()];
-        for &n in &lengths {
-            row.push(fmt_f64(psm_cpi(machine(machine_idx), v, n, n, None)));
-        }
+        row.extend(crate::par_map(&lengths, crate::sweep_threads(), |&n| {
+            fmt_f64(psm_cpi(machine(machine_idx), v, n, n, None))
+        }));
         t.push(row);
     }
     t

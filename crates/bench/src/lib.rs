@@ -29,6 +29,25 @@ pub mod report;
 
 pub use report::Table;
 
+/// Deterministic parallel map for experiment sweeps: results come back in
+/// input order, identical to the sequential map (see `uov_core::par`).
+pub use uov_core::par::fan_out as par_map;
+
+/// Worker threads for embarrassingly-parallel experiment sweeps: the
+/// `UOV_BENCH_THREADS` environment variable when set (`1` forces the
+/// sequential path, e.g. for timing baselines), else every host core.
+pub fn sweep_threads() -> usize {
+    std::env::var("UOV_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 /// How big the experiment sweeps are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -9,14 +9,16 @@
 //! incumbent found so far (at worst the always-legal initial UOV `Σvᵢ`)
 //! together with a [`Degradation`] record saying what was cut short.
 //!
-//! Budgets are cheap to check: the node counter is an interior [`Cell`],
-//! and the clock is only consulted once every
-//! [`CHECK_INTERVAL`](Budget::CHECK_INTERVAL) nodes, so a deadline may be
-//! overshot by at most one check interval's worth of node expansions.
+//! Budgets are cheap to check: the node counter is an [`AtomicU64`], so a
+//! single budget can be shared by every worker of a parallel search, and
+//! the clock is only consulted once every
+//! [`CHECK_INTERVAL`](Budget::CHECK_INTERVAL) nodes. The counter is
+//! global across workers but the worker that observes an expired clock
+//! still has to propagate the stop, so a deadline may be overshot by at
+//! most one check interval's worth of node expansions **per worker**.
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,22 +98,39 @@ impl fmt::Display for Degradation {
 /// ```
 ///
 /// A single `Budget` value tracks consumed nodes across everything it is
-/// threaded through; clone it to get an independent counter with the same
-/// limits (a cloned deadline still refers to the same wall-clock instant,
-/// and a cloned cancellation token still trips together).
-#[derive(Debug, Clone, Default)]
+/// threaded through — including every worker of a parallel search, which
+/// all charge the same atomic counter. Clone it to get an independent
+/// counter with the same limits (a cloned deadline still refers to the
+/// same wall-clock instant, and a cloned cancellation token still trips
+/// together).
+#[derive(Debug, Default)]
 pub struct Budget {
     deadline: Option<Instant>,
     max_nodes: Option<u64>,
     max_memo: Option<usize>,
     cancel: Option<Arc<AtomicBool>>,
-    nodes: Cell<u64>,
+    nodes: AtomicU64,
+}
+
+impl Clone for Budget {
+    fn clone(&self) -> Self {
+        Budget {
+            deadline: self.deadline,
+            max_nodes: self.max_nodes,
+            max_memo: self.max_memo,
+            cancel: self.cancel.clone(),
+            nodes: AtomicU64::new(self.nodes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Budget {
     /// The deadline and the cancellation token are polled once every this
-    /// many charged nodes, so either can be overshot by at most
-    /// `CHECK_INTERVAL − 1` node expansions.
+    /// many charged nodes. The counter is shared by all workers of a
+    /// parallel search, so either can be overshot by at most
+    /// `CHECK_INTERVAL − 1` node expansions **per worker** — the observing
+    /// worker stops at the poll, the others within their next charge after
+    /// the stop flag propagates.
     pub const CHECK_INTERVAL: u64 = 64;
 
     /// A budget with no limits: never reports exhaustion.
@@ -157,21 +176,25 @@ impl Budget {
             || self.cancel.is_some()
     }
 
-    /// Nodes charged so far.
+    /// Nodes charged so far (across all sharers of this budget value).
     pub fn nodes_charged(&self) -> u64 {
-        self.nodes.get()
+        self.nodes.load(Ordering::Relaxed)
     }
 
     /// Charge one unit of work (one search-node expansion).
+    ///
+    /// Safe to call concurrently from many workers: the counter is a
+    /// single atomic, so the node cap stays exact under contention, and
+    /// every `CHECK_INTERVAL`-th global charge polls the clock and token.
     ///
     /// # Errors
     ///
     /// Returns the exhausted dimension once a limit is hit. The node cap is
     /// exact; deadline and cancellation are polled every
-    /// [`CHECK_INTERVAL`](Budget::CHECK_INTERVAL) nodes.
+    /// [`CHECK_INTERVAL`](Budget::CHECK_INTERVAL) nodes, giving a
+    /// per-worker overshoot bound of one check interval.
     pub fn charge(&self) -> Result<(), Exhausted> {
-        let n = self.nodes.get().saturating_add(1);
-        self.nodes.set(n);
+        let n = self.nodes.fetch_add(1, Ordering::Relaxed).saturating_add(1);
         if let Some(cap) = self.max_nodes {
             if n > cap {
                 return Err(Exhausted::Nodes);
@@ -213,7 +236,7 @@ impl Budget {
     ) -> Degradation {
         Degradation {
             reason,
-            nodes_at_stop: self.nodes.get(),
+            nodes_at_stop: self.nodes.load(Ordering::Relaxed),
             memo_entries_at_stop: memo_entries,
             fell_back_to_initial,
         }
@@ -288,6 +311,38 @@ mod tests {
         let b = Budget::unlimited().with_max_memo_entries(3);
         assert!(b.check_memo(2).is_ok());
         assert_eq!(b.check_memo(3), Err(Exhausted::Memo));
+    }
+
+    #[test]
+    fn node_cap_is_exact_under_concurrent_charging() {
+        let b = Budget::unlimited().with_max_nodes(1000);
+        let ok = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..300 {
+                        if b.charge().is_ok() {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 1200 concurrent charges against a cap of 1000: exactly the first
+        // 1000 (by atomic order) succeed, regardless of interleaving.
+        assert_eq!(ok.load(Ordering::Relaxed), 1000);
+        assert_eq!(b.nodes_charged(), 1200);
+    }
+
+    #[test]
+    fn clone_copies_the_counter_snapshot() {
+        let b = Budget::unlimited().with_max_nodes(10);
+        let _ = b.charge();
+        let c = b.clone();
+        assert_eq!(c.nodes_charged(), 1);
+        let _ = c.charge();
+        assert_eq!(c.nodes_charged(), 2);
+        assert_eq!(b.nodes_charged(), 1, "clones count independently");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod multi;
 pub mod npc;
 pub mod objective;
 pub mod oracle;
+pub mod par;
 pub mod search;
 pub mod viz;
 

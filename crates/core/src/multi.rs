@@ -64,6 +64,22 @@ pub fn find_best_common_uov(
     objective: Objective<'_>,
     radius: i64,
 ) -> Option<CommonUov> {
+    find_best_common_uov_threaded(stencils, objective, radius, 1)
+}
+
+/// [`find_best_common_uov`] with the per-candidate universality checks
+/// fanned out over `threads` workers (the oracles' memo caches are
+/// concurrent, so workers share transitive-closure work).
+///
+/// The answer is the minimum of each candidate's `(cost, ‖w‖², w)` key —
+/// a total order — so every thread count returns the identical result;
+/// `threads = 1` runs exactly the sequential loop.
+pub fn find_best_common_uov_threaded(
+    stencils: &[Stencil],
+    objective: Objective<'_>,
+    radius: i64,
+    threads: usize,
+) -> Option<CommonUov> {
     let first = stencils.first()?;
     let dim = first.dim();
     if stencils.iter().any(|s| s.dim() != dim) || radius < 0 {
@@ -73,17 +89,17 @@ pub fn find_best_common_uov(
 
     // Candidates come from the first stencil's UOV set restricted to the
     // box; each is then checked against the remaining oracles.
-    let mut best: Option<(u128, i128, IVec)> = None;
-    for w in oracles[0].uovs_within(radius) {
-        if !oracles[1..].iter().all(|o| o.is_uov(&w)) {
-            continue;
-        }
-        let key = (cost_of(&objective, &w), w.norm_sq(), w);
-        if best.as_ref().map(|b| key < *b).unwrap_or(true) {
-            best = Some(key);
-        }
-    }
-    best.map(|(cost, _, uov)| CommonUov { uov, cost })
+    let candidates = oracles[0].uovs_within(radius);
+    crate::par::fan_out(&candidates, threads, |w| {
+        oracles[1..]
+            .iter()
+            .all(|o| o.is_uov(w))
+            .then(|| (cost_of(&objective, w), w.norm_sq(), w.clone()))
+    })
+    .into_iter()
+    .flatten()
+    .min()
+    .map(|(cost, _, uov)| CommonUov { uov, cost })
 }
 
 /// Budgeted [`find_best_common_uov`] for untrusted stencils and bounded
@@ -243,6 +259,29 @@ mod tests {
                 assert!(DoneOracle::new(stencil).is_uov(&common.uov));
             }
         }
+    }
+
+    #[test]
+    fn threaded_common_uov_matches_sequential() {
+        let a = s(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]);
+        let b = s(vec![ivec![1, -1], ivec![1, 1]]);
+        let seq = find_best_common_uov(&[a.clone(), b.clone()], Objective::ShortestVector, 6)
+            .expect("exists");
+        for threads in [2, 4, 8] {
+            let par = find_best_common_uov_threaded(
+                &[a.clone(), b.clone()],
+                Objective::ShortestVector,
+                6,
+                threads,
+            )
+            .expect("exists");
+            assert_eq!(par.uov, seq.uov, "threads={threads}");
+            assert_eq!(par.cost, seq.cost, "threads={threads}");
+        }
+        // Disjoint sets stay disjoint at every thread count.
+        let x = s(vec![ivec![0, 1]]);
+        let y = s(vec![ivec![1, 0]]);
+        assert!(find_best_common_uov_threaded(&[x, y], Objective::ShortestVector, 8, 4).is_none());
     }
 
     #[test]

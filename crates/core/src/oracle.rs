@@ -21,18 +21,90 @@
 //! vectors (paper theorem, see [`crate::npc`]); for realistic stencils the
 //! memoised search is fast, which is the paper's practicality argument.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
 
 use uov_isg::{IVec, IterationDomain, Stencil};
 
 use crate::budget::{Budget, Degradation};
 use crate::error::SearchError;
 
+/// A sharded, lock-striped concurrent memo table mapping offsets to
+/// cone-membership verdicts.
+///
+/// Queries from many threads share transitive-closure work: a verdict
+/// memoised by one worker is a cache hit for every other. Striping keeps
+/// contention low — an offset hashes to one of
+/// [`SHARDS`](ShardedCache::SHARDS) independently locked maps, so two
+/// workers only collide when they touch the same stripe at the same
+/// instant. Readers take a shard's lock shared, writers exclusively;
+/// locks are never held across oracle recursion, so the structure cannot
+/// deadlock.
+#[derive(Debug, Default)]
+struct ShardedCache {
+    shards: Vec<RwLock<HashMap<IVec, bool>>>,
+}
+
+impl ShardedCache {
+    /// Stripe count; a power of two so the shard index is a mask.
+    const SHARDS: usize = 16;
+
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..Self::SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn shard(&self, w: &IVec) -> &RwLock<HashMap<IVec, bool>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        w.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Cached verdict for `w`, if any. A poisoned stripe (a panicking
+    /// writer elsewhere) degrades to a cache miss rather than propagating
+    /// the panic.
+    fn get(&self, w: &IVec) -> Option<bool> {
+        match self.shard(w).read() {
+            Ok(guard) => guard.get(w).copied(),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert a verdict; returns whether the entry is new. Last-writer
+    /// wins on a race, which is harmless: verdicts for a fixed stencil
+    /// are unique, so concurrent writers always agree on the value.
+    fn insert(&self, w: IVec, val: bool) -> bool {
+        match self.shard(&w).write() {
+            Ok(mut guard) => guard.insert(w, val).is_none(),
+            Err(_) => false,
+        }
+    }
+
+    fn contains(&self, w: &IVec) -> bool {
+        self.get(w).is_some()
+    }
+
+    /// Total entries across stripes. Exact when quiescent; a snapshot
+    /// (each stripe read at a slightly different instant) under
+    /// concurrent insertion, which is all the memo-cap check needs.
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().map(|g| g.len()).unwrap_or(0))
+            .sum()
+    }
+}
+
 /// Memoising decision oracle for DONE/DEAD/UOV membership over one stencil.
 ///
 /// The oracle caches cone-membership results across queries, so reuse it
-/// when testing many candidate vectors against the same stencil.
+/// when testing many candidate vectors against the same stencil. The memo
+/// table is sharded and lock-striped, so one oracle can be shared (`&self`)
+/// by many threads — concurrent queries pool their transitive-closure work
+/// instead of each recomputing it, and answers are identical to what a
+/// cold, single-threaded oracle would return.
 ///
 /// # Examples
 ///
@@ -57,7 +129,7 @@ pub struct DoneOracle {
     /// makes even the adversarial NP-completeness instances tractable for
     /// realistic sizes.
     prunes: Vec<IVec>,
-    cache: RefCell<HashMap<IVec, bool>>,
+    cache: ShardedCache,
 }
 
 /// Outcome of inspecting a cone node without expanding it.
@@ -89,7 +161,7 @@ impl DoneOracle {
             stencil: stencil.clone(),
             phi,
             prunes: dual_cone_functionals(stencil),
-            cache: RefCell::new(HashMap::new()),
+            cache: ShardedCache::new(),
         })
     }
 
@@ -154,7 +226,7 @@ impl DoneOracle {
         if self.prunes.iter().any(|f| f.dot_i128(w) < 0) {
             return Eval::Decided(false);
         }
-        if let Some(&hit) = self.cache.borrow().get(w) {
+        if let Some(hit) = self.cache.get(w) {
             return Eval::Decided(hit);
         }
         Eval::Expand
@@ -197,10 +269,10 @@ impl DoneOracle {
                     // fits under the cap — the answer is already decided, so
                     // a full table only costs future queries, not this one.
                     for f in stack {
-                        if budget.check_memo(self.cache.borrow().len()).is_err() {
+                        if budget.check_memo(self.cache.len()).is_err() {
                             break;
                         }
-                        self.cache.borrow_mut().insert(f.w, true);
+                        self.cache.insert(f.w, true);
                     }
                     return Ok(true);
                 }
@@ -217,10 +289,9 @@ impl DoneOracle {
     /// Memoise a *computed* verdict; a full memo table here is a hard stop
     /// because discarding the verdict would make the time bound vacuous.
     fn cache_insert(&self, w: IVec, val: bool, budget: &Budget) -> Result<(), SearchError> {
-        let mut cache = self.cache.borrow_mut();
-        if !cache.contains_key(&w) {
-            budget.check_memo(cache.len())?;
-            cache.insert(w, val);
+        if !self.cache.contains(&w) {
+            budget.check_memo(self.cache.len())?;
+            self.cache.insert(w, val);
         }
         Ok(())
     }
@@ -361,8 +432,9 @@ impl DoneOracle {
     }
 
     /// Number of memoised cone-membership entries (for diagnostics/benches).
+    /// A point-in-time snapshot when other threads are inserting.
     pub fn cache_len(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.len()
     }
 }
 
@@ -652,6 +724,38 @@ mod tests {
             assert!(complete.contains(w));
         }
         assert!(partial.len() <= complete.len());
+    }
+
+    #[test]
+    fn oracle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DoneOracle>();
+    }
+
+    #[test]
+    fn concurrent_queries_match_cold_oracle() {
+        // Hammer one shared oracle from several threads; every answer must
+        // equal what a cold sequential oracle computes for the same query.
+        let shared = stencil5_oracle();
+        let queries: Vec<IVec> = (-3..=3)
+            .flat_map(|i| (-3..=3).map(move |j| ivec![i, j]))
+            .collect();
+        let answers: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shared = &shared;
+                    let queries = &queries;
+                    scope.spawn(move || queries.iter().map(|w| shared.in_done(w)).collect())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let cold = stencil5_oracle();
+        let reference: Vec<bool> = queries.iter().map(|w| cold.in_done(w)).collect();
+        for per_thread in answers {
+            assert_eq!(per_thread, reference, "warm shared cache changed answers");
+        }
+        assert!(shared.cache_len() > 0, "concurrent queries populate cache");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! A minimal deterministic fan-out helper over `std::thread`.
+//!
+//! The engine cannot take a thread-pool dependency (crates.io is out of
+//! reach), so every embarrassingly-parallel loop in this workspace — the
+//! candidate checks in [`crate::multi`], the dominance filter in
+//! [`crate::frontier`], the per-instance sweeps in the bench crate —
+//! funnels through [`fan_out`]: scoped workers pull indices from one
+//! atomic counter and results are reassembled **in input order**, so the
+//! output is identical to the sequential map regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` using up to `threads` scoped workers, returning
+/// the results in input order.
+///
+/// `threads <= 1` (or a single item) runs `f` inline on the calling
+/// thread with no synchronisation at all. Workers claim indices from a
+/// shared atomic counter, so uneven per-item cost balances automatically.
+/// The result is the same `Vec` the sequential `items.iter().map(f)`
+/// would produce — parallelism here is an implementation detail, never an
+/// observable one.
+pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    pairs.sort_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                fan_out(&items, threads, |x| x * x),
+                seq,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(fan_out(&empty, 8, |x| x + 1), Vec::<u32>::new());
+        assert_eq!(fan_out(&[41u32], 8, |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_without_reordering() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = fan_out(&items, 4, |&x| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

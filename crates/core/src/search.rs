@@ -23,8 +23,26 @@
 //! dimension-independent fact: a class (a line of iterations in direction
 //! `u`) holds at most `diam/|u| + 1` points, so the class count is at least
 //! `N·|u| / (diam + |u|)` for a domain with `N` points and diameter `diam`.
+//!
+//! # Parallel search
+//!
+//! With [`SearchConfig::threads`] > 1 the branch-and-bound fans out over a
+//! pool of `std::thread` workers that share one frontier: each worker owns
+//! a local priority queue and *steals* from its peers when it runs dry,
+//! the PATHSET table is sharded and lock-striped, and the incumbent bound
+//! lives in an atomic cell so every worker prunes against the global best
+//! the instant it improves. The result is **deterministic**: candidates
+//! are compared by the total order `(cost, ‖w‖², lexicographic w)`, and
+//! the pruning rules only discard children that provably cannot *reach*
+//! the final key (strict inequality against the bound), so every thread
+//! count — including 1 — returns the identical `(uov, cost)` for a
+//! completed search. Only the [`SearchStats`] counters and
+//! budget-truncated results vary with scheduling.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use uov_isg::{IVec, IsgError, IterationDomain, Stencil};
 
@@ -42,12 +60,13 @@ pub enum Objective<'a> {
     /// Minimise the Euclidean length of the UOV (squared, exactly).
     ShortestVector,
     /// Minimise the number of storage-equivalence classes on the given
-    /// domain.
-    KnownBounds(&'a dyn IterationDomain),
+    /// domain. The domain is `Sync` so the parallel search can evaluate
+    /// candidates from every worker thread.
+    KnownBounds(&'a (dyn IterationDomain + Sync)),
 }
 
 /// Tunables for [`find_best_uov`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SearchConfig {
     /// Stop after visiting this many offsets and report the best UOV found
     /// so far (`stats.complete` will be `false` if the limit was hit).
@@ -59,9 +78,29 @@ pub struct SearchConfig {
     /// always-legal initial UOV — and records a
     /// [`Degradation`](crate::budget::Degradation) in the result.
     pub budget: Budget,
+    /// Worker threads for the branch-and-bound. `0` and `1` both run the
+    /// sequential algorithm on the calling thread; `n > 1` spawns `n`
+    /// work-stealing workers sharing the incumbent bound and PATHSET
+    /// table. Completed searches return identical `(uov, cost)` for every
+    /// value — see the module docs' determinism guarantee.
+    pub threads: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_visits: None,
+            budget: Budget::default(),
+            threads: 1,
+        }
+    }
 }
 
 /// Counters describing a finished search, for the ablation experiments.
+///
+/// With `threads > 1` the counters are exact totals across workers but
+/// their values depend on scheduling (how early the bound tightened on
+/// each worker); only the returned `(uov, cost)` is deterministic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Offsets extracted from the priority queue.
@@ -165,10 +204,14 @@ impl DomainFacts {
     }
 
     /// `true` if every descendant of an offset with squared-length lower
-    /// bound `len_sq_lb` must cost at least `best`: classes ≥ N·L/(diam+L).
+    /// bound `len_sq_lb` must cost *strictly more* than `best`: classes ≥
+    /// N·L/(diam+L). The inequality is strict so candidates that merely
+    /// *tie* the incumbent survive to the lexicographic tie-break — that
+    /// is what makes the answer independent of visit order (and hence of
+    /// the thread count).
     fn dominated(&self, len_sq_lb: u128, best: u128) -> bool {
         let l = isqrt(len_sq_lb); // floor → weaker bound → sound
-        self.num_points * l >= best * (self.diam + l)
+        self.num_points * l > best * (self.diam + l)
     }
 }
 
@@ -234,29 +277,96 @@ pub fn find_best_uov(
         }
         Objective::ShortestVector => None,
     };
-    let dim = stencil.dim();
     let m = stencil.len();
     if m > 63 {
         return Err(SearchError::TooManyVectors(m));
     }
-    let full: u64 = (1u64 << m) - 1;
     let phi = stencil.try_positive_functional()?;
-    let phi_norm_sq = phi.try_norm_sq()? as u128;
-    let budget = &config.budget;
-
-    // Incumbent: the initial UOV is legal from the start (§3.2.1).
     let initial = stencil.try_sum()?;
-    let mut best = initial.clone();
-    let mut best_cost = try_cost_of(&objective, &best)?;
+    let setup = Setup {
+        dim: stencil.dim(),
+        full: (1u64 << m) - 1,
+        phi_norm_sq: phi.try_norm_sq()? as u128,
+        // Hard exploration cap guaranteeing termination even when the
+        // storage objective cannot discriminate (every candidate costs N).
+        phi_cap: 64 * phi.dot_i128(&initial).max(1),
+        phi,
+        initial_cost: try_cost_of(&objective, &initial)?,
+        initial_norm: initial.try_norm_sq().unwrap_or(i128::MAX),
+        initial,
+    };
+    if config.threads <= 1 {
+        Ok(search_sequential(
+            stencil,
+            &objective,
+            config,
+            &domain_facts,
+            setup,
+        ))
+    } else {
+        Ok(search_parallel(
+            stencil,
+            &objective,
+            config,
+            &domain_facts,
+            setup,
+        ))
+    }
+}
+
+/// Validated per-search constants shared by the sequential and parallel
+/// engines. The incumbent starts at the initial UOV `Σvᵢ`, legal from the
+/// first moment (§3.2.1).
+struct Setup {
+    dim: usize,
+    full: u64,
+    phi: IVec,
+    phi_norm_sq: u128,
+    phi_cap: i128,
+    initial: IVec,
+    initial_cost: u128,
+    initial_norm: i128,
+}
+
+/// The canonical candidate order: objective cost, then squared length,
+/// then lexicographic. A *total* order over candidates, so the minimum of
+/// any discovered set is independent of discovery order — this is what
+/// makes the parallel search deterministic.
+fn improves(cost: u128, w: &IVec, best: &(u128, i128, IVec)) -> bool {
+    use std::cmp::Ordering as O;
+    match cost.cmp(&best.0) {
+        O::Less => true,
+        O::Greater => false,
+        O::Equal => {
+            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
+            match norm.cmp(&best.1) {
+                O::Less => true,
+                O::Greater => false,
+                O::Equal => *w < best.2,
+            }
+        }
+    }
+}
+
+/// The single-threaded engine: one priority queue, one PATHSET map.
+fn search_sequential(
+    stencil: &Stencil,
+    objective: &Objective<'_>,
+    config: &SearchConfig,
+    domain_facts: &Option<DomainFacts>,
+    setup: Setup,
+) -> SearchResult {
+    let budget = &config.budget;
+    let mut best_key = (
+        setup.initial_cost,
+        setup.initial_norm,
+        setup.initial.clone(),
+    );
     let mut stats = SearchStats {
         complete: true,
         ..SearchStats::default()
     };
     let mut degradation: Option<Degradation> = None;
-
-    // Hard exploration cap guaranteeing termination even when the storage
-    // objective cannot discriminate (e.g. every candidate costs N).
-    let phi_cap: i128 = 64 * phi.dot_i128(&best).max(1);
 
     // Priority queue of (cost, offset, pathset), min-cost first. `known`
     // remembers the union of PATHSETs discovered per offset; an entry is
@@ -264,7 +374,7 @@ pub fn find_best_uov(
     let mut known: HashMap<IVec, u64> = HashMap::new();
     let mut heap: BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>> = BinaryHeap::new();
 
-    let origin = IVec::zero(dim);
+    let origin = IVec::zero(setup.dim);
     known.insert(origin.clone(), 0);
     heap.push(std::cmp::Reverse((0, origin, 0)));
     stats.pushed += 1;
@@ -277,22 +387,27 @@ pub fn find_best_uov(
         stats.visited += 1;
         if let Err(reason) = budget.charge() {
             stats.complete = false;
-            degradation = Some(budget.degradation(reason, known.len(), best == initial));
+            degradation =
+                Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
             break;
         }
         if let Some(max) = config.max_visits {
             if stats.visited > max {
                 stats.complete = false;
-                degradation =
-                    Some(budget.degradation(Exhausted::Nodes, known.len(), best == initial));
+                degradation = Some(budget.degradation(
+                    Exhausted::Nodes,
+                    known.len(),
+                    best_key.2 == setup.initial,
+                ));
                 break;
             }
         }
 
-        // Candidate check (paper Visit step 3).
-        if mask == full && cost < best_cost {
-            best_cost = cost;
-            best = w.clone();
+        // Candidate check (paper Visit step 3), with the canonical
+        // tie-break so equal-cost candidates resolve deterministically.
+        if mask == setup.full && improves(cost, &w, &best_key) {
+            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
+            best_key = (cost, norm, w.clone());
             stats.improvements += 1;
         }
 
@@ -304,21 +419,23 @@ pub fn find_best_uov(
                 stats.capped += 1;
                 continue;
             };
-            let phi_child = phi.dot_i128(&child);
+            let phi_child = setup.phi.dot_i128(&child);
             debug_assert!(phi_child > 0, "functional must grow along dependences");
 
             // Length lower bound for the child and all its descendants:
             // |u|² ≥ (φ·u)²/|φ|² ≥ (φ·child)²/|φ|² (floor division → sound).
-            let len_sq_lb = (phi_child as u128 * phi_child as u128) / phi_norm_sq;
-            let dominated = match &domain_facts {
-                None => len_sq_lb >= best_cost,
-                Some(facts) => facts.dominated(len_sq_lb, best_cost),
+            let len_sq_lb = (phi_child as u128 * phi_child as u128) / setup.phi_norm_sq;
+            // Strict comparisons: a subtree that can still *tie* the
+            // incumbent must survive to the lexicographic tie-break.
+            let dominated = match domain_facts {
+                None => len_sq_lb > best_key.0,
+                Some(facts) => facts.dominated(len_sq_lb, best_key.0),
             };
             if dominated {
                 stats.pruned += 1;
                 continue;
             }
-            if phi_child > phi_cap {
+            if phi_child > setup.phi_cap {
                 stats.capped += 1;
                 continue;
             }
@@ -328,7 +445,8 @@ pub fn find_best_uov(
             if is_new {
                 if let Err(reason) = budget.check_memo(known.len()) {
                     stats.complete = false;
-                    degradation = Some(budget.degradation(reason, known.len(), best == initial));
+                    degradation =
+                        Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
                     break 'search;
                 }
             }
@@ -337,7 +455,7 @@ pub fn find_best_uov(
             if merged != *entry {
                 *entry = merged;
                 // A candidate whose cost overflows is discarded, not fatal.
-                let Ok(child_cost) = try_cost_of(&objective, &child) else {
+                let Ok(child_cost) = try_cost_of(objective, &child) else {
                     stats.capped += 1;
                     continue;
                 };
@@ -347,12 +465,333 @@ pub fn find_best_uov(
         }
     }
 
-    Ok(SearchResult {
+    SearchResult {
+        uov: best_key.2,
+        cost: best_key.0,
+        stats,
+        degradation,
+    }
+}
+
+/// Lock a mutex, recovering the data from a poisoned lock. Poisoning can
+/// only arise from a panicking peer; every structure guarded here (masks,
+/// heaps, the incumbent key) is valid after any prefix of updates, so
+/// continuing is sound.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Saturate a candidate cost into the atomic bound cell. `u64::MAX` is the
+/// "no finite bound" sentinel: pruning is skipped entirely rather than
+/// pruning against a too-small saturated value (which would be unsound).
+fn saturate_bound(cost: u128) -> u64 {
+    u64::try_from(cost).unwrap_or(u64::MAX)
+}
+
+/// Stripe count of the shared PATHSET table; a power of two.
+const KNOWN_SHARDS: usize = 64;
+
+/// A worker's priority queue: min-heap over `(cost, offset, pathset)`.
+type WorkQueue = BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>>;
+
+/// Shared state of the parallel branch-and-bound.
+struct ParSearch<'a> {
+    stencil: &'a Stencil,
+    objective: &'a Objective<'a>,
+    domain_facts: &'a Option<DomainFacts>,
+    setup: &'a Setup,
+    budget: &'a Budget,
+    max_visits: Option<u64>,
+
+    /// One work queue per worker; idle workers steal from peers.
+    queues: Vec<Mutex<WorkQueue>>,
+    /// Lock-striped PATHSET union per discovered offset.
+    known: Vec<Mutex<HashMap<IVec, u64>>>,
+    /// Total offsets in `known` (the memo-cap measure).
+    known_count: AtomicUsize,
+    /// Queue entries not yet fully processed; 0 ⟺ the search is drained.
+    pending: AtomicU64,
+    /// Global visit counter for `max_visits`.
+    visited: AtomicU64,
+    /// Raised on budget exhaustion; workers stop at the next loop head.
+    stop: AtomicBool,
+    /// First exhaustion reason wins (the recorded degradation cause).
+    stop_reason: Mutex<Option<Exhausted>>,
+    /// Exact incumbent under the canonical total order.
+    incumbent: Mutex<(u128, i128, IVec)>,
+    /// Saturated incumbent cost for lock-free pruning: always ≥ the true
+    /// best cost, so pruning against it is sound.
+    bound: AtomicU64,
+}
+
+impl ParSearch<'_> {
+    fn shard(&self, w: &IVec) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        w.hash(&mut h);
+        (h.finish() as usize) & (KNOWN_SHARDS - 1)
+    }
+
+    fn probe(&self, w: &IVec) -> Option<u64> {
+        lock_unpoisoned(&self.known[self.shard(w)]).get(w).copied()
+    }
+
+    /// Merge `mask` into the PATHSET union of `child`. Returns
+    /// `(grew, merged_mask, is_new)`.
+    fn merge(&self, child: &IVec, mask: u64) -> (bool, u64, bool) {
+        use std::collections::hash_map::Entry;
+        let mut shard = lock_unpoisoned(&self.known[self.shard(child)]);
+        match shard.entry(child.clone()) {
+            Entry::Occupied(mut e) => {
+                let merged = *e.get() | mask;
+                if merged != *e.get() {
+                    *e.get_mut() = merged;
+                    (true, merged, false)
+                } else {
+                    (false, merged, false)
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(mask);
+                (true, mask, true)
+            }
+        }
+    }
+
+    fn record_stop(&self, reason: Exhausted) {
+        let mut slot = lock_unpoisoned(&self.stop_reason);
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Offer a UOV candidate to the shared incumbent; true if it improved.
+    fn offer(&self, cost: u128, w: &IVec) -> bool {
+        let mut inc = lock_unpoisoned(&self.incumbent);
+        if improves(cost, w, &inc) {
+            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
+            *inc = (cost, norm, w.clone());
+            self.bound.store(saturate_bound(cost), Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a child with descendant-cost lower bound from `len_sq_lb`
+    /// is provably worse than the shared incumbent (strictly — ties
+    /// survive to the deterministic tie-break).
+    fn child_dominated(&self, len_sq_lb: u128) -> bool {
+        let bound = self.bound.load(Ordering::Acquire);
+        if bound == u64::MAX {
+            return false; // bound not representable: prune nothing (sound)
+        }
+        match self.domain_facts {
+            None => len_sq_lb > bound as u128,
+            Some(facts) => facts.dominated(len_sq_lb, bound as u128),
+        }
+    }
+
+    /// Pop from the worker's own queue, else steal the best entry from a
+    /// peer (scanning round-robin from the worker's successor).
+    fn pop_or_steal(&self, id: usize) -> Option<(u128, IVec, u64)> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let std::cmp::Reverse(item) = {
+                let mut q = lock_unpoisoned(&self.queues[(id + i) % n]);
+                match q.pop() {
+                    Some(entry) => entry,
+                    None => continue,
+                }
+            };
+            return Some(item);
+        }
+        None
+    }
+
+    /// Expand one offset's children (paper Visit step 2) into the
+    /// worker's own queue.
+    fn expand(&self, id: usize, w: &IVec, mask: u64, stats: &mut SearchStats) {
+        for (k, v) in self.stencil.iter().enumerate() {
+            let Ok(child) = w.checked_add(v) else {
+                stats.capped += 1;
+                continue;
+            };
+            let phi_child = self.setup.phi.dot_i128(&child);
+            debug_assert!(phi_child > 0, "functional must grow along dependences");
+            let len_sq_lb = (phi_child as u128 * phi_child as u128) / self.setup.phi_norm_sq;
+            if self.child_dominated(len_sq_lb) {
+                stats.pruned += 1;
+                continue;
+            }
+            if phi_child > self.setup.phi_cap {
+                stats.capped += 1;
+                continue;
+            }
+            let child_mask = mask | (1 << k);
+            if self.probe(&child).is_none() {
+                // Racing workers may each admit one entry past the cap —
+                // the documented per-worker memo overshoot.
+                if let Err(reason) = self
+                    .budget
+                    .check_memo(self.known_count.load(Ordering::Relaxed))
+                {
+                    self.record_stop(reason);
+                    return;
+                }
+            }
+            let (grew, merged, is_new) = self.merge(&child, child_mask);
+            if is_new {
+                self.known_count.fetch_add(1, Ordering::Relaxed);
+            }
+            if grew {
+                let Ok(child_cost) = try_cost_of(self.objective, &child) else {
+                    stats.capped += 1;
+                    continue;
+                };
+                // Increment `pending` *before* the push so the drain test
+                // (`pending == 0`) can never observe a false empty.
+                self.pending.fetch_add(1, Ordering::Release);
+                lock_unpoisoned(&self.queues[id])
+                    .push(std::cmp::Reverse((child_cost, child, merged)));
+                stats.pushed += 1;
+            }
+        }
+    }
+
+    /// One worker's main loop. Returns its local statistics.
+    fn worker(&self, id: usize) -> SearchStats {
+        let mut stats = SearchStats::default();
+        let mut idle_spins = 0u32;
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Some((cost, w, mask)) = self.pop_or_steal(id) else {
+                if self.pending.load(Ordering::Acquire) == 0 {
+                    break; // globally drained: every worker exits
+                }
+                // A peer is still expanding; its children may arrive.
+                idle_spins += 1;
+                if idle_spins > 64 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                } else {
+                    std::thread::yield_now();
+                }
+                continue;
+            };
+            idle_spins = 0;
+            // Skip stale entries: a fresher push carries the grown PATHSET.
+            if self.probe(&w) != Some(mask) {
+                self.pending.fetch_sub(1, Ordering::Release);
+                continue;
+            }
+            stats.visited += 1;
+            if let Err(reason) = self.budget.charge() {
+                self.record_stop(reason);
+                self.pending.fetch_sub(1, Ordering::Release);
+                break;
+            }
+            let seen = self.visited.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.max_visits.is_some_and(|max| seen > max) {
+                self.record_stop(Exhausted::Nodes);
+                self.pending.fetch_sub(1, Ordering::Release);
+                break;
+            }
+            if mask == self.setup.full && self.offer(cost, &w) {
+                stats.improvements += 1;
+            }
+            self.expand(id, &w, mask, &mut stats);
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+        stats
+    }
+}
+
+/// The multi-threaded engine: `threads` work-stealing workers over shared
+/// state. See the module docs for the determinism argument.
+fn search_parallel(
+    stencil: &Stencil,
+    objective: &Objective<'_>,
+    config: &SearchConfig,
+    domain_facts: &Option<DomainFacts>,
+    setup: Setup,
+) -> SearchResult {
+    let threads = config.threads.max(2);
+    let par = ParSearch {
+        stencil,
+        objective,
+        domain_facts,
+        setup: &setup,
+        budget: &config.budget,
+        max_visits: config.max_visits,
+        queues: (0..threads).map(|_| Mutex::default()).collect(),
+        known: (0..KNOWN_SHARDS).map(|_| Mutex::default()).collect(),
+        known_count: AtomicUsize::new(0),
+        pending: AtomicU64::new(0),
+        visited: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        stop_reason: Mutex::new(None),
+        incumbent: Mutex::new((
+            setup.initial_cost,
+            setup.initial_norm,
+            setup.initial.clone(),
+        )),
+        bound: AtomicU64::new(saturate_bound(setup.initial_cost)),
+    };
+
+    // Seed the frontier with the origin, exactly like the sequential run.
+    let origin = IVec::zero(setup.dim);
+    par.merge(&origin, 0);
+    par.known_count.store(1, Ordering::Relaxed);
+    par.pending.store(1, Ordering::Relaxed);
+    lock_unpoisoned(&par.queues[0]).push(std::cmp::Reverse((0, origin, 0)));
+
+    let worker_stats: Vec<SearchStats> = std::thread::scope(|scope| {
+        let par = &par;
+        let handles: Vec<_> = (0..threads)
+            .map(|id| scope.spawn(move || par.worker(id)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let mut stats = SearchStats {
+        pushed: 1, // the seed push above
+        complete: true,
+        ..SearchStats::default()
+    };
+    for ws in &worker_stats {
+        stats.visited += ws.visited;
+        stats.pushed += ws.pushed;
+        stats.improvements += ws.improvements;
+        stats.pruned += ws.pruned;
+        stats.capped += ws.capped;
+    }
+    let stop_reason = lock_unpoisoned(&par.stop_reason).take();
+    let (best_cost, _, best) = match par.incumbent.into_inner() {
+        Ok(key) => key,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let degradation = stop_reason.map(|reason| {
+        stats.complete = false;
+        config.budget.degradation(
+            reason,
+            par.known_count.load(Ordering::Relaxed),
+            best == setup.initial,
+        )
+    });
+    SearchResult {
         uov: best,
         cost: best_cost,
         stats,
         degradation,
-    })
+    }
 }
 
 /// Exhaustively enumerate every UOV with components in `[-radius, radius]`
@@ -566,6 +1005,7 @@ mod tests {
         let oracle = crate::DoneOracle::new(&s);
         let config = SearchConfig {
             max_visits: None,
+            threads: 1,
             budget: Budget::unlimited().with_max_nodes(2),
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
@@ -584,6 +1024,7 @@ mod tests {
         let oracle = crate::DoneOracle::new(&s);
         let config = SearchConfig {
             max_visits: None,
+            threads: 1,
             budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
@@ -607,6 +1048,7 @@ mod tests {
         token.store(true, Ordering::Relaxed);
         let config = SearchConfig {
             max_visits: None,
+            threads: 1,
             budget: Budget::unlimited().with_cancel_token(token),
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
@@ -624,6 +1066,7 @@ mod tests {
         let oracle = crate::DoneOracle::new(&s);
         let config = SearchConfig {
             max_visits: None,
+            threads: 1,
             budget: Budget::unlimited().with_max_memo_entries(2),
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
@@ -638,6 +1081,7 @@ mod tests {
     fn generous_budget_still_finds_optimum() {
         let config = SearchConfig {
             max_visits: None,
+            threads: 1,
             budget: Budget::unlimited()
                 .with_max_nodes(1_000_000)
                 .with_deadline(std::time::Duration::from_secs(60)),
@@ -664,5 +1108,134 @@ mod tests {
             assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
         }
         assert_eq!(isqrt(u128::from(u64::MAX)), 4294967295);
+    }
+
+    fn with_threads(threads: usize) -> SearchConfig {
+        SearchConfig {
+            threads,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_known_optima() {
+        for threads in [2, 4, 8] {
+            let best =
+                find_best_uov(&fig1(), Objective::ShortestVector, &with_threads(threads)).unwrap();
+            assert_eq!(best.uov, ivec![1, 1], "threads={threads}");
+            assert_eq!(best.cost, 2);
+            assert!(best.stats.complete);
+            assert!(best.degradation.is_none());
+
+            let best = find_best_uov(
+                &stencil5(),
+                Objective::ShortestVector,
+                &with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(best.uov, ivec![2, 0], "threads={threads}");
+            assert_eq!(best.cost, 4);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_uov_and_cost_exactly() {
+        let stencils = [
+            fig1(),
+            stencil5(),
+            Stencil::new(vec![ivec![2, 1], ivec![1, 3]]).unwrap(),
+            Stencil::new(vec![ivec![1, -1], ivec![1, 1], ivec![2, 0]]).unwrap(),
+            Stencil::new(vec![ivec![0, 1], ivec![1, -3]]).unwrap(),
+            Stencil::new(vec![ivec![1, 0, 0], ivec![0, 1, 0], ivec![0, 0, 1]]).unwrap(),
+        ];
+        for s in &stencils {
+            let seq = find_best_uov(s, Objective::ShortestVector, &with_threads(1)).unwrap();
+            for threads in [2, 3, 8] {
+                let par =
+                    find_best_uov(s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+                assert_eq!(par.uov, seq.uov, "UOV diverged at threads={threads}");
+                assert_eq!(par.cost, seq.cost, "cost diverged at threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_known_bounds_matches_sequential() {
+        let grid = RectDomain::grid(6, 9);
+        for s in [fig1(), stencil5()] {
+            let seq = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(1)).unwrap();
+            let par = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(4)).unwrap();
+            assert_eq!(par.uov, seq.uov);
+            assert_eq!(par.cost, seq.cost);
+        }
+    }
+
+    #[test]
+    fn parallel_search_repeats_deterministically() {
+        // Many repetitions under the OS scheduler: every completed run of
+        // the parallel engine must return the identical (uov, cost).
+        let s = stencil5();
+        let reference = find_best_uov(&s, Objective::ShortestVector, &with_threads(1)).unwrap();
+        for round in 0..20 {
+            let par = find_best_uov(&s, Objective::ShortestVector, &with_threads(4)).unwrap();
+            assert_eq!(par.uov, reference.uov, "round {round}");
+            assert_eq!(par.cost, reference.cost, "round {round}");
+        }
+    }
+
+    #[test]
+    fn parallel_budget_truncation_stays_legal() {
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let config = SearchConfig {
+            max_visits: None,
+            threads: 4,
+            budget: Budget::unlimited().with_max_nodes(2),
+        };
+        let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov));
+        let d = res.degradation.expect("node cap must record degradation");
+        assert_eq!(d.reason, Exhausted::Nodes);
+    }
+
+    #[test]
+    fn parallel_max_visits_truncates_but_stays_legal() {
+        let s = stencil5();
+        let oracle = crate::DoneOracle::new(&s);
+        let res = find_best_uov(
+            &s,
+            Objective::ShortestVector,
+            &SearchConfig {
+                max_visits: Some(1),
+                threads: 4,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!res.stats.complete);
+        assert!(oracle.is_uov(&res.uov));
+        let d = res.degradation.expect("visit cap must degrade");
+        assert_eq!(d.reason, Exhausted::Nodes);
+    }
+
+    #[test]
+    fn canonical_order_breaks_cost_ties_lexicographically() {
+        let shorter = ivec![1, 2];
+        let best = (5u128, 5i128, ivec![2, 1]);
+        // Same cost, same squared length: the lexicographically smaller
+        // vector wins.
+        assert!(improves(5, &shorter, &best));
+        assert!(!improves(5, &best.2.clone(), &(5, 5, shorter)));
+        // Cost dominates everything else.
+        assert!(improves(4, &ivec![9, 9], &best));
+        assert!(!improves(6, &ivec![0, 1], &best));
+    }
+
+    #[test]
+    fn saturated_bound_disables_pruning_instead_of_lying() {
+        assert_eq!(saturate_bound(3), 3);
+        assert_eq!(saturate_bound(u128::from(u64::MAX) + 1), u64::MAX);
+        assert_eq!(saturate_bound(u128::MAX), u64::MAX);
     }
 }

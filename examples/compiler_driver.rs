@@ -63,6 +63,7 @@ fn main() -> Result<(), uov::Error> {
     let config = PlanConfig {
         layout: Layout::Interleaved,
         budget: Budget::unlimited().with_deadline(Duration::ZERO),
+        threads: 1,
     };
     let p = plan_with(&nest, &config)?;
     println!("======== budgeted pass (expired deadline) ========\n");

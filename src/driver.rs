@@ -53,6 +53,11 @@ pub struct PlanConfig {
     /// or cancellation token is global (every statement shares the same
     /// wall clock and flag); node and memo caps apply per statement.
     pub budget: Budget,
+    /// Worker threads for each statement's branch-and-bound. `0` and `1`
+    /// both mean sequential; the result is identical for every value (see
+    /// [`uov_core::search`]'s determinism guarantee) — threads only buy
+    /// wall-clock time.
+    pub threads: usize,
 }
 
 /// The storage plan for one regular statement.
@@ -118,6 +123,7 @@ pub fn plan(nest: &LoopNest, layout: Layout) -> Result<TransformPlan, Error> {
         &PlanConfig {
             layout,
             budget: Budget::unlimited(),
+            threads: 1,
         },
     )
 }
@@ -144,6 +150,7 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
                     // Fresh node counter per statement; deadline and
                     // cancellation stay global through the clone.
                     budget: config.budget.clone(),
+                    threads: config.threads.max(1),
                 };
                 let best = find_best_uov(
                     &stencil,
@@ -267,6 +274,7 @@ mod tests {
         let config = PlanConfig {
             layout: Layout::Interleaved,
             budget: Budget::unlimited().with_deadline(Duration::ZERO),
+            threads: 1,
         };
         let p = plan_with(&nest, &config).unwrap();
         let s = p.statements[0].as_ref().unwrap();
@@ -283,6 +291,28 @@ mod tests {
     }
 
     #[test]
+    fn threaded_plan_matches_sequential_plan() {
+        for nest in [
+            examples::fig1_nest(10, 6),
+            examples::stencil5_nest(6, 20),
+            examples::psm_nest(8, 8),
+        ] {
+            let seq = plan(&nest, Layout::Interleaved).unwrap();
+            let config = PlanConfig {
+                layout: Layout::Interleaved,
+                budget: Budget::unlimited(),
+                threads: 4,
+            };
+            let par = plan_with(&nest, &config).unwrap();
+            for (s, p) in seq.statements.iter().zip(&par.statements) {
+                let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+                assert_eq!(s.uov, p.uov, "UOV must not depend on thread count");
+                assert_eq!(s.mapped_cells, p.mapped_cells);
+            }
+        }
+    }
+
+    #[test]
     fn generous_budget_matches_unbudgeted_plan() {
         let nest = examples::fig1_nest(10, 6);
         let config = PlanConfig {
@@ -290,6 +320,7 @@ mod tests {
             budget: Budget::unlimited()
                 .with_deadline(Duration::from_secs(60))
                 .with_max_nodes(10_000_000),
+            threads: 1,
         };
         let p = plan_with(&nest, &config).unwrap();
         let s = p.statements[0].as_ref().unwrap();

@@ -1,0 +1,161 @@
+//! Differential suite: the parallel branch-and-bound against its two
+//! independent references.
+//!
+//! For randomized stencils the engine must return the **byte-identical**
+//! `(UOV, cost)` triple regardless of worker count — the determinism
+//! contract of `uov_core::search` — and must agree with the brute-force
+//! `exhaustive_best_uov` enumeration wherever the search radius provably
+//! contains the optimum.
+//!
+//! The stencil generator is seeded from the `UOV_TEST_SEED` environment
+//! variable (default below) so CI can sweep seeds to vary both the tested
+//! stencils and, indirectly, the thread interleavings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uov::core::search::{exhaustive_best_uov, find_best_uov, Objective, SearchConfig};
+use uov::isg::{IVec, RectDomain, Stencil};
+
+fn seed_from_env() -> u64 {
+    std::env::var("UOV_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_0D1F)
+}
+
+fn with_threads(threads: usize) -> SearchConfig {
+    SearchConfig {
+        threads,
+        ..SearchConfig::default()
+    }
+}
+
+/// Thread counts under test: sequential, a couple of small counts that
+/// exercise stealing, and whatever the host actually has.
+fn thread_counts() -> Vec<usize> {
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![2, 4, ncores.max(2)];
+    counts.dedup();
+    counts
+}
+
+/// A random valid stencil: `n` lexicographically positive vectors with
+/// coordinates in `[-bound, bound]`.
+fn random_stencil(rng: &mut StdRng, dim: usize, bound: i64, max_vecs: usize) -> Stencil {
+    loop {
+        let n = rng.gen_range(1..=max_vecs);
+        let mut vs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = loop {
+                let cand: Vec<i64> = (0..dim).map(|_| rng.gen_range(-bound..=bound)).collect();
+                let cand = IVec::from(cand);
+                if cand.is_lex_positive() {
+                    break cand;
+                }
+            };
+            vs.push(v);
+        }
+        if let Ok(s) = Stencil::new(vs) {
+            return s;
+        }
+    }
+}
+
+/// A search radius guaranteed to contain the shortest-vector optimum:
+/// `‖w*‖₂ ≤ ‖Σvᵢ‖₂ ≤ Σ|initialᵢ|`, so the ∞-norm box of that radius
+/// covers every candidate the branch-and-bound could prefer.
+fn covering_radius(s: &Stencil) -> i64 {
+    let initial = s.sum();
+    (0..s.dim()).map(|i| initial[i].abs()).sum::<i64>() + 1
+}
+
+/// The core deliverable: `threads = N` is byte-identical to `threads = 1`
+/// on randomized stencils, for both the UOV and its cost.
+#[test]
+fn parallel_engine_matches_sequential_on_random_stencils() {
+    let mut rng = StdRng::seed_from_u64(seed_from_env());
+    for case in 0..48 {
+        let dim = rng.gen_range(1usize..=3);
+        let s = random_stencil(&mut rng, dim, 2, 4);
+        let seq = find_best_uov(&s, Objective::ShortestVector, &with_threads(1))
+            .expect("small coordinates cannot overflow");
+        for threads in thread_counts() {
+            let par = find_best_uov(&s, Objective::ShortestVector, &with_threads(threads))
+                .expect("small coordinates cannot overflow");
+            assert_eq!(
+                par.uov, seq.uov,
+                "case {case}: UOV diverged at threads={threads} for {s:?}"
+            );
+            assert_eq!(
+                par.cost, seq.cost,
+                "case {case}: cost diverged at threads={threads} for {s:?}"
+            );
+            assert_eq!(par.stats.complete, seq.stats.complete);
+        }
+    }
+}
+
+/// Both engines against brute force: enumerate every UOV in a box known
+/// to contain the optimum and take the key-minimum. The branch-and-bound
+/// (sequential *and* parallel) must land on the identical vector.
+#[test]
+fn both_engines_match_exhaustive_within_covering_radius() {
+    let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xE8AA);
+    for case in 0..16 {
+        let s = random_stencil(&mut rng, 2, 2, 4);
+        let radius = covering_radius(&s);
+        let ex = exhaustive_best_uov(&s, Objective::ShortestVector, radius)
+            .expect("the initial UOV is inside the covering radius");
+        for threads in [1usize, 4] {
+            let bb = find_best_uov(&s, Objective::ShortestVector, &with_threads(threads))
+                .expect("small coordinates cannot overflow");
+            assert_eq!(
+                bb.cost, ex.cost,
+                "case {case}: cost differs from exhaustive at threads={threads} for {s:?}"
+            );
+            assert_eq!(
+                bb.uov, ex.uov,
+                "case {case}: tie-break differs from exhaustive at threads={threads} for {s:?}"
+            );
+        }
+    }
+}
+
+/// The storage objective (the paper's actual cost) under the same
+/// differential: identical storage-class counts at every thread count.
+#[test]
+fn known_bounds_storage_counts_are_thread_independent() {
+    let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0x0553);
+    let grid = RectDomain::grid(6, 9);
+    for case in 0..12 {
+        let s = random_stencil(&mut rng, 2, 2, 4);
+        let seq = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(1))
+            .expect("small coordinates cannot overflow");
+        for threads in thread_counts() {
+            let par = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(threads))
+                .expect("small coordinates cannot overflow");
+            assert_eq!(
+                (par.uov.clone(), par.cost),
+                (seq.uov.clone(), seq.cost),
+                "case {case}: storage plan diverged at threads={threads} for {s:?}"
+            );
+        }
+    }
+}
+
+/// Repeated parallel runs on one instance: the OS scheduler is the only
+/// source of variation, and it must not be observable.
+#[test]
+fn repeated_parallel_runs_are_byte_identical() {
+    let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0x9E9E);
+    let s = random_stencil(&mut rng, 2, 3, 5);
+    let reference =
+        find_best_uov(&s, Objective::ShortestVector, &with_threads(1)).expect("in range");
+    for round in 0..10 {
+        let par = find_best_uov(&s, Objective::ShortestVector, &with_threads(4)).expect("in range");
+        assert_eq!(par.uov, reference.uov, "round {round} for {s:?}");
+        assert_eq!(par.cost, reference.cost, "round {round} for {s:?}");
+    }
+}

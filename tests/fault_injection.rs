@@ -3,9 +3,10 @@
 //!
 //! 1. **No panics.** Malformed or extreme inputs produce `Err`, never a
 //!    crash — library crates deny `unwrap`/`expect` outside tests.
-//! 2. **Budgets are respected.** The node cap is exact; deadline and
-//!    cancellation overshoot is bounded by one check interval of node
-//!    expansions ([`Budget::CHECK_INTERVAL`]).
+//! 2. **Budgets are respected.** The node cap is exact (the counter is a
+//!    single atomic shared by all workers); deadline and cancellation
+//!    overshoot is bounded by one check interval of node expansions
+//!    ([`Budget::CHECK_INTERVAL`]) **per worker**.
 //! 3. **Degradation stays legal.** A budget-truncated search still returns
 //!    a true UOV (at worst the initial `Σvᵢ`), verified by the exact
 //!    oracle after the fact.
@@ -27,6 +28,15 @@ fn budgeted(budget: Budget) -> SearchConfig {
     SearchConfig {
         max_visits: None,
         budget,
+        threads: 1,
+    }
+}
+
+fn budgeted_threaded(budget: Budget, threads: usize) -> SearchConfig {
+    SearchConfig {
+        max_visits: None,
+        budget,
+        threads,
     }
 }
 
@@ -98,6 +108,83 @@ fn cancellation_token_stops_search_immediately() {
     // Un-tripping after the fact changes nothing about the returned record.
     token.store(false, Ordering::Relaxed);
     assert_eq!(d.reason, Exhausted::Cancelled);
+}
+
+/// Concurrency stress: the 8-worker parallel search under a 1 ms deadline
+/// on the engine's NP-hard worst case. It must come back promptly (no
+/// deadlock, no livelock in the termination protocol), respect the
+/// per-worker overshoot bound, and return an oracle-verified UOV.
+#[test]
+fn parallel_search_survives_one_ms_deadline_with_8_threads() {
+    let inst = PartitionInstance::new(vec![8, 7, 6, 5, 4, 3, 2, 1]).expect("positive");
+    let (stencil, _) = inst.reduce().expect("in range");
+    let threads = 8;
+    let budget = Budget::unlimited().with_deadline(Duration::from_millis(1));
+    let res = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &budgeted_threaded(budget, threads),
+    )
+    .expect("a deadline never turns a valid instance into an error");
+    assert!(
+        DoneOracle::new(&stencil).is_uov(&res.uov),
+        "degraded parallel answer is not a UOV: {}",
+        res.uov
+    );
+    if let Some(d) = &res.degradation {
+        assert_eq!(d.reason, Exhausted::Deadline);
+    }
+}
+
+/// A pre-tripped cancellation token with 8 workers: each worker observes
+/// the token within its own first check interval, so the total overshoot
+/// is bounded by one interval *per worker* — the documented bound.
+#[test]
+fn parallel_cancellation_overshoot_is_bounded_per_worker() {
+    let inst = PartitionInstance::new(vec![8, 7, 6, 5, 4, 3, 2, 1]).expect("positive");
+    let (stencil, _) = inst.reduce().expect("in range");
+    let threads: u64 = 8;
+    let token = Arc::new(AtomicBool::new(true));
+    let budget = Budget::unlimited().with_cancel_token(token);
+    let res = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &budgeted_threaded(budget, threads as usize),
+    )
+    .expect("cancellation degrades, not errors");
+    let d = res.degradation.expect("tripped token must degrade");
+    assert_eq!(d.reason, Exhausted::Cancelled);
+    assert!(
+        d.nodes_at_stop <= Budget::CHECK_INTERVAL * threads,
+        "overshoot {} nodes exceeds one check interval per worker",
+        d.nodes_at_stop
+    );
+    assert!(DoneOracle::new(&stencil).is_uov(&res.uov));
+    assert_eq!(res.uov, initial_uov(&stencil), "no time to improve on Σvᵢ");
+}
+
+/// An expired deadline with 8 workers stops within one check interval per
+/// worker and still falls back to the always-legal initial UOV.
+#[test]
+fn parallel_deadline_overshoot_is_bounded_per_worker() {
+    let inst = PartitionInstance::new(vec![13, 11, 9, 7, 2]).expect("positive");
+    let (stencil, _) = inst.reduce().expect("in range");
+    let threads: u64 = 8;
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    let res = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &budgeted_threaded(budget, threads as usize),
+    )
+    .expect("degrades, not errors");
+    let d = res.degradation.expect("expired deadline must degrade");
+    assert_eq!(d.reason, Exhausted::Deadline);
+    assert!(
+        d.nodes_at_stop <= Budget::CHECK_INTERVAL * threads,
+        "overshoot {} nodes exceeds one check interval per worker",
+        d.nodes_at_stop
+    );
+    assert!(DoneOracle::new(&stencil).is_uov(&res.uov));
 }
 
 /// Near-`i64::MAX` coordinates: every layer reports overflow as an error
@@ -176,6 +263,7 @@ fn driver_degrades_gracefully_under_starvation() {
         let config = PlanConfig {
             layout: Layout::Interleaved,
             budget: Budget::unlimited().with_deadline(Duration::ZERO),
+            threads: 1,
         };
         let p = plan_with(&nest, &config).expect("starvation must not fail the plan");
         for stmt in p.statements.iter().flatten() {

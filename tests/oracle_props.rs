@@ -1,0 +1,119 @@
+//! Property tests for the DONE/DEAD oracle invariants (paper §3.1–§3.2).
+//!
+//! The invariants under test:
+//!
+//! 1. Every vector reported by `uovs_within` satisfies `is_uov`.
+//! 2. The initial UOV `Σvᵢ` is always accepted (§3.2.1 — it is universal
+//!    for every schedule).
+//! 3. DEAD ⊆ DONE at every query point: a value is dead only once every
+//!    consumer has executed, and dead requires done by definition — the
+//!    sets are *not* disjoint, DEAD is the upward-closed core of DONE.
+//! 4. Cache-hit answers equal cold-cache answers: re-querying a warmed
+//!    oracle (including one warmed by concurrent workers) never changes a
+//!    membership bit.
+
+use proptest::prelude::*;
+use uov::core::search::initial_uov;
+use uov::core::DoneOracle;
+use uov::isg::{ivec, IVec, RectDomain, Stencil};
+
+fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
+    prop::collection::vec(-bound..=bound, dim)
+        .prop_map(IVec::from)
+        .prop_filter("lexicographically positive", |v| v.is_lex_positive())
+}
+
+fn stencil_2d() -> impl Strategy<Value = Stencil> {
+    prop::collection::vec(lex_positive_vec(2, 3), 1..5)
+        .prop_map(|vs| Stencil::new(vs).expect("validated"))
+}
+
+fn any_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
+    prop::collection::vec(-bound..=bound, dim).prop_map(IVec::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Invariant 1: `uovs_within` only ever reports true UOVs — checked
+    /// against a *fresh* oracle so a cache bug in the enumerating oracle
+    /// cannot vouch for itself.
+    #[test]
+    fn uovs_within_reports_only_uovs(s in stencil_2d()) {
+        let warm = DoneOracle::new(&s);
+        for w in warm.uovs_within(4) {
+            prop_assert!(warm.is_uov(&w), "warm oracle rejects its own {w}");
+            prop_assert!(DoneOracle::new(&s).is_uov(&w), "cold oracle rejects {w}");
+        }
+    }
+
+    /// Invariant 2: the initial UOV `Σvᵢ` is accepted for every stencil.
+    #[test]
+    fn initial_uov_is_always_accepted(s in stencil_2d()) {
+        prop_assert!(DoneOracle::new(&s).is_uov(&initial_uov(&s)));
+    }
+
+    /// Invariant 3: DEAD ⊆ DONE pointwise, sampled over random query
+    /// points. (Dead means *every* consumer has read the value; done means
+    /// the producer has run — the former entails the latter.)
+    #[test]
+    fn dead_is_a_subset_of_done_pointwise(s in stencil_2d(), w in any_vec(2, 5)) {
+        let oracle = DoneOracle::new(&s);
+        if oracle.in_dead(&w) {
+            prop_assert!(oracle.in_done(&w), "{w} is dead but not done");
+        }
+    }
+
+    /// Invariant 3, set-level: the enumerated DEAD set at a query point is
+    /// contained in the DONE set at the same point.
+    #[test]
+    fn dead_points_are_contained_in_done_points(s in stencil_2d()) {
+        let oracle = DoneOracle::new(&s);
+        let grid = RectDomain::grid(5, 5);
+        let q = ivec![4, 4];
+        let done = oracle.done_points(&q, &grid);
+        for p in oracle.dead_points(&q, &grid) {
+            prop_assert!(done.contains(&p), "dead point {p} missing from DONE");
+        }
+    }
+
+    /// Invariant 4: a warmed cache never changes an answer. Query a batch
+    /// twice against one oracle (second pass is all cache hits) and
+    /// compare each bit to a cold oracle's answer.
+    #[test]
+    fn cache_hits_equal_cold_answers(s in stencil_2d()) {
+        let warm = DoneOracle::new(&s);
+        let mut queries = Vec::new();
+        for x in -3i64..=3 {
+            for y in -3i64..=3 {
+                queries.push(ivec![x, y]);
+            }
+        }
+        let first: Vec<bool> = queries.iter().map(|w| warm.in_done(w)).collect();
+        let second: Vec<bool> = queries.iter().map(|w| warm.in_done(w)).collect();
+        prop_assert_eq!(&first, &second, "cache hit changed an answer");
+        let cold: Vec<bool> = {
+            let oracle = DoneOracle::new(&s);
+            queries.iter().map(|w| oracle.in_done(w)).collect()
+        };
+        prop_assert_eq!(&first, &cold, "warm cache disagrees with cold oracle");
+    }
+
+    /// Invariant 4 under concurrency: workers racing on one shared oracle
+    /// get exactly the cold sequential answers.
+    #[test]
+    fn concurrent_cache_equals_cold_answers(s in stencil_2d()) {
+        let shared = DoneOracle::new(&s);
+        let mut queries = Vec::new();
+        for x in -3i64..=3 {
+            for y in -3i64..=3 {
+                queries.push(ivec![x, y]);
+            }
+        }
+        let answers = uov::core::par::fan_out(&queries, 4, |w| shared.is_uov(w));
+        let cold = DoneOracle::new(&s);
+        for (w, got) in queries.iter().zip(answers) {
+            prop_assert_eq!(got, cold.is_uov(w), "racing workers flipped is_uov({})", w);
+        }
+    }
+}
