@@ -219,6 +219,7 @@ pub fn degradation_stats() -> Table {
                     max_visits: None,
                     budget: budget.clone(),
                     threads: 1,
+                    checkpoint: None,
                 },
             )
             .expect("zoo stencils are in range even under a tiny budget");

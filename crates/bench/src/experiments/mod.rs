@@ -5,6 +5,7 @@ pub mod baseline;
 pub mod extension;
 pub mod npc;
 pub mod overhead;
+pub mod resilience;
 pub mod scaling;
 pub mod storage;
 
@@ -32,6 +33,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "npc" => vec![npc::reduction_demo(scale)],
         "ablation" => ablation::all(scale),
         "parallel" => vec![ablation::parallel_consistency(scale)],
+        "resilience" => resilience::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -45,8 +47,27 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
 /// Every experiment name, in paper order.
 pub fn all_names() -> Vec<&'static str> {
     vec![
-        "fig1", "fig2", "fig3", "fig5", "fig6", "table1", "table2", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "fig12", "fig13", "fig14", "npc", "ablation", "parallel", "jacobi",
-        "tiles", "baseline",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "table1",
+        "table2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "npc",
+        "ablation",
+        "parallel",
+        "resilience",
+        "jacobi",
+        "tiles",
+        "baseline",
     ]
 }

@@ -1,0 +1,169 @@
+//! Resilience harness: checkpoint/resume round-trips and result
+//! certification, measured on the ablation zoo.
+//!
+//! Not a paper figure — this validates the robustness layer added around
+//! the search: every interrupted-then-resumed run must land on the exact
+//! `(uov, cost)` of an uninterrupted run, every emitted result must pass
+//! the independent certifier, and the snapshot machinery's overhead must
+//! stay a rounding error at realistic intervals.
+
+use uov_core::budget::Budget;
+use uov_core::certify::certify;
+use uov_core::checkpoint::CheckpointConfig;
+use uov_core::search::{find_best_uov, search_resume, Objective, SearchConfig};
+use uov_isg::{IVec, Stencil};
+
+use crate::report::Table;
+use crate::Scale;
+
+fn zoo() -> Vec<(&'static str, Stencil)> {
+    let v = |coords: &[[i64; 2]]| -> Vec<IVec> { coords.iter().map(|&c| IVec::from(c)).collect() };
+    vec![
+        (
+            "fig1 (3-pt)",
+            Stencil::new(v(&[[1, 0], [0, 1], [1, 1]])).unwrap(),
+        ),
+        (
+            "5-pt stencil",
+            Stencil::new(v(&[[1, -2], [1, -1], [1, 0], [1, 1], [1, 2]])).unwrap(),
+        ),
+        ("skewed pair", Stencil::new(v(&[[2, 1], [1, 3]])).unwrap()),
+        (
+            "wide fan",
+            Stencil::new(v(&[[1, -3], [1, 0], [1, 3]])).unwrap(),
+        ),
+    ]
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "uov_bench_resilience_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Interrupt each zoo search at several node cuts, resume from the
+/// snapshot, and report whether the round-trip reproduced the reference
+/// answer exactly and whether the certifier accepted it.
+pub fn checkpoint_roundtrip(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "resilience — interrupt/resume round-trip and certification",
+        vec![
+            "stencil".into(),
+            "threads".into(),
+            "cut (nodes)".into(),
+            "resumed = clean".into(),
+            "certified".into(),
+            "transcript".into(),
+        ],
+    );
+    let cuts: &[u64] = match scale {
+        Scale::Quick => &[2, 8],
+        Scale::Full => &[1, 2, 4, 8, 16, 32],
+    };
+    for (name, s) in zoo() {
+        for threads in [1usize, 4] {
+            let reference = find_best_uov(
+                &s,
+                Objective::ShortestVector,
+                &SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                },
+            )
+            .expect("zoo stencils are in range");
+            for &cut in cuts {
+                let path = scratch(&format!("{}_{threads}_{cut}", name.replace(' ', "_")));
+                let interrupted = SearchConfig {
+                    threads,
+                    budget: Budget::unlimited().with_max_nodes(cut),
+                    checkpoint: Some(CheckpointConfig {
+                        path: path.clone(),
+                        interval: 1,
+                    }),
+                    ..SearchConfig::default()
+                };
+                let partial = find_best_uov(&s, Objective::ShortestVector, &interrupted)
+                    .expect("a node cap never errors a valid instance");
+                assert!(
+                    partial.checkpoint_error.is_none(),
+                    "snapshot write failed for {name}"
+                );
+                let resumed = search_resume(
+                    &path,
+                    &s,
+                    Objective::ShortestVector,
+                    &SearchConfig {
+                        threads,
+                        ..SearchConfig::default()
+                    },
+                )
+                .expect("a clean snapshot must resume");
+                let identical = resumed.uov == reference.uov && resumed.cost == reference.cost;
+                let cert = certify(&s, &Objective::ShortestVector, &resumed);
+                t.push(vec![
+                    name.into(),
+                    threads.to_string(),
+                    cut.to_string(),
+                    identical.to_string(),
+                    cert.is_ok().to_string(),
+                    cert.map(|c| format!("{:#018x}", c.transcript_hash))
+                        .unwrap_or_else(|e| e.to_string()),
+                ]);
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    t
+}
+
+/// Snapshot overhead: wall-clock of the same search with checkpointing
+/// off, coarse (every 1024 nodes) and aggressive (every 64 nodes).
+pub fn checkpoint_overhead() -> Table {
+    let mut t = Table::new(
+        "resilience — snapshot overhead (shortest-vector objective)",
+        vec![
+            "stencil".into(),
+            "no ckpt (µs)".into(),
+            "interval 1024 (µs)".into(),
+            "interval 64 (µs)".into(),
+            "snapshot bytes".into(),
+        ],
+    );
+    for (name, s) in zoo() {
+        let mut timings = Vec::new();
+        let mut snap_bytes = 0u64;
+        for interval in [0u64, 1024, 64] {
+            let path = scratch(&format!("ovh_{}_{interval}", name.replace(' ', "_")));
+            let config = SearchConfig {
+                checkpoint: (interval > 0).then(|| CheckpointConfig {
+                    path: path.clone(),
+                    interval,
+                }),
+                ..SearchConfig::default()
+            };
+            let start = std::time::Instant::now();
+            let res = find_best_uov(&s, Objective::ShortestVector, &config)
+                .expect("zoo stencils are in range");
+            timings.push(start.elapsed().as_micros().to_string());
+            assert!(res.checkpoint_error.is_none());
+            if interval > 0 {
+                snap_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        let mut row = vec![name.to_string()];
+        row.extend(timings);
+        row.push(snap_bytes.to_string());
+        t.push(row);
+    }
+    t
+}
+
+/// Both resilience tables.
+pub fn all(scale: Scale) -> Vec<Table> {
+    vec![checkpoint_roundtrip(scale), checkpoint_overhead()]
+}

@@ -181,6 +181,16 @@ impl Budget {
         self.nodes.load(Ordering::Relaxed)
     }
 
+    /// Raise the node counter to at least `n` (it never decreases).
+    ///
+    /// Used by checkpoint resume: a resumed search inherits the nodes the
+    /// interrupted run already charged, so a cumulative `max_nodes` cap
+    /// holds across arbitrarily many interrupt/resume cycles instead of
+    /// resetting on every restart.
+    pub fn restore_nodes_charged(&self, n: u64) {
+        self.nodes.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Charge one unit of work (one search-node expansion).
     ///
     /// Safe to call concurrently from many workers: the counter is a
@@ -358,5 +368,17 @@ mod tests {
         assert!(text.contains("node budget"));
         assert!(text.contains("initial UOV"));
         assert!(Exhausted::Deadline.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn restored_nodes_count_against_a_cumulative_cap() {
+        let b = Budget::unlimited().with_max_nodes(10);
+        b.restore_nodes_charged(9);
+        assert_eq!(b.nodes_charged(), 9);
+        assert!(b.charge().is_ok(), "10th node is within the cap");
+        assert!(b.charge().is_err(), "11th node exceeds it");
+        // Restoring never rolls the counter back.
+        b.restore_nodes_charged(3);
+        assert_eq!(b.nodes_charged(), 11);
     }
 }

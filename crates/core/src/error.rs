@@ -5,6 +5,7 @@ use std::fmt;
 use uov_isg::IsgError;
 
 use crate::budget::Exhausted;
+use crate::checkpoint::CheckpointError;
 
 /// Error from a UOV search or oracle query.
 ///
@@ -29,6 +30,18 @@ pub enum SearchError {
     Isg(IsgError),
     /// A budgeted query ran out of budget before reaching an answer.
     Exhausted(Exhausted),
+    /// A search worker panicked; the panic was caught at the worker
+    /// boundary and the surviving workers drained (or the final
+    /// checkpoint was written) before this error was returned. The
+    /// process never aborts on a worker panic.
+    WorkerPanic {
+        /// Index of the panicking worker (`0` for the sequential engine).
+        worker: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A resume could not restore state from a snapshot file.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for SearchError {
@@ -42,6 +55,10 @@ impl fmt::Display for SearchError {
             }
             SearchError::Isg(e) => write!(f, "lattice arithmetic failed: {e}"),
             SearchError::Exhausted(e) => write!(f, "query budget exhausted: {e}"),
+            SearchError::WorkerPanic { worker, payload } => {
+                write!(f, "search worker {worker} panicked: {payload}")
+            }
+            SearchError::Checkpoint(e) => write!(f, "checkpoint resume failed: {e}"),
         }
     }
 }
@@ -51,6 +68,7 @@ impl std::error::Error for SearchError {
         match self {
             SearchError::Isg(e) => Some(e),
             SearchError::Exhausted(e) => Some(e),
+            SearchError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -65,6 +83,12 @@ impl From<IsgError> for SearchError {
 impl From<Exhausted> for SearchError {
     fn from(e: Exhausted) -> Self {
         SearchError::Exhausted(e)
+    }
+}
+
+impl From<CheckpointError> for SearchError {
+    fn from(e: CheckpointError) -> Self {
+        SearchError::Checkpoint(e)
     }
 }
 
@@ -85,6 +109,23 @@ mod tests {
         assert!(matches!(e, SearchError::Isg(IsgError::ZeroVector)));
         let e: SearchError = Exhausted::Deadline.into();
         assert!(e.to_string().contains("deadline"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn panic_and_checkpoint_variants_display() {
+        let e = SearchError::WorkerPanic {
+            worker: 3,
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(e.to_string().contains("boom"));
+        let e: SearchError = CheckpointError::BadMagic.into();
+        assert!(matches!(
+            e,
+            SearchError::Checkpoint(CheckpointError::BadMagic)
+        ));
+        assert!(e.to_string().contains("magic"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

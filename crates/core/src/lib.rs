@@ -47,6 +47,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod budget;
+pub mod certify;
+pub mod checkpoint;
 pub mod error;
 pub mod frontier;
 pub mod multi;
@@ -58,6 +60,11 @@ pub mod search;
 pub mod viz;
 
 pub use budget::{Budget, Degradation, Exhausted};
+pub use certify::{certify, Certificate, CertifyError};
+pub use checkpoint::{CheckpointConfig, CheckpointError};
 pub use error::SearchError;
 pub use oracle::DoneOracle;
-pub use search::{find_best_uov, initial_uov, Objective, SearchConfig, SearchResult, SearchStats};
+pub use par::{try_fan_out, FanOutPanic};
+pub use search::{
+    find_best_uov, initial_uov, search_resume, Objective, SearchConfig, SearchResult, SearchStats,
+};

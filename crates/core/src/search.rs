@@ -38,17 +38,48 @@
 //! count — including 1 — returns the identical `(uov, cost)` for a
 //! completed search. Only the [`SearchStats`] counters and
 //! budget-truncated results vary with scheduling.
+//!
+//! # Checkpoint/resume
+//!
+//! With [`SearchConfig::checkpoint`] set, the engine snapshots its state
+//! — frontier, PATHSET table, incumbent and budget progress — to disk
+//! every `interval` processed nodes and once more when it stops, using
+//! the crash-safe format of [`crate::checkpoint`]. [`search_resume`]
+//! restores a snapshot and continues. Because the snapshot captures a
+//! *valid* search state (every discovered-but-unexpanded path is in the
+//! frontier, including entries a worker had in hand when the run was cut
+//! short), the canonical-order determinism argument applies across the
+//! interruption: a search killed at any point and resumed from its latest
+//! snapshot returns the byte-identical `(uov, cost)` of an uninterrupted
+//! run, at every thread count. The parallel engine quiesces all workers
+//! at a barrier before each mid-run snapshot so no expansion is ever torn
+//! across a file.
+//!
+//! # Panic isolation
+//!
+//! Every engine body runs under `catch_unwind`: a panicking node
+//! evaluation (for example a user-supplied [`IterationDomain`] that
+//! panics) surfaces as a typed [`SearchError::WorkerPanic`] instead of
+//! aborting the process. In the parallel engine the surviving workers
+//! drain or stop, the final checkpoint (if configured) is still written,
+//! and children are costed *before* they touch the shared PATHSET table
+//! so a caught panic can never leave a merged-but-never-queued offset
+//! behind.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use uov_isg::{IVec, IsgError, IterationDomain, Stencil};
 
 use crate::budget::{Budget, Degradation, Exhausted};
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError, Snapshot};
 use crate::error::SearchError;
 use crate::objective::{storage_class_count, try_storage_class_count};
+use crate::par::panic_message;
 
 /// What the search minimises.
 ///
@@ -84,6 +115,13 @@ pub struct SearchConfig {
     /// table. Completed searches return identical `(uov, cost)` for every
     /// value — see the module docs' determinism guarantee.
     pub threads: usize,
+    /// Crash-safe snapshots: `Some` writes the search state to the given
+    /// path every `interval` processed nodes (and once more when the
+    /// search stops), ready for [`search_resume`]. `None` (the default)
+    /// disables checkpointing. Snapshot write failures never fail the
+    /// search; the first one is reported in
+    /// [`SearchResult::checkpoint_error`] and disables further writes.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for SearchConfig {
@@ -92,6 +130,7 @@ impl Default for SearchConfig {
             max_visits: None,
             budget: Budget::default(),
             threads: 1,
+            checkpoint: None,
         }
     }
 }
@@ -130,6 +169,10 @@ pub struct SearchResult {
     /// Present iff the search was cut short (budget or `max_visits`); the
     /// UOV above is still legal, merely possibly non-optimal.
     pub degradation: Option<Degradation>,
+    /// Present iff a configured checkpoint write failed. The search
+    /// result itself is unaffected — checkpointing is best-effort
+    /// durability, never a correctness dependency.
+    pub checkpoint_error: Option<CheckpointError>,
 }
 
 /// The trivially computed initial UOV `ov₀ = Σ vᵢ` (paper §3.2.1).
@@ -265,7 +308,58 @@ pub fn find_best_uov(
     objective: Objective<'_>,
     config: &SearchConfig,
 ) -> Result<SearchResult, SearchError> {
-    let domain_facts = match &objective {
+    let (domain_facts, setup) = validated_setup(stencil, &objective)?;
+    let seed = SeedState::fresh(&setup);
+    run_engines(stencil, &objective, config, &domain_facts, &setup, seed)
+}
+
+/// Resume a search from a snapshot written by a previous (interrupted or
+/// completed) run with the same stencil, objective and checkpoint path.
+///
+/// The snapshot's fingerprint must match the live `(stencil, objective)`
+/// pair, and the restored state is structurally re-validated (costs
+/// recomputed, PATHSET masks range-checked, frontier cross-checked
+/// against the PATHSET table) before any search work happens. The
+/// restored node count is folded into `config.budget`, so a cumulative
+/// `max_nodes` cap holds across arbitrarily many interrupt/resume
+/// cycles.
+///
+/// Determinism: an interrupted-then-resumed search that runs to
+/// completion returns the identical `(uov, cost)` as an uninterrupted
+/// one — see the module docs.
+///
+/// # Errors
+///
+/// Everything [`find_best_uov`] reports, plus
+/// [`SearchError::Checkpoint`] when the file cannot be read, fails
+/// validation ([`CheckpointError::Corrupt`]) or belongs to a different
+/// problem ([`CheckpointError::StencilMismatch`]).
+pub fn search_resume(
+    path: &Path,
+    stencil: &Stencil,
+    objective: Objective<'_>,
+    config: &SearchConfig,
+) -> Result<SearchResult, SearchError> {
+    let snap = checkpoint::read_snapshot(path)?;
+    let (domain_facts, setup) = validated_setup(stencil, &objective)?;
+    let expected = checkpoint::fingerprint(stencil, &objective);
+    if snap.fingerprint != expected {
+        return Err(SearchError::Checkpoint(CheckpointError::StencilMismatch {
+            expected,
+            found: snap.fingerprint,
+        }));
+    }
+    let seed = SeedState::from_snapshot(&objective, &setup, snap)?;
+    config.budget.restore_nodes_charged(seed.nodes_charged);
+    run_engines(stencil, &objective, config, &domain_facts, &setup, seed)
+}
+
+/// Validate the problem and precompute the per-search constants.
+fn validated_setup(
+    stencil: &Stencil,
+    objective: &Objective<'_>,
+) -> Result<(Option<DomainFacts>, Setup), SearchError> {
+    let domain_facts = match objective {
         Objective::KnownBounds(domain) => {
             if domain.dim() != stencil.dim() {
                 return Err(SearchError::DimMismatch {
@@ -291,26 +385,143 @@ pub fn find_best_uov(
         // storage objective cannot discriminate (every candidate costs N).
         phi_cap: 64 * phi.dot_i128(&initial).max(1),
         phi,
-        initial_cost: try_cost_of(&objective, &initial)?,
+        initial_cost: try_cost_of(objective, &initial)?,
         initial_norm: initial.try_norm_sq().unwrap_or(i128::MAX),
         initial,
     };
+    Ok((domain_facts, setup))
+}
+
+/// Dispatch a seeded search to an engine, with panic isolation at the
+/// engine boundary: a panicking node evaluation becomes
+/// [`SearchError::WorkerPanic`], never an unwinding (or aborting) caller.
+fn run_engines(
+    stencil: &Stencil,
+    objective: &Objective<'_>,
+    config: &SearchConfig,
+    domain_facts: &Option<DomainFacts>,
+    setup: &Setup,
+    seed: SeedState,
+) -> Result<SearchResult, SearchError> {
     if config.threads <= 1 {
-        Ok(search_sequential(
-            stencil,
-            &objective,
-            config,
-            &domain_facts,
-            setup,
-        ))
+        // The sequential engine's state lives on this stack frame, so a
+        // caught panic cannot leave a final checkpoint behind — the
+        // latest interval snapshot (if any) remains valid for resume.
+        catch_unwind(AssertUnwindSafe(|| {
+            search_sequential(stencil, objective, config, domain_facts, setup, seed)
+        }))
+        .map_err(|payload| SearchError::WorkerPanic {
+            worker: 0,
+            payload: panic_message(payload.as_ref()),
+        })
     } else {
-        Ok(search_parallel(
-            stencil,
-            &objective,
-            config,
-            &domain_facts,
-            setup,
-        ))
+        search_parallel(stencil, objective, config, domain_facts, setup, seed)
+    }
+}
+
+/// A search starting state: either the origin seed of a fresh run or the
+/// restored state of a snapshot. Both engines consume one of these, which
+/// is what makes resume "just another search".
+struct SeedState {
+    /// PATHSET union per discovered offset.
+    known: HashMap<IVec, u64>,
+    /// Live queue entries `(cost, offset, pathset)`.
+    frontier: Vec<(u128, IVec, u64)>,
+    /// Incumbent under the canonical total order.
+    incumbent: (u128, i128, IVec),
+    /// Statistics carried over from before the interruption.
+    base: SearchStats,
+    /// Budget nodes already charged before the interruption.
+    nodes_charged: u64,
+}
+
+impl SeedState {
+    /// The fresh-start state: the origin with an empty PATHSET, and the
+    /// always-legal initial UOV `Σvᵢ` as incumbent.
+    fn fresh(setup: &Setup) -> Self {
+        let origin = IVec::zero(setup.dim);
+        let mut known = HashMap::new();
+        known.insert(origin.clone(), 0);
+        SeedState {
+            known,
+            frontier: vec![(0, origin, 0)],
+            incumbent: (
+                setup.initial_cost,
+                setup.initial_norm,
+                setup.initial.clone(),
+            ),
+            base: SearchStats {
+                pushed: 1,
+                complete: true,
+                ..SearchStats::default()
+            },
+            nodes_charged: 0,
+        }
+    }
+
+    /// Restore a snapshot, re-validating every structural invariant the
+    /// engines rely on. CRCs catch accidental corruption; these checks
+    /// catch semantic damage a CRC-valid file could still carry.
+    fn from_snapshot(
+        objective: &Objective<'_>,
+        setup: &Setup,
+        snap: Snapshot,
+    ) -> Result<Self, SearchError> {
+        fn corrupt(msg: &str) -> SearchError {
+            SearchError::Checkpoint(CheckpointError::Corrupt(msg.to_string()))
+        }
+        if snap.dim != setup.dim {
+            return Err(corrupt("snapshot dimension does not match the stencil"));
+        }
+        if snap.incumbent.dim() != setup.dim {
+            return Err(corrupt("incumbent dimension mismatch"));
+        }
+        let recomputed = try_cost_of(objective, &snap.incumbent)
+            .map_err(|_| corrupt("incumbent cost is not recomputable"))?;
+        if recomputed != snap.incumbent_cost {
+            return Err(corrupt("incumbent cost mismatch"));
+        }
+        let mut known = HashMap::with_capacity(snap.known.len());
+        for (w, mask) in snap.known {
+            if w.dim() != setup.dim {
+                return Err(corrupt("PATHSET offset dimension mismatch"));
+            }
+            if mask & !setup.full != 0 {
+                return Err(corrupt("PATHSET mask references nonexistent vectors"));
+            }
+            if known.insert(w, mask).is_some() {
+                return Err(corrupt("duplicate PATHSET offset"));
+            }
+        }
+        let mut frontier = Vec::with_capacity(snap.frontier.len());
+        for (cost, w, mask) in snap.frontier {
+            if w.dim() != setup.dim {
+                return Err(corrupt("frontier offset dimension mismatch"));
+            }
+            if known.get(&w).copied() != Some(mask) {
+                return Err(corrupt(
+                    "frontier entry inconsistent with the PATHSET table",
+                ));
+            }
+            let recomputed = try_cost_of(objective, &w)
+                .map_err(|_| corrupt("frontier cost is not recomputable"))?;
+            if recomputed != cost {
+                return Err(corrupt("frontier cost mismatch"));
+            }
+            frontier.push((cost, w, mask));
+        }
+        let norm = snap.incumbent.try_norm_sq().unwrap_or(i128::MAX);
+        let base = SearchStats {
+            complete: true,
+            ..snap.stats
+        };
+        Ok(SeedState {
+            known,
+            frontier,
+            incumbent: (snap.incumbent_cost, norm, snap.incumbent),
+            base,
+            nodes_charged: snap.nodes_charged,
+        })
     }
 }
 
@@ -348,36 +559,62 @@ fn improves(cost: u128, w: &IVec, best: &(u128, i128, IVec)) -> bool {
     }
 }
 
+/// Periodic snapshot writer shared by both engines' final writes and the
+/// sequential engine's interval ticks.
+struct CkptSink<'a> {
+    cfg: &'a CheckpointConfig,
+    fingerprint: u64,
+    /// Fully-processed nodes since the last snapshot.
+    since: u64,
+    /// First write failure; checkpointing is disabled once set.
+    error: Option<CheckpointError>,
+}
+
+impl CkptSink<'_> {
+    fn write(&mut self, snap: &Snapshot) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = checkpoint::write_snapshot(&self.cfg.path, snap) {
+            self.error = Some(e);
+        }
+    }
+}
+
 /// The single-threaded engine: one priority queue, one PATHSET map.
 fn search_sequential(
     stencil: &Stencil,
     objective: &Objective<'_>,
     config: &SearchConfig,
     domain_facts: &Option<DomainFacts>,
-    setup: Setup,
+    setup: &Setup,
+    seed: SeedState,
 ) -> SearchResult {
     let budget = &config.budget;
-    let mut best_key = (
-        setup.initial_cost,
-        setup.initial_norm,
-        setup.initial.clone(),
-    );
-    let mut stats = SearchStats {
-        complete: true,
-        ..SearchStats::default()
-    };
+    let mut best_key = seed.incumbent;
+    let mut stats = seed.base;
     let mut degradation: Option<Degradation> = None;
 
     // Priority queue of (cost, offset, pathset), min-cost first. `known`
     // remembers the union of PATHSETs discovered per offset; an entry is
     // re-pushed whenever its PATHSET grows (paper's Visit step 2).
-    let mut known: HashMap<IVec, u64> = HashMap::new();
-    let mut heap: BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>> = BinaryHeap::new();
+    let mut known: HashMap<IVec, u64> = seed.known;
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>> = seed
+        .frontier
+        .into_iter()
+        .map(|(cost, w, mask)| std::cmp::Reverse((cost, w, mask)))
+        .collect();
 
-    let origin = IVec::zero(setup.dim);
-    known.insert(origin.clone(), 0);
-    heap.push(std::cmp::Reverse((0, origin, 0)));
-    stats.pushed += 1;
+    let mut ckpt = config.checkpoint.as_ref().map(|cfg| CkptSink {
+        cfg,
+        fingerprint: checkpoint::fingerprint(stencil, objective),
+        since: 0,
+        error: None,
+    });
+    // The entry popped but not fully expanded when the search stopped
+    // early; preserved into the final snapshot so its subtree is never
+    // lost across an interrupt/resume cycle (re-expansion is idempotent).
+    let mut in_hand: Option<(u128, IVec, u64)> = None;
 
     'search: while let Some(std::cmp::Reverse((cost, w, mask))) = heap.pop() {
         // Skip stale entries: a fresher push carries the grown PATHSET.
@@ -389,6 +626,7 @@ fn search_sequential(
             stats.complete = false;
             degradation =
                 Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
+            in_hand = Some((cost, w, mask));
             break;
         }
         if let Some(max) = config.max_visits {
@@ -399,6 +637,7 @@ fn search_sequential(
                     known.len(),
                     best_key.2 == setup.initial,
                 ));
+                in_hand = Some((cost, w, mask));
                 break;
             }
         }
@@ -441,35 +680,113 @@ fn search_sequential(
             }
 
             let child_mask = mask | (1 << k);
-            let is_new = !known.contains_key(&child);
-            if is_new {
-                if let Err(reason) = budget.check_memo(known.len()) {
-                    stats.complete = false;
-                    degradation =
-                        Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
-                    break 'search;
+            let prior = known.get(&child).copied();
+            if let Some(p) = prior {
+                if p | child_mask == p {
+                    continue; // this path adds nothing to the PATHSET
                 }
+            } else if let Err(reason) = budget.check_memo(known.len()) {
+                stats.complete = false;
+                degradation =
+                    Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
+                // Mid-expansion stop: keep the parent in hand so the
+                // unexpanded remainder of its subtree survives into the
+                // snapshot.
+                in_hand = Some((cost, w.clone(), mask));
+                break 'search;
             }
-            let entry = known.entry(child.clone()).or_insert(0);
-            let merged = *entry | child_mask;
-            if merged != *entry {
-                *entry = merged;
-                // A candidate whose cost overflows is discarded, not fatal.
-                let Ok(child_cost) = try_cost_of(objective, &child) else {
-                    stats.capped += 1;
-                    continue;
-                };
-                heap.push(std::cmp::Reverse((child_cost, child, merged)));
-                stats.pushed += 1;
+            // Cost the child *before* touching the PATHSET table: the
+            // only step that can panic (a user-supplied domain) runs
+            // while the state is still consistent. A candidate whose
+            // cost overflows is discarded, not fatal.
+            let Ok(child_cost) = try_cost_of(objective, &child) else {
+                stats.capped += 1;
+                continue;
+            };
+            let merged = prior.unwrap_or(0) | child_mask;
+            known.insert(child.clone(), merged);
+            heap.push(std::cmp::Reverse((child_cost, child, merged)));
+            stats.pushed += 1;
+        }
+
+        if let Some(sink) = ckpt.as_mut() {
+            sink.since += 1;
+            if sink.since >= sink.cfg.interval.max(1) && sink.error.is_none() {
+                sink.since = 0;
+                let snap = sequential_snapshot(
+                    sink.fingerprint,
+                    setup,
+                    &known,
+                    &heap,
+                    None,
+                    &best_key,
+                    &stats,
+                    budget,
+                );
+                sink.write(&snap);
             }
         }
     }
+
+    // Final snapshot: always written when configured, so a completed (or
+    // budget-stopped) run leaves a resumable file behind.
+    let checkpoint_error = ckpt.and_then(|mut sink| {
+        let snap = sequential_snapshot(
+            sink.fingerprint,
+            setup,
+            &known,
+            &heap,
+            in_hand.as_ref(),
+            &best_key,
+            &stats,
+            budget,
+        );
+        sink.write(&snap);
+        sink.error
+    });
 
     SearchResult {
         uov: best_key.2,
         cost: best_key.0,
         stats,
         degradation,
+        checkpoint_error,
+    }
+}
+
+/// Build a snapshot of the sequential engine's state. Stale heap entries
+/// (superseded by a grown-PATHSET re-push) are filtered out, so each
+/// offset appears at most once in the stored frontier.
+#[allow(clippy::too_many_arguments)]
+fn sequential_snapshot(
+    fingerprint: u64,
+    setup: &Setup,
+    known: &HashMap<IVec, u64>,
+    heap: &BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>>,
+    in_hand: Option<&(u128, IVec, u64)>,
+    best_key: &(u128, i128, IVec),
+    stats: &SearchStats,
+    budget: &Budget,
+) -> Snapshot {
+    let mut frontier: Vec<(u128, IVec, u64)> = heap
+        .iter()
+        .filter(|std::cmp::Reverse((_, w, mask))| known.get(w).copied() == Some(*mask))
+        .map(|std::cmp::Reverse(entry)| entry.clone())
+        .collect();
+    if let Some((cost, w, mask)) = in_hand {
+        if known.get(w).copied() == Some(*mask) {
+            frontier.push((*cost, w.clone(), *mask));
+        }
+    }
+    Snapshot {
+        fingerprint,
+        dim: setup.dim,
+        incumbent_cost: best_key.0,
+        incumbent: best_key.2.clone(),
+        frontier,
+        known: known.iter().map(|(w, m)| (w.clone(), *m)).collect(),
+        nodes_charged: budget.nodes_charged(),
+        stats: stats.clone(),
     }
 }
 
@@ -496,6 +813,33 @@ const KNOWN_SHARDS: usize = 64;
 
 /// A worker's priority queue: min-heap over `(cost, offset, pathset)`.
 type WorkQueue = BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>>;
+
+/// Barrier bookkeeping for quiescent parallel snapshots.
+struct CkptBarrier {
+    /// Workers still running (not yet retired).
+    live: usize,
+    /// Workers currently parked at the barrier.
+    parked: usize,
+    /// Bumped when a barrier completes; parked workers wait for it.
+    epoch: u64,
+}
+
+/// Checkpoint plumbing of the parallel engine.
+struct ParCkpt<'a> {
+    cfg: &'a CheckpointConfig,
+    fingerprint: u64,
+    /// Fully-processed nodes since the last snapshot request.
+    since: AtomicU64,
+    /// A snapshot has been requested; workers park at their next loop
+    /// head. Set outside the barrier lock, cleared only under it.
+    requested: AtomicBool,
+    /// A write failed; checkpointing is disabled from then on.
+    failed: AtomicBool,
+    /// The first write failure, reported in the result.
+    error: Mutex<Option<CheckpointError>>,
+    state: Mutex<CkptBarrier>,
+    cv: Condvar,
+}
 
 /// Shared state of the parallel branch-and-bound.
 struct ParSearch<'a> {
@@ -525,6 +869,17 @@ struct ParSearch<'a> {
     /// Saturated incumbent cost for lock-free pruning: always ≥ the true
     /// best cost, so pruning against it is sound.
     bound: AtomicU64,
+    /// Per-worker slot for the entry popped but not yet fully expanded.
+    /// Early-stopping paths (budget, panic, memo cap) leave the entry
+    /// here so snapshots never lose its subtree.
+    in_hand: Vec<Mutex<Option<(u128, IVec, u64)>>>,
+    /// Statistics carried over from a resumed snapshot; mid-run snapshot
+    /// counters build on these.
+    stats_base: SearchStats,
+    /// Checkpoint plumbing; `None` disables snapshots entirely.
+    ckpt: Option<ParCkpt<'a>>,
+    /// First worker panic `(worker, payload)`; set before `stop`.
+    panic_slot: Mutex<Option<(usize, String)>>,
 }
 
 impl ParSearch<'_> {
@@ -613,8 +968,9 @@ impl ParSearch<'_> {
     }
 
     /// Expand one offset's children (paper Visit step 2) into the
-    /// worker's own queue.
-    fn expand(&self, id: usize, w: &IVec, mask: u64, stats: &mut SearchStats) {
+    /// worker's own queue. Returns `false` if the expansion was cut
+    /// short (memo cap) — the caller then keeps the parent in hand.
+    fn expand(&self, id: usize, w: &IVec, mask: u64, stats: &mut SearchStats) -> bool {
         for (k, v) in self.stencil.iter().enumerate() {
             let Ok(child) = w.checked_add(v) else {
                 stats.capped += 1;
@@ -632,7 +988,12 @@ impl ParSearch<'_> {
                 continue;
             }
             let child_mask = mask | (1 << k);
-            if self.probe(&child).is_none() {
+            let prior = self.probe(&child);
+            if let Some(p) = prior {
+                if p | child_mask == p {
+                    continue; // this path adds nothing to the PATHSET
+                }
+            } else {
                 // Racing workers may each admit one entry past the cap —
                 // the documented per-worker memo overshoot.
                 if let Err(reason) = self
@@ -640,18 +1001,23 @@ impl ParSearch<'_> {
                     .check_memo(self.known_count.load(Ordering::Relaxed))
                 {
                     self.record_stop(reason);
-                    return;
+                    return false;
                 }
             }
+            // Cost the child *before* touching the PATHSET table: the
+            // only step that can panic (a user-supplied domain) runs
+            // while the shared state is still consistent, so a caught
+            // panic can never leave a merged-but-never-queued offset
+            // behind (which a snapshot would then silently drop).
+            let Ok(child_cost) = try_cost_of(self.objective, &child) else {
+                stats.capped += 1;
+                continue;
+            };
             let (grew, merged, is_new) = self.merge(&child, child_mask);
             if is_new {
                 self.known_count.fetch_add(1, Ordering::Relaxed);
             }
             if grew {
-                let Ok(child_cost) = try_cost_of(self.objective, &child) else {
-                    stats.capped += 1;
-                    continue;
-                };
                 // Increment `pending` *before* the push so the drain test
                 // (`pending == 0`) can never observe a false empty.
                 self.pending.fetch_add(1, Ordering::Release);
@@ -659,6 +1025,145 @@ impl ParSearch<'_> {
                     .push(std::cmp::Reverse((child_cost, child, merged)));
                 stats.pushed += 1;
             }
+        }
+        true
+    }
+
+    /// Record the first worker panic and stop the pool. The payload is
+    /// stringified here; the original is not resumable (the worker that
+    /// caught it returns normally).
+    fn note_panic(&self, worker: usize, payload: &(dyn std::any::Any + Send)) {
+        let mut slot = lock_unpoisoned(&self.panic_slot);
+        if slot.is_none() {
+            *slot = Some((worker, panic_message(payload)));
+        }
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Count one fully-processed node towards the checkpoint interval,
+    /// requesting a barrier snapshot when it elapses.
+    fn note_progress(&self) {
+        let Some(ck) = &self.ckpt else { return };
+        if ck.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let n = ck.since.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < ck.cfg.interval.max(1) {
+            return;
+        }
+        ck.since.store(0, Ordering::Relaxed);
+        ck.requested.store(true, Ordering::Release);
+    }
+
+    /// Park at the snapshot barrier if one is requested. The last worker
+    /// to arrive writes the snapshot while every live peer is quiescent
+    /// (no entry mid-expansion), then releases the barrier.
+    fn park_for_checkpoint(&self) {
+        let Some(ck) = &self.ckpt else { return };
+        if !ck.requested.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = lock_unpoisoned(&ck.state);
+        // Re-check under the lock: the barrier may have completed (and
+        // `requested` been cleared) while we waited for it.
+        if !ck.requested.load(Ordering::Acquire) {
+            return;
+        }
+        st.parked += 1;
+        if st.parked == st.live {
+            self.complete_barrier(ck, &mut st);
+        } else {
+            let epoch = st.epoch;
+            while st.epoch == epoch {
+                st = match ck.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+    }
+
+    /// Write the snapshot and release the barrier. Caller holds the
+    /// barrier lock; all live workers except the caller are parked and
+    /// retired workers' in-hand slots are frozen, so the shared state is
+    /// quiescent.
+    fn complete_barrier(&self, ck: &ParCkpt<'_>, st: &mut CkptBarrier) {
+        if !ck.failed.load(Ordering::Relaxed) {
+            let stats = SearchStats {
+                visited: self.visited.load(Ordering::Relaxed),
+                ..self.stats_base.clone()
+            };
+            let snap = self.build_snapshot(ck, &stats);
+            if let Err(e) = checkpoint::write_snapshot(&ck.cfg.path, &snap) {
+                ck.failed.store(true, Ordering::Relaxed);
+                let mut slot = lock_unpoisoned(&ck.error);
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        }
+        st.parked = 0;
+        st.epoch += 1;
+        ck.requested.store(false, Ordering::Release);
+        ck.cv.notify_all();
+    }
+
+    /// A worker is exiting (drained, stopped, or panicked). If a barrier
+    /// is pending and this was the last straggler, complete it on behalf
+    /// of the parked peers so they can observe the stop/drain condition.
+    fn retire(&self) {
+        let Some(ck) = &self.ckpt else { return };
+        let mut st = lock_unpoisoned(&ck.state);
+        // Invariant: a worker is either parked or running, and only a
+        // running worker retires, so `parked ≤ live - 1` here.
+        st.live -= 1;
+        if st.live == 0 {
+            // Pool is gone; the final snapshot is written by the
+            // coordinating thread after the join.
+            ck.requested.store(false, Ordering::Release);
+            st.epoch += 1;
+            ck.cv.notify_all();
+        } else if ck.requested.load(Ordering::Acquire) && st.parked == st.live {
+            self.complete_barrier(ck, &mut st);
+        }
+    }
+
+    /// Collect the full live state into a snapshot. Sound only when the
+    /// state is quiescent: at a completed barrier or after the pool has
+    /// been joined.
+    fn build_snapshot(&self, ck: &ParCkpt<'_>, stats: &SearchStats) -> Snapshot {
+        let mut known: HashMap<IVec, u64> = HashMap::new();
+        for shard in &self.known {
+            let guard = lock_unpoisoned(shard);
+            known.extend(guard.iter().map(|(w, m)| (w.clone(), *m)));
+        }
+        let mut frontier: Vec<(u128, IVec, u64)> = Vec::new();
+        for queue in &self.queues {
+            let guard = lock_unpoisoned(queue);
+            frontier.extend(
+                guard
+                    .iter()
+                    .filter(|std::cmp::Reverse((_, w, mask))| known.get(w).copied() == Some(*mask))
+                    .map(|std::cmp::Reverse(entry)| entry.clone()),
+            );
+        }
+        for slot in &self.in_hand {
+            if let Some((cost, w, mask)) = lock_unpoisoned(slot).as_ref() {
+                if known.get(w).copied() == Some(*mask) {
+                    frontier.push((*cost, w.clone(), *mask));
+                }
+            }
+        }
+        let (incumbent_cost, _, incumbent) = lock_unpoisoned(&self.incumbent).clone();
+        Snapshot {
+            fingerprint: ck.fingerprint,
+            dim: self.setup.dim,
+            incumbent_cost,
+            incumbent,
+            frontier,
+            known: known.into_iter().collect(),
+            nodes_charged: self.budget.nodes_charged(),
+            stats: stats.clone(),
         }
     }
 
@@ -670,6 +1175,7 @@ impl ParSearch<'_> {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
+            self.park_for_checkpoint();
             let Some((cost, w, mask)) = self.pop_or_steal(id) else {
                 if self.pending.load(Ordering::Acquire) == 0 {
                     break; // globally drained: every worker exits
@@ -690,22 +1196,30 @@ impl ParSearch<'_> {
                 continue;
             }
             stats.visited += 1;
+            // Hold the entry while it is being processed: if this worker
+            // stops (budget) or dies (panic) mid-node, the snapshot still
+            // carries the entry and no subtree is lost. `pending` is then
+            // deliberately *not* decremented — the `stop` flag, not the
+            // drain test, terminates the pool on those paths.
+            *lock_unpoisoned(&self.in_hand[id]) = Some((cost, w.clone(), mask));
             if let Err(reason) = self.budget.charge() {
                 self.record_stop(reason);
-                self.pending.fetch_sub(1, Ordering::Release);
                 break;
             }
             let seen = self.visited.fetch_add(1, Ordering::Relaxed) + 1;
             if self.max_visits.is_some_and(|max| seen > max) {
                 self.record_stop(Exhausted::Nodes);
-                self.pending.fetch_sub(1, Ordering::Release);
                 break;
             }
             if mask == self.setup.full && self.offer(cost, &w) {
                 stats.improvements += 1;
             }
-            self.expand(id, &w, mask, &mut stats);
+            if !self.expand(id, &w, mask, &mut stats) {
+                break; // memo cap mid-expansion: keep the entry in hand
+            }
+            *lock_unpoisoned(&self.in_hand[id]) = None;
             self.pending.fetch_sub(1, Ordering::Release);
+            self.note_progress();
         }
         stats
     }
@@ -713,47 +1227,82 @@ impl ParSearch<'_> {
 
 /// The multi-threaded engine: `threads` work-stealing workers over shared
 /// state. See the module docs for the determinism argument.
+///
+/// Worker bodies run under `catch_unwind`: a panic stops the pool, lets
+/// the survivors drain, still writes the final checkpoint, and surfaces
+/// as `Err(SearchError::WorkerPanic)`.
 fn search_parallel(
     stencil: &Stencil,
     objective: &Objective<'_>,
     config: &SearchConfig,
     domain_facts: &Option<DomainFacts>,
-    setup: Setup,
-) -> SearchResult {
+    setup: &Setup,
+    seed: SeedState,
+) -> Result<SearchResult, SearchError> {
     let threads = config.threads.max(2);
+    let ckpt = config.checkpoint.as_ref().map(|cfg| ParCkpt {
+        cfg,
+        fingerprint: checkpoint::fingerprint(stencil, objective),
+        since: AtomicU64::new(0),
+        requested: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+        state: Mutex::new(CkptBarrier {
+            live: threads,
+            parked: 0,
+            epoch: 0,
+        }),
+        cv: Condvar::new(),
+    });
     let par = ParSearch {
         stencil,
         objective,
         domain_facts,
-        setup: &setup,
+        setup,
         budget: &config.budget,
         max_visits: config.max_visits,
         queues: (0..threads).map(|_| Mutex::default()).collect(),
         known: (0..KNOWN_SHARDS).map(|_| Mutex::default()).collect(),
-        known_count: AtomicUsize::new(0),
-        pending: AtomicU64::new(0),
-        visited: AtomicU64::new(0),
+        known_count: AtomicUsize::new(seed.known.len()),
+        pending: AtomicU64::new(seed.frontier.len() as u64),
+        visited: AtomicU64::new(seed.base.visited),
         stop: AtomicBool::new(false),
         stop_reason: Mutex::new(None),
-        incumbent: Mutex::new((
-            setup.initial_cost,
-            setup.initial_norm,
-            setup.initial.clone(),
-        )),
-        bound: AtomicU64::new(saturate_bound(setup.initial_cost)),
+        bound: AtomicU64::new(saturate_bound(seed.incumbent.0)),
+        incumbent: Mutex::new(seed.incumbent),
+        in_hand: (0..threads).map(|_| Mutex::new(None)).collect(),
+        stats_base: seed.base.clone(),
+        ckpt,
+        panic_slot: Mutex::new(None),
     };
 
-    // Seed the frontier with the origin, exactly like the sequential run.
-    let origin = IVec::zero(setup.dim);
-    par.merge(&origin, 0);
-    par.known_count.store(1, Ordering::Relaxed);
-    par.pending.store(1, Ordering::Relaxed);
-    lock_unpoisoned(&par.queues[0]).push(std::cmp::Reverse((0, origin, 0)));
+    // Seed the PATHSET table and distribute the frontier round-robin —
+    // for a fresh search this is exactly the sequential origin seeding.
+    for (w, mask) in seed.known {
+        let shard = par.shard(&w);
+        lock_unpoisoned(&par.known[shard]).insert(w, mask);
+    }
+    for (i, (cost, w, mask)) in seed.frontier.into_iter().enumerate() {
+        lock_unpoisoned(&par.queues[i % threads]).push(std::cmp::Reverse((cost, w, mask)));
+    }
 
     let worker_stats: Vec<SearchStats> = std::thread::scope(|scope| {
         let par = &par;
         let handles: Vec<_> = (0..threads)
-            .map(|id| scope.spawn(move || par.worker(id)))
+            .map(|id| {
+                scope.spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| par.worker(id)));
+                    let stats = match outcome {
+                        Ok(stats) => stats,
+                        Err(payload) => {
+                            par.note_panic(id, payload.as_ref());
+                            SearchStats::default()
+                        }
+                    };
+                    par.retire();
+                    stats
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -761,11 +1310,7 @@ fn search_parallel(
             .collect()
     });
 
-    let mut stats = SearchStats {
-        pushed: 1, // the seed push above
-        complete: true,
-        ..SearchStats::default()
-    };
+    let mut stats = seed.base;
     for ws in &worker_stats {
         stats.visited += ws.visited;
         stats.pushed += ws.pushed;
@@ -774,10 +1319,7 @@ fn search_parallel(
         stats.capped += ws.capped;
     }
     let stop_reason = lock_unpoisoned(&par.stop_reason).take();
-    let (best_cost, _, best) = match par.incumbent.into_inner() {
-        Ok(key) => key,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let (best_cost, _, best) = lock_unpoisoned(&par.incumbent).clone();
     let degradation = stop_reason.map(|reason| {
         stats.complete = false;
         config.budget.degradation(
@@ -786,12 +1328,31 @@ fn search_parallel(
             best == setup.initial,
         )
     });
-    SearchResult {
+
+    // Final snapshot: the pool is joined, so the state is quiescent and
+    // includes every in-hand entry of early-stopped or panicked workers.
+    let mut checkpoint_error = None;
+    if let Some(ck) = &par.ckpt {
+        checkpoint_error = lock_unpoisoned(&ck.error).take();
+        if checkpoint_error.is_none() {
+            let snap = par.build_snapshot(ck, &stats);
+            if let Err(e) = checkpoint::write_snapshot(&ck.cfg.path, &snap) {
+                checkpoint_error = Some(e);
+            }
+        }
+    }
+
+    if let Some((worker, payload)) = lock_unpoisoned(&par.panic_slot).take() {
+        return Err(SearchError::WorkerPanic { worker, payload });
+    }
+
+    Ok(SearchResult {
         uov: best,
         cost: best_cost,
         stats,
         degradation,
-    }
+        checkpoint_error,
+    })
 }
 
 /// Exhaustively enumerate every UOV with components in `[-radius, radius]`
@@ -820,6 +1381,7 @@ pub fn exhaustive_best_uov(
             ..SearchStats::default()
         },
         degradation: None,
+        checkpoint_error: None,
     })
 }
 
@@ -1007,6 +1569,7 @@ mod tests {
             max_visits: None,
             threads: 1,
             budget: Budget::unlimited().with_max_nodes(2),
+            checkpoint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1026,6 +1589,7 @@ mod tests {
             max_visits: None,
             threads: 1,
             budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+            checkpoint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1050,6 +1614,7 @@ mod tests {
             max_visits: None,
             threads: 1,
             budget: Budget::unlimited().with_cancel_token(token),
+            checkpoint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1068,6 +1633,7 @@ mod tests {
             max_visits: None,
             threads: 1,
             budget: Budget::unlimited().with_max_memo_entries(2),
+            checkpoint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1085,6 +1651,7 @@ mod tests {
             budget: Budget::unlimited()
                 .with_max_nodes(1_000_000)
                 .with_deadline(std::time::Duration::from_secs(60)),
+            checkpoint: None,
         };
         let best = find_best_uov(&stencil5(), Objective::ShortestVector, &config).unwrap();
         assert_eq!(best.uov, ivec![2, 0]);
@@ -1191,6 +1758,7 @@ mod tests {
             max_visits: None,
             threads: 4,
             budget: Budget::unlimited().with_max_nodes(2),
+            checkpoint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1237,5 +1805,211 @@ mod tests {
         assert_eq!(saturate_bound(3), 3);
         assert_eq!(saturate_bound(u128::from(u64::MAX) + 1), u64::MAX);
         assert_eq!(saturate_bound(u128::MAX), u64::MAX);
+    }
+
+    fn tmp_ckpt(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "uov_search_test_{name}_{}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn ckpt_config(threads: usize, path: &std::path::Path, interval: u64) -> SearchConfig {
+        SearchConfig {
+            threads,
+            checkpoint: Some(CheckpointConfig {
+                path: path.to_path_buf(),
+                interval,
+            }),
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_writes_a_final_snapshot_and_matches_plain_run() {
+        for threads in [1, 4] {
+            let s = stencil5();
+            let plain =
+                find_best_uov(&s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+            let path = tmp_ckpt(&format!("final_{threads}"));
+            let res = find_best_uov(
+                &s,
+                Objective::ShortestVector,
+                &ckpt_config(threads, &path, 4),
+            )
+            .unwrap();
+            assert_eq!(res.checkpoint_error, None, "threads={threads}");
+            assert_eq!(res.uov, plain.uov);
+            assert_eq!(res.cost, plain.cost);
+            let snap = checkpoint::read_snapshot(&path).unwrap();
+            assert_eq!(snap.incumbent, res.uov);
+            assert_eq!(snap.incumbent_cost, res.cost);
+            assert!(
+                snap.frontier.is_empty(),
+                "a completed search leaves no frontier (threads={threads})"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn interrupted_then_resumed_search_matches_uninterrupted() {
+        for threads in [1, 4] {
+            for cut in [1u64, 3, 7, 15] {
+                let s = stencil5();
+                let reference =
+                    find_best_uov(&s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+                let path = tmp_ckpt(&format!("resume_{threads}_{cut}"));
+                let mut interrupted = SearchConfig {
+                    budget: Budget::unlimited().with_max_nodes(cut),
+                    ..ckpt_config(threads, &path, 1)
+                };
+                let partial = find_best_uov(&s, Objective::ShortestVector, &interrupted).unwrap();
+                assert_eq!(partial.checkpoint_error, None);
+                // Resume with the node cap lifted: must land on the exact
+                // canonical answer, not merely *a* UOV.
+                interrupted.budget = Budget::unlimited();
+                let resumed =
+                    search_resume(&path, &s, Objective::ShortestVector, &interrupted).unwrap();
+                assert_eq!(
+                    (resumed.uov.clone(), resumed.cost),
+                    (reference.uov.clone(), reference.cost),
+                    "threads={threads} cut={cut}"
+                );
+                assert!(resumed.stats.complete);
+                assert!(resumed.degradation.is_none());
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_honours_a_cumulative_node_budget() {
+        let s = stencil5();
+        let path = tmp_ckpt("cumulative");
+        let config = SearchConfig {
+            budget: Budget::unlimited().with_max_nodes(3),
+            ..ckpt_config(1, &path, 1)
+        };
+        let first = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
+        assert!(first.degradation.is_some());
+        // Same cap on resume: already spent, so it degrades immediately
+        // instead of granting a fresh allowance.
+        let config = SearchConfig {
+            budget: Budget::unlimited().with_max_nodes(3),
+            ..ckpt_config(1, &path, 1)
+        };
+        let resumed = search_resume(&path, &s, Objective::ShortestVector, &config).unwrap();
+        let d = resumed.degradation.expect("cumulative cap must still bind");
+        assert_eq!(d.reason, Exhausted::Nodes);
+        assert!(d.nodes_at_stop >= 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_snapshot_from_a_different_problem() {
+        let s = stencil5();
+        let path = tmp_ckpt("mismatch");
+        let res = find_best_uov(&s, Objective::ShortestVector, &ckpt_config(1, &path, 8)).unwrap();
+        assert_eq!(res.checkpoint_error, None);
+        let other = fig1();
+        let err =
+            search_resume(&path, &other, Objective::ShortestVector, &with_threads(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::Checkpoint(CheckpointError::StencilMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A domain whose `num_points` panics after `fuse` calls. Setup
+    /// (`DomainFacts` + the initial UOV's cost) spends two calls on the
+    /// caller thread, so any fuse ≥ 3 fires inside the engines, where a
+    /// cost evaluation per expanded child keeps querying it.
+    #[derive(Debug)]
+    struct FusedDomain<'a> {
+        grid: &'a RectDomain,
+        calls: std::sync::atomic::AtomicUsize,
+        fuse: usize,
+    }
+
+    impl uov_isg::IterationDomain for FusedDomain<'_> {
+        fn dim(&self) -> usize {
+            self.grid.dim()
+        }
+        fn contains(&self, p: &IVec) -> bool {
+            self.grid.contains(p)
+        }
+        fn extreme_points(&self) -> Vec<IVec> {
+            self.grid.extreme_points()
+        }
+        fn points(&self) -> Box<dyn Iterator<Item = IVec> + '_> {
+            self.grid.points()
+        }
+        fn num_points(&self) -> u64 {
+            use std::sync::atomic::Ordering;
+            let n = self.calls.fetch_add(1, Ordering::Relaxed);
+            assert!(n < self.fuse, "injected domain fault");
+            self.grid.num_points()
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_caught_as_a_typed_error() {
+        let s = fig1();
+        let grid = RectDomain::grid(6, 6);
+        for threads in [1, 4] {
+            let fused = FusedDomain {
+                grid: &grid,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                fuse: 3,
+            };
+            let err = find_best_uov(&s, Objective::KnownBounds(&fused), &with_threads(threads))
+                .unwrap_err();
+            match err {
+                SearchError::WorkerPanic { payload, .. } => {
+                    assert!(
+                        payload.contains("injected domain fault"),
+                        "threads={threads}"
+                    );
+                }
+                other => panic!("expected WorkerPanic, got {other:?} (threads={threads})"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_checkpointed_search_still_writes_a_resumable_snapshot() {
+        let s = fig1();
+        let grid = RectDomain::grid(6, 6);
+        let reference = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(4)).unwrap();
+        let path = tmp_ckpt("panic_resume");
+        let fused = FusedDomain {
+            grid: &grid,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            fuse: 6,
+        };
+        let err = find_best_uov(
+            &s,
+            Objective::KnownBounds(&fused),
+            &ckpt_config(4, &path, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SearchError::WorkerPanic { .. }));
+        // The parallel engine writes a final snapshot even after a panic;
+        // resuming it with a healthy domain completes the search exactly.
+        let resumed = search_resume(
+            &path,
+            &s,
+            Objective::KnownBounds(&grid),
+            &ckpt_config(4, &path, 1),
+        )
+        .unwrap();
+        assert_eq!(resumed.uov, reference.uov);
+        assert_eq!(resumed.cost, reference.cost);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -34,6 +34,9 @@ fn main() -> Result<(), uov::Error> {
                         "statement {idx}: stencil {:?}\n  UOV {} → {} cells (was {})",
                         s.stencil, s.uov, s.mapped_cells, s.natural_cells
                     );
+                    if let Some(cert) = &s.certificate {
+                        println!("  {cert}");
+                    }
                 }
             }
         }
@@ -63,7 +66,7 @@ fn main() -> Result<(), uov::Error> {
     let config = PlanConfig {
         layout: Layout::Interleaved,
         budget: Budget::unlimited().with_deadline(Duration::ZERO),
-        threads: 1,
+        ..PlanConfig::default()
     };
     let p = plan_with(&nest, &config)?;
     println!("======== budgeted pass (expired deadline) ========\n");
@@ -71,6 +74,11 @@ fn main() -> Result<(), uov::Error> {
         match &stmt.degradation {
             Some(d) => println!("UOV {} — {d}", stmt.uov),
             None => println!("UOV {} — search ran to completion", stmt.uov),
+        }
+        // Even the degraded fallback is independently certified before
+        // plan_with returns; the certificate says so explicitly.
+        if let Some(cert) = &stmt.certificate {
+            println!("  {cert}");
         }
     }
     Ok(())

@@ -35,6 +35,8 @@
 //! ```
 
 use uov_core::budget::{Budget, Degradation};
+use uov_core::certify::{certify, Certificate};
+use uov_core::checkpoint::CheckpointConfig;
 use uov_core::search::{find_best_uov, Objective, SearchConfig};
 use uov_isg::{IVec, IterationDomain as _, Stencil};
 use uov_loopir::analysis::{flow_stencil, AnalysisError};
@@ -45,7 +47,7 @@ use uov_storage::{Layout, OvMap, StorageMap as _};
 use crate::error::Error;
 
 /// Tunables for [`plan_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PlanConfig {
     /// Modterm layout for non-prime occupancy vectors.
     pub layout: Layout,
@@ -58,6 +60,28 @@ pub struct PlanConfig {
     /// [`uov_core::search`]'s determinism guarantee) — threads only buy
     /// wall-clock time.
     pub threads: usize,
+    /// Re-validate every emitted UOV (including degraded fallbacks) with
+    /// the independent checker before the plan is returned, attaching a
+    /// [`Certificate`] to each statement. On by default; a rejected result
+    /// aborts the plan with [`Error::Certify`] rather than emitting an
+    /// unverified mapping.
+    pub certify: bool,
+    /// Crash-safe snapshotting for each statement's search. The statement
+    /// index is appended to the configured path (`<path>.stmt0`,
+    /// `<path>.stmt1`, …) so per-statement snapshots never collide.
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            layout: Layout::default(),
+            budget: Budget::unlimited(),
+            threads: 1,
+            certify: true,
+            checkpoint: None,
+        }
+    }
 }
 
 /// The storage plan for one regular statement.
@@ -77,6 +101,9 @@ pub struct StatementPlan {
     /// Present iff the UOV search was cut short by the budget; the UOV
     /// above is still universal, merely possibly non-optimal.
     pub degradation: Option<Degradation>,
+    /// Independent re-validation of the UOV and its cost; present unless
+    /// certification was disabled via [`PlanConfig::certify`].
+    pub certificate: Option<Certificate>,
     /// Transformed pseudocode (2-D nests only; `None` otherwise).
     pub code: Option<String>,
 }
@@ -122,21 +149,25 @@ pub fn plan(nest: &LoopNest, layout: Layout) -> Result<TransformPlan, Error> {
         nest,
         &PlanConfig {
             layout,
-            budget: Budget::unlimited(),
-            threads: 1,
+            ..PlanConfig::default()
         },
     )
 }
 
-/// [`plan`] with an explicit [`PlanConfig`] (layout and search budget).
+/// [`plan`] with an explicit [`PlanConfig`] (layout, search budget,
+/// certification and checkpointing).
 ///
 /// When the budget expires mid-search, the affected statements keep their
 /// best incumbent UOV — at worst the always-legal initial UOV `Σvᵢ` — and
 /// carry a [`Degradation`] record; this function still returns `Ok`.
+/// Unless disabled, every emitted UOV (degraded ones included) is
+/// re-validated by the independent certifier before the plan is returned.
 ///
 /// # Errors
 ///
-/// Same hard failures as [`plan`].
+/// Same hard failures as [`plan`], plus [`Error::Certify`] if the
+/// certifier rejects a search result — a rejected mapping is never
+/// handed to the caller.
 pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, Error> {
     let mut statements = Vec::with_capacity(nest.stmts().len());
     let mut union: Vec<IVec> = Vec::new();
@@ -151,12 +182,26 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
                     // cancellation stay global through the clone.
                     budget: config.budget.clone(),
                     threads: config.threads.max(1),
+                    checkpoint: config.checkpoint.as_ref().map(|c| {
+                        let mut path = c.path.clone().into_os_string();
+                        path.push(format!(".stmt{stmt}"));
+                        CheckpointConfig {
+                            path: path.into(),
+                            interval: c.interval,
+                        }
+                    }),
                 };
-                let best = find_best_uov(
-                    &stencil,
-                    Objective::KnownBounds(nest.domain()),
-                    &search_config,
-                )?;
+                let objective = Objective::KnownBounds(nest.domain());
+                let best = find_best_uov(&stencil, objective, &search_config)?;
+                let certificate = if config.certify {
+                    Some(certify(
+                        &stencil,
+                        &Objective::KnownBounds(nest.domain()),
+                        &best,
+                    )?)
+                } else {
+                    None
+                };
                 let map = OvMap::try_new(nest.domain(), best.uov.clone(), config.layout)?;
                 let code = (nest.depth() == 2).then(|| codegen::emit_ov_mapped(nest, stmt, &map));
                 statements.push(Ok(StatementPlan {
@@ -166,6 +211,7 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
                     uov: best.uov,
                     map,
                     degradation: best.degradation,
+                    certificate,
                     code,
                 }));
             }
@@ -274,7 +320,7 @@ mod tests {
         let config = PlanConfig {
             layout: Layout::Interleaved,
             budget: Budget::unlimited().with_deadline(Duration::ZERO),
-            threads: 1,
+            ..PlanConfig::default()
         };
         let p = plan_with(&nest, &config).unwrap();
         let s = p.statements[0].as_ref().unwrap();
@@ -300,8 +346,8 @@ mod tests {
             let seq = plan(&nest, Layout::Interleaved).unwrap();
             let config = PlanConfig {
                 layout: Layout::Interleaved,
-                budget: Budget::unlimited(),
                 threads: 4,
+                ..PlanConfig::default()
             };
             let par = plan_with(&nest, &config).unwrap();
             for (s, p) in seq.statements.iter().zip(&par.statements) {
@@ -313,6 +359,78 @@ mod tests {
     }
 
     #[test]
+    fn every_statement_carries_a_certificate_by_default() {
+        let nest = examples::psm_nest(8, 8);
+        let p = plan(&nest, Layout::Interleaved).unwrap();
+        for s in &p.statements {
+            let s = s.as_ref().unwrap();
+            let cert = s.certificate.as_ref().expect("certify defaults to on");
+            assert_eq!(cert.uov, s.uov);
+            assert_eq!(cert.dependences_checked, s.stencil.len());
+            assert!(!cert.degraded);
+        }
+    }
+
+    #[test]
+    fn degraded_statements_certify_as_degraded() {
+        let nest = examples::stencil5_nest(6, 20);
+        let config = PlanConfig {
+            layout: Layout::Interleaved,
+            budget: Budget::unlimited().with_max_nodes(1),
+            ..PlanConfig::default()
+        };
+        let p = plan_with(&nest, &config).unwrap();
+        let s = p.statements[0].as_ref().unwrap();
+        assert!(s.degradation.is_some());
+        let cert = s.certificate.as_ref().unwrap();
+        assert!(cert.degraded, "Σvᵢ fallback certifies, flagged degraded");
+        assert_eq!(cert.uov, s.uov);
+    }
+
+    #[test]
+    fn certification_can_be_disabled() {
+        let nest = examples::fig1_nest(10, 6);
+        let config = PlanConfig {
+            layout: Layout::Interleaved,
+            certify: false,
+            ..PlanConfig::default()
+        };
+        let p = plan_with(&nest, &config).unwrap();
+        assert!(p.statements[0].as_ref().unwrap().certificate.is_none());
+    }
+
+    #[test]
+    fn checkpointed_plan_writes_one_snapshot_per_statement() {
+        use uov_core::checkpoint::CheckpointConfig;
+        let nest = examples::psm_nest(8, 8);
+        let mut base = std::env::temp_dir();
+        base.push(format!("uov_driver_plan_{}.ckpt", std::process::id()));
+        let config = PlanConfig {
+            layout: Layout::Interleaved,
+            checkpoint: Some(CheckpointConfig {
+                path: base.clone(),
+                interval: 8,
+            }),
+            ..PlanConfig::default()
+        };
+        let p = plan_with(&nest, &config).unwrap();
+        assert_eq!(p.statements.len(), 2);
+        for stmt in 0..2 {
+            let mut path = base.clone().into_os_string();
+            path.push(format!(".stmt{stmt}"));
+            let path = std::path::PathBuf::from(path);
+            let snap = uov_core::checkpoint::read_snapshot(&path)
+                .expect("each statement search leaves a final snapshot");
+            assert_eq!(
+                snap.incumbent,
+                p.statements[stmt].as_ref().unwrap().uov,
+                "stmt{stmt}"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
     fn generous_budget_matches_unbudgeted_plan() {
         let nest = examples::fig1_nest(10, 6);
         let config = PlanConfig {
@@ -320,7 +438,7 @@ mod tests {
             budget: Budget::unlimited()
                 .with_deadline(Duration::from_secs(60))
                 .with_max_nodes(10_000_000),
-            threads: 1,
+            ..PlanConfig::default()
         };
         let p = plan_with(&nest, &config).unwrap();
         let s = p.statements[0].as_ref().unwrap();

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use uov_core::certify::CertifyError;
 use uov_core::error::SearchError;
 use uov_isg::IsgError;
 use uov_loopir::analysis::AnalysisError;
@@ -25,6 +26,9 @@ pub enum Error {
     Search(SearchError),
     /// Storage-mapping construction failed.
     Mapping(MappingError),
+    /// The independent certifier rejected a search result — the driver
+    /// refuses to emit a mapping it could not re-validate.
+    Certify(CertifyError),
 }
 
 impl fmt::Display for Error {
@@ -34,6 +38,7 @@ impl fmt::Display for Error {
             Error::Isg(e) => write!(f, "lattice arithmetic failed: {e}"),
             Error::Search(e) => write!(f, "UOV search failed: {e}"),
             Error::Mapping(e) => write!(f, "storage mapping failed: {e}"),
+            Error::Certify(e) => write!(f, "result certification failed: {e}"),
         }
     }
 }
@@ -45,6 +50,7 @@ impl std::error::Error for Error {
             Error::Isg(e) => Some(e),
             Error::Search(e) => Some(e),
             Error::Mapping(e) => Some(e),
+            Error::Certify(e) => Some(e),
         }
     }
 }
@@ -68,6 +74,12 @@ impl From<SearchError> for Error {
             SearchError::Isg(inner) => Error::Isg(inner),
             other => Error::Search(other),
         }
+    }
+}
+
+impl From<CertifyError> for Error {
+    fn from(e: CertifyError) -> Self {
+        Error::Certify(e)
     }
 }
 

@@ -13,7 +13,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uov::core::search::{exhaustive_best_uov, find_best_uov, Objective, SearchConfig};
+use uov::core::checkpoint::CheckpointConfig;
+use uov::core::search::{
+    exhaustive_best_uov, find_best_uov, search_resume, Objective, SearchConfig,
+};
+use uov::core::Budget;
 use uov::isg::{IVec, RectDomain, Stencil};
 
 fn seed_from_env() -> u64 {
@@ -157,5 +161,84 @@ fn repeated_parallel_runs_are_byte_identical() {
         let par = find_best_uov(&s, Objective::ShortestVector, &with_threads(4)).expect("in range");
         assert_eq!(par.uov, reference.uov, "round {round} for {s:?}");
         assert_eq!(par.cost, reference.cost, "round {round} for {s:?}");
+    }
+}
+
+/// Crash-safe resume under the same differential contract: interrupt a
+/// seeded search after a random number of node charges, resume it from
+/// the snapshot, and the final `(uov, cost)` must be **byte-identical**
+/// to the uninterrupted run — sequential and 8-way parallel alike.
+#[test]
+fn interrupted_then_resumed_search_is_byte_identical() {
+    let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xC4C4);
+    for case in 0..12 {
+        let dim = rng.gen_range(1usize..=3);
+        let s = random_stencil(&mut rng, dim, 2, 4);
+        let cut = rng.gen_range(1u64..40);
+        for threads in [1usize, 8] {
+            let reference = find_best_uov(&s, Objective::ShortestVector, &with_threads(threads))
+                .expect("small coordinates cannot overflow");
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "uov_diff_resume_{}_{case}_{threads}.ckpt",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            let interrupted = SearchConfig {
+                budget: Budget::unlimited().with_max_nodes(cut),
+                checkpoint: Some(CheckpointConfig {
+                    path: path.clone(),
+                    interval: 1,
+                }),
+                ..with_threads(threads)
+            };
+            let partial = find_best_uov(&s, Objective::ShortestVector, &interrupted)
+                .expect("a node cap never turns a valid instance into an error");
+            assert_eq!(
+                partial.checkpoint_error, None,
+                "case {case}: snapshot write failed for {s:?}"
+            );
+            let resumed =
+                search_resume(&path, &s, Objective::ShortestVector, &with_threads(threads))
+                    .expect("a clean snapshot must resume");
+            assert_eq!(
+                (resumed.uov.clone(), resumed.cost),
+                (reference.uov.clone(), reference.cost),
+                "case {case}: resume diverged at threads={threads} cut={cut} for {s:?}"
+            );
+            assert!(resumed.stats.complete, "case {case}");
+            assert!(resumed.degradation.is_none(), "case {case}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Resuming a *completed* search is a no-op that returns the same answer:
+/// the final snapshot of a finished run has an empty frontier, and
+/// resuming it must simply re-emit the incumbent.
+#[test]
+fn resuming_a_completed_search_returns_the_same_answer() {
+    let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0x1D1D);
+    let s = random_stencil(&mut rng, 2, 2, 4);
+    for threads in [1usize, 8] {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "uov_diff_complete_{}_{threads}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = SearchConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                interval: 4,
+            }),
+            ..with_threads(threads)
+        };
+        let done = find_best_uov(&s, Objective::ShortestVector, &config).expect("in range");
+        assert_eq!(done.checkpoint_error, None);
+        let resumed = search_resume(&path, &s, Objective::ShortestVector, &with_threads(threads))
+            .expect("a final snapshot must resume");
+        assert_eq!((resumed.uov, resumed.cost), (done.uov, done.cost));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -11,13 +11,15 @@
 //!    a true UOV (at worst the initial `Σvᵢ`), verified by the exact
 //!    oracle after the fact.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
+use uov::core::checkpoint::{read_snapshot, CheckpointConfig, CheckpointError};
 use uov::core::npc::PartitionInstance;
-use uov::core::search::{find_best_uov, initial_uov, Objective, SearchConfig};
+use uov::core::search::{find_best_uov, initial_uov, search_resume, Objective, SearchConfig};
 use uov::core::{Budget, DoneOracle, Exhausted, SearchError};
 use uov::driver::{plan_with, PlanConfig};
 use uov::isg::{ivec, IVec, IsgError, RectDomain, Stencil};
@@ -29,6 +31,7 @@ fn budgeted(budget: Budget) -> SearchConfig {
         max_visits: None,
         budget,
         threads: 1,
+        checkpoint: None,
     }
 }
 
@@ -37,6 +40,7 @@ fn budgeted_threaded(budget: Budget, threads: usize) -> SearchConfig {
         max_visits: None,
         budget,
         threads,
+        checkpoint: None,
     }
 }
 
@@ -263,7 +267,7 @@ fn driver_degrades_gracefully_under_starvation() {
         let config = PlanConfig {
             layout: Layout::Interleaved,
             budget: Budget::unlimited().with_deadline(Duration::ZERO),
-            threads: 1,
+            ..PlanConfig::default()
         };
         let p = plan_with(&nest, &config).expect("starvation must not fail the plan");
         for stmt in p.statements.iter().flatten() {
@@ -278,6 +282,284 @@ fn driver_degrades_gracefully_under_starvation() {
             assert!(d.nodes_at_stop <= Budget::CHECK_INTERVAL);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot corruption: every damaged checkpoint is a typed
+// `CheckpointError`, never a panic, a hang, or a silently wrong resume.
+// ---------------------------------------------------------------------
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("uov_fault_{name}_{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Bytes of a genuine snapshot from a real (truncated) checkpointed run.
+fn real_snapshot_bytes(name: &str) -> Vec<u8> {
+    let s = Stencil::new(vec![ivec![1, -2], ivec![1, 0], ivec![1, 2]]).expect("valid");
+    let path = tmp_path(name);
+    let config = SearchConfig {
+        budget: Budget::unlimited().with_max_nodes(6),
+        checkpoint: Some(CheckpointConfig {
+            path: path.clone(),
+            interval: 1,
+        }),
+        ..SearchConfig::default()
+    };
+    let res = find_best_uov(&s, Objective::ShortestVector, &config).expect("in range");
+    assert_eq!(res.checkpoint_error, None, "snapshot write must succeed");
+    let bytes = std::fs::read(&path).expect("snapshot file exists");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn truncated_snapshots_are_typed_errors() {
+    let bytes = real_snapshot_bytes("trunc");
+    let path = tmp_path("trunc_cut");
+    for cut in [bytes.len() / 2, bytes.len() - 4, 3, 0] {
+        std::fs::write(&path, &bytes[..cut]).expect("write test file");
+        match read_snapshot(&path) {
+            Err(CheckpointError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flipped_sections_fail_their_crc() {
+    let bytes = real_snapshot_bytes("flip");
+    let path = tmp_path("flip_mut");
+    // Flip one bit inside the last section's CRC trailer: the CRC no
+    // longer matches its section.
+    let mut crc_flip = bytes.clone();
+    let n = crc_flip.len();
+    crc_flip[n - 3] ^= 0x10;
+    std::fs::write(&path, &crc_flip).expect("write test file");
+    assert!(
+        matches!(
+            read_snapshot(&path),
+            Err(CheckpointError::CrcMismatch { .. })
+        ),
+        "CRC-trailer flip must be a CrcMismatch"
+    );
+    // Flip one bit of every byte in turn: decoding must never panic and
+    // never silently accept a snapshot that differs from the original.
+    let clean = read_snapshot_bytes(&bytes);
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 1;
+        std::fs::write(&path, &mutated).expect("write test file");
+        if let Ok(snap) = read_snapshot(&path) {
+            assert_ne!(
+                snap.fingerprint, clean.fingerprint,
+                "byte {i}: flip decoded Ok without changing the fingerprint"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Decode a snapshot from an in-memory byte image via a scratch file.
+fn read_snapshot_bytes(bytes: &[u8]) -> uov::core::checkpoint::Snapshot {
+    let path = tmp_path("scratch_decode");
+    std::fs::write(&path, bytes).expect("write test file");
+    let snap = read_snapshot(&path).expect("pristine snapshot decodes");
+    let _ = std::fs::remove_file(&path);
+    snap
+}
+
+#[test]
+fn wrong_version_header_is_rejected() {
+    let mut bytes = real_snapshot_bytes("version");
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let path = tmp_path("version_mut");
+    std::fs::write(&path, &bytes).expect("write test file");
+    assert!(matches!(
+        read_snapshot(&path),
+        Err(CheckpointError::UnsupportedVersion(99))
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn damaged_magic_is_rejected() {
+    let mut bytes = real_snapshot_bytes("magic");
+    bytes[0] = b'X';
+    let path = tmp_path("magic_mut");
+    std::fs::write(&path, &bytes).expect("write test file");
+    assert!(matches!(
+        read_snapshot(&path),
+        Err(CheckpointError::BadMagic)
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_snapshot_file_is_a_typed_io_error() {
+    let path = tmp_path("does_not_exist");
+    assert!(matches!(
+        read_snapshot(&path),
+        Err(CheckpointError::Io { .. })
+    ));
+}
+
+#[test]
+fn snapshot_from_a_different_stencil_cannot_resume() {
+    let s = Stencil::new(vec![ivec![1, -2], ivec![1, 0], ivec![1, 2]]).expect("valid");
+    let path = tmp_path("mismatch");
+    let config = SearchConfig {
+        checkpoint: Some(CheckpointConfig {
+            path: path.clone(),
+            interval: 4,
+        }),
+        ..SearchConfig::default()
+    };
+    let res = find_best_uov(&s, Objective::ShortestVector, &config).expect("in range");
+    assert_eq!(res.checkpoint_error, None);
+
+    // Different stencil — refused.
+    let other = Stencil::new(vec![ivec![1, 0], ivec![0, 1]]).expect("valid");
+    let err = search_resume(
+        &path,
+        &other,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect_err("a foreign snapshot must be refused");
+    assert!(matches!(
+        err,
+        SearchError::Checkpoint(CheckpointError::StencilMismatch { .. })
+    ));
+
+    // Same stencil, different objective — also refused: the snapshot's
+    // costs would be meaningless under the other objective.
+    let grid = RectDomain::grid(4, 4);
+    let err = search_resume(
+        &path,
+        &s,
+        Objective::KnownBounds(&grid),
+        &SearchConfig::default(),
+    )
+    .expect_err("an objective change must be refused");
+    assert!(matches!(
+        err,
+        SearchError::Checkpoint(CheckpointError::StencilMismatch { .. })
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Kill -9 and resume: the crash-safety acceptance test, in-process.
+// ---------------------------------------------------------------------
+
+/// The kill-loop workload: ~1 s of debug-profile search at 4 threads —
+/// long enough that a 250 ms timer reliably SIGKILLs it mid-run, short
+/// enough that the final resumed completion stays cheap.
+fn kill_workload() -> Stencil {
+    Stencil::new(vec![
+        ivec![5, 0, 0],
+        ivec![0, 5, 0],
+        ivec![0, 0, 5],
+        ivec![1, 2, 3],
+    ])
+    .expect("static stencil is valid")
+}
+
+fn kill_workload_config(path: &Path) -> SearchConfig {
+    SearchConfig {
+        threads: 4,
+        checkpoint: Some(CheckpointConfig {
+            path: path.to_path_buf(),
+            interval: 2_000,
+        }),
+        ..SearchConfig::default()
+    }
+}
+
+/// Child half of the kill test: inert unless `UOV_CKPT_CHILD` names a
+/// snapshot path, in which case it runs (or resumes) the checkpointed
+/// search and exits. The parent test SIGKILLs this process mid-run.
+#[test]
+fn checkpoint_child_runner() {
+    let Ok(path) = std::env::var("UOV_CKPT_CHILD") else {
+        return;
+    };
+    let path = PathBuf::from(path);
+    let s = kill_workload();
+    let config = kill_workload_config(&path);
+    let res = if path.exists() {
+        search_resume(&path, &s, Objective::ShortestVector, &config)
+    } else {
+        find_best_uov(&s, Objective::ShortestVector, &config)
+    }
+    .expect("child search must succeed");
+    println!("RESULT uov={} cost={}", res.uov, res.cost);
+}
+
+#[test]
+fn sigkilled_and_resumed_search_matches_clean_run() {
+    use std::process::{Command, Stdio};
+    let clean = find_best_uov(
+        &kill_workload(),
+        Objective::ShortestVector,
+        &SearchConfig {
+            threads: 4,
+            ..SearchConfig::default()
+        },
+    )
+    .expect("in range");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let path = tmp_path("sigkill");
+    let mut kills = 0;
+    for _ in 0..6 {
+        let mut child = Command::new(&exe)
+            .args(["--exact", "checkpoint_child_runner", "--nocapture"])
+            .env("UOV_CKPT_CHILD", &path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn child test process");
+        std::thread::sleep(Duration::from_millis(250));
+        match child.try_wait().expect("poll child") {
+            Some(_) => break, // ran to completion before the timer
+            None => {
+                child.kill().expect("SIGKILL child"); // SIGKILL on unix
+                let _ = child.wait();
+                kills += 1;
+            }
+        }
+    }
+    assert!(
+        kills >= 1,
+        "workload finished before any kill landed; grow kill_workload()"
+    );
+    // Finish whatever work remains from the last surviving snapshot.
+    let s = kill_workload();
+    let resumed = if path.exists() {
+        search_resume(
+            &path,
+            &s,
+            Objective::ShortestVector,
+            &kill_workload_config(&path),
+        )
+        .expect("snapshot of a killed run must resume")
+    } else {
+        // Every kill landed before the first snapshot interval elapsed:
+        // nothing persisted, so the "resume" is simply a fresh run.
+        find_best_uov(&s, Objective::ShortestVector, &kill_workload_config(&path))
+            .expect("in range")
+    };
+    assert_eq!(
+        (resumed.uov.clone(), resumed.cost),
+        (clean.uov.clone(), clean.cost),
+        "kill -9 and resume must be byte-identical to the clean run"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
