@@ -7,6 +7,7 @@ pub mod npc;
 pub mod overhead;
 pub mod resilience;
 pub mod scaling;
+pub mod service;
 pub mod storage;
 
 use crate::{Scale, Table};
@@ -34,6 +35,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "ablation" => ablation::all(scale),
         "parallel" => vec![ablation::parallel_consistency(scale)],
         "resilience" => resilience::all(scale),
+        "service" => service::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -66,6 +68,7 @@ pub fn all_names() -> Vec<&'static str> {
         "ablation",
         "parallel",
         "resilience",
+        "service",
         "jacobi",
         "tiles",
         "baseline",

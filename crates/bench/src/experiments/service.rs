@@ -1,0 +1,205 @@
+//! Service benchmark: the planning server under a deterministic
+//! closed-loop load.
+//!
+//! Not a paper figure — this measures the PR-introduced `uov-service`
+//! subsystem: throughput and latency percentiles of the framed protocol,
+//! the canonicalizing plan cache's hit rate on a repeated-stencil
+//! workload, single-flight coalescing under a synchronized burst, and
+//! (the property everything hinges on) that every cached answer carries
+//! a certificate hash identical to a cold solve's.
+
+use uov_service::{
+    loadgen, serve, Client, LoadGenConfig, ObjectiveSpec, PlanRequest, ServerConfig, FLAG_NO_CACHE,
+};
+
+use crate::report::Table;
+use crate::Scale;
+
+/// All service tables.
+pub fn all(scale: Scale) -> Vec<Table> {
+    // One server for the whole benchmark, as in production: the warm
+    // phases measure exactly the cache the cold phase populated.
+    let server = match serve("127.0.0.1:0", ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            let mut t = Table::new("service — unavailable", vec!["error".into()]);
+            t.push(vec![e.to_string()]);
+            return vec![t];
+        }
+    };
+    let endpoint = server.endpoint().to_string();
+    let tables = vec![
+        closed_loop(&endpoint, scale),
+        coalescing_burst(&endpoint),
+        certificate_identity(&endpoint),
+    ];
+    server.shutdown();
+    server.join();
+    tables
+}
+
+/// Closed-loop load: a cold pass populating the cache, then a warm pass
+/// over the same deterministic request streams. The warm pass must see a
+/// >90% hit rate — the acceptance bar for the repeated-stencil workload.
+fn closed_loop(endpoint: &str, scale: Scale) -> Table {
+    let mut t = Table::new(
+        "service — closed-loop load (deterministic seed)",
+        vec![
+            "phase".into(),
+            "clients".into(),
+            "requests".into(),
+            "errors".into(),
+            "throughput (req/s)".into(),
+            "p50 (µs)".into(),
+            "p99 (µs)".into(),
+            "hits".into(),
+            "misses".into(),
+            "coalesced".into(),
+            "hit rate".into(),
+        ],
+    );
+    let cfg = LoadGenConfig {
+        clients: 4,
+        requests_per_client: match scale {
+            Scale::Quick => 25,
+            Scale::Full => 250,
+        },
+        distinct_stencils: 6,
+        permute: true,
+        ..LoadGenConfig::default()
+    };
+    for phase in ["cold", "warm"] {
+        match loadgen::run(endpoint, &cfg) {
+            Ok(r) => t.push(vec![
+                phase.into(),
+                cfg.clients.to_string(),
+                r.completed.to_string(),
+                r.errors.to_string(),
+                format!("{:.0}", r.throughput_rps),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+                r.hits.to_string(),
+                r.misses.to_string(),
+                r.coalesced.to_string(),
+                format!("{:.1}%", r.hit_rate() * 100.0),
+            ]),
+            Err(e) => t.push(vec![
+                phase.into(),
+                cfg.clients.to_string(),
+                "0".into(),
+                e.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t
+}
+
+/// Fire a barrier-synchronized burst of identical requests at a stencil
+/// the cache has never seen: exactly one search may run; the rest must
+/// park on its flight and receive the identical answer.
+///
+/// Timing is made deterministic with the protocol's own budget: the
+/// burst problem (a 4-D cross whose branch-and-bound runs far past any
+/// deadline) carries a 300 ms deadline, so the flight provably stays
+/// open for 300 ms — every waiter scheduled inside that window
+/// coalesces, on any machine, single-core included. The leader degrades
+/// to a legal UOV at the deadline and publishes it to all waiters.
+fn coalescing_burst(endpoint: &str) -> Table {
+    let mut t = Table::new(
+        "service — single-flight dedup (synchronized identical burst)",
+        vec![
+            "burst size".into(),
+            "distinct answers".into(),
+            "misses".into(),
+            "coalesced".into(),
+            "hits".into(),
+            "coalesced ≥ 1".into(),
+        ],
+    );
+    // One request per default worker, so the whole burst lands in a
+    // single flight round (a degraded answer is never cached, and a
+    // second round would therefore search again).
+    let n = ServerConfig::default().workers;
+    match loadgen::coalescing_burst(endpoint, n, 300) {
+        Ok(r) => t.push(vec![
+            r.burst.to_string(),
+            r.distinct_answers.to_string(),
+            r.misses.to_string(),
+            r.coalesced.to_string(),
+            r.hits.to_string(),
+            (r.coalesced >= 1).to_string(),
+        ]),
+        Err(e) => t.push(vec![
+            n.to_string(),
+            e.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "false".into(),
+        ]),
+    }
+    t
+}
+
+/// Cold solve (`FLAG_NO_CACHE`) vs cached answer, per pool stencil: the
+/// certificate transcript hashes must be identical — the cache serves
+/// *certified replays*, not merely equal vectors.
+fn certificate_identity(endpoint: &str) -> Table {
+    let mut t = Table::new(
+        "service — cached answers are certificate-identical to cold solves",
+        vec![
+            "stencil".into(),
+            "uov".into(),
+            "cost".into(),
+            "cached = cold".into(),
+        ],
+    );
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            t.push(vec![e.to_string(), "-".into(), "-".into(), "-".into()]);
+            return t;
+        }
+    };
+    for stencil in loadgen::stencil_pool(6) {
+        let req = |flags| PlanRequest {
+            stencil: stencil.clone(),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags,
+        };
+        let (cold, cached) = match (client.plan(&req(FLAG_NO_CACHE)), client.plan(&req(0))) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                t.push(vec![
+                    format!("{stencil:?}"),
+                    "-".into(),
+                    "-".into(),
+                    format!("error: {:?} / {:?}", a.err(), b.err()),
+                ]);
+                continue;
+            }
+        };
+        let identical = cold.uov == cached.uov
+            && cold.cost == cached.cost
+            && cold.certificate_hash == cached.certificate_hash;
+        t.push(vec![
+            stencil
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            cached.uov.to_string(),
+            cached.cost.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    t
+}

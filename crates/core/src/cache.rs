@@ -1,0 +1,284 @@
+//! Sharded, lock-striped concurrent caches.
+//!
+//! Two flavours share the striping scheme:
+//!
+//! * [`ShardedCache`] — an unbounded insert-only map. This is the memo
+//!   table of the [`DoneOracle`](crate::DoneOracle): verdicts for a fixed
+//!   stencil are unique, so last-writer-wins races are harmless, and
+//!   entries are never evicted (the budget's memo cap bounds growth).
+//! * [`ShardedLru`] — a capacity-bounded map with least-recently-used
+//!   eviction per shard. This is what the planning service's canonical
+//!   plan cache builds on: hot stencils stay resident, cold ones age out,
+//!   and the capacity bound holds under any workload.
+//!
+//! Striping keeps contention low — a key hashes to one of `shards`
+//! independently locked maps, so two threads only collide when they touch
+//! the same stripe at the same instant. Locks are never held across user
+//! code, so neither structure can deadlock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, RwLock};
+
+fn stripe_of<K: Hash>(key: &K, mask: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & mask
+}
+
+/// An unbounded sharded concurrent map (see the module docs).
+///
+/// Readers take a shard's lock shared, writers exclusively. A poisoned
+/// stripe (a panicking writer elsewhere) degrades to a cache miss rather
+/// than propagating the panic.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    mask: usize,
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        ShardedCache::new(Self::DEFAULT_SHARDS)
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// Default stripe count; a power of two so the shard index is a mask.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache striped over `shards` locks (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..n).map(|_| RwLock::default()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        &self.shards[stripe_of(key, self.mask)]
+    }
+
+    /// Cached value for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<V> {
+        match self.shard(key).read() {
+            Ok(guard) => guard.get(key).cloned(),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert a value; returns whether the entry is new. Last-writer wins
+    /// on a race — callers must only store values that concurrent writers
+    /// agree on (memoised verdicts, canonical results).
+    pub fn insert(&self, key: K, val: V) -> bool {
+        match self.shard(&key).write() {
+            Ok(mut guard) => guard.insert(key, val).is_none(),
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `key` has a cached value.
+    pub fn contains(&self, key: &K) -> bool {
+        match self.shard(key).read() {
+            Ok(guard) => guard.contains_key(key),
+            Err(_) => false,
+        }
+    }
+
+    /// Total entries across stripes. Exact when quiescent; a snapshot
+    /// (each stripe read at a slightly different instant) under
+    /// concurrent insertion, which is all the memo-cap check needs.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().map(|g| g.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the cache holds no entries (same snapshot caveat as
+    /// [`ShardedCache::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One LRU shard: a map plus a monotone access clock. Eviction scans for
+/// the minimum stamp — O(shard size), which stays small because capacity
+/// is divided across shards, and beats an intrusive list for auditability.
+#[derive(Debug)]
+struct LruShard<K, V> {
+    map: HashMap<K, (V, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let stamp = self.touch();
+        self.map.get_mut(key).map(|slot| {
+            slot.1 = stamp;
+            slot.0.clone()
+        })
+    }
+
+    fn insert(&mut self, key: K, val: V) -> bool {
+        let stamp = self.touch();
+        if let Some(slot) = self.map.get_mut(&key) {
+            *slot = (val, stamp);
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (val, stamp));
+        true
+    }
+}
+
+/// A capacity-bounded sharded map with per-shard LRU eviction (see the
+/// module docs).
+///
+/// The total capacity is divided evenly across stripes, so the bound is
+/// approximate per access pattern but hard in aggregate: the cache never
+/// holds more than `capacity` entries (rounded up to a multiple of the
+/// stripe count).
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    mask: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// An LRU cache holding at most ~`capacity` entries across `shards`
+    /// stripes (stripe count rounded up to a power of two, per-stripe
+    /// capacity at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        ShardedLru {
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(LruShard {
+                        map: HashMap::new(),
+                        clock: 0,
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        &self.shards[stripe_of(key, self.mask)]
+    }
+
+    /// Cached value for `key`, refreshing its recency. A poisoned stripe
+    /// degrades to a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        match self.shard(key).lock() {
+            Ok(mut guard) => guard.get(key),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert (or refresh) a value, evicting the stripe's least-recently
+    /// used entry if it is full. Returns whether the key is new.
+    pub fn insert(&self, key: K, val: V) -> bool {
+        match self.shard(&key).lock() {
+            Ok(mut guard) => guard.insert(key, val),
+            Err(_) => false,
+        }
+    }
+
+    /// Total entries across stripes (snapshot under concurrency).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|g| g.map.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_cache_inserts_and_hits() {
+        let c: ShardedCache<u64, u64> = ShardedCache::default();
+        assert!(c.is_empty());
+        assert!(c.insert(1, 10));
+        assert!(!c.insert(1, 11), "overwrite is not a new entry");
+        assert_eq!(c.get(&1), Some(11));
+        assert!(!c.contains(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_is_concurrent() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(8);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        c.insert(t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 400);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Single stripe so the eviction order is fully observable.
+        let c: ShardedLru<u64, u64> = ShardedLru::new(2, 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.get(&1), Some(1)); // refresh 1; 2 is now the LRU
+        c.insert(3, 3);
+        assert_eq!(c.get(&2), None, "2 was the least recently used");
+        assert_eq!(c.get(&1), Some(1));
+        assert_eq!(c.get(&3), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_capacity_is_a_hard_bound() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(64, 8);
+        for i in 0..10_000 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= 64, "len {} exceeds capacity", c.len());
+    }
+
+    #[test]
+    fn lru_refresh_keeps_single_entry() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 1);
+        assert!(c.insert(7, 1));
+        assert!(!c.insert(7, 2), "refresh is not a new key");
+        assert_eq!(c.get(&7), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -20,8 +20,8 @@ use std::fmt;
 
 use uov_isg::{IVec, Stencil};
 
-use crate::checkpoint::{fingerprint, Fnv};
 use crate::error::SearchError;
+use crate::fingerprint::{fingerprint, Fnv};
 use crate::oracle::DoneOracle;
 use crate::search::{try_cost_of, Objective, SearchResult};
 

@@ -37,9 +37,15 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
-use uov_isg::{IVec, Stencil};
+use uov_isg::IVec;
 
-use crate::search::{Objective, SearchStats};
+use crate::search::SearchStats;
+use crate::wire::{crc32, Decoder, Encoder, WireError};
+
+// Re-exported for compatibility: the fingerprint started life here and
+// callers (certify, resume, the service plan cache) still reach it
+// through `checkpoint::fingerprint`.
+pub use crate::fingerprint::{fingerprint, Fnv};
 
 /// File magic: "UOV checkpoint, format family 1".
 const MAGIC: &[u8; 8] = b"UOVCKPT1";
@@ -162,123 +168,18 @@ pub struct Snapshot {
     pub stats: SearchStats,
 }
 
-/// FNV-1a 64-bit, the workspace-standard dependency-free hash.
-pub(crate) struct Fnv(u64);
-
-impl Fnv {
-    pub(crate) fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    pub(crate) fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    pub(crate) fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    pub(crate) fn write_i64(&mut self, v: i64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    pub(crate) fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// Fingerprint of the (stencil, objective) pair a snapshot belongs to.
-///
-/// Covers the stencil's dimension and vectors and the objective's
-/// identity: for [`Objective::KnownBounds`] the domain's point count and
-/// sorted extreme points are hashed, so two domains with identical
-/// vertices and cardinality are deliberately interchangeable (they define
-/// the same storage-class counts for every candidate the search costs).
-pub fn fingerprint(stencil: &Stencil, objective: &Objective<'_>) -> u64 {
-    let mut h = Fnv::new();
-    h.write_u64(stencil.dim() as u64);
-    h.write_u64(stencil.len() as u64);
-    for v in stencil.iter() {
-        for &c in v.as_slice() {
-            h.write_i64(c);
-        }
-    }
-    match objective {
-        Objective::ShortestVector => h.write_u64(0),
-        Objective::KnownBounds(domain) => {
-            h.write_u64(1);
-            h.write_u64(domain.num_points());
-            let mut vertices = domain.extreme_points();
-            vertices.sort();
-            for p in &vertices {
-                for &c in p.as_slice() {
-                    h.write_i64(c);
-                }
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => CheckpointError::Truncated,
+            WireError::Oversized(what) => {
+                CheckpointError::Corrupt(format!("{what} exceeds the section size"))
             }
         }
     }
-    h.finish()
-}
-
-/// CRC-32 (IEEE 802.3, bitwise): poly `0xEDB88320`, init/final `!0`.
-/// Bitwise rather than table-driven — snapshots are small and rare, and
-/// 20 lines beat a 1 KiB table for auditability.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
 }
 
 // ---------------------------------------------------------------- encode
-
-struct Encoder {
-    buf: Vec<u8>,
-}
-
-impl Encoder {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u128(&mut self, v: u128) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn vec(&mut self, w: &IVec) {
-        for &c in w.as_slice() {
-            self.i64(c);
-        }
-    }
-
-    /// Append `tag ‖ len ‖ payload ‖ crc32(tag ‖ len ‖ payload)`.
-    fn section(&mut self, tag: u8, payload: &[u8]) {
-        let start = self.buf.len();
-        self.u8(tag);
-        self.u64(payload.len() as u64);
-        self.buf.extend_from_slice(payload);
-        let crc = crc32(&self.buf[start..]);
-        self.u32(crc);
-    }
-}
 
 /// Serialize a snapshot to its canonical byte representation.
 ///
@@ -298,21 +199,19 @@ pub fn encode_snapshot(snap: &Snapshot) -> Result<Vec<u8>, CheckpointError> {
     let mut known: Vec<&(IVec, u64)> = snap.known.iter().collect();
     known.sort();
 
-    let mut e = Encoder {
-        buf: Vec::with_capacity(64 + 32 * (frontier.len() + known.len())),
-    };
+    let mut e = Encoder::with_capacity(64 + 32 * (frontier.len() + known.len()));
     e.buf.extend_from_slice(MAGIC);
     e.u32(VERSION);
     e.u64(snap.fingerprint);
     e.u16(dim);
     e.u8(4); // section count
 
-    let mut p = Encoder { buf: Vec::new() };
+    let mut p = Encoder::new();
     p.u128(snap.incumbent_cost);
     p.vec(&snap.incumbent);
     e.section(SEC_INCUMBENT, &p.buf);
 
-    let mut p = Encoder { buf: Vec::new() };
+    let mut p = Encoder::new();
     p.u64(frontier.len() as u64);
     for (cost, w, mask) in frontier {
         p.u128(*cost);
@@ -321,7 +220,7 @@ pub fn encode_snapshot(snap: &Snapshot) -> Result<Vec<u8>, CheckpointError> {
     }
     e.section(SEC_FRONTIER, &p.buf);
 
-    let mut p = Encoder { buf: Vec::new() };
+    let mut p = Encoder::new();
     p.u64(known.len() as u64);
     for (w, mask) in known {
         p.u64(*mask);
@@ -329,7 +228,7 @@ pub fn encode_snapshot(snap: &Snapshot) -> Result<Vec<u8>, CheckpointError> {
     }
     e.section(SEC_KNOWN, &p.buf);
 
-    let mut p = Encoder { buf: Vec::new() };
+    let mut p = Encoder::new();
     p.u64(snap.nodes_charged);
     p.u64(snap.stats.visited);
     p.u64(snap.stats.pushed);
@@ -375,75 +274,6 @@ pub fn write_snapshot(path: &Path, snap: &Snapshot) -> Result<(), CheckpointErro
 
 // ---------------------------------------------------------------- decode
 
-struct Decoder<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Decoder<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or(CheckpointError::Truncated)?;
-        let out = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-
-    fn array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
-        let slice = self.take(N)?;
-        let mut out = [0u8; N];
-        out.copy_from_slice(slice);
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
-        Ok(self.array::<1>()?[0])
-    }
-    fn u16(&mut self) -> Result<u16, CheckpointError> {
-        Ok(u16::from_le_bytes(self.array()?))
-    }
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.array()?))
-    }
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.array()?))
-    }
-    fn u128(&mut self) -> Result<u128, CheckpointError> {
-        Ok(u128::from_le_bytes(self.array()?))
-    }
-    fn i64(&mut self) -> Result<i64, CheckpointError> {
-        Ok(i64::from_le_bytes(self.array()?))
-    }
-
-    fn vec(&mut self, dim: usize) -> Result<IVec, CheckpointError> {
-        let mut v = Vec::with_capacity(dim);
-        for _ in 0..dim {
-            v.push(self.i64()?);
-        }
-        Ok(IVec::from(v))
-    }
-
-    /// Length-checked entry count: the payload must be able to hold
-    /// `count` entries of `entry_bytes` each.
-    fn count(&mut self, entry_bytes: usize) -> Result<usize, CheckpointError> {
-        let n = self.u64()?;
-        let remaining = self.buf.len() - self.pos;
-        let needed = usize::try_from(n)
-            .ok()
-            .and_then(|n| n.checked_mul(entry_bytes))
-            .ok_or_else(|| CheckpointError::Corrupt("entry count overflows".into()))?;
-        if needed > remaining {
-            return Err(CheckpointError::Corrupt(
-                "entry count exceeds section size".into(),
-            ));
-        }
-        Ok(n as usize)
-    }
-}
-
 /// Decode a snapshot from bytes, validating magic, version and every
 /// section CRC.
 ///
@@ -453,7 +283,7 @@ impl<'a> Decoder<'a> {
 /// `StencilMismatch` (the fingerprint is returned for the caller to
 /// check against the live stencil).
 pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CheckpointError> {
-    let mut d = Decoder { buf: bytes, pos: 0 };
+    let mut d = Decoder::new(bytes);
     if d.take(MAGIC.len())? != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
@@ -487,10 +317,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CheckpointError> {
         };
         let _ = stored_crc;
 
-        let mut p = Decoder {
-            buf: payload,
-            pos: 0,
-        };
+        let mut p = Decoder::new(payload);
         let known_tag = matches!(tag, SEC_INCUMBENT | SEC_FRONTIER | SEC_KNOWN | SEC_PROGRESS);
         match tag {
             SEC_INCUMBENT => {
@@ -720,25 +547,17 @@ mod tests {
         }
     }
 
+    /// The fingerprint moved to [`crate::fingerprint`]; this pins the
+    /// compatibility re-export so existing `checkpoint::fingerprint`
+    /// callers keep compiling and hashing identically.
     #[test]
-    fn fingerprint_separates_stencils_and_objectives() {
-        use uov_isg::RectDomain;
-        let a = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap();
-        let b = Stencil::new(vec![ivec![1, 0], ivec![0, 1]]).unwrap();
-        let short = fingerprint(&a, &Objective::ShortestVector);
-        assert_eq!(short, fingerprint(&a, &Objective::ShortestVector));
-        assert_ne!(short, fingerprint(&b, &Objective::ShortestVector));
-        let g4 = RectDomain::grid(4, 4);
-        let g5 = RectDomain::grid(5, 5);
-        let kb4 = fingerprint(&a, &Objective::KnownBounds(&g4));
-        assert_ne!(short, kb4);
-        assert_ne!(kb4, fingerprint(&a, &Objective::KnownBounds(&g5)));
-    }
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // IEEE CRC-32 of "123456789" is the classic check value.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
+    fn fingerprint_reexport_is_the_shared_fingerprint() {
+        use crate::search::Objective;
+        use uov_isg::Stencil;
+        let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap();
+        assert_eq!(
+            fingerprint(&s, &Objective::ShortestVector),
+            crate::fingerprint::fingerprint(&s, &Objective::ShortestVector)
+        );
     }
 }

@@ -47,9 +47,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod budget;
+pub mod cache;
 pub mod certify;
 pub mod checkpoint;
 pub mod error;
+pub mod fingerprint;
 pub mod frontier;
 pub mod multi;
 pub mod npc;
@@ -58,11 +60,14 @@ pub mod oracle;
 pub mod par;
 pub mod search;
 pub mod viz;
+pub mod wire;
 
 pub use budget::{Budget, Degradation, Exhausted};
+pub use cache::{ShardedCache, ShardedLru};
 pub use certify::{certify, Certificate, CertifyError};
 pub use checkpoint::{CheckpointConfig, CheckpointError};
 pub use error::SearchError;
+pub use fingerprint::{fingerprint, Fnv};
 pub use oracle::DoneOracle;
 pub use par::{try_fan_out, FanOutPanic};
 pub use search::{

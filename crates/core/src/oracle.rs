@@ -21,81 +21,11 @@
 //! vectors (paper theorem, see [`crate::npc`]); for realistic stencils the
 //! memoised search is fast, which is the paper's practicality argument.
 
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::RwLock;
-
 use uov_isg::{IVec, IterationDomain, Stencil};
 
 use crate::budget::{Budget, Degradation};
+use crate::cache::ShardedCache;
 use crate::error::SearchError;
-
-/// A sharded, lock-striped concurrent memo table mapping offsets to
-/// cone-membership verdicts.
-///
-/// Queries from many threads share transitive-closure work: a verdict
-/// memoised by one worker is a cache hit for every other. Striping keeps
-/// contention low — an offset hashes to one of
-/// [`SHARDS`](ShardedCache::SHARDS) independently locked maps, so two
-/// workers only collide when they touch the same stripe at the same
-/// instant. Readers take a shard's lock shared, writers exclusively;
-/// locks are never held across oracle recursion, so the structure cannot
-/// deadlock.
-#[derive(Debug, Default)]
-struct ShardedCache {
-    shards: Vec<RwLock<HashMap<IVec, bool>>>,
-}
-
-impl ShardedCache {
-    /// Stripe count; a power of two so the shard index is a mask.
-    const SHARDS: usize = 16;
-
-    fn new() -> Self {
-        ShardedCache {
-            shards: (0..Self::SHARDS).map(|_| RwLock::default()).collect(),
-        }
-    }
-
-    fn shard(&self, w: &IVec) -> &RwLock<HashMap<IVec, bool>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        w.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (Self::SHARDS - 1)]
-    }
-
-    /// Cached verdict for `w`, if any. A poisoned stripe (a panicking
-    /// writer elsewhere) degrades to a cache miss rather than propagating
-    /// the panic.
-    fn get(&self, w: &IVec) -> Option<bool> {
-        match self.shard(w).read() {
-            Ok(guard) => guard.get(w).copied(),
-            Err(_) => None,
-        }
-    }
-
-    /// Insert a verdict; returns whether the entry is new. Last-writer
-    /// wins on a race, which is harmless: verdicts for a fixed stencil
-    /// are unique, so concurrent writers always agree on the value.
-    fn insert(&self, w: IVec, val: bool) -> bool {
-        match self.shard(&w).write() {
-            Ok(mut guard) => guard.insert(w, val).is_none(),
-            Err(_) => false,
-        }
-    }
-
-    fn contains(&self, w: &IVec) -> bool {
-        self.get(w).is_some()
-    }
-
-    /// Total entries across stripes. Exact when quiescent; a snapshot
-    /// (each stripe read at a slightly different instant) under
-    /// concurrent insertion, which is all the memo-cap check needs.
-    fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().map(|g| g.len()).unwrap_or(0))
-            .sum()
-    }
-}
 
 /// Memoising decision oracle for DONE/DEAD/UOV membership over one stencil.
 ///
@@ -129,7 +59,7 @@ pub struct DoneOracle {
     /// makes even the adversarial NP-completeness instances tractable for
     /// realistic sizes.
     prunes: Vec<IVec>,
-    cache: ShardedCache,
+    cache: ShardedCache<IVec, bool>,
 }
 
 /// Outcome of inspecting a cone node without expanding it.
@@ -161,7 +91,7 @@ impl DoneOracle {
             stencil: stencil.clone(),
             phi,
             prunes: dual_cone_functionals(stencil),
-            cache: ShardedCache::new(),
+            cache: ShardedCache::default(),
         })
     }
 

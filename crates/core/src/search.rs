@@ -202,8 +202,9 @@ fn cost_of(objective: &Objective<'_>, w: &IVec) -> u128 {
 }
 
 /// [`cost_of`] with overflow reported instead of panicking; the searches
-/// use this so one adversarial candidate cannot sink the whole run.
-pub(crate) fn try_cost_of(objective: &Objective<'_>, w: &IVec) -> Result<u128, IsgError> {
+/// use this so one adversarial candidate cannot sink the whole run, and
+/// the service's plan cache uses it to re-cost permuted answers.
+pub fn try_cost_of(objective: &Objective<'_>, w: &IVec) -> Result<u128, IsgError> {
     match objective {
         Objective::ShortestVector => Ok(w.try_norm_sq()? as u128),
         Objective::KnownBounds(domain) => Ok(try_storage_class_count(*domain, w)? as u128),

@@ -1,0 +1,272 @@
+//! Command-line front end for the UOV planning service.
+//!
+//! ```text
+//! uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N]
+//! uov-service query  <endpoint> --stencil "1,0;0,1;1,1" [--grid N,M] [--deadline MS] [--no-cache]
+//! uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N]
+//!                               [--deadline MS] [--csv]
+//! uov-service shutdown <endpoint>
+//! ```
+//!
+//! Endpoints are TCP addresses (`127.0.0.1:7878`; port `0` picks a free
+//! port and prints it) or Unix sockets (`unix:/tmp/uov.sock`).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use uov_isg::{IVec, RectDomain, Stencil};
+use uov_service::{
+    serve, Client, LoadGenConfig, ObjectiveSpec, PlanRequest, ServerConfig, FLAG_NO_CACHE,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(if args.is_empty() { 1 } else { 0 });
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N]
+  uov-service query  <endpoint> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache]
+  uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N] [--deadline MS] [--csv]
+  uov-service smoke  <endpoint>
+  uov-service shutdown <endpoint>";
+
+/// Pull the value of `--flag <value>` out of `args`, if present.
+fn opt<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match opt(args, flag)? {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("invalid {flag} `{s}`")),
+    }
+}
+
+fn endpoint_of(args: &[String]) -> Result<&str, String> {
+    args.first()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("missing endpoint\n{USAGE}"))
+}
+
+/// Parse `"1,0;0,1;1,1"` into a stencil.
+fn parse_stencil(spec: &str) -> Result<Stencil, String> {
+    let mut vectors = Vec::new();
+    for part in spec.split(';') {
+        let comps: Result<Vec<i64>, _> = part.split(',').map(|c| c.trim().parse()).collect();
+        let comps = comps.map_err(|_| format!("invalid stencil vector `{part}`"))?;
+        vectors.push(IVec::from(comps));
+    }
+    Stencil::new(vectors).map_err(|e| format!("invalid stencil: {e}"))
+}
+
+fn parse_grid(spec: &str) -> Result<RectDomain, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!("--grid wants N,M, got `{spec}`"));
+    }
+    let n: u32 = parts[0].trim().parse().map_err(|_| "invalid grid size")?;
+    let m: u32 = parts[1].trim().parse().map_err(|_| "invalid grid size")?;
+    if n == 0 || m == 0 {
+        return Err("grid sides must be positive".into());
+    }
+    Ok(RectDomain::grid(n as i64, m as i64))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+    let config = ServerConfig {
+        workers: opt_parse(args, "--workers", ServerConfig::default().workers)?,
+        queue_depth: opt_parse(args, "--queue", ServerConfig::default().queue_depth)?,
+        search_threads: opt_parse(args, "--search-threads", 1)?,
+        cache_capacity: opt_parse(args, "--cache", ServerConfig::default().cache_capacity)?,
+        ..ServerConfig::default()
+    };
+    let server = serve(endpoint, config).map_err(|e| e.to_string())?;
+    // Scripts read this line to learn the resolved port.
+    println!("listening on {}", server.endpoint());
+    let stats = server.join();
+    println!(
+        "drained: {} requests, {} responses, {} protocol errors, {} overloaded, {} panics",
+        stats.requests,
+        stats.responses,
+        stats.protocol_errors,
+        stats.rejected_overloaded,
+        stats.panics
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+    let stencil = parse_stencil(opt(args, "--stencil")?.ok_or("query needs --stencil")?)?;
+    let objective = match opt(args, "--grid")? {
+        Some(g) => ObjectiveSpec::KnownBounds(parse_grid(g)?),
+        None => ObjectiveSpec::ShortestVector,
+    };
+    let deadline_ms: u32 = opt_parse(args, "--deadline", 0)?;
+    let flags = if args.iter().any(|a| a == "--no-cache") {
+        FLAG_NO_CACHE
+    } else {
+        0
+    };
+    let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
+    client
+        .set_timeout(Some(Duration::from_secs(600)))
+        .map_err(|e| e.to_string())?;
+    let resp = client
+        .plan(&PlanRequest {
+            stencil,
+            objective,
+            deadline_ms,
+            flags,
+        })
+        .map_err(|e| e.to_string())?;
+    println!("uov         {}", resp.uov);
+    println!("cost        {}", resp.cost);
+    println!("certificate {:#018x}", resp.certificate_hash);
+    println!("degraded    {:?}", resp.degradation);
+    println!("cache       {:?}", resp.cache);
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+    let defaults = LoadGenConfig::default();
+    let cfg = LoadGenConfig {
+        clients: opt_parse(args, "--clients", defaults.clients)?,
+        requests_per_client: opt_parse(args, "--requests", defaults.requests_per_client)?,
+        seed: opt_parse(args, "--seed", defaults.seed)?,
+        distinct_stencils: opt_parse(args, "--distinct", defaults.distinct_stencils)?,
+        deadline_ms: opt_parse(args, "--deadline", defaults.deadline_ms)?,
+        permute: true,
+    };
+    let report = uov_service::run_loadgen(endpoint, &cfg).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--csv") {
+        println!(
+            "completed,errors,elapsed_ms,throughput_rps,p50_us,p99_us,max_us,hits,misses,coalesced,hit_rate"
+        );
+        println!(
+            "{},{},{},{:.1},{},{},{},{},{},{},{:.3}",
+            report.completed,
+            report.errors,
+            report.elapsed.as_millis(),
+            report.throughput_rps,
+            report.p50_us,
+            report.p99_us,
+            report.max_us,
+            report.hits,
+            report.misses,
+            report.coalesced,
+            report.hit_rate()
+        );
+    } else {
+        println!("| metric | value |");
+        println!("|---|---|");
+        println!("| completed | {} |", report.completed);
+        println!("| errors | {} |", report.errors);
+        println!("| elapsed | {:.1} ms |", report.elapsed.as_secs_f64() * 1e3);
+        println!("| throughput | {:.1} req/s |", report.throughput_rps);
+        println!("| p50 latency | {} µs |", report.p50_us);
+        println!("| p99 latency | {} µs |", report.p99_us);
+        println!("| cache hits | {} |", report.hits);
+        println!("| cache misses | {} |", report.misses);
+        println!("| coalesced | {} |", report.coalesced);
+        println!("| hit rate | {:.1}% |", report.hit_rate() * 100.0);
+    }
+    Ok(())
+}
+
+/// CI acceptance check against a live server: a bounded deterministic
+/// load must complete with zero errors and a warm >90% hit rate, and a
+/// synchronized burst must coalesce at least one request onto an
+/// in-flight search. Exits non-zero on any violation.
+fn cmd_smoke(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+
+    // Cold pass populates the cache; warm pass must run >90% hit rate.
+    let cfg = LoadGenConfig {
+        clients: 4,
+        requests_per_client: 25,
+        distinct_stencils: 6,
+        permute: true,
+        ..LoadGenConfig::default()
+    };
+    let cold = uov_service::run_loadgen(endpoint, &cfg).map_err(|e| e.to_string())?;
+    let warm = uov_service::run_loadgen(endpoint, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "smoke: cold {}/{} ok ({} hits), warm {}/{} ok (hit rate {:.1}%)",
+        cold.completed,
+        cold.completed + cold.errors,
+        cold.hits,
+        warm.completed,
+        warm.completed + warm.errors,
+        warm.hit_rate() * 100.0
+    );
+    if cold.errors + warm.errors > 0 {
+        return Err(format!(
+            "load generation saw {} protocol errors",
+            cold.errors + warm.errors
+        ));
+    }
+    if warm.hit_rate() <= 0.90 {
+        return Err(format!(
+            "warm hit rate {:.1}% is not above 90%",
+            warm.hit_rate() * 100.0
+        ));
+    }
+
+    // Single-flight: at least one request of the burst must coalesce.
+    let burst = uov_service::coalescing_burst(endpoint, 4, 300).map_err(|e| e.to_string())?;
+    println!(
+        "smoke: burst of {} → {} miss, {} coalesced, {} hit, {} distinct answer(s)",
+        burst.burst, burst.misses, burst.coalesced, burst.hits, burst.distinct_answers
+    );
+    if burst.errors > 0 {
+        return Err(format!("burst saw {} errors", burst.errors));
+    }
+    if burst.coalesced == 0 {
+        return Err("no request coalesced onto the in-flight search".into());
+    }
+    if burst.distinct_answers != 1 {
+        return Err(format!(
+            "coalesced burst returned {} distinct answers, want 1",
+            burst.distinct_answers
+        ));
+    }
+    println!("smoke: OK");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+    let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
+    client.shutdown_server().map_err(|e| e.to_string())?;
+    println!("shutdown acknowledged");
+    Ok(())
+}

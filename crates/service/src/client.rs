@@ -1,0 +1,98 @@
+//! A blocking client for the planning service.
+
+use std::time::Duration;
+
+use crate::error::{ErrorCode, ServiceError};
+use crate::proto::{kind, read_frame, write_frame, ErrorResponse, PlanRequest, PlanResponse};
+use crate::server::AnyStream;
+
+/// One connection to a planning server. Requests are strictly
+/// sequential per connection (the protocol has no request IDs); open
+/// more clients for concurrency.
+pub struct Client {
+    stream: AnyStream,
+}
+
+impl Client {
+    /// Dial a server at a TCP address (`"127.0.0.1:7878"`) or Unix
+    /// socket (`"unix:/tmp/uov.sock"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if the endpoint is unreachable.
+    pub fn connect(endpoint: &str) -> Result<Self, ServiceError> {
+        let stream = AnyStream::connect(endpoint)?;
+        Ok(Client { stream })
+    }
+
+    /// Cap how long [`Client::plan`] waits for a response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if the socket rejects the option.
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> Result<(), ServiceError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Send one planning request and wait for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Rejected`] when the server answers with a typed
+    /// error frame (overload, malformed, drain, internal failure); the
+    /// protocol taxonomy of [`read_frame`] for transport-level failures.
+    pub fn plan(&mut self, req: &PlanRequest) -> Result<PlanResponse, ServiceError> {
+        write_frame(&mut self.stream, kind::REQ_PLAN, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some((kind::RESP_PLAN, payload)) => PlanResponse::decode(&payload),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected response frame kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ServiceError::Malformed`] if the server
+    /// answers with anything but a shutdown acknowledgement.
+    pub fn shutdown_server(&mut self) -> Result<(), ServiceError> {
+        write_frame(&mut self.stream, kind::REQ_SHUTDOWN, &[])?;
+        match read_frame(&mut self.stream)? {
+            Some((kind::RESP_SHUTDOWN_ACK, _)) => Ok(()),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected shutdown response kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
+    /// Whether a [`ServiceError`] is the server's overload rejection —
+    /// callers usually back off and retry exactly these.
+    pub fn is_overloaded(err: &ServiceError) -> bool {
+        matches!(
+            err,
+            ServiceError::Rejected {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}

@@ -1,0 +1,46 @@
+//! `uov-service` — a dependency-free planning server for universal
+//! occupancy vectors.
+//!
+//! The rest of the workspace computes UOVs in-process; this crate puts
+//! the planner behind a socket so one warm process can answer for many
+//! compiler invocations:
+//!
+//! * [`proto`] — a length-prefixed, CRC-checked binary protocol
+//!   (`PlanRequest` → `PlanResponse`) built on the same
+//!   [`uov_core::wire`] primitives as the checkpoint format.
+//! * [`server`] — a fixed worker pool behind a bounded queue with typed
+//!   admission control (`Overloaded`), per-request deadline budgets that
+//!   degrade to a legal UOV instead of erroring, panic isolation per
+//!   connection, and graceful drain on shutdown.
+//! * [`plan_cache`] — a canonicalizing plan cache: requests are reduced
+//!   modulo coordinate permutation ([`canon`]) and keyed by the
+//!   workspace-standard fingerprint into a sharded LRU, with
+//!   single-flight dedup so N concurrent identical requests run one
+//!   search.
+//! * [`client`] / [`loadgen`] — a blocking client and a deterministic
+//!   closed-loop load generator (throughput, latency percentiles, cache
+//!   hit rates).
+//!
+//! Every answer is re-certified server-side ([`uov_core::certify`]) and
+//! carries the certificate's transcript hash, so a client can prove a
+//! cached response is byte-identical to a cold solve.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod canon;
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod plan_cache;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use error::{ErrorCode, ServiceError};
+pub use loadgen::{coalescing_burst, run as run_loadgen, BurstReport, LoadGenConfig, LoadReport};
+pub use plan_cache::{CacheStats, PlanCache, Planned};
+pub use proto::{
+    CacheOutcome, DegradationCode, ObjectiveSpec, PlanRequest, PlanResponse, FLAG_NO_CACHE,
+};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

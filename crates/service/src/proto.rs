@@ -1,0 +1,636 @@
+//! The length-prefixed binary planning protocol.
+//!
+//! Every message travels as one self-checking frame:
+//!
+//! ```text
+//! magic   b"UOVS"                      4 bytes
+//! version u16 LE (currently 1)         2 bytes
+//! kind    u8                           1 byte
+//! len     u32 LE payload length        4 bytes   (≤ MAX_PAYLOAD)
+//! payload len bytes
+//! crc     u32 LE CRC-32 over           4 bytes
+//!         magic ‖ version ‖ kind ‖ len ‖ payload
+//! ```
+//!
+//! The header is fixed-size, so a reader always knows how much to pull
+//! before trusting anything; `len` is validated against [`MAX_PAYLOAD`]
+//! *before* any allocation, so a hostile length prefix cannot balloon
+//! memory. The CRC covers the header too — a bit flip anywhere in the
+//! frame is detected. Encoding reuses the same [`uov_core::wire`]
+//! primitives as the checkpoint format.
+
+use std::io::{self, Read, Write};
+
+use uov_core::search::Objective;
+use uov_core::wire::{crc32, Decoder, Encoder};
+use uov_isg::{IVec, RectDomain, Stencil};
+
+use crate::error::{ErrorCode, ServiceError};
+
+/// Frame magic: "UOV service".
+pub const MAGIC: &[u8; 4] = b"UOVS";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Hard cap on a frame's payload. Generous for any realistic stencil
+/// (a request of 1 MiB holds ~16k stencil vectors in 8 dimensions) and
+/// small enough that a hostile length prefix cannot exhaust memory.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+/// Bytes of the fixed frame header (magic, version, kind, len).
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+
+/// Frame kinds. The numeric values are wire format; never reassign them.
+pub mod kind {
+    /// Client → server: plan this stencil.
+    pub const REQ_PLAN: u8 = 1;
+    /// Server → client: the plan.
+    pub const RESP_PLAN: u8 = 2;
+    /// Server → client: typed failure.
+    pub const RESP_ERROR: u8 = 3;
+    /// Client → server: drain and exit.
+    pub const REQ_SHUTDOWN: u8 = 4;
+    /// Server → client: shutdown acknowledged.
+    pub const RESP_SHUTDOWN_ACK: u8 = 5;
+}
+
+/// What the request wants minimised — an owned mirror of
+/// [`uov_core::search::Objective`], which borrows its domain and so
+/// cannot cross a serialization boundary itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ObjectiveSpec {
+    /// Minimise the squared Euclidean length of the UOV.
+    ShortestVector,
+    /// Minimise storage classes over a concrete rectangular domain.
+    KnownBounds(RectDomain),
+}
+
+impl ObjectiveSpec {
+    /// Borrow as the core search objective.
+    pub fn as_objective(&self) -> Objective<'_> {
+        match self {
+            ObjectiveSpec::ShortestVector => Objective::ShortestVector,
+            ObjectiveSpec::KnownBounds(d) => Objective::KnownBounds(d),
+        }
+    }
+}
+
+/// Request flags bitfield: skip the plan cache entirely (always solve
+/// fresh, never read or write a cached entry). Used by differential
+/// tests and benchmarks to obtain cold-solve references.
+pub const FLAG_NO_CACHE: u32 = 1;
+
+/// A planning request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// The statement's flow-dependence stencil.
+    pub stencil: Stencil,
+    /// What to minimise.
+    pub objective: ObjectiveSpec,
+    /// Per-request budget deadline in milliseconds; `0` means unlimited.
+    /// When the deadline expires mid-search the server degrades to the
+    /// best legal UOV found (at worst `Σvᵢ`) instead of erroring.
+    pub deadline_ms: u32,
+    /// Bitfield of `FLAG_*` values.
+    pub flags: u32,
+}
+
+/// How the cache served a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A fresh branch-and-bound search ran for this request.
+    Miss,
+    /// Served from the canonicalizing plan cache.
+    Hit,
+    /// Deduplicated onto a concurrent identical request's search.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    fn to_u8(self) -> u8 {
+        match self {
+            CacheOutcome::Miss => 0,
+            CacheOutcome::Hit => 1,
+            CacheOutcome::Coalesced => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(CacheOutcome::Miss),
+            1 => Some(CacheOutcome::Hit),
+            2 => Some(CacheOutcome::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// Why a response is degraded (budget-cut), if it is. Mirrors
+/// [`uov_core::budget::Exhausted`] on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationCode {
+    /// The search ran to completion; the answer is optimal.
+    None,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The node cap was reached.
+    Nodes,
+    /// The memo cap was reached.
+    Memo,
+    /// The request was cancelled.
+    Cancelled,
+}
+
+impl DegradationCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            DegradationCode::None => 0,
+            DegradationCode::Deadline => 1,
+            DegradationCode::Nodes => 2,
+            DegradationCode::Memo => 3,
+            DegradationCode::Cancelled => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(DegradationCode::None),
+            1 => Some(DegradationCode::Deadline),
+            2 => Some(DegradationCode::Nodes),
+            3 => Some(DegradationCode::Memo),
+            4 => Some(DegradationCode::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Convert from the core budget's exhaustion reason.
+    pub fn from_exhausted(e: Option<uov_core::budget::Exhausted>) -> Self {
+        use uov_core::budget::Exhausted;
+        match e {
+            None => DegradationCode::None,
+            Some(Exhausted::Deadline) => DegradationCode::Deadline,
+            Some(Exhausted::Nodes) => DegradationCode::Nodes,
+            Some(Exhausted::Memo) => DegradationCode::Memo,
+            Some(Exhausted::Cancelled) => DegradationCode::Cancelled,
+        }
+    }
+}
+
+/// A planning response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanResponse {
+    /// The universal occupancy vector.
+    pub uov: IVec,
+    /// Its objective value.
+    pub cost: u128,
+    /// Transcript hash of the server-side certificate: the client can
+    /// compare it against a local [`uov_core::certify::certify`] run to
+    /// confirm it received the same certified answer a cold solve yields.
+    pub certificate_hash: u64,
+    /// Whether (and why) the answer is budget-degraded.
+    pub degradation: DegradationCode,
+    /// How the plan cache served this request.
+    pub cache: CacheOutcome,
+}
+
+/// A typed error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorResponse {
+    /// What class of failure.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Encode one frame: header, payload, trailing CRC.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(HEADER_LEN + payload.len() + 4);
+    e.buf.extend_from_slice(MAGIC);
+    e.u16(VERSION);
+    e.u8(kind);
+    e.u32(payload.len() as u32);
+    e.buf.extend_from_slice(payload);
+    let crc = crc32(&e.buf);
+    e.u32(crc);
+    e.buf
+}
+
+/// Write one frame to a stream.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] on any socket failure.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), ServiceError> {
+    let frame = encode_frame(kind, payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from a stream.
+///
+/// Returns `Ok(None)` when the peer closes cleanly at a frame boundary
+/// (EOF before any header byte). A close mid-frame is
+/// [`ServiceError::ConnectionClosed`]. The declared payload length is
+/// checked against [`MAX_PAYLOAD`] *before* the payload buffer is
+/// allocated.
+///
+/// # Errors
+///
+/// The protocol taxonomy: [`ServiceError::BadMagic`],
+/// [`ServiceError::UnsupportedVersion`], [`ServiceError::FrameTooLarge`],
+/// [`ServiceError::CrcMismatch`], [`ServiceError::ConnectionClosed`], or
+/// [`ServiceError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: EOF here is a clean close, not an error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ServiceError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    read_exact_or_closed(r, &mut header[1..])?;
+
+    let mut d = Decoder::new(&header);
+    let magic = d.take(4)?;
+    if magic != MAGIC {
+        return Err(ServiceError::BadMagic);
+    }
+    let version = d.u16()?;
+    if version != VERSION {
+        return Err(ServiceError::UnsupportedVersion(version));
+    }
+    let kind = d.u8()?;
+    let len = d.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(ServiceError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_closed(r, &mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    read_exact_or_closed(r, &mut crc_bytes)?;
+    let declared = u32::from_le_bytes(crc_bytes);
+
+    let mut h = Encoder::with_capacity(HEADER_LEN + payload.len());
+    h.buf.extend_from_slice(&header);
+    h.buf.extend_from_slice(&payload);
+    if crc32(&h.buf) != declared {
+        return Err(ServiceError::CrcMismatch);
+    }
+    Ok(Some((kind, payload)))
+}
+
+/// `read_exact` mapping an EOF mid-structure to `ConnectionClosed` — the
+/// half-open / torn-frame signal — and passing timeouts through as `Io`.
+fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ServiceError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ServiceError::ConnectionClosed),
+        Err(e) => Err(ServiceError::Io(e)),
+    }
+}
+
+// --------------------------------------------------------------- payloads
+
+impl PlanRequest {
+    /// Serialize the request payload (the frame body of a `REQ_PLAN`).
+    pub fn encode(&self) -> Vec<u8> {
+        let dim = self.stencil.dim();
+        let mut e = Encoder::with_capacity(16 + 8 * dim * (self.stencil.len() + 2));
+        e.u16(dim as u16);
+        e.u32(self.stencil.len() as u32);
+        for v in self.stencil.iter() {
+            e.vec(v);
+        }
+        match &self.objective {
+            ObjectiveSpec::ShortestVector => e.u8(0),
+            ObjectiveSpec::KnownBounds(d) => {
+                e.u8(1);
+                e.vec(d.lo());
+                e.vec(d.hi());
+            }
+        }
+        e.u32(self.deadline_ms);
+        e.u32(self.flags);
+        e.buf
+    }
+
+    /// Decode a `REQ_PLAN` payload, validating every structural and
+    /// semantic invariant (dimensions, lex-positivity via
+    /// [`Stencil::new`], non-empty domains).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on any semantic violation.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let dim = usize::from(d.u16()?);
+        if dim == 0 {
+            return Err(ServiceError::Malformed("zero-dimensional stencil".into()));
+        }
+        let nvec = d.u32()? as usize;
+        // Reject a hostile vector count before allocating for it.
+        let need = nvec
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| ServiceError::Malformed("vector count overflows".into()))?;
+        if need > d.remaining() {
+            return Err(ServiceError::Malformed(
+                "declared vectors exceed the payload".into(),
+            ));
+        }
+        let mut vectors = Vec::with_capacity(nvec);
+        for _ in 0..nvec {
+            vectors.push(d.vec(dim)?);
+        }
+        let stencil = Stencil::new(vectors)
+            .map_err(|e| ServiceError::Malformed(format!("invalid stencil: {e}")))?;
+        if stencil.dim() != dim {
+            return Err(ServiceError::Malformed("stencil dimension mismatch".into()));
+        }
+        let objective = match d.u8()? {
+            0 => ObjectiveSpec::ShortestVector,
+            1 => {
+                let lo = d.vec(dim)?;
+                let hi = d.vec(dim)?;
+                for k in 0..dim {
+                    if lo[k] > hi[k] {
+                        return Err(ServiceError::Malformed(format!(
+                            "empty domain: lo[{k}] > hi[{k}]"
+                        )));
+                    }
+                }
+                ObjectiveSpec::KnownBounds(RectDomain::new(lo, hi))
+            }
+            other => {
+                return Err(ServiceError::Malformed(format!(
+                    "unknown objective tag {other}"
+                )))
+            }
+        };
+        let deadline_ms = d.u32()?;
+        let flags = d.u32()?;
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed("trailing bytes in request".into()));
+        }
+        Ok(PlanRequest {
+            stencil,
+            objective,
+            deadline_ms,
+            flags,
+        })
+    }
+}
+
+impl PlanResponse {
+    /// Serialize the response payload (the frame body of a `RESP_PLAN`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(32 + 8 * self.uov.dim());
+        e.u8(self.cache.to_u8());
+        e.u8(self.degradation.to_u8());
+        e.u16(self.uov.dim() as u16);
+        e.vec(&self.uov);
+        e.u128(self.cost);
+        e.u64(self.certificate_hash);
+        e.buf
+    }
+
+    /// Decode a `RESP_PLAN` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on unknown enum values or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let cache = CacheOutcome::from_u8(d.u8()?)
+            .ok_or_else(|| ServiceError::Malformed("unknown cache outcome".into()))?;
+        let degradation = DegradationCode::from_u8(d.u8()?)
+            .ok_or_else(|| ServiceError::Malformed("unknown degradation code".into()))?;
+        let dim = usize::from(d.u16()?);
+        if dim == 0 {
+            return Err(ServiceError::Malformed("zero-dimensional UOV".into()));
+        }
+        let uov = d.vec(dim)?;
+        let cost = d.u128()?;
+        let certificate_hash = d.u64()?;
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed("trailing bytes in response".into()));
+        }
+        Ok(PlanResponse {
+            uov,
+            cost,
+            certificate_hash,
+            degradation,
+            cache,
+        })
+    }
+}
+
+impl ErrorResponse {
+    /// Serialize the error payload (the frame body of a `RESP_ERROR`).
+    pub fn encode(&self) -> Vec<u8> {
+        let bytes = self.msg.as_bytes();
+        let mut e = Encoder::with_capacity(8 + bytes.len());
+        e.u8(self.code.to_u8());
+        e.u32(bytes.len() as u32);
+        e.buf.extend_from_slice(bytes);
+        e.buf
+    }
+
+    /// Decode a `RESP_ERROR` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on unknown codes or invalid UTF-8.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let code = ErrorCode::from_u8(d.u8()?)
+            .ok_or_else(|| ServiceError::Malformed("unknown error code".into()))?;
+        let len = d.u32()? as usize;
+        if len > d.remaining() {
+            return Err(ServiceError::Malformed(
+                "declared message exceeds the payload".into(),
+            ));
+        }
+        let msg = String::from_utf8(d.take(len)?.to_vec())
+            .map_err(|_| ServiceError::Malformed("error message is not UTF-8".into()))?;
+        Ok(ErrorResponse { code, msg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+
+    fn fig1_request() -> PlanRequest {
+        PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+            objective: ObjectiveSpec::KnownBounds(RectDomain::grid(8, 8)),
+            deadline_ms: 250,
+            flags: 0,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = fig1_request();
+        let back = PlanRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        let short = PlanRequest {
+            objective: ObjectiveSpec::ShortestVector,
+            ..req
+        };
+        assert_eq!(PlanRequest::decode(&short.encode()).unwrap(), short);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = PlanResponse {
+            uov: ivec![1, 1],
+            cost: 9,
+            certificate_hash: 0xDEAD_BEEF,
+            degradation: DegradationCode::Deadline,
+            cache: CacheOutcome::Coalesced,
+        };
+        assert_eq!(PlanResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_round_trips() {
+        let err = ErrorResponse {
+            code: ErrorCode::Overloaded,
+            msg: "queue full".into(),
+        };
+        assert_eq!(ErrorResponse::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_stream() {
+        let req = fig1_request();
+        let frame = encode_frame(kind::REQ_PLAN, &req.encode());
+        let mut cursor = io::Cursor::new(frame);
+        let (k, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(k, kind::REQ_PLAN);
+        assert_eq!(PlanRequest::decode(&payload).unwrap(), req);
+        // A second read at EOF is a clean close.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut frame = encode_frame(kind::REQ_PLAN, &[]);
+        // Corrupt the length field to declare a 3 GiB payload.
+        frame[7..11].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        match read_frame(&mut cursor) {
+            Err(ServiceError::FrameTooLarge(n)) => assert_eq!(n, 3 << 30),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let frame = encode_frame(kind::REQ_PLAN, &fig1_request().encode());
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                let mut cursor = io::Cursor::new(flipped);
+                assert!(
+                    read_frame(&mut cursor).is_err(),
+                    "undetected flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_clean() {
+        let frame = encode_frame(kind::REQ_PLAN, &fig1_request().encode());
+        for cut in 1..frame.len() {
+            let mut cursor = io::Cursor::new(frame[..cut].to_vec());
+            match read_frame(&mut cursor) {
+                Err(ServiceError::ConnectionClosed) => {}
+                other => panic!("cut at {cut}: expected ConnectionClosed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_request_payloads_are_typed_errors() {
+        // Zero dimension.
+        let mut e = Encoder::new();
+        e.u16(0);
+        e.u32(1);
+        assert!(matches!(
+            PlanRequest::decode(&e.buf),
+            Err(ServiceError::Malformed(_))
+        ));
+        // Hostile vector count (must not allocate).
+        let mut e = Encoder::new();
+        e.u16(2);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            PlanRequest::decode(&e.buf),
+            Err(ServiceError::Malformed(_))
+        ));
+        // Non-lex-positive stencil vector.
+        let mut e = Encoder::new();
+        e.u16(2);
+        e.u32(1);
+        e.i64(-1);
+        e.i64(0);
+        e.u8(0);
+        e.u32(0);
+        e.u32(0);
+        assert!(matches!(
+            PlanRequest::decode(&e.buf),
+            Err(ServiceError::Malformed(_))
+        ));
+        // Empty domain (lo > hi).
+        let req = fig1_request();
+        let mut bytes = req.encode();
+        // lo starts right after dim(2) + nvec(4) + 3 vectors (48) + tag(1).
+        let lo_at = 2 + 4 + 48 + 1;
+        bytes[lo_at..lo_at + 8].copy_from_slice(&100i64.to_le_bytes());
+        assert!(matches!(
+            PlanRequest::decode(&bytes),
+            Err(ServiceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_rejected() {
+        let mut frame = encode_frame(kind::REQ_PLAN, &[]);
+        frame[0] = b'X';
+        // Recompute the CRC so only the magic is wrong.
+        let body_len = frame.len() - 4;
+        let crc = crc32(&frame[..body_len]);
+        frame[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServiceError::BadMagic)
+        ));
+
+        let mut frame = encode_frame(kind::REQ_PLAN, &[]);
+        frame[4..6].copy_from_slice(&9u16.to_le_bytes());
+        let body_len = frame.len() - 4;
+        let crc = crc32(&frame[..body_len]);
+        frame[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServiceError::UnsupportedVersion(9))
+        ));
+    }
+}

@@ -1,0 +1,711 @@
+//! The planning server: a fixed worker pool behind a bounded accept
+//! queue, speaking the framed protocol of [`crate::proto`].
+//!
+//! Admission control is explicit and typed. The accept loop never blocks
+//! on a slow worker: connections land in a bounded queue, and when the
+//! queue is full the connection is answered with one `Overloaded` error
+//! frame and closed — load-shedding at the door instead of unbounded
+//! buffering. Each worker isolates connection handling behind
+//! `catch_unwind`, so a panic poisons one connection, not the pool.
+//!
+//! Shutdown is a drain, not a kill: the shutdown flag stops the accept
+//! loop, in-flight requests run to completion, frames arriving after the
+//! flag are answered `ShuttingDown`, and [`ServerHandle::join`] returns
+//! once every worker has exited.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use uov_core::certify::certify;
+use uov_core::search::{find_best_uov, SearchConfig, SearchStats};
+use uov_core::{Budget, SearchResult};
+use uov_isg::Stencil;
+
+use crate::error::{ErrorCode, ServiceError};
+use crate::plan_cache::{CacheStats, PlanCache, Planned, DEFAULT_CACHE_CAPACITY};
+use crate::proto::{
+    kind, read_frame, write_frame, DegradationCode, ErrorResponse, ObjectiveSpec, PlanRequest,
+    PlanResponse, FLAG_NO_CACHE,
+};
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (and running searches).
+    pub workers: usize,
+    /// Bounded connection queue depth between accept and the workers.
+    /// A full queue rejects new connections with `Overloaded`.
+    pub queue_depth: usize,
+    /// Branch-and-bound threads per search (`0`/`1` = sequential).
+    pub search_threads: usize,
+    /// Distinct canonical plans retained by the cache.
+    pub cache_capacity: usize,
+    /// Consecutive ~100 ms idle polls tolerated on a connection before it
+    /// is dropped (half-open peer protection). Default ≈ 30 s.
+    pub idle_ticks: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            search_threads: 1,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            idle_ticks: 300,
+        }
+    }
+}
+
+/// A snapshot of the server's monotone traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted into the queue.
+    pub connections: u64,
+    /// Connections rejected at the door with `Overloaded`.
+    pub rejected_overloaded: u64,
+    /// Plan requests admitted to a worker.
+    pub requests: u64,
+    /// Plan responses successfully written.
+    pub responses: u64,
+    /// Frames rejected for protocol violations (bad magic, CRC, torn
+    /// frames, malformed payloads).
+    pub protocol_errors: u64,
+    /// Requests answered `ShuttingDown` during the drain.
+    pub rejected_shutdown: u64,
+    /// Connection handlers that panicked (isolated; the worker survived).
+    pub panics: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    protocol_errors: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ------------------------------------------------------------- transports
+
+/// A listening socket: TCP, or a Unix domain socket for `unix:<path>`
+/// endpoints.
+enum AnyListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// One accepted (or dialed) connection.
+pub(crate) enum AnyStream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix domain socket connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl AnyListener {
+    fn bind(endpoint: &str) -> io::Result<(Self, String)> {
+        #[cfg(unix)]
+        if let Some(path) = endpoint.strip_prefix("unix:") {
+            // A stale socket file from a crashed server blocks rebinding.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            return Ok((AnyListener::Unix(l), format!("unix:{path}")));
+        }
+        #[cfg(not(unix))]
+        if endpoint.starts_with("unix:") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+        let l = TcpListener::bind(endpoint)?;
+        let local = l.local_addr()?;
+        Ok((AnyListener::Tcp(l), local.to_string()))
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            AnyListener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            AnyListener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<AnyStream> {
+        match self {
+            AnyListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(AnyStream::Tcp(s))
+            }
+            #[cfg(unix)]
+            AnyListener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(AnyStream::Unix(s))
+            }
+        }
+    }
+}
+
+impl AnyStream {
+    pub(crate) fn connect(endpoint: &str) -> io::Result<Self> {
+        #[cfg(unix)]
+        if let Some(path) = endpoint.strip_prefix("unix:") {
+            return Ok(AnyStream::Unix(UnixStream::connect(path)?));
+        }
+        #[cfg(not(unix))]
+        if endpoint.starts_with("unix:") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+        Ok(AnyStream::Tcp(TcpStream::connect(endpoint)?))
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            AnyStream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            AnyStream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- server
+
+struct ServerState {
+    config: ServerConfig,
+    cache: PlanCache,
+    shutdown: AtomicBool,
+    stats: Counters,
+}
+
+impl ServerState {
+    /// Run one plan request through the cache (or around it, for
+    /// `FLAG_NO_CACHE`) and certify the answer server-side.
+    fn handle_plan(&self, req: &PlanRequest) -> Result<PlanResponse, ErrorResponse> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let budget = if req.deadline_ms > 0 {
+            Budget::unlimited().with_deadline(Duration::from_millis(u64::from(req.deadline_ms)))
+        } else {
+            Budget::unlimited()
+        };
+        let config = SearchConfig {
+            budget,
+            threads: self.config.search_threads,
+            ..SearchConfig::default()
+        };
+        let solve = |s: &Stencil, o: &ObjectiveSpec| {
+            find_best_uov(s, o.as_objective(), &config).map_err(|e| e.to_string())
+        };
+        let planned: Planned = if req.flags & FLAG_NO_CACHE != 0 {
+            self.cache.direct(&req.stencil, &req.objective, &solve)
+        } else {
+            self.cache.plan(&req.stencil, &req.objective, solve)
+        }
+        .map_err(|msg| ErrorResponse {
+            code: ErrorCode::Internal,
+            msg,
+        })?;
+
+        // Re-certify every answer against the *request's* problem. The
+        // certificate hash deliberately excludes search statistics, so a
+        // cache hit certifies to exactly the hash a cold solve yields.
+        let as_result = SearchResult {
+            uov: planned.uov.clone(),
+            cost: planned.cost,
+            stats: SearchStats::default(),
+            degradation: planned.degradation,
+            checkpoint_error: None,
+        };
+        let cert =
+            certify(&req.stencil, &req.objective.as_objective(), &as_result).map_err(|e| {
+                ErrorResponse {
+                    code: ErrorCode::Internal,
+                    msg: format!("certification failed: {e}"),
+                }
+            })?;
+        Ok(PlanResponse {
+            uov: planned.uov,
+            cost: planned.cost,
+            certificate_hash: cert.transcript_hash,
+            degradation: DegradationCode::from_exhausted(planned.degradation.map(|d| d.reason)),
+            cache: planned.cache,
+        })
+    }
+}
+
+fn is_idle_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Serve one connection until EOF, protocol failure, idle expiry, or
+/// drain. Never panics outward; the caller wraps it in `catch_unwind`
+/// anyway for defence in depth.
+fn handle_conn(stream: &mut AnyStream, state: &ServerState) {
+    // A short read timeout doubles as the shutdown/idle poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut idle: u32 = 0;
+    loop {
+        match read_frame(stream) {
+            Ok(None) => break,
+            Ok(Some((kind::REQ_PLAN, payload))) => {
+                idle = 0;
+                if state.shutdown.load(Ordering::SeqCst) {
+                    state
+                        .stats
+                        .rejected_shutdown
+                        .fetch_add(1, Ordering::Relaxed);
+                    let err = ErrorResponse {
+                        code: ErrorCode::ShuttingDown,
+                        msg: "server is draining".into(),
+                    };
+                    let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
+                    break;
+                }
+                match PlanRequest::decode(&payload) {
+                    Ok(req) => match state.handle_plan(&req) {
+                        Ok(resp) => {
+                            if write_frame(stream, kind::RESP_PLAN, &resp.encode()).is_err() {
+                                break;
+                            }
+                            state.stats.responses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(err) => {
+                            if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                                break;
+                            }
+                        }
+                    },
+                    Err(e) => {
+                        // The frame itself was intact (CRC passed), so the
+                        // stream stays at a frame boundary: report and
+                        // keep the connection.
+                        state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let err = ErrorResponse {
+                            code: ErrorCode::Malformed,
+                            msg: e.to_string(),
+                        };
+                        if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(Some((kind::REQ_SHUTDOWN, _))) => {
+                state.shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(stream, kind::RESP_SHUTDOWN_ACK, &[]);
+                break;
+            }
+            Ok(Some((other, _))) => {
+                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let err = ErrorResponse {
+                    code: ErrorCode::Unsupported,
+                    msg: format!("unknown frame kind {other}"),
+                };
+                if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                    break;
+                }
+            }
+            Err(ServiceError::Io(e)) if is_idle_timeout(&e) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                idle += 1;
+                if idle > state.config.idle_ticks {
+                    break;
+                }
+            }
+            Err(ServiceError::Io(_)) => break,
+            Err(e) => {
+                // Bad magic, wrong version, oversized prefix, CRC
+                // mismatch, torn frame: the stream position is no longer
+                // trustworthy, so answer (best-effort) and drop.
+                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let code = match e {
+                    ServiceError::UnsupportedVersion(_) => ErrorCode::Unsupported,
+                    _ => ErrorCode::Malformed,
+                };
+                let err = ErrorResponse {
+                    code,
+                    msg: e.to_string(),
+                };
+                let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
+                break;
+            }
+        }
+    }
+    stream.close();
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    endpoint: String,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound endpoint — for TCP this resolves an `:0` request
+    /// to the assigned port (`"127.0.0.1:43817"`), for Unix sockets it is
+    /// the `unix:<path>` string.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Begin a graceful drain: stop accepting, finish in-flight work,
+    /// answer new frames with `ShuttingDown`.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has begun (via [`Self::shutdown`] or a client's
+    /// `REQ_SHUTDOWN` frame).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats.snapshot()
+    }
+
+    /// Current plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache.stats()
+    }
+
+    /// Wait for the drain to finish: the accept loop and every worker
+    /// exit, in-flight connections included.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.state.stats.snapshot()
+    }
+}
+
+/// Bind `endpoint` (a TCP address like `"127.0.0.1:0"`, or
+/// `"unix:<path>"`) and serve planning requests until shutdown.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] if the endpoint cannot be bound.
+pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, ServiceError> {
+    let workers = config.workers.max(1);
+    let queue_depth = config.queue_depth.max(1);
+    let (listener, bound) = AnyListener::bind(endpoint)?;
+    listener.set_nonblocking(true)?;
+
+    let state = Arc::new(ServerState {
+        cache: PlanCache::new(config.cache_capacity.max(1)),
+        config,
+        shutdown: AtomicBool::new(false),
+        stats: Counters::default(),
+    });
+
+    let (tx, rx) = sync_channel::<AnyStream>(queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let handle = thread::Builder::new()
+            .name(format!("uov-service-worker-{i}"))
+            .spawn(move || worker_loop(&rx, &state))
+            .map_err(ServiceError::Io)?;
+        worker_handles.push(handle);
+    }
+
+    let accept_state = Arc::clone(&state);
+    let accept_thread = thread::Builder::new()
+        .name("uov-service-accept".into())
+        .spawn(move || accept_loop(&listener, tx, &accept_state))
+        .map_err(ServiceError::Io)?;
+
+    Ok(ServerHandle {
+        endpoint: bound,
+        state,
+        accept_thread: Some(accept_thread),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(
+    listener: &AnyListener,
+    tx: std::sync::mpsc::SyncSender<AnyStream>,
+    state: &ServerState,
+) {
+    // Connections the queue refused, kept just long enough to answer
+    // `Overloaded` without blocking the accept path.
+    let mut to_reject: VecDeque<AnyStream> = VecDeque::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        while let Some(mut conn) = to_reject.pop_front() {
+            state
+                .stats
+                .rejected_overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            let err = ErrorResponse {
+                code: ErrorCode::Overloaded,
+                msg: "request queue is full".into(),
+            };
+            let _ = conn.set_nonblocking(false);
+            let _ = write_frame(&mut conn, kind::RESP_ERROR, &err.encode());
+            conn.close();
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                let _ = conn.set_nonblocking(false);
+                match tx.try_send(conn) {
+                    Ok(()) => {
+                        state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(conn)) => to_reject.push_back(conn),
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if is_idle_timeout(&e) => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Dropping `tx` lets workers drain the queue and then exit.
+}
+
+fn worker_loop(rx: &Mutex<Receiver<AnyStream>>, state: &ServerState) {
+    loop {
+        let conn = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            guard.recv()
+        };
+        let mut conn = match conn {
+            Ok(c) => c,
+            Err(_) => break, // accept loop gone and queue drained
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_conn(&mut conn, state)));
+        if outcome.is_err() {
+            state.stats.panics.fetch_add(1, Ordering::Relaxed);
+            conn.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::proto::CacheOutcome;
+    use uov_isg::{ivec, RectDomain};
+
+    fn fig1() -> Stencil {
+        Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+    }
+
+    fn start() -> ServerHandle {
+        serve("127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_plan_over_tcp() {
+        let server = start();
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let resp = client
+            .plan(&PlanRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0,
+                flags: 0,
+            })
+            .unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+        assert_eq!(resp.cost, 2);
+        assert_eq!(resp.degradation, DegradationCode::None);
+        assert_eq!(resp.cache, CacheOutcome::Miss);
+        assert_ne!(resp.certificate_hash, 0);
+        server.shutdown();
+        let stats = server.join();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.responses, 1);
+        assert_eq!(stats.protocol_errors, 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_with_identical_certificates() {
+        let server = start();
+        let req = PlanRequest {
+            stencil: fig1(),
+            objective: ObjectiveSpec::KnownBounds(RectDomain::grid(6, 6)),
+            deadline_ms: 0,
+            flags: 0,
+        };
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let cold = client.plan(&req).unwrap();
+        let warm = client.plan(&req).unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Miss);
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(cold.uov, warm.uov);
+        assert_eq!(cold.cost, warm.cost);
+        assert_eq!(cold.certificate_hash, warm.certificate_hash);
+        assert_eq!(server.cache_stats().hits, 1);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn no_cache_flag_bypasses_the_cache() {
+        let server = start();
+        let req = PlanRequest {
+            stencil: fig1(),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: FLAG_NO_CACHE,
+        };
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let a = client.plan(&req).unwrap();
+        let b = client.plan(&req).unwrap();
+        assert_eq!(a.cache, CacheOutcome::Miss);
+        assert_eq!(b.cache, CacheOutcome::Miss);
+        assert_eq!((a.uov, a.cost), (b.uov.clone(), b.cost));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn client_shutdown_drains_the_server() {
+        let server = start();
+        let endpoint = server.endpoint().to_string();
+        let mut client = Client::connect(&endpoint).unwrap();
+        client.shutdown_server().unwrap();
+        let stats = server.join();
+        // The drain completed; a fresh connection must now fail.
+        assert!(
+            Client::connect(&endpoint).is_err() || {
+                // The OS may still accept into the dead listener's backlog;
+                // a plan over such a connection must then fail.
+                let mut c = Client::connect(&endpoint).unwrap();
+                c.plan(&PlanRequest {
+                    stencil: fig1(),
+                    objective: ObjectiveSpec::ShortestVector,
+                    deadline_ms: 0,
+                    flags: 0,
+                })
+                .is_err()
+            }
+        );
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("uov-service-test-{}.sock", std::process::id()));
+        let endpoint = format!("unix:{}", path.display());
+        let server = serve(&endpoint, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let resp = client
+            .plan(&PlanRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0,
+                flags: 0,
+            })
+            .unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -36,6 +36,7 @@ fn main() -> Result<(), uov::Error> {
                     );
                     if let Some(cert) = &s.certificate {
                         println!("  {cert}");
+                        println!("  certificate transcript {:#018x}", cert.transcript_hash);
                     }
                 }
             }
@@ -79,6 +80,7 @@ fn main() -> Result<(), uov::Error> {
         // plan_with returns; the certificate says so explicitly.
         if let Some(cert) = &stmt.certificate {
             println!("  {cert}");
+            println!("  certificate transcript {:#018x}", cert.transcript_hash);
         }
     }
     Ok(())

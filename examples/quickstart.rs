@@ -39,6 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.uov, best.stats.visited, best.stats.pruned
     );
 
+    // Certify the answer: an independently checkable transcript whose
+    // hash identifies this exact (problem, answer) pair — the same hash
+    // the planning service returns for cached replays.
+    let cert = uov::core::certify::certify(&stencil, &Objective::ShortestVector, &best)?;
+    println!(
+        "certificate        : transcript {:#018x}",
+        cert.transcript_hash
+    );
+
     // Membership can also be asked directly (NP-complete in general,
     // cheap for realistic stencils):
     let oracle = DoneOracle::new(&stencil);

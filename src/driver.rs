@@ -34,14 +34,16 @@
 //! # Ok::<(), uov::Error>(())
 //! ```
 
-use uov_core::budget::{Budget, Degradation};
+use uov_core::budget::{Budget, Degradation, Exhausted};
 use uov_core::certify::{certify, Certificate};
 use uov_core::checkpoint::CheckpointConfig;
 use uov_core::search::{find_best_uov, Objective, SearchConfig};
+use uov_core::search::{SearchResult, SearchStats};
 use uov_isg::{IVec, IterationDomain as _, Stencil};
 use uov_loopir::analysis::{flow_stencil, AnalysisError};
 use uov_loopir::{codegen, LoopNest};
 use uov_schedule::legality;
+use uov_service::{Client, DegradationCode, ObjectiveSpec, PlanRequest};
 use uov_storage::{Layout, OvMap, StorageMap as _};
 
 use crate::error::Error;
@@ -212,6 +214,115 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
                     map,
                     degradation: best.degradation,
                     certificate,
+                    code,
+                }));
+            }
+        }
+    }
+    let (rectangular_tiling_legal, skew_factor) = match Stencil::new(union) {
+        Ok(all_deps) => {
+            let legal = legality::rectangular_tiling_legal(&all_deps);
+            let skew = if legal {
+                Some(0)
+            } else {
+                legality::skew_factor_for_tiling(&all_deps)
+            };
+            (legal, skew)
+        }
+        Err(_) => (true, Some(0)), // no carried dependences at all
+    };
+    Ok(TransformPlan {
+        statements,
+        rectangular_tiling_legal,
+        skew_factor,
+    })
+}
+
+/// [`plan`], but with every per-statement UOV search delegated to a
+/// running [`uov_service`] server instead of the in-process
+/// branch-and-bound — so one warm server (and its canonicalizing plan
+/// cache) can answer for many compiler invocations.
+///
+/// The remote answer is *never trusted blind*: each statement's UOV is
+/// re-certified locally, and the local certificate's transcript hash must
+/// equal the hash the server computed. Mapping construction, tiling
+/// legality and code emission all stay local, so the returned
+/// [`TransformPlan`] is interchangeable with [`plan`]'s — the engine's
+/// deterministic total order makes the two byte-identical for completed
+/// searches.
+///
+/// `deadline_ms` is forwarded as the per-statement service budget
+/// (`0` = unlimited); an expired deadline degrades to a legal UOV, it
+/// does not error.
+///
+/// # Errors
+///
+/// [`Error::Service`] on transport failures, server rejections, or a
+/// certificate-hash mismatch; otherwise the same hard failures as
+/// [`plan`].
+pub fn plan_via_service(
+    nest: &LoopNest,
+    layout: Layout,
+    endpoint: &str,
+    deadline_ms: u32,
+) -> Result<TransformPlan, Error> {
+    let mut client = Client::connect(endpoint).map_err(|e| Error::Service(e.to_string()))?;
+    let mut statements = Vec::with_capacity(nest.stmts().len());
+    let mut union: Vec<IVec> = Vec::new();
+    for stmt in 0..nest.stmts().len() {
+        match flow_stencil(nest, stmt) {
+            Err(e) => statements.push(Err(e)),
+            Ok(stencil) => {
+                union.extend(stencil.vectors().iter().cloned());
+                let resp = client
+                    .plan(&PlanRequest {
+                        stencil: stencil.clone(),
+                        objective: ObjectiveSpec::KnownBounds(nest.domain().clone()),
+                        deadline_ms,
+                        flags: 0,
+                    })
+                    .map_err(|e| Error::Service(e.to_string()))?;
+                // The wire carries the degradation *reason*; node/memo
+                // counters are search-internal and stay at zero here.
+                let degradation = match resp.degradation {
+                    DegradationCode::None => None,
+                    code => Some(Degradation {
+                        reason: match code {
+                            DegradationCode::Deadline => Exhausted::Deadline,
+                            DegradationCode::Nodes => Exhausted::Nodes,
+                            DegradationCode::Memo => Exhausted::Memo,
+                            _ => Exhausted::Cancelled,
+                        },
+                        nodes_at_stop: 0,
+                        memo_entries_at_stop: 0,
+                        fell_back_to_initial: false,
+                    }),
+                };
+                let as_result = SearchResult {
+                    uov: resp.uov.clone(),
+                    cost: resp.cost,
+                    stats: SearchStats::default(),
+                    degradation,
+                    checkpoint_error: None,
+                };
+                let certificate =
+                    certify(&stencil, &Objective::KnownBounds(nest.domain()), &as_result)?;
+                if certificate.transcript_hash != resp.certificate_hash {
+                    return Err(Error::Service(format!(
+                        "certificate mismatch for statement {stmt}: server {:#018x}, local {:#018x}",
+                        resp.certificate_hash, certificate.transcript_hash
+                    )));
+                }
+                let map = OvMap::try_new(nest.domain(), resp.uov.clone(), layout)?;
+                let code = (nest.depth() == 2).then(|| codegen::emit_ov_mapped(nest, stmt, &map));
+                statements.push(Ok(StatementPlan {
+                    natural_cells: nest.domain().num_points(),
+                    mapped_cells: map.size() as u64,
+                    stencil,
+                    uov: resp.uov,
+                    map,
+                    degradation: as_result.degradation,
+                    certificate: Some(certificate),
                     code,
                 }));
             }
@@ -428,6 +539,41 @@ mod tests {
             );
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn service_backed_plan_matches_local_plan() {
+        let server =
+            uov_service::serve("127.0.0.1:0", uov_service::ServerConfig::default()).unwrap();
+        for nest in [
+            examples::fig1_nest(10, 6),
+            examples::stencil5_nest(6, 20),
+            examples::psm_nest(8, 8),
+        ] {
+            let local = plan(&nest, Layout::Interleaved).unwrap();
+            let remote =
+                plan_via_service(&nest, Layout::Interleaved, server.endpoint(), 0).unwrap();
+            assert_eq!(local.statements.len(), remote.statements.len());
+            for (l, r) in local.statements.iter().zip(&remote.statements) {
+                let (l, r) = (l.as_ref().unwrap(), r.as_ref().unwrap());
+                assert_eq!(l.uov, r.uov, "service and local plans must agree");
+                assert_eq!(l.mapped_cells, r.mapped_cells);
+                assert_eq!(l.code, r.code);
+                // The remote certificate is recomputed locally and must
+                // hash identically to the in-process plan's.
+                assert_eq!(
+                    l.certificate.as_ref().unwrap().transcript_hash,
+                    r.certificate.as_ref().unwrap().transcript_hash
+                );
+            }
+            assert_eq!(
+                local.rectangular_tiling_legal,
+                remote.rectangular_tiling_legal
+            );
+            assert_eq!(local.skew_factor, remote.skew_factor);
+        }
+        server.shutdown();
+        server.join();
     }
 
     #[test]

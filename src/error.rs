@@ -29,6 +29,10 @@ pub enum Error {
     /// The independent certifier rejected a search result — the driver
     /// refuses to emit a mapping it could not re-validate.
     Certify(CertifyError),
+    /// A service-backed plan failed: transport error, server rejection,
+    /// or a remote answer whose locally recomputed certificate did not
+    /// match the server's transcript hash.
+    Service(String),
 }
 
 impl fmt::Display for Error {
@@ -39,6 +43,7 @@ impl fmt::Display for Error {
             Error::Search(e) => write!(f, "UOV search failed: {e}"),
             Error::Mapping(e) => write!(f, "storage mapping failed: {e}"),
             Error::Certify(e) => write!(f, "result certification failed: {e}"),
+            Error::Service(msg) => write!(f, "planning service failed: {msg}"),
         }
     }
 }
@@ -51,6 +56,7 @@ impl std::error::Error for Error {
             Error::Search(e) => Some(e),
             Error::Mapping(e) => Some(e),
             Error::Certify(e) => Some(e),
+            Error::Service(_) => None,
         }
     }
 }

@@ -23,6 +23,9 @@
 //!   three evaluation machines;
 //! * [`kernels`] — the paper's two benchmark codes (5-point stencil,
 //!   protein string matching) in every storage variant;
+//! * [`service`] — a dependency-free planning server (framed binary
+//!   protocol, canonicalizing plan cache, single-flight dedup, admission
+//!   control) so one warm process answers for many compiler invocations;
 //! * `bench` — the experiment harness regenerating every table and
 //!   figure.
 //!
@@ -66,4 +69,5 @@ pub use uov_kernels as kernels;
 pub use uov_loopir as loopir;
 pub use uov_memsim as memsim;
 pub use uov_schedule as schedule;
+pub use uov_service as service;
 pub use uov_storage as storage;

@@ -213,6 +213,194 @@ fn interrupted_then_resumed_search_is_byte_identical() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Planning service vs direct search: a service query, a direct
+// `find_best_uov` (the same engine `driver::plan` runs per statement),
+// and a cache-hit replay must all return the byte-identical
+// `(uov, cost)` — including when the resubmission is coordinate-permuted
+// and is answered through the canonicalizing cache.
+// ---------------------------------------------------------------------
+
+mod service_vs_direct {
+    use super::{random_stencil, seed_from_env, with_threads};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uov::core::search::{find_best_uov, Objective};
+    use uov::isg::{IVec, RectDomain, Stencil};
+    use uov::service::{
+        serve, CacheOutcome, Client, ObjectiveSpec, PlanRequest, ServerConfig, ServerHandle,
+    };
+
+    fn test_server() -> ServerHandle {
+        serve("127.0.0.1:0", ServerConfig::default()).expect("bind test server")
+    }
+
+    fn query(
+        client: &mut Client,
+        stencil: &Stencil,
+        objective: ObjectiveSpec,
+    ) -> (IVec, u128, u64, CacheOutcome) {
+        let resp = client
+            .plan(&PlanRequest {
+                stencil: stencil.clone(),
+                objective,
+                deadline_ms: 0,
+                flags: 0,
+            })
+            .expect("service must answer a valid request");
+        assert_eq!(
+            resp.degradation,
+            uov::service::DegradationCode::None,
+            "an unlimited-deadline request must not degrade"
+        );
+        (resp.uov, resp.cost, resp.certificate_hash, resp.cache)
+    }
+
+    /// Every coordinate permutation of `s` that keeps all vectors
+    /// lexicographically positive, as whole stencils, with its σ.
+    fn valid_permutations(s: &Stencil) -> Vec<(Vec<usize>, Stencil)> {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for slot in 0..n {
+                    let mut q: Vec<usize> = p
+                        .iter()
+                        .map(|&x| if x >= slot { x + 1 } else { x })
+                        .collect();
+                    q.insert(0, slot);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        let mut out = Vec::new();
+        for perm in perms(s.dim()) {
+            let vectors: Vec<IVec> = s
+                .iter()
+                .map(|v| IVec::from(perm.iter().map(|&k| v[k]).collect::<Vec<i64>>()))
+                .collect();
+            if !vectors.iter().all(IVec::is_lex_positive) {
+                continue;
+            }
+            if let Ok(t) = Stencil::new(vectors) {
+                out.push((perm, t));
+            }
+        }
+        out
+    }
+
+    /// Cold service query ≡ direct search ≡ cache-hit replay, on seeded
+    /// random stencils — the `(uov, cost)` triple byte-identical across
+    /// all three, and the replay certificate-identical to the cold solve.
+    #[test]
+    fn service_query_equals_direct_search_equals_replay() {
+        let server = test_server();
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0x5E4C);
+        for case in 0..24 {
+            let dim = 1 + (case % 3);
+            let s = random_stencil(&mut rng, dim, 2, 4);
+            let direct = find_best_uov(&s, Objective::ShortestVector, &with_threads(1))
+                .expect("small coordinates cannot overflow");
+            let (cold_uov, cold_cost, cold_cert, _) =
+                query(&mut client, &s, ObjectiveSpec::ShortestVector);
+            let (re_uov, re_cost, re_cert, re_cache) =
+                query(&mut client, &s, ObjectiveSpec::ShortestVector);
+            assert_eq!(
+                (cold_uov.clone(), cold_cost),
+                (direct.uov.clone(), direct.cost),
+                "case {case}: service diverged from direct search for {s:?}"
+            );
+            assert_eq!(
+                (re_uov, re_cost),
+                (cold_uov, cold_cost),
+                "case {case}: replay diverged for {s:?}"
+            );
+            assert_eq!(re_cache, CacheOutcome::Hit, "case {case}: replay must hit");
+            assert_eq!(
+                re_cert, cold_cert,
+                "case {case}: replay certificate differs from cold solve for {s:?}"
+            );
+        }
+        server.shutdown();
+        let stats = server.join();
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.protocol_errors, 0);
+    }
+
+    /// Coordinate-permuted resubmission: the canonicalizing cache answers
+    /// σ(problem) from the entry the unpermuted problem populated, and
+    /// the answer must be byte-identical to a *direct search of the
+    /// permuted problem* — the cache may never be observable.
+    #[test]
+    fn permuted_resubmission_is_byte_identical_to_its_own_direct_search() {
+        let server = test_server();
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xCA70);
+        for case in 0..12 {
+            let dim = 2 + (case % 2);
+            let s = random_stencil(&mut rng, dim, 2, 4);
+            // Populate the canonical entry.
+            let _ = query(&mut client, &s, ObjectiveSpec::ShortestVector);
+            for (perm, permuted) in valid_permutations(&s) {
+                let direct = find_best_uov(&permuted, Objective::ShortestVector, &with_threads(1))
+                    .expect("small coordinates cannot overflow");
+                let (uov, cost, _, cache) =
+                    query(&mut client, &permuted, ObjectiveSpec::ShortestVector);
+                assert_eq!(
+                    (uov, cost),
+                    (direct.uov.clone(), direct.cost),
+                    "case {case}: σ={perm:?} answer diverged from direct search for {s:?}"
+                );
+                assert_eq!(
+                    cache,
+                    CacheOutcome::Hit,
+                    "case {case}: σ={perm:?} must be answered from the canonical entry"
+                );
+            }
+        }
+        server.shutdown();
+        assert_eq!(server.join().panics, 0);
+    }
+
+    /// The same permutation contract under the paper's storage objective:
+    /// the domain permutes alongside the stencil, and the permuted query
+    /// still matches its own direct search byte-for-byte.
+    #[test]
+    fn permuted_known_bounds_queries_match_direct_search() {
+        let server = test_server();
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xD073);
+        let lo = IVec::from(vec![0, 0]);
+        let hi = IVec::from(vec![5, 8]); // non-square: permutation is observable
+        for case in 0..8 {
+            let s = random_stencil(&mut rng, 2, 2, 4);
+            let base_dom = RectDomain::new(lo.clone(), hi.clone());
+            let _ = query(&mut client, &s, ObjectiveSpec::KnownBounds(base_dom));
+            for (perm, permuted) in valid_permutations(&s) {
+                let plo = IVec::from(perm.iter().map(|&k| lo[k]).collect::<Vec<i64>>());
+                let phi = IVec::from(perm.iter().map(|&k| hi[k]).collect::<Vec<i64>>());
+                let pdom = RectDomain::new(plo, phi);
+                let direct =
+                    find_best_uov(&permuted, Objective::KnownBounds(&pdom), &with_threads(1))
+                        .expect("small coordinates cannot overflow");
+                let (uov, cost, _, _) =
+                    query(&mut client, &permuted, ObjectiveSpec::KnownBounds(pdom));
+                assert_eq!(
+                    (uov, cost),
+                    (direct.uov.clone(), direct.cost),
+                    "case {case}: σ={perm:?} storage answer diverged for {s:?}"
+                );
+            }
+        }
+        server.shutdown();
+        assert_eq!(server.join().panics, 0);
+    }
+}
+
 /// Resuming a *completed* search is a no-op that returns the same answer:
 /// the final snapshot of a finished run has an empty frontier, and
 /// resuming it must simply re-emit the incumbent.

@@ -562,6 +562,227 @@ fn sigkilled_and_resumed_search_matches_clean_run() {
     let _ = std::fs::remove_file(&path);
 }
 
+// ---------------------------------------------------------------------
+// Planning-service protocol faults, against a *live* server: every
+// adversarial byte stream must produce a typed error frame or a clean
+// connection drop — never a worker panic — and the server must keep
+// serving well-formed clients afterwards.
+// ---------------------------------------------------------------------
+
+mod service_faults {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use uov::isg::{ivec, Stencil};
+    use uov::service::proto::{
+        self, encode_frame, read_frame, ObjectiveSpec, PlanRequest, HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    };
+    use uov::service::{serve, Client, ServerConfig, ServerHandle};
+
+    fn test_server() -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                // Short idle horizon (~0.5 s) so the half-open test
+                // observes the reap without stalling the suite.
+                idle_ticks: 5,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server")
+    }
+
+    fn raw_conn(server: &ServerHandle) -> TcpStream {
+        let s = TcpStream::connect(server.endpoint()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set timeout");
+        s
+    }
+
+    fn valid_request_frame() -> Vec<u8> {
+        let req = PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])
+                .expect("valid stencil"),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        };
+        encode_frame(proto::kind::REQ_PLAN, &req.encode())
+    }
+
+    /// The server survived an attack iff a fresh well-formed client still
+    /// gets a correct answer and no worker ever panicked.
+    fn assert_still_serving(server: &ServerHandle) {
+        let mut client = Client::connect(server.endpoint()).expect("post-attack connect");
+        let resp = client
+            .plan(&PlanRequest {
+                stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])
+                    .expect("valid stencil"),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0,
+                flags: 0,
+            })
+            .expect("the server must keep serving after an attack");
+        assert_eq!(resp.uov, ivec![1, 1]);
+        assert_eq!(server.stats().panics, 0, "a worker panicked");
+    }
+
+    /// Truncated frames at every interesting cut point: mid-magic,
+    /// mid-header, mid-payload, and just short of the CRC. Each one is a
+    /// clean drop on the server side.
+    #[test]
+    fn truncated_frames_are_dropped_not_panicked() {
+        let server = test_server();
+        let frame = valid_request_frame();
+        for cut in [1, 3, HEADER_LEN - 1, HEADER_LEN + 2, frame.len() - 1] {
+            let mut conn = raw_conn(&server);
+            conn.write_all(&frame[..cut]).expect("write truncated");
+            // Half-close so the server's next read sees EOF mid-frame.
+            conn.shutdown(std::net::Shutdown::Write).expect("shutdown");
+            let mut sink = Vec::new();
+            let _ = conn.read_to_end(&mut sink); // error frame or clean EOF
+        }
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// Flip one bit in every byte of a valid frame in turn. The CRC (or a
+    /// structural check it protects) must reject each mutant: the client
+    /// never reads a RESP_PLAN, and the server never panics.
+    #[test]
+    fn bit_flips_never_yield_a_plan_response() {
+        let server = test_server();
+        let frame = valid_request_frame();
+        for i in 0..frame.len() {
+            let mut mutant = frame.clone();
+            mutant[i] ^= 1;
+            let mut conn = raw_conn(&server);
+            if conn.write_all(&mutant).is_err() {
+                continue; // server already dropped us — fine
+            }
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            // A clean drop (Ok(None) / Err) is also acceptable; only a
+            // successful plan response would be a contract violation.
+            if let Ok(Some((kind, _))) = read_frame(&mut conn) {
+                assert_eq!(
+                    kind,
+                    proto::kind::RESP_ERROR,
+                    "byte {i}: a corrupted frame got a non-error response"
+                );
+            }
+        }
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// Wrong magic and unsupported version headers are protocol errors:
+    /// typed error frame or drop, counted by the server, no panic.
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let server = test_server();
+
+        let mut bad_magic = valid_request_frame();
+        bad_magic[..4].copy_from_slice(b"EVIL");
+        let mut bad_version = valid_request_frame();
+        bad_version[4..6].copy_from_slice(&0xFFFFu16.to_le_bytes());
+
+        for attack in [bad_magic, bad_version] {
+            let mut conn = raw_conn(&server);
+            conn.write_all(&attack).expect("write attack");
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let mut sink = Vec::new();
+            let _ = conn.read_to_end(&mut sink);
+        }
+        assert!(
+            server.stats().protocol_errors >= 2,
+            "attacks must be counted as protocol errors"
+        );
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// A length prefix far beyond `MAX_PAYLOAD` must be rejected from the
+    /// 11 header bytes alone — no payload allocation, no read loop. The
+    /// attacker sends *only* the header; a server that tried to read (or
+    /// allocate) 4 GiB would hang past the read deadline below.
+    #[test]
+    fn oversized_length_prefix_is_rejected_from_the_header_alone() {
+        let server = test_server();
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&proto::VERSION.to_le_bytes());
+        header.push(proto::kind::REQ_PLAN);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        const { assert!(u32::MAX > MAX_PAYLOAD) };
+
+        let mut conn = raw_conn(&server);
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("set timeout");
+        conn.write_all(&header).expect("write header");
+        // Deliberately no payload and no EOF: the rejection must come
+        // from the header, within the read deadline.
+        let mut sink = [0u8; 64];
+        match conn.read(&mut sink) {
+            Ok(0) => {} // dropped — fine
+            Ok(_) => {} // typed error frame — fine
+            Err(e) => panic!("server hung on an oversized prefix: {e}"),
+        }
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// A half-open connection (client connects, then goes silent) is
+    /// reaped by the idle horizon instead of pinning a worker forever.
+    #[test]
+    fn half_open_connections_are_reaped() {
+        let server = test_server();
+        let conn = raw_conn(&server); // never writes
+                                      // idle_ticks = 5 ⇒ reap after ~0.5 s of silence.
+        std::thread::sleep(Duration::from_millis(1500));
+        // The server closed its side: our next read sees EOF.
+        let mut probe = conn;
+        probe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("set timeout");
+        let mut sink = [0u8; 8];
+        match probe.read(&mut sink) {
+            Ok(0) => {} // EOF — reaped
+            Ok(n) => panic!("unexpected {n} bytes from a silent connection"),
+            Err(e) => panic!("connection not reaped within the idle horizon: {e}"),
+        }
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// Garbage *after* a valid frame on the same connection: the first
+    /// request is answered, the trailing garbage is a typed drop.
+    #[test]
+    fn garbage_after_a_valid_frame_is_contained() {
+        let server = test_server();
+        let mut conn = raw_conn(&server);
+        let mut bytes = valid_request_frame();
+        bytes.extend_from_slice(b"\xde\xad\xbe\xef then some trailing junk");
+        conn.write_all(&bytes).expect("write");
+        let _ = conn.shutdown(std::net::Shutdown::Write);
+        let first = read_frame(&mut conn).expect("first frame answers");
+        let (kind, _) = first.expect("response present");
+        assert_eq!(kind, proto::kind::RESP_PLAN, "valid request must be served");
+        // Whatever follows is an error frame or EOF, never a hang/panic.
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink);
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+}
+
 fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
     prop::collection::vec(-bound..=bound, dim)
         .prop_map(IVec::from)
