@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod chaos;
 pub mod extension;
 pub mod npc;
 pub mod overhead;
@@ -36,6 +37,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "parallel" => vec![ablation::parallel_consistency(scale)],
         "resilience" => resilience::all(scale),
         "service" => service::all(scale),
+        "chaos" => chaos::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -69,6 +71,7 @@ pub fn all_names() -> Vec<&'static str> {
         "parallel",
         "resilience",
         "service",
+        "chaos",
         "jacobi",
         "tiles",
         "baseline",

@@ -2,21 +2,27 @@
 //!
 //! ```text
 //! uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N]
+//!                               [--warm-cache PATH] [--wedge-timeout MS]
 //! uov-service query  <endpoint> --stencil "1,0;0,1;1,1" [--grid N,M] [--deadline MS] [--no-cache]
 //! uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N]
 //!                               [--deadline MS] [--csv]
+//! uov-service health <endpoint>
+//! uov-service stats  <endpoint>
 //! uov-service shutdown <endpoint>
 //! ```
 //!
 //! Endpoints are TCP addresses (`127.0.0.1:7878`; port `0` picks a free
-//! port and prints it) or Unix sockets (`unix:/tmp/uov.sock`).
+//! port and prints it) or Unix sockets (`unix:/tmp/uov.sock`). `query`
+//! accepts a comma-separated replica list and plans through the
+//! resilient fabric when more than one endpoint is given.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use uov_isg::{IVec, RectDomain, Stencil};
 use uov_service::{
-    serve, Client, LoadGenConfig, ObjectiveSpec, PlanRequest, ServerConfig, FLAG_NO_CACHE,
+    serve, Client, LoadGenConfig, ObjectiveSpec, PlanRequest, ResilientClient, ResilientConfig,
+    ServerConfig, FLAG_NO_CACHE,
 };
 
 fn main() -> ExitCode {
@@ -26,6 +32,8 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
@@ -43,10 +51,12 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N]
-  uov-service query  <endpoint> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache]
+  uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N] [--warm-cache PATH] [--wedge-timeout MS]
+  uov-service query  <endpoint[,endpoint…]> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache]
   uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N] [--deadline MS] [--csv]
   uov-service smoke  <endpoint>
+  uov-service health <endpoint>
+  uov-service stats  <endpoint>
   uov-service shutdown <endpoint>";
 
 /// Pull the value of `--flag <value>` out of `args`, if present.
@@ -105,6 +115,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_depth: opt_parse(args, "--queue", ServerConfig::default().queue_depth)?,
         search_threads: opt_parse(args, "--search-threads", 1)?,
         cache_capacity: opt_parse(args, "--cache", ServerConfig::default().cache_capacity)?,
+        warm_cache: opt(args, "--warm-cache")?.map(std::path::PathBuf::from),
+        wedge_timeout: Duration::from_millis(opt_parse(args, "--wedge-timeout", 0u64)?),
         ..ServerConfig::default()
     };
     let server = serve(endpoint, config).map_err(|e| e.to_string())?;
@@ -135,18 +147,35 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else {
         0
     };
-    let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
-    client
-        .set_timeout(Some(Duration::from_secs(600)))
+    let req = PlanRequest {
+        stencil,
+        objective,
+        deadline_ms,
+        flags,
+    };
+    let resp = if endpoint.contains(',') {
+        // A replica list: plan through the resilient fabric.
+        let endpoints: Vec<String> = endpoint
+            .split(',')
+            .map(|e| e.trim().to_string())
+            .filter(|e| !e.is_empty())
+            .collect();
+        let mut fabric = ResilientClient::new(
+            &endpoints,
+            ResilientConfig {
+                attempt_timeout: Duration::from_secs(600),
+                ..ResilientConfig::default()
+            },
+        )
         .map_err(|e| e.to_string())?;
-    let resp = client
-        .plan(&PlanRequest {
-            stencil,
-            objective,
-            deadline_ms,
-            flags,
-        })
-        .map_err(|e| e.to_string())?;
+        fabric.plan(&req).map_err(|e| e.to_string())?
+    } else {
+        let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
+        client
+            .set_timeout(Some(Duration::from_secs(600)))
+            .map_err(|e| e.to_string())?;
+        client.plan(&req).map_err(|e| e.to_string())?
+    };
     println!("uov         {}", resp.uov);
     println!("cost        {}", resp.cost);
     println!("certificate {:#018x}", resp.certificate_hash);
@@ -260,6 +289,56 @@ fn cmd_smoke(args: &[String]) -> Result<(), String> {
         ));
     }
     println!("smoke: OK");
+    Ok(())
+}
+
+/// Probe liveness/readiness. Exit code 0 iff the server is ready, so
+/// orchestration scripts can gate on it directly.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+    let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let h = client.health().map_err(|e| e.to_string())?;
+    println!(
+        "ready {}  draining {}  workers {}  queue {}/{}",
+        h.ready, h.draining, h.workers_alive, h.queue_len, h.queue_depth
+    );
+    if h.ready {
+        Ok(())
+    } else {
+        Err("server is not ready".into())
+    }
+}
+
+/// Dump the server's traffic/fault counters and cache counters.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let endpoint = endpoint_of(args)?;
+    let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+    println!("| counter | value |");
+    println!("|---|---|");
+    println!("| connections | {} |", s.server.connections);
+    println!("| requests | {} |", s.server.requests);
+    println!("| responses | {} |", s.server.responses);
+    println!("| rejected overloaded | {} |", s.server.rejected_overloaded);
+    println!("| rejected shutdown | {} |", s.server.rejected_shutdown);
+    println!("| protocol errors | {} |", s.server.protocol_errors);
+    println!("| crc failures | {} |", s.server.crc_failures);
+    println!("| bad magic | {} |", s.server.bad_magic);
+    println!("| bad version | {} |", s.server.bad_version);
+    println!("| oversized frames | {} |", s.server.oversized_frames);
+    println!("| panics | {} |", s.server.panics);
+    println!("| watchdog cancels | {} |", s.server.watchdog_cancels);
+    println!("| worker restarts | {} |", s.server.worker_restarts);
+    println!("| cache hits | {} |", s.cache.hits);
+    println!("| cache misses | {} |", s.cache.misses);
+    println!("| cache coalesced | {} |", s.cache.coalesced);
+    println!("| cache warm-loaded | {} |", s.cache.warm_loaded);
     Ok(())
 }
 

@@ -1,0 +1,751 @@
+//! A deterministic chaos harness for the planning fabric.
+//!
+//! Two pieces:
+//!
+//! * [`ChaosProxy`] — a TCP proxy that sits between a client and one
+//!   replica and injects faults *decided by a seeded generator*, never by
+//!   the wall clock: connection resets, half-open stalls, latency
+//!   spikes, frame truncation, and payload bit-flips. The fault schedule
+//!   for connection `n`, direction `d` is a pure function of
+//!   `(seed, n, d)`, so a failing chaos run replays exactly from its
+//!   seed.
+//! * [`ReplicaSet`] — an in-process orchestrator that starts N replicas,
+//!   kills them abruptly (simulated crash: no warm-cache save), drains
+//!   them gracefully, and restarts them on their original ports.
+//!
+//! The proxy is frame-aware: it parses the `UOVS` header to learn each
+//! frame's extent, then applies at most one fault per frame. Bit-flips
+//! target the payload/CRC region so the receiver's CRC check — not luck —
+//! is what catches them; truncation closes the socket mid-frame to
+//! exercise torn-read handling; stalls hold the connection silent long
+//! past the client's attempt timeout to exercise half-open detection.
+//! Bytes that do not parse as a frame header are pumped opaquely so the
+//! proxy never deadlocks on garbage.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::error::ServiceError;
+use crate::proto::{HEADER_LEN, MAGIC};
+use crate::server::{serve, ServerConfig, ServerHandle, ServerStats};
+
+/// Fault rates and timings for a [`ChaosProxy`]. Rates are per-mille
+/// (out of 1000) per forwarded frame, evaluated in a fixed order —
+/// reset, stall, truncate, flip, delay — against one seeded roll, so at
+/// most one fault fires per frame and the schedule is replayable.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule. Identical seeds (and identical
+    /// connection orders) produce identical fault sequences.
+    pub seed: u64,
+    /// ‰ chance a frame triggers an immediate connection reset.
+    pub reset_per_mille: u32,
+    /// ‰ chance a frame triggers a half-open stall: the proxy goes
+    /// silent for [`ChaosConfig::stall_ms`], then closes. Pick a stall
+    /// far above the client's attempt timeout so the outcome class
+    /// (timeout) is deterministic.
+    pub stall_per_mille: u32,
+    /// ‰ chance a frame is truncated mid-frame and the connection closed.
+    pub truncate_per_mille: u32,
+    /// ‰ chance one bit of the frame's payload/CRC region is flipped
+    /// before forwarding (the receiver's CRC check catches it).
+    pub flip_per_mille: u32,
+    /// ‰ chance a frame is delayed by [`ChaosConfig::delay_ms`] before
+    /// forwarding. Pick a delay far below the client's attempt timeout
+    /// so the outcome class (success, slower) is deterministic.
+    pub delay_per_mille: u32,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Latency-spike duration in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            reset_per_mille: 0,
+            stall_per_mille: 0,
+            truncate_per_mille: 0,
+            flip_per_mille: 0,
+            delay_per_mille: 0,
+            stall_ms: 5_000,
+            delay_ms: 5,
+        }
+    }
+}
+
+/// Counts of what a [`ChaosProxy`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted and paired with an upstream dial.
+    pub connections: u64,
+    /// Frames forwarded unharmed (including delayed ones).
+    pub frames_forwarded: u64,
+    /// Connections reset mid-stream.
+    pub resets: u64,
+    /// Half-open stalls injected.
+    pub stalls: u64,
+    /// Frames truncated.
+    pub truncations: u64,
+    /// Frames with a bit flipped.
+    pub bit_flips: u64,
+    /// Frames delayed.
+    pub delays: u64,
+}
+
+#[derive(Default)]
+struct ChaosCounters {
+    connections: AtomicU64,
+    frames_forwarded: AtomicU64,
+    resets: AtomicU64,
+    stalls: AtomicU64,
+    truncations: AtomicU64,
+    bit_flips: AtomicU64,
+    delays: AtomicU64,
+}
+
+impl ChaosCounters {
+    fn snapshot(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_forwarded: self.frames_forwarded.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// splitmix64: turns correlated seeds (`seed ^ small-counter`) into
+/// well-mixed xorshift starting states.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(splitmix64(seed).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// What the fault roll decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    Forward,
+    Reset,
+    Stall,
+    Truncate,
+    Flip,
+    Delay,
+}
+
+impl ChaosConfig {
+    /// Evaluate one roll against the cumulative rate thresholds, in
+    /// fixed order so the mapping from roll to fault is stable even when
+    /// rates change between experiments.
+    fn decide(&self, roll: u64) -> Fault {
+        let r = (roll % 1000) as u32;
+        let mut edge = self.reset_per_mille;
+        if r < edge {
+            return Fault::Reset;
+        }
+        edge += self.stall_per_mille;
+        if r < edge {
+            return Fault::Stall;
+        }
+        edge += self.truncate_per_mille;
+        if r < edge {
+            return Fault::Truncate;
+        }
+        edge += self.flip_per_mille;
+        if r < edge {
+            return Fault::Flip;
+        }
+        edge += self.delay_per_mille;
+        if r < edge {
+            return Fault::Delay;
+        }
+        Fault::Forward
+    }
+}
+
+/// A fault-injecting TCP proxy in front of one replica (module docs).
+pub struct ChaosProxy {
+    endpoint: String,
+    upstream: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ChaosCounters>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral local port, forwarding to
+    /// `upstream` with the fault schedule of `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if the local listener cannot be bound.
+    pub fn start(upstream: &str, cfg: ChaosConfig) -> Result<Self, ServiceError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let endpoint = listener.local_addr()?.to_string();
+        let upstream = Arc::new(Mutex::new(upstream.to_string()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ChaosCounters::default());
+
+        let a_upstream = Arc::clone(&upstream);
+        let a_stop = Arc::clone(&stop);
+        let a_counters = Arc::clone(&counters);
+        let accept = thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, cfg, &a_upstream, &a_stop, &a_counters);
+            })?;
+
+        Ok(ChaosProxy {
+            endpoint,
+            upstream,
+            stop,
+            counters,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's own address — point clients here.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Retarget *new* connections at a different upstream (established
+    /// pumps keep their original peer). Used by kill/restart
+    /// orchestration when a replica comes back on a new address.
+    pub fn set_upstream(&self, endpoint: &str) {
+        if let Ok(mut guard) = self.upstream.lock() {
+            *guard = endpoint.to_string();
+        }
+    }
+
+    /// Snapshot the injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.counters.snapshot()
+    }
+
+    /// Stop accepting; existing pumps notice within ~100 ms.
+    pub fn stop(mut self) -> ChaosStats {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.counters.snapshot()
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    cfg: ChaosConfig,
+    upstream: &Arc<Mutex<String>>,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<ChaosCounters>,
+) {
+    let mut conn_seq: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        let client = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => break,
+        };
+        let target = match upstream.lock() {
+            Ok(guard) => guard.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        let server = match TcpStream::connect(&target) {
+            Ok(s) => s,
+            Err(_) => {
+                // Upstream down: drop the client — it sees a closed
+                // connection, exactly what a dead replica looks like.
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        let seq = conn_seq;
+        conn_seq += 1;
+        spawn_pump(client, server, cfg, seq, stop, counters);
+    }
+}
+
+/// Two pump threads, one per direction, each with its own RNG derived
+/// from `(seed, connection sequence, direction)`.
+fn spawn_pump(
+    client: TcpStream,
+    server: TcpStream,
+    cfg: ChaosConfig,
+    seq: u64,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<ChaosCounters>,
+) {
+    let pairs = [
+        (client.try_clone(), server.try_clone(), 0u64),
+        (server.try_clone(), client.try_clone(), 1u64),
+    ];
+    for (src, dst, dir) in pairs {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        let rng = XorShift64::new(cfg.seed ^ seq.wrapping_mul(0x517C_C1B7_2722_0A95) ^ dir);
+        let t_stop = Arc::clone(stop);
+        let t_counters = Arc::clone(counters);
+        let _ = thread::Builder::new()
+            .name(format!("chaos-pump-{seq}-{dir}"))
+            .spawn(move || pump(src, dst, cfg, rng, &t_stop, &t_counters));
+    }
+}
+
+/// Read one whole frame from `src`. Returns `None` on EOF/error/stop.
+/// Bytes that do not start with the protocol magic flip the pump into
+/// opaque mode (`Err(prefix)`) — the caller just copies bytes through.
+fn read_one_frame(src: &mut TcpStream, stop: &AtomicBool) -> Option<Result<Vec<u8>, Vec<u8>>> {
+    let mut header = vec![0u8; HEADER_LEN];
+    read_exact_interruptible(src, &mut header, stop)?;
+    if &header[..4] != MAGIC {
+        return Some(Err(header));
+    }
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
+    // Hostile/oversized lengths: stop parsing, pump opaquely.
+    if len > (crate::proto::MAX_PAYLOAD as usize) {
+        return Some(Err(header));
+    }
+    let mut rest = vec![0u8; len + 4];
+    read_exact_interruptible(src, &mut rest, stop)?;
+    header.extend_from_slice(&rest);
+    Some(Ok(header))
+}
+
+/// `read_exact` that honours the stop flag via a short read timeout.
+fn read_exact_interruptible(src: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Option<()> {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        match src.read(&mut buf[filled..]) {
+            Ok(0) => return None,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Only between frames may we idle forever; mid-frame
+                // silence still honours stop on the next iteration.
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+/// Sleep that wakes early when the proxy stops.
+fn sleep_interruptible(ms: u64, stop: &AtomicBool) {
+    let mut remaining = ms;
+    while remaining > 0 && !stop.load(Ordering::SeqCst) {
+        let chunk = remaining.min(50);
+        thread::sleep(Duration::from_millis(chunk));
+        remaining -= chunk;
+    }
+}
+
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    cfg: ChaosConfig,
+    mut rng: XorShift64,
+    stop: &AtomicBool,
+    counters: &ChaosCounters,
+) {
+    let close_both = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    loop {
+        let frame = match read_one_frame(&mut src, stop) {
+            Some(Ok(f)) => f,
+            Some(Err(prefix)) => {
+                // Unparseable traffic: forward the prefix and then copy
+                // bytes opaquely until the stream dies.
+                if dst.write_all(&prefix).is_err() {
+                    break;
+                }
+                let mut buf = [0u8; 4096];
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match src.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            if dst.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock
+                                    | std::io::ErrorKind::TimedOut
+                                    | std::io::ErrorKind::Interrupted
+                            ) =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    }
+                }
+                break;
+            }
+            None => break,
+        };
+        match cfg.decide(rng.next()) {
+            Fault::Reset => {
+                counters.resets.fetch_add(1, Ordering::Relaxed);
+                close_both(&src, &dst);
+                return;
+            }
+            Fault::Stall => {
+                counters.stalls.fetch_add(1, Ordering::Relaxed);
+                sleep_interruptible(cfg.stall_ms, stop);
+                close_both(&src, &dst);
+                return;
+            }
+            Fault::Truncate => {
+                counters.truncations.fetch_add(1, Ordering::Relaxed);
+                let cut = HEADER_LEN + (rng.next() as usize % (frame.len() - HEADER_LEN).max(1));
+                let _ = dst.write_all(&frame[..cut]);
+                close_both(&src, &dst);
+                return;
+            }
+            Fault::Flip => {
+                counters.bit_flips.fetch_add(1, Ordering::Relaxed);
+                let mut frame = frame;
+                // Target the payload/CRC region; the receiver's CRC
+                // check must catch this, not a failed header parse.
+                let span = frame.len() - HEADER_LEN;
+                let at = HEADER_LEN + (rng.next() as usize % span.max(1));
+                let bit = (rng.next() % 8) as u8;
+                if at < frame.len() {
+                    frame[at] ^= 1 << bit;
+                }
+                if dst.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Fault::Delay => {
+                counters.delays.fetch_add(1, Ordering::Relaxed);
+                sleep_interruptible(cfg.delay_ms, stop);
+                if dst.write_all(&frame).is_err() {
+                    break;
+                }
+                counters.frames_forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+            Fault::Forward => {
+                if dst.write_all(&frame).is_err() {
+                    break;
+                }
+                counters.frames_forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    close_both(&src, &dst);
+}
+
+/// An in-process set of replicas with kill/drain/restart orchestration.
+///
+/// Replicas bind ephemeral ports on first start and keep those addresses
+/// across restarts (`SO_REUSEADDR` lets a drained port be rebound
+/// immediately), so a [`crate::ResilientClient`]'s replica list stays
+/// valid through the whole kill/restart schedule.
+pub struct ReplicaSet {
+    endpoints: Vec<String>,
+    handles: Vec<Option<ServerHandle>>,
+    config: ServerConfig,
+}
+
+impl ReplicaSet {
+    /// Start `n` replicas with identical configuration on ephemeral
+    /// local ports.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if any replica fails to bind.
+    pub fn start(n: usize, config: ServerConfig) -> Result<Self, ServiceError> {
+        let mut endpoints = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let handle = serve("127.0.0.1:0", config.clone())?;
+            endpoints.push(handle.endpoint().to_string());
+            handles.push(Some(handle));
+        }
+        Ok(ReplicaSet {
+            endpoints,
+            handles,
+            config,
+        })
+    }
+
+    /// The stable replica addresses, in start order.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// Whether replica `i` is currently running.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.handles.get(i).is_some_and(Option::is_some)
+    }
+
+    /// Crash replica `i`: stop it without persisting its warm cache
+    /// (crash semantics). No-op if already down. Returns the server's
+    /// final stats when it was up.
+    pub fn kill(&mut self, i: usize) -> Option<ServerStats> {
+        let handle = self.handles.get_mut(i)?.take()?;
+        handle.shutdown();
+        Some(handle.join_abrupt())
+    }
+
+    /// Gracefully drain replica `i`, persisting its warm cache when
+    /// configured. No-op if already down.
+    pub fn drain(&mut self, i: usize) -> Option<ServerStats> {
+        let handle = self.handles.get_mut(i)?.take()?;
+        handle.shutdown();
+        Some(handle.join())
+    }
+
+    /// Restart replica `i` on its original address. No-op when already
+    /// up. The kernel can briefly hold a just-freed port, so the bind is
+    /// retried for a short window before giving up.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] when the original port cannot be rebound.
+    pub fn restart(&mut self, i: usize) -> Result<(), ServiceError> {
+        if self.is_up(i) {
+            return Ok(());
+        }
+        let endpoint = self.endpoints[i].clone();
+        let mut last = None;
+        for _ in 0..50 {
+            match serve(&endpoint, self.config.clone()) {
+                Ok(handle) => {
+                    self.handles[i] = Some(handle);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = Some(e);
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        Err(last.unwrap_or(ServiceError::ConnectionClosed))
+    }
+
+    /// Drain every running replica and return their final stats.
+    pub fn shutdown_all(mut self) -> Vec<Option<ServerStats>> {
+        (0..self.handles.len()).map(|i| self.drain(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::proto::{ObjectiveSpec, PlanRequest};
+    use crate::resilient::{ResilientClient, ResilientConfig};
+    use uov_isg::{ivec, Stencil};
+
+    fn fig1_request() -> PlanRequest {
+        PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        }
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let proxy = ChaosProxy::start(server.endpoint(), ChaosConfig::default()).unwrap();
+        let mut client = Client::connect(proxy.endpoint()).unwrap();
+        let resp = client.plan(&fig1_request()).unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+        let stats = proxy.stop();
+        assert!(stats.frames_forwarded >= 2, "{stats:?}");
+        assert_eq!(stats.resets + stats.truncations + stats.bit_flips, 0);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_crc_and_survived_by_the_fabric() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let proxy = ChaosProxy::start(
+            server.endpoint(),
+            ChaosConfig {
+                flip_per_mille: 400,
+                seed: 7,
+                ..ChaosConfig::default()
+            },
+        )
+        .unwrap();
+        let endpoints = vec![proxy.endpoint().to_string()];
+        let mut fabric = ResilientClient::new(
+            &endpoints,
+            ResilientConfig {
+                attempt_timeout: Duration::from_millis(500),
+                max_attempts: 32,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let resp = fabric.plan(&fig1_request()).unwrap();
+            assert_eq!(resp.uov, ivec![1, 1]);
+        }
+        let stats = proxy.stop();
+        assert!(stats.bit_flips > 0, "chaos never fired: {stats:?}");
+        // Request-direction flips must show up in the server's CRC
+        // counter (response-direction flips surface client-side).
+        server.shutdown();
+        let final_stats = server.join();
+        assert!(
+            final_stats.crc_failures + final_stats.bad_magic > 0 || stats.bit_flips > 0,
+            "flips vanished: proxy={stats:?} server={final_stats:?}"
+        );
+    }
+
+    #[test]
+    fn resets_are_survived_by_the_fabric() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let proxy = ChaosProxy::start(
+            server.endpoint(),
+            ChaosConfig {
+                reset_per_mille: 250,
+                seed: 21,
+                ..ChaosConfig::default()
+            },
+        )
+        .unwrap();
+        let endpoints = vec![proxy.endpoint().to_string()];
+        let mut fabric = ResilientClient::new(
+            &endpoints,
+            ResilientConfig {
+                attempt_timeout: Duration::from_millis(500),
+                max_attempts: 32,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                failure_threshold: 100,
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..10 {
+            fabric.plan(&fig1_request()).unwrap();
+        }
+        let stats = proxy.stop();
+        assert!(stats.resets > 0, "chaos never fired: {stats:?}");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_fault_schedules() {
+        // Drive the decision function directly: the schedule for a
+        // (seed, conn, dir) triple is a pure function.
+        let cfg = ChaosConfig {
+            reset_per_mille: 50,
+            stall_per_mille: 50,
+            truncate_per_mille: 50,
+            flip_per_mille: 100,
+            delay_per_mille: 200,
+            ..ChaosConfig::default()
+        };
+        let schedule = |seed: u64| {
+            let mut rng = XorShift64::new(seed ^ 3u64.wrapping_mul(0x517C_C1B7_2722_0A95) ^ 1);
+            (0..256).map(|_| cfg.decide(rng.next())).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "seed must matter");
+    }
+
+    #[test]
+    fn replica_set_kill_and_restart_on_same_port() {
+        let mut set = ReplicaSet::start(2, ServerConfig::default()).unwrap();
+        let endpoints: Vec<String> = set.endpoints().to_vec();
+        assert_eq!(endpoints.len(), 2);
+
+        let mut c0 = Client::connect(&endpoints[0]).unwrap();
+        c0.plan(&fig1_request()).unwrap();
+
+        assert!(set.kill(0).is_some());
+        assert!(!set.is_up(0));
+        assert!(
+            Client::connect(&endpoints[0]).is_err() || {
+                // A connect may land in the kernel backlog of the dead
+                // listener on some platforms; a plan must still fail.
+                let mut c = Client::connect(&endpoints[0]).unwrap();
+                c.set_timeout(Some(Duration::from_millis(200))).unwrap();
+                c.plan(&fig1_request()).is_err()
+            }
+        );
+
+        set.restart(0).unwrap();
+        assert!(set.is_up(0));
+        let mut c0 = Client::connect(&endpoints[0]).unwrap();
+        let resp = c0.plan(&fig1_request()).unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+
+        for stats in set.shutdown_all().into_iter().flatten() {
+            assert_eq!(stats.panics, 0);
+        }
+    }
+}

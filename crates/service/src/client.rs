@@ -1,16 +1,30 @@
 //! A blocking client for the planning service.
 
+use std::io;
 use std::time::Duration;
 
 use crate::error::{ErrorCode, ServiceError};
-use crate::proto::{kind, read_frame, write_frame, ErrorResponse, PlanRequest, PlanResponse};
+use crate::proto::{
+    kind, read_frame, write_frame, ErrorResponse, HealthResponse, PlanRequest, PlanResponse,
+    StatsResponse,
+};
 use crate::server::AnyStream;
 
 /// One connection to a planning server. Requests are strictly
 /// sequential per connection (the protocol has no request IDs); open
 /// more clients for concurrency.
+///
+/// The client survives server restarts: when a request runs into a
+/// stale socket — the EOF or `BrokenPipe` a long-lived connection sees
+/// after the server bounced — it transparently redials the endpoint
+/// **once** and resends. This is safe because every request is
+/// idempotent (planning is a pure function of the request) and the
+/// retry happens only when no response frame was received. Persistent
+/// failures still surface after the single retry.
 pub struct Client {
     stream: AnyStream,
+    endpoint: String,
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -22,7 +36,16 @@ impl Client {
     /// [`ServiceError::Io`] if the endpoint is unreachable.
     pub fn connect(endpoint: &str) -> Result<Self, ServiceError> {
         let stream = AnyStream::connect(endpoint)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            endpoint: endpoint.to_string(),
+            timeout: None,
+        })
+    }
+
+    /// The endpoint this client dials.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
     }
 
     /// Cap how long [`Client::plan`] waits for a response frame.
@@ -32,7 +55,68 @@ impl Client {
     /// [`ServiceError::Io`] if the socket rejects the option.
     pub fn set_timeout(&mut self, t: Option<Duration>) -> Result<(), ServiceError> {
         self.stream.set_read_timeout(t)?;
+        self.timeout = t;
         Ok(())
+    }
+
+    /// Whether an error means the socket is stale (half-open remnant of
+    /// a bounced server) rather than the server answering slowly or
+    /// rejecting the request: only these are worth one reconnect.
+    fn is_stale_socket(err: &ServiceError) -> bool {
+        match err {
+            ServiceError::ConnectionClosed => true,
+            ServiceError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::NotConnected
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
+
+    /// Drop the stale socket and dial the endpoint again, restoring the
+    /// configured read timeout.
+    fn reconnect(&mut self) -> Result<(), ServiceError> {
+        let fresh = AnyStream::connect(&self.endpoint)?;
+        fresh.set_read_timeout(self.timeout)?;
+        self.stream = fresh;
+        Ok(())
+    }
+
+    /// One request/response exchange, retried once over a fresh
+    /// connection when the socket turns out to be stale.
+    fn exchange(
+        &mut self,
+        req_kind: u8,
+        payload: &[u8],
+    ) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
+        match self.exchange_once(req_kind, payload) {
+            Err(e) if Self::is_stale_socket(&e) => {
+                self.reconnect()?;
+                self.exchange_once(req_kind, payload)
+            }
+            // A clean EOF before any response frame is the other face of
+            // a stale socket: the server closed this connection while it
+            // sat idle in our pocket. No response was received, so a
+            // single resend over a fresh connection is safe.
+            Ok(None) => {
+                self.reconnect()?;
+                self.exchange_once(req_kind, payload)
+            }
+            other => other,
+        }
+    }
+
+    fn exchange_once(
+        &mut self,
+        req_kind: u8,
+        payload: &[u8],
+    ) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
+        write_frame(&mut self.stream, req_kind, payload)?;
+        read_frame(&mut self.stream)
     }
 
     /// Send one planning request and wait for the answer.
@@ -43,8 +127,7 @@ impl Client {
     /// error frame (overload, malformed, drain, internal failure); the
     /// protocol taxonomy of [`read_frame`] for transport-level failures.
     pub fn plan(&mut self, req: &PlanRequest) -> Result<PlanResponse, ServiceError> {
-        write_frame(&mut self.stream, kind::REQ_PLAN, &req.encode())?;
-        match read_frame(&mut self.stream)? {
+        match self.exchange(kind::REQ_PLAN, &req.encode())? {
             Some((kind::RESP_PLAN, payload)) => PlanResponse::decode(&payload),
             Some((kind::RESP_ERROR, payload)) => {
                 let err = ErrorResponse::decode(&payload)?;
@@ -60,6 +143,53 @@ impl Client {
         }
     }
 
+    /// Probe the server's liveness and readiness. Answered even while
+    /// the server drains.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ServiceError::Malformed`] on an
+    /// unexpected response kind.
+    pub fn health(&mut self) -> Result<HealthResponse, ServiceError> {
+        match self.exchange(kind::REQ_HEALTH, &[])? {
+            Some((kind::RESP_HEALTH, payload)) => HealthResponse::decode(&payload),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected health response kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
+    /// Fetch the server's traffic/fault counters and cache counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ServiceError::Malformed`] on an
+    /// unexpected response kind.
+    pub fn stats(&mut self) -> Result<StatsResponse, ServiceError> {
+        match self.exchange(kind::REQ_STATS, &[])? {
+            Some((kind::RESP_STATS, payload)) => StatsResponse::decode(&payload),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected stats response kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
     /// Ask the server to drain and exit.
     ///
     /// # Errors
@@ -67,8 +197,7 @@ impl Client {
     /// Transport failures, or [`ServiceError::Malformed`] if the server
     /// answers with anything but a shutdown acknowledgement.
     pub fn shutdown_server(&mut self) -> Result<(), ServiceError> {
-        write_frame(&mut self.stream, kind::REQ_SHUTDOWN, &[])?;
-        match read_frame(&mut self.stream)? {
+        match self.exchange_once(kind::REQ_SHUTDOWN, &[])? {
             Some((kind::RESP_SHUTDOWN_ACK, _)) => Ok(()),
             Some((kind::RESP_ERROR, payload)) => {
                 let err = ErrorResponse::decode(&payload)?;

@@ -21,6 +21,12 @@ pub enum ErrorCode {
     /// The server is draining: in-flight requests finish, new ones are
     /// rejected with this code.
     ShuttingDown,
+    /// The frame failed a transport-level integrity check (CRC, magic,
+    /// torn frame): the bytes were damaged in transit, not the request
+    /// itself, so resending the same request is safe and likely to
+    /// succeed. Distinct from [`ErrorCode::Malformed`], which means the
+    /// request content is wrong and a retry cannot help.
+    Corrupted,
 }
 
 impl ErrorCode {
@@ -32,6 +38,7 @@ impl ErrorCode {
             ErrorCode::Unsupported => 3,
             ErrorCode::Internal => 4,
             ErrorCode::ShuttingDown => 5,
+            ErrorCode::Corrupted => 6,
         }
     }
 
@@ -43,6 +50,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::Unsupported),
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::ShuttingDown),
+            6 => Some(ErrorCode::Corrupted),
             _ => None,
         }
     }
@@ -56,6 +64,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Unsupported => write!(f, "unsupported request"),
             ErrorCode::Internal => write!(f, "internal server error"),
             ErrorCode::ShuttingDown => write!(f, "server is shutting down"),
+            ErrorCode::Corrupted => write!(f, "frame corrupted in transit"),
         }
     }
 }
@@ -89,6 +98,24 @@ pub enum ServiceError {
         /// Human-readable detail from the server.
         msg: String,
     },
+    /// Every replica in the fabric failed (or the retry budget ran out)
+    /// before a certified answer arrived. Carries the final per-attempt
+    /// failure for diagnosis.
+    FabricExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The failure of the last attempt.
+        last: Box<ServiceError>,
+    },
+    /// Two replicas returned *certified* answers whose transcript hashes
+    /// disagree. The fabric cannot know which replica is lying, so this
+    /// is a hard error — never silently pick one.
+    ReplicaDivergence {
+        /// Transcript hash from the first replica to answer.
+        a: u64,
+        /// Transcript hash from the second replica.
+        b: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -107,6 +134,14 @@ impl fmt::Display for ServiceError {
             ServiceError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
             ServiceError::ConnectionClosed => write!(f, "peer closed the connection"),
             ServiceError::Rejected { code, msg } => write!(f, "server rejected: {code}: {msg}"),
+            ServiceError::FabricExhausted { attempts, last } => {
+                write!(f, "all replicas failed after {attempts} attempts: {last}")
+            }
+            ServiceError::ReplicaDivergence { a, b } => write!(
+                f,
+                "replicas returned divergent certified answers \
+                 (transcript {a:#018x} vs {b:#018x})"
+            ),
         }
     }
 }
@@ -116,6 +151,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Io(e) => Some(e),
             ServiceError::Wire(e) => Some(e),
+            ServiceError::FabricExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -145,6 +181,7 @@ mod tests {
             ErrorCode::Unsupported,
             ErrorCode::Internal,
             ErrorCode::ShuttingDown,
+            ErrorCode::Corrupted,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()), Some(code));
         }

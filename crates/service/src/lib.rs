@@ -20,6 +20,13 @@
 //! * [`client`] / [`loadgen`] — a blocking client and a deterministic
 //!   closed-loop load generator (throughput, latency percentiles, cache
 //!   hit rates).
+//! * [`resilient`] — a [`ResilientClient`] over an ordered replica list:
+//!   per-attempt timeouts, exponential backoff with deterministic seeded
+//!   jitter, per-replica circuit breakers, optional hedged requests, and
+//!   a replayable event log of every decision.
+//! * [`chaos`] — a deterministic seeded chaos proxy (resets, stalls,
+//!   latency spikes, truncation, bit-flips) and a replica kill/restart
+//!   orchestrator, turning every resilience claim into a repeatable test.
 //!
 //! Every answer is re-certified server-side ([`uov_core::certify`]) and
 //! carries the certificate's transcript hash, so a client can prove a
@@ -29,18 +36,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod canon;
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod loadgen;
 pub mod plan_cache;
 pub mod proto;
+pub mod resilient;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, ReplicaSet};
 pub use client::Client;
 pub use error::{ErrorCode, ServiceError};
 pub use loadgen::{coalescing_burst, run as run_loadgen, BurstReport, LoadGenConfig, LoadReport};
 pub use plan_cache::{CacheStats, PlanCache, Planned};
 pub use proto::{
-    CacheOutcome, DegradationCode, ObjectiveSpec, PlanRequest, PlanResponse, FLAG_NO_CACHE,
+    CacheOutcome, DegradationCode, HealthResponse, ObjectiveSpec, PlanRequest, PlanResponse,
+    StatsResponse, FLAG_NO_CACHE,
 };
+pub use resilient::{FabricEvent, FailureClass, ResilientClient, ResilientConfig};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

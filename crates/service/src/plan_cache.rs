@@ -22,10 +22,13 @@
 //! that were optimal when computed.
 
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use uov_core::search::try_cost_of;
+use uov_core::wire::{crc32, Decoder, Encoder};
 use uov_core::{fingerprint, Degradation, SearchResult, ShardedLru};
 use uov_isg::{IVec, Stencil};
 
@@ -107,6 +110,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Requests that parked on another request's in-flight search.
     pub coalesced: u64,
+    /// Entries restored from a warm-cache snapshot at startup.
+    pub warm_loaded: u64,
 }
 
 /// Ensures a flight leader that panics or errors before publishing still
@@ -144,6 +149,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    warm_loaded: AtomicU64,
 }
 
 impl PlanCache {
@@ -155,6 +161,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            warm_loaded: AtomicU64::new(0),
         }
     }
 
@@ -164,6 +171,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            warm_loaded: self.warm_loaded.load(Ordering::Relaxed),
         }
     }
 
@@ -333,6 +341,203 @@ impl PlanCache {
     }
 }
 
+// --------------------------------------------------- warm-cache snapshots
+//
+// The snapshot file follows the checkpoint format discipline:
+//
+// ```text
+// magic    b"UOVWARM1"                          8 bytes
+// version  u32 LE (currently 1)                 4 bytes
+// section  tag=1 ‖ len u64 ‖ payload ‖ crc32    (self-checking)
+// ```
+//
+// The payload is a count-prefixed list of entries *sorted by key*, so two
+// drains of the same cache contents produce byte-identical files. Each
+// entry carries the full canonical problem, not just the answer: on load
+// the key is recomputed from the problem and the answer's cost is
+// re-derived, so a snapshot that was tampered with (but re-CRC'd) still
+// cannot inject a wrong plan — at worst an entry is skipped. Legality is
+// re-checked at serve time by the server's per-response certification.
+
+/// Warm-cache snapshot magic.
+const WARM_MAGIC: &[u8; 8] = b"UOVWARM1";
+/// Warm-cache snapshot version.
+const WARM_VERSION: u32 = 1;
+/// Section tag holding the entry list.
+const WARM_TAG_ENTRIES: u8 = 1;
+
+impl CachedPlan {
+    fn encode_into(&self, key: u64, e: &mut Encoder) {
+        e.u64(key);
+        let dim = self.uov.dim();
+        e.u16(dim as u16);
+        e.u32(self.vectors.len() as u32);
+        for v in &self.vectors {
+            e.vec(v);
+        }
+        match &self.objective {
+            ObjectiveSpec::ShortestVector => e.u8(0),
+            ObjectiveSpec::KnownBounds(d) => {
+                e.u8(1);
+                e.vec(d.lo());
+                e.vec(d.hi());
+            }
+        }
+        e.vec(&self.uov);
+        e.u128(self.cost);
+    }
+
+    /// Decode one entry and re-validate it from first principles. `None`
+    /// means the entry is damaged or inconsistent and must be skipped.
+    fn decode_validated(d: &mut Decoder<'_>) -> Option<(u64, CachedPlan)> {
+        let key = d.u64().ok()?;
+        let dim = usize::from(d.u16().ok()?);
+        if dim == 0 {
+            return None;
+        }
+        let nvec = d.u32().ok()? as usize;
+        if nvec.checked_mul(dim)?.checked_mul(8)? > d.remaining() {
+            return None;
+        }
+        let mut vectors = Vec::with_capacity(nvec);
+        for _ in 0..nvec {
+            vectors.push(d.vec(dim).ok()?);
+        }
+        let objective = match d.u8().ok()? {
+            0 => ObjectiveSpec::ShortestVector,
+            1 => {
+                let lo = d.vec(dim).ok()?;
+                let hi = d.vec(dim).ok()?;
+                if (0..dim).any(|k| lo[k] > hi[k]) {
+                    return None;
+                }
+                ObjectiveSpec::KnownBounds(uov_isg::RectDomain::new(lo, hi))
+            }
+            _ => return None,
+        };
+        let uov = d.vec(dim).ok()?;
+        let cost = d.u128().ok()?;
+        // The stored key must be derivable from the stored problem, and
+        // the stored cost from the stored answer.
+        let stencil = Stencil::new(vectors.clone()).ok()?;
+        if stencil.vectors() != vectors.as_slice() {
+            return None;
+        }
+        if fingerprint(&stencil, &objective.as_objective()) != key {
+            return None;
+        }
+        if try_cost_of(&objective.as_objective(), &uov) != Ok(cost) {
+            return None;
+        }
+        Some((
+            key,
+            CachedPlan {
+                vectors,
+                objective,
+                uov,
+                cost,
+            },
+        ))
+    }
+}
+
+impl PlanCache {
+    /// Persist every cached plan to `path` atomically (scratch file,
+    /// fsync, rename). Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the I/O failure; the previous
+    /// snapshot (if any) is left intact.
+    pub fn save(&self, path: &Path) -> Result<u64, String> {
+        let mut entries = self.lru.entries();
+        entries.sort_by_key(|(k, _)| *k);
+
+        let mut body = Encoder::new();
+        body.u64(entries.len() as u64);
+        for (key, plan) in &entries {
+            plan.encode_into(*key, &mut body);
+        }
+        let mut e = Encoder::with_capacity(16 + body.buf.len());
+        e.buf.extend_from_slice(WARM_MAGIC);
+        e.u32(WARM_VERSION);
+        e.section(WARM_TAG_ENTRIES, &body.buf);
+
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let write = (|| -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&e.buf)?;
+            f.sync_all()?;
+            drop(f);
+            fs::rename(&tmp, path)
+        })();
+        if let Err(err) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(format!("warm-cache save to {}: {err}", path.display()));
+        }
+        Ok(entries.len() as u64)
+    }
+
+    /// Restore plans from a snapshot written by [`PlanCache::save`].
+    /// Damaged or inconsistent entries are skipped, never served; a
+    /// missing file restores zero entries and is not an error. Returns
+    /// the number of entries restored (also visible as
+    /// [`CacheStats::warm_loaded`]).
+    ///
+    /// # Errors
+    ///
+    /// A description of why the file as a whole is unreadable (I/O
+    /// failure, wrong magic/version, section CRC mismatch).
+    pub fn load(&self, path: &Path) -> Result<u64, String> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(format!("warm-cache read {}: {e}", path.display())),
+        };
+        let mut d = Decoder::new(&bytes);
+        if d.take(8).ok() != Some(WARM_MAGIC.as_slice()) {
+            return Err("warm-cache snapshot has wrong magic".into());
+        }
+        let version = d.u32().map_err(|e| e.to_string())?;
+        if version != WARM_VERSION {
+            return Err(format!("unsupported warm-cache version {version}"));
+        }
+        // Section framing: tag ‖ len ‖ payload ‖ crc32(tag ‖ len ‖ payload).
+        let section_start = d.pos;
+        let tag = d.u8().map_err(|e| e.to_string())?;
+        let len = d.u64().map_err(|e| e.to_string())? as usize;
+        let payload = d.take(len).map_err(|e| e.to_string())?;
+        let declared = d.u32().map_err(|e| e.to_string())?;
+        if crc32(&bytes[section_start..section_start + 1 + 8 + len]) != declared {
+            return Err("warm-cache section failed its CRC32 check".into());
+        }
+        if tag != WARM_TAG_ENTRIES {
+            // An unknown section from a future writer: nothing to restore.
+            return Ok(0);
+        }
+
+        let mut body = Decoder::new(payload);
+        let count = body.u64().map_err(|e| e.to_string())?;
+        let mut restored = 0u64;
+        for _ in 0..count {
+            match CachedPlan::decode_validated(&mut body) {
+                Some((key, plan)) => {
+                    self.lru.insert(key, plan);
+                    restored += 1;
+                }
+                // One damaged entry poisons the cursor position, so stop
+                // rather than misread the rest as garbage entries.
+                None => break,
+            }
+        }
+        self.warm_loaded.fetch_add(restored, Ordering::Relaxed);
+        Ok(restored)
+    }
+}
+
 impl Default for PlanCache {
     fn default() -> Self {
         PlanCache::new(DEFAULT_CACHE_CAPACITY)
@@ -462,6 +667,78 @@ mod tests {
             .unwrap();
         assert_eq!(ok.cache, CacheOutcome::Miss);
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn warm_snapshot_round_trips_and_serves_hits() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "uov-warm-test-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let cache = PlanCache::new(16);
+        let calls = AtomicUsize::new(0);
+        let solve = counting_solver(&calls);
+        let cold = cache
+            .plan(&fig1(), &ObjectiveSpec::ShortestVector, &solve)
+            .unwrap();
+        let written = cache.save(&path).unwrap();
+        assert_eq!(written, 1);
+        // Byte-determinism: saving the same contents again is identical.
+        let first = std::fs::read(&path).unwrap();
+        cache.save(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+
+        // A fresh cache restored from the snapshot hits without solving.
+        let warm = PlanCache::new(16);
+        assert_eq!(warm.load(&path).unwrap(), 1);
+        assert_eq!(warm.stats().warm_loaded, 1);
+        let calls2 = AtomicUsize::new(0);
+        let solve2 = counting_solver(&calls2);
+        let hit = warm
+            .plan(&fig1(), &ObjectiveSpec::ShortestVector, &solve2)
+            .unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!(calls2.load(Ordering::SeqCst), 0);
+        assert_eq!((hit.uov, hit.cost), (cold.uov, cold.cost));
+
+        // Loading a missing file restores nothing and is not an error.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(PlanCache::new(4).load(&path).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupt_warm_snapshot_is_rejected_not_served() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "uov-warm-corrupt-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cache = PlanCache::new(16);
+        let calls = AtomicUsize::new(0);
+        let solve = counting_solver(&calls);
+        cache
+            .plan(&fig1(), &ObjectiveSpec::ShortestVector, &solve)
+            .unwrap();
+        cache.save(&path).unwrap();
+
+        // Flip one payload bit: the section CRC must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let warm = PlanCache::new(16);
+        assert!(warm.load(&path).is_err());
+        assert_eq!(warm.stats().warm_loaded, 0);
+
+        // Wrong magic is a typed failure too.
+        std::fs::write(&path, b"NOTAWARM").unwrap();
+        assert!(PlanCache::new(4).load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

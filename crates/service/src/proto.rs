@@ -50,6 +50,15 @@ pub mod kind {
     pub const REQ_SHUTDOWN: u8 = 4;
     /// Server → client: shutdown acknowledged.
     pub const RESP_SHUTDOWN_ACK: u8 = 5;
+    /// Client → server: liveness/readiness probe. Answered even during a
+    /// drain, so orchestrators can watch a replica all the way down.
+    pub const REQ_HEALTH: u8 = 6;
+    /// Server → client: health report.
+    pub const RESP_HEALTH: u8 = 7;
+    /// Client → server: counter snapshot probe (also answered mid-drain).
+    pub const REQ_STATS: u8 = 8;
+    /// Server → client: server + cache counter snapshot.
+    pub const RESP_STATS: u8 = 9;
 }
 
 /// What the request wants minimised — an owned mirror of
@@ -198,6 +207,173 @@ pub struct ErrorResponse {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub msg: String,
+}
+
+/// A liveness/readiness report (the frame body of a `RESP_HEALTH`).
+///
+/// Liveness is implied by the answer arriving at all; `ready` is the
+/// admission signal: the worker pool is up and the connection queue is
+/// below its high-water mark, so a new request is likely to be served
+/// rather than shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthResponse {
+    /// Whether the replica should receive new traffic.
+    pub ready: bool,
+    /// Whether a graceful drain has begun.
+    pub draining: bool,
+    /// Worker threads currently alive.
+    pub workers_alive: u32,
+    /// Connections waiting in the bounded queue.
+    pub queue_len: u32,
+    /// The queue's capacity (its high-water mark).
+    pub queue_depth: u32,
+}
+
+impl HealthResponse {
+    /// Serialize the health payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(16);
+        e.u8(u8::from(self.ready));
+        e.u8(u8::from(self.draining));
+        e.u32(self.workers_alive);
+        e.u32(self.queue_len);
+        e.u32(self.queue_depth);
+        e.buf
+    }
+
+    /// Decode a `RESP_HEALTH` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on non-boolean flags or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let ready = match d.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(ServiceError::Malformed(format!("bad ready flag {v}"))),
+        };
+        let draining = match d.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(ServiceError::Malformed(format!("bad draining flag {v}"))),
+        };
+        let workers_alive = d.u32()?;
+        let queue_len = d.u32()?;
+        let queue_depth = d.u32()?;
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed("trailing bytes in health".into()));
+        }
+        Ok(HealthResponse {
+            ready,
+            draining,
+            workers_alive,
+            queue_len,
+            queue_depth,
+        })
+    }
+}
+
+/// A counter snapshot (the frame body of a `RESP_STATS`): the server's
+/// traffic and fault counters plus the plan cache's counters, so chaos
+/// tests can assert on *server-observed* fault counts instead of
+/// inferring them from client-side behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsResponse {
+    /// The server's monotone traffic/fault counters.
+    pub server: crate::server::ServerStats,
+    /// The plan cache's monotone counters.
+    pub cache: crate::plan_cache::CacheStats,
+}
+
+impl StatsResponse {
+    /// Serialize the stats payload. Fields travel as a count-prefixed
+    /// list of `u64`s in declaration order, so an older client can read
+    /// the counters it knows and skip the rest.
+    pub fn encode(&self) -> Vec<u8> {
+        let s = &self.server;
+        let c = &self.cache;
+        let fields = [
+            s.connections,
+            s.rejected_overloaded,
+            s.requests,
+            s.responses,
+            s.protocol_errors,
+            s.rejected_shutdown,
+            s.panics,
+            s.crc_failures,
+            s.bad_magic,
+            s.bad_version,
+            s.oversized_frames,
+            s.watchdog_cancels,
+            s.worker_restarts,
+            c.hits,
+            c.misses,
+            c.coalesced,
+            c.warm_loaded,
+        ];
+        let mut e = Encoder::with_capacity(4 + 8 * fields.len());
+        e.u32(fields.len() as u32);
+        for v in fields {
+            e.u64(v);
+        }
+        e.buf
+    }
+
+    /// Decode a `RESP_STATS` payload. Unknown trailing counters from a
+    /// newer server are tolerated; missing counters read as zero.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation,
+    /// [`ServiceError::Malformed`] when the declared count exceeds the
+    /// payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let n = d.u32()? as usize;
+        let need = n
+            .checked_mul(8)
+            .ok_or_else(|| ServiceError::Malformed("counter count overflows".into()))?;
+        if need > d.remaining() {
+            return Err(ServiceError::Malformed(
+                "declared counters exceed the payload".into(),
+            ));
+        }
+        let mut fields = [0u64; 17];
+        for (i, slot) in fields.iter_mut().enumerate() {
+            if i < n {
+                *slot = d.u64()?;
+            }
+        }
+        // Skip counters this build does not know about.
+        for _ in fields.len()..n {
+            let _ = d.u64()?;
+        }
+        Ok(StatsResponse {
+            server: crate::server::ServerStats {
+                connections: fields[0],
+                rejected_overloaded: fields[1],
+                requests: fields[2],
+                responses: fields[3],
+                protocol_errors: fields[4],
+                rejected_shutdown: fields[5],
+                panics: fields[6],
+                crc_failures: fields[7],
+                bad_magic: fields[8],
+                bad_version: fields[9],
+                oversized_frames: fields[10],
+                watchdog_cancels: fields[11],
+                worker_restarts: fields[12],
+            },
+            cache: crate::plan_cache::CacheStats {
+                hits: fields[13],
+                misses: fields[14],
+                coalesced: fields[15],
+                warm_loaded: fields[16],
+            },
+        })
+    }
 }
 
 // ---------------------------------------------------------------- frames
@@ -511,6 +687,64 @@ mod tests {
             msg: "queue full".into(),
         };
         assert_eq!(ErrorResponse::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn health_round_trips() {
+        let h = HealthResponse {
+            ready: true,
+            draining: false,
+            workers_alive: 4,
+            queue_len: 3,
+            queue_depth: 64,
+        };
+        assert_eq!(HealthResponse::decode(&h.encode()).unwrap(), h);
+        let mut bad = h.encode();
+        bad[0] = 7;
+        assert!(matches!(
+            HealthResponse::decode(&bad),
+            Err(ServiceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stats_round_trip_and_tolerate_extra_counters() {
+        let s = StatsResponse {
+            server: crate::server::ServerStats {
+                connections: 1,
+                rejected_overloaded: 2,
+                requests: 3,
+                responses: 4,
+                protocol_errors: 5,
+                rejected_shutdown: 6,
+                panics: 7,
+                crc_failures: 8,
+                bad_magic: 9,
+                bad_version: 10,
+                oversized_frames: 11,
+                watchdog_cancels: 12,
+                worker_restarts: 13,
+            },
+            cache: crate::plan_cache::CacheStats {
+                hits: 14,
+                misses: 15,
+                coalesced: 16,
+                warm_loaded: 17,
+            },
+        };
+        assert_eq!(StatsResponse::decode(&s.encode()).unwrap(), s);
+        // A future server appending a counter must not break this build.
+        let mut extended = s.encode();
+        extended[0..4].copy_from_slice(&18u32.to_le_bytes());
+        extended.extend_from_slice(&99u64.to_le_bytes());
+        assert_eq!(StatsResponse::decode(&extended).unwrap(), s);
+        // A hostile count is rejected before any allocation.
+        let mut hostile = s.encode();
+        hostile[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            StatsResponse::decode(&hostile),
+            Err(ServiceError::Malformed(_))
+        ));
     }
 
     #[test]

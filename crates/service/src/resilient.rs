@@ -1,0 +1,858 @@
+//! A resilient planning client over an ordered list of replicas.
+//!
+//! [`ResilientClient`] wraps one [`Client`] per replica and layers the
+//! fabric policies on top:
+//!
+//! * **Retry with deterministic backoff** — each failed attempt waits an
+//!   exponentially growing interval with jitter drawn from a seeded
+//!   generator, so two runs with the same seed back off identically.
+//! * **Per-replica circuit breaker** — `failure_threshold` consecutive
+//!   failures open a replica's breaker; while open, the replica is
+//!   skipped. The cooldown is counted in *selection rounds*, not wall
+//!   time, so breaker transitions replay deterministically. After the
+//!   cooldown the breaker goes half-open: one probe request either
+//!   closes it or re-opens it.
+//! * **Hedged requests** — optionally, when a primary has not answered
+//!   within `hedge_after`, the same request is fired at the next
+//!   admissible replica and the first certified response wins. This is
+//!   safe because planning is idempotent and every response carries its
+//!   certificate's transcript hash; with [`ResilientConfig::hedge_verify`]
+//!   both responses are awaited and compared, and a hash mismatch is the
+//!   hard typed error [`ServiceError::ReplicaDivergence`] — the fabric
+//!   never silently picks one of two disagreeing replicas.
+//!
+//! Every decision the fabric takes is appended to an event log of
+//! [`FabricEvent`]s that deliberately records *choices, never wall-clock
+//! readings*, so a chaos run can be replayed under the same seed and the
+//! two logs diffed for equality.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::error::{ErrorCode, ServiceError};
+use crate::proto::{PlanRequest, PlanResponse};
+
+/// Tunables for [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Read timeout for each individual attempt.
+    pub attempt_timeout: Duration,
+    /// Total attempts (across all replicas) before giving up with
+    /// [`ServiceError::FabricExhausted`].
+    pub max_attempts: u32,
+    /// First backoff interval; attempt `k` waits ~`base · 2ᵏ` (jittered).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed for the jitter generator; the complete retry/backoff/breaker
+    /// schedule is a pure function of this seed and the failure pattern.
+    pub seed: u64,
+    /// Consecutive failures that open a replica's circuit breaker.
+    pub failure_threshold: u32,
+    /// Selection rounds an open breaker stays open before going
+    /// half-open. Counted in rounds, not wall time, for replayability.
+    pub cooldown: u32,
+    /// Fire a hedge request at the next admissible replica when the
+    /// primary has not answered within this delay. `None` disables
+    /// hedging.
+    pub hedge_after: Option<Duration>,
+    /// When hedging, wait for *both* responses and fail hard with
+    /// [`ServiceError::ReplicaDivergence`] if their transcript hashes
+    /// disagree, instead of returning the first and discarding the
+    /// second. Costs latency; buys byzantine-replica detection.
+    pub hedge_verify: bool,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            attempt_timeout: Duration::from_secs(2),
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(200),
+            seed: 0x5EED,
+            failure_threshold: 3,
+            cooldown: 4,
+            hedge_after: None,
+            hedge_verify: false,
+        }
+    }
+}
+
+/// Why an attempt failed, coarse enough to be schedule-deterministic:
+/// connection resets and torn frames both class as [`FailureClass::Transport`]
+/// because which of the two an aborted connection surfaces is an OS-level
+/// race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The replica could not be dialed.
+    Connect,
+    /// The attempt timed out waiting for a response.
+    Timeout,
+    /// The transport failed mid-exchange (reset, torn frame, CRC damage,
+    /// protocol violation).
+    Transport,
+    /// The server answered with a retryable typed rejection (overload,
+    /// drain, transit corruption, internal failure).
+    Rejected,
+}
+
+/// One fabric decision. The log records *what was decided*, never how
+/// long anything took, so logs from two runs with the same seed and the
+/// same fault schedule are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// An attempt began against a replica.
+    Attempt {
+        /// Zero-based attempt number within one `plan` call.
+        attempt: u32,
+        /// Replica index the attempt targets.
+        replica: usize,
+    },
+    /// The attempt succeeded.
+    Success {
+        /// Replica that answered.
+        replica: usize,
+    },
+    /// The attempt failed.
+    Failure {
+        /// Replica that failed.
+        replica: usize,
+        /// Failure class.
+        class: FailureClass,
+    },
+    /// The fabric slept before the next attempt.
+    Backoff {
+        /// The attempt that just failed.
+        attempt: u32,
+        /// The jittered interval, in milliseconds.
+        ms: u64,
+    },
+    /// A replica's breaker opened (failure threshold reached).
+    BreakerOpened {
+        /// The replica.
+        replica: usize,
+    },
+    /// A replica's breaker aged out of its cooldown and will admit one
+    /// probe request.
+    BreakerHalfOpen {
+        /// The replica.
+        replica: usize,
+    },
+    /// A half-open probe succeeded; the replica is healthy again.
+    BreakerClosed {
+        /// The replica.
+        replica: usize,
+    },
+    /// The primary was slow; a hedge fired at a second replica.
+    HedgeFired {
+        /// The slow primary.
+        primary: usize,
+        /// The hedge target.
+        secondary: usize,
+    },
+    /// A hedged attempt resolved; this replica's response was taken.
+    HedgeWinner {
+        /// The winning replica.
+        replica: usize,
+    },
+}
+
+/// Circuit breaker state for one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed { failures: u32 },
+    Open { remaining: u32 },
+    HalfOpen,
+}
+
+struct Replica {
+    endpoint: String,
+    conn: Option<Client>,
+    breaker: Breaker,
+}
+
+/// The deterministic xorshift64 generator used for backoff jitter.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A planning client over an ordered replica list with retry, backoff,
+/// circuit breaking, and optional hedging (see the module docs).
+pub struct ResilientClient {
+    replicas: Vec<Replica>,
+    cfg: ResilientConfig,
+    rng: XorShift64,
+    events: Vec<FabricEvent>,
+}
+
+impl ResilientClient {
+    /// A fabric over `endpoints`, in preference order (index 0 is tried
+    /// first while healthy). Connections are dialed lazily, so replicas
+    /// may be down at construction time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Malformed`] if `endpoints` is empty.
+    pub fn new(endpoints: &[String], cfg: ResilientConfig) -> Result<Self, ServiceError> {
+        if endpoints.is_empty() {
+            return Err(ServiceError::Malformed("no replica endpoints".into()));
+        }
+        let seed = cfg.seed;
+        Ok(ResilientClient {
+            replicas: endpoints
+                .iter()
+                .map(|e| Replica {
+                    endpoint: e.clone(),
+                    conn: None,
+                    breaker: Breaker::Closed { failures: 0 },
+                })
+                .collect(),
+            cfg,
+            rng: XorShift64::new(seed),
+            events: Vec::new(),
+        })
+    }
+
+    /// The decision log accumulated so far.
+    pub fn events(&self) -> &[FabricEvent] {
+        &self.events
+    }
+
+    /// Drain and return the decision log.
+    pub fn take_events(&mut self) -> Vec<FabricEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Plan through the fabric: try replicas in breaker-aware order with
+    /// per-attempt timeouts, backing off between failures, hedging when
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::FabricExhausted`] when every attempt failed;
+    /// [`ServiceError::ReplicaDivergence`] when verified hedging caught
+    /// replicas disagreeing; a non-retryable server rejection
+    /// (`Malformed`, `Unsupported`) immediately as
+    /// [`ServiceError::Rejected`].
+    pub fn plan(&mut self, req: &PlanRequest) -> Result<PlanResponse, ServiceError> {
+        let max_attempts = self.cfg.max_attempts.max(1);
+        let mut last: Option<ServiceError> = None;
+        for attempt in 0..max_attempts {
+            let primary = self.select_replica();
+            self.events.push(FabricEvent::Attempt {
+                attempt,
+                replica: primary,
+            });
+            let outcome = match self.hedge_target(primary) {
+                Some(secondary) => self.attempt_hedged(primary, secondary, req),
+                None => match self.attempt_single(primary, req) {
+                    Ok(resp) => {
+                        self.on_success(primary);
+                        Ok(resp)
+                    }
+                    Err(e) => {
+                        self.on_failure(primary, FailureClass::of(&e));
+                        Err(e)
+                    }
+                },
+            };
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) if Self::is_hard(&e) => return Err(e),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < max_attempts {
+                let ms = self.backoff_ms(attempt);
+                self.events.push(FabricEvent::Backoff { attempt, ms });
+                if ms > 0 {
+                    thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+        Err(ServiceError::FabricExhausted {
+            attempts: max_attempts,
+            last: Box::new(last.unwrap_or(ServiceError::ConnectionClosed)),
+        })
+    }
+
+    /// Whether retrying cannot possibly help: the server understood the
+    /// request and rejected its *content*, or replicas disagreed.
+    fn is_hard(e: &ServiceError) -> bool {
+        match e {
+            ServiceError::Rejected { code, .. } => {
+                matches!(code, ErrorCode::Malformed | ErrorCode::Unsupported)
+            }
+            ServiceError::ReplicaDivergence { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Age open breakers by one round, then pick the first admissible
+    /// replica in preference order. When every breaker is open, the one
+    /// closest to its cooldown's end is forced half-open — the fabric
+    /// degrades to probing rather than refusing to try at all.
+    fn select_replica(&mut self) -> usize {
+        for i in 0..self.replicas.len() {
+            if let Breaker::Open { remaining } = self.replicas[i].breaker {
+                let remaining = remaining.saturating_sub(1);
+                if remaining == 0 {
+                    self.replicas[i].breaker = Breaker::HalfOpen;
+                    self.events
+                        .push(FabricEvent::BreakerHalfOpen { replica: i });
+                } else {
+                    self.replicas[i].breaker = Breaker::Open { remaining };
+                }
+            }
+        }
+        if let Some(i) = self
+            .replicas
+            .iter()
+            .position(|r| !matches!(r.breaker, Breaker::Open { .. }))
+        {
+            return i;
+        }
+        let i = (0..self.replicas.len())
+            .min_by_key(|&i| match self.replicas[i].breaker {
+                Breaker::Open { remaining } => remaining,
+                _ => 0,
+            })
+            .unwrap_or(0);
+        self.replicas[i].breaker = Breaker::HalfOpen;
+        self.events
+            .push(FabricEvent::BreakerHalfOpen { replica: i });
+        i
+    }
+
+    /// The hedge target for `primary`: the first other replica whose
+    /// breaker admits traffic, when hedging is enabled.
+    fn hedge_target(&self, primary: usize) -> Option<usize> {
+        self.cfg.hedge_after?;
+        (0..self.replicas.len())
+            .find(|&i| i != primary && !matches!(self.replicas[i].breaker, Breaker::Open { .. }))
+    }
+
+    /// Take (or lazily dial) a replica's connection.
+    fn take_conn(&mut self, idx: usize) -> Result<Client, ServiceError> {
+        match self.replicas[idx].conn.take() {
+            Some(c) => Ok(c),
+            None => {
+                let mut c = Client::connect(&self.replicas[idx].endpoint)?;
+                c.set_timeout(Some(self.cfg.attempt_timeout))?;
+                Ok(c)
+            }
+        }
+    }
+
+    /// Return a connection after an exchange, unless the failure means
+    /// the transport is suspect (anything but a typed server rejection).
+    fn put_conn(&mut self, idx: usize, conn: Client, healthy: bool) {
+        if healthy {
+            self.replicas[idx].conn = Some(conn);
+        }
+    }
+
+    fn attempt_single(
+        &mut self,
+        idx: usize,
+        req: &PlanRequest,
+    ) -> Result<PlanResponse, ServiceError> {
+        let mut client = self.take_conn(idx)?;
+        client.set_timeout(Some(self.cfg.attempt_timeout))?;
+        match client.plan(req) {
+            Ok(resp) => {
+                self.put_conn(idx, client, true);
+                Ok(resp)
+            }
+            Err(e) => {
+                // A typed rejection travelled over a working transport;
+                // keep the connection. Anything else: drop it.
+                let healthy = matches!(e, ServiceError::Rejected { .. });
+                self.put_conn(idx, client, healthy);
+                Err(e)
+            }
+        }
+    }
+
+    /// One hedged attempt: run the primary in a helper thread, fire the
+    /// secondary if the primary is silent past `hedge_after`, take the
+    /// first success (verify mode: await both and compare transcript
+    /// hashes). All breaker/event bookkeeping for both replicas happens
+    /// here, on the calling thread, in a deterministic order.
+    fn attempt_hedged(
+        &mut self,
+        primary: usize,
+        secondary: usize,
+        req: &PlanRequest,
+    ) -> Result<PlanResponse, ServiceError> {
+        let hedge_after = self.cfg.hedge_after.unwrap_or(self.cfg.attempt_timeout);
+        let timeout = self.cfg.attempt_timeout;
+
+        let mut pclient = match self.take_conn(primary) {
+            Ok(c) => c,
+            Err(e) => {
+                // The primary cannot even be dialed: fail the attempt
+                // plainly; the retry loop will rotate to the secondary.
+                self.on_failure(primary, FailureClass::Connect);
+                return Err(e);
+            }
+        };
+        let _ = pclient.set_timeout(Some(timeout));
+
+        type Arrival = (usize, Result<PlanResponse, ServiceError>, Option<Client>);
+        let (tx, rx) = mpsc::channel::<Arrival>();
+        let ptx = tx.clone();
+        let preq = req.clone();
+        let pidx = primary;
+        thread::spawn(move || {
+            let r = pclient.plan(&preq);
+            let _ = ptx.send((pidx, r, Some(pclient)));
+        });
+
+        // Happy path: the primary answers before the hedge delay.
+        match rx.recv_timeout(hedge_after) {
+            Ok(arrival) => return self.settle_unhedged(arrival),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.on_failure(primary, FailureClass::Transport);
+                return Err(ServiceError::ConnectionClosed);
+            }
+        }
+
+        self.events
+            .push(FabricEvent::HedgeFired { primary, secondary });
+        let stx = tx;
+        let sreq = req.clone();
+        let sidx = secondary;
+        let sendpoint = self.replicas[secondary].endpoint.clone();
+        thread::spawn(move || {
+            let r = (|| {
+                let mut c = Client::connect(&sendpoint)?;
+                c.set_timeout(Some(timeout))?;
+                let resp = c.plan(&sreq);
+                Ok::<Arrival, ServiceError>((sidx, resp, Some(c)))
+            })();
+            let _ = stx.send(match r {
+                Ok(arrival) => arrival,
+                Err(dial) => (sidx, Err(dial), None),
+            });
+        });
+
+        // Collect until the attempt window closes. In verify mode both
+        // results are awaited (byzantine detection); otherwise the first
+        // success wins and the loser is abandoned.
+        let deadline = Instant::now() + timeout + hedge_after;
+        let mut winner: Option<(usize, PlanResponse)> = None;
+        let mut failures: Vec<(usize, ServiceError)> = Vec::new();
+        let mut arrived = 0u32;
+        while arrived < 2 {
+            let budget = deadline.saturating_duration_since(Instant::now());
+            if budget.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(budget) {
+                Ok((idx, result, conn)) => {
+                    arrived += 1;
+                    match result {
+                        Ok(resp) => {
+                            if let Some(c) = conn {
+                                self.put_conn(idx, c, true);
+                            }
+                            match &winner {
+                                None => {
+                                    winner = Some((idx, resp));
+                                    if !self.cfg.hedge_verify {
+                                        break;
+                                    }
+                                }
+                                Some((_, first)) => {
+                                    if (first.uov.clone(), first.cost, first.certificate_hash)
+                                        != (resp.uov.clone(), resp.cost, resp.certificate_hash)
+                                    {
+                                        // Hard error: two certified
+                                        // answers disagree.
+                                        let (a, b) =
+                                            (first.certificate_hash, resp.certificate_hash);
+                                        self.on_failure(idx, FailureClass::Rejected);
+                                        return Err(ServiceError::ReplicaDivergence { a, b });
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => failures.push((idx, e)),
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+
+        match winner {
+            Some((idx, resp)) => {
+                self.events.push(FabricEvent::HedgeWinner { replica: idx });
+                self.on_success(idx);
+                // The loser either failed outright or never answered
+                // within the window; both count against its breaker.
+                let loser = if idx == primary { secondary } else { primary };
+                if let Some((_, e)) = failures.iter().find(|(i, _)| *i == loser) {
+                    let class = FailureClass::of(e);
+                    self.on_failure(loser, class);
+                } else if arrived < 2 {
+                    self.on_failure(loser, FailureClass::Timeout);
+                }
+                Ok(resp)
+            }
+            None => {
+                // No success: charge every replica that failed, and any
+                // that never answered, then surface the last failure.
+                let mut last: Option<ServiceError> = None;
+                for idx in [primary, secondary] {
+                    match failures.iter().position(|(i, _)| *i == idx) {
+                        Some(at) => {
+                            let (_, e) = failures.swap_remove(at);
+                            self.on_failure(idx, FailureClass::of(&e));
+                            last = Some(e);
+                        }
+                        None => self.on_failure(idx, FailureClass::Timeout),
+                    }
+                }
+                Err(last.unwrap_or_else(|| {
+                    ServiceError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "hedged attempt timed out on both replicas",
+                    ))
+                }))
+            }
+        }
+    }
+
+    /// The primary answered before the hedge fired: ordinary single-path
+    /// bookkeeping.
+    fn settle_unhedged(
+        &mut self,
+        (idx, result, conn): (usize, Result<PlanResponse, ServiceError>, Option<Client>),
+    ) -> Result<PlanResponse, ServiceError> {
+        match result {
+            Ok(resp) => {
+                if let Some(c) = conn {
+                    self.put_conn(idx, c, true);
+                }
+                self.on_success(idx);
+                Ok(resp)
+            }
+            Err(e) => {
+                if let Some(c) = conn {
+                    let healthy = matches!(e, ServiceError::Rejected { .. });
+                    self.put_conn(idx, c, healthy);
+                }
+                self.on_failure(idx, FailureClass::of(&e));
+                Err(e)
+            }
+        }
+    }
+
+    fn on_success(&mut self, idx: usize) {
+        self.events.push(FabricEvent::Success { replica: idx });
+        let recovered = !matches!(self.replicas[idx].breaker, Breaker::Closed { .. });
+        self.replicas[idx].breaker = Breaker::Closed { failures: 0 };
+        if recovered {
+            self.events
+                .push(FabricEvent::BreakerClosed { replica: idx });
+        }
+    }
+
+    fn on_failure(&mut self, idx: usize, class: FailureClass) {
+        self.events.push(FabricEvent::Failure {
+            replica: idx,
+            class,
+        });
+        let cooldown = self.cfg.cooldown.max(1);
+        let threshold = self.cfg.failure_threshold.max(1);
+        match self.replicas[idx].breaker {
+            Breaker::HalfOpen => {
+                // The probe failed: straight back to open.
+                self.replicas[idx].breaker = Breaker::Open {
+                    remaining: cooldown,
+                };
+                self.events
+                    .push(FabricEvent::BreakerOpened { replica: idx });
+            }
+            Breaker::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= threshold {
+                    self.replicas[idx].breaker = Breaker::Open {
+                        remaining: cooldown,
+                    };
+                    self.events
+                        .push(FabricEvent::BreakerOpened { replica: idx });
+                } else {
+                    self.replicas[idx].breaker = Breaker::Closed { failures };
+                }
+            }
+            Breaker::Open { .. } => {}
+        }
+        // The transport is suspect on every failure class except a typed
+        // rejection, which proves the connection works.
+        if class != FailureClass::Rejected {
+            self.replicas[idx].conn = None;
+        }
+    }
+
+    fn backoff_ms(&mut self, attempt: u32) -> u64 {
+        let base = self.cfg.backoff_base.as_millis() as u64;
+        let cap = (self.cfg.backoff_max.as_millis() as u64).max(base);
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        // Deterministic jitter in [exp/2, exp]: enough spread to avoid
+        // thundering herds, reproducible under the seed.
+        let half = exp / 2;
+        half + self.rng.next() % (exp - half + 1)
+    }
+}
+
+impl FailureClass {
+    /// Classify a failure coarsely (see the type docs).
+    fn of(e: &ServiceError) -> Self {
+        match e {
+            ServiceError::Io(io) => match io.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    FailureClass::Timeout
+                }
+                std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::NotFound => {
+                    FailureClass::Connect
+                }
+                _ => FailureClass::Transport,
+            },
+            ServiceError::Rejected { .. } => FailureClass::Rejected,
+            _ => FailureClass::Transport,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{kind, read_frame, write_frame, ObjectiveSpec};
+    use crate::server::{serve, ServerConfig};
+    use std::net::TcpListener;
+    use uov_isg::{ivec, Stencil};
+
+    fn fig1_request() -> PlanRequest {
+        PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        }
+    }
+
+    fn quick_cfg() -> ResilientConfig {
+        ResilientConfig {
+            attempt_timeout: Duration::from_millis(500),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            ..ResilientConfig::default()
+        }
+    }
+
+    /// A dead endpoint: bound, never accepted-from, then dropped so
+    /// connections are refused.
+    fn dead_endpoint() -> String {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ep = l.local_addr().unwrap().to_string();
+        drop(l);
+        ep
+    }
+
+    #[test]
+    fn fails_over_to_the_second_replica() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let endpoints = vec![dead_endpoint(), server.endpoint().to_string()];
+        let mut fabric = ResilientClient::new(&endpoints, quick_cfg()).unwrap();
+        let resp = fabric.plan(&fig1_request()).unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+        let events = fabric.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::Failure { replica: 0, .. })));
+        assert!(events.contains(&FabricEvent::Success { replica: 1 }));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn breaker_opens_skips_and_probes_half_open() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let endpoints = vec![dead_endpoint(), server.endpoint().to_string()];
+        let cfg = ResilientConfig {
+            failure_threshold: 2,
+            cooldown: 3,
+            ..quick_cfg()
+        };
+        let mut fabric = ResilientClient::new(&endpoints, cfg).unwrap();
+        for _ in 0..6 {
+            fabric.plan(&fig1_request()).unwrap();
+        }
+        let events = fabric.take_events();
+        assert!(
+            events.contains(&FabricEvent::BreakerOpened { replica: 0 }),
+            "dead replica's breaker never opened: {events:?}"
+        );
+        // While replica 0 is open, attempts go straight to replica 1.
+        let opened = events
+            .iter()
+            .position(|e| *e == FabricEvent::BreakerOpened { replica: 0 })
+            .unwrap();
+        let next_attempt = events[opened..]
+            .iter()
+            .find_map(|e| match e {
+                FabricEvent::Attempt { replica, .. } => Some(*replica),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(next_attempt, 1, "open breaker was not skipped");
+        // Eventually the cooldown elapses and the dead replica is probed.
+        assert!(
+            events.contains(&FabricEvent::BreakerHalfOpen { replica: 0 }),
+            "breaker never went half-open: {events:?}"
+        );
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn schedule_replays_identically_for_a_seed() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let run = |seed: u64| {
+            let endpoints = vec![dead_endpoint(), server.endpoint().to_string()];
+            // The dead endpoint differs per run, but its failure pattern
+            // (connection refused every time) does not.
+            let cfg = ResilientConfig {
+                seed,
+                failure_threshold: 2,
+                cooldown: 2,
+                ..quick_cfg()
+            };
+            let mut fabric = ResilientClient::new(&endpoints, cfg).unwrap();
+            for _ in 0..5 {
+                fabric.plan(&fig1_request()).unwrap();
+            }
+            fabric.take_events()
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        server.shutdown();
+        server.join();
+    }
+
+    /// A fake replica that speaks the protocol but answers every plan
+    /// with a fixed bogus response after a delay.
+    fn lying_server(delay: Duration) -> String {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ep = l.local_addr().unwrap().to_string();
+        thread::spawn(move || {
+            while let Ok((mut s, _)) = l.accept() {
+                let resp = PlanResponse {
+                    uov: ivec![9, 9],
+                    cost: 999,
+                    certificate_hash: 0xBAD0_BAD0,
+                    degradation: crate::proto::DegradationCode::None,
+                    cache: crate::proto::CacheOutcome::Miss,
+                };
+                thread::spawn(move || {
+                    while let Ok(Some((kind::REQ_PLAN, _))) = read_frame(&mut s) {
+                        thread::sleep(delay);
+                        if write_frame(&mut s, kind::RESP_PLAN, &resp.encode()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        ep
+    }
+
+    #[test]
+    fn verified_hedging_turns_divergence_into_a_hard_error() {
+        let honest = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        // Primary lies slowly; the hedge fires and the honest secondary
+        // answers; verification then catches the divergence.
+        let endpoints = vec![
+            lying_server(Duration::from_millis(250)),
+            honest.endpoint().to_string(),
+        ];
+        let cfg = ResilientConfig {
+            hedge_after: Some(Duration::from_millis(50)),
+            hedge_verify: true,
+            attempt_timeout: Duration::from_secs(2),
+            max_attempts: 1,
+            ..quick_cfg()
+        };
+        let mut fabric = ResilientClient::new(&endpoints, cfg).unwrap();
+        match fabric.plan(&fig1_request()) {
+            Err(ServiceError::ReplicaDivergence { .. }) => {}
+            other => panic!("expected ReplicaDivergence, got {other:?}"),
+        }
+        assert!(fabric
+            .events()
+            .iter()
+            .any(|e| matches!(e, FabricEvent::HedgeFired { .. })));
+        honest.shutdown();
+        honest.join();
+    }
+
+    #[test]
+    fn hedging_takes_the_fast_replica_when_the_primary_stalls() {
+        let honest = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        // The primary answers far too slowly; the hedge must win.
+        let endpoints = vec![
+            lying_server(Duration::from_secs(30)),
+            honest.endpoint().to_string(),
+        ];
+        let cfg = ResilientConfig {
+            hedge_after: Some(Duration::from_millis(50)),
+            attempt_timeout: Duration::from_millis(800),
+            max_attempts: 2,
+            ..quick_cfg()
+        };
+        let mut fabric = ResilientClient::new(&endpoints, cfg).unwrap();
+        let resp = fabric.plan(&fig1_request()).unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+        assert!(fabric
+            .events()
+            .contains(&FabricEvent::HedgeWinner { replica: 1 }));
+        honest.shutdown();
+        honest.join();
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_with_the_last_cause() {
+        let endpoints = vec![dead_endpoint()];
+        let cfg = ResilientConfig {
+            max_attempts: 3,
+            ..quick_cfg()
+        };
+        let mut fabric = ResilientClient::new(&endpoints, cfg).unwrap();
+        match fabric.plan(&fig1_request()) {
+            Err(ServiceError::FabricExhausted { attempts: 3, .. }) => {}
+            other => panic!("expected FabricExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_replica_list_is_rejected() {
+        assert!(ResilientClient::new(&[], ResilientConfig::default()).is_err());
+    }
+}

@@ -19,11 +19,12 @@ use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use uov_core::certify::certify;
 use uov_core::search::{find_best_uov, SearchConfig, SearchStats};
@@ -33,8 +34,8 @@ use uov_isg::Stencil;
 use crate::error::{ErrorCode, ServiceError};
 use crate::plan_cache::{CacheStats, PlanCache, Planned, DEFAULT_CACHE_CAPACITY};
 use crate::proto::{
-    kind, read_frame, write_frame, DegradationCode, ErrorResponse, ObjectiveSpec, PlanRequest,
-    PlanResponse, FLAG_NO_CACHE,
+    kind, read_frame, write_frame, DegradationCode, ErrorResponse, HealthResponse, ObjectiveSpec,
+    PlanRequest, PlanResponse, StatsResponse, FLAG_NO_CACHE,
 };
 
 /// Tunables for [`serve`].
@@ -52,6 +53,17 @@ pub struct ServerConfig {
     /// Consecutive ~100 ms idle polls tolerated on a connection before it
     /// is dropped (half-open peer protection). Default ≈ 30 s.
     pub idle_ticks: u32,
+    /// Warm-cache snapshot path. When set, the plan cache is restored
+    /// from this file on startup (a missing or corrupt snapshot starts
+    /// cold, never fails the boot) and persisted to it atomically on a
+    /// graceful drain, so a bounced replica keeps its hot set.
+    pub warm_cache: Option<PathBuf>,
+    /// How long a worker may stay busy on a single request before the
+    /// watchdog trips its budget's cancellation token, degrading the
+    /// search to the best certified legal answer found so far.
+    /// `Duration::ZERO` (the default) disables wedge detection —
+    /// legitimate unbounded searches are never cut.
+    pub wedge_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +74,8 @@ impl Default for ServerConfig {
             search_threads: 1,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             idle_ticks: 300,
+            warm_cache: None,
+            wedge_timeout: Duration::ZERO,
         }
     }
 }
@@ -84,6 +98,22 @@ pub struct ServerStats {
     pub rejected_shutdown: u64,
     /// Connection handlers that panicked (isolated; the worker survived).
     pub panics: u64,
+    /// Frames whose CRC32 did not match their contents (bit damage in
+    /// transit). A subset of `protocol_errors`.
+    pub crc_failures: u64,
+    /// Frames not starting with the protocol magic. A subset of
+    /// `protocol_errors`.
+    pub bad_magic: u64,
+    /// Frames declaring an unsupported protocol version. A subset of
+    /// `protocol_errors`.
+    pub bad_version: u64,
+    /// Frames whose declared payload exceeded [`crate::proto::MAX_PAYLOAD`]
+    /// (rejected before allocation). A subset of `protocol_errors`.
+    pub oversized_frames: u64,
+    /// Wedged requests whose budgets the watchdog cancelled.
+    pub watchdog_cancels: u64,
+    /// Worker threads the watchdog found dead and respawned.
+    pub worker_restarts: u64,
 }
 
 #[derive(Default)]
@@ -95,6 +125,12 @@ struct Counters {
     protocol_errors: AtomicU64,
     rejected_shutdown: AtomicU64,
     panics: AtomicU64,
+    crc_failures: AtomicU64,
+    bad_magic: AtomicU64,
+    bad_version: AtomicU64,
+    oversized_frames: AtomicU64,
+    watchdog_cancels: AtomicU64,
+    worker_restarts: AtomicU64,
 }
 
 impl Counters {
@@ -107,6 +143,33 @@ impl Counters {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            crc_failures: self.crc_failures.load(Ordering::Relaxed),
+            bad_magic: self.bad_magic.load(Ordering::Relaxed),
+            bad_version: self.bad_version.load(Ordering::Relaxed),
+            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
+            watchdog_cancels: self.watchdog_cancels.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count one protocol failure, both in the aggregate and in the
+    /// per-class counter chaos tests assert on.
+    fn protocol_error(&self, e: &ServiceError) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        match e {
+            ServiceError::CrcMismatch => {
+                self.crc_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::BadMagic => {
+                self.bad_magic.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::UnsupportedVersion(_) => {
+                self.bad_version.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::FrameTooLarge(_) => {
+                self.oversized_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
         }
     }
 }
@@ -249,23 +312,97 @@ impl Write for AnyStream {
 
 // ----------------------------------------------------------------- server
 
+/// What one worker is doing right now, read and written under one lock so
+/// the watchdog can never cancel a request that registered after its
+/// busy-time check (the check and the trip are atomic w.r.t. registration).
+#[derive(Default)]
+struct BusyState {
+    /// Milliseconds (since server start) when the current request began;
+    /// `None` while idle.
+    since_ms: Option<u64>,
+    /// The current request's budget cancellation token.
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+/// Per-worker liveness bookkeeping for the watchdog.
+#[derive(Default)]
+struct WorkerSlot {
+    /// Milliseconds (since server start) of the worker's last sign of
+    /// life — updated on every connection event and request boundary.
+    heartbeat_ms: AtomicU64,
+    /// The in-flight request, if any.
+    busy: Mutex<BusyState>,
+}
+
+impl WorkerSlot {
+    fn beat(&self, now_ms: u64) {
+        self.heartbeat_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    fn begin_request(&self, now_ms: u64, cancel: Arc<AtomicBool>) {
+        let mut busy = self.busy.lock().unwrap_or_else(|p| p.into_inner());
+        busy.since_ms = Some(now_ms);
+        busy.cancel = Some(cancel);
+    }
+
+    fn end_request(&self) {
+        let mut busy = self.busy.lock().unwrap_or_else(|p| p.into_inner());
+        busy.since_ms = None;
+        busy.cancel = None;
+    }
+}
+
 struct ServerState {
     config: ServerConfig,
     cache: PlanCache,
     shutdown: AtomicBool,
     stats: Counters,
+    /// Connections sitting in the bounded queue right now.
+    queue_len: AtomicU64,
+    /// Worker threads currently running their loop.
+    workers_alive: AtomicU64,
+    /// One slot per worker index, shared with the watchdog.
+    slots: Vec<Arc<WorkerSlot>>,
+    /// Server start, the epoch for all slot timestamps.
+    started: Instant,
 }
 
 impl ServerState {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The readiness signal served by `REQ_HEALTH`.
+    fn health(&self) -> HealthResponse {
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        let workers_alive = self.workers_alive.load(Ordering::Relaxed) as u32;
+        let queue_len = self.queue_len.load(Ordering::Relaxed) as u32;
+        let queue_depth = self.config.queue_depth.max(1) as u32;
+        HealthResponse {
+            ready: !draining && workers_alive > 0 && queue_len < queue_depth,
+            draining,
+            workers_alive,
+            queue_len,
+            queue_depth,
+        }
+    }
+
     /// Run one plan request through the cache (or around it, for
-    /// `FLAG_NO_CACHE`) and certify the answer server-side.
-    fn handle_plan(&self, req: &PlanRequest) -> Result<PlanResponse, ErrorResponse> {
+    /// `FLAG_NO_CACHE`) and certify the answer server-side. The `cancel`
+    /// token is wired into the search budget so the watchdog can degrade
+    /// a wedged request to a certified legal answer.
+    fn handle_plan(
+        &self,
+        req: &PlanRequest,
+        cancel: Arc<AtomicBool>,
+    ) -> Result<PlanResponse, ErrorResponse> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         let budget = if req.deadline_ms > 0 {
             Budget::unlimited().with_deadline(Duration::from_millis(u64::from(req.deadline_ms)))
         } else {
             Budget::unlimited()
-        };
+        }
+        .with_cancel_token(cancel);
         let config = SearchConfig {
             budget,
             threads: self.config.search_threads,
@@ -320,12 +457,14 @@ fn is_idle_timeout(e: &io::Error) -> bool {
 
 /// Serve one connection until EOF, protocol failure, idle expiry, or
 /// drain. Never panics outward; the caller wraps it in `catch_unwind`
-/// anyway for defence in depth.
-fn handle_conn(stream: &mut AnyStream, state: &ServerState) {
+/// anyway for defence in depth. Health and stats probes are answered even
+/// during a drain, so orchestrators can watch a replica all the way down.
+fn handle_conn(stream: &mut AnyStream, state: &ServerState, slot: &WorkerSlot) {
     // A short read timeout doubles as the shutdown/idle poll interval.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut idle: u32 = 0;
     loop {
+        slot.beat(state.now_ms());
         match read_frame(stream) {
             Ok(None) => break,
             Ok(Some((kind::REQ_PLAN, payload))) => {
@@ -343,24 +482,33 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState) {
                     break;
                 }
                 match PlanRequest::decode(&payload) {
-                    Ok(req) => match state.handle_plan(&req) {
-                        Ok(resp) => {
-                            if write_frame(stream, kind::RESP_PLAN, &resp.encode()).is_err() {
-                                break;
+                    Ok(req) => {
+                        // Register the request with the watchdog before
+                        // the (potentially long) search, clear it after.
+                        let cancel = Arc::new(AtomicBool::new(false));
+                        slot.begin_request(state.now_ms(), Arc::clone(&cancel));
+                        let outcome = state.handle_plan(&req, cancel);
+                        slot.end_request();
+                        slot.beat(state.now_ms());
+                        match outcome {
+                            Ok(resp) => {
+                                if write_frame(stream, kind::RESP_PLAN, &resp.encode()).is_err() {
+                                    break;
+                                }
+                                state.stats.responses.fetch_add(1, Ordering::Relaxed);
                             }
-                            state.stats.responses.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(err) => {
-                            if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                                break;
+                            Err(err) => {
+                                if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                                    break;
+                                }
                             }
                         }
-                    },
+                    }
                     Err(e) => {
                         // The frame itself was intact (CRC passed), so the
                         // stream stays at a frame boundary: report and
                         // keep the connection.
-                        state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        state.stats.protocol_error(&e);
                         let err = ErrorResponse {
                             code: ErrorCode::Malformed,
                             msg: e.to_string(),
@@ -369,6 +517,23 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState) {
                             break;
                         }
                     }
+                }
+            }
+            Ok(Some((kind::REQ_HEALTH, _))) => {
+                idle = 0;
+                let health = state.health();
+                if write_frame(stream, kind::RESP_HEALTH, &health.encode()).is_err() {
+                    break;
+                }
+            }
+            Ok(Some((kind::REQ_STATS, _))) => {
+                idle = 0;
+                let stats = StatsResponse {
+                    server: state.stats.snapshot(),
+                    cache: state.cache.stats(),
+                };
+                if write_frame(stream, kind::RESP_STATS, &stats.encode()).is_err() {
+                    break;
                 }
             }
             Ok(Some((kind::REQ_SHUTDOWN, _))) => {
@@ -399,10 +564,15 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState) {
             Err(e) => {
                 // Bad magic, wrong version, oversized prefix, CRC
                 // mismatch, torn frame: the stream position is no longer
-                // trustworthy, so answer (best-effort) and drop.
-                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                // trustworthy, so answer (best-effort) and drop. The
+                // reply distinguishes transit damage (`Corrupted`, safe
+                // to resend verbatim) from version skew (`Unsupported`).
+                state.stats.protocol_error(&e);
                 let code = match e {
                     ServiceError::UnsupportedVersion(_) => ErrorCode::Unsupported,
+                    ServiceError::CrcMismatch
+                    | ServiceError::BadMagic
+                    | ServiceError::ConnectionClosed => ErrorCode::Corrupted,
                     _ => ErrorCode::Malformed,
                 };
                 let err = ErrorResponse {
@@ -423,7 +593,9 @@ pub struct ServerHandle {
     endpoint: String,
     state: Arc<ServerState>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Shared with the watchdog, which replaces dead handles in place.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -456,14 +628,46 @@ impl ServerHandle {
         self.state.cache.stats()
     }
 
-    /// Wait for the drain to finish: the accept loop and every worker
-    /// exit, in-flight connections included.
-    pub fn join(mut self) -> ServerStats {
+    /// Current health/readiness report, as `REQ_HEALTH` would answer it.
+    pub fn health(&self) -> HealthResponse {
+        self.state.health()
+    }
+
+    /// Wait for the drain to finish: the accept loop, the watchdog, and
+    /// every worker exit, in-flight connections included. On a graceful
+    /// drain the plan cache is persisted to the configured warm-cache
+    /// path (atomically; best-effort — a full disk loses warmth, not
+    /// correctness).
+    pub fn join(self) -> ServerStats {
+        self.join_inner(true)
+    }
+
+    /// Like [`ServerHandle::join`] but *without* persisting the warm
+    /// cache: the shutdown behaves like a crash for cache-warmth
+    /// purposes. Chaos tests use this to model a killed replica while
+    /// still reclaiming its threads and port.
+    pub fn join_abrupt(self) -> ServerStats {
+        self.join_inner(false)
+    }
+
+    fn join_inner(mut self, save_warm: bool) -> ServerStats {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
+        if let Some(t) = self.watchdog.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut ws = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+            ws.drain(..).collect()
+        };
+        for w in handles {
             let _ = w.join();
+        }
+        if save_warm {
+            if let Some(path) = &self.state.config.warm_cache {
+                let _ = self.state.cache.save(path);
+            }
         }
         self.state.stats.snapshot()
     }
@@ -481,11 +685,24 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
     let (listener, bound) = AnyListener::bind(endpoint)?;
     listener.set_nonblocking(true)?;
 
+    let cache = PlanCache::new(config.cache_capacity.max(1));
+    // A warm start: restore the previous drain's plans. A missing or
+    // corrupt snapshot starts cold — never a boot failure.
+    if let Some(path) = &config.warm_cache {
+        let _ = cache.load(path);
+    }
+
     let state = Arc::new(ServerState {
-        cache: PlanCache::new(config.cache_capacity.max(1)),
-        config,
+        cache,
         shutdown: AtomicBool::new(false),
         stats: Counters::default(),
+        queue_len: AtomicU64::new(0),
+        workers_alive: AtomicU64::new(0),
+        slots: (0..workers)
+            .map(|_| Arc::new(WorkerSlot::default()))
+            .collect(),
+        started: Instant::now(),
+        config,
     });
 
     let (tx, rx) = sync_channel::<AnyStream>(queue_depth);
@@ -493,14 +710,9 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
 
     let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
-        let rx = Arc::clone(&rx);
-        let state = Arc::clone(&state);
-        let handle = thread::Builder::new()
-            .name(format!("uov-service-worker-{i}"))
-            .spawn(move || worker_loop(&rx, &state))
-            .map_err(ServiceError::Io)?;
-        worker_handles.push(handle);
+        worker_handles.push(spawn_worker(i, &rx, &state)?);
     }
+    let worker_handles = Arc::new(Mutex::new(worker_handles));
 
     let accept_state = Arc::clone(&state);
     let accept_thread = thread::Builder::new()
@@ -508,12 +720,79 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
         .spawn(move || accept_loop(&listener, tx, &accept_state))
         .map_err(ServiceError::Io)?;
 
+    let watchdog_state = Arc::clone(&state);
+    let watchdog_workers = Arc::clone(&worker_handles);
+    let watchdog_rx = Arc::clone(&rx);
+    let watchdog = thread::Builder::new()
+        .name("uov-service-watchdog".into())
+        .spawn(move || watchdog_loop(&watchdog_state, &watchdog_workers, &watchdog_rx))
+        .map_err(ServiceError::Io)?;
+
     Ok(ServerHandle {
         endpoint: bound,
         state,
         accept_thread: Some(accept_thread),
         workers: worker_handles,
+        watchdog: Some(watchdog),
     })
+}
+
+fn spawn_worker(
+    index: usize,
+    rx: &Arc<Mutex<Receiver<AnyStream>>>,
+    state: &Arc<ServerState>,
+) -> Result<JoinHandle<()>, ServiceError> {
+    let rx = Arc::clone(rx);
+    let state = Arc::clone(state);
+    thread::Builder::new()
+        .name(format!("uov-service-worker-{index}"))
+        .spawn(move || worker_loop(index, &rx, &state))
+        .map_err(ServiceError::Io)
+}
+
+/// Poll the worker pool: cancel requests stuck past the wedge timeout
+/// (degrading them to certified legal answers via their budgets) and
+/// respawn worker threads that died outright. Exits once the drain flag
+/// is up — the pool is winding down then anyway.
+fn watchdog_loop(
+    state: &Arc<ServerState>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    rx: &Arc<Mutex<Receiver<AnyStream>>>,
+) {
+    let wedge_ms = state.config.wedge_timeout.as_millis() as u64;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+
+        if wedge_ms > 0 {
+            let now = state.now_ms();
+            for slot in &state.slots {
+                let busy = slot.busy.lock().unwrap_or_else(|p| p.into_inner());
+                if let (Some(since), Some(cancel)) = (busy.since_ms, busy.cancel.as_ref()) {
+                    if now.saturating_sub(since) > wedge_ms && !cancel.swap(true, Ordering::SeqCst)
+                    {
+                        state.stats.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        // A worker thread that is gone (its panic isolation itself failed,
+        // or it was killed by the OS) is replaced in place so the pool
+        // never shrinks below its configured size.
+        let mut ws = workers.lock().unwrap_or_else(|p| p.into_inner());
+        for (i, handle) in ws.iter_mut().enumerate() {
+            if handle.is_finished() && !state.shutdown.load(Ordering::SeqCst) {
+                if let Ok(fresh) = spawn_worker(i, rx, state) {
+                    let dead = std::mem::replace(handle, fresh);
+                    let _ = dead.join();
+                    state.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 fn accept_loop(
@@ -547,6 +826,7 @@ fn accept_loop(
                 match tx.try_send(conn) {
                     Ok(()) => {
                         state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        state.queue_len.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(TrySendError::Full(conn)) => to_reject.push_back(conn),
                     Err(TrySendError::Disconnected(_)) => break,
@@ -561,8 +841,19 @@ fn accept_loop(
     // Dropping `tx` lets workers drain the queue and then exit.
 }
 
-fn worker_loop(rx: &Mutex<Receiver<AnyStream>>, state: &ServerState) {
+fn worker_loop(index: usize, rx: &Mutex<Receiver<AnyStream>>, state: &ServerState) {
+    state.workers_alive.fetch_add(1, Ordering::Relaxed);
+    // Readiness must drop even if this loop unwinds or is replaced.
+    struct Alive<'a>(&'a AtomicU64);
+    impl Drop for Alive<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _alive = Alive(&state.workers_alive);
+    let slot = Arc::clone(&state.slots[index % state.slots.len().max(1)]);
     loop {
+        slot.beat(state.now_ms());
         let conn = {
             let guard = match rx.lock() {
                 Ok(g) => g,
@@ -574,7 +865,11 @@ fn worker_loop(rx: &Mutex<Receiver<AnyStream>>, state: &ServerState) {
             Ok(c) => c,
             Err(_) => break, // accept loop gone and queue drained
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_conn(&mut conn, state)));
+        state.queue_len.fetch_sub(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_conn(&mut conn, state, &slot)));
+        // A panic can escape mid-request: clear the watchdog registration
+        // so a dead request's cancel token is never tripped later.
+        slot.end_request();
         if outcome.is_err() {
             state.stats.panics.fetch_add(1, Ordering::Relaxed);
             conn.close();

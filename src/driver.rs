@@ -43,7 +43,10 @@ use uov_isg::{IVec, IterationDomain as _, Stencil};
 use uov_loopir::analysis::{flow_stencil, AnalysisError};
 use uov_loopir::{codegen, LoopNest};
 use uov_schedule::legality;
-use uov_service::{Client, DegradationCode, ObjectiveSpec, PlanRequest};
+use uov_service::{
+    DegradationCode, ObjectiveSpec, PlanRequest, PlanResponse, ResilientClient, ResilientConfig,
+    ServiceError,
+};
 use uov_storage::{Layout, OvMap, StorageMap as _};
 
 use crate::error::Error;
@@ -219,7 +222,18 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
             }
         }
     }
-    let (rectangular_tiling_legal, skew_factor) = match Stencil::new(union) {
+    let (rectangular_tiling_legal, skew_factor) = tiling_advice(union);
+    Ok(TransformPlan {
+        statements,
+        rectangular_tiling_legal,
+        skew_factor,
+    })
+}
+
+/// Tiling legality and skew advice for the union of all regular
+/// statements' dependences.
+fn tiling_advice(union: Vec<IVec>) -> (bool, Option<i64>) {
+    match Stencil::new(union) {
         Ok(all_deps) => {
             let legal = legality::rectangular_tiling_legal(&all_deps);
             let skew = if legal {
@@ -230,18 +244,20 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
             (legal, skew)
         }
         Err(_) => (true, Some(0)), // no carried dependences at all
-    };
-    Ok(TransformPlan {
-        statements,
-        rectangular_tiling_legal,
-        skew_factor,
-    })
+    }
 }
 
 /// [`plan`], but with every per-statement UOV search delegated to a
 /// running [`uov_service`] server instead of the in-process
 /// branch-and-bound — so one warm server (and its canonicalizing plan
 /// cache) can answer for many compiler invocations.
+///
+/// `endpoint` may be a single address or a comma-separated replica list
+/// (`"127.0.0.1:7878,127.0.0.1:7879"`); either way requests go through a
+/// [`ResilientClient`] with default fabric policy, so a bounced or
+/// partitioned replica costs a retry, not the plan. Use
+/// [`plan_via_replicas`] to tune the fabric, or [`plan_via_fabric`] to
+/// own the client (and its decision log) outright.
 ///
 /// The remote answer is *never trusted blind*: each statement's UOV is
 /// re-certified locally, and the local certificate's transcript hash must
@@ -266,7 +282,65 @@ pub fn plan_via_service(
     endpoint: &str,
     deadline_ms: u32,
 ) -> Result<TransformPlan, Error> {
-    let mut client = Client::connect(endpoint).map_err(|e| Error::Service(e.to_string()))?;
+    let endpoints: Vec<String> = endpoint
+        .split(',')
+        .map(|e| e.trim().to_string())
+        .filter(|e| !e.is_empty())
+        .collect();
+    plan_via_replicas(
+        nest,
+        layout,
+        &endpoints,
+        deadline_ms,
+        ResilientConfig::default(),
+    )
+}
+
+/// [`plan_via_service`] with an explicit replica list and fabric policy
+/// (timeouts, backoff, breaker thresholds, hedging, determinism seed).
+///
+/// # Errors
+///
+/// As [`plan_via_service`].
+pub fn plan_via_replicas(
+    nest: &LoopNest,
+    layout: Layout,
+    endpoints: &[String],
+    deadline_ms: u32,
+    config: ResilientConfig,
+) -> Result<TransformPlan, Error> {
+    let mut fabric =
+        ResilientClient::new(endpoints, config).map_err(|e| Error::Service(e.to_string()))?;
+    plan_via_fabric(nest, layout, &mut fabric, deadline_ms)
+}
+
+/// [`plan_via_service`] over a caller-owned [`ResilientClient`], so the
+/// caller keeps the fabric's connections warm across nests and can
+/// inspect its decision log ([`ResilientClient::events`]) afterwards —
+/// the hook the chaos harness uses to diff two runs of the same seed.
+///
+/// # Errors
+///
+/// As [`plan_via_service`].
+pub fn plan_via_fabric(
+    nest: &LoopNest,
+    layout: Layout,
+    fabric: &mut ResilientClient,
+    deadline_ms: u32,
+) -> Result<TransformPlan, Error> {
+    plan_remote(nest, layout, deadline_ms, |req| fabric.plan(req))
+}
+
+/// The shared remote-planning loop: per-statement stencil extraction,
+/// one exchange via `exchange`, local re-certification against the
+/// server's transcript hash, then local mapping/codegen/tiling — exactly
+/// [`plan`]'s shape with the branch-and-bound swapped for a closure.
+fn plan_remote(
+    nest: &LoopNest,
+    layout: Layout,
+    deadline_ms: u32,
+    mut exchange: impl FnMut(&PlanRequest) -> Result<PlanResponse, ServiceError>,
+) -> Result<TransformPlan, Error> {
     let mut statements = Vec::with_capacity(nest.stmts().len());
     let mut union: Vec<IVec> = Vec::new();
     for stmt in 0..nest.stmts().len() {
@@ -274,14 +348,13 @@ pub fn plan_via_service(
             Err(e) => statements.push(Err(e)),
             Ok(stencil) => {
                 union.extend(stencil.vectors().iter().cloned());
-                let resp = client
-                    .plan(&PlanRequest {
-                        stencil: stencil.clone(),
-                        objective: ObjectiveSpec::KnownBounds(nest.domain().clone()),
-                        deadline_ms,
-                        flags: 0,
-                    })
-                    .map_err(|e| Error::Service(e.to_string()))?;
+                let resp = exchange(&PlanRequest {
+                    stencil: stencil.clone(),
+                    objective: ObjectiveSpec::KnownBounds(nest.domain().clone()),
+                    deadline_ms,
+                    flags: 0,
+                })
+                .map_err(|e| Error::Service(e.to_string()))?;
                 // The wire carries the degradation *reason*; node/memo
                 // counters are search-internal and stay at zero here.
                 let degradation = match resp.degradation {
@@ -328,18 +401,7 @@ pub fn plan_via_service(
             }
         }
     }
-    let (rectangular_tiling_legal, skew_factor) = match Stencil::new(union) {
-        Ok(all_deps) => {
-            let legal = legality::rectangular_tiling_legal(&all_deps);
-            let skew = if legal {
-                Some(0)
-            } else {
-                legality::skew_factor_for_tiling(&all_deps)
-            };
-            (legal, skew)
-        }
-        Err(_) => (true, Some(0)), // no carried dependences at all
-    };
+    let (rectangular_tiling_legal, skew_factor) = tiling_advice(union);
     Ok(TransformPlan {
         statements,
         rectangular_tiling_legal,
@@ -572,6 +634,35 @@ mod tests {
             );
             assert_eq!(local.skew_factor, remote.skew_factor);
         }
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn replica_list_plan_survives_a_dead_replica() {
+        let server =
+            uov_service::serve("127.0.0.1:0", uov_service::ServerConfig::default()).unwrap();
+        // A dead first replica: bound, then immediately dropped, so the
+        // fabric's first attempt is refused and it fails over.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let ep = l.local_addr().unwrap().to_string();
+            drop(l);
+            ep
+        };
+        let list = format!("{dead},{}", server.endpoint());
+        let nest = examples::fig1_nest(10, 6);
+        let local = plan(&nest, Layout::Interleaved).unwrap();
+        let remote = plan_via_service(&nest, Layout::Interleaved, &list, 0).unwrap();
+        let (l, r) = (
+            local.statements[0].as_ref().unwrap(),
+            remote.statements[0].as_ref().unwrap(),
+        );
+        assert_eq!(l.uov, r.uov);
+        assert_eq!(
+            l.certificate.as_ref().unwrap().transcript_hash,
+            r.certificate.as_ref().unwrap().transcript_hash
+        );
         server.shutdown();
         server.join();
     }

@@ -1,0 +1,310 @@
+//! The chaos differential: the resilient fabric under seeded faults must
+//! be *invisible* in the answers.
+//!
+//! A [`ResilientClient`] runs a fixed request schedule against three
+//! replicas, each behind a [`ChaosProxy`] injecting connection resets,
+//! half-open stalls, latency spikes, frame truncation, and payload
+//! bit-flips — while replicas are killed and restarted mid-schedule. The
+//! contract:
+//!
+//! 1. **Completion**: every request completes despite the faults.
+//! 2. **Byte-identity**: each `(uov, cost, transcript hash)` triple is
+//!    identical to a direct in-process `find_best_uov` + `certify` run —
+//!    the fabric may retry, fail over, and reconnect, but it may never
+//!    change an answer.
+//! 3. **Determinism**: the fabric's decision log (attempts, failures,
+//!    backoffs, breaker transitions) replays identically for a seed.
+//! 4. **Warm restarts**: a graceful drain persists the plan cache; the
+//!    restarted replica's first request for a cached problem is a `Hit`
+//!    with the same certificate.
+//!
+//! Seeds come from `UOV_CHAOS_SEED` when set (CI loops a fixed list), or
+//! a built-in pair otherwise. Fault rates are chosen so outcome classes
+//! are timing-robust: stalls are far longer than the attempt timeout,
+//! delays far shorter.
+
+use std::time::Duration;
+
+use uov::core::certify::certify;
+use uov::core::search::{find_best_uov, Objective, SearchConfig};
+use uov::isg::{ivec, IVec, Stencil};
+use uov::service::{
+    CacheOutcome, ChaosConfig, ChaosProxy, Client, FabricEvent, ObjectiveSpec, PlanRequest,
+    ReplicaSet, ResilientClient, ResilientConfig, ServerConfig,
+};
+
+/// The request schedule's problems: small enough that every search
+/// finishes in milliseconds, distinct enough to exercise the cache.
+fn problems() -> Vec<Stencil> {
+    (1..=6i64)
+        .map(|k| Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid"))
+        .collect()
+}
+
+/// What a direct, in-process solve of `stencil` yields: the ground truth
+/// every fabric answer must match byte-for-byte.
+fn local_truth(stencil: &Stencil) -> (IVec, u128, u64) {
+    let result = find_best_uov(stencil, Objective::ShortestVector, &SearchConfig::default())
+        .expect("local search");
+    let cert = certify(stencil, &Objective::ShortestVector, &result).expect("local certification");
+    (result.uov.clone(), result.cost, cert.transcript_hash)
+}
+
+fn request(stencil: &Stencil) -> PlanRequest {
+    PlanRequest {
+        stencil: stencil.clone(),
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    }
+}
+
+/// Seeds under test: `UOV_CHAOS_SEED` pins one (the CI smoke loops a
+/// fixed list through it), otherwise a built-in pair.
+fn seeds() -> Vec<u64> {
+    match std::env::var("UOV_CHAOS_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("UOV_CHAOS_SEED must be a u64")],
+        Err(_) => vec![7, 1998],
+    }
+}
+
+fn chaos_config(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        reset_per_mille: 50,
+        stall_per_mille: 15,
+        truncate_per_mille: 40,
+        flip_per_mille: 50,
+        delay_per_mille: 60,
+        // Stall ≫ attempt timeout, delay ≪ attempt timeout: outcome
+        // classes stay deterministic on any plausible machine.
+        stall_ms: 2_500,
+        delay_ms: 3,
+    }
+}
+
+fn fabric_config(seed: u64) -> ResilientConfig {
+    ResilientConfig {
+        attempt_timeout: Duration::from_millis(400),
+        max_attempts: 40,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(4),
+        seed,
+        failure_threshold: 3,
+        cooldown: 4,
+        hedge_after: None,
+        hedge_verify: false,
+    }
+}
+
+/// Run the full kill/restart schedule under chaos at one seed and thread
+/// count; assert completion and byte-identity; return the fabric's
+/// decision log.
+fn run_chaos_schedule(seed: u64, search_threads: usize) -> Vec<FabricEvent> {
+    let config = ServerConfig {
+        workers: 2,
+        search_threads,
+        ..ServerConfig::default()
+    };
+    let mut set = ReplicaSet::start(3, config).expect("start replicas");
+    let proxies: Vec<ChaosProxy> = set
+        .endpoints()
+        .iter()
+        .map(|ep| ChaosProxy::start(ep, chaos_config(seed)).expect("start proxy"))
+        .collect();
+    let endpoints: Vec<String> = proxies.iter().map(|p| p.endpoint().to_string()).collect();
+    let mut fabric = ResilientClient::new(&endpoints, fabric_config(seed)).expect("fabric");
+
+    let problems = problems();
+    let truths: Vec<_> = problems.iter().map(local_truth).collect();
+
+    // Two passes over the problem set (the second exercises server-side
+    // caches), with two kill/restart cycles woven between requests.
+    let schedule: Vec<usize> = (0..problems.len()).chain(0..problems.len()).collect();
+    for (step, &p) in schedule.iter().enumerate() {
+        match step {
+            4 => {
+                set.kill(0).expect("replica 0 was up");
+            }
+            6 => set.restart(0).expect("restart replica 0"),
+            8 => {
+                set.kill(1).expect("replica 1 was up");
+            }
+            10 => set.restart(1).expect("restart replica 1"),
+            _ => {}
+        }
+        let resp = fabric
+            .plan(&request(&problems[p]))
+            .unwrap_or_else(|e| panic!("step {step} (problem {p}) failed under chaos: {e}"));
+        let (uov, cost, hash) = &truths[p];
+        assert_eq!(&resp.uov, uov, "step {step}: UOV diverged");
+        assert_eq!(&resp.cost, cost, "step {step}: cost diverged");
+        assert_eq!(
+            &resp.certificate_hash, hash,
+            "step {step}: certificate hash diverged"
+        );
+    }
+
+    for stats in set.shutdown_all().into_iter().flatten() {
+        assert_eq!(stats.panics, 0, "a replica worker panicked under chaos");
+    }
+    for proxy in proxies {
+        proxy.stop();
+    }
+    fabric.take_events()
+}
+
+/// The acceptance differential: full completion and byte-identity under
+/// chaos, at every seed, at thread counts 1 and 8.
+#[test]
+fn chaos_differential_is_byte_identical_to_local_search() {
+    for seed in seeds() {
+        for threads in [1usize, 8] {
+            let events = run_chaos_schedule(seed, threads);
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, FabricEvent::Failure { .. })),
+                "seed {seed}: chaos injected no faults — rates too low to test anything"
+            );
+        }
+    }
+}
+
+/// Replaying the same seed yields the same decision log, event for
+/// event: retries, backoff intervals, breaker transitions, failover
+/// order. Timing noise must not leak into decisions.
+#[test]
+fn chaos_decision_log_replays_identically_for_a_seed() {
+    let seed = seeds()[0];
+    let first = run_chaos_schedule(seed, 1);
+    let second = run_chaos_schedule(seed, 1);
+    assert_eq!(
+        first, second,
+        "seed {seed}: two runs of the same seed diverged"
+    );
+}
+
+/// Hedged mode under the same chaos: still completes, still
+/// byte-identical (the hedge can only change *which replica* answers,
+/// never the answer).
+#[test]
+fn chaos_with_hedging_still_completes_and_agrees() {
+    let seed = seeds()[0];
+    let config = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let mut set = ReplicaSet::start(3, config).expect("start replicas");
+    let proxies: Vec<ChaosProxy> = set
+        .endpoints()
+        .iter()
+        .map(|ep| ChaosProxy::start(ep, chaos_config(seed)).expect("start proxy"))
+        .collect();
+    let endpoints: Vec<String> = proxies.iter().map(|p| p.endpoint().to_string()).collect();
+    let mut fabric = ResilientClient::new(
+        &endpoints,
+        ResilientConfig {
+            hedge_after: Some(Duration::from_millis(60)),
+            ..fabric_config(seed)
+        },
+    )
+    .expect("fabric");
+
+    let problems = problems();
+    for (i, stencil) in problems.iter().enumerate() {
+        if i == 2 {
+            set.kill(0).expect("replica 0 was up");
+        }
+        let (uov, cost, hash) = local_truth(stencil);
+        let resp = fabric
+            .plan(&request(stencil))
+            .unwrap_or_else(|e| panic!("hedged request {i} failed: {e}"));
+        assert_eq!(resp.uov, uov);
+        assert_eq!(resp.cost, cost);
+        assert_eq!(resp.certificate_hash, hash);
+    }
+    set.shutdown_all();
+    for proxy in proxies {
+        proxy.stop();
+    }
+}
+
+/// Warm-cache restarts: a graceful drain persists the plan cache; the
+/// restarted replica reloads it, answers a cached problem as a first
+/// request `Hit`, and the certificate is unchanged.
+#[test]
+fn warm_cache_survives_a_graceful_restart() {
+    let snapshot = std::env::temp_dir().join(format!("uov_chaos_warm_{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let config = ServerConfig {
+        warm_cache: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    };
+    let mut set = ReplicaSet::start(1, config).expect("start replica");
+    let endpoint = set.endpoints()[0].clone();
+    let stencil = problems().remove(0);
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let cold = client.plan(&request(&stencil)).expect("cold plan");
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+
+    // Graceful drain persists the snapshot; an abrupt kill would not.
+    set.drain(0).expect("replica was up");
+    assert!(snapshot.exists(), "drain must persist the warm cache");
+    set.restart(0).expect("restart");
+
+    let mut client = Client::connect(&endpoint).expect("reconnect");
+    let stats = client.stats().expect("stats").cache;
+    assert!(
+        stats.warm_loaded >= 1,
+        "restart must reload the snapshot: {stats:?}"
+    );
+    let warm = client.plan(&request(&stencil)).expect("warm plan");
+    assert_eq!(
+        warm.cache,
+        CacheOutcome::Hit,
+        "first post-restart request must be served from the warm cache"
+    );
+    assert_eq!(warm.uov, cold.uov);
+    assert_eq!(warm.cost, cold.cost);
+    assert_eq!(
+        warm.certificate_hash, cold.certificate_hash,
+        "a warm hit must certify identically to the cold solve"
+    );
+
+    set.shutdown_all();
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+/// An abrupt kill (crash semantics) must NOT persist the cache — a
+/// crashed replica restarts cold rather than trusting a torn snapshot.
+#[test]
+fn abrupt_kill_does_not_persist_the_cache() {
+    let snapshot = std::env::temp_dir().join(format!("uov_chaos_crash_{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let config = ServerConfig {
+        warm_cache: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    };
+    let mut set = ReplicaSet::start(1, config).expect("start replica");
+    let endpoint = set.endpoints()[0].clone();
+    let stencil = problems().remove(0);
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    client.plan(&request(&stencil)).expect("plan");
+    set.kill(0).expect("replica was up");
+    assert!(
+        !snapshot.exists(),
+        "a crash must not write the warm snapshot"
+    );
+    set.restart(0).expect("restart");
+    let mut client = Client::connect(&endpoint).expect("reconnect");
+    let resp = client.plan(&request(&stencil)).expect("cold plan");
+    assert_eq!(
+        resp.cache,
+        CacheOutcome::Miss,
+        "crashed replica starts cold"
+    );
+    set.shutdown_all();
+}

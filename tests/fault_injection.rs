@@ -842,3 +842,229 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Resilience-fabric faults: stale sockets across restarts, malformed
+// frames landing in the server's per-class counters, cache eviction
+// racing in-flight searches, and the watchdog cutting wedged workers.
+// ---------------------------------------------------------------------
+
+mod resilience_faults {
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use uov::core::npc::PartitionInstance;
+    use uov::core::search::{find_best_uov, SearchConfig};
+    use uov::isg::{ivec, Stencil};
+    use uov::service::proto::{self, encode_frame, ObjectiveSpec, PlanRequest, HEADER_LEN, MAGIC};
+    use uov::service::{serve, Client, PlanCache, ServerConfig};
+
+    fn fig1_request() -> PlanRequest {
+        PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])
+                .expect("valid stencil"),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        }
+    }
+
+    /// A long-lived client survives a full server bounce on the same
+    /// port: the first request after the restart hits the stale socket,
+    /// reconnects once transparently, and succeeds — no caller-visible
+    /// error, no double-send (the retry fires only when no response
+    /// frame was received).
+    #[test]
+    fn client_reconnects_once_across_a_server_restart() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let endpoint = server.endpoint().to_string();
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let before = client.plan(&fig1_request()).expect("first plan");
+
+        server.shutdown();
+        server.join();
+        // Same port, fresh process state (SO_REUSEADDR makes the rebind
+        // immediate after a graceful drain).
+        let server = serve(&endpoint, ServerConfig::default()).expect("rebind same port");
+
+        let after = client
+            .plan(&fig1_request())
+            .expect("stale socket must heal with one transparent reconnect");
+        assert_eq!(before.uov, after.uov);
+        assert_eq!(before.certificate_hash, after.certificate_hash);
+        server.shutdown();
+        server.join();
+    }
+
+    /// Each malformed-frame class lands in its own server counter,
+    /// readable over the wire via the `Stats` frame: CRC damage, wrong
+    /// magic, unsupported version, oversized length prefix.
+    #[test]
+    fn malformed_frame_classes_are_counted_and_exposed() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let valid = encode_frame(proto::kind::REQ_PLAN, &fig1_request().encode());
+
+        // CRC flip: damage one payload byte; header still parses.
+        let mut crc_flip = valid.clone();
+        let at = HEADER_LEN + 2;
+        crc_flip[at] ^= 0x01;
+        // Wrong magic.
+        let mut bad_magic = valid.clone();
+        bad_magic[..4].copy_from_slice(b"EVIL");
+        // Unsupported version.
+        let mut bad_version = valid.clone();
+        bad_version[4..6].copy_from_slice(&0xFFFFu16.to_le_bytes());
+        // Hostile length prefix (header only, no payload follows).
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(MAGIC);
+        oversized.extend_from_slice(&proto::VERSION.to_le_bytes());
+        oversized.push(proto::kind::REQ_PLAN);
+        oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+
+        for attack in [&crc_flip, &bad_magic, &bad_version, &oversized] {
+            let mut conn = TcpStream::connect(server.endpoint()).expect("connect");
+            conn.write_all(attack).expect("write attack");
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let mut sink = Vec::new();
+            let _ = std::io::Read::read_to_end(&mut conn, &mut sink);
+        }
+
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        let stats = client.stats().expect("stats frame").server;
+        assert!(stats.crc_failures >= 1, "CRC flip not counted: {stats:?}");
+        assert!(stats.bad_magic >= 1, "bad magic not counted: {stats:?}");
+        assert!(stats.bad_version >= 1, "bad version not counted: {stats:?}");
+        assert!(
+            stats.oversized_frames >= 1,
+            "oversized prefix not counted: {stats:?}"
+        );
+        assert!(
+            stats.protocol_errors >= 4,
+            "aggregate must cover every class: {stats:?}"
+        );
+        assert_eq!(stats.panics, 0);
+        server.shutdown();
+        server.join();
+    }
+
+    /// LRU eviction racing an in-flight single-flight search: a tiny
+    /// cache is churned by a flood of distinct problems while a slow
+    /// leader holds a flight open and followers wait on it. Everyone
+    /// must get the same correct answer — the flight table, not LRU
+    /// residency, is what coalesces waiters.
+    #[test]
+    fn eviction_while_a_flight_is_open_stays_consistent() {
+        let cache = Arc::new(PlanCache::new(2));
+        let release = Arc::new(AtomicBool::new(false));
+
+        let solve = |stencil: &Stencil, objective: &ObjectiveSpec| {
+            find_best_uov(stencil, objective.as_objective(), &SearchConfig::default())
+                .map_err(|e| e.to_string())
+        };
+
+        let slow_stencil =
+            Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).expect("valid");
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let release = Arc::clone(&release);
+            let stencil = slow_stencil.clone();
+            std::thread::spawn(move || {
+                cache.plan(&stencil, &ObjectiveSpec::ShortestVector, |s, o| {
+                    // Hold the flight open until the flood is done.
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    solve(s, o)
+                })
+            })
+        };
+        // The leader has registered its flight once the miss is counted.
+        while cache.stats().misses == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let stencil = slow_stencil.clone();
+                std::thread::spawn(move || {
+                    cache.plan(&stencil, &ObjectiveSpec::ShortestVector, solve)
+                })
+            })
+            .collect();
+
+        // Churn the 2-entry LRU with distinct problems while the flight
+        // is open (k ≥ 2: k = 1 would be the leader's own problem and
+        // join its flight instead of churning the LRU).
+        for k in 2..=20i64 {
+            let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid");
+            let planned = cache
+                .plan(&s, &ObjectiveSpec::ShortestVector, solve)
+                .expect("flood plan");
+            assert_eq!(planned.uov, ivec![1, k], "flood problem {k}");
+        }
+        release.store(true, Ordering::SeqCst);
+
+        let lead = leader.join().expect("leader thread").expect("leader plan");
+        assert_eq!(lead.uov, ivec![1, 1]);
+        for f in followers {
+            let got = f.join().expect("follower thread").expect("follower plan");
+            assert_eq!(got.uov, lead.uov);
+            assert_eq!(got.cost, lead.cost);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.coalesced >= 1,
+            "followers must have coalesced onto the flight: {stats:?}"
+        );
+    }
+
+    /// A request whose search would run for minutes (a PARTITION
+    /// reduction with an unlimited deadline) wedges its worker; the
+    /// watchdog must trip the request's cancellation token and the
+    /// server must answer with a certified degraded plan instead of
+    /// pinning the worker forever.
+    #[test]
+    fn watchdog_cancels_a_wedged_request() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                wedge_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let inst = PartitionInstance::new(vec![5, 5, 4, 3, 2, 1]).expect("positive");
+        let (stencil, _) = inst.reduce().expect("reduction");
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        let resp = client
+            .plan(&PlanRequest {
+                stencil,
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0, // unlimited: only the watchdog can cut this
+                flags: 0,
+            })
+            .expect("wedged request must still be answered");
+        assert_ne!(
+            resp.degradation,
+            uov::service::DegradationCode::None,
+            "a watchdog cut must be reported as degradation"
+        );
+        // The degraded answer still carries a server-side certificate.
+        assert_ne!(resp.certificate_hash, 0);
+        let stats = client.stats().expect("stats").server;
+        assert!(
+            stats.watchdog_cancels >= 1,
+            "watchdog never fired: {stats:?}"
+        );
+        // The worker survived: the next (easy) request is served.
+        let quick = client.plan(&fig1_request()).expect("post-wedge plan");
+        assert_eq!(quick.uov, ivec![1, 1]);
+        server.shutdown();
+        server.join();
+    }
+}
