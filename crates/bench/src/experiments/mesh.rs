@@ -1,0 +1,484 @@
+//! Mesh benchmark: the fault-tolerant planning mesh under a
+//! kill/restart schedule, plus the machine-readable `BENCH_pr6.json`
+//! artifact CI archives.
+//!
+//! Four measurements, one JSON file:
+//!
+//! * **search** — raw branch-and-bound throughput (nodes visited per
+//!   second) of a direct in-process solve, the baseline everything else
+//!   is overhead on top of;
+//! * **service** — closed-loop p50/p99 latency through the framed
+//!   protocol, cold (every request searches) and warm (cache hits), so
+//!   the cache-hit floor is visible next to the solve ceiling;
+//! * **mesh availability** — a routed request schedule across three
+//!   shards while shards are killed and restarted mid-schedule: the
+//!   fraction of requests answered (with certificate-identical answers)
+//!   despite the faults;
+//! * **distributed** — one distributed search with a mid-search home
+//!   shard kill, byte-compared against the direct solve.
+//!
+//! The JSON is hand-rolled with a fixed key order — no serialization
+//! dependency, and byte-stable structure across runs (values are
+//! measurements; keys and shape never move), so downstream diffing
+//! tools can parse it with a five-line script.
+
+use std::time::Instant;
+
+use uov_core::certify::certify;
+use uov_core::search::{find_best_uov, Objective, SearchConfig};
+use uov_isg::{ivec, Stencil};
+use uov_service::{
+    loadgen, serve, LoadGenConfig, MeshClient, MeshConfig, ObjectiveSpec, PlanRequest, ReplicaSet,
+    ServerConfig,
+};
+
+use crate::report::Table;
+use crate::Scale;
+
+/// All mesh tables, with the `BENCH_pr6.json` side effect.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let search = search_throughput(scale);
+    let service = service_latency(scale);
+    let mesh = mesh_availability(scale);
+    let distributed = distributed_differential();
+
+    let json = render_json(&search, &service, &mesh, &distributed);
+    let path = bench_json_path();
+    let mut t = Table::new("mesh — BENCH_pr6.json", vec!["path".into(), "ok".into()]);
+    match std::fs::write(&path, &json) {
+        Ok(()) => t.push(vec![path.display().to_string(), "true".into()]),
+        Err(e) => t.push(vec![path.display().to_string(), format!("error: {e}")]),
+    }
+
+    vec![
+        search.table,
+        service.table,
+        mesh.table,
+        distributed.table,
+        t,
+    ]
+}
+
+/// `BENCH_pr6.json` lives at the repository root, next to EXPERIMENTS.md.
+fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pr6.json")
+}
+
+struct SearchFigures {
+    nodes: u64,
+    elapsed_ms: f64,
+    nodes_per_sec: f64,
+    table: Table,
+}
+
+/// Direct in-process branch-and-bound throughput on a fixed problem
+/// family: the baseline solve rate in nodes (queue pops) per second.
+fn search_throughput(scale: Scale) -> SearchFigures {
+    let mut t = Table::new(
+        "mesh — direct search throughput",
+        vec![
+            "problem".into(),
+            "nodes".into(),
+            "elapsed (ms)".into(),
+            "nodes/s".into(),
+        ],
+    );
+    let reps = match scale {
+        Scale::Quick => 3,
+        Scale::Full => 20,
+    };
+    // A moderately hard shortest-vector family; identical every run.
+    let problems: Vec<Stencil> = (3..=6i64)
+        .map(|k| Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid"))
+        .collect();
+    let mut nodes = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for stencil in &problems {
+            let result =
+                find_best_uov(stencil, Objective::ShortestVector, &SearchConfig::default())
+                    .expect("direct search");
+            nodes += result.stats.visited;
+        }
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let nodes_per_sec = if elapsed_ms > 0.0 {
+        nodes as f64 / (elapsed_ms / 1e3)
+    } else {
+        0.0
+    };
+    t.push(vec![
+        format!("(1,0)(0,1)(1,k) k=3..6 ×{reps}"),
+        nodes.to_string(),
+        format!("{elapsed_ms:.2}"),
+        format!("{nodes_per_sec:.0}"),
+    ]);
+    SearchFigures {
+        nodes,
+        elapsed_ms,
+        nodes_per_sec,
+        table: t,
+    }
+}
+
+struct ServiceFigures {
+    cold_p50_us: u64,
+    cold_p99_us: u64,
+    warm_p50_us: u64,
+    warm_p99_us: u64,
+    warm_hit_rate: f64,
+    table: Table,
+}
+
+/// Closed-loop latency through one server: the cold pass measures the
+/// solve path, the warm pass the cache-hit path (its p50 is the
+/// cache-hit latency figure in the JSON).
+fn service_latency(scale: Scale) -> ServiceFigures {
+    let mut t = Table::new(
+        "mesh — service latency (cold solve vs cache hit)",
+        vec![
+            "phase".into(),
+            "completed".into(),
+            "errors".into(),
+            "p50 (µs)".into(),
+            "p99 (µs)".into(),
+            "hit rate".into(),
+        ],
+    );
+    let mut figures = ServiceFigures {
+        cold_p50_us: 0,
+        cold_p99_us: 0,
+        warm_p50_us: 0,
+        warm_p99_us: 0,
+        warm_hit_rate: 0.0,
+        table: Table::new("placeholder", vec![]),
+    };
+    let server = match serve("127.0.0.1:0", ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            t.push(vec![
+                "unavailable".into(),
+                "0".into(),
+                e.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            figures.table = t;
+            return figures;
+        }
+    };
+    let endpoint = server.endpoint().to_string();
+    let cfg = LoadGenConfig {
+        clients: 4,
+        requests_per_client: match scale {
+            Scale::Quick => 25,
+            Scale::Full => 250,
+        },
+        distinct_stencils: 6,
+        permute: true,
+        ..LoadGenConfig::default()
+    };
+    for phase in ["cold", "warm"] {
+        match loadgen::run(&endpoint, &cfg) {
+            Ok(r) => {
+                if phase == "cold" {
+                    figures.cold_p50_us = r.p50_us;
+                    figures.cold_p99_us = r.p99_us;
+                } else {
+                    figures.warm_p50_us = r.p50_us;
+                    figures.warm_p99_us = r.p99_us;
+                    figures.warm_hit_rate = r.hit_rate();
+                }
+                t.push(vec![
+                    phase.into(),
+                    r.completed.to_string(),
+                    r.errors.to_string(),
+                    r.p50_us.to_string(),
+                    r.p99_us.to_string(),
+                    format!("{:.1}%", r.hit_rate() * 100.0),
+                ]);
+            }
+            Err(e) => t.push(vec![
+                phase.into(),
+                "0".into(),
+                e.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    server.shutdown();
+    server.join();
+    figures.table = t;
+    figures
+}
+
+struct MeshFigures {
+    requests: u64,
+    completed: u64,
+    identical: u64,
+    failovers: u64,
+    availability: f64,
+    table: Table,
+}
+
+/// Routed requests across three shards under a kill/restart schedule:
+/// availability is the completed fraction, and every completed answer
+/// must be certificate-identical to the direct solve.
+fn mesh_availability(scale: Scale) -> MeshFigures {
+    let mut t = Table::new(
+        "mesh — availability under kill/restart",
+        vec![
+            "requests".into(),
+            "completed".into(),
+            "identical".into(),
+            "failovers".into(),
+            "availability".into(),
+        ],
+    );
+    let passes = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 10,
+    };
+    let problems: Vec<Stencil> = (1..=6i64)
+        .map(|k| Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid"))
+        .collect();
+    let truths: Vec<(uov_isg::IVec, u128, u64)> = problems
+        .iter()
+        .map(|s| {
+            let r = find_best_uov(s, Objective::ShortestVector, &SearchConfig::default())
+                .expect("direct search");
+            let c = certify(s, &Objective::ShortestVector, &r).expect("certify");
+            (r.uov.clone(), r.cost, c.transcript_hash)
+        })
+        .collect();
+
+    let mut figures = MeshFigures {
+        requests: 0,
+        completed: 0,
+        identical: 0,
+        failovers: 0,
+        availability: 0.0,
+        table: Table::new("placeholder", vec![]),
+    };
+    let mut set = match ReplicaSet::start(3, ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            t.push(vec![
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                e.to_string(),
+                "0".into(),
+            ]);
+            figures.table = t;
+            return figures;
+        }
+    };
+    let endpoints: Vec<String> = set.endpoints().to_vec();
+    let mut mesh = match MeshClient::new(
+        &endpoints,
+        MeshConfig {
+            backoff_base: std::time::Duration::from_millis(1),
+            backoff_max: std::time::Duration::from_millis(4),
+            ..MeshConfig::default()
+        },
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            t.push(vec![
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                e.to_string(),
+                "0".into(),
+            ]);
+            figures.table = t;
+            return figures;
+        }
+    };
+
+    // Kill a rotating shard every pass; restart it the following pass.
+    let mut down: Option<usize> = None;
+    for pass in 0..passes {
+        if let Some(i) = down.take() {
+            let _ = set.restart(i);
+        }
+        let victim = pass % 3;
+        set.kill(victim);
+        down = Some(victim);
+        for (i, stencil) in problems.iter().enumerate() {
+            figures.requests += 1;
+            let req = PlanRequest {
+                stencil: stencil.clone(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0,
+                flags: 0,
+            };
+            if let Ok(resp) = mesh.plan(&req) {
+                figures.completed += 1;
+                let (uov, cost, hash) = &truths[i];
+                if &resp.uov == uov && &resp.cost == cost && &resp.certificate_hash == hash {
+                    figures.identical += 1;
+                }
+            }
+        }
+    }
+    figures.failovers = mesh.stats().failovers;
+    figures.availability = if figures.requests > 0 {
+        figures.completed as f64 / figures.requests as f64
+    } else {
+        0.0
+    };
+    set.shutdown_all();
+    t.push(vec![
+        figures.requests.to_string(),
+        figures.completed.to_string(),
+        figures.identical.to_string(),
+        figures.failovers.to_string(),
+        format!("{:.3}", figures.availability),
+    ]);
+    figures.table = t;
+    figures
+}
+
+struct DistributedFigures {
+    redispatches: u64,
+    rounds: u64,
+    matches_direct: bool,
+    table: Table,
+}
+
+/// One distributed search with the home shard killed at round 0:
+/// byte-compared to the direct solve, re-dispatch count recorded.
+fn distributed_differential() -> DistributedFigures {
+    let mut t = Table::new(
+        "mesh — distributed search, home shard killed mid-search",
+        vec![
+            "rounds".into(),
+            "redispatches".into(),
+            "matches direct".into(),
+        ],
+    );
+    let mut figures = DistributedFigures {
+        redispatches: 0,
+        rounds: 0,
+        matches_direct: false,
+        table: Table::new("placeholder", vec![]),
+    };
+    let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 5]]).expect("valid");
+    let direct = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("direct search");
+    let cert = certify(&stencil, &Objective::ShortestVector, &direct).expect("certify");
+
+    let Ok(mut set) = ReplicaSet::start(3, ServerConfig::default()) else {
+        t.push(vec!["-".into(), "-".into(), "replicas unavailable".into()]);
+        figures.table = t;
+        return figures;
+    };
+    let endpoints: Vec<String> = set.endpoints().to_vec();
+    let Ok(mut mesh) = MeshClient::new(
+        &endpoints,
+        MeshConfig {
+            local_prefix_nodes: 4,
+            unit_node_budget: 12,
+            ..MeshConfig::default()
+        },
+    ) else {
+        t.push(vec!["-".into(), "-".into(), "mesh unavailable".into()]);
+        figures.table = t;
+        return figures;
+    };
+    let req = PlanRequest {
+        stencil,
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    };
+    let home = mesh.ring().route(MeshClient::routing_key(&req));
+    let resp = mesh.plan_distributed_hooked(&req, &mut |round| {
+        if round == 0 {
+            set.kill(home);
+        }
+    });
+    figures.redispatches = mesh.stats().redispatches;
+    figures.rounds = mesh.stats().rounds;
+    figures.matches_direct = resp.is_ok_and(|r| {
+        r.uov == direct.uov && r.cost == direct.cost && r.certificate_hash == cert.transcript_hash
+    });
+    set.shutdown_all();
+    t.push(vec![
+        figures.rounds.to_string(),
+        figures.redispatches.to_string(),
+        figures.matches_direct.to_string(),
+    ]);
+    figures.table = t;
+    figures
+}
+
+/// Hand-rolled JSON with a fixed key order; all floats are finite by
+/// construction, so the output is always valid JSON.
+fn render_json(
+    search: &SearchFigures,
+    service: &ServiceFigures,
+    mesh: &MeshFigures,
+    distributed: &DistributedFigures,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"uov-bench-pr6-v1\",\n",
+            "  \"search\": {{\n",
+            "    \"nodes\": {},\n",
+            "    \"elapsed_ms\": {:.3},\n",
+            "    \"nodes_per_sec\": {:.1}\n",
+            "  }},\n",
+            "  \"service\": {{\n",
+            "    \"cold_p50_us\": {},\n",
+            "    \"cold_p99_us\": {},\n",
+            "    \"warm_p50_us\": {},\n",
+            "    \"warm_p99_us\": {},\n",
+            "    \"cache_hit_p50_us\": {},\n",
+            "    \"warm_hit_rate\": {:.4}\n",
+            "  }},\n",
+            "  \"mesh\": {{\n",
+            "    \"requests\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"identical\": {},\n",
+            "    \"failovers\": {},\n",
+            "    \"availability\": {:.4}\n",
+            "  }},\n",
+            "  \"distributed\": {{\n",
+            "    \"rounds\": {},\n",
+            "    \"redispatches\": {},\n",
+            "    \"matches_direct\": {}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        search.nodes,
+        search.elapsed_ms,
+        search.nodes_per_sec,
+        service.cold_p50_us,
+        service.cold_p99_us,
+        service.warm_p50_us,
+        service.warm_p99_us,
+        service.warm_p50_us,
+        service.warm_hit_rate,
+        mesh.requests,
+        mesh.completed,
+        mesh.identical,
+        mesh.failovers,
+        mesh.availability,
+        distributed.rounds,
+        distributed.redispatches,
+        distributed.matches_direct,
+    )
+}

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod baseline;
 pub mod chaos;
 pub mod extension;
+pub mod mesh;
 pub mod npc;
 pub mod overhead;
 pub mod resilience;
@@ -38,6 +39,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "resilience" => resilience::all(scale),
         "service" => service::all(scale),
         "chaos" => chaos::all(scale),
+        "mesh" => mesh::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -72,6 +74,7 @@ pub fn all_names() -> Vec<&'static str> {
         "resilience",
         "service",
         "chaos",
+        "mesh",
         "jacobi",
         "tiles",
         "baseline",

@@ -122,6 +122,15 @@ pub struct SearchConfig {
     /// search; the first one is reported in
     /// [`SearchResult::checkpoint_error`] and disables further writes.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Externally supplied incumbent-cost bound, used *only* to tighten
+    /// pruning. Sound iff the value is the cost of a genuine UOV for the
+    /// same `(stencil, objective)` — then the optimum costs at most the
+    /// hint, pruning stays strict, and ties at the hint survive to the
+    /// canonical tie-break, so the returned `(uov, cost)` is unchanged
+    /// (only the visit counters shrink). A stale (too-high) hint merely
+    /// weakens pruning; this is what makes the mesh's best-effort bound
+    /// gossip safe.
+    pub bound_hint: Option<u128>,
 }
 
 impl Default for SearchConfig {
@@ -131,6 +140,7 @@ impl Default for SearchConfig {
             budget: Budget::default(),
             threads: 1,
             checkpoint: None,
+            bound_hint: None,
         }
     }
 }
@@ -311,7 +321,15 @@ pub fn find_best_uov(
 ) -> Result<SearchResult, SearchError> {
     let (domain_facts, setup) = validated_setup(stencil, &objective)?;
     let seed = SeedState::fresh(&setup);
-    run_engines(stencil, &objective, config, &domain_facts, &setup, seed)
+    run_engines(
+        stencil,
+        &objective,
+        config,
+        &domain_facts,
+        &setup,
+        seed,
+        None,
+    )
 }
 
 /// Resume a search from a snapshot written by a previous (interrupted or
@@ -342,6 +360,25 @@ pub fn search_resume(
     config: &SearchConfig,
 ) -> Result<SearchResult, SearchError> {
     let snap = checkpoint::read_snapshot(path)?;
+    search_from_snapshot(snap, stencil, objective, config)
+}
+
+/// [`search_resume`] for a snapshot already in memory: validate it
+/// against the live `(stencil, objective)` pair and continue the search
+/// from its state. This is the entry point the planning mesh uses for
+/// work units shipped over the wire in the `UOVCKPT1` format — the
+/// snapshot arrives as bytes, is structurally re-validated exactly like a
+/// file-based resume, and runs under the caller's budget.
+///
+/// # Errors
+///
+/// Everything [`search_resume`] reports except the file read itself.
+pub fn search_from_snapshot(
+    snap: Snapshot,
+    stencil: &Stencil,
+    objective: Objective<'_>,
+    config: &SearchConfig,
+) -> Result<SearchResult, SearchError> {
     let (domain_facts, setup) = validated_setup(stencil, &objective)?;
     let expected = checkpoint::fingerprint(stencil, &objective);
     if snap.fingerprint != expected {
@@ -352,7 +389,72 @@ pub fn search_resume(
     }
     let seed = SeedState::from_snapshot(&objective, &setup, snap)?;
     config.budget.restore_nodes_charged(seed.nodes_charged);
-    run_engines(stencil, &objective, config, &domain_facts, &setup, seed)
+    run_engines(
+        stencil,
+        &objective,
+        config,
+        &domain_facts,
+        &setup,
+        seed,
+        None,
+    )
+}
+
+/// Run one search *work unit*: start from `seed` (a wire-shipped
+/// snapshot, or a fresh origin when `None`), run under `config`, and
+/// return both the result and a snapshot of the final state — incumbent,
+/// PATHSET table, and whatever frontier the budget left unexplored.
+///
+/// The returned snapshot upholds the same invariant as an on-disk
+/// checkpoint: every discovered-but-not-fully-expanded path is in the
+/// frontier (including an entry a worker had in hand when the budget cut
+/// it short), so a coordinator can merge unit snapshots and re-dispatch
+/// the leftovers without ever losing a subtree. An empty final frontier
+/// means the unit ran to exhaustion.
+///
+/// # Errors
+///
+/// Everything [`search_from_snapshot`] reports. Budget exhaustion is not
+/// an error — it shows up as `result.degradation` plus a non-empty
+/// frontier in the snapshot.
+pub fn search_unit(
+    seed: Option<Snapshot>,
+    stencil: &Stencil,
+    objective: Objective<'_>,
+    config: &SearchConfig,
+) -> Result<(SearchResult, Snapshot), SearchError> {
+    let (domain_facts, setup) = validated_setup(stencil, &objective)?;
+    let expected = checkpoint::fingerprint(stencil, &objective);
+    let seed_state = match seed {
+        Some(snap) => {
+            if snap.fingerprint != expected {
+                return Err(SearchError::Checkpoint(CheckpointError::StencilMismatch {
+                    expected,
+                    found: snap.fingerprint,
+                }));
+            }
+            let state = SeedState::from_snapshot(&objective, &setup, snap)?;
+            config.budget.restore_nodes_charged(state.nodes_charged);
+            state
+        }
+        None => SeedState::fresh(&setup),
+    };
+    let mut capture: Option<Snapshot> = None;
+    let result = run_engines(
+        stencil,
+        &objective,
+        config,
+        &domain_facts,
+        &setup,
+        seed_state,
+        Some(&mut capture),
+    )?;
+    let snap = capture.ok_or_else(|| {
+        SearchError::Checkpoint(CheckpointError::Corrupt(
+            "engine returned without capturing a final snapshot".to_string(),
+        ))
+    })?;
+    Ok((result, snap))
 }
 
 /// Validate the problem and precompute the per-search constants.
@@ -403,20 +505,37 @@ fn run_engines(
     domain_facts: &Option<DomainFacts>,
     setup: &Setup,
     seed: SeedState,
+    capture: Option<&mut Option<Snapshot>>,
 ) -> Result<SearchResult, SearchError> {
     if config.threads <= 1 {
         // The sequential engine's state lives on this stack frame, so a
         // caught panic cannot leave a final checkpoint behind — the
         // latest interval snapshot (if any) remains valid for resume.
         catch_unwind(AssertUnwindSafe(|| {
-            search_sequential(stencil, objective, config, domain_facts, setup, seed)
+            search_sequential(
+                stencil,
+                objective,
+                config,
+                domain_facts,
+                setup,
+                seed,
+                capture,
+            )
         }))
         .map_err(|payload| SearchError::WorkerPanic {
             worker: 0,
             payload: panic_message(payload.as_ref()),
         })
     } else {
-        search_parallel(stencil, objective, config, domain_facts, setup, seed)
+        search_parallel(
+            stencil,
+            objective,
+            config,
+            domain_facts,
+            setup,
+            seed,
+            capture,
+        )
     }
 }
 
@@ -583,6 +702,7 @@ impl CkptSink<'_> {
 }
 
 /// The single-threaded engine: one priority queue, one PATHSET map.
+#[allow(clippy::too_many_arguments)]
 fn search_sequential(
     stencil: &Stencil,
     objective: &Objective<'_>,
@@ -590,8 +710,12 @@ fn search_sequential(
     domain_facts: &Option<DomainFacts>,
     setup: &Setup,
     seed: SeedState,
+    capture: Option<&mut Option<Snapshot>>,
 ) -> SearchResult {
     let budget = &config.budget;
+    // A gossiped bound tightens pruning but never replaces the incumbent:
+    // only a witness vector can win, a scalar cannot.
+    let hint = config.bound_hint.unwrap_or(u128::MAX);
     let mut best_key = seed.incumbent;
     let mut stats = seed.base;
     let mut degradation: Option<Degradation> = None;
@@ -606,9 +730,10 @@ fn search_sequential(
         .map(|(cost, w, mask)| std::cmp::Reverse((cost, w, mask)))
         .collect();
 
+    let fingerprint = checkpoint::fingerprint(stencil, objective);
     let mut ckpt = config.checkpoint.as_ref().map(|cfg| CkptSink {
         cfg,
-        fingerprint: checkpoint::fingerprint(stencil, objective),
+        fingerprint,
         since: 0,
         error: None,
     });
@@ -667,9 +792,10 @@ fn search_sequential(
             let len_sq_lb = (phi_child as u128 * phi_child as u128) / setup.phi_norm_sq;
             // Strict comparisons: a subtree that can still *tie* the
             // incumbent must survive to the lexicographic tie-break.
+            let eff_bound = best_key.0.min(hint);
             let dominated = match domain_facts {
-                None => len_sq_lb > best_key.0,
-                Some(facts) => facts.dominated(len_sq_lb, best_key.0),
+                None => len_sq_lb > eff_bound,
+                Some(facts) => facts.dominated(len_sq_lb, eff_bound),
             };
             if dominated {
                 stats.pruned += 1;
@@ -745,6 +871,18 @@ fn search_sequential(
         sink.write(&snap);
         sink.error
     });
+    if let Some(slot) = capture {
+        *slot = Some(sequential_snapshot(
+            fingerprint,
+            setup,
+            &known,
+            &heap,
+            in_hand.as_ref(),
+            &best_key,
+            &stats,
+            budget,
+        ));
+    }
 
     SearchResult {
         uov: best_key.2,
@@ -870,6 +1008,10 @@ struct ParSearch<'a> {
     /// Saturated incumbent cost for lock-free pruning: always ≥ the true
     /// best cost, so pruning against it is sound.
     bound: AtomicU64,
+    /// Saturated external bound hint ([`SearchConfig::bound_hint`]);
+    /// `u64::MAX` means "no hint". Tightens pruning alongside `bound`
+    /// but never touches the incumbent.
+    hint: u64,
     /// Per-worker slot for the entry popped but not yet fully expanded.
     /// Early-stopping paths (budget, panic, memo cap) leave the entry
     /// here so snapshots never lose its subtree.
@@ -941,7 +1083,7 @@ impl ParSearch<'_> {
     /// is provably worse than the shared incumbent (strictly — ties
     /// survive to the deterministic tie-break).
     fn child_dominated(&self, len_sq_lb: u128) -> bool {
-        let bound = self.bound.load(Ordering::Acquire);
+        let bound = self.bound.load(Ordering::Acquire).min(self.hint);
         if bound == u64::MAX {
             return false; // bound not representable: prune nothing (sound)
         }
@@ -1094,7 +1236,7 @@ impl ParSearch<'_> {
                 visited: self.visited.load(Ordering::Relaxed),
                 ..self.stats_base.clone()
             };
-            let snap = self.build_snapshot(ck, &stats);
+            let snap = self.build_snapshot(ck.fingerprint, &stats);
             if let Err(e) = checkpoint::write_snapshot(&ck.cfg.path, &snap) {
                 ck.failed.store(true, Ordering::Relaxed);
                 let mut slot = lock_unpoisoned(&ck.error);
@@ -1132,7 +1274,7 @@ impl ParSearch<'_> {
     /// Collect the full live state into a snapshot. Sound only when the
     /// state is quiescent: at a completed barrier or after the pool has
     /// been joined.
-    fn build_snapshot(&self, ck: &ParCkpt<'_>, stats: &SearchStats) -> Snapshot {
+    fn build_snapshot(&self, fingerprint: u64, stats: &SearchStats) -> Snapshot {
         let mut known: HashMap<IVec, u64> = HashMap::new();
         for shard in &self.known {
             let guard = lock_unpoisoned(shard);
@@ -1157,7 +1299,7 @@ impl ParSearch<'_> {
         }
         let (incumbent_cost, _, incumbent) = lock_unpoisoned(&self.incumbent).clone();
         Snapshot {
-            fingerprint: ck.fingerprint,
+            fingerprint,
             dim: self.setup.dim,
             incumbent_cost,
             incumbent,
@@ -1232,6 +1374,7 @@ impl ParSearch<'_> {
 /// Worker bodies run under `catch_unwind`: a panic stops the pool, lets
 /// the survivors drain, still writes the final checkpoint, and surfaces
 /// as `Err(SearchError::WorkerPanic)`.
+#[allow(clippy::too_many_arguments)]
 fn search_parallel(
     stencil: &Stencil,
     objective: &Objective<'_>,
@@ -1239,11 +1382,13 @@ fn search_parallel(
     domain_facts: &Option<DomainFacts>,
     setup: &Setup,
     seed: SeedState,
+    capture: Option<&mut Option<Snapshot>>,
 ) -> Result<SearchResult, SearchError> {
     let threads = config.threads.max(2);
+    let fingerprint = checkpoint::fingerprint(stencil, objective);
     let ckpt = config.checkpoint.as_ref().map(|cfg| ParCkpt {
         cfg,
-        fingerprint: checkpoint::fingerprint(stencil, objective),
+        fingerprint,
         since: AtomicU64::new(0),
         requested: AtomicBool::new(false),
         failed: AtomicBool::new(false),
@@ -1270,6 +1415,7 @@ fn search_parallel(
         stop: AtomicBool::new(false),
         stop_reason: Mutex::new(None),
         bound: AtomicU64::new(saturate_bound(seed.incumbent.0)),
+        hint: config.bound_hint.map_or(u64::MAX, saturate_bound),
         incumbent: Mutex::new(seed.incumbent),
         in_hand: (0..threads).map(|_| Mutex::new(None)).collect(),
         stats_base: seed.base.clone(),
@@ -1336,11 +1482,14 @@ fn search_parallel(
     if let Some(ck) = &par.ckpt {
         checkpoint_error = lock_unpoisoned(&ck.error).take();
         if checkpoint_error.is_none() {
-            let snap = par.build_snapshot(ck, &stats);
+            let snap = par.build_snapshot(ck.fingerprint, &stats);
             if let Err(e) = checkpoint::write_snapshot(&ck.cfg.path, &snap) {
                 checkpoint_error = Some(e);
             }
         }
+    }
+    if let Some(slot) = capture {
+        *slot = Some(par.build_snapshot(fingerprint, &stats));
     }
 
     if let Some((worker, payload)) = lock_unpoisoned(&par.panic_slot).take() {
@@ -1571,6 +1720,7 @@ mod tests {
             threads: 1,
             budget: Budget::unlimited().with_max_nodes(2),
             checkpoint: None,
+            bound_hint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1591,6 +1741,7 @@ mod tests {
             threads: 1,
             budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
             checkpoint: None,
+            bound_hint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1616,6 +1767,7 @@ mod tests {
             threads: 1,
             budget: Budget::unlimited().with_cancel_token(token),
             checkpoint: None,
+            bound_hint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1635,6 +1787,7 @@ mod tests {
             threads: 1,
             budget: Budget::unlimited().with_max_memo_entries(2),
             checkpoint: None,
+            bound_hint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -1653,6 +1806,7 @@ mod tests {
                 .with_max_nodes(1_000_000)
                 .with_deadline(std::time::Duration::from_secs(60)),
             checkpoint: None,
+            bound_hint: None,
         };
         let best = find_best_uov(&stencil5(), Objective::ShortestVector, &config).unwrap();
         assert_eq!(best.uov, ivec![2, 0]);
@@ -1760,6 +1914,7 @@ mod tests {
             threads: 4,
             budget: Budget::unlimited().with_max_nodes(2),
             checkpoint: None,
+            bound_hint: None,
         };
         let res = find_best_uov(&s, Objective::ShortestVector, &config).unwrap();
         assert!(!res.stats.complete);
@@ -2012,5 +2167,117 @@ mod tests {
         assert_eq!(resumed.uov, reference.uov);
         assert_eq!(resumed.cost, reference.cost);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bound_hint_never_changes_the_answer() {
+        for s in [fig1(), stencil5()] {
+            for threads in [1usize, 4] {
+                let plain =
+                    find_best_uov(&s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+                // Hints at the optimum, above it, and absurdly above it
+                // must all return the identical canonical answer; a tight
+                // hint may only shrink the visit counters.
+                for hint in [plain.cost, plain.cost + 1, plain.cost * 100] {
+                    let hinted = find_best_uov(
+                        &s,
+                        Objective::ShortestVector,
+                        &SearchConfig {
+                            bound_hint: Some(hint),
+                            ..with_threads(threads)
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(hinted.uov, plain.uov, "threads={threads} hint={hint}");
+                    assert_eq!(hinted.cost, plain.cost, "threads={threads} hint={hint}");
+                    assert!(hinted.stats.complete);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_unit_fresh_run_matches_find_best_uov_and_leaves_no_frontier() {
+        for threads in [1usize, 4] {
+            let s = stencil5();
+            let plain =
+                find_best_uov(&s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+            let (res, snap) =
+                search_unit(None, &s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+            assert_eq!(res.uov, plain.uov);
+            assert_eq!(res.cost, plain.cost);
+            assert_eq!(snap.incumbent, plain.uov);
+            assert_eq!(snap.incumbent_cost, plain.cost);
+            assert!(
+                snap.frontier.is_empty(),
+                "a completed unit leaves no frontier (threads={threads})"
+            );
+            assert_eq!(
+                snap.fingerprint,
+                checkpoint::fingerprint(&s, &Objective::ShortestVector)
+            );
+        }
+    }
+
+    #[test]
+    fn budget_cut_unit_resumes_through_snapshots_to_the_exact_answer() {
+        for threads in [1usize, 4] {
+            for cut in [1u64, 3, 7] {
+                let s = stencil5();
+                let reference =
+                    find_best_uov(&s, Objective::ShortestVector, &with_threads(threads)).unwrap();
+                // Run node-capped units back-to-back, each seeded with the
+                // previous unit's in-memory snapshot — the wire path of a
+                // mesh work unit, minus the wire.
+                let config = || SearchConfig {
+                    budget: Budget::unlimited().with_max_nodes(cut),
+                    ..with_threads(threads)
+                };
+                let (mut res, mut snap) =
+                    search_unit(None, &s, Objective::ShortestVector, &config()).unwrap();
+                let mut rounds = 0;
+                while !snap.frontier.is_empty() {
+                    rounds += 1;
+                    assert!(rounds < 10_000, "unit chain failed to converge");
+                    let fresh = SearchConfig {
+                        budget: Budget::unlimited().with_max_nodes(cut),
+                        ..with_threads(threads)
+                    };
+                    // Each unit gets a fresh allowance: clear the charge
+                    // carried inside the snapshot.
+                    let mut reseed = snap;
+                    reseed.nodes_charged = 0;
+                    (res, snap) =
+                        search_unit(Some(reseed), &s, Objective::ShortestVector, &fresh).unwrap();
+                }
+                assert_eq!(
+                    (res.uov, res.cost),
+                    (reference.uov.clone(), reference.cost),
+                    "threads={threads} cut={cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_unit_rejects_a_snapshot_from_a_different_problem() {
+        let (_, snap) = search_unit(
+            None,
+            &stencil5(),
+            Objective::ShortestVector,
+            &with_threads(1),
+        )
+        .unwrap();
+        let err = search_unit(
+            Some(snap),
+            &fig1(),
+            Objective::ShortestVector,
+            &with_threads(1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::Checkpoint(CheckpointError::StencilMismatch { .. })
+        ));
     }
 }

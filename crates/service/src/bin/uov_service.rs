@@ -3,7 +3,7 @@
 //! ```text
 //! uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N]
 //!                               [--warm-cache PATH] [--wedge-timeout MS]
-//! uov-service query  <endpoint> --stencil "1,0;0,1;1,1" [--grid N,M] [--deadline MS] [--no-cache]
+//! uov-service query  <endpoint> --stencil "1,0;0,1;1,1" [--grid N,M] [--deadline MS] [--no-cache] [--mesh]
 //! uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N]
 //!                               [--deadline MS] [--csv]
 //! uov-service health <endpoint>
@@ -14,15 +14,17 @@
 //! Endpoints are TCP addresses (`127.0.0.1:7878`; port `0` picks a free
 //! port and prints it) or Unix sockets (`unix:/tmp/uov.sock`). `query`
 //! accepts a comma-separated replica list and plans through the
-//! resilient fabric when more than one endpoint is given.
+//! resilient fabric when more than one endpoint is given; with `--mesh`
+//! it instead routes by consistent hash and distributes the search
+//! across the shards as re-dispatchable work units.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use uov_isg::{IVec, RectDomain, Stencil};
 use uov_service::{
-    serve, Client, LoadGenConfig, ObjectiveSpec, PlanRequest, ResilientClient, ResilientConfig,
-    ServerConfig, FLAG_NO_CACHE,
+    serve, Client, LoadGenConfig, MeshClient, MeshConfig, ObjectiveSpec, PlanRequest,
+    ResilientClient, ResilientConfig, ServerConfig, FLAG_NO_CACHE,
 };
 
 fn main() -> ExitCode {
@@ -52,7 +54,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N] [--warm-cache PATH] [--wedge-timeout MS]
-  uov-service query  <endpoint[,endpoint…]> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache]
+  uov-service query  <endpoint[,endpoint…]> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache] [--mesh]
   uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N] [--deadline MS] [--csv]
   uov-service smoke  <endpoint>
   uov-service health <endpoint>
@@ -153,22 +155,42 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         deadline_ms,
         flags,
     };
+    let mesh_mode = args.iter().any(|a| a == "--mesh");
     let resp = if endpoint.contains(',') {
-        // A replica list: plan through the resilient fabric.
         let endpoints: Vec<String> = endpoint
             .split(',')
             .map(|e| e.trim().to_string())
             .filter(|e| !e.is_empty())
             .collect();
-        let mut fabric = ResilientClient::new(
-            &endpoints,
-            ResilientConfig {
-                attempt_timeout: Duration::from_secs(600),
-                ..ResilientConfig::default()
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        fabric.plan(&req).map_err(|e| e.to_string())?
+        if mesh_mode {
+            // Consistent-hash routing + distributed work units.
+            let mut mesh = MeshClient::new(
+                &endpoints,
+                MeshConfig {
+                    attempt_timeout: Duration::from_secs(600),
+                    ..MeshConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let resp = mesh.plan_distributed(&req).map_err(|e| e.to_string())?;
+            let stats = mesh.stats();
+            println!(
+                "mesh        {} round(s), {} unit(s), {} redispatch(es)",
+                stats.rounds, stats.units_dispatched, stats.redispatches
+            );
+            resp
+        } else {
+            // A replica list: plan through the resilient fabric.
+            let mut fabric = ResilientClient::new(
+                &endpoints,
+                ResilientConfig {
+                    attempt_timeout: Duration::from_secs(600),
+                    ..ResilientConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            fabric.plan(&req).map_err(|e| e.to_string())?
+        }
     } else {
         let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
         client
@@ -335,10 +357,20 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("| panics | {} |", s.server.panics);
     println!("| watchdog cancels | {} |", s.server.watchdog_cancels);
     println!("| worker restarts | {} |", s.server.worker_restarts);
+    println!("| work units | {} |", s.server.workunits);
+    println!("| warm-load corrupt | {} |", s.server.warm_load_corrupt);
+    println!("| warm-load version | {} |", s.server.warm_load_version);
     println!("| cache hits | {} |", s.cache.hits);
     println!("| cache misses | {} |", s.cache.misses);
     println!("| cache coalesced | {} |", s.cache.coalesced);
     println!("| cache warm-loaded | {} |", s.cache.warm_loaded);
+    match s.bound {
+        Some(b) => println!(
+            "| gossip bound | cost {} for problem {:#018x} |",
+            b.cost, b.fingerprint
+        ),
+        None => println!("| gossip bound | none |"),
+    }
     Ok(())
 }
 

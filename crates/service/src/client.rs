@@ -6,7 +6,7 @@ use std::time::Duration;
 use crate::error::{ErrorCode, ServiceError};
 use crate::proto::{
     kind, read_frame, write_frame, ErrorResponse, HealthResponse, PlanRequest, PlanResponse,
-    StatsResponse,
+    StatsResponse, WorkUnitRequest, WorkUnitResponse,
 };
 use crate::server::AnyStream;
 
@@ -138,6 +138,32 @@ impl Client {
             }
             Some((other, _)) => Err(ServiceError::Malformed(format!(
                 "unexpected response frame kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
+    /// Execute one distributed-search work unit on the server: ship a
+    /// `UOVCKPT1` snapshot, get the advanced snapshot back. Idempotent
+    /// for the same reason plans are (the unit is a pure function of the
+    /// shipped state), so the same single-reconnect discipline applies.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Rejected`] for typed server errors; the transport
+    /// taxonomy of [`read_frame`] otherwise.
+    pub fn workunit(&mut self, req: &WorkUnitRequest) -> Result<WorkUnitResponse, ServiceError> {
+        match self.exchange(kind::REQ_WORKUNIT, &req.encode())? {
+            Some((kind::RESP_WORKUNIT, payload)) => WorkUnitResponse::decode(&payload),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected work-unit response kind {other}"
             ))),
             None => Err(ServiceError::ConnectionClosed),
         }

@@ -27,6 +27,11 @@
 //! * [`chaos`] — a deterministic seeded chaos proxy (resets, stalls,
 //!   latency spikes, truncation, bit-flips) and a replica kill/restart
 //!   orchestrator, turning every resilience claim into a repeatable test.
+//! * [`mesh`] — a fault-tolerant planning mesh: consistent-hash shard
+//!   routing (each canonical problem has a home shard, with deterministic
+//!   ring failover) and distributed branch-and-bound that ships PATHSET
+//!   subtrees as `UOVCKPT1` work units, re-dispatching any unit whose
+//!   replica dies mid-search — with a byte-identical-answer guarantee.
 //!
 //! Every answer is re-certified server-side ([`uov_core::certify`]) and
 //! carries the certificate's transcript hash, so a client can prove a
@@ -40,6 +45,7 @@ pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod loadgen;
+pub mod mesh;
 pub mod plan_cache;
 pub mod proto;
 pub mod resilient;
@@ -49,10 +55,11 @@ pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, ReplicaSet};
 pub use client::Client;
 pub use error::{ErrorCode, ServiceError};
 pub use loadgen::{coalescing_burst, run as run_loadgen, BurstReport, LoadGenConfig, LoadReport};
-pub use plan_cache::{CacheStats, PlanCache, Planned};
+pub use mesh::{MeshClient, MeshConfig, MeshEvent, MeshStats, Ring};
+pub use plan_cache::{CacheStats, PlanCache, Planned, WarmCacheError};
 pub use proto::{
-    CacheOutcome, DegradationCode, HealthResponse, ObjectiveSpec, PlanRequest, PlanResponse,
-    StatsResponse, FLAG_NO_CACHE,
+    BoundGossip, CacheOutcome, DegradationCode, HealthResponse, ObjectiveSpec, PlanRequest,
+    PlanResponse, StatsResponse, WorkUnitRequest, WorkUnitResponse, FLAG_NO_CACHE,
 };
 pub use resilient::{FabricEvent, FailureClass, ResilientClient, ResilientConfig};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,1140 @@
+//! A fault-tolerant planning mesh: consistent-hash shard routing plus
+//! distributed branch-and-bound over `UOVCKPT1` work units.
+//!
+//! Two capabilities, one client:
+//!
+//! * **Routing** ([`MeshClient::plan`]) — every problem is canonicalized
+//!   ([`crate::canon`]) and its canonical fingerprint is looked up on a
+//!   consistent-hash [`Ring`] with virtual nodes, so each problem has a
+//!   stable *home shard* (and axis-relabeled duplicates of the same
+//!   problem land on the same replica's plan cache). When the home
+//!   shard's circuit breaker is open the request fails over to the next
+//!   live ring successor — deterministically, so two coordinators agree
+//!   on the failover order.
+//! * **Distributed search** ([`MeshClient::plan_distributed`]) — a large
+//!   search is split across replicas by shipping PATHSET subtrees as
+//!   [`crate::proto::WorkUnitRequest`] frames whose payload is the PR 3
+//!   `UOVCKPT1` snapshot format, verbatim. The coordinator holds a lease
+//!   (the per-attempt socket timeout) on every outstanding unit and
+//!   re-dispatches a unit to the next ring successor when its replica
+//!   dies, times out, or returns a damaged frame.
+//!
+//! # Why a multi-round fixpoint, not a one-shot scatter
+//!
+//! The branch-and-bound PATHSET table is *not* partition-independent: an
+//! offset `w` can be reachable along paths explored in different work
+//! units, and only the **union** of those PATHSETs makes `w` a UOV
+//! candidate (mask = full) or generates a child's full mask. A one-shot
+//! scatter/gather would silently miss such candidates. The coordinator
+//! therefore merges unit snapshots (PATHSET masks by union, incumbents by
+//! the engine's canonical total order), then *re-frontiers* every offset
+//! whose merged mask has not provably been expanded by some single engine
+//! — and loops until no frontier remains. Masks are monotone and bounded
+//! and the explored region is capped by the engine's `phi_cap`, so the
+//! fixpoint terminates; because the engine's pruning is strict and every
+//! bound it prunes against is the cost of a genuine UOV, the fixpoint
+//! answer is byte-identical to a direct in-process search — the
+//! differential chaos tests assert exactly that, mid-kill included.
+//!
+//! # Bound gossip
+//!
+//! Replicas piggyback their best proven incumbent bound on the stats
+//! frame ([`crate::proto::BoundGossip`]). The coordinator folds a
+//! matching bound into each unit's `bound_hint`. Staleness is sound: a
+//! gossiped bound is always the cost of a *genuine* UOV, so it can only
+//! over-estimate the optimum, and the engine prunes strictly (`>`), so
+//! ties survive to the lexicographic tie-break. A lost or stale gossip
+//! frame costs visits, never correctness.
+
+use std::collections::{HashMap, HashSet};
+use std::thread;
+use std::time::Duration;
+
+use uov_core::certify::certify;
+use uov_core::checkpoint::{decode_snapshot, encode_snapshot, Snapshot};
+use uov_core::search::{search_unit, try_cost_of, SearchConfig, SearchStats};
+use uov_core::{fingerprint, Budget, Fnv, SearchResult};
+use uov_isg::IVec;
+
+use crate::canon::canonicalize;
+use crate::client::Client;
+use crate::error::{ErrorCode, ServiceError};
+use crate::proto::{
+    CacheOutcome, DegradationCode, PlanRequest, PlanResponse, WorkUnitRequest, MAX_PAYLOAD,
+};
+use crate::resilient::{Breaker, XorShift64};
+
+// ------------------------------------------------------------------ ring
+
+/// A consistent-hash ring over shard endpoints, with virtual nodes.
+///
+/// Each endpoint contributes `vnodes` points hashed from the endpoint
+/// string and the vnode index (FNV-1a, the workspace-standard hash), so
+/// the ring depends only on the endpoint *names* — every coordinator
+/// builds the identical ring, and adding or removing one endpoint moves
+/// only the keys on the arcs that endpoint's points claimed or released
+/// (the property test in this module pins that arc-stability down).
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted `(point, shard index)` pairs.
+    points: Vec<(u64, usize)>,
+    /// Number of distinct shards.
+    shards: usize,
+}
+
+impl Ring {
+    /// Build the ring for `endpoints` with `vnodes` points per endpoint.
+    pub fn new(endpoints: &[String], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(endpoints.len() * vnodes);
+        for (i, e) in endpoints.iter().enumerate() {
+            for v in 0..vnodes {
+                let mut h = Fnv::new();
+                h.write(e.as_bytes());
+                h.write_u64(v as u64);
+                points.push((h.finish(), i));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            shards: endpoints.len(),
+        }
+    }
+
+    /// The home shard for `key`: the owner of the first ring point at or
+    /// after `key`, wrapping at the top of the hash space.
+    pub fn route(&self, key: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        self.points[i % self.points.len().max(1)].1
+    }
+
+    /// Every shard, in ring order starting from `key`'s home — the
+    /// deterministic failover order. Each shard appears exactly once.
+    pub fn successors(&self, key: u64) -> Vec<usize> {
+        let n = self.points.len().max(1);
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = vec![false; self.shards];
+        let mut order = Vec::with_capacity(self.shards);
+        for off in 0..n {
+            let shard = self.points[(start + off) % n].1;
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+            }
+        }
+        order
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Tunables for [`MeshClient`].
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Virtual nodes per endpoint on the [`Ring`].
+    pub vnodes: usize,
+    /// The lease on one work-unit (or routed-plan) attempt: the socket
+    /// read timeout after which the coordinator declares the replica
+    /// dead for this unit and re-dispatches.
+    pub attempt_timeout: Duration,
+    /// Attempts per routed plan before [`ServiceError::FabricExhausted`].
+    pub max_route_attempts: u32,
+    /// Attempts per work unit (across ring successors, wrapping) before
+    /// the distributed search as a whole fails.
+    pub max_unit_attempts: u32,
+    /// Nodes the coordinator explores locally before splitting the
+    /// frontier into work units; small problems finish here and are
+    /// never shipped at all.
+    pub local_prefix_nodes: u64,
+    /// Node budget per shipped work unit (`0` = unlimited): small values
+    /// force multiple merge rounds, which the differential tests use to
+    /// exercise the fixpoint.
+    pub unit_node_budget: u64,
+    /// Work units per round (`0` = one per shard).
+    pub units_per_round: usize,
+    /// Consecutive failures that open a shard's circuit breaker.
+    pub failure_threshold: u32,
+    /// Routing passes an open breaker stays open before half-opening.
+    pub cooldown: u32,
+    /// Base delay between attempts on the same unit or route.
+    pub backoff_base: Duration,
+    /// Cap on the exponential backoff.
+    pub backoff_max: Duration,
+    /// Seed for the jittered routed-plan backoff.
+    pub seed: u64,
+    /// Whether to poll shards' stats frames for gossiped incumbent
+    /// bounds between rounds.
+    pub gossip: bool,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            vnodes: 32,
+            attempt_timeout: Duration::from_secs(2),
+            max_route_attempts: 8,
+            max_unit_attempts: 12,
+            local_prefix_nodes: 64,
+            unit_node_budget: 0,
+            units_per_round: 0,
+            failure_threshold: 3,
+            cooldown: 4,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(50),
+            seed: 0x4D_E5_11,
+            gossip: true,
+        }
+    }
+}
+
+/// Monotone counters describing a [`MeshClient`]'s traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshStats {
+    /// Requests routed by consistent hash.
+    pub routed: u64,
+    /// Routed requests served by a shard other than their home.
+    pub failovers: u64,
+    /// Distributed searches coordinated.
+    pub distributed: u64,
+    /// Merge rounds run across all distributed searches.
+    pub rounds: u64,
+    /// Work units dispatched (first attempts).
+    pub units_dispatched: u64,
+    /// Work-unit re-dispatches after a dead, slow, or damaged replica.
+    pub redispatches: u64,
+    /// Gossiped bounds folded into unit hints.
+    pub gossip_hints: u64,
+    /// Distributed searches that fell back to a routed single-shard
+    /// plan because a unit payload exceeded the frame limit.
+    pub oversize_fallbacks: u64,
+}
+
+/// One entry in the mesh's replayable decision log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshEvent {
+    /// A request was routed to its home shard.
+    Routed {
+        /// The canonical routing key.
+        key: u64,
+        /// The home shard.
+        shard: usize,
+    },
+    /// A routed request was served away from home.
+    Failover {
+        /// The home shard that was skipped or failed.
+        home: usize,
+        /// The shard that served instead.
+        shard: usize,
+    },
+    /// A work unit went out.
+    UnitDispatched {
+        /// Merge round.
+        round: usize,
+        /// Unit index within the round.
+        unit: usize,
+        /// Target shard.
+        shard: usize,
+    },
+    /// A work unit was re-dispatched after a failed attempt.
+    UnitRedispatched {
+        /// Merge round.
+        round: usize,
+        /// Unit index within the round.
+        unit: usize,
+        /// The shard that failed the lease.
+        from: usize,
+        /// The next ring successor tried.
+        to: usize,
+    },
+    /// A work unit's snapshot came back and validated.
+    UnitCompleted {
+        /// Merge round.
+        round: usize,
+        /// Unit index within the round.
+        unit: usize,
+        /// The shard that served it.
+        shard: usize,
+    },
+    /// A merge round finished.
+    RoundMerged {
+        /// Merge round.
+        round: usize,
+        /// Offsets re-frontiered for the next round.
+        frontier: usize,
+    },
+    /// A shard gossiped a usable incumbent bound.
+    GossipBound {
+        /// The gossiping shard.
+        shard: usize,
+        /// The bound (a genuine UOV's cost).
+        cost: u64,
+    },
+}
+
+// ---------------------------------------------------------------- client
+
+/// A client over a shard mesh: consistent-hash routing with breaker-aware
+/// failover, plus the distributed-search coordinator.
+pub struct MeshClient {
+    endpoints: Vec<String>,
+    ring: Ring,
+    conns: Vec<Option<Client>>,
+    breakers: Vec<Breaker>,
+    cfg: MeshConfig,
+    rng: XorShift64,
+    events: Vec<MeshEvent>,
+    stats: MeshStats,
+}
+
+/// What one work-unit dispatch thread reports back: the attempt trail
+/// (shard, success?) in order, and the validated snapshot on success.
+struct UnitOutcome {
+    attempts: Vec<(usize, bool)>,
+    snapshot: Option<Snapshot>,
+    last_error: Option<ServiceError>,
+}
+
+impl MeshClient {
+    /// A mesh over `endpoints`. The ring is a pure function of the
+    /// endpoint names, so every coordinator over the same list agrees on
+    /// homes and failover orders.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Malformed`] if `endpoints` is empty.
+    pub fn new(endpoints: &[String], cfg: MeshConfig) -> Result<Self, ServiceError> {
+        if endpoints.is_empty() {
+            return Err(ServiceError::Malformed("no mesh endpoints".into()));
+        }
+        let ring = Ring::new(endpoints, cfg.vnodes);
+        let seed = cfg.seed;
+        Ok(MeshClient {
+            endpoints: endpoints.to_vec(),
+            ring,
+            conns: (0..endpoints.len()).map(|_| None).collect(),
+            breakers: vec![Breaker::Closed { failures: 0 }; endpoints.len()],
+            cfg,
+            rng: XorShift64::new(seed),
+            events: Vec::new(),
+            stats: MeshStats::default(),
+        })
+    }
+
+    /// The decision log accumulated so far.
+    pub fn events(&self) -> &[MeshEvent] {
+        &self.events
+    }
+
+    /// Drain and return the decision log.
+    pub fn take_events(&mut self) -> Vec<MeshEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> MeshStats {
+        self.stats
+    }
+
+    /// The ring this mesh routes on.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The canonical routing key for a request: the fingerprint of the
+    /// *canonicalized* problem, so axis-relabeled duplicates share a home
+    /// shard (and therefore a plan-cache slot).
+    pub fn routing_key(req: &PlanRequest) -> u64 {
+        let canon = canonicalize(&req.stencil, &req.objective);
+        fingerprint(&canon.stencil, &canon.objective.as_objective())
+    }
+
+    /// Plan through the mesh: home shard first, then live ring
+    /// successors, with per-shard circuit breakers and jittered backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::FabricExhausted`] when every attempt failed; a
+    /// non-retryable rejection (`Malformed`, `Unsupported`) immediately.
+    pub fn plan(&mut self, req: &PlanRequest) -> Result<PlanResponse, ServiceError> {
+        let key = Self::routing_key(req);
+        let order = self.ring.successors(key);
+        let home = order[0];
+        self.stats.routed += 1;
+        self.events.push(MeshEvent::Routed { key, shard: home });
+
+        let max_attempts = self.cfg.max_route_attempts.max(1);
+        let mut last: Option<ServiceError> = None;
+        for attempt in 0..max_attempts {
+            let shard = self.select_shard(&order);
+            match self.attempt_plan(shard, req) {
+                Ok(resp) => {
+                    self.on_success(shard);
+                    if shard != home {
+                        self.stats.failovers += 1;
+                        self.events.push(MeshEvent::Failover { home, shard });
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if Self::is_hard(&e) => return Err(e),
+                Err(e) => {
+                    self.on_failure(shard, &e);
+                    last = Some(e);
+                }
+            }
+            if attempt + 1 < max_attempts {
+                let ms = self.backoff_ms(attempt);
+                if ms > 0 {
+                    thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+        Err(ServiceError::FabricExhausted {
+            attempts: max_attempts,
+            last: Box::new(last.unwrap_or(ServiceError::ConnectionClosed)),
+        })
+    }
+
+    /// Distribute one search across the mesh and certify the merged
+    /// answer locally. See the module docs for the fixpoint argument;
+    /// the returned `(uov, cost, certificate_hash)` is byte-identical to
+    /// a direct in-process search of the same request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::FabricExhausted`] when some work unit ran out of
+    /// replicas to try; [`ServiceError::Malformed`] for an invalid
+    /// problem; [`ServiceError::Internal`]-coded rejections for local
+    /// engine failures.
+    pub fn plan_distributed(&mut self, req: &PlanRequest) -> Result<PlanResponse, ServiceError> {
+        self.plan_distributed_hooked(req, &mut |_| {})
+    }
+
+    /// [`MeshClient::plan_distributed`] with a hook invoked at the start
+    /// of every merge round (with the round index). The chaos tests kill
+    /// and restart replicas from this hook to make "replica dies
+    /// mid-distributed-search" a deterministic, seedable event instead
+    /// of a race.
+    ///
+    /// # Errors
+    ///
+    /// As [`MeshClient::plan_distributed`].
+    pub fn plan_distributed_hooked(
+        &mut self,
+        req: &PlanRequest,
+        on_round: &mut dyn FnMut(usize),
+    ) -> Result<PlanResponse, ServiceError> {
+        let objective = req.objective.as_objective();
+        let fp = fingerprint(&req.stencil, &objective);
+        let full = (1u64 << req.stencil.len().min(63)) - 1;
+        self.stats.distributed += 1;
+
+        // Local sequential prefix: cheap problems never touch the wire,
+        // and expensive ones yield a frontier worth splitting.
+        let prefix = SearchConfig {
+            budget: Budget::unlimited().with_max_nodes(self.cfg.local_prefix_nodes.max(1)),
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let (_, snap) = search_unit(None, &req.stencil, objective, &prefix)
+            .map_err(|e| ServiceError::Malformed(format!("distributed search setup: {e}")))?;
+
+        // Global merged state. `covered[w]` is the union of PATHSET masks
+        // at which some single engine fully expanded `w`; `checked` holds
+        // offsets that were expanded at the *full* mask (so the candidate
+        // check provably ran). An offset is re-frontiered until its
+        // merged mask is covered and, when full, checked.
+        let mut known: HashMap<IVec, u64> = snap.known.into_iter().collect();
+        let mut incumbent = (
+            snap.incumbent_cost,
+            snap.incumbent.try_norm_sq().unwrap_or(i128::MAX),
+            snap.incumbent,
+        );
+        let mut frontier: Vec<(u128, IVec, u64)> = snap.frontier;
+        let mut covered: HashMap<IVec, u64> = HashMap::new();
+        let mut checked: HashSet<IVec> = HashSet::new();
+        let in_frontier: HashSet<IVec> = frontier.iter().map(|(_, w, _)| w.clone()).collect();
+        for (w, m) in &known {
+            if !in_frontier.contains(w) {
+                covered.insert(w.clone(), *m);
+                if *m == full {
+                    checked.insert(w.clone());
+                }
+            }
+        }
+
+        let key = Self::routing_key(req);
+        let order = self.ring.successors(key);
+        let mut round = 0usize;
+        let mut hint: Option<u128> = None;
+
+        while !frontier.is_empty() {
+            on_round(round);
+            self.stats.rounds += 1;
+
+            if self.cfg.gossip {
+                self.fold_gossip(fp, &mut hint);
+            }
+            // The incumbent's own cost is always a sound hint; gossip can
+            // only tighten it further.
+            let bound_hint = Some(hint.map_or(incumbent.0, |h| h.min(incumbent.0)));
+
+            // Deterministic split: sort the frontier by the engine's
+            // queue order, then deal round-robin into unit slices.
+            frontier.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let unit_count = if self.cfg.units_per_round == 0 {
+                self.endpoints.len()
+            } else {
+                self.cfg.units_per_round
+            }
+            .max(1)
+            .min(frontier.len());
+            let mut slices: Vec<Vec<(u128, IVec, u64)>> = vec![Vec::new(); unit_count];
+            for (i, entry) in frontier.drain(..).enumerate() {
+                slices[i % unit_count].push(entry);
+            }
+
+            // Build one work unit per slice. Every unit carries the full
+            // merged PATHSET table and the global incumbent, so its seed
+            // upholds the snapshot invariants the server re-validates.
+            let known_vec: Vec<(IVec, u64)> = known.iter().map(|(w, m)| (w.clone(), *m)).collect();
+            let mut units: Vec<WorkUnitRequest> = Vec::with_capacity(unit_count);
+            for slice in &slices {
+                let unit_snap = Snapshot {
+                    fingerprint: fp,
+                    dim: req.stencil.dim(),
+                    incumbent_cost: incumbent.0,
+                    incumbent: incumbent.2.clone(),
+                    frontier: slice.clone(),
+                    known: known_vec.clone(),
+                    nodes_charged: 0,
+                    stats: SearchStats::default(),
+                };
+                let bytes = encode_snapshot(&unit_snap).map_err(|e| ServiceError::Rejected {
+                    code: ErrorCode::Internal,
+                    msg: format!("work-unit encode: {e}"),
+                })?;
+                let unit = WorkUnitRequest {
+                    stencil: req.stencil.clone(),
+                    objective: req.objective.clone(),
+                    deadline_ms: 0,
+                    node_budget: self.cfg.unit_node_budget,
+                    bound_hint,
+                    snapshot: bytes,
+                };
+                if unit.encode().len() > MAX_PAYLOAD as usize {
+                    // The merged table no longer fits a frame: finish on
+                    // one shard rather than truncate state.
+                    self.stats.oversize_fallbacks += 1;
+                    return self.plan(req);
+                }
+                units.push(unit);
+            }
+
+            let outcomes = self.dispatch_round(&order, round, &units, fp)?;
+
+            // Merge, in unit order so the log and the state are
+            // reproducible. Masks union; the incumbent takes the minimum
+            // under the engine's canonical total order.
+            for snap in &outcomes {
+                if improves(snap.incumbent_cost, &snap.incumbent, &incumbent) {
+                    incumbent = (
+                        snap.incumbent_cost,
+                        snap.incumbent.try_norm_sq().unwrap_or(i128::MAX),
+                        snap.incumbent.clone(),
+                    );
+                }
+                let unit_frontier: HashSet<&IVec> =
+                    snap.frontier.iter().map(|(_, w, _)| w).collect();
+                for (w, m) in &snap.known {
+                    *known.entry(w.clone()).or_insert(0) |= m;
+                    if !unit_frontier.contains(w) {
+                        // Engine invariant: an offset absent from the
+                        // final frontier was fully expanded at its final
+                        // mask — that is this round's coverage evidence.
+                        *covered.entry(w.clone()).or_insert(0) |= m;
+                        if *m == full {
+                            checked.insert(w.clone());
+                        }
+                    }
+                }
+            }
+
+            // Re-frontier: any offset whose merged mask nobody expanded
+            // (the cross-unit union hazard), and any full-mask offset
+            // whose candidate check never ran.
+            for (w, &u) in &known {
+                let cov = covered.get(w).copied().unwrap_or(0);
+                let needs_children = u & !cov != 0;
+                let needs_check = u == full && !checked.contains(w);
+                if needs_children || needs_check {
+                    if let Ok(cost) = try_cost_of(&objective, w) {
+                        frontier.push((cost, w.clone(), u));
+                    }
+                }
+            }
+            self.events.push(MeshEvent::RoundMerged {
+                round,
+                frontier: frontier.len(),
+            });
+            round += 1;
+        }
+
+        // Fixpoint reached: the merged exploration equals a direct
+        // search's, so the incumbent is the optimum under the canonical
+        // order. Certify locally — same path, same transcript hash.
+        let as_result = SearchResult {
+            uov: incumbent.2.clone(),
+            cost: incumbent.0,
+            stats: SearchStats::default(),
+            degradation: None,
+            checkpoint_error: None,
+        };
+        let cert =
+            certify(&req.stencil, &objective, &as_result).map_err(|e| ServiceError::Rejected {
+                code: ErrorCode::Internal,
+                msg: format!("certification failed: {e}"),
+            })?;
+        Ok(PlanResponse {
+            uov: as_result.uov,
+            cost: as_result.cost,
+            certificate_hash: cert.transcript_hash,
+            degradation: DegradationCode::None,
+            cache: CacheOutcome::Miss,
+        })
+    }
+
+    /// Dispatch one round's units concurrently, each with its own
+    /// redispatch loop over ring successors, and return the validated
+    /// snapshots in unit order. Breaker and event bookkeeping happens
+    /// after the join, on this thread, in unit order — deterministic
+    /// regardless of network timing.
+    fn dispatch_round(
+        &mut self,
+        order: &[usize],
+        round: usize,
+        units: &[WorkUnitRequest],
+        expected_fp: u64,
+    ) -> Result<Vec<Snapshot>, ServiceError> {
+        let open: Vec<bool> = self
+            .breakers
+            .iter()
+            .map(|b| matches!(b, Breaker::Open { .. }))
+            .collect();
+        // Unit j prefers successor j, so a round spreads across the ring;
+        // shards behind an open breaker are demoted to last resort.
+        let preferences: Vec<Vec<usize>> = (0..units.len())
+            .map(|j| {
+                let rotated: Vec<usize> = (0..order.len())
+                    .map(|i| order[(j + i) % order.len()])
+                    .collect();
+                let (live, dead): (Vec<usize>, Vec<usize>) =
+                    rotated.into_iter().partition(|&s| !open[s]);
+                live.into_iter().chain(dead).collect()
+            })
+            .collect();
+
+        let endpoints = &self.endpoints;
+        let timeout = self.cfg.attempt_timeout;
+        let max_attempts = self.cfg.max_unit_attempts.max(1) as usize;
+        let backoff_base = self.cfg.backoff_base;
+        let backoff_max = self.cfg.backoff_max;
+
+        let outcomes: Vec<UnitOutcome> = thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .iter()
+                .enumerate()
+                .map(|(j, unit)| {
+                    let prefs = &preferences[j];
+                    scope.spawn(move || {
+                        run_unit(
+                            endpoints,
+                            prefs,
+                            unit,
+                            expected_fp,
+                            timeout,
+                            max_attempts,
+                            backoff_base,
+                            backoff_max,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| UnitOutcome {
+                        attempts: Vec::new(),
+                        snapshot: None,
+                        last_error: Some(ServiceError::Malformed(
+                            "work-unit dispatch thread panicked".into(),
+                        )),
+                    })
+                })
+                .collect()
+        });
+
+        // Post-join bookkeeping in unit order.
+        let mut snaps = Vec::with_capacity(outcomes.len());
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            self.stats.units_dispatched += 1;
+            let mut prev: Option<usize> = None;
+            for &(shard, ok) in &outcome.attempts {
+                match prev {
+                    None => self.events.push(MeshEvent::UnitDispatched {
+                        round,
+                        unit: j,
+                        shard,
+                    }),
+                    Some(from) => {
+                        self.stats.redispatches += 1;
+                        self.events.push(MeshEvent::UnitRedispatched {
+                            round,
+                            unit: j,
+                            from,
+                            to: shard,
+                        });
+                    }
+                }
+                if ok {
+                    self.on_success(shard);
+                    self.events.push(MeshEvent::UnitCompleted {
+                        round,
+                        unit: j,
+                        shard,
+                    });
+                } else {
+                    self.breaker_failure(shard);
+                    self.conns[shard] = None;
+                }
+                prev = Some(shard);
+            }
+            match outcome.snapshot {
+                Some(s) => snaps.push(s),
+                None => {
+                    return Err(ServiceError::FabricExhausted {
+                        attempts: self.cfg.max_unit_attempts.max(1),
+                        last: Box::new(
+                            outcome.last_error.unwrap_or(ServiceError::ConnectionClosed),
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(snaps)
+    }
+
+    /// Best-effort: poll every shard's stats frame and fold a matching
+    /// gossiped bound into `hint`. Failures are ignored — a missing
+    /// gossip costs visits, never correctness.
+    fn fold_gossip(&mut self, fp: u64, hint: &mut Option<u128>) {
+        for shard in 0..self.endpoints.len() {
+            if matches!(self.breakers[shard], Breaker::Open { .. }) {
+                continue;
+            }
+            let mut client = match self.take_conn(shard) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            match client.stats() {
+                Ok(stats) => {
+                    self.conns[shard] = Some(client);
+                    if let Some(b) = stats.bound {
+                        if b.fingerprint == fp && u128::from(b.cost) < hint.unwrap_or(u128::MAX) {
+                            *hint = Some(u128::from(b.cost));
+                            self.stats.gossip_hints += 1;
+                            self.events.push(MeshEvent::GossipBound {
+                                shard,
+                                cost: b.cost,
+                            });
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Stats are advisory; a failed poll is not a breaker
+                    // event, just a dropped connection.
+                }
+            }
+        }
+    }
+
+    /// Age open breakers one tick, then pick the first admissible shard
+    /// in `order`; when every breaker is open, half-open the one closest
+    /// to its cooldown's end (probe rather than refuse).
+    fn select_shard(&mut self, order: &[usize]) -> usize {
+        for &s in order {
+            if let Breaker::Open { remaining } = self.breakers[s] {
+                let remaining = remaining.saturating_sub(1);
+                self.breakers[s] = if remaining == 0 {
+                    Breaker::HalfOpen
+                } else {
+                    Breaker::Open { remaining }
+                };
+            }
+        }
+        if let Some(&s) = order
+            .iter()
+            .find(|&&s| !matches!(self.breakers[s], Breaker::Open { .. }))
+        {
+            return s;
+        }
+        let s = order
+            .iter()
+            .copied()
+            .min_by_key(|&s| match self.breakers[s] {
+                Breaker::Open { remaining } => remaining,
+                _ => 0,
+            })
+            .unwrap_or(order[0]);
+        self.breakers[s] = Breaker::HalfOpen;
+        s
+    }
+
+    fn take_conn(&mut self, shard: usize) -> Result<Client, ServiceError> {
+        match self.conns[shard].take() {
+            Some(c) => Ok(c),
+            None => {
+                let mut c = Client::connect(&self.endpoints[shard])?;
+                c.set_timeout(Some(self.cfg.attempt_timeout))?;
+                Ok(c)
+            }
+        }
+    }
+
+    fn attempt_plan(
+        &mut self,
+        shard: usize,
+        req: &PlanRequest,
+    ) -> Result<PlanResponse, ServiceError> {
+        let mut client = self.take_conn(shard)?;
+        client.set_timeout(Some(self.cfg.attempt_timeout))?;
+        match client.plan(req) {
+            Ok(resp) => {
+                self.conns[shard] = Some(client);
+                Ok(resp)
+            }
+            Err(e) => {
+                // A typed rejection travelled over a working transport.
+                if matches!(e, ServiceError::Rejected { .. }) {
+                    self.conns[shard] = Some(client);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn is_hard(e: &ServiceError) -> bool {
+        matches!(
+            e,
+            ServiceError::Rejected {
+                code: ErrorCode::Malformed | ErrorCode::Unsupported,
+                ..
+            }
+        )
+    }
+
+    fn on_success(&mut self, shard: usize) {
+        self.breakers[shard] = Breaker::Closed { failures: 0 };
+    }
+
+    fn on_failure(&mut self, shard: usize, e: &ServiceError) {
+        self.breaker_failure(shard);
+        if !matches!(e, ServiceError::Rejected { .. }) {
+            self.conns[shard] = None;
+        }
+    }
+
+    fn breaker_failure(&mut self, shard: usize) {
+        let cooldown = self.cfg.cooldown.max(1);
+        let threshold = self.cfg.failure_threshold.max(1);
+        self.breakers[shard] = match self.breakers[shard] {
+            Breaker::HalfOpen => Breaker::Open {
+                remaining: cooldown,
+            },
+            Breaker::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= threshold {
+                    Breaker::Open {
+                        remaining: cooldown,
+                    }
+                } else {
+                    Breaker::Closed { failures }
+                }
+            }
+            open => open,
+        };
+    }
+
+    fn backoff_ms(&mut self, attempt: u32) -> u64 {
+        let base = self.cfg.backoff_base.as_millis() as u64;
+        let cap = (self.cfg.backoff_max.as_millis() as u64).max(base);
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let half = exp / 2;
+        half + self.rng.next() % (exp - half + 1)
+    }
+}
+
+/// The engine's canonical candidate order (cost, then squared length,
+/// then lexicographic) — the same total order `uov_core`'s engines use,
+/// so the coordinator's incumbent merge is deterministic and agrees with
+/// a direct search's tie-breaks.
+fn improves(cost: u128, w: &IVec, best: &(u128, i128, IVec)) -> bool {
+    use std::cmp::Ordering as O;
+    match cost.cmp(&best.0) {
+        O::Less => true,
+        O::Greater => false,
+        O::Equal => {
+            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
+            match norm.cmp(&best.1) {
+                O::Less => true,
+                O::Greater => false,
+                O::Equal => *w < best.2,
+            }
+        }
+    }
+}
+
+/// One unit's dispatch loop, run on a scoped thread: try ring successors
+/// in preference order (wrapping) until a replica returns a frame whose
+/// snapshot decodes, CRC-checks, and fingerprints to the right problem.
+/// Each attempt is bounded by the lease (`timeout`); a slow replica is
+/// indistinguishable from a dead one and is simply re-dispatched — work
+/// units are pure functions of their shipped state, so a zombie replica
+/// finishing late changes nothing.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    endpoints: &[String],
+    prefs: &[usize],
+    unit: &WorkUnitRequest,
+    expected_fp: u64,
+    timeout: Duration,
+    max_attempts: usize,
+    backoff_base: Duration,
+    backoff_max: Duration,
+) -> UnitOutcome {
+    let mut attempts: Vec<(usize, bool)> = Vec::new();
+    let mut last_error: Option<ServiceError> = None;
+    for attempt in 0..max_attempts {
+        let shard = prefs[attempt % prefs.len()];
+        let result = (|| -> Result<Snapshot, ServiceError> {
+            let mut client = Client::connect(&endpoints[shard])?;
+            client.set_timeout(Some(timeout))?;
+            let resp = client.workunit(unit)?;
+            let snap = decode_snapshot(&resp.snapshot).map_err(|e| {
+                ServiceError::Malformed(format!("work-unit response snapshot: {e}"))
+            })?;
+            if snap.fingerprint != expected_fp {
+                return Err(ServiceError::Malformed(
+                    "work-unit response for a different problem".into(),
+                ));
+            }
+            Ok(snap)
+        })();
+        match result {
+            Ok(snap) => {
+                attempts.push((shard, true));
+                return UnitOutcome {
+                    attempts,
+                    snapshot: Some(snap),
+                    last_error: None,
+                };
+            }
+            Err(e) => {
+                // A malformed/unsupported rejection from a *healthy*
+                // transport will repeat on every replica: give up now.
+                let hard = matches!(
+                    e,
+                    ServiceError::Rejected {
+                        code: ErrorCode::Malformed | ErrorCode::Unsupported,
+                        ..
+                    }
+                );
+                attempts.push((shard, false));
+                last_error = Some(e);
+                if hard {
+                    break;
+                }
+            }
+        }
+        if attempt + 1 < max_attempts {
+            let base = backoff_base.as_millis() as u64;
+            let cap = (backoff_max.as_millis() as u64).max(base);
+            let ms = base
+                .saturating_mul(1u64 << (attempt as u32).min(20))
+                .min(cap);
+            if ms > 0 {
+                thread::sleep(Duration::from_millis(ms));
+            }
+        }
+    }
+    UnitOutcome {
+        attempts,
+        snapshot: None,
+        last_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_core::search::{find_best_uov, Objective};
+    use uov_isg::{ivec, Stencil};
+
+    fn endpoints(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn ring_routes_deterministically_and_covers_all_shards() {
+        let eps = endpoints(5);
+        let a = Ring::new(&eps, 16);
+        let b = Ring::new(&eps, 16);
+        let mut hit = [false; 5];
+        for k in 0..2000u64 {
+            let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(a.route(key), b.route(key));
+            hit[a.route(key)] = true;
+            let order = a.successors(key);
+            assert_eq!(order.len(), 5);
+            assert_eq!(order[0], a.route(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+        assert!(hit.iter().all(|&h| h), "some shard owns no arc at all");
+    }
+
+    /// The consistent-hashing contract: adding a shard re-homes only the
+    /// keys that move *to* the new shard; removing a shard re-homes only
+    /// the keys that lived on it. Everything else stays put.
+    #[test]
+    fn ring_add_remove_moves_only_the_affected_arcs() {
+        let five = endpoints(5);
+        let six: Vec<String> = five
+            .iter()
+            .cloned()
+            .chain(std::iter::once("10.0.0.9:7878".to_string()))
+            .collect();
+        let ring5 = Ring::new(&five, 16);
+        let ring6 = Ring::new(&six, 16);
+        let mut moved = 0usize;
+        let total = 4000usize;
+        for k in 0..total as u64 {
+            let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;
+            let before = &five[ring5.route(key)];
+            let after = &six[ring6.route(key)];
+            if before != after {
+                assert_eq!(after, "10.0.0.9:7878", "key re-homed to an old shard");
+                moved += 1;
+            }
+        }
+        // Roughly 1/6 of the keyspace should move; all of it must move
+        // to the new shard (asserted above), and some of it must move
+        // (a ring that never moves keys is not hashing at all).
+        assert!(moved > 0, "adding a shard moved nothing");
+        assert!(
+            moved < total / 3,
+            "adding one of six shards moved {moved}/{total} keys"
+        );
+
+        // Removal is the mirror image: only the removed shard's keys move.
+        let four: Vec<String> = five[..4].to_vec();
+        let ring4 = Ring::new(&four, 16);
+        for k in 0..total as u64 {
+            let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5A5A;
+            let before = &five[ring5.route(key)];
+            let after = &four[ring4.route(key)];
+            if before != after {
+                assert_eq!(before, &five[4], "a surviving shard's key moved on removal");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_key_is_permutation_invariant() {
+        // Axis-relabeled problems must share a home shard.
+        let a = PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![2, 1]]).unwrap(),
+            objective: crate::proto::ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        };
+        let b = PlanRequest {
+            stencil: Stencil::new(vec![ivec![0, 1], ivec![1, 2]]).unwrap(),
+            objective: crate::proto::ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        };
+        assert_eq!(MeshClient::routing_key(&a), MeshClient::routing_key(&b));
+    }
+
+    /// End-to-end distributed search against live in-process servers,
+    /// multiple merge rounds forced by a tiny unit budget, byte-compared
+    /// to the direct in-process answer.
+    #[test]
+    fn distributed_search_matches_direct_search() {
+        let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 3]]).unwrap();
+        let direct = find_best_uov(
+            &stencil,
+            Objective::ShortestVector,
+            &SearchConfig::default(),
+        )
+        .unwrap();
+        let direct_cert = certify(
+            &stencil,
+            &Objective::ShortestVector,
+            &SearchResult {
+                uov: direct.uov.clone(),
+                cost: direct.cost,
+                stats: SearchStats::default(),
+                degradation: None,
+                checkpoint_error: None,
+            },
+        )
+        .unwrap();
+
+        let replicas =
+            crate::chaos::ReplicaSet::start(3, crate::server::ServerConfig::default()).unwrap();
+        let mut mesh = MeshClient::new(
+            replicas.endpoints(),
+            MeshConfig {
+                local_prefix_nodes: 4,
+                unit_node_budget: 16,
+                ..MeshConfig::default()
+            },
+        )
+        .unwrap();
+        let req = PlanRequest {
+            stencil,
+            objective: crate::proto::ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        };
+        let resp = mesh.plan_distributed(&req).unwrap();
+        assert_eq!(resp.uov, direct.uov);
+        assert_eq!(resp.cost, direct.cost);
+        assert_eq!(resp.certificate_hash, direct_cert.transcript_hash);
+        assert!(
+            mesh.stats().rounds >= 2,
+            "unit budget too big to test merging"
+        );
+        replicas.shutdown_all();
+    }
+
+    /// A small problem finishes inside the local prefix and never ships
+    /// a unit at all.
+    #[test]
+    fn tiny_problems_never_touch_the_wire() {
+        let eps = endpoints(3); // nothing is listening here
+        let mut mesh = MeshClient::new(&eps, MeshConfig::default()).unwrap();
+        let req = PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+            objective: crate::proto::ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        };
+        let resp = mesh.plan_distributed(&req).unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+        assert_eq!(mesh.stats().units_dispatched, 0);
+    }
+}

@@ -101,6 +101,44 @@ impl Flight {
     }
 }
 
+/// Why a warm-cache snapshot could not be restored as a whole.
+///
+/// The variants matter operationally: a [`WarmCacheError::Corrupt`] file
+/// points at disk or transport damage (delete it and move on), while an
+/// [`WarmCacheError::UnsupportedVersion`] file points at a rollback — a
+/// *newer* server wrote it, and upgrading again would recover the warmth.
+/// The server logs the variant and counts the two classes separately in
+/// its startup stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarmCacheError {
+    /// The snapshot file exists but could not be read.
+    Io(String),
+    /// The file does not start with the `UOVWARM1` magic — it is not a
+    /// warm-cache snapshot at all.
+    BadMagic,
+    /// The file was written by a future (or otherwise unknown) format
+    /// version; restoring it would require that writer's code.
+    UnsupportedVersion(u32),
+    /// The file is framed as a snapshot but its contents are damaged
+    /// (torn section, CRC mismatch, truncated header).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WarmCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarmCacheError::Io(msg) => write!(f, "{msg}"),
+            WarmCacheError::BadMagic => write!(f, "warm-cache snapshot has wrong magic"),
+            WarmCacheError::UnsupportedVersion(v) => {
+                write!(f, "unsupported warm-cache version {v}")
+            }
+            WarmCacheError::Corrupt(msg) => write!(f, "corrupt warm-cache snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WarmCacheError {}
+
 /// Cache traffic counters, all monotonically increasing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -489,30 +527,39 @@ impl PlanCache {
     ///
     /// # Errors
     ///
-    /// A description of why the file as a whole is unreadable (I/O
-    /// failure, wrong magic/version, section CRC mismatch).
-    pub fn load(&self, path: &Path) -> Result<u64, String> {
+    /// A [`WarmCacheError`] saying why the file as a whole is unreadable,
+    /// distinguishing damage ([`WarmCacheError::Corrupt`]) from version
+    /// skew ([`WarmCacheError::UnsupportedVersion`]).
+    pub fn load(&self, path: &Path) -> Result<u64, WarmCacheError> {
         let bytes = match fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(format!("warm-cache read {}: {e}", path.display())),
+            Err(e) => {
+                return Err(WarmCacheError::Io(format!(
+                    "warm-cache read {}: {e}",
+                    path.display()
+                )))
+            }
         };
+        let corrupt = |e: uov_core::wire::WireError| WarmCacheError::Corrupt(e.to_string());
         let mut d = Decoder::new(&bytes);
         if d.take(8).ok() != Some(WARM_MAGIC.as_slice()) {
-            return Err("warm-cache snapshot has wrong magic".into());
+            return Err(WarmCacheError::BadMagic);
         }
-        let version = d.u32().map_err(|e| e.to_string())?;
+        let version = d.u32().map_err(corrupt)?;
         if version != WARM_VERSION {
-            return Err(format!("unsupported warm-cache version {version}"));
+            return Err(WarmCacheError::UnsupportedVersion(version));
         }
         // Section framing: tag ‖ len ‖ payload ‖ crc32(tag ‖ len ‖ payload).
         let section_start = d.pos;
-        let tag = d.u8().map_err(|e| e.to_string())?;
-        let len = d.u64().map_err(|e| e.to_string())? as usize;
-        let payload = d.take(len).map_err(|e| e.to_string())?;
-        let declared = d.u32().map_err(|e| e.to_string())?;
+        let tag = d.u8().map_err(corrupt)?;
+        let len = d.u64().map_err(corrupt)? as usize;
+        let payload = d.take(len).map_err(corrupt)?;
+        let declared = d.u32().map_err(corrupt)?;
         if crc32(&bytes[section_start..section_start + 1 + 8 + len]) != declared {
-            return Err("warm-cache section failed its CRC32 check".into());
+            return Err(WarmCacheError::Corrupt(
+                "section failed its CRC32 check".into(),
+            ));
         }
         if tag != WARM_TAG_ENTRIES {
             // An unknown section from a future writer: nothing to restore.
@@ -520,7 +567,7 @@ impl PlanCache {
         }
 
         let mut body = Decoder::new(payload);
-        let count = body.u64().map_err(|e| e.to_string())?;
+        let count = body.u64().map_err(corrupt)?;
         let mut restored = 0u64;
         for _ in 0..count {
             match CachedPlan::decode_validated(&mut body) {
@@ -726,18 +773,31 @@ mod tests {
             .unwrap();
         cache.save(&path).unwrap();
 
-        // Flip one payload bit: the section CRC must catch it.
-        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit: the section CRC must catch it, and the
+        // failure must be typed as damage, not version skew.
+        let good = std::fs::read(&path).unwrap();
+        let mut bytes = good.clone();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
         let warm = PlanCache::new(16);
-        assert!(warm.load(&path).is_err());
+        assert!(matches!(warm.load(&path), Err(WarmCacheError::Corrupt(_))));
         assert_eq!(warm.stats().warm_loaded, 0);
 
-        // Wrong magic is a typed failure too.
+        // Wrong magic is its own variant.
         std::fs::write(&path, b"NOTAWARM").unwrap();
-        assert!(PlanCache::new(4).load(&path).is_err());
+        assert_eq!(PlanCache::new(4).load(&path), Err(WarmCacheError::BadMagic));
+
+        // A future version is *not* corruption: the bytes are intact, the
+        // reader is just too old. The distinction drives different ops
+        // responses (delete vs. roll forward).
+        let mut future = good;
+        future[8..12].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert_eq!(
+            PlanCache::new(4).load(&path),
+            Err(WarmCacheError::UnsupportedVersion(9))
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -59,6 +59,11 @@ pub mod kind {
     pub const REQ_STATS: u8 = 8;
     /// Server → client: server + cache counter snapshot.
     pub const RESP_STATS: u8 = 9;
+    /// Coordinator → shard: run one search work unit — a `UOVCKPT1`
+    /// snapshot carrying a slice of the PATHSET frontier.
+    pub const REQ_WORKUNIT: u8 = 10;
+    /// Shard → coordinator: the unit's final state, as `UOVCKPT1` bytes.
+    pub const RESP_WORKUNIT: u8 = 11;
 }
 
 /// What the request wants minimised — an owned mirror of
@@ -285,15 +290,40 @@ pub struct StatsResponse {
     pub server: crate::server::ServerStats,
     /// The plan cache's monotone counters.
     pub cache: crate::plan_cache::CacheStats,
+    /// Best-effort incumbent-bound gossip piggybacked on the stats frame.
+    pub bound: Option<BoundGossip>,
+}
+
+/// An incumbent bound a replica is willing to share: the canonical
+/// fingerprint of the problem it most recently improved and the cost of
+/// the best *genuine* UOV it holds for that problem. Soundness does not
+/// depend on freshness — a stale bound is merely higher than the current
+/// best, which only weakens pruning, never changes an answer (pruning is
+/// strict, so ties at the bound always survive to the canonical
+/// tie-break).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundGossip {
+    /// `uov_core::fingerprint` of the `(stencil, objective)` the bound is
+    /// for. A bound is only usable against the identical fingerprint.
+    pub fingerprint: u64,
+    /// The UOV's cost, saturated to `u64`. `u64::MAX` (unrepresentable)
+    /// never travels — it is mapped to "no gossip" at encode time.
+    pub cost: u64,
 }
 
 impl StatsResponse {
     /// Serialize the stats payload. Fields travel as a count-prefixed
     /// list of `u64`s in declaration order, so an older client can read
-    /// the counters it knows and skip the rest.
+    /// the counters it knows and skip the rest. The gossip rides as two
+    /// trailing fields (fingerprint, cost); a zero fingerprint means "no
+    /// gossip", which an older decoder reading zeros gets for free.
     pub fn encode(&self) -> Vec<u8> {
         let s = &self.server;
         let c = &self.cache;
+        let (gossip_fp, gossip_cost) = match self.bound {
+            Some(b) if b.fingerprint != 0 && b.cost != u64::MAX => (b.fingerprint, b.cost),
+            _ => (0, 0),
+        };
         let fields = [
             s.connections,
             s.rejected_overloaded,
@@ -312,6 +342,11 @@ impl StatsResponse {
             c.misses,
             c.coalesced,
             c.warm_loaded,
+            s.workunits,
+            s.warm_load_corrupt,
+            s.warm_load_version,
+            gossip_fp,
+            gossip_cost,
         ];
         let mut e = Encoder::with_capacity(4 + 8 * fields.len());
         e.u32(fields.len() as u32);
@@ -340,7 +375,7 @@ impl StatsResponse {
                 "declared counters exceed the payload".into(),
             ));
         }
-        let mut fields = [0u64; 17];
+        let mut fields = [0u64; 22];
         for (i, slot) in fields.iter_mut().enumerate() {
             if i < n {
                 *slot = d.u64()?;
@@ -350,6 +385,14 @@ impl StatsResponse {
         for _ in fields.len()..n {
             let _ = d.u64()?;
         }
+        let bound = if fields[20] != 0 && fields[21] != u64::MAX {
+            Some(BoundGossip {
+                fingerprint: fields[20],
+                cost: fields[21],
+            })
+        } else {
+            None
+        };
         Ok(StatsResponse {
             server: crate::server::ServerStats {
                 connections: fields[0],
@@ -365,6 +408,9 @@ impl StatsResponse {
                 oversized_frames: fields[10],
                 watchdog_cancels: fields[11],
                 worker_restarts: fields[12],
+                workunits: fields[17],
+                warm_load_corrupt: fields[18],
+                warm_load_version: fields[19],
             },
             cache: crate::plan_cache::CacheStats {
                 hits: fields[13],
@@ -372,6 +418,7 @@ impl StatsResponse {
                 coalesced: fields[15],
                 warm_loaded: fields[16],
             },
+            bound,
         })
     }
 }
@@ -473,24 +520,81 @@ fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Service
 
 // --------------------------------------------------------------- payloads
 
+/// Encode the `(stencil, objective)` problem prefix shared by `REQ_PLAN`
+/// and `REQ_WORKUNIT`. Byte-identical to the original `REQ_PLAN` layout.
+fn encode_problem(e: &mut Encoder, stencil: &Stencil, objective: &ObjectiveSpec) {
+    e.u16(stencil.dim() as u16);
+    e.u32(stencil.len() as u32);
+    for v in stencil.iter() {
+        e.vec(v);
+    }
+    match objective {
+        ObjectiveSpec::ShortestVector => e.u8(0),
+        ObjectiveSpec::KnownBounds(d) => {
+            e.u8(1);
+            e.vec(d.lo());
+            e.vec(d.hi());
+        }
+    }
+}
+
+/// Decode the problem prefix, validating every structural and semantic
+/// invariant (dimensions, lex-positivity via [`Stencil::new`], non-empty
+/// domains) with hostile-count guards before any allocation.
+fn decode_problem(d: &mut Decoder<'_>) -> Result<(Stencil, ObjectiveSpec), ServiceError> {
+    let dim = usize::from(d.u16()?);
+    if dim == 0 {
+        return Err(ServiceError::Malformed("zero-dimensional stencil".into()));
+    }
+    let nvec = d.u32()? as usize;
+    // Reject a hostile vector count before allocating for it.
+    let need = nvec
+        .checked_mul(dim)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| ServiceError::Malformed("vector count overflows".into()))?;
+    if need > d.remaining() {
+        return Err(ServiceError::Malformed(
+            "declared vectors exceed the payload".into(),
+        ));
+    }
+    let mut vectors = Vec::with_capacity(nvec);
+    for _ in 0..nvec {
+        vectors.push(d.vec(dim)?);
+    }
+    let stencil = Stencil::new(vectors)
+        .map_err(|e| ServiceError::Malformed(format!("invalid stencil: {e}")))?;
+    if stencil.dim() != dim {
+        return Err(ServiceError::Malformed("stencil dimension mismatch".into()));
+    }
+    let objective = match d.u8()? {
+        0 => ObjectiveSpec::ShortestVector,
+        1 => {
+            let lo = d.vec(dim)?;
+            let hi = d.vec(dim)?;
+            for k in 0..dim {
+                if lo[k] > hi[k] {
+                    return Err(ServiceError::Malformed(format!(
+                        "empty domain: lo[{k}] > hi[{k}]"
+                    )));
+                }
+            }
+            ObjectiveSpec::KnownBounds(RectDomain::new(lo, hi))
+        }
+        other => {
+            return Err(ServiceError::Malformed(format!(
+                "unknown objective tag {other}"
+            )))
+        }
+    };
+    Ok((stencil, objective))
+}
+
 impl PlanRequest {
     /// Serialize the request payload (the frame body of a `REQ_PLAN`).
     pub fn encode(&self) -> Vec<u8> {
         let dim = self.stencil.dim();
         let mut e = Encoder::with_capacity(16 + 8 * dim * (self.stencil.len() + 2));
-        e.u16(dim as u16);
-        e.u32(self.stencil.len() as u32);
-        for v in self.stencil.iter() {
-            e.vec(v);
-        }
-        match &self.objective {
-            ObjectiveSpec::ShortestVector => e.u8(0),
-            ObjectiveSpec::KnownBounds(d) => {
-                e.u8(1);
-                e.vec(d.lo());
-                e.vec(d.hi());
-            }
-        }
+        encode_problem(&mut e, &self.stencil, &self.objective);
         e.u32(self.deadline_ms);
         e.u32(self.flags);
         e.buf
@@ -506,50 +610,7 @@ impl PlanRequest {
     /// on any semantic violation.
     pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
         let mut d = Decoder::new(payload);
-        let dim = usize::from(d.u16()?);
-        if dim == 0 {
-            return Err(ServiceError::Malformed("zero-dimensional stencil".into()));
-        }
-        let nvec = d.u32()? as usize;
-        // Reject a hostile vector count before allocating for it.
-        let need = nvec
-            .checked_mul(dim)
-            .and_then(|n| n.checked_mul(8))
-            .ok_or_else(|| ServiceError::Malformed("vector count overflows".into()))?;
-        if need > d.remaining() {
-            return Err(ServiceError::Malformed(
-                "declared vectors exceed the payload".into(),
-            ));
-        }
-        let mut vectors = Vec::with_capacity(nvec);
-        for _ in 0..nvec {
-            vectors.push(d.vec(dim)?);
-        }
-        let stencil = Stencil::new(vectors)
-            .map_err(|e| ServiceError::Malformed(format!("invalid stencil: {e}")))?;
-        if stencil.dim() != dim {
-            return Err(ServiceError::Malformed("stencil dimension mismatch".into()));
-        }
-        let objective = match d.u8()? {
-            0 => ObjectiveSpec::ShortestVector,
-            1 => {
-                let lo = d.vec(dim)?;
-                let hi = d.vec(dim)?;
-                for k in 0..dim {
-                    if lo[k] > hi[k] {
-                        return Err(ServiceError::Malformed(format!(
-                            "empty domain: lo[{k}] > hi[{k}]"
-                        )));
-                    }
-                }
-                ObjectiveSpec::KnownBounds(RectDomain::new(lo, hi))
-            }
-            other => {
-                return Err(ServiceError::Malformed(format!(
-                    "unknown objective tag {other}"
-                )))
-            }
-        };
+        let (stencil, objective) = decode_problem(&mut d)?;
         let deadline_ms = d.u32()?;
         let flags = d.u32()?;
         if d.remaining() != 0 {
@@ -560,6 +621,151 @@ impl PlanRequest {
             objective,
             deadline_ms,
             flags,
+        })
+    }
+}
+
+/// One distributed-search work unit (the frame body of a `REQ_WORKUNIT`):
+/// the problem, a per-unit budget, an optional incumbent-bound hint, and
+/// a slice of the coordinator's search state shipped **verbatim** in the
+/// crash-safe `UOVCKPT1` snapshot format of [`uov_core::checkpoint`] —
+/// the same bytes a disk checkpoint would hold, so a shard validates and
+/// resumes it exactly like a file-based resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnitRequest {
+    /// The problem's flow-dependence stencil.
+    pub stencil: Stencil,
+    /// What to minimise.
+    pub objective: ObjectiveSpec,
+    /// Per-unit wall-clock budget in milliseconds; `0` means unlimited.
+    /// An expired unit returns its partial state (non-empty frontier)
+    /// rather than erroring — the coordinator re-dispatches the leftovers.
+    pub deadline_ms: u32,
+    /// Per-unit node budget; `0` means unlimited.
+    pub node_budget: u64,
+    /// Optional incumbent-cost hint for pruning
+    /// ([`uov_core::search::SearchConfig::bound_hint`]). Sound iff it is
+    /// the cost of a genuine UOV for this problem; a stale (high) hint
+    /// only weakens pruning.
+    pub bound_hint: Option<u128>,
+    /// The unit's starting state as `UOVCKPT1` snapshot bytes.
+    pub snapshot: Vec<u8>,
+}
+
+impl WorkUnitRequest {
+    /// Serialize the work-unit payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let dim = self.stencil.dim();
+        let mut e =
+            Encoder::with_capacity(48 + 8 * dim * (self.stencil.len() + 2) + self.snapshot.len());
+        encode_problem(&mut e, &self.stencil, &self.objective);
+        e.u32(self.deadline_ms);
+        e.u64(self.node_budget);
+        match self.bound_hint {
+            None => e.u8(0),
+            Some(h) => {
+                e.u8(1);
+                e.u128(h);
+            }
+        }
+        e.u32(self.snapshot.len() as u32);
+        e.buf.extend_from_slice(&self.snapshot);
+        e.buf
+    }
+
+    /// Decode a `REQ_WORKUNIT` payload. The snapshot bytes are
+    /// length-checked here but *not* parsed — structural validation
+    /// happens in the search layer's resume path, exactly as for a disk
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on any semantic violation or hostile length.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let (stencil, objective) = decode_problem(&mut d)?;
+        let deadline_ms = d.u32()?;
+        let node_budget = d.u64()?;
+        let bound_hint = match d.u8()? {
+            0 => None,
+            1 => Some(d.u128()?),
+            v => {
+                return Err(ServiceError::Malformed(format!(
+                    "unknown bound-hint flag {v}"
+                )))
+            }
+        };
+        let snap_len = d.u32()? as usize;
+        if snap_len > d.remaining() {
+            return Err(ServiceError::Malformed(
+                "declared snapshot exceeds the payload".into(),
+            ));
+        }
+        let snapshot = d.take(snap_len)?.to_vec();
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed(
+                "trailing bytes in work unit".into(),
+            ));
+        }
+        Ok(WorkUnitRequest {
+            stencil,
+            objective,
+            deadline_ms,
+            node_budget,
+            bound_hint,
+            snapshot,
+        })
+    }
+}
+
+/// A shard's answer to a work unit (the frame body of a `RESP_WORKUNIT`):
+/// the unit's final search state in `UOVCKPT1` bytes — incumbent, PATHSET
+/// table and leftover frontier — plus why (if at all) it stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnitResponse {
+    /// Whether (and why) the unit was cut short. `None` means it ran its
+    /// slice to exhaustion (empty frontier in the snapshot).
+    pub degradation: DegradationCode,
+    /// The final state as `UOVCKPT1` snapshot bytes.
+    pub snapshot: Vec<u8>,
+}
+
+impl WorkUnitResponse {
+    /// Serialize the work-unit response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(8 + self.snapshot.len());
+        e.u8(self.degradation.to_u8());
+        e.u32(self.snapshot.len() as u32);
+        e.buf.extend_from_slice(&self.snapshot);
+        e.buf
+    }
+
+    /// Decode a `RESP_WORKUNIT` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on unknown codes, hostile lengths, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let degradation = DegradationCode::from_u8(d.u8()?)
+            .ok_or_else(|| ServiceError::Malformed("unknown degradation code".into()))?;
+        let snap_len = d.u32()? as usize;
+        if snap_len > d.remaining() {
+            return Err(ServiceError::Malformed(
+                "declared snapshot exceeds the payload".into(),
+            ));
+        }
+        let snapshot = d.take(snap_len)?.to_vec();
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed(
+                "trailing bytes in work-unit response".into(),
+            ));
+        }
+        Ok(WorkUnitResponse {
+            degradation,
+            snapshot,
         })
     }
 }
@@ -724,6 +930,9 @@ mod tests {
                 oversized_frames: 11,
                 watchdog_cancels: 12,
                 worker_restarts: 13,
+                workunits: 18,
+                warm_load_corrupt: 19,
+                warm_load_version: 20,
             },
             cache: crate::plan_cache::CacheStats {
                 hits: 14,
@@ -731,11 +940,15 @@ mod tests {
                 coalesced: 16,
                 warm_loaded: 17,
             },
+            bound: Some(BoundGossip {
+                fingerprint: 0xFEED_F00D,
+                cost: 42,
+            }),
         };
         assert_eq!(StatsResponse::decode(&s.encode()).unwrap(), s);
         // A future server appending a counter must not break this build.
         let mut extended = s.encode();
-        extended[0..4].copy_from_slice(&18u32.to_le_bytes());
+        extended[0..4].copy_from_slice(&23u32.to_le_bytes());
         extended.extend_from_slice(&99u64.to_le_bytes());
         assert_eq!(StatsResponse::decode(&extended).unwrap(), s);
         // A hostile count is rejected before any allocation.
@@ -743,6 +956,73 @@ mod tests {
         hostile[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             StatsResponse::decode(&hostile),
+            Err(ServiceError::Malformed(_))
+        ));
+        // No gossip travels as zeros, which an old decoder reads as none.
+        let none = StatsResponse { bound: None, ..s };
+        assert_eq!(StatsResponse::decode(&none.encode()).unwrap().bound, None);
+        // An older (17-field) frame decodes with zeroed new counters.
+        let mut old = s.encode();
+        old.truncate(4 + 8 * 17);
+        old[0..4].copy_from_slice(&17u32.to_le_bytes());
+        let decoded = StatsResponse::decode(&old).unwrap();
+        assert_eq!(decoded.server.workunits, 0);
+        assert_eq!(decoded.bound, None);
+        assert_eq!(decoded.cache.warm_loaded, 17);
+    }
+
+    #[test]
+    fn workunit_request_round_trips() {
+        for hint in [None, Some(12u128), Some(u128::MAX)] {
+            let req = WorkUnitRequest {
+                stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 750,
+                node_budget: 4_096,
+                bound_hint: hint,
+                snapshot: vec![0xAB; 97],
+            };
+            assert_eq!(WorkUnitRequest::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn workunit_response_round_trips() {
+        let resp = WorkUnitResponse {
+            degradation: DegradationCode::Nodes,
+            snapshot: vec![0xCD; 33],
+        };
+        assert_eq!(WorkUnitResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn hostile_workunit_lengths_are_rejected_before_allocation() {
+        let req = WorkUnitRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1]]).unwrap(),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            node_budget: 0,
+            bound_hint: None,
+            snapshot: vec![1, 2, 3],
+        };
+        let mut bytes = req.encode();
+        // The snapshot length prefix sits 7 bytes from the end (u32 len +
+        // 3 payload bytes); declare 2 GiB.
+        let at = bytes.len() - 7;
+        bytes[at..at + 4].copy_from_slice(&(2u32 << 30).to_le_bytes());
+        assert!(matches!(
+            WorkUnitRequest::decode(&bytes),
+            Err(ServiceError::Malformed(_))
+        ));
+
+        let resp = WorkUnitResponse {
+            degradation: DegradationCode::None,
+            snapshot: vec![9; 8],
+        };
+        let mut bytes = resp.encode();
+        bytes[1..5].copy_from_slice(&(2u32 << 30).to_le_bytes());
+        assert!(matches!(
+            WorkUnitResponse::decode(&bytes),
             Err(ServiceError::Malformed(_))
         ));
     }

@@ -160,9 +160,10 @@ pub enum FabricEvent {
     },
 }
 
-/// Circuit breaker state for one replica.
+/// Circuit breaker state for one replica. Shared with [`crate::mesh`],
+/// whose ring failover consults the same open/half-open discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Breaker {
+pub(crate) enum Breaker {
     Closed { failures: u32 },
     Open { remaining: u32 },
     HalfOpen,
@@ -174,15 +175,16 @@ struct Replica {
     breaker: Breaker,
 }
 
-/// The deterministic xorshift64 generator used for backoff jitter.
-struct XorShift64(u64);
+/// The deterministic xorshift64 generator used for backoff jitter (and
+/// reused by [`crate::mesh`] for its own jittered retries).
+pub(crate) struct XorShift64(u64);
 
 impl XorShift64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         XorShift64(seed.max(1))
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x << 13;
         x ^= x >> 7;

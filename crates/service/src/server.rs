@@ -27,15 +27,17 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use uov_core::certify::certify;
-use uov_core::search::{find_best_uov, SearchConfig, SearchStats};
-use uov_core::{Budget, SearchResult};
+use uov_core::checkpoint::{decode_snapshot, encode_snapshot};
+use uov_core::search::{find_best_uov, search_unit, SearchConfig, SearchStats};
+use uov_core::{fingerprint, Budget, SearchResult};
 use uov_isg::Stencil;
 
 use crate::error::{ErrorCode, ServiceError};
-use crate::plan_cache::{CacheStats, PlanCache, Planned, DEFAULT_CACHE_CAPACITY};
+use crate::plan_cache::{CacheStats, PlanCache, Planned, WarmCacheError, DEFAULT_CACHE_CAPACITY};
 use crate::proto::{
-    kind, read_frame, write_frame, DegradationCode, ErrorResponse, HealthResponse, ObjectiveSpec,
-    PlanRequest, PlanResponse, StatsResponse, FLAG_NO_CACHE,
+    kind, read_frame, write_frame, BoundGossip, DegradationCode, ErrorResponse, HealthResponse,
+    ObjectiveSpec, PlanRequest, PlanResponse, StatsResponse, WorkUnitRequest, WorkUnitResponse,
+    FLAG_NO_CACHE,
 };
 
 /// Tunables for [`serve`].
@@ -114,6 +116,14 @@ pub struct ServerStats {
     pub watchdog_cancels: u64,
     /// Worker threads the watchdog found dead and respawned.
     pub worker_restarts: u64,
+    /// Distributed-search work units executed (`REQ_WORKUNIT`).
+    pub workunits: u64,
+    /// Warm-cache snapshots refused at startup because the file was
+    /// unreadable or damaged (bad magic, torn section, CRC mismatch).
+    pub warm_load_corrupt: u64,
+    /// Warm-cache snapshots refused at startup because a newer server
+    /// wrote them — a rollback signature, not disk damage.
+    pub warm_load_version: u64,
 }
 
 #[derive(Default)]
@@ -131,6 +141,9 @@ struct Counters {
     oversized_frames: AtomicU64,
     watchdog_cancels: AtomicU64,
     worker_restarts: AtomicU64,
+    workunits: AtomicU64,
+    warm_load_corrupt: AtomicU64,
+    warm_load_version: AtomicU64,
 }
 
 impl Counters {
@@ -149,6 +162,9 @@ impl Counters {
             oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
             watchdog_cancels: self.watchdog_cancels.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            workunits: self.workunits.load(Ordering::Relaxed),
+            warm_load_corrupt: self.warm_load_corrupt.load(Ordering::Relaxed),
+            warm_load_version: self.warm_load_version.load(Ordering::Relaxed),
         }
     }
 
@@ -365,11 +381,43 @@ struct ServerState {
     slots: Vec<Arc<WorkerSlot>>,
     /// Server start, the epoch for all slot timestamps.
     started: Instant,
+    /// The best incumbent bound this replica has proven, as
+    /// `(problem fingerprint, saturated cost)`. Piggybacked on stats
+    /// frames so mesh coordinators can tighten pruning on sibling
+    /// replicas. Staleness is sound: the value is always the cost of a
+    /// genuine UOV, so it can only ever *over*-estimate the optimum.
+    gossip: Mutex<Option<(u64, u64)>>,
 }
 
 impl ServerState {
     fn now_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
+    }
+
+    /// Record a proven incumbent bound for gossip. Costs that do not fit
+    /// in the wire's `u64` (or the reserved `u64::MAX`) are dropped — a
+    /// missing hint is always sound. For a repeated fingerprint only an
+    /// improvement overwrites; a different problem always takes the slot
+    /// (most-recent-problem wins, which is what a coordinator polling
+    /// mid-search wants).
+    fn update_gossip(&self, fp: u64, cost: u128) {
+        let Ok(cost) = u64::try_from(cost) else {
+            return;
+        };
+        if cost == u64::MAX || fp == 0 {
+            return;
+        }
+        let mut slot = self.gossip.lock().unwrap_or_else(|p| p.into_inner());
+        match *slot {
+            Some((f, c)) if f == fp && c <= cost => {}
+            _ => *slot = Some((fp, cost)),
+        }
+    }
+
+    /// The current gossip bound, for stats frames.
+    fn gossip_bound(&self) -> Option<BoundGossip> {
+        let slot = self.gossip.lock().unwrap_or_else(|p| p.into_inner());
+        slot.map(|(fingerprint, cost)| BoundGossip { fingerprint, cost })
     }
 
     /// The readiness signal served by `REQ_HEALTH`.
@@ -421,6 +469,14 @@ impl ServerState {
             msg,
         })?;
 
+        // Every served plan is a genuine UOV, so its cost is a sound
+        // upper bound worth gossiping (degraded answers included: they
+        // are legal, just possibly not optimal).
+        self.update_gossip(
+            fingerprint(&req.stencil, &req.objective.as_objective()),
+            planned.cost,
+        );
+
         // Re-certify every answer against the *request's* problem. The
         // certificate hash deliberately excludes search statistics, so a
         // cache hit certifies to exactly the hash a cold solve yields.
@@ -444,6 +500,58 @@ impl ServerState {
             certificate_hash: cert.transcript_hash,
             degradation: DegradationCode::from_exhausted(planned.degradation.map(|d| d.reason)),
             cache: planned.cache,
+        })
+    }
+
+    /// Execute one distributed-search work unit: resume the shipped
+    /// `UOVCKPT1` snapshot under this request's budget and ship the final
+    /// engine state back. The coordinator owns correctness (merging,
+    /// re-frontiering, certification); this side only guarantees that
+    /// whatever it returns is a faithful engine snapshot of *this*
+    /// problem, which `SeedState::from_snapshot` enforced on the way in
+    /// and the snapshot capture enforces on the way out.
+    fn handle_workunit(
+        &self,
+        req: &WorkUnitRequest,
+        cancel: Arc<AtomicBool>,
+    ) -> Result<WorkUnitResponse, ErrorResponse> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.workunits.fetch_add(1, Ordering::Relaxed);
+        let snap = decode_snapshot(&req.snapshot).map_err(|e| ErrorResponse {
+            code: ErrorCode::Malformed,
+            msg: format!("work-unit snapshot: {e}"),
+        })?;
+        let mut budget = Budget::unlimited();
+        if req.deadline_ms > 0 {
+            budget = budget.with_deadline(Duration::from_millis(u64::from(req.deadline_ms)));
+        }
+        if req.node_budget > 0 {
+            budget = budget.with_max_nodes(req.node_budget);
+        }
+        let config = SearchConfig {
+            budget: budget.with_cancel_token(cancel),
+            threads: self.config.search_threads,
+            bound_hint: req.bound_hint,
+            ..SearchConfig::default()
+        };
+        let (result, out) = search_unit(
+            Some(snap),
+            &req.stencil,
+            req.objective.as_objective(),
+            &config,
+        )
+        .map_err(|e| ErrorResponse {
+            code: ErrorCode::Internal,
+            msg: e.to_string(),
+        })?;
+        self.update_gossip(out.fingerprint, result.cost);
+        let snapshot = encode_snapshot(&out).map_err(|e| ErrorResponse {
+            code: ErrorCode::Internal,
+            msg: e.to_string(),
+        })?;
+        Ok(WorkUnitResponse {
+            degradation: DegradationCode::from_exhausted(result.degradation.map(|d| d.reason)),
+            snapshot,
         })
     }
 }
@@ -519,6 +627,54 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState, slot: &WorkerSlot) {
                     }
                 }
             }
+            Ok(Some((kind::REQ_WORKUNIT, payload))) => {
+                idle = 0;
+                if state.shutdown.load(Ordering::SeqCst) {
+                    state
+                        .stats
+                        .rejected_shutdown
+                        .fetch_add(1, Ordering::Relaxed);
+                    let err = ErrorResponse {
+                        code: ErrorCode::ShuttingDown,
+                        msg: "server is draining".into(),
+                    };
+                    let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
+                    break;
+                }
+                match WorkUnitRequest::decode(&payload) {
+                    Ok(req) => {
+                        let cancel = Arc::new(AtomicBool::new(false));
+                        slot.begin_request(state.now_ms(), Arc::clone(&cancel));
+                        let outcome = state.handle_workunit(&req, cancel);
+                        slot.end_request();
+                        slot.beat(state.now_ms());
+                        match outcome {
+                            Ok(resp) => {
+                                if write_frame(stream, kind::RESP_WORKUNIT, &resp.encode()).is_err()
+                                {
+                                    break;
+                                }
+                                state.stats.responses.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => {
+                                if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        state.stats.protocol_error(&e);
+                        let err = ErrorResponse {
+                            code: ErrorCode::Malformed,
+                            msg: e.to_string(),
+                        };
+                        if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
             Ok(Some((kind::REQ_HEALTH, _))) => {
                 idle = 0;
                 let health = state.health();
@@ -531,6 +687,7 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState, slot: &WorkerSlot) {
                 let stats = StatsResponse {
                     server: state.stats.snapshot(),
                     cache: state.cache.stats(),
+                    bound: state.gossip_bound(),
                 };
                 if write_frame(stream, kind::RESP_STATS, &stats.encode()).is_err() {
                     break;
@@ -685,15 +842,8 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
     let (listener, bound) = AnyListener::bind(endpoint)?;
     listener.set_nonblocking(true)?;
 
-    let cache = PlanCache::new(config.cache_capacity.max(1));
-    // A warm start: restore the previous drain's plans. A missing or
-    // corrupt snapshot starts cold — never a boot failure.
-    if let Some(path) = &config.warm_cache {
-        let _ = cache.load(path);
-    }
-
     let state = Arc::new(ServerState {
-        cache,
+        cache: PlanCache::new(config.cache_capacity.max(1)),
         shutdown: AtomicBool::new(false),
         stats: Counters::default(),
         queue_len: AtomicU64::new(0),
@@ -702,8 +852,33 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
             .map(|_| Arc::new(WorkerSlot::default()))
             .collect(),
         started: Instant::now(),
+        gossip: Mutex::new(None),
         config,
     });
+
+    // A warm start: restore the previous drain's plans. A refused
+    // snapshot starts cold — never a boot failure — but the *reason* is
+    // typed, logged, and counted so operators can tell disk damage
+    // (delete the file) from a rollback (roll forward to recover it).
+    if let Some(path) = &state.config.warm_cache {
+        if let Err(e) = state.cache.load(path) {
+            match e {
+                WarmCacheError::UnsupportedVersion(_) => {
+                    state
+                        .stats
+                        .warm_load_version
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                WarmCacheError::Io(_) | WarmCacheError::BadMagic | WarmCacheError::Corrupt(_) => {
+                    state
+                        .stats
+                        .warm_load_corrupt
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            eprintln!("uov-service: warm cache not restored ({e}); starting cold");
+        }
+    }
 
     let (tx, rx) = sync_channel::<AnyStream>(queue_depth);
     let rx = Arc::new(Mutex::new(rx));

@@ -1,0 +1,97 @@
+//! The planning mesh, end to end: three shards, a request routed by
+//! consistent hash to its home shard, a distributed search whose home
+//! shard is killed mid-search (its work units re-dispatched along the
+//! ring), and a byte-identical certificate against the direct solve.
+//!
+//! Run with: `cargo run --release --example mesh_roundtrip`
+
+use uov::core::certify::certify;
+use uov::core::search::{find_best_uov, Objective, SearchConfig};
+use uov::isg::{ivec, Stencil};
+use uov::service::{
+    MeshClient, MeshConfig, MeshEvent, ObjectiveSpec, PlanRequest, ReplicaSet, ServerConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three shards on ephemeral ports; each keeps its address across
+    // restarts, so the ring never goes stale.
+    let mut set = ReplicaSet::start(3, ServerConfig::default())?;
+    println!("shards: {}", set.endpoints().join(", "));
+
+    // The mesh: a consistent-hash ring over the shard endpoints. Tiny
+    // local-prefix and per-unit budgets force a multi-round distributed
+    // search so the mid-search kill has something to interrupt.
+    let endpoints: Vec<String> = set.endpoints().to_vec();
+    let mut mesh = MeshClient::new(
+        &endpoints,
+        MeshConfig {
+            local_prefix_nodes: 4,
+            unit_node_budget: 12,
+            ..MeshConfig::default()
+        },
+    )?;
+
+    // The problem, and what a direct in-process solve says about it.
+    let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 5]])?;
+    let direct = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )?;
+    let cert = certify(&stencil, &Objective::ShortestVector, &direct)?;
+    let req = PlanRequest {
+        stencil,
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    };
+
+    // Every coordinator computes the same home shard for this problem —
+    // the ring is a pure function of the endpoint names and the
+    // problem's canonical fingerprint.
+    let home = mesh.ring().route(MeshClient::routing_key(&req));
+    println!("routed: home shard is #{home} ({})", endpoints[home]);
+
+    // Distribute the search, killing the home shard at the first merge
+    // round: its in-flight work units miss their lease and re-dispatch
+    // to the next live ring successor.
+    let resp = mesh.plan_distributed_hooked(&req, &mut |round| {
+        if round == 0 {
+            println!("round 0: killing home shard #{home} mid-search");
+            set.kill(home);
+        }
+    })?;
+
+    let stats = mesh.stats();
+    println!(
+        "survived: {} merge round(s), {} work unit(s), {} re-dispatch(es)",
+        stats.rounds, stats.units_dispatched, stats.redispatches
+    );
+    for event in mesh.take_events() {
+        if let MeshEvent::UnitRedispatched {
+            round,
+            unit,
+            from,
+            to,
+        } = event
+        {
+            println!("  round {round}: unit {unit} re-dispatched shard #{from} → #{to}");
+        }
+    }
+
+    println!(
+        "mesh answer:   uov {} cost {} certificate {:#018x}",
+        resp.uov, resp.cost, resp.certificate_hash
+    );
+    println!(
+        "direct answer: uov {} cost {} certificate {:#018x}",
+        direct.uov, direct.cost, cert.transcript_hash
+    );
+    assert_eq!(resp.uov, direct.uov);
+    assert_eq!(resp.cost, direct.cost);
+    assert_eq!(resp.certificate_hash, cert.transcript_hash);
+    println!("byte-identical: the kill and re-dispatch never touched the answer");
+
+    set.shutdown_all();
+    Ok(())
+}

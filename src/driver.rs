@@ -44,8 +44,8 @@ use uov_loopir::analysis::{flow_stencil, AnalysisError};
 use uov_loopir::{codegen, LoopNest};
 use uov_schedule::legality;
 use uov_service::{
-    DegradationCode, ObjectiveSpec, PlanRequest, PlanResponse, ResilientClient, ResilientConfig,
-    ServiceError,
+    DegradationCode, MeshClient, MeshConfig, ObjectiveSpec, PlanRequest, PlanResponse,
+    ResilientClient, ResilientConfig, ServiceError,
 };
 use uov_storage::{Layout, OvMap, StorageMap as _};
 
@@ -195,6 +195,7 @@ pub fn plan_with(nest: &LoopNest, config: &PlanConfig) -> Result<TransformPlan, 
                             interval: c.interval,
                         }
                     }),
+                    bound_hint: None,
                 };
                 let objective = Objective::KnownBounds(nest.domain());
                 let best = find_best_uov(&stencil, objective, &search_config)?;
@@ -329,6 +330,30 @@ pub fn plan_via_fabric(
     deadline_ms: u32,
 ) -> Result<TransformPlan, Error> {
     plan_remote(nest, layout, deadline_ms, |req| fabric.plan(req))
+}
+
+/// [`plan_via_service`] over a planning mesh: each statement's request
+/// is routed by consistent hash to its home shard (failing over along
+/// the ring when the home is down), and large searches are split across
+/// the shards as re-dispatchable `UOVCKPT1` work units. The local
+/// re-certification in [`plan_remote`]'s loop applies unchanged, so a
+/// mesh answer is accepted only when it is byte-identical to a cold
+/// in-process solve.
+///
+/// # Errors
+///
+/// As [`plan_via_service`], plus the mesh's own
+/// [`ServiceError::FabricExhausted`] when a work unit runs out of live
+/// replicas to try.
+pub fn plan_via_mesh(
+    nest: &LoopNest,
+    layout: Layout,
+    endpoints: &[String],
+    deadline_ms: u32,
+    config: MeshConfig,
+) -> Result<TransformPlan, Error> {
+    let mut mesh = MeshClient::new(endpoints, config).map_err(|e| Error::Service(e.to_string()))?;
+    plan_remote(nest, layout, deadline_ms, |req| mesh.plan_distributed(req))
 }
 
 /// The shared remote-planning loop: per-statement stencil extraction,

@@ -29,8 +29,8 @@ use uov::core::certify::certify;
 use uov::core::search::{find_best_uov, Objective, SearchConfig};
 use uov::isg::{ivec, IVec, Stencil};
 use uov::service::{
-    CacheOutcome, ChaosConfig, ChaosProxy, Client, FabricEvent, ObjectiveSpec, PlanRequest,
-    ReplicaSet, ResilientClient, ResilientConfig, ServerConfig,
+    CacheOutcome, ChaosConfig, ChaosProxy, Client, FabricEvent, MeshClient, MeshConfig, MeshEvent,
+    ObjectiveSpec, PlanRequest, ReplicaSet, ResilientClient, ResilientConfig, ServerConfig,
 };
 
 /// The request schedule's problems: small enough that every search
@@ -275,6 +275,73 @@ fn warm_cache_survives_a_graceful_restart() {
 
     set.shutdown_all();
     let _ = std::fs::remove_file(&snapshot);
+}
+
+/// Consistent-hash routing under a home-shard kill: every problem's
+/// request is routed to its ring home, and when that home is killed
+/// mid-schedule the mesh fails over to the next live ring successor —
+/// without the answer changing a byte.
+#[test]
+fn mesh_routing_survives_a_home_shard_kill() {
+    let mut set = ReplicaSet::start(3, ServerConfig::default()).expect("start replicas");
+    let endpoints: Vec<String> = set.endpoints().to_vec();
+    let mut mesh = MeshClient::new(
+        &endpoints,
+        MeshConfig {
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            ..MeshConfig::default()
+        },
+    )
+    .expect("mesh");
+
+    let problems = problems();
+    let truths: Vec<_> = problems.iter().map(local_truth).collect();
+
+    // Pass 1: all shards up. Record each problem's home.
+    let homes: Vec<usize> = problems
+        .iter()
+        .map(|s| mesh.ring().route(MeshClient::routing_key(&request(s))))
+        .collect();
+    for (i, stencil) in problems.iter().enumerate() {
+        let resp = mesh.plan(&request(stencil)).expect("routed plan");
+        let (uov, cost, hash) = &truths[i];
+        assert_eq!(&resp.uov, uov);
+        assert_eq!(&resp.cost, cost);
+        assert_eq!(&resp.certificate_hash, hash);
+    }
+    assert_eq!(
+        mesh.stats().failovers,
+        0,
+        "with every shard up, no request may leave its home"
+    );
+
+    // Kill the first problem's home; its requests must fail over, and
+    // problems homed elsewhere must keep their home shard.
+    let victim = homes[0];
+    set.kill(victim).expect("home shard was up");
+    for (i, stencil) in problems.iter().enumerate() {
+        let resp = mesh
+            .plan(&request(stencil))
+            .unwrap_or_else(|e| panic!("problem {i} failed after home-shard kill: {e}"));
+        let (uov, cost, hash) = &truths[i];
+        assert_eq!(&resp.uov, uov, "problem {i}: UOV diverged after failover");
+        assert_eq!(
+            &resp.cost, cost,
+            "problem {i}: cost diverged after failover"
+        );
+        assert_eq!(
+            &resp.certificate_hash, hash,
+            "problem {i}: certificate hash diverged after failover"
+        );
+    }
+    assert!(
+        mesh.take_events()
+            .iter()
+            .any(|e| matches!(e, MeshEvent::Failover { home, .. } if *home == victim)),
+        "killing a home shard must surface as a failover event"
+    );
+    set.shutdown_all();
 }
 
 /// An abrupt kill (crash semantics) must NOT persist the cache — a

@@ -32,6 +32,7 @@ fn budgeted(budget: Budget) -> SearchConfig {
         budget,
         threads: 1,
         checkpoint: None,
+        bound_hint: None,
     }
 }
 
@@ -41,6 +42,7 @@ fn budgeted_threaded(budget: Budget, threads: usize) -> SearchConfig {
         budget,
         threads,
         checkpoint: None,
+        bound_hint: None,
     }
 }
 

@@ -1,0 +1,178 @@
+//! The mesh differential: a search distributed across three shards —
+//! with the home shard killed mid-search and its work units
+//! re-dispatched — must return the byte-identical `(uov, cost,
+//! transcript hash)` triple a direct in-process search yields.
+//!
+//! The kill is deterministic, not a race: [`MeshClient`] exposes a hook
+//! that fires at every merge-round boundary, and the schedule kills the
+//! problem's *home* shard at round 0 (guaranteeing that round's unit 0 —
+//! which always prefers the home shard — fails its lease and
+//! re-dispatches to the next ring successor) and restarts it two rounds
+//! later. Tiny local-prefix and per-unit node budgets force enough
+//! rounds that the kill/restart cycle actually lands mid-search.
+//!
+//! Seeds come from `UOV_MESH_SEED` when set (CI loops a fixed list), or
+//! a built-in pair otherwise; the seed picks the problem variant, so
+//! different seeds route to different home shards. Server-side search
+//! thread counts 1 and 8 are both exercised — the distributed answer is
+//! schedule-independent on both axes.
+
+use uov::core::certify::certify;
+use uov::core::search::{find_best_uov, Objective, SearchConfig};
+use uov::isg::{ivec, IVec, Stencil};
+use uov::service::{
+    MeshClient, MeshConfig, MeshEvent, ObjectiveSpec, PlanRequest, ReplicaSet, ServerConfig,
+};
+
+/// Hard enough that a 4-node local prefix leaves a real frontier to
+/// distribute, parameterized so different seeds get different homes.
+fn problem(seed: u64) -> Stencil {
+    let k = 2 + (seed % 5) as i64;
+    Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid stencil")
+}
+
+fn local_truth(stencil: &Stencil) -> (IVec, u128, u64) {
+    let result = find_best_uov(stencil, Objective::ShortestVector, &SearchConfig::default())
+        .expect("local search");
+    let cert = certify(stencil, &Objective::ShortestVector, &result).expect("local certification");
+    (result.uov.clone(), result.cost, cert.transcript_hash)
+}
+
+fn request(stencil: &Stencil) -> PlanRequest {
+    PlanRequest {
+        stencil: stencil.clone(),
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    }
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("UOV_MESH_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("UOV_MESH_SEED must be a u64")],
+        Err(_) => vec![7, 1998],
+    }
+}
+
+fn mesh_config(seed: u64) -> MeshConfig {
+    MeshConfig {
+        // Force several merge rounds so the kill lands mid-search.
+        local_prefix_nodes: 4,
+        unit_node_budget: 12,
+        attempt_timeout: std::time::Duration::from_secs(5),
+        seed,
+        ..MeshConfig::default()
+    }
+}
+
+/// One full run: distributed search with the home shard killed at round
+/// 0 and restarted at round 2. Returns the response plus the mesh's
+/// decision log.
+fn run_killed_home_schedule(
+    seed: u64,
+    search_threads: usize,
+) -> (uov::service::PlanResponse, Vec<MeshEvent>, u64) {
+    let config = ServerConfig {
+        workers: 2,
+        search_threads,
+        ..ServerConfig::default()
+    };
+    let mut set = ReplicaSet::start(3, config).expect("start replicas");
+    let endpoints: Vec<String> = set.endpoints().to_vec();
+    let mut mesh = MeshClient::new(&endpoints, mesh_config(seed)).expect("mesh");
+
+    let req = request(&problem(seed));
+    let home = mesh.ring().route(MeshClient::routing_key(&req));
+
+    let resp = mesh
+        .plan_distributed_hooked(&req, &mut |round| match round {
+            0 => {
+                set.kill(home).expect("home shard was up");
+            }
+            2 => {
+                set.restart(home).expect("restart home shard");
+            }
+            _ => {}
+        })
+        .expect("distributed search must survive the home-shard kill");
+    let redispatches = mesh.stats().redispatches;
+    let events = mesh.take_events();
+    set.shutdown_all();
+    (resp, events, redispatches)
+}
+
+/// The acceptance differential: for every seed, at server search-thread
+/// counts 1 and 8, the distributed answer with a mid-search home-shard
+/// kill is byte-identical to the direct in-process answer — and the kill
+/// demonstrably caused at least one work-unit re-dispatch.
+#[test]
+fn mesh_differential_is_byte_identical_to_local_search() {
+    for seed in seeds() {
+        let (uov, cost, hash) = local_truth(&problem(seed));
+        for threads in [1usize, 8] {
+            let (resp, events, redispatches) = run_killed_home_schedule(seed, threads);
+            assert_eq!(resp.uov, uov, "seed {seed} threads {threads}: UOV diverged");
+            assert_eq!(
+                resp.cost, cost,
+                "seed {seed} threads {threads}: cost diverged"
+            );
+            assert_eq!(
+                resp.certificate_hash, hash,
+                "seed {seed} threads {threads}: certificate hash diverged"
+            );
+            assert!(
+                redispatches >= 1,
+                "seed {seed} threads {threads}: the home-shard kill caused no re-dispatch — \
+                 the schedule is not testing fault tolerance"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, MeshEvent::RoundMerged { round, .. } if *round >= 1)),
+                "seed {seed} threads {threads}: search finished in one round — budgets too \
+                 large to exercise the merge fixpoint"
+            );
+        }
+    }
+}
+
+/// Two runs of the same seed agree byte-for-byte with each other (and
+/// with the direct search, by the test above) — re-dispatch and merge
+/// order never leak into the answer.
+#[test]
+fn mesh_answer_replays_identically_for_a_seed() {
+    let seed = seeds()[0];
+    let (a, _, _) = run_killed_home_schedule(seed, 1);
+    let (b, _, _) = run_killed_home_schedule(seed, 1);
+    assert_eq!(a.uov, b.uov);
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.certificate_hash, b.certificate_hash);
+}
+
+/// Bound gossip is live end-to-end: seed one shard's gossip slot by
+/// planning the same problem directly on it, then a distributed run
+/// folds that bound into its unit hints.
+#[test]
+fn gossiped_bounds_reach_the_coordinator() {
+    let set = ReplicaSet::start(3, ServerConfig::default()).expect("start replicas");
+    let endpoints: Vec<String> = set.endpoints().to_vec();
+    let stencil = problem(3);
+    let req = request(&stencil);
+
+    // A direct plan on shard 0 seeds its gossip slot with the optimum.
+    let mut direct = uov::service::Client::connect(&endpoints[0]).expect("connect");
+    direct.plan(&req).expect("direct plan");
+
+    let mut mesh = MeshClient::new(&endpoints, mesh_config(3)).expect("mesh");
+    let resp = mesh.plan_distributed(&req).expect("distributed plan");
+    let (uov, cost, hash) = local_truth(&stencil);
+    assert_eq!(resp.uov, uov);
+    assert_eq!(resp.cost, cost);
+    assert_eq!(resp.certificate_hash, hash);
+    assert!(
+        mesh.stats().gossip_hints >= 1,
+        "shard 0 held the optimum bound but the coordinator never picked it up: {:?}",
+        mesh.stats()
+    );
+    set.shutdown_all();
+}
