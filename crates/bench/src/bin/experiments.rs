@@ -44,6 +44,18 @@ fn main() -> ExitCode {
     }
 
     for name in &names {
+        // `bench-check` is a gate, not an experiment: it compares the
+        // committed BENCH_pr*.json artifacts and fails the run on a >20%
+        // nodes/sec regression between consecutive PRs.
+        if name == "bench-check" {
+            let (table, ok) = experiments::perf::bench_check();
+            println!("{}", table.to_markdown());
+            if !ok {
+                eprintln!("bench-check: search throughput regressed beyond tolerance");
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
         let Some(tables) = experiments::run(name, scale) else {
             eprintln!(
                 "unknown experiment `{name}` (known: {})",

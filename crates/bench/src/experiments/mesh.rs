@@ -42,12 +42,20 @@ pub fn all(scale: Scale) -> Vec<Table> {
     let mesh = mesh_availability(scale);
     let distributed = distributed_differential();
 
-    let json = render_json(&search, &service, &mesh, &distributed);
-    let path = bench_json_path();
     let mut t = Table::new("mesh — BENCH_pr6.json", vec!["path".into(), "ok".into()]);
-    match std::fs::write(&path, &json) {
-        Ok(()) => t.push(vec![path.display().to_string(), "true".into()]),
-        Err(e) => t.push(vec![path.display().to_string(), format!("error: {e}")]),
+    match scale {
+        // Quick runs (the test suite, smoke passes) must never clobber the
+        // committed artifact with reduced-scale figures — the bench-check
+        // gate compares committed BENCH_pr*.json files across PRs.
+        Scale::Quick => t.push(vec!["(skipped at quick scale)".into(), "true".into()]),
+        Scale::Full => {
+            let json = render_json(&search, &service, &mesh, &distributed);
+            let path = bench_json_path();
+            match std::fs::write(&path, &json) {
+                Ok(()) => t.push(vec![path.display().to_string(), "true".into()]),
+                Err(e) => t.push(vec![path.display().to_string(), format!("error: {e}")]),
+            }
+        }
     }
 
     vec![
@@ -66,16 +74,18 @@ fn bench_json_path() -> std::path::PathBuf {
         .join("BENCH_pr6.json")
 }
 
-struct SearchFigures {
-    nodes: u64,
-    elapsed_ms: f64,
-    nodes_per_sec: f64,
-    table: Table,
+pub(crate) struct SearchFigures {
+    pub(crate) nodes: u64,
+    pub(crate) elapsed_ms: f64,
+    pub(crate) nodes_per_sec: f64,
+    pub(crate) table: Table,
 }
 
 /// Direct in-process branch-and-bound throughput on a fixed problem
 /// family: the baseline solve rate in nodes (queue pops) per second.
-fn search_throughput(scale: Scale) -> SearchFigures {
+/// Shared with the `perf` experiment so `BENCH_pr7.json` measures the
+/// identical workload as the `BENCH_pr6.json` baseline.
+pub(crate) fn search_throughput(scale: Scale) -> SearchFigures {
     let mut t = Table::new(
         "mesh — direct search throughput",
         vec![
@@ -123,19 +133,19 @@ fn search_throughput(scale: Scale) -> SearchFigures {
     }
 }
 
-struct ServiceFigures {
-    cold_p50_us: u64,
-    cold_p99_us: u64,
-    warm_p50_us: u64,
-    warm_p99_us: u64,
-    warm_hit_rate: f64,
-    table: Table,
+pub(crate) struct ServiceFigures {
+    pub(crate) cold_p50_us: u64,
+    pub(crate) cold_p99_us: u64,
+    pub(crate) warm_p50_us: u64,
+    pub(crate) warm_p99_us: u64,
+    pub(crate) warm_hit_rate: f64,
+    pub(crate) table: Table,
 }
 
 /// Closed-loop latency through one server: the cold pass measures the
 /// solve path, the warm pass the cache-hit path (its p50 is the
 /// cache-hit latency figure in the JSON).
-fn service_latency(scale: Scale) -> ServiceFigures {
+pub(crate) fn service_latency(scale: Scale) -> ServiceFigures {
     let mut t = Table::new(
         "mesh — service latency (cold solve vs cache hit)",
         vec![

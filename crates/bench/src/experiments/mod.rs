@@ -7,6 +7,7 @@ pub mod extension;
 pub mod mesh;
 pub mod npc;
 pub mod overhead;
+pub mod perf;
 pub mod resilience;
 pub mod scaling;
 pub mod service;
@@ -40,6 +41,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "service" => service::all(scale),
         "chaos" => chaos::all(scale),
         "mesh" => mesh::all(scale),
+        "perf" => perf::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -75,6 +77,7 @@ pub fn all_names() -> Vec<&'static str> {
         "service",
         "chaos",
         "mesh",
+        "perf",
         "jacobi",
         "tiles",
         "baseline",

@@ -1,0 +1,317 @@
+//! Performance trajectory: the `BENCH_pr7.json` artifact and the
+//! `bench-check` regression gate.
+//!
+//! The `perf` experiment re-measures the workloads behind the committed
+//! `BENCH_pr6.json` baseline — the same search family via the same
+//! [`mesh::search_throughput`] code, the same closed-loop service
+//! latency — on the current engine, and writes `BENCH_pr7.json` next to
+//! the baseline with the speedup computed side-by-side. The JSON is
+//! hand-rolled with a fixed key order, like every `BENCH_*.json` before
+//! it, so a five-line scanner parses the whole trajectory.
+//!
+//! `bench-check` is the gate: it walks every `BENCH_pr*.json` at the
+//! repository root in PR order and fails (non-zero exit through the
+//! `experiments` binary) when search nodes/sec drops more than 20%
+//! between consecutive artifacts. Committed artifacts make the
+//! trajectory reviewable; the gate makes silently regressing it a CI
+//! failure instead of a forensic exercise.
+
+use std::path::{Path, PathBuf};
+
+use crate::report::Table;
+use crate::Scale;
+
+use super::mesh;
+
+/// Maximum tolerated drop in search nodes/sec between consecutive
+/// `BENCH_pr*.json` artifacts: 20%.
+const MAX_REGRESSION: f64 = 0.20;
+
+/// The repository root, where every `BENCH_pr*.json` artifact lives.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Run the perf measurements, write `BENCH_pr7.json`, and render the
+/// side-by-side comparison against the committed `BENCH_pr6.json`.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let search = mesh::search_throughput(scale);
+    let service = mesh::service_latency(scale);
+
+    let root = repo_root();
+    let baseline_path = root.join("BENCH_pr6.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| extract_f64(&text, "nodes_per_sec"));
+
+    let mut cmp = Table::new(
+        "perf — search nodes/sec vs BENCH_pr6.json baseline",
+        vec![
+            "baseline nodes/s".into(),
+            "current nodes/s".into(),
+            "speedup".into(),
+        ],
+    );
+    let speedup = match baseline {
+        Some(base) if base > 0.0 => {
+            let s = search.nodes_per_sec / base;
+            cmp.push(vec![
+                format!("{base:.0}"),
+                format!("{:.0}", search.nodes_per_sec),
+                format!("{s:.2}x"),
+            ]);
+            s
+        }
+        _ => {
+            cmp.push(vec![
+                "unavailable".into(),
+                format!("{:.0}", search.nodes_per_sec),
+                "-".into(),
+            ]);
+            0.0
+        }
+    };
+
+    let mut wrote = Table::new("perf — BENCH_pr7.json", vec!["path".into(), "ok".into()]);
+    match scale {
+        // Quick runs (the test suite, smoke passes) must never clobber the
+        // committed artifact with reduced-scale figures — the bench-check
+        // gate compares committed BENCH_pr*.json files across PRs.
+        Scale::Quick => wrote.push(vec!["(skipped at quick scale)".into(), "true".into()]),
+        Scale::Full => {
+            let json = render_json(&search, &service, baseline, speedup);
+            let path = root.join("BENCH_pr7.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => wrote.push(vec![path.display().to_string(), "true".into()]),
+                Err(e) => wrote.push(vec![path.display().to_string(), format!("error: {e}")]),
+            }
+        }
+    }
+
+    vec![search.table, service.table, cmp, wrote]
+}
+
+/// The regression gate: compare search nodes/sec across every committed
+/// `BENCH_pr*.json`, oldest to newest. Returns the report table and
+/// whether the trajectory is within tolerance (the `experiments` binary
+/// turns `false` into a non-zero exit).
+pub fn bench_check() -> (Table, bool) {
+    bench_check_in(&repo_root())
+}
+
+/// [`bench_check`] against an explicit artifact directory (testable).
+pub fn bench_check_in(root: &Path) -> (Table, bool) {
+    let mut t = Table::new(
+        "bench-check — nodes/sec trajectory across BENCH_pr*.json",
+        vec![
+            "artifact".into(),
+            "nodes/s".into(),
+            "vs previous".into(),
+            "verdict".into(),
+        ],
+    );
+    let mut artifacts = bench_artifacts(root);
+    artifacts.sort_by_key(|(pr, _)| *pr);
+    if artifacts.len() < 2 {
+        t.push(vec![
+            format!("{} artifact(s) found", artifacts.len()),
+            "-".into(),
+            "-".into(),
+            "ok (nothing to compare)".into(),
+        ]);
+        return (t, true);
+    }
+    let mut ok = true;
+    let mut prev: Option<(u64, f64)> = None;
+    for (pr, path) in artifacts {
+        let Some(rate) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| extract_f64(&text, "nodes_per_sec"))
+        else {
+            t.push(vec![
+                format!("BENCH_pr{pr}.json"),
+                "unreadable".into(),
+                "-".into(),
+                "FAIL".into(),
+            ]);
+            ok = false;
+            continue;
+        };
+        let (delta, verdict) = match prev {
+            None => ("-".to_string(), "ok (first)".to_string()),
+            Some((prev_pr, prev_rate)) if prev_rate > 0.0 => {
+                let ratio = rate / prev_rate;
+                let delta = format!("{:+.1}% vs pr{prev_pr}", (ratio - 1.0) * 100.0);
+                if ratio < 1.0 - MAX_REGRESSION {
+                    ok = false;
+                    (
+                        delta,
+                        format!("REGRESSION (> {:.0}%)", MAX_REGRESSION * 100.0),
+                    )
+                } else {
+                    (delta, "ok".to_string())
+                }
+            }
+            Some(_) => ("-".to_string(), "ok (previous rate zero)".to_string()),
+        };
+        t.push(vec![
+            format!("BENCH_pr{pr}.json"),
+            format!("{rate:.0}"),
+            delta,
+            verdict,
+        ]);
+        prev = Some((pr, rate));
+    }
+    (t, ok)
+}
+
+/// Every `BENCH_pr<N>.json` in `root` with its PR number.
+fn bench_artifacts(root: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if let Ok(pr) = stem.parse::<u64>() {
+            out.push((pr, entry.path()));
+        }
+    }
+    out
+}
+
+/// First `"key": <number>` occurrence in hand-rolled bench JSON. All
+/// `BENCH_*.json` artifacts put the search block first, so the first
+/// `nodes_per_sec` is the search figure.
+fn extract_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Hand-rolled JSON with a fixed key order, like `BENCH_pr6.json`.
+fn render_json(
+    search: &mesh::SearchFigures,
+    service: &mesh::ServiceFigures,
+    baseline: Option<f64>,
+    speedup: f64,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"uov-bench-pr7-v1\",\n",
+            "  \"search\": {{\n",
+            "    \"nodes\": {},\n",
+            "    \"elapsed_ms\": {:.3},\n",
+            "    \"nodes_per_sec\": {:.1}\n",
+            "  }},\n",
+            "  \"service\": {{\n",
+            "    \"cold_p50_us\": {},\n",
+            "    \"cold_p99_us\": {},\n",
+            "    \"warm_p50_us\": {},\n",
+            "    \"warm_p99_us\": {},\n",
+            "    \"cache_hit_p50_us\": {},\n",
+            "    \"warm_hit_rate\": {:.4}\n",
+            "  }},\n",
+            "  \"baseline\": {{\n",
+            "    \"file\": \"BENCH_pr6.json\",\n",
+            "    \"nodes_per_sec\": {:.1},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        search.nodes,
+        search.elapsed_ms,
+        search.nodes_per_sec,
+        service.cold_p50_us,
+        service.cold_p99_us,
+        service.warm_p50_us,
+        service.warm_p99_us,
+        service.warm_p50_us,
+        service.warm_hit_rate,
+        baseline.unwrap_or(0.0),
+        speedup,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_f64_reads_handrolled_json() {
+        let text =
+            "{\n  \"search\": {\n    \"nodes\": 1974,\n    \"nodes_per_sec\": 2040396.5\n  }\n}";
+        assert_eq!(extract_f64(text, "nodes_per_sec"), Some(2040396.5));
+        assert_eq!(extract_f64(text, "nodes"), Some(1974.0));
+        assert_eq!(extract_f64(text, "missing"), None);
+    }
+
+    fn write_artifact(dir: &Path, pr: u64, rate: f64) {
+        let body = format!(
+            "{{\n  \"search\": {{\n    \"nodes\": 1,\n    \"nodes_per_sec\": {rate:.1}\n  }}\n}}\n"
+        );
+        std::fs::write(dir.join(format!("BENCH_pr{pr}.json")), body).unwrap();
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uov_bench_check_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bench_check_passes_monotone_and_small_dips() {
+        let dir = tmp_dir("pass");
+        write_artifact(&dir, 6, 1_000_000.0);
+        write_artifact(&dir, 7, 900_000.0); // -10%: within tolerance
+        write_artifact(&dir, 8, 3_000_000.0);
+        let (_, ok) = bench_check_in(&dir);
+        assert!(ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_check_fails_on_large_regression() {
+        let dir = tmp_dir("fail");
+        write_artifact(&dir, 6, 1_000_000.0);
+        write_artifact(&dir, 7, 700_000.0); // -30%: over the 20% line
+        let (table, ok) = bench_check_in(&dir);
+        assert!(!ok);
+        assert!(table.to_markdown().contains("REGRESSION"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_check_orders_by_pr_number_not_lexicographically() {
+        let dir = tmp_dir("order");
+        // Lexicographic order would put pr10 before pr9 and flag a fake
+        // regression; PR-number order must not.
+        write_artifact(&dir, 9, 2_000_000.0);
+        write_artifact(&dir, 10, 2_100_000.0);
+        let (_, ok) = bench_check_in(&dir);
+        assert!(ok);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_check_tolerates_missing_artifacts() {
+        let dir = tmp_dir("empty");
+        let (_, ok) = bench_check_in(&dir);
+        assert!(ok, "nothing to compare is not a failure");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,12 +16,13 @@
 //! the same stripe at the same instant. Locks are never held across user
 //! code, so neither structure can deadlock.
 
+use std::borrow::Borrow;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, RwLock};
 
-fn stripe_of<K: Hash>(key: &K, mask: usize) -> usize {
+fn stripe_of<Q: Hash + ?Sized>(key: &Q, mask: usize) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() as usize) & mask
@@ -57,12 +58,21 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+    fn shard<Q>(&self, key: &Q) -> &RwLock<HashMap<K, V>>
+    where
+        Q: Hash + ?Sized,
+    {
         &self.shards[stripe_of(key, self.mask)]
     }
 
-    /// Cached value for `key`, if any.
-    pub fn get(&self, key: &K) -> Option<V> {
+    /// Cached value for `key`, if any. Accepts any borrowed form of the
+    /// key (e.g. probe an `IVec`-keyed cache with a `&[i64]` scratch
+    /// slice — no allocation on the lookup path).
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         match self.shard(key).read() {
             Ok(guard) => guard.get(key).cloned(),
             Err(_) => None,
@@ -79,8 +89,13 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    /// Whether `key` has a cached value.
-    pub fn contains(&self, key: &K) -> bool {
+    /// Whether `key` has a cached value (borrowed-form lookup like
+    /// [`ShardedCache::get`]).
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         match self.shard(key).read() {
             Ok(guard) => guard.contains_key(key),
             Err(_) => false,

@@ -22,7 +22,7 @@ use uov_isg::{IVec, Stencil};
 
 use crate::error::SearchError;
 use crate::fingerprint::{fingerprint, Fnv};
-use crate::oracle::DoneOracle;
+use crate::oracle::{diff_into, DoneOracle};
 use crate::search::{try_cost_of, Objective, SearchResult};
 
 /// Proof-of-validation attached to a certified search result.
@@ -158,9 +158,13 @@ pub fn certify(
     let oracle = DoneOracle::try_new(stencil)?;
     let unlimited = crate::budget::Budget::unlimited();
     let mut dependences_checked = 0;
+    // One scratch buffer serves every dependence check: the certifier
+    // re-derives each `uov − vᵢ` in place and queries the oracle through
+    // its allocation-free slice entry point.
+    let mut back: Vec<i64> = Vec::with_capacity(stencil.dim());
     for v in stencil.iter() {
-        let back = result.uov.checked_sub(v).map_err(SearchError::from)?;
-        if !oracle.in_done_budgeted(&back, &unlimited)? {
+        diff_into(result.uov.as_slice(), v.as_slice(), &mut back).map_err(CertifyError::from)?;
+        if !oracle.in_done_slice_budgeted(&back, &unlimited)? {
             return Err(CertifyError::NotUniversal {
                 uov: result.uov.clone(),
                 violated: v.clone(),

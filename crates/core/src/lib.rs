@@ -50,6 +50,7 @@ pub mod budget;
 pub mod cache;
 pub mod certify;
 pub mod checkpoint;
+pub mod dense;
 pub mod error;
 pub mod fingerprint;
 pub mod frontier;
@@ -66,9 +67,10 @@ pub use budget::{Budget, Degradation, Exhausted};
 pub use cache::{ShardedCache, ShardedLru};
 pub use certify::{certify, Certificate, CertifyError};
 pub use checkpoint::{CheckpointConfig, CheckpointError};
+pub use dense::{ConeMemo, MaskTable, Window};
 pub use error::SearchError;
 pub use fingerprint::{fingerprint, Fnv};
-pub use oracle::DoneOracle;
+pub use oracle::{DoneOracle, ReferenceOracle};
 pub use par::{try_fan_out, FanOutPanic};
 pub use search::{
     find_best_uov, initial_uov, search_from_snapshot, search_resume, search_unit, Objective,

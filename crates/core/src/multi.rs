@@ -88,12 +88,21 @@ pub fn find_best_common_uov_threaded(
     let oracles: Vec<DoneOracle> = stencils.iter().map(DoneOracle::new).collect();
 
     // Candidates come from the first stencil's UOV set restricted to the
-    // box; each is then checked against the remaining oracles.
+    // box; each is then checked against the remaining oracles through
+    // their allocation-free slice entry points (one scratch buffer per
+    // candidate serves every oracle).
     let candidates = oracles[0].uovs_within(radius);
+    let unlimited = Budget::unlimited();
     crate::par::fan_out(&candidates, threads, |w| {
+        let mut buf = Vec::with_capacity(dim);
         oracles[1..]
             .iter()
-            .all(|o| o.is_uov(w))
+            .all(
+                |o| match o.in_dead_slice_budgeted(w.as_slice(), &mut buf, &unlimited) {
+                    Ok(b) => b,
+                    Err(e) => panic!("oracle query failed: {e}"),
+                },
+            )
             .then(|| (cost_of(&objective, w), w.norm_sq(), w.clone()))
     })
     .into_iter()
@@ -135,9 +144,10 @@ pub fn find_best_common_uov_budgeted(
 
     let (candidates, mut degradation) = oracles[0].uovs_within_budgeted(radius, budget)?;
     let mut best: Option<(u128, i128, IVec)> = None;
+    let mut buf = Vec::with_capacity(dim);
     'candidates: for w in candidates {
         for o in &oracles[1..] {
-            match o.is_uov_budgeted(&w, budget) {
+            match o.in_dead_slice_budgeted(w.as_slice(), &mut buf, budget) {
                 Ok(true) => {}
                 Ok(false) => continue 'candidates,
                 Err(SearchError::Exhausted(reason)) => {

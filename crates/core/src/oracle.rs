@@ -21,11 +21,60 @@
 //! vectors (paper theorem, see [`crate::npc`]); for realistic stencils the
 //! memoised search is fast, which is the paper's practicality argument.
 
-use uov_isg::{IVec, IterationDomain, Stencil};
+use uov_isg::{IVec, IsgError, IterationDomain, Stencil};
 
 use crate::budget::{Budget, Degradation};
 use crate::cache::ShardedCache;
+use crate::dense::{ConeMemo, Window};
 use crate::error::SearchError;
+
+/// Entry budget for the dense verdict window; out-of-window queries use
+/// the sharded spill map, so this only trades memory for hit rate.
+const ORACLE_WINDOW_ENTRIES: usize = 1 << 20;
+
+/// Exact `i128` dot product of two equal-length slices (the slice twin
+/// of [`IVec::dot_i128`]; callers guarantee equal dimensions).
+#[inline]
+pub(crate) fn dot_slices(a: &[i64], b: &[i64]) -> i128 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0i128;
+    for (&x, &y) in a.iter().zip(b) {
+        sum += x as i128 * y as i128;
+    }
+    sum
+}
+
+/// `a − b` component-wise into `out`, with the same errors as
+/// [`IVec::checked_sub`] but no allocation.
+#[inline]
+pub(crate) fn diff_into(a: &[i64], b: &[i64], out: &mut Vec<i64>) -> Result<(), SearchError> {
+    if a.len() != b.len() {
+        return Err(SearchError::from(IsgError::DimMismatch {
+            expected: a.len(),
+            found: b.len(),
+        }));
+    }
+    out.clear();
+    for (&x, &y) in a.iter().zip(b) {
+        out.push(
+            x.checked_sub(y)
+                .ok_or(IsgError::Overflow("vector subtraction"))?,
+        );
+    }
+    Ok(())
+}
+
+/// Whether the first nonzero component is positive (the slice twin of
+/// [`IVec::is_lex_positive`]).
+#[inline]
+fn is_lex_positive_slice(w: &[i64]) -> bool {
+    for &c in w {
+        if c != 0 {
+            return c > 0;
+        }
+    }
+    false
+}
 
 /// Memoising decision oracle for DONE/DEAD/UOV membership over one stencil.
 ///
@@ -59,7 +108,14 @@ pub struct DoneOracle {
     /// makes even the adversarial NP-completeness instances tractable for
     /// realistic sizes.
     prunes: Vec<IVec>,
-    cache: ShardedCache<IVec, bool>,
+    /// Dense verdict tier: a lazily-paged tri-state array over the
+    /// bounded query window, answering the hot-path probes with a load
+    /// instead of a hash-map walk.
+    memo: ConeMemo,
+    /// Spill tier for out-of-window queries (adversarially large
+    /// coordinates, deep chain walks): the sharded map the memo used to
+    /// be. Verdicts are identical whichever tier records them.
+    spill: ShardedCache<IVec, bool>,
 }
 
 /// Outcome of inspecting a cone node without expanding it.
@@ -87,11 +143,13 @@ impl DoneOracle {
     /// when the positive functional cannot be represented.
     pub fn try_new(stencil: &Stencil) -> Result<Self, SearchError> {
         let phi = stencil.try_positive_functional()?;
+        let window = query_window(stencil, &phi);
         Ok(DoneOracle {
             stencil: stencil.clone(),
             phi,
             prunes: dual_cone_functionals(stencil),
-            cache: ShardedCache::default(),
+            memo: ConeMemo::new(window),
+            spill: ShardedCache::default(),
         })
     }
 
@@ -129,101 +187,150 @@ impl DoneOracle {
     ///   memo-table cap counts as exhaustion when a needed insertion would
     ///   exceed it.
     pub fn in_done_budgeted(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
-        if w.dim() != self.stencil.dim() {
+        self.in_done_slice_budgeted(w.as_slice(), budget)
+    }
+
+    /// [`DoneOracle::in_done_budgeted`] on raw coordinates — the
+    /// allocation-free entry point the search, frontier and certifier
+    /// drive with scratch buffers.
+    pub(crate) fn in_done_slice_budgeted(
+        &self,
+        w: &[i64],
+        budget: &Budget,
+    ) -> Result<bool, SearchError> {
+        if w.len() != self.stencil.dim() {
             return Err(SearchError::DimMismatch {
                 stencil: self.stencil.dim(),
-                domain: w.dim(),
+                domain: w.len(),
             });
         }
         budget.charge()?;
-        if let Eval::Decided(b) = self.quick_eval(w) {
+        if let Eval::Decided(b) = self.quick_eval(w, self.memo.window().index(w)) {
             return Ok(b);
         }
         self.in_cone_dfs(w, budget)
     }
 
     /// Inspect one node without expanding: base cases, functional cuts, and
-    /// the memo table.
-    fn quick_eval(&self, w: &IVec) -> Eval {
-        if w.is_zero() {
+    /// the memo tiers. `key` is the node's dense window index, computed
+    /// once by the caller and reused for the verdict write.
+    #[inline]
+    fn quick_eval(&self, w: &[i64], key: Option<usize>) -> Eval {
+        if w.iter().all(|&c| c == 0) {
             return Eval::Decided(true);
         }
-        if self.phi.dot_i128(w) < 0 {
+        if dot_slices(self.phi.as_slice(), w) < 0 {
             return Eval::Decided(false);
         }
         // Dual-cone cuts: a functional non-negative on every generator is
         // non-negative on the whole cone.
-        if self.prunes.iter().any(|f| f.dot_i128(w) < 0) {
+        if self.prunes.iter().any(|f| dot_slices(f.as_slice(), w) < 0) {
             return Eval::Decided(false);
         }
-        if let Some(hit) = self.cache.get(w) {
-            return Eval::Decided(hit);
+        let hit = match key {
+            Some(idx) => self.memo.get(idx),
+            None => self.spill.get(w),
+        };
+        match hit {
+            Some(verdict) => Eval::Decided(verdict),
+            None => Eval::Expand,
         }
-        Eval::Expand
     }
 
     /// Iterative memoised DFS over the cone: an explicit frame stack
     /// replaces recursion so adversarial NPC instances cannot overflow the
     /// call stack, and the budget is charged per expanded node.
     ///
+    /// Frame coordinates live in one flat scratch arena (frame `i` owns
+    /// `coords[i·d .. (i+1)·d]`), so the walk allocates nothing per node;
+    /// each child is a single linearized `w − vᵢ` sweep into the arena.
+    ///
     /// Termination: φ·(w − v) ≤ φ·w − 1, so every edge strictly decreases
     /// φ and the frame chain is acyclic.
-    fn in_cone_dfs(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
-        struct Frame {
-            w: IVec,
-            next_child: usize,
-        }
+    fn in_cone_dfs(&self, w: &[i64], budget: &Budget) -> Result<bool, SearchError> {
+        let d = self.stencil.dim();
         let m = self.stencil.len();
-        let mut stack = vec![Frame {
-            w: w.clone(),
-            next_child: 0,
-        }];
-        while let Some(top_idx) = stack.len().checked_sub(1) {
-            let child_idx = stack[top_idx].next_child;
+        let vectors = self.stencil.vectors();
+        let mut coords: Vec<i64> = Vec::with_capacity(32 * d);
+        coords.extend_from_slice(w);
+        // Per frame: (next child index, dense window key of the frame).
+        let mut frames: Vec<(usize, Option<usize>)> = vec![(0, self.memo.window().index(w))];
+        loop {
+            let depth = frames.len() - 1;
+            let base = depth * d;
+            let child_idx = frames[depth].0;
             if child_idx >= m {
                 // Every child failed: this node is not in the cone.
-                let done = stack.pop().map(|f| f.w);
-                if let Some(done) = done {
-                    self.cache_insert(done, false, budget)?;
+                let key = frames[depth].1;
+                self.record_computed(&coords[base..base + d], key, false, budget)?;
+                frames.pop();
+                coords.truncate(base);
+                if frames.is_empty() {
+                    return Ok(false);
                 }
                 continue;
             }
-            stack[top_idx].next_child += 1;
-            let child = stack[top_idx]
-                .w
-                .checked_sub(&self.stencil.vectors()[child_idx])?;
+            frames[depth].0 += 1;
+            // child = frame − vᵢ, one linearized sweep into the arena.
+            let v = vectors[child_idx].as_slice();
+            let child_base = coords.len();
+            for j in 0..d {
+                let c = coords[base + j]
+                    .checked_sub(v[j])
+                    .ok_or(IsgError::Overflow("vector subtraction"))?;
+                coords.push(c);
+            }
             budget.charge()?;
-            match self.quick_eval(&child) {
+            let child_key = self.memo.window().index(&coords[child_base..]);
+            match self.quick_eval(&coords[child_base..], child_key) {
                 Eval::Decided(true) => {
                     // The whole ancestor chain is in the cone. Memoise what
                     // fits under the cap — the answer is already decided, so
                     // a full table only costs future queries, not this one.
-                    for f in stack {
-                        if budget.check_memo(self.cache.len()).is_err() {
+                    for (f, &(_, key)) in frames.iter().enumerate() {
+                        if budget.check_memo(self.cache_len()).is_err() {
                             break;
                         }
-                        self.cache.insert(f.w, true);
+                        self.store_verdict(&coords[f * d..(f + 1) * d], key, true);
                     }
                     return Ok(true);
                 }
-                Eval::Decided(false) => {}
-                Eval::Expand => stack.push(Frame {
-                    w: child,
-                    next_child: 0,
-                }),
+                Eval::Decided(false) => coords.truncate(child_base),
+                Eval::Expand => frames.push((0, child_key)),
             }
         }
-        Ok(false)
     }
 
     /// Memoise a *computed* verdict; a full memo table here is a hard stop
     /// because discarding the verdict would make the time bound vacuous.
-    fn cache_insert(&self, w: IVec, val: bool, budget: &Budget) -> Result<(), SearchError> {
-        if !self.cache.contains(&w) {
-            budget.check_memo(self.cache.len())?;
-            self.cache.insert(w, val);
+    fn record_computed(
+        &self,
+        w: &[i64],
+        key: Option<usize>,
+        val: bool,
+        budget: &Budget,
+    ) -> Result<(), SearchError> {
+        let present = match key {
+            Some(idx) => self.memo.get(idx).is_some(),
+            None => self.spill.contains(w),
+        };
+        if !present {
+            budget.check_memo(self.cache_len())?;
+            self.store_verdict(w, key, val);
         }
         Ok(())
+    }
+
+    /// Write a verdict to whichever tier owns `w`.
+    fn store_verdict(&self, w: &[i64], key: Option<usize>, val: bool) {
+        match key {
+            Some(idx) => {
+                self.memo.set(idx, val);
+            }
+            None => {
+                self.spill.insert(IVec::from(w), val);
+            }
+        }
     }
 
     /// Whether the offset `w = q − p` places `p` in `DEAD(V, q)`:
@@ -241,9 +348,24 @@ impl DoneOracle {
     /// Budgeted [`DoneOracle::in_dead`]; see [`DoneOracle::in_done_budgeted`]
     /// for the error conditions.
     pub fn in_dead_budgeted(&self, w: &IVec, budget: &Budget) -> Result<bool, SearchError> {
+        let mut buf = Vec::with_capacity(w.dim());
+        self.in_dead_slice_budgeted(w.as_slice(), &mut buf, budget)
+    }
+
+    /// [`DoneOracle::in_dead_budgeted`] on raw coordinates: each reader
+    /// offset `w − vᵢ` is one linearized subtraction sweep into the
+    /// caller's scratch buffer — no per-reader allocation. Readers are
+    /// checked in stencil order with early exit, exactly like the
+    /// vector-based path, so budget accounting is identical.
+    pub(crate) fn in_dead_slice_budgeted(
+        &self,
+        w: &[i64],
+        buf: &mut Vec<i64>,
+        budget: &Budget,
+    ) -> Result<bool, SearchError> {
         for v in self.stencil.iter() {
-            let offset = w.checked_sub(v)?;
-            if !self.in_done_budgeted(&offset, budget)? {
+            diff_into(w, v.as_slice(), buf)?;
+            if !self.in_done_slice_budgeted(buf, budget)? {
                 return Ok(false);
             }
         }
@@ -290,13 +412,19 @@ impl DoneOracle {
     pub fn uovs_within(&self, radius: i64) -> Vec<IVec> {
         assert!(radius >= 0, "radius must be non-negative");
         let d = self.stencil.dim();
+        let unlimited = Budget::unlimited();
         let mut out = Vec::new();
         let mut cur = vec![-radius; d];
+        let mut buf = Vec::with_capacity(d);
         loop {
-            let w = IVec::from(cur.clone());
-            // Every UOV is a non-trivial cone member, hence lex-positive.
-            if w.is_lex_positive() && self.is_uov(&w) {
-                out.push(w);
+            // Every UOV is a non-trivial cone member, hence lex-positive;
+            // candidates are tested in place and only hits allocate.
+            if is_lex_positive_slice(&cur) {
+                match self.in_dead_slice_budgeted(&cur, &mut buf, &unlimited) {
+                    Ok(true) => out.push(IVec::from(cur.as_slice())),
+                    Ok(false) => {}
+                    Err(e) => panic!("oracle query failed: {e}"),
+                }
             }
             let mut k = d;
             loop {
@@ -332,11 +460,11 @@ impl DoneOracle {
         let mut out = Vec::new();
         let mut degradation = None;
         let mut cur = vec![-radius; d];
+        let mut buf = Vec::with_capacity(d);
         'walk: loop {
-            let w = IVec::from(cur.clone());
-            if w.is_lex_positive() {
-                match self.is_uov_budgeted(&w, budget) {
-                    Ok(true) => out.push(w),
+            if is_lex_positive_slice(&cur) {
+                match self.in_dead_slice_budgeted(&cur, &mut buf, budget) {
+                    Ok(true) => out.push(IVec::from(cur.as_slice())),
                     Ok(false) => {}
                     Err(SearchError::Exhausted(reason)) => {
                         degradation = Some(budget.degradation(reason, self.cache_len(), false));
@@ -361,11 +489,42 @@ impl DoneOracle {
         Ok((out, degradation))
     }
 
-    /// Number of memoised cone-membership entries (for diagnostics/benches).
+    /// Number of memoised cone-membership entries across both tiers
+    /// (for diagnostics/benches and the certifier's witness count).
     /// A point-in-time snapshot when other threads are inserting.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.memo.len() + self.spill.len()
     }
+}
+
+/// The dense verdict window for one stencil: per dimension, reach
+/// `64 · φ·Σvᵢ` steps of the largest generator component in either
+/// direction (the same headroom factor the search's φ-cap uses), shrunk
+/// to the entry budget. Purely a performance knob — out-of-window
+/// queries spill to the sharded map with identical verdicts.
+fn query_window(stencil: &Stencil, phi: &IVec) -> Window {
+    let d = stencil.dim();
+    let mut strength: i128 = 0;
+    for v in stencil.iter() {
+        strength = strength.saturating_add(phi.dot_i128(v));
+    }
+    let reach = strength.clamp(1, 1 << 20).saturating_mul(64) as u128;
+    let mut lo = vec![0i64; d];
+    let mut hi = vec![0i64; d];
+    for k in 0..d {
+        let widest = stencil
+            .iter()
+            .map(|v| v[k].unsigned_abs())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let r = reach
+            .saturating_mul(widest as u128)
+            .min(i64::MAX as u128 / 8) as i64;
+        lo[k] = -r;
+        hi[k] = r;
+    }
+    Window::from_bounds(&lo, &hi, ORACLE_WINDOW_ENTRIES)
 }
 
 /// Functionals that are non-negative on every stencil vector.
@@ -403,6 +562,158 @@ fn dual_cone_functionals(stencil: &Stencil) -> Vec<IVec> {
     // pair always is; this guards against extreme-vector edge cases).
     out.retain(|f| stencil.iter().all(|v| f.dot_i128(v) >= 0));
     out
+}
+
+/// A deliberately naive reference oracle: plain `HashMap` memo, no dense
+/// window, no dual-cone cuts — just the φ-functional termination bound
+/// and memoised DFS.
+///
+/// This is the ground truth the property suites differential-test
+/// [`DoneOracle`] against: every data-structure trick in the fast oracle
+/// (dense verdict window, spill tier, scratch-arena DFS) must be
+/// invisible in the answers. Keep this implementation boring.
+///
+/// # Examples
+///
+/// ```
+/// use uov_isg::{ivec, Stencil};
+/// use uov_core::{DoneOracle, ReferenceOracle};
+///
+/// let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])?;
+/// let fast = DoneOracle::new(&s);
+/// let mut naive = ReferenceOracle::new(&s)?;
+/// for i in -3..=3 {
+///     for j in -3..=3 {
+///         assert_eq!(fast.in_done(&ivec![i, j]), naive.in_done(&ivec![i, j]));
+///     }
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ReferenceOracle {
+    stencil: Stencil,
+    phi: IVec,
+    memo: std::collections::HashMap<IVec, bool>,
+}
+
+impl ReferenceOracle {
+    /// Build a reference oracle for `stencil`.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::Isg`] when the stencil's positive functional cannot
+    /// be represented (the same inputs [`DoneOracle::try_new`] rejects).
+    pub fn new(stencil: &Stencil) -> Result<Self, SearchError> {
+        Ok(ReferenceOracle {
+            stencil: stencil.clone(),
+            phi: stencil.try_positive_functional()?,
+            memo: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Naive cone membership: memoised iterative DFS with only the
+    /// φ-functional cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coordinate overflow or a dimension mismatch; the
+    /// reference oracle is for controlled test inputs.
+    pub fn in_done(&mut self, w: &IVec) -> bool {
+        assert_eq!(
+            w.dim(),
+            self.stencil.dim(),
+            "reference oracle dimension mismatch"
+        );
+        // Post-order DFS: expand first, then decide once all children are
+        // known. `enter` distinguishes the two visits to a node.
+        let mut stack: Vec<(IVec, bool)> = vec![(w.clone(), true)];
+        while let Some((node, enter)) = stack.pop() {
+            if node.is_zero() || self.memo.contains_key(&node) {
+                continue;
+            }
+            if self.phi.dot_i128(&node) < 0 {
+                self.memo.insert(node, false);
+                continue;
+            }
+            if enter {
+                stack.push((node.clone(), false));
+                for v in self.stencil.iter() {
+                    match node.checked_sub(v) {
+                        Ok(child) => stack.push((child, true)),
+                        Err(e) => panic!("reference oracle overflow: {e}"),
+                    }
+                }
+            } else {
+                let verdict = self.stencil.iter().any(|v| {
+                    let child = match node.checked_sub(v) {
+                        Ok(c) => c,
+                        Err(e) => panic!("reference oracle overflow: {e}"),
+                    };
+                    child.is_zero() || self.memo.get(&child).copied().unwrap_or(false)
+                });
+                self.memo.insert(node, verdict);
+            }
+        }
+        w.is_zero() || self.memo.get(w).copied().unwrap_or(false)
+    }
+
+    /// Naive DEAD membership: every reader offset `w − vᵢ` is in the cone.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ReferenceOracle::in_done`].
+    pub fn in_dead(&mut self, w: &IVec) -> bool {
+        let readers: Vec<IVec> = self
+            .stencil
+            .iter()
+            .map(|v| match w.checked_sub(v) {
+                Ok(c) => c,
+                Err(e) => panic!("reference oracle overflow: {e}"),
+            })
+            .collect();
+        readers.iter().all(|offset| self.in_done(offset))
+    }
+
+    /// Alias of [`ReferenceOracle::in_dead`], mirroring
+    /// [`DoneOracle::is_uov`].
+    pub fn is_uov(&mut self, w: &IVec) -> bool {
+        self.in_dead(w)
+    }
+
+    /// Naive box enumeration mirroring [`DoneOracle::uovs_within`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ReferenceOracle::in_done`].
+    pub fn uovs_within(&mut self, radius: i64) -> Vec<IVec> {
+        assert!(radius >= 0, "radius must be non-negative");
+        let d = self.stencil.dim();
+        let mut out = Vec::new();
+        let mut cur = vec![-radius; d];
+        loop {
+            let w = IVec::from(cur.as_slice());
+            if w.is_lex_positive() && self.is_uov(&w) {
+                out.push(w);
+            }
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                if cur[k] < radius {
+                    cur[k] += 1;
+                    break;
+                }
+                cur[k] = -radius;
+            }
+        }
+    }
+
+    /// Number of memoised verdicts (diagnostics for the property suite).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
 }
 
 #[cfg(test)]

@@ -67,18 +67,19 @@
 //! behind.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use uov_isg::{IVec, IsgError, IterationDomain, Stencil};
 
 use crate::budget::{Budget, Degradation, Exhausted};
 use crate::checkpoint::{self, CheckpointConfig, CheckpointError, Snapshot};
+use crate::dense::{MaskTable, Window};
 use crate::error::SearchError;
 use crate::objective::{storage_class_count, try_storage_class_count};
+use crate::oracle::dot_slices;
 use crate::par::panic_message;
 
 /// What the search minimises.
@@ -480,19 +481,73 @@ fn validated_setup(
     }
     let phi = stencil.try_positive_functional()?;
     let initial = stencil.try_sum()?;
+    let phi_norm_sq = phi.try_norm_sq()? as u128;
+    // Hard exploration cap guaranteeing termination even when the
+    // storage objective cannot discriminate (every candidate costs N).
+    let phi_cap = 64 * phi.dot_i128(&initial).max(1);
+    let initial_cost = try_cost_of(objective, &initial)?;
+    let window = search_window(stencil, objective, phi_norm_sq, phi_cap, initial_cost);
     let setup = Setup {
         dim: stencil.dim(),
         full: (1u64 << m) - 1,
-        phi_norm_sq: phi.try_norm_sq()? as u128,
-        // Hard exploration cap guaranteeing termination even when the
-        // storage objective cannot discriminate (every candidate costs N).
-        phi_cap: 64 * phi.dot_i128(&initial).max(1),
+        phi_norm_sq,
+        phi_cap,
+        phi_v: stencil.iter().map(|v| phi.dot_i128(v)).collect(),
+        window,
         phi,
-        initial_cost: try_cost_of(objective, &initial)?,
+        initial_cost,
         initial_norm: initial.try_norm_sq().unwrap_or(i128::MAX),
         initial,
     };
     Ok((domain_facts, setup))
+}
+
+/// Entry budget of the search's dense PATHSET window.
+const SEARCH_WINDOW_ENTRIES: usize = 1 << 20;
+
+/// Size the dense PATHSET window from the functional reachability bound.
+///
+/// Every queued offset is a sum of stencil vectors, each backward step
+/// raises `φ·w` by at least 1, and surviving children satisfy
+/// `(φ·w)² ≤ bound·|φ|²` (shortest-vector) or `φ·w ≤ phi_cap`
+/// (known-bounds) — so the step count, and with it every coordinate, is
+/// bounded. The window is purely a performance knob: offsets outside it
+/// (degenerate domains, foreign resumed frontiers, near-overflow
+/// coordinates) spill to the hash tier with identical semantics.
+fn search_window(
+    stencil: &Stencil,
+    objective: &Objective<'_>,
+    phi_norm_sq: u128,
+    phi_cap: i128,
+    initial_cost: u128,
+) -> Window {
+    let steps: i128 = match objective {
+        Objective::ShortestVector => {
+            let bound_sq = initial_cost
+                .saturating_add(1)
+                .saturating_mul(phi_norm_sq.max(1));
+            isqrt(bound_sq).min(i128::MAX as u128) as i128 + 2
+        }
+        Objective::KnownBounds(_) => phi_cap,
+    };
+    let steps = steps.clamp(1, 1 << 20) as i64;
+    let dim = stencil.dim();
+    let mut lo = vec![0i64; dim];
+    let mut hi = vec![0i64; dim];
+    for v in stencil.iter() {
+        for (k, &c) in v.as_slice().iter().enumerate() {
+            if c > 0 {
+                hi[k] = hi[k].max(c);
+            } else {
+                lo[k] = lo[k].min(c);
+            }
+        }
+    }
+    for k in 0..dim {
+        hi[k] = hi[k].saturating_mul(steps);
+        lo[k] = lo[k].saturating_mul(steps);
+    }
+    Window::from_bounds(&lo, &hi, SEARCH_WINDOW_ENTRIES)
 }
 
 /// Dispatch a seeded search to an engine, with panic isolation at the
@@ -654,26 +709,61 @@ struct Setup {
     phi: IVec,
     phi_norm_sq: u128,
     phi_cap: i128,
+    /// `φ·vₖ` per stencil vector, so a child's functional value is one
+    /// addition away from its parent's.
+    phi_v: Vec<i128>,
+    /// Dense window of the PATHSET node pool (see [`search_window`]).
+    window: Window,
     initial: IVec,
     initial_cost: u128,
     initial_norm: i128,
+}
+
+/// Exact squared length of a coordinate slice; `None` on `i128` overflow.
+/// The allocation-free twin of [`IVec::try_norm_sq`].
+fn checked_norm_sq(w: &[i64]) -> Option<i128> {
+    let mut acc: i128 = 0;
+    for &c in w {
+        let c = c as i128;
+        acc = acc.checked_add(c.checked_mul(c)?)?;
+    }
+    Some(acc)
+}
+
+/// Child objective cost straight from scratch coordinates:
+/// allocation-free for the shortest-vector objective; known-bounds
+/// domains take an `IVec` view. `None` (overflow) discards the candidate
+/// like a capped offset.
+fn try_child_cost(objective: &Objective<'_>, w: &[i64]) -> Option<u128> {
+    match objective {
+        Objective::ShortestVector => checked_norm_sq(w).map(|n| n as u128),
+        Objective::KnownBounds(domain) => try_storage_class_count(*domain, &IVec::from(w))
+            .ok()
+            .map(u128::from),
+    }
 }
 
 /// The canonical candidate order: objective cost, then squared length,
 /// then lexicographic. A *total* order over candidates, so the minimum of
 /// any discovered set is independent of discovery order — this is what
 /// makes the parallel search deterministic.
+#[cfg(test)]
 fn improves(cost: u128, w: &IVec, best: &(u128, i128, IVec)) -> bool {
+    improves_slice(cost, w.as_slice(), best)
+}
+
+/// [`improves`] on scratch coordinates — no allocation on the hot path.
+fn improves_slice(cost: u128, w: &[i64], best: &(u128, i128, IVec)) -> bool {
     use std::cmp::Ordering as O;
     match cost.cmp(&best.0) {
         O::Less => true,
         O::Greater => false,
         O::Equal => {
-            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
+            let norm = checked_norm_sq(w).unwrap_or(i128::MAX);
             match norm.cmp(&best.1) {
                 O::Less => true,
                 O::Greater => false,
-                O::Equal => *w < best.2,
+                O::Equal => w < best.2.as_slice(),
             }
         }
     }
@@ -720,15 +810,24 @@ fn search_sequential(
     let mut stats = seed.base;
     let mut degradation: Option<Degradation> = None;
 
-    // Priority queue of (cost, offset, pathset), min-cost first. `known`
-    // remembers the union of PATHSETs discovered per offset; an entry is
-    // re-pushed whenever its PATHSET grows (paper's Visit step 2).
-    let mut known: HashMap<IVec, u64> = seed.known;
-    let mut heap: BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>> = seed
-        .frontier
-        .into_iter()
-        .map(|(cost, w, mask)| std::cmp::Reverse((cost, w, mask)))
-        .collect();
+    // The PATHSET node pool: dense cells over the reachability window,
+    // hash spill outside it. The queue holds `Copy` `(cost, key, mask)`
+    // triples; for in-window nodes the key orders like `lex w`, so heap
+    // tie-breaks match the old vector-keyed behaviour for dense traffic.
+    // An entry is re-pushed whenever its PATHSET grows (Visit step 2).
+    let store = MaskTable::new(setup.window.clone());
+    for (w, mask) in &seed.known {
+        store.merge(w.as_slice(), *mask);
+    }
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u128, u64, u64)>> =
+        BinaryHeap::with_capacity(seed.frontier.len());
+    for (cost, w, mask) in &seed.frontier {
+        let key = match store.key_of(w.as_slice()) {
+            Some(key) => key,
+            None => store.merge(w.as_slice(), *mask).key,
+        };
+        heap.push(std::cmp::Reverse((*cost, key, *mask)));
+    }
 
     let fingerprint = checkpoint::fingerprint(stencil, objective);
     let mut ckpt = config.checkpoint.as_ref().map(|cfg| CkptSink {
@@ -740,19 +839,23 @@ fn search_sequential(
     // The entry popped but not fully expanded when the search stopped
     // early; preserved into the final snapshot so its subtree is never
     // lost across an interrupt/resume cycle (re-expansion is idempotent).
-    let mut in_hand: Option<(u128, IVec, u64)> = None;
+    let mut in_hand: Option<(u128, u64, u64)> = None;
+    // Scratch coordinate buffers reused across every pop and child — the
+    // hot loop allocates only when the incumbent improves.
+    let mut wbuf: Vec<i64> = Vec::with_capacity(setup.dim);
+    let mut cbuf: Vec<i64> = Vec::with_capacity(setup.dim);
 
-    'search: while let Some(std::cmp::Reverse((cost, w, mask))) = heap.pop() {
+    'search: while let Some(std::cmp::Reverse((cost, key, mask))) = heap.pop() {
         // Skip stale entries: a fresher push carries the grown PATHSET.
-        if known.get(&w).copied().unwrap_or(0) != mask {
+        if store.mask_of(key) != Some(mask) || !store.coords_of(key, &mut wbuf) {
             continue;
         }
         stats.visited += 1;
         if let Err(reason) = budget.charge() {
             stats.complete = false;
             degradation =
-                Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
-            in_hand = Some((cost, w, mask));
+                Some(budget.degradation(reason, store.len(), best_key.2 == setup.initial));
+            in_hand = Some((cost, key, mask));
             break;
         }
         if let Some(max) = config.max_visits {
@@ -760,31 +863,41 @@ fn search_sequential(
                 stats.complete = false;
                 degradation = Some(budget.degradation(
                     Exhausted::Nodes,
-                    known.len(),
+                    store.len(),
                     best_key.2 == setup.initial,
                 ));
-                in_hand = Some((cost, w, mask));
+                in_hand = Some((cost, key, mask));
                 break;
             }
         }
 
         // Candidate check (paper Visit step 3), with the canonical
         // tie-break so equal-cost candidates resolve deterministically.
-        if mask == setup.full && improves(cost, &w, &best_key) {
-            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
-            best_key = (cost, norm, w.clone());
+        if mask == setup.full && improves_slice(cost, &wbuf, &best_key) {
+            let norm = checked_norm_sq(&wbuf).unwrap_or(i128::MAX);
+            best_key = (cost, norm, IVec::from(wbuf.as_slice()));
             stats.improvements += 1;
         }
 
         // Expand children along backward value dependences (Visit step 2).
+        // One parent functional value serves every child: φ·(w+vₖ) =
+        // φ·w + φ·vₖ.
+        let phi_w = dot_slices(setup.phi.as_slice(), &wbuf);
         for (k, v) in stencil.iter().enumerate() {
             // A child beyond i64 range can never beat the in-range
             // incumbent; discard it like a capped offset.
-            let Ok(child) = w.checked_add(v) else {
+            cbuf.clear();
+            for (i, &c) in v.as_slice().iter().enumerate() {
+                match wbuf[i].checked_add(c) {
+                    Some(x) => cbuf.push(x),
+                    None => break,
+                }
+            }
+            if cbuf.len() != setup.dim {
                 stats.capped += 1;
                 continue;
-            };
-            let phi_child = setup.phi.dot_i128(&child);
+            }
+            let phi_child = phi_w + setup.phi_v[k];
             debug_assert!(phi_child > 0, "functional must grow along dependences");
 
             // Length lower bound for the child and all its descendants:
@@ -807,33 +920,34 @@ fn search_sequential(
             }
 
             let child_mask = mask | (1 << k);
-            let prior = known.get(&child).copied();
+            let prior = store.probe(&cbuf);
             if let Some(p) = prior {
                 if p | child_mask == p {
                     continue; // this path adds nothing to the PATHSET
                 }
-            } else if let Err(reason) = budget.check_memo(known.len()) {
+            } else if let Err(reason) = budget.check_memo(store.len()) {
                 stats.complete = false;
                 degradation =
-                    Some(budget.degradation(reason, known.len(), best_key.2 == setup.initial));
+                    Some(budget.degradation(reason, store.len(), best_key.2 == setup.initial));
                 // Mid-expansion stop: keep the parent in hand so the
                 // unexpanded remainder of its subtree survives into the
                 // snapshot.
-                in_hand = Some((cost, w.clone(), mask));
+                in_hand = Some((cost, key, mask));
                 break 'search;
             }
             // Cost the child *before* touching the PATHSET table: the
             // only step that can panic (a user-supplied domain) runs
             // while the state is still consistent. A candidate whose
             // cost overflows is discarded, not fatal.
-            let Ok(child_cost) = try_cost_of(objective, &child) else {
+            let Some(child_cost) = try_child_cost(objective, &cbuf) else {
                 stats.capped += 1;
                 continue;
             };
-            let merged = prior.unwrap_or(0) | child_mask;
-            known.insert(child.clone(), merged);
-            heap.push(std::cmp::Reverse((child_cost, child, merged)));
-            stats.pushed += 1;
+            let out = store.merge(&cbuf, child_mask);
+            if out.grew {
+                heap.push(std::cmp::Reverse((child_cost, out.key, out.merged)));
+                stats.pushed += 1;
+            }
         }
 
         if let Some(sink) = ckpt.as_mut() {
@@ -843,7 +957,7 @@ fn search_sequential(
                 let snap = sequential_snapshot(
                     sink.fingerprint,
                     setup,
-                    &known,
+                    &store,
                     &heap,
                     None,
                     &best_key,
@@ -861,7 +975,7 @@ fn search_sequential(
         let snap = sequential_snapshot(
             sink.fingerprint,
             setup,
-            &known,
+            &store,
             &heap,
             in_hand.as_ref(),
             &best_key,
@@ -875,7 +989,7 @@ fn search_sequential(
         *slot = Some(sequential_snapshot(
             fingerprint,
             setup,
-            &known,
+            &store,
             &heap,
             in_hand.as_ref(),
             &best_key,
@@ -895,26 +1009,30 @@ fn search_sequential(
 
 /// Build a snapshot of the sequential engine's state. Stale heap entries
 /// (superseded by a grown-PATHSET re-push) are filtered out, so each
-/// offset appears at most once in the stored frontier.
+/// offset appears at most once in the stored frontier. Keys decode back
+/// to coordinate vectors here, at the engine boundary — the `UOVCKPT1`
+/// wire format stays layout-independent.
 #[allow(clippy::too_many_arguments)]
 fn sequential_snapshot(
     fingerprint: u64,
     setup: &Setup,
-    known: &HashMap<IVec, u64>,
-    heap: &BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>>,
-    in_hand: Option<&(u128, IVec, u64)>,
+    store: &MaskTable,
+    heap: &BinaryHeap<std::cmp::Reverse<(u128, u64, u64)>>,
+    in_hand: Option<&(u128, u64, u64)>,
     best_key: &(u128, i128, IVec),
     stats: &SearchStats,
     budget: &Budget,
 ) -> Snapshot {
-    let mut frontier: Vec<(u128, IVec, u64)> = heap
-        .iter()
-        .filter(|std::cmp::Reverse((_, w, mask))| known.get(w).copied() == Some(*mask))
-        .map(|std::cmp::Reverse(entry)| entry.clone())
-        .collect();
-    if let Some((cost, w, mask)) = in_hand {
-        if known.get(w).copied() == Some(*mask) {
-            frontier.push((*cost, w.clone(), *mask));
+    let mut coords = Vec::new();
+    let mut frontier: Vec<(u128, IVec, u64)> = Vec::new();
+    for std::cmp::Reverse((cost, key, mask)) in heap.iter() {
+        if store.mask_of(*key) == Some(*mask) && store.coords_of(*key, &mut coords) {
+            frontier.push((*cost, IVec::from(coords.as_slice()), *mask));
+        }
+    }
+    if let Some(&(cost, key, mask)) = in_hand {
+        if store.mask_of(key) == Some(mask) && store.coords_of(key, &mut coords) {
+            frontier.push((cost, IVec::from(coords.as_slice()), mask));
         }
     }
     Snapshot {
@@ -923,7 +1041,7 @@ fn sequential_snapshot(
         incumbent_cost: best_key.0,
         incumbent: best_key.2.clone(),
         frontier,
-        known: known.iter().map(|(w, m)| (w.clone(), *m)).collect(),
+        known: store.entries(),
         nodes_charged: budget.nodes_charged(),
         stats: stats.clone(),
     }
@@ -947,11 +1065,10 @@ fn saturate_bound(cost: u128) -> u64 {
     u64::try_from(cost).unwrap_or(u64::MAX)
 }
 
-/// Stripe count of the shared PATHSET table; a power of two.
-const KNOWN_SHARDS: usize = 64;
-
-/// A worker's priority queue: min-heap over `(cost, offset, pathset)`.
-type WorkQueue = BinaryHeap<std::cmp::Reverse<(u128, IVec, u64)>>;
+/// A worker's priority queue: min-heap over `Copy` `(cost, node key,
+/// pathset)` triples — node coordinates live in the shared
+/// [`MaskTable`], not in the queue.
+type WorkQueue = BinaryHeap<std::cmp::Reverse<(u128, u64, u64)>>;
 
 /// Barrier bookkeeping for quiescent parallel snapshots.
 struct CkptBarrier {
@@ -991,10 +1108,9 @@ struct ParSearch<'a> {
 
     /// One work queue per worker; idle workers steal from peers.
     queues: Vec<Mutex<WorkQueue>>,
-    /// Lock-striped PATHSET union per discovered offset.
-    known: Vec<Mutex<HashMap<IVec, u64>>>,
-    /// Total offsets in `known` (the memo-cap measure).
-    known_count: AtomicUsize,
+    /// The shared PATHSET node pool: dense cells over the reachability
+    /// window, hash spill outside it. Its length is the memo-cap measure.
+    store: MaskTable,
     /// Queue entries not yet fully processed; 0 ⟺ the search is drained.
     pending: AtomicU64,
     /// Global visit counter for `max_visits`.
@@ -1015,7 +1131,7 @@ struct ParSearch<'a> {
     /// Per-worker slot for the entry popped but not yet fully expanded.
     /// Early-stopping paths (budget, panic, memo cap) leave the entry
     /// here so snapshots never lose its subtree.
-    in_hand: Vec<Mutex<Option<(u128, IVec, u64)>>>,
+    in_hand: Vec<Mutex<Option<(u128, u64, u64)>>>,
     /// Statistics carried over from a resumed snapshot; mid-run snapshot
     /// counters build on these.
     stats_base: SearchStats,
@@ -1026,38 +1142,6 @@ struct ParSearch<'a> {
 }
 
 impl ParSearch<'_> {
-    fn shard(&self, w: &IVec) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        w.hash(&mut h);
-        (h.finish() as usize) & (KNOWN_SHARDS - 1)
-    }
-
-    fn probe(&self, w: &IVec) -> Option<u64> {
-        lock_unpoisoned(&self.known[self.shard(w)]).get(w).copied()
-    }
-
-    /// Merge `mask` into the PATHSET union of `child`. Returns
-    /// `(grew, merged_mask, is_new)`.
-    fn merge(&self, child: &IVec, mask: u64) -> (bool, u64, bool) {
-        use std::collections::hash_map::Entry;
-        let mut shard = lock_unpoisoned(&self.known[self.shard(child)]);
-        match shard.entry(child.clone()) {
-            Entry::Occupied(mut e) => {
-                let merged = *e.get() | mask;
-                if merged != *e.get() {
-                    *e.get_mut() = merged;
-                    (true, merged, false)
-                } else {
-                    (false, merged, false)
-                }
-            }
-            Entry::Vacant(e) => {
-                e.insert(mask);
-                (true, mask, true)
-            }
-        }
-    }
-
     fn record_stop(&self, reason: Exhausted) {
         let mut slot = lock_unpoisoned(&self.stop_reason);
         if slot.is_none() {
@@ -1067,11 +1151,11 @@ impl ParSearch<'_> {
     }
 
     /// Offer a UOV candidate to the shared incumbent; true if it improved.
-    fn offer(&self, cost: u128, w: &IVec) -> bool {
+    fn offer(&self, cost: u128, w: &[i64]) -> bool {
         let mut inc = lock_unpoisoned(&self.incumbent);
-        if improves(cost, w, &inc) {
-            let norm = w.try_norm_sq().unwrap_or(i128::MAX);
-            *inc = (cost, norm, w.clone());
+        if improves_slice(cost, w, &inc) {
+            let norm = checked_norm_sq(w).unwrap_or(i128::MAX);
+            *inc = (cost, norm, IVec::from(w));
             self.bound.store(saturate_bound(cost), Ordering::Release);
             true
         } else {
@@ -1095,7 +1179,7 @@ impl ParSearch<'_> {
 
     /// Pop from the worker's own queue, else steal the best entry from a
     /// peer (scanning round-robin from the worker's successor).
-    fn pop_or_steal(&self, id: usize) -> Option<(u128, IVec, u64)> {
+    fn pop_or_steal(&self, id: usize) -> Option<(u128, u64, u64)> {
         let n = self.queues.len();
         for i in 0..n {
             let std::cmp::Reverse(item) = {
@@ -1113,13 +1197,30 @@ impl ParSearch<'_> {
     /// Expand one offset's children (paper Visit step 2) into the
     /// worker's own queue. Returns `false` if the expansion was cut
     /// short (memo cap) — the caller then keeps the parent in hand.
-    fn expand(&self, id: usize, w: &IVec, mask: u64, stats: &mut SearchStats) -> bool {
+    fn expand(
+        &self,
+        id: usize,
+        w: &[i64],
+        mask: u64,
+        cbuf: &mut Vec<i64>,
+        stats: &mut SearchStats,
+    ) -> bool {
+        // One parent functional value serves every child:
+        // φ·(w+vₖ) = φ·w + φ·vₖ.
+        let phi_w = dot_slices(self.setup.phi.as_slice(), w);
         for (k, v) in self.stencil.iter().enumerate() {
-            let Ok(child) = w.checked_add(v) else {
+            cbuf.clear();
+            for (i, &c) in v.as_slice().iter().enumerate() {
+                match w[i].checked_add(c) {
+                    Some(x) => cbuf.push(x),
+                    None => break,
+                }
+            }
+            if cbuf.len() != self.setup.dim {
                 stats.capped += 1;
                 continue;
-            };
-            let phi_child = self.setup.phi.dot_i128(&child);
+            }
+            let phi_child = phi_w + self.setup.phi_v[k];
             debug_assert!(phi_child > 0, "functional must grow along dependences");
             let len_sq_lb = (phi_child as u128 * phi_child as u128) / self.setup.phi_norm_sq;
             if self.child_dominated(len_sq_lb) {
@@ -1131,7 +1232,7 @@ impl ParSearch<'_> {
                 continue;
             }
             let child_mask = mask | (1 << k);
-            let prior = self.probe(&child);
+            let prior = self.store.probe(cbuf);
             if let Some(p) = prior {
                 if p | child_mask == p {
                     continue; // this path adds nothing to the PATHSET
@@ -1139,10 +1240,7 @@ impl ParSearch<'_> {
             } else {
                 // Racing workers may each admit one entry past the cap —
                 // the documented per-worker memo overshoot.
-                if let Err(reason) = self
-                    .budget
-                    .check_memo(self.known_count.load(Ordering::Relaxed))
-                {
+                if let Err(reason) = self.budget.check_memo(self.store.len()) {
                     self.record_stop(reason);
                     return false;
                 }
@@ -1152,20 +1250,17 @@ impl ParSearch<'_> {
             // while the shared state is still consistent, so a caught
             // panic can never leave a merged-but-never-queued offset
             // behind (which a snapshot would then silently drop).
-            let Ok(child_cost) = try_cost_of(self.objective, &child) else {
+            let Some(child_cost) = try_child_cost(self.objective, cbuf) else {
                 stats.capped += 1;
                 continue;
             };
-            let (grew, merged, is_new) = self.merge(&child, child_mask);
-            if is_new {
-                self.known_count.fetch_add(1, Ordering::Relaxed);
-            }
-            if grew {
+            let out = self.store.merge(cbuf, child_mask);
+            if out.grew {
                 // Increment `pending` *before* the push so the drain test
                 // (`pending == 0`) can never observe a false empty.
                 self.pending.fetch_add(1, Ordering::Release);
                 lock_unpoisoned(&self.queues[id])
-                    .push(std::cmp::Reverse((child_cost, child, merged)));
+                    .push(std::cmp::Reverse((child_cost, out.key, out.merged)));
                 stats.pushed += 1;
             }
         }
@@ -1273,27 +1368,26 @@ impl ParSearch<'_> {
 
     /// Collect the full live state into a snapshot. Sound only when the
     /// state is quiescent: at a completed barrier or after the pool has
-    /// been joined.
+    /// been joined. Keys decode back to coordinate vectors here, at the
+    /// engine boundary — the `UOVCKPT1` wire format stays
+    /// layout-independent.
     fn build_snapshot(&self, fingerprint: u64, stats: &SearchStats) -> Snapshot {
-        let mut known: HashMap<IVec, u64> = HashMap::new();
-        for shard in &self.known {
-            let guard = lock_unpoisoned(shard);
-            known.extend(guard.iter().map(|(w, m)| (w.clone(), *m)));
-        }
+        let mut coords = Vec::new();
         let mut frontier: Vec<(u128, IVec, u64)> = Vec::new();
         for queue in &self.queues {
             let guard = lock_unpoisoned(queue);
-            frontier.extend(
-                guard
-                    .iter()
-                    .filter(|std::cmp::Reverse((_, w, mask))| known.get(w).copied() == Some(*mask))
-                    .map(|std::cmp::Reverse(entry)| entry.clone()),
-            );
+            for std::cmp::Reverse((cost, key, mask)) in guard.iter() {
+                if self.store.mask_of(*key) == Some(*mask)
+                    && self.store.coords_of(*key, &mut coords)
+                {
+                    frontier.push((*cost, IVec::from(coords.as_slice()), *mask));
+                }
+            }
         }
         for slot in &self.in_hand {
-            if let Some((cost, w, mask)) = lock_unpoisoned(slot).as_ref() {
-                if known.get(w).copied() == Some(*mask) {
-                    frontier.push((*cost, w.clone(), *mask));
+            if let Some((cost, key, mask)) = *lock_unpoisoned(slot) {
+                if self.store.mask_of(key) == Some(mask) && self.store.coords_of(key, &mut coords) {
+                    frontier.push((cost, IVec::from(coords.as_slice()), mask));
                 }
             }
         }
@@ -1304,7 +1398,7 @@ impl ParSearch<'_> {
             incumbent_cost,
             incumbent,
             frontier,
-            known: known.into_iter().collect(),
+            known: self.store.entries(),
             nodes_charged: self.budget.nodes_charged(),
             stats: stats.clone(),
         }
@@ -1314,12 +1408,15 @@ impl ParSearch<'_> {
     fn worker(&self, id: usize) -> SearchStats {
         let mut stats = SearchStats::default();
         let mut idle_spins = 0u32;
+        // Scratch coordinate buffers reused across every pop and child.
+        let mut wbuf: Vec<i64> = Vec::with_capacity(self.setup.dim);
+        let mut cbuf: Vec<i64> = Vec::with_capacity(self.setup.dim);
         loop {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
             self.park_for_checkpoint();
-            let Some((cost, w, mask)) = self.pop_or_steal(id) else {
+            let Some((cost, key, mask)) = self.pop_or_steal(id) else {
                 if self.pending.load(Ordering::Acquire) == 0 {
                     break; // globally drained: every worker exits
                 }
@@ -1334,7 +1431,7 @@ impl ParSearch<'_> {
             };
             idle_spins = 0;
             // Skip stale entries: a fresher push carries the grown PATHSET.
-            if self.probe(&w) != Some(mask) {
+            if self.store.mask_of(key) != Some(mask) || !self.store.coords_of(key, &mut wbuf) {
                 self.pending.fetch_sub(1, Ordering::Release);
                 continue;
             }
@@ -1344,7 +1441,7 @@ impl ParSearch<'_> {
             // carries the entry and no subtree is lost. `pending` is then
             // deliberately *not* decremented — the `stop` flag, not the
             // drain test, terminates the pool on those paths.
-            *lock_unpoisoned(&self.in_hand[id]) = Some((cost, w.clone(), mask));
+            *lock_unpoisoned(&self.in_hand[id]) = Some((cost, key, mask));
             if let Err(reason) = self.budget.charge() {
                 self.record_stop(reason);
                 break;
@@ -1354,10 +1451,10 @@ impl ParSearch<'_> {
                 self.record_stop(Exhausted::Nodes);
                 break;
             }
-            if mask == self.setup.full && self.offer(cost, &w) {
+            if mask == self.setup.full && self.offer(cost, &wbuf) {
                 stats.improvements += 1;
             }
-            if !self.expand(id, &w, mask, &mut stats) {
+            if !self.expand(id, &wbuf, mask, &mut cbuf, &mut stats) {
                 break; // memo cap mid-expansion: keep the entry in hand
             }
             *lock_unpoisoned(&self.in_hand[id]) = None;
@@ -1408,8 +1505,7 @@ fn search_parallel(
         budget: &config.budget,
         max_visits: config.max_visits,
         queues: (0..threads).map(|_| Mutex::default()).collect(),
-        known: (0..KNOWN_SHARDS).map(|_| Mutex::default()).collect(),
-        known_count: AtomicUsize::new(seed.known.len()),
+        store: MaskTable::new(setup.window.clone()),
         pending: AtomicU64::new(seed.frontier.len() as u64),
         visited: AtomicU64::new(seed.base.visited),
         stop: AtomicBool::new(false),
@@ -1425,12 +1521,15 @@ fn search_parallel(
 
     // Seed the PATHSET table and distribute the frontier round-robin —
     // for a fresh search this is exactly the sequential origin seeding.
-    for (w, mask) in seed.known {
-        let shard = par.shard(&w);
-        lock_unpoisoned(&par.known[shard]).insert(w, mask);
+    for (w, mask) in &seed.known {
+        par.store.merge(w.as_slice(), *mask);
     }
-    for (i, (cost, w, mask)) in seed.frontier.into_iter().enumerate() {
-        lock_unpoisoned(&par.queues[i % threads]).push(std::cmp::Reverse((cost, w, mask)));
+    for (i, (cost, w, mask)) in seed.frontier.iter().enumerate() {
+        let key = match par.store.key_of(w.as_slice()) {
+            Some(key) => key,
+            None => par.store.merge(w.as_slice(), *mask).key,
+        };
+        lock_unpoisoned(&par.queues[i % threads]).push(std::cmp::Reverse((*cost, key, *mask)));
     }
 
     let worker_stats: Vec<SearchStats> = std::thread::scope(|scope| {
@@ -1469,11 +1568,9 @@ fn search_parallel(
     let (best_cost, _, best) = lock_unpoisoned(&par.incumbent).clone();
     let degradation = stop_reason.map(|reason| {
         stats.complete = false;
-        config.budget.degradation(
-            reason,
-            par.known_count.load(Ordering::Relaxed),
-            best == setup.initial,
-        )
+        config
+            .budget
+            .degradation(reason, par.store.len(), best == setup.initial)
     });
 
     // Final snapshot: the pool is joined, so the state is quiescent and

@@ -423,6 +423,16 @@ impl AsRef<[i64]> for IVec {
     }
 }
 
+/// Lets `HashMap<IVec, _>` be probed with a borrowed `&[i64]` — no
+/// allocation on lookup-heavy paths. Consistent with `Eq`/`Hash`: the
+/// derived `Hash` forwards to the inner `Vec`, which hashes exactly like
+/// its slice.
+impl std::borrow::Borrow<[i64]> for IVec {
+    fn borrow(&self) -> &[i64] {
+        &self.0
+    }
+}
+
 impl Index<usize> for IVec {
     type Output = i64;
     fn index(&self, i: usize) -> &i64 {

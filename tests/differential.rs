@@ -430,3 +430,193 @@ fn resuming_a_completed_search_returns_the_same_answer() {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+// ---------------------------------------------------------------------
+// Kernel zoo: the paper's named stencils, pinned as fixed instances so
+// the dense engine is compared against the old engine's committed
+// answers (uov, cost) *and* against itself across thread counts down to
+// the certificate transcript hash — the strongest byte-identity the
+// repo can express.
+// ---------------------------------------------------------------------
+
+mod kernel_zoo {
+    use super::*;
+    use uov::core::certify::certify;
+    use uov::isg::ivec;
+
+    /// Named stencils with their known-optimal shortest UOVs. The
+    /// expected vectors are the old engine's answers (each is also easy
+    /// to verify by hand against §3 of the paper); a dense-engine
+    /// divergence here is a correctness bug, not a perf artifact.
+    fn zoo() -> Vec<(&'static str, Stencil, IVec, u128)> {
+        vec![
+            (
+                "fig1-pipeline",
+                Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+                ivec![1, 1],
+                2,
+            ),
+            (
+                "stencil5",
+                Stencil::new(vec![
+                    ivec![1, -2],
+                    ivec![1, -1],
+                    ivec![1, 0],
+                    ivec![1, 1],
+                    ivec![1, 2],
+                ])
+                .unwrap(),
+                ivec![2, 0],
+                4,
+            ),
+            (
+                "jacobi-1d",
+                Stencil::new(vec![ivec![1, -1], ivec![1, 0], ivec![1, 1]]).unwrap(),
+                ivec![2, 0],
+                4,
+            ),
+            (
+                "psm-h",
+                Stencil::new(vec![ivec![1, 1], ivec![1, 0], ivec![0, 1]]).unwrap(),
+                ivec![1, 1],
+                2,
+            ),
+            (
+                "semigroup-23",
+                Stencil::new(vec![ivec![2], ivec![3]]).unwrap(),
+                ivec![5],
+                25,
+            ),
+            (
+                "skewed-wavefront",
+                Stencil::new(vec![ivec![1, 1], ivec![2, 1]]).unwrap(),
+                ivec![3, 2],
+                13,
+            ),
+        ]
+    }
+
+    /// Every zoo kernel solves to its pinned `(uov, cost)` at thread
+    /// counts 1 and 8, and the *certificates* — including the transcript
+    /// hash binding problem fingerprint, vector, cost and witness counts
+    /// — are byte-identical across thread counts.
+    #[test]
+    fn zoo_certificates_are_thread_independent() {
+        for (name, s, expect_uov, expect_cost) in zoo() {
+            let seq = find_best_uov(&s, Objective::ShortestVector, &with_threads(1))
+                .unwrap_or_else(|e| panic!("{name}: sequential search failed: {e}"));
+            assert_eq!(
+                seq.uov, expect_uov,
+                "{name}: uov drifted from pinned answer"
+            );
+            assert_eq!(seq.cost, expect_cost, "{name}: cost drifted");
+            let seq_cert = certify(&s, &Objective::ShortestVector, &seq)
+                .unwrap_or_else(|e| panic!("{name}: sequential result failed certify: {e}"));
+            let par = find_best_uov(&s, Objective::ShortestVector, &with_threads(8))
+                .unwrap_or_else(|e| panic!("{name}: parallel search failed: {e}"));
+            let par_cert = certify(&s, &Objective::ShortestVector, &par)
+                .unwrap_or_else(|e| panic!("{name}: parallel result failed certify: {e}"));
+            assert_eq!(
+                (par.uov, par.cost),
+                (seq.uov, seq.cost),
+                "{name}: engines disagree"
+            );
+            assert_eq!(
+                par_cert.transcript_hash, seq_cert.transcript_hash,
+                "{name}: certificate transcripts diverge across thread counts"
+            );
+        }
+    }
+
+    /// Same contract under the KnownBounds objective, where cost is the
+    /// storage-class count over a concrete iteration domain.
+    #[test]
+    fn zoo_known_bounds_certificates_are_thread_independent() {
+        let grid = RectDomain::grid(12, 12);
+        for (name, s, _, _) in zoo() {
+            if s.dim() != 2 {
+                continue;
+            }
+            let seq = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(1))
+                .unwrap_or_else(|e| panic!("{name}: sequential KB search failed: {e}"));
+            let seq_cert = certify(&s, &Objective::KnownBounds(&grid), &seq)
+                .unwrap_or_else(|e| panic!("{name}: KB certify failed: {e}"));
+            let par = find_best_uov(&s, Objective::KnownBounds(&grid), &with_threads(8))
+                .unwrap_or_else(|e| panic!("{name}: parallel KB search failed: {e}"));
+            let par_cert = certify(&s, &Objective::KnownBounds(&grid), &par)
+                .unwrap_or_else(|e| panic!("{name}: parallel KB certify failed: {e}"));
+            assert_eq!((par.uov, par.cost), (seq.uov, seq.cost), "{name}");
+            assert_eq!(par_cert.transcript_hash, seq_cert.transcript_hash, "{name}");
+        }
+    }
+
+    /// Randomized extension of the zoo: on seeded random stencils the
+    /// certificate transcript hash — not just `(uov, cost)` — matches
+    /// between the sequential and 8-way engines.
+    #[test]
+    fn random_stencil_certificates_are_thread_independent() {
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xCE27);
+        for case in 0..16 {
+            let dim = rng.gen_range(1usize..=3);
+            let s = random_stencil(&mut rng, dim, 3, 5);
+            let seq = find_best_uov(&s, Objective::ShortestVector, &with_threads(1))
+                .expect("small coordinates cannot overflow");
+            let par = find_best_uov(&s, Objective::ShortestVector, &with_threads(8))
+                .expect("small coordinates cannot overflow");
+            let a = certify(&s, &Objective::ShortestVector, &seq).expect("seq certify");
+            let b = certify(&s, &Objective::ShortestVector, &par).expect("par certify");
+            assert_eq!(
+                a.transcript_hash, b.transcript_hash,
+                "case {case}: transcripts diverge for {s:?}"
+            );
+        }
+    }
+
+    /// UOVCKPT1 cross-engine compatibility: a snapshot cut mid-search by
+    /// the sequential engine resumes under the 8-way engine (and vice
+    /// versa) to the byte-identical final answer. Checkpoints are an
+    /// on-disk interchange format, not an engine-private cache.
+    #[test]
+    fn checkpoints_are_cross_engine_compatible() {
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xCC07);
+        for case in 0..10 {
+            let dim = rng.gen_range(1usize..=3);
+            let s = random_stencil(&mut rng, dim, 2, 4);
+            let cut = rng.gen_range(1u64..40);
+            let reference = find_best_uov(&s, Objective::ShortestVector, &with_threads(1))
+                .expect("small coordinates cannot overflow");
+            for (writer, resumer) in [(1usize, 8usize), (8, 1)] {
+                let mut path = std::env::temp_dir();
+                path.push(format!(
+                    "uov_diff_xengine_{}_{case}_{writer}_{resumer}.ckpt",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_file(&path);
+                let interrupted = SearchConfig {
+                    budget: Budget::unlimited().with_max_nodes(cut),
+                    checkpoint: Some(CheckpointConfig {
+                        path: path.clone(),
+                        interval: 1,
+                    }),
+                    ..with_threads(writer)
+                };
+                let partial = find_best_uov(&s, Objective::ShortestVector, &interrupted)
+                    .expect("a node cap never turns a valid instance into an error");
+                assert_eq!(
+                    partial.checkpoint_error, None,
+                    "case {case}: writer={writer} snapshot failed for {s:?}"
+                );
+                let resumed =
+                    search_resume(&path, &s, Objective::ShortestVector, &with_threads(resumer))
+                        .expect("a clean snapshot must resume on the other engine");
+                assert_eq!(
+                    (resumed.uov, resumed.cost),
+                    (reference.uov.clone(), reference.cost),
+                    "case {case}: writer={writer} resumer={resumer} diverged for {s:?}"
+                );
+                assert!(resumed.stats.complete, "case {case}");
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}

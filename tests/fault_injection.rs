@@ -1070,3 +1070,337 @@ mod resilience_faults {
         server.join();
     }
 }
+
+// ---------------------------------------------------------------------
+// Dense-engine fault injection: cancellation and worker panics must
+// leave a resumable snapshot with a coherent PATHSET store, and
+// near-i64::MAX coordinates must route to the spill tier instead of
+// overflowing the dense window arithmetic.
+// ---------------------------------------------------------------------
+
+mod dense_faults {
+    use super::*;
+    use std::collections::HashMap;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+    use uov::core::checkpoint::{read_snapshot as read_snap, Snapshot};
+    use uov::core::{ConeMemo, MaskTable, Window};
+    use uov::isg::IterationDomain;
+
+    /// PATHSET-store coherence of a decoded snapshot: every live frontier
+    /// entry's offset must exist in the known map with a superset mask.
+    /// An orphaned frontier entry (offset missing, or carrying bits the
+    /// store never recorded) would expand from state the resume cannot
+    /// reconstruct.
+    fn assert_no_orphaned_pathset_entries(snap: &Snapshot, context: &str) {
+        let known: HashMap<&IVec, u64> = snap.known.iter().map(|(w, m)| (w, *m)).collect();
+        for (cost, w, mask) in &snap.frontier {
+            let Some(&stored) = known.get(w) else {
+                panic!("{context}: frontier entry {w} (cost {cost}) missing from known map");
+            };
+            assert_eq!(
+                stored & mask,
+                *mask,
+                "{context}: frontier mask {mask:#x} at {w} not recorded in known mask {stored:#x}"
+            );
+        }
+    }
+
+    /// Budget cancellation mid-sweep: a token tripped while 8 workers are
+    /// expanding leaves (a) a decodable snapshot with no orphaned PATHSET
+    /// entries and (b) a state that resumes to the byte-identical final
+    /// answer of an uninterrupted run.
+    #[test]
+    fn cancellation_mid_sweep_leaves_resumable_state() {
+        let s = Stencil::new(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ])
+        .expect("valid");
+        let reference =
+            find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default()).expect("clean");
+        let token = Arc::new(AtomicBool::new(false));
+        let tripper = {
+            let token = Arc::clone(&token);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(300));
+                token.store(true, Ordering::Relaxed);
+            })
+        };
+        let path = tmp_path("cancel_resumable");
+        let config = SearchConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                interval: 1,
+            }),
+            ..budgeted_threaded(Budget::unlimited().with_cancel_token(Arc::clone(&token)), 8)
+        };
+        let cut = find_best_uov(&s, Objective::ShortestVector, &config)
+            .expect("cancellation degrades, not errors");
+        tripper.join().expect("tripper thread");
+        assert_eq!(cut.checkpoint_error, None, "snapshot write failed");
+        // Whether the token landed mid-sweep or after completion, the
+        // final snapshot must exist, decode, and be internally coherent.
+        let snap = read_snap(&path).expect("cancelled run must leave a valid snapshot");
+        assert_no_orphaned_pathset_entries(&snap, "cancelled");
+        let resumed = search_resume(
+            &path,
+            &s,
+            Objective::ShortestVector,
+            &SearchConfig::default(),
+        )
+        .expect("cancelled snapshot must resume");
+        assert_eq!(
+            (resumed.uov, resumed.cost),
+            (reference.uov, reference.cost),
+            "resume after cancellation diverged"
+        );
+        assert!(resumed.stats.complete);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Deterministic mid-sweep variant: a node-cap cut at every depth from
+    /// 1 to 30 leaves a coherent snapshot — the orphan check runs against
+    /// snapshots whose frontiers are provably non-empty, not just the
+    /// empty-frontier final states.
+    #[test]
+    fn node_cut_snapshots_never_orphan_pathset_entries() {
+        let s = Stencil::new(vec![ivec![1, -2], ivec![1, 0], ivec![1, 2]]).expect("valid");
+        let reference =
+            find_best_uov(&s, Objective::ShortestVector, &SearchConfig::default()).expect("clean");
+        let mut saw_live_frontier = false;
+        for cut in 1u64..=30 {
+            let path = tmp_path(&format!("orphan_cut_{cut}"));
+            let config = SearchConfig {
+                budget: Budget::unlimited().with_max_nodes(cut),
+                checkpoint: Some(CheckpointConfig {
+                    path: path.clone(),
+                    interval: 1,
+                }),
+                ..SearchConfig::default()
+            };
+            let partial = find_best_uov(&s, Objective::ShortestVector, &config).expect("in range");
+            assert_eq!(partial.checkpoint_error, None, "cut={cut}");
+            let snap = read_snap(&path).expect("cut run must leave a valid snapshot");
+            saw_live_frontier |= !snap.frontier.is_empty();
+            assert_no_orphaned_pathset_entries(&snap, &format!("cut={cut}"));
+            let resumed = search_resume(
+                &path,
+                &s,
+                Objective::ShortestVector,
+                &SearchConfig::default(),
+            )
+            .expect("cut snapshot must resume");
+            assert_eq!(
+                (resumed.uov.clone(), resumed.cost),
+                (reference.uov.clone(), reference.cost),
+                "cut={cut}"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+        assert!(
+            saw_live_frontier,
+            "every cut produced an empty frontier; the orphan check never ran on live state"
+        );
+    }
+
+    /// An iteration domain that delegates to a [`RectDomain`] but panics
+    /// on the Nth `num_points` call — `num_points` sits on the KnownBounds
+    /// cost path, so the panic detonates inside a search worker mid-sweep.
+    #[derive(Debug)]
+    struct DetonatingDomain {
+        inner: RectDomain,
+        calls: AtomicU64,
+        /// Panic on this call number; `u64::MAX` disarms.
+        fuse: AtomicU64,
+    }
+
+    impl IterationDomain for DetonatingDomain {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn contains(&self, p: &IVec) -> bool {
+            self.inner.contains(p)
+        }
+        fn extreme_points(&self) -> Vec<IVec> {
+            self.inner.extreme_points()
+        }
+        fn points(&self) -> Box<dyn Iterator<Item = IVec> + '_> {
+            self.inner.points()
+        }
+        fn num_points(&self) -> u64 {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == self.fuse.load(Ordering::Relaxed) {
+                panic!("injected worker fault: num_points call {n}");
+            }
+            self.inner.num_points()
+        }
+    }
+
+    /// A worker panic mid-sweep must not corrupt the on-disk state: the
+    /// snapshot present after the panic decodes, carries no orphaned
+    /// PATHSET entries, and resumes (with the fault disarmed) to the
+    /// byte-identical answer of a never-faulted run.
+    #[test]
+    fn worker_panic_mid_sweep_leaves_resumable_state() {
+        let s = Stencil::new(vec![
+            ivec![1, -2],
+            ivec![1, -1],
+            ivec![1, 0],
+            ivec![1, 1],
+            ivec![1, 2],
+        ])
+        .expect("valid");
+        let grid = RectDomain::grid(10, 10);
+        let reference = find_best_uov(&s, Objective::KnownBounds(&grid), &SearchConfig::default())
+            .expect("clean");
+
+        // Phase 1: write a genuine mid-search snapshot with a node cap.
+        let path = tmp_path("panic_resumable");
+        let cut_config = SearchConfig {
+            budget: Budget::unlimited().with_max_nodes(4),
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                interval: 1,
+            }),
+            ..SearchConfig::default()
+        };
+        let partial =
+            find_best_uov(&s, Objective::KnownBounds(&grid), &cut_config).expect("in range");
+        assert_eq!(partial.checkpoint_error, None);
+
+        // Phase 2: resume on 8 workers through the detonating domain.
+        // The fingerprint check passes (the wrapper delegates), then the
+        // fuse blows inside a worker's cost evaluation.
+        let domain = DetonatingDomain {
+            inner: RectDomain::grid(10, 10),
+            calls: AtomicU64::new(0),
+            fuse: AtomicU64::new(10),
+        };
+        let resume_config = SearchConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                interval: 1,
+            }),
+            ..budgeted_threaded(Budget::unlimited(), 8)
+        };
+        // The engine's contract: a worker panic is reaped into a typed
+        // `SearchError::WorkerPanic`, never an unwinding main thread. The
+        // catch_unwind is belt-and-braces so a regression to propagation
+        // still reaches the snapshot checks below instead of aborting.
+        let blown = catch_unwind(AssertUnwindSafe(|| {
+            find_best_uov(&s, Objective::KnownBounds(&domain), &resume_config)
+        }));
+        match blown {
+            Ok(Err(SearchError::WorkerPanic { payload, .. })) => {
+                assert!(
+                    payload.contains("injected worker fault"),
+                    "unexpected worker panic payload: {payload}"
+                );
+            }
+            Ok(other) => panic!("fuse at call 10 never detonated: {other:?}"),
+            Err(_) => {} // propagated panic: still a detonation
+        }
+
+        // Phase 3: whatever snapshot survived the detonation must be
+        // valid, coherent, and resumable to the reference answer.
+        let snap = read_snap(&path).expect("post-panic snapshot must decode");
+        assert_no_orphaned_pathset_entries(&snap, "post-panic");
+        domain.fuse.store(u64::MAX, Ordering::Relaxed);
+        let resumed = search_resume(
+            &path,
+            &s,
+            Objective::KnownBounds(&grid),
+            &SearchConfig::default(),
+        )
+        .expect("post-panic snapshot must resume");
+        assert_eq!(
+            (resumed.uov, resumed.cost),
+            (reference.uov, reference.cost),
+            "resume after worker panic diverged"
+        );
+        assert!(resumed.stats.complete);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Near-`i64::MAX` coordinates miss the dense window (the bounds
+    /// check happens before any offset arithmetic) and land in the spill
+    /// tier; merges and key round-trips there never overflow.
+    #[test]
+    fn extreme_coordinates_take_the_spill_tier_without_overflow() {
+        let window = Window::from_bounds(&[-8, -8], &[8, 8], 1 << 16);
+        assert!(!window.is_empty());
+        // In-window sanity first.
+        assert!(window.index(&[0, 0]).is_some());
+        assert!(window.index(&[8, -8]).is_some());
+        // Extremes: every one must miss cleanly, including values whose
+        // offset subtraction would wrap i64.
+        for w in [
+            [i64::MAX, 0],
+            [i64::MAX - 1, i64::MAX - 1],
+            [0, i64::MIN],
+            [i64::MIN + 1, i64::MAX],
+            [9, 0],
+        ] {
+            assert_eq!(window.index(&w), None, "window admitted {w:?}");
+        }
+
+        let table = MaskTable::new(Window::from_bounds(&[-8, -8], &[8, 8], 1 << 16));
+        let far = [i64::MAX - 1, i64::MIN + 2];
+        let first = table.merge(&far, 0b101);
+        assert!(first.is_new && first.grew);
+        assert_eq!(first.merged, 0b101);
+        let again = table.merge(&far, 0b010);
+        assert!(!again.is_new && again.grew);
+        assert_eq!(again.merged, 0b111);
+        assert_eq!(again.key, first.key, "spill key must be stable");
+        assert_eq!(table.probe(&far), Some(0b111));
+        assert_eq!(table.key_of(&far), Some(first.key));
+        assert_eq!(table.mask_of(first.key), Some(0b111));
+        let mut coords = Vec::new();
+        assert!(table.coords_of(first.key, &mut coords));
+        assert_eq!(coords, far);
+        // One spill node + one dense node both count toward the memo cap.
+        table.merge(&[1, 1], 0b1);
+        assert_eq!(table.len(), 2);
+
+        // The cone memo's dense tier is likewise immune: indices only
+        // come from Window::index, so extremes can never reach a page.
+        let memo = ConeMemo::new(Window::from_bounds(&[-4, -4], &[4, 4], 1 << 12));
+        let idx = memo.window().index(&[3, -2]).expect("in window");
+        assert_eq!(memo.get(idx), None);
+        assert!(memo.set(idx, true));
+        assert_eq!(memo.get(idx), Some(true));
+        assert_eq!(memo.window().index(&[i64::MAX - 1, 1]), None);
+    }
+
+    /// The full oracle at spill-tier coordinates: verdicts come back as
+    /// `Ok` answers (never overflow panics), and they match closed-form
+    /// ground truth for the quadrant cone. Non-members at near-`i64::MAX`
+    /// magnitude are decided by the dual-cone functional cut — no cone
+    /// walk — so even astronomically far points must answer cleanly;
+    /// members use out-of-window (but walkable) coordinates.
+    #[test]
+    fn oracle_spill_tier_verdicts_do_not_overflow() {
+        let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1]]).expect("valid");
+        let oracle = DoneOracle::new(&s);
+        let unlimited = Budget::unlimited();
+        let half = i64::MAX / 2;
+        let far = 2_500i64; // window reach for this stencil is ±128
+        for (w, expect) in [
+            (ivec![far, far], true),
+            (ivec![far, 0], true),
+            (ivec![half, -1], false),
+            (ivec![-1, half], false),
+            (ivec![half, -half], false),
+        ] {
+            let got = oracle
+                .in_done_budgeted(&w, &unlimited)
+                .expect("spill-tier DONE query must not error");
+            assert_eq!(got, expect, "DONE({w})");
+        }
+    }
+}

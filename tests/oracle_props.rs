@@ -13,9 +13,18 @@
 //!    membership bit.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use uov::core::search::initial_uov;
-use uov::core::DoneOracle;
+use uov::core::{DoneOracle, ReferenceOracle};
 use uov::isg::{ivec, IVec, RectDomain, Stencil};
+
+fn seed_from_env() -> u64 {
+    std::env::var("UOV_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_0D1F)
+}
 
 fn lex_positive_vec(dim: usize, bound: i64) -> impl Strategy<Value = IVec> {
     prop::collection::vec(-bound..=bound, dim)
@@ -114,6 +123,214 @@ proptest! {
         let cold = DoneOracle::new(&s);
         for (w, got) in queries.iter().zip(answers) {
             prop_assert_eq!(got, cold.is_uov(w), "racing workers flipped is_uov({})", w);
+        }
+    }
+}
+
+/// Differentials against the retained [`ReferenceOracle`] — the pre-dense
+/// scalar memoizer kept verbatim as an executable specification. The dense
+/// bitset/window engine must agree with it bit-for-bit on every verdict.
+mod reference_differential {
+    use super::*;
+
+    /// Seeded random stencil in `dim` dimensions, mirroring the generator
+    /// used by `tests/differential.rs`.
+    fn random_stencil(rng: &mut StdRng, dim: usize, bound: i64, max_vecs: usize) -> Stencil {
+        loop {
+            let n = rng.gen_range(1..=max_vecs);
+            let vecs: Vec<IVec> = (0..n)
+                .map(|_| loop {
+                    let v = IVec::from(
+                        (0..dim)
+                            .map(|_| rng.gen_range(-bound..=bound))
+                            .collect::<Vec<i64>>(),
+                    );
+                    if v.is_lex_positive() {
+                        return v;
+                    }
+                })
+                .collect();
+            if let Ok(s) = Stencil::new(vecs) {
+                return s;
+            }
+        }
+    }
+
+    /// DONE and DEAD verdicts agree with the reference oracle over a full
+    /// coordinate box, on seeded random 2-D and 3-D stencils.
+    #[test]
+    fn dense_oracle_matches_reference_on_boxes() {
+        let mut rng = StdRng::seed_from_u64(seed_from_env());
+        for case in 0..24 {
+            let dim = if case % 3 == 0 { 3 } else { 2 };
+            let s = random_stencil(&mut rng, dim, 3, 4);
+            let dense = DoneOracle::new(&s);
+            let mut reference = ReferenceOracle::new(&s).expect("reference oracle");
+            let bound = 5i64;
+            let mut coords = vec![-bound; dim];
+            loop {
+                let w = IVec::from(coords.clone());
+                assert_eq!(
+                    dense.in_done(&w),
+                    reference.in_done(&w),
+                    "DONE({w}) diverges from reference on stencil {s} (case {case})"
+                );
+                assert_eq!(
+                    dense.in_dead(&w),
+                    reference.in_dead(&w),
+                    "DEAD({w}) diverges from reference on stencil {s} (case {case})"
+                );
+                // Odometer over the box [-bound, bound]^dim.
+                let mut i = 0;
+                loop {
+                    if i == dim {
+                        break;
+                    }
+                    coords[i] += 1;
+                    if coords[i] <= bound {
+                        break;
+                    }
+                    coords[i] = -bound;
+                    i += 1;
+                }
+                if i == dim {
+                    break;
+                }
+            }
+            assert!(reference.memo_len() > 0, "reference memo never populated");
+        }
+    }
+
+    /// `uovs_within` enumerates the identical set (same vectors, same
+    /// order — both are sorted) on both oracles.
+    #[test]
+    fn dense_uov_enumeration_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0xD1FF);
+        for case in 0..16 {
+            let s = random_stencil(&mut rng, 2, 3, 4);
+            let dense = DoneOracle::new(&s);
+            let mut reference = ReferenceOracle::new(&s).expect("reference oracle");
+            let radius = 4 + (case % 3) as i64;
+            assert_eq!(
+                dense.uovs_within(radius),
+                reference.uovs_within(radius),
+                "uovs_within({radius}) diverges on stencil {s}"
+            );
+        }
+    }
+
+    /// is_uov agreement includes the DEAD ⊆ DONE corner: every point where
+    /// either oracle says UOV, both must, and both must also say DONE.
+    #[test]
+    fn is_uov_agreement_and_containment() {
+        let mut rng = StdRng::seed_from_u64(seed_from_env() ^ 0x15_0F);
+        for _ in 0..16 {
+            let s = random_stencil(&mut rng, 2, 3, 4);
+            let dense = DoneOracle::new(&s);
+            let mut reference = ReferenceOracle::new(&s).expect("reference oracle");
+            for x in -4i64..=4 {
+                for y in -4i64..=4 {
+                    let w = ivec![x, y];
+                    let d = dense.is_uov(&w);
+                    assert_eq!(d, reference.is_uov(&w), "is_uov({w}) diverges on {s}");
+                    if d {
+                        assert!(dense.in_done(&w), "UOV {w} not DONE on {s}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Far-coordinate queries land outside the dense window (its reach is a
+/// few hundred per dimension — see `query_window`) and must take the
+/// sharded spill tier; the verdicts there are pinned by closed-form facts
+/// about stencils whose cones are textbook objects. Coordinates stay in
+/// the low thousands: far past every window bound, but with cone walks
+/// the memoised DFS completes in linear time.
+mod window_spill {
+    use super::*;
+
+    /// 1-D numerical semigroup ⟨2,3⟩: DONE(n) ⟺ n = 0 ∨ n ≥ 2, and
+    /// UOV(n) ⟺ n−2 and n−3 both DONE ⟺ n ≥ 5. These hold at any
+    /// magnitude, so out-of-window probes are checked against ground
+    /// truth rather than against another memoizer. (The 1-D window spans
+    /// ±960 for this stencil; everything ≥ 5 000 is spill traffic.)
+    #[test]
+    fn semigroup_verdicts_hold_past_the_window() {
+        let s = Stencil::new(vec![ivec![2], ivec![3]]).unwrap();
+        let oracle = DoneOracle::new(&s);
+        for n in [0i64, 1, 2, 3, 4, 5, 6, 1_000, 5_000, 5_001, 20_000] {
+            let expect_done = n == 0 || n >= 2;
+            let expect_uov = n >= 5;
+            assert_eq!(oracle.in_done(&ivec![n]), expect_done, "DONE({n})");
+            assert_eq!(oracle.is_uov(&ivec![n]), expect_uov, "UOV({n})");
+        }
+        // Negative points are cut by the positive functional without any
+        // cone walk, so these may be arbitrarily far out.
+        assert!(!oracle.in_done(&ivec![-1_000_000_000]));
+        assert!(!oracle.in_done(&ivec![-5_001]));
+    }
+
+    /// 2-D quadrant stencil {(1,0),(0,1)}: DONE is exactly the closed
+    /// non-negative quadrant. Membership probes sit past the ±128 window
+    /// reach; non-membership probes are functional cuts and may be huge.
+    #[test]
+    fn quadrant_verdicts_hold_past_the_window() {
+        let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1]]).unwrap();
+        let oracle = DoneOracle::new(&s);
+        let big = 3_001i64;
+        assert!(oracle.in_done(&ivec![big, big]));
+        assert!(oracle.in_done(&ivec![big, 0]));
+        assert!(oracle.in_done(&ivec![0, big]));
+        assert!(!oracle.in_done(&ivec![1_000_000_007, -1]));
+        assert!(!oracle.in_done(&ivec![-1, 1_000_000_007]));
+        assert!(oracle.is_uov(&ivec![big, big]));
+        assert!(
+            !oracle.is_uov(&ivec![big, 0]),
+            "edge point misses (0,1) step"
+        );
+    }
+
+    /// Spill-tier answers are stable under cache warming and agree with a
+    /// cold oracle: querying the same far coordinates twice (second pass
+    /// is all spill-map hits) never flips a bit.
+    #[test]
+    fn spill_hits_equal_cold_answers() {
+        let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 2]]).unwrap();
+        let warm = DoneOracle::new(&s);
+        let far: Vec<IVec> = (0..32).map(|i| ivec![2_000 + i, 4_000 - 3 * i]).collect();
+        let first: Vec<bool> = far.iter().map(|w| warm.in_done(w)).collect();
+        let second: Vec<bool> = far.iter().map(|w| warm.in_done(w)).collect();
+        assert_eq!(first, second, "spill-tier hit changed an answer");
+        let cold = DoneOracle::new(&s);
+        let cold_bits: Vec<bool> = far.iter().map(|w| cold.in_done(w)).collect();
+        assert_eq!(
+            first, cold_bits,
+            "warm spill tier disagrees with cold oracle"
+        );
+    }
+
+    /// The same fact answered from the dense window (small coords) and
+    /// from the spill tier: DONE is closed under adding cone elements, so
+    /// marching a cone element from deep inside the window out past the
+    /// window bound must never flip membership off at the boundary.
+    #[test]
+    fn window_and_spill_agree_across_the_boundary() {
+        let s = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap();
+        let oracle = DoneOracle::new(&s);
+        // The window reach for this stencil is ±256 per dimension; march
+        // the diagonal from (1,1) to (4000,4000) in steps that straddle
+        // the boundary densely near it.
+        let step = ivec![1, 1];
+        let mut w = ivec![1, 1];
+        assert!(oracle.in_done(&w));
+        while w[0] < 4_000 {
+            let jump = if (200..600).contains(&w[0]) { 1 } else { 97 };
+            for _ in 0..jump {
+                w = &w + &step;
+            }
+            assert!(oracle.in_done(&w), "cone point {w} lost past the window");
         }
     }
 }
