@@ -22,20 +22,22 @@
 //! measurements; keys and shape never move), so downstream diffing
 //! tools can parse it with a five-line script.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use uov_core::certify::certify;
 use uov_core::search::{find_best_uov, Objective, SearchConfig};
 use uov_isg::{ivec, Stencil};
 use uov_service::{
-    loadgen, serve, LoadGenConfig, MeshClient, MeshConfig, ObjectiveSpec, PlanRequest, ReplicaSet,
-    ServerConfig,
+    loadgen, serve, CacheOutcome, ChaosConfig, ChaosProxy, LoadGenConfig, MeshClient, MeshConfig,
+    ObjectiveSpec, PlanRequest, ReplicaSet, ServerConfig,
 };
 
+use super::perf;
 use crate::report::Table;
 use crate::Scale;
 
-/// All mesh tables, with the `BENCH_pr6.json` side effect.
+/// All mesh tables, with the `BENCH_pr6.json` and `BENCH_pr8.json`
+/// side effects.
 pub fn all(scale: Scale) -> Vec<Table> {
     let search = search_throughput(scale);
     let service = service_latency(scale);
@@ -50,7 +52,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
         Scale::Quick => t.push(vec!["(skipped at quick scale)".into(), "true".into()]),
         Scale::Full => {
             let json = render_json(&search, &service, &mesh, &distributed);
-            let path = bench_json_path();
+            let path = bench_json_path("BENCH_pr6.json");
             match std::fs::write(&path, &json) {
                 Ok(()) => t.push(vec![path.display().to_string(), "true".into()]),
                 Err(e) => t.push(vec![path.display().to_string(), format!("error: {e}")]),
@@ -58,20 +60,45 @@ pub fn all(scale: Scale) -> Vec<Table> {
         }
     }
 
-    vec![
+    let mut out = vec![
         search.table,
         service.table,
         mesh.table,
         distributed.table,
         t,
-    ]
+    ];
+    out.extend(partition(scale));
+    out
 }
 
-/// `BENCH_pr6.json` lives at the repository root, next to EXPERIMENTS.md.
-fn bench_json_path() -> std::path::PathBuf {
+/// The partition experiment on its own: availability and warm-failover
+/// hit rate with replicas behind partitioning chaos proxies, plus the
+/// `BENCH_pr8.json` side effect at full scale.
+pub fn partition(scale: Scale) -> Vec<Table> {
+    let figures = partition_availability(scale);
+    let mut t = Table::new("mesh — BENCH_pr8.json", vec!["path".into(), "ok".into()]);
+    match scale {
+        // Same rule as BENCH_pr6.json: quick figures never clobber the
+        // committed full-scale artifact.
+        Scale::Quick => t.push(vec!["(skipped at quick scale)".into(), "true".into()]),
+        Scale::Full => {
+            let json = render_pr8_json(&figures);
+            let path = bench_json_path("BENCH_pr8.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => t.push(vec![path.display().to_string(), "true".into()]),
+                Err(e) => t.push(vec![path.display().to_string(), format!("error: {e}")]),
+            }
+        }
+    }
+    vec![figures.table, t]
+}
+
+/// `BENCH_pr*.json` artifacts live at the repository root, next to
+/// EXPERIMENTS.md.
+fn bench_json_path(name: &str) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("BENCH_pr6.json")
+        .join(name)
 }
 
 pub(crate) struct SearchFigures {
@@ -434,6 +461,244 @@ fn distributed_differential() -> DistributedFigures {
     figures
 }
 
+struct PartitionFigures {
+    requests: u64,
+    completed: u64,
+    identical: u64,
+    failovers: u64,
+    partitioned_requests: u64,
+    warm_failover_hits: u64,
+    warm_failover_hit_rate: f64,
+    stale_epoch_rejections: u64,
+    distributed_matches: bool,
+    availability: f64,
+    table: Table,
+}
+
+/// Routed requests across three shards, each behind a chaos proxy,
+/// under a rotating partition-and-heal schedule. A warm pass first lets
+/// the home shards solve and replicate to their ring successors; then
+/// each pass partitions one shard symmetrically and serves the full
+/// stream through the cut. Availability is the completed fraction, the
+/// warm-failover hit rate is the fraction of partitioned-home requests
+/// served from a neighbor's replicated cache, and a final
+/// asymmetric-partition distributed solve (responses held, then healed)
+/// exercises the lease fence so stale-epoch rejections are measured too.
+fn partition_availability(scale: Scale) -> PartitionFigures {
+    let mut t = Table::new(
+        "mesh — availability under partition-and-heal",
+        vec![
+            "requests".into(),
+            "completed".into(),
+            "identical".into(),
+            "failovers".into(),
+            "warm failover hits".into(),
+            "warm failover rate".into(),
+            "stale epochs".into(),
+            "availability".into(),
+        ],
+    );
+    let mut figures = PartitionFigures {
+        requests: 0,
+        completed: 0,
+        identical: 0,
+        failovers: 0,
+        partitioned_requests: 0,
+        warm_failover_hits: 0,
+        warm_failover_hit_rate: 0.0,
+        stale_epoch_rejections: 0,
+        distributed_matches: false,
+        availability: 0.0,
+        table: Table::new("placeholder", vec![]),
+    };
+    let fail = |t: &mut Table, figures: &mut PartitionFigures, e: String| {
+        t.push(vec![
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            e,
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "0".into(),
+        ]);
+        figures.table = std::mem::replace(t, Table::new("moved", vec![]));
+    };
+
+    let passes = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 6,
+    };
+    let problems: Vec<Stencil> = (1..=6i64)
+        .map(|k| Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid"))
+        .collect();
+    let truths: Vec<(uov_isg::IVec, u128, u64)> = problems
+        .iter()
+        .map(|s| {
+            let r = find_best_uov(s, Objective::ShortestVector, &SearchConfig::default())
+                .expect("direct search");
+            let c = certify(s, &Objective::ShortestVector, &r).expect("certify");
+            (r.uov.clone(), r.cost, c.transcript_hash)
+        })
+        .collect();
+
+    let set = match ReplicaSet::start(3, ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            fail(&mut t, &mut figures, e.to_string());
+            return figures;
+        }
+    };
+    let proxies: Vec<ChaosProxy> = match set
+        .endpoints()
+        .iter()
+        .map(|ep| {
+            ChaosProxy::start(
+                ep,
+                ChaosConfig {
+                    seed: 7,
+                    ..ChaosConfig::default()
+                },
+            )
+        })
+        .collect::<Result<_, _>>()
+    {
+        Ok(p) => p,
+        Err(e) => {
+            fail(&mut t, &mut figures, e.to_string());
+            return figures;
+        }
+    };
+    let proxy_endpoints: Vec<String> = proxies.iter().map(|p| p.endpoint().to_string()).collect();
+    let cfg = MeshConfig {
+        attempt_timeout: Duration::from_secs(1),
+        failure_threshold: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(4),
+        seed: 7,
+        ..MeshConfig::default()
+    };
+    let mut mesh = match MeshClient::new(&proxy_endpoints, cfg.clone()) {
+        Ok(m) => m,
+        Err(e) => {
+            fail(&mut t, &mut figures, e.to_string());
+            return figures;
+        }
+    };
+
+    let serve_stream =
+        |mesh: &mut MeshClient, figures: &mut PartitionFigures, partitioned: Option<usize>| {
+            for (i, stencil) in problems.iter().enumerate() {
+                let req = PlanRequest {
+                    stencil: stencil.clone(),
+                    objective: ObjectiveSpec::ShortestVector,
+                    deadline_ms: 0,
+                    flags: 0,
+                };
+                let home = mesh.ring().route(MeshClient::routing_key(&req));
+                let home_cut = partitioned == Some(home);
+                figures.requests += 1;
+                if home_cut {
+                    figures.partitioned_requests += 1;
+                }
+                if let Ok(resp) = mesh.plan(&req) {
+                    figures.completed += 1;
+                    let (uov, cost, hash) = &truths[i];
+                    if &resp.uov == uov && &resp.cost == cost && &resp.certificate_hash == hash {
+                        figures.identical += 1;
+                    }
+                    if home_cut && resp.cache == CacheOutcome::Hit {
+                        figures.warm_failover_hits += 1;
+                    }
+                }
+            }
+        };
+
+    // Warm pass: every home solves its problems and replicates the
+    // certified entries to its ring successor, undisturbed.
+    serve_stream(&mut mesh, &mut figures, None);
+    // Partition passes: cut one shard per pass, serve the full stream
+    // through the cut, heal, rotate.
+    for pass in 0..passes {
+        let victim = pass % 3;
+        proxies[victim].partition_symmetric();
+        serve_stream(&mut mesh, &mut figures, Some(victim));
+        proxies[victim].heal();
+    }
+    figures.failovers = mesh.stats().failovers;
+
+    // Distributed solve through an asymmetric partition (requests pass,
+    // responses held) that heals mid-search: the held completion comes
+    // back under a superseded lease and must be fenced by epoch.
+    let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 5]]).expect("valid");
+    let direct = find_best_uov(
+        &stencil,
+        Objective::ShortestVector,
+        &SearchConfig::default(),
+    )
+    .expect("direct search");
+    let cert = certify(&stencil, &Objective::ShortestVector, &direct).expect("certify");
+    let mut dmesh = match MeshClient::new(
+        &proxy_endpoints,
+        MeshConfig {
+            local_prefix_nodes: 4,
+            unit_node_budget: 12,
+            gossip: false,
+            ..cfg
+        },
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            fail(&mut t, &mut figures, e.to_string());
+            return figures;
+        }
+    };
+    let req = PlanRequest {
+        stencil,
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    };
+    let home = dmesh.ring().route(MeshClient::routing_key(&req));
+    let resp = dmesh.plan_distributed_hooked(&req, &mut |round| match round {
+        0 => proxies[home].partition_asymmetric(false, true),
+        1 => proxies[home].heal(),
+        _ => {}
+    });
+    proxies[home].heal();
+    figures.stale_epoch_rejections = dmesh.stats().stale_epoch_rejections;
+    figures.distributed_matches = resp.is_ok_and(|r| {
+        r.uov == direct.uov && r.cost == direct.cost && r.certificate_hash == cert.transcript_hash
+    });
+
+    figures.availability = if figures.requests > 0 {
+        figures.completed as f64 / figures.requests as f64
+    } else {
+        0.0
+    };
+    figures.warm_failover_hit_rate = if figures.partitioned_requests > 0 {
+        figures.warm_failover_hits as f64 / figures.partitioned_requests as f64
+    } else {
+        0.0
+    };
+    for p in proxies {
+        p.stop();
+    }
+    set.shutdown_all();
+    t.push(vec![
+        figures.requests.to_string(),
+        figures.completed.to_string(),
+        figures.identical.to_string(),
+        figures.failovers.to_string(),
+        figures.warm_failover_hits.to_string(),
+        format!("{:.3}", figures.warm_failover_hit_rate),
+        figures.stale_epoch_rejections.to_string(),
+        format!("{:.3}", figures.availability),
+    ]);
+    figures.table = t;
+    figures
+}
+
 /// Hand-rolled JSON with a fixed key order; all floats are finite by
 /// construction, so the output is always valid JSON.
 fn render_json(
@@ -446,6 +711,8 @@ fn render_json(
         concat!(
             "{{\n",
             "  \"schema\": \"uov-bench-pr6-v1\",\n",
+            "  \"scale\": \"full\",\n",
+            "  \"build\": \"{}\",\n",
             "  \"search\": {{\n",
             "    \"nodes\": {},\n",
             "    \"elapsed_ms\": {:.3},\n",
@@ -473,6 +740,7 @@ fn render_json(
             "  }}\n",
             "}}\n",
         ),
+        perf::build_marker(),
         search.nodes,
         search.elapsed_ms,
         search.nodes_per_sec,
@@ -490,5 +758,44 @@ fn render_json(
         distributed.rounds,
         distributed.redispatches,
         distributed.matches_direct,
+    )
+}
+
+/// The `BENCH_pr8.json` artifact: availability and warm-failover hit
+/// rate under the partition schedule. Deliberately carries no
+/// `nodes_per_sec` figure — it measures availability, not throughput —
+/// so the `bench-check` gate reports it without scoring it.
+fn render_pr8_json(p: &PartitionFigures) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"uov-bench-pr8-v1\",\n",
+            "  \"scale\": \"full\",\n",
+            "  \"build\": \"{}\",\n",
+            "  \"partition\": {{\n",
+            "    \"requests\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"identical\": {},\n",
+            "    \"failovers\": {},\n",
+            "    \"partitioned_requests\": {},\n",
+            "    \"warm_failover_hits\": {},\n",
+            "    \"warm_failover_hit_rate\": {:.4},\n",
+            "    \"stale_epoch_rejections\": {},\n",
+            "    \"distributed_matches_direct\": {},\n",
+            "    \"availability\": {:.4}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        perf::build_marker(),
+        p.requests,
+        p.completed,
+        p.identical,
+        p.failovers,
+        p.partitioned_requests,
+        p.warm_failover_hits,
+        p.warm_failover_hit_rate,
+        p.stale_epoch_rejections,
+        p.distributed_matches,
+        p.availability,
     )
 }

@@ -41,6 +41,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "service" => service::all(scale),
         "chaos" => chaos::all(scale),
         "mesh" => mesh::all(scale),
+        "partition" => mesh::partition(scale),
         "perf" => perf::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
@@ -77,6 +78,7 @@ pub fn all_names() -> Vec<&'static str> {
         "service",
         "chaos",
         "mesh",
+        "partition",
         "perf",
         "jacobi",
         "tiles",

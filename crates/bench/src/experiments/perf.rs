@@ -12,9 +12,14 @@
 //! `bench-check` is the gate: it walks every `BENCH_pr*.json` at the
 //! repository root in PR order and fails (non-zero exit through the
 //! `experiments` binary) when search nodes/sec drops more than 20%
-//! between consecutive artifacts. Committed artifacts make the
-//! trajectory reviewable; the gate makes silently regressing it a CI
-//! failure instead of a forensic exercise.
+//! between *comparable* artifacts. Comparable means the same
+//! `(scale, build)` marker class — a quick-scale debug measurement
+//! (`BENCH_pr6.json`) must never gate a full-scale release one; each
+//! artifact is judged against the newest earlier artifact of its own
+//! class, and artifacts that carry no search figure at all (availability
+//! artifacts like `BENCH_pr8.json`) are reported but not scored.
+//! Committed artifacts make the trajectory reviewable; the gate makes
+//! silently regressing it a CI failure instead of a forensic exercise.
 
 use std::path::{Path, PathBuf};
 
@@ -105,6 +110,7 @@ pub fn bench_check_in(root: &Path) -> (Table, bool) {
         "bench-check — nodes/sec trajectory across BENCH_pr*.json",
         vec![
             "artifact".into(),
+            "class".into(),
             "nodes/s".into(),
             "vs previous".into(),
             "verdict".into(),
@@ -112,9 +118,10 @@ pub fn bench_check_in(root: &Path) -> (Table, bool) {
     );
     let mut artifacts = bench_artifacts(root);
     artifacts.sort_by_key(|(pr, _)| *pr);
-    if artifacts.len() < 2 {
+    if artifacts.is_empty() {
         t.push(vec![
-            format!("{} artifact(s) found", artifacts.len()),
+            "0 artifact(s) found".into(),
+            "-".into(),
             "-".into(),
             "-".into(),
             "ok (nothing to compare)".into(),
@@ -122,14 +129,15 @@ pub fn bench_check_in(root: &Path) -> (Table, bool) {
         return (t, true);
     }
     let mut ok = true;
-    let mut prev: Option<(u64, f64)> = None;
+    // Newest rate seen per (scale, build) marker class: like is only
+    // ever gated against like.
+    let mut prev: std::collections::HashMap<(String, String), (u64, f64)> =
+        std::collections::HashMap::new();
     for (pr, path) in artifacts {
-        let Some(rate) = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|text| extract_f64(&text, "nodes_per_sec"))
-        else {
+        let Ok(text) = std::fs::read_to_string(&path) else {
             t.push(vec![
                 format!("BENCH_pr{pr}.json"),
+                "-".into(),
                 "unreadable".into(),
                 "-".into(),
                 "FAIL".into(),
@@ -137,9 +145,24 @@ pub fn bench_check_in(root: &Path) -> (Table, bool) {
             ok = false;
             continue;
         };
-        let (delta, verdict) = match prev {
-            None => ("-".to_string(), "ok (first)".to_string()),
-            Some((prev_pr, prev_rate)) if prev_rate > 0.0 => {
+        let class = artifact_class(&text);
+        let class_label = format!("{}/{}", class.0, class.1);
+        let Some(rate) = extract_f64(&text, "nodes_per_sec") else {
+            // Not every artifact measures search throughput (the
+            // partition-availability artifact doesn't): report, don't
+            // score.
+            t.push(vec![
+                format!("BENCH_pr{pr}.json"),
+                class_label,
+                "-".into(),
+                "-".into(),
+                "ok (no search figure)".into(),
+            ]);
+            continue;
+        };
+        let (delta, verdict) = match prev.get(&class) {
+            None => ("-".to_string(), "ok (first of its class)".to_string()),
+            Some(&(prev_pr, prev_rate)) if prev_rate > 0.0 => {
                 let ratio = rate / prev_rate;
                 let delta = format!("{:+.1}% vs pr{prev_pr}", (ratio - 1.0) * 100.0);
                 if ratio < 1.0 - MAX_REGRESSION {
@@ -156,13 +179,24 @@ pub fn bench_check_in(root: &Path) -> (Table, bool) {
         };
         t.push(vec![
             format!("BENCH_pr{pr}.json"),
+            class_label,
             format!("{rate:.0}"),
             delta,
             verdict,
         ]);
-        prev = Some((pr, rate));
+        prev.insert(class, (pr, rate));
     }
     (t, ok)
+}
+
+/// The artifact's comparability class: its `"scale"` and `"build"`
+/// markers. Artifacts predating the markers form their own `unmarked`
+/// class and keep comparing against each other.
+fn artifact_class(text: &str) -> (String, String) {
+    (
+        extract_str(text, "scale").unwrap_or_else(|| "unmarked".into()),
+        extract_str(text, "build").unwrap_or_else(|| "unmarked".into()),
+    )
 }
 
 /// Every `BENCH_pr<N>.json` in `root` with its PR number.
@@ -187,6 +221,14 @@ fn bench_artifacts(root: &Path) -> Vec<(u64, PathBuf)> {
     out
 }
 
+/// First `"key": "value"` occurrence in hand-rolled bench JSON.
+fn extract_str(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// First `"key": <number>` occurrence in hand-rolled bench JSON. All
 /// `BENCH_*.json` artifacts put the search block first, so the first
 /// `nodes_per_sec` is the search figure.
@@ -200,6 +242,15 @@ fn extract_f64(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// The build half of the artifact's comparability class.
+pub(crate) fn build_marker() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
 /// Hand-rolled JSON with a fixed key order, like `BENCH_pr6.json`.
 fn render_json(
     search: &mesh::SearchFigures,
@@ -211,6 +262,8 @@ fn render_json(
         concat!(
             "{{\n",
             "  \"schema\": \"uov-bench-pr7-v1\",\n",
+            "  \"scale\": \"full\",\n",
+            "  \"build\": \"{}\",\n",
             "  \"search\": {{\n",
             "    \"nodes\": {},\n",
             "    \"elapsed_ms\": {:.3},\n",
@@ -231,6 +284,7 @@ fn render_json(
             "  }}\n",
             "}}\n",
         ),
+        build_marker(),
         search.nodes,
         search.elapsed_ms,
         search.nodes_per_sec,
@@ -313,5 +367,88 @@ mod tests {
         let (_, ok) = bench_check_in(&dir);
         assert!(ok, "nothing to compare is not a failure");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_marked_artifact(dir: &Path, pr: u64, scale: &str, build: &str, rate: f64) {
+        let body = format!(
+            concat!(
+                "{{\n  \"scale\": \"{}\",\n  \"build\": \"{}\",\n",
+                "  \"search\": {{\n    \"nodes\": 1,\n    \"nodes_per_sec\": {:.1}\n  }}\n}}\n"
+            ),
+            scale, build, rate
+        );
+        std::fs::write(dir.join(format!("BENCH_pr{pr}.json")), body).unwrap();
+    }
+
+    /// The like-for-like rule: a quick-scale debug figure neither gates
+    /// nor is gated by a full-scale release one; each class compares
+    /// against the newest earlier artifact of its own class, skipping
+    /// over artifacts of other classes in between.
+    #[test]
+    fn bench_check_compares_only_like_for_like_classes() {
+        let dir = tmp_dir("classes");
+        write_marked_artifact(&dir, 6, "quick", "debug", 171_180.0);
+        // 24x "speedup" over pr6 is a measurement-condition change, not
+        // a regression baseline — and the later full/release dip of 7%
+        // is judged against pr7, not pr8's unrelated class.
+        write_marked_artifact(&dir, 7, "full", "release", 4_179_624.0);
+        write_marked_artifact(&dir, 8, "quick", "debug", 165_000.0);
+        write_marked_artifact(&dir, 9, "full", "release", 3_900_000.0);
+        let (table, ok) = bench_check_in(&dir);
+        let rendered = table.to_markdown();
+        assert!(ok, "cross-class comparisons must not fire:\n{rendered}");
+        assert!(rendered.contains("vs pr7"), "pr9 must compare to pr7");
+        assert!(rendered.contains("vs pr6"), "pr8 must compare to pr6");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A big drop *within* a class still fails, even with other classes
+    /// interleaved.
+    #[test]
+    fn bench_check_still_fails_within_a_class() {
+        let dir = tmp_dir("class_fail");
+        write_marked_artifact(&dir, 6, "quick", "debug", 171_180.0);
+        write_marked_artifact(&dir, 7, "full", "release", 4_179_624.0);
+        write_marked_artifact(&dir, 8, "full", "release", 2_000_000.0); // -52%
+        let (table, ok) = bench_check_in(&dir);
+        assert!(!ok);
+        assert!(table.to_markdown().contains("REGRESSION"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An artifact with no search figure at all (the partition
+    /// availability artifact) is reported but never scored or treated
+    /// as unreadable.
+    #[test]
+    fn bench_check_skips_artifacts_without_search_figures() {
+        let dir = tmp_dir("no_search");
+        write_marked_artifact(&dir, 7, "full", "release", 4_179_624.0);
+        std::fs::write(
+            dir.join("BENCH_pr8.json"),
+            concat!(
+                "{\n  \"scale\": \"full\",\n  \"build\": \"release\",\n",
+                "  \"partition\": {\n    \"availability\": 1.0\n  }\n}\n"
+            ),
+        )
+        .unwrap();
+        write_marked_artifact(&dir, 9, "full", "release", 4_000_000.0);
+        let (table, ok) = bench_check_in(&dir);
+        let rendered = table.to_markdown();
+        assert!(
+            ok,
+            "a metric-free artifact must not fail the gate:\n{rendered}"
+        );
+        assert!(rendered.contains("no search figure"));
+        assert!(rendered.contains("vs pr7"), "pr9 must skip over pr8");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn extract_str_reads_markers() {
+        let text = "{\n  \"scale\": \"quick\",\n  \"build\": \"debug\"\n}";
+        assert_eq!(extract_str(text, "scale").as_deref(), Some("quick"));
+        assert_eq!(extract_str(text, "build").as_deref(), Some("debug"));
+        assert_eq!(extract_str(text, "missing"), None);
+        assert_eq!(extract_str("{\"scale\": 3}", "scale"), None);
     }
 }

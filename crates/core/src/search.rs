@@ -1044,6 +1044,7 @@ fn sequential_snapshot(
         known: store.entries(),
         nodes_charged: budget.nodes_charged(),
         stats: stats.clone(),
+        epoch: 0,
     }
 }
 
@@ -1401,6 +1402,7 @@ impl ParSearch<'_> {
             known: self.store.entries(),
             nodes_charged: self.budget.nodes_charged(),
             stats: stats.clone(),
+            epoch: 0,
         }
     }
 

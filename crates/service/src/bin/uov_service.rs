@@ -3,7 +3,7 @@
 //! ```text
 //! uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N]
 //!                               [--warm-cache PATH] [--wedge-timeout MS]
-//! uov-service query  <endpoint> --stencil "1,0;0,1;1,1" [--grid N,M] [--deadline MS] [--no-cache] [--mesh]
+//! uov-service query  <endpoint> --stencil "1,0;0,1;1,1" [--grid N,M] [--deadline MS] [--no-cache] [--mesh [--replication K]]
 //! uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N]
 //!                               [--deadline MS] [--csv]
 //! uov-service health <endpoint>
@@ -54,7 +54,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N] [--warm-cache PATH] [--wedge-timeout MS]
-  uov-service query  <endpoint[,endpoint…]> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache] [--mesh]
+  uov-service query  <endpoint[,endpoint…]> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache] [--mesh [--replication K]]
   uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N] [--deadline MS] [--csv]
   uov-service smoke  <endpoint>
   uov-service health <endpoint>
@@ -163,11 +163,19 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .filter(|e| !e.is_empty())
             .collect();
         if mesh_mode {
-            // Consistent-hash routing + distributed work units.
+            // Consistent-hash routing + distributed work units. The
+            // certified answer is pushed to `--replication K` ring
+            // successors so failover targets are warm.
+            let replication = opt_parse(
+                args,
+                "--replication",
+                MeshConfig::default().replication_factor,
+            )?;
             let mut mesh = MeshClient::new(
                 &endpoints,
                 MeshConfig {
                     attempt_timeout: Duration::from_secs(600),
+                    replication_factor: replication,
                     ..MeshConfig::default()
                 },
             )
@@ -175,8 +183,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             let resp = mesh.plan_distributed(&req).map_err(|e| e.to_string())?;
             let stats = mesh.stats();
             println!(
-                "mesh        {} round(s), {} unit(s), {} redispatch(es)",
-                stats.rounds, stats.units_dispatched, stats.redispatches
+                "mesh        {} round(s), {} unit(s), {} redispatch(es), {} replica push(es)",
+                stats.rounds, stats.units_dispatched, stats.redispatches, stats.replicas_pushed
             );
             resp
         } else {
@@ -358,12 +366,25 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("| watchdog cancels | {} |", s.server.watchdog_cancels);
     println!("| worker restarts | {} |", s.server.worker_restarts);
     println!("| work units | {} |", s.server.workunits);
+    println!(
+        "| stale-epoch rejections | {} |",
+        s.server.stale_epoch_rejections
+    );
+    println!(
+        "| anti-entropy repairs | {} |",
+        s.server.anti_entropy_repairs
+    );
     println!("| warm-load corrupt | {} |", s.server.warm_load_corrupt);
     println!("| warm-load version | {} |", s.server.warm_load_version);
     println!("| cache hits | {} |", s.cache.hits);
     println!("| cache misses | {} |", s.cache.misses);
     println!("| cache coalesced | {} |", s.cache.coalesced);
     println!("| cache warm-loaded | {} |", s.cache.warm_loaded);
+    println!(
+        "| cache replicated entries | {} |",
+        s.cache.replicated_entries
+    );
+    println!("| cache replica hits | {} |", s.cache.replica_hits);
     match s.bound {
         Some(b) => println!(
             "| gossip bound | cost {} for problem {:#018x} |",

@@ -69,6 +69,15 @@ fn apply(perm: &[usize], v: &IVec) -> IVec {
     IVec::from(perm.iter().map(|&p| v[p]).collect::<Vec<i64>>())
 }
 
+/// Map an original-coordinates vector into canonical coordinates
+/// (`out[i] = v[perm[i]]`) — the inverse of [`map_back`]. Replication
+/// uses this to carry an answer computed in a *sender's* coordinates
+/// into the receiver's canonical cache slot; norm and cone membership
+/// are permutation-invariant, so optimality survives the trip.
+pub fn map_to_canonical(v: &IVec, perm: &[usize]) -> IVec {
+    apply(perm, v)
+}
+
 /// Invert [`apply`]: given a canonical-coordinates vector, recover the
 /// original-coordinates one (`out[perm[i]] = w[i]`).
 pub fn map_back(w: &IVec, perm: &[usize]) -> IVec {
@@ -298,6 +307,7 @@ mod tests {
         let perm = vec![2usize, 0, 1];
         let v = ivec![7, -3, 5];
         assert_eq!(map_back(&apply(&perm, &v), &perm), v);
+        assert_eq!(map_to_canonical(&v, &perm), apply(&perm, &v));
     }
 
     #[test]

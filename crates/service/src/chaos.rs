@@ -21,6 +21,20 @@
 //! past the client's attempt timeout to exercise half-open detection.
 //! Bytes that do not parse as a frame header are pumped opaquely so the
 //! proxy never deadlocks on garbage.
+//!
+//! # Network partitions
+//!
+//! On top of the per-frame fault schedule, a proxy can be **partitioned**
+//! ([`ChaosProxy::partition_symmetric`] /
+//! [`ChaosProxy::partition_asymmetric`]) and later **healed**
+//! ([`ChaosProxy::heal`]). A partition does not drop or damage frames:
+//! each pump direction simply *holds* its current frame until the
+//! partition heals, modelling TCP retransmission across a cut link —
+//! delivery is delayed, order is preserved, nothing is lost. The
+//! asymmetric form blocks one direction only; blocking just the
+//! server→client direction makes the replica execute a request whose
+//! response arrives after the coordinator has given up — the natural way
+//! to manufacture a stale work-unit completion.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -96,6 +110,9 @@ pub struct ChaosStats {
     pub bit_flips: u64,
     /// Frames delayed.
     pub delays: u64,
+    /// Frames held at a partition boundary until it healed (or the
+    /// proxy stopped).
+    pub partition_holds: u64,
 }
 
 #[derive(Default)]
@@ -107,6 +124,7 @@ struct ChaosCounters {
     truncations: AtomicU64,
     bit_flips: AtomicU64,
     delays: AtomicU64,
+    partition_holds: AtomicU64,
 }
 
 impl ChaosCounters {
@@ -119,6 +137,26 @@ impl ChaosCounters {
             truncations: self.truncations.load(Ordering::Relaxed),
             bit_flips: self.bit_flips.load(Ordering::Relaxed),
             delays: self.delays.load(Ordering::Relaxed),
+            partition_holds: self.partition_holds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which pump directions of one proxy are currently cut. Direction 0 is
+/// client→upstream, direction 1 is upstream→client (the same indices the
+/// seeded pump RNGs use).
+#[derive(Default)]
+struct PartitionState {
+    to_upstream: AtomicBool,
+    to_client: AtomicBool,
+}
+
+impl PartitionState {
+    fn blocked(&self, dir: u64) -> bool {
+        if dir == 0 {
+            self.to_upstream.load(Ordering::SeqCst)
+        } else {
+            self.to_client.load(Ordering::SeqCst)
         }
     }
 }
@@ -196,6 +234,7 @@ pub struct ChaosProxy {
     upstream: Arc<Mutex<String>>,
     stop: Arc<AtomicBool>,
     counters: Arc<ChaosCounters>,
+    partition: Arc<PartitionState>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -213,14 +252,23 @@ impl ChaosProxy {
         let upstream = Arc::new(Mutex::new(upstream.to_string()));
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ChaosCounters::default());
+        let partition = Arc::new(PartitionState::default());
 
         let a_upstream = Arc::clone(&upstream);
         let a_stop = Arc::clone(&stop);
         let a_counters = Arc::clone(&counters);
+        let a_partition = Arc::clone(&partition);
         let accept = thread::Builder::new()
             .name("chaos-accept".into())
             .spawn(move || {
-                accept_loop(&listener, cfg, &a_upstream, &a_stop, &a_counters);
+                accept_loop(
+                    &listener,
+                    cfg,
+                    &a_upstream,
+                    &a_stop,
+                    &a_counters,
+                    &a_partition,
+                );
             })?;
 
         Ok(ChaosProxy {
@@ -228,6 +276,7 @@ impl ChaosProxy {
             upstream,
             stop,
             counters,
+            partition,
             accept: Some(accept),
         })
     }
@@ -249,6 +298,33 @@ impl ChaosProxy {
     /// Snapshot the injection counters.
     pub fn stats(&self) -> ChaosStats {
         self.counters.snapshot()
+    }
+
+    /// Cut both directions: the replica behind this proxy is fully
+    /// partitioned away. In-flight and future frames are held — delayed,
+    /// ordered, never dropped — until [`ChaosProxy::heal`].
+    pub fn partition_symmetric(&self) {
+        self.partition.to_upstream.store(true, Ordering::SeqCst);
+        self.partition.to_client.store(true, Ordering::SeqCst);
+    }
+
+    /// Cut chosen directions only. Blocking just `to_client`
+    /// (server→client) lets requests through but holds responses: the
+    /// replica executes work whose completion surfaces after heal —
+    /// exactly how a stale work-unit completion is born.
+    pub fn partition_asymmetric(&self, block_to_upstream: bool, block_to_client: bool) {
+        self.partition
+            .to_upstream
+            .store(block_to_upstream, Ordering::SeqCst);
+        self.partition
+            .to_client
+            .store(block_to_client, Ordering::SeqCst);
+    }
+
+    /// Heal the partition: held frames resume forwarding in order.
+    pub fn heal(&self) {
+        self.partition.to_upstream.store(false, Ordering::SeqCst);
+        self.partition.to_client.store(false, Ordering::SeqCst);
     }
 
     /// Stop accepting; existing pumps notice within ~100 ms.
@@ -276,6 +352,7 @@ fn accept_loop(
     upstream: &Arc<Mutex<String>>,
     stop: &Arc<AtomicBool>,
     counters: &Arc<ChaosCounters>,
+    partition: &Arc<PartitionState>,
 ) {
     let mut conn_seq: u64 = 0;
     while !stop.load(Ordering::SeqCst) {
@@ -303,12 +380,13 @@ fn accept_loop(
         counters.connections.fetch_add(1, Ordering::Relaxed);
         let seq = conn_seq;
         conn_seq += 1;
-        spawn_pump(client, server, cfg, seq, stop, counters);
+        spawn_pump(client, server, cfg, seq, stop, counters, partition);
     }
 }
 
 /// Two pump threads, one per direction, each with its own RNG derived
 /// from `(seed, connection sequence, direction)`.
+#[allow(clippy::too_many_arguments)]
 fn spawn_pump(
     client: TcpStream,
     server: TcpStream,
@@ -316,6 +394,7 @@ fn spawn_pump(
     seq: u64,
     stop: &Arc<AtomicBool>,
     counters: &Arc<ChaosCounters>,
+    partition: &Arc<PartitionState>,
 ) {
     let pairs = [
         (client.try_clone(), server.try_clone(), 0u64),
@@ -330,9 +409,10 @@ fn spawn_pump(
         let rng = XorShift64::new(cfg.seed ^ seq.wrapping_mul(0x517C_C1B7_2722_0A95) ^ dir);
         let t_stop = Arc::clone(stop);
         let t_counters = Arc::clone(counters);
+        let t_partition = Arc::clone(partition);
         let _ = thread::Builder::new()
             .name(format!("chaos-pump-{seq}-{dir}"))
-            .spawn(move || pump(src, dst, cfg, rng, &t_stop, &t_counters));
+            .spawn(move || pump(src, dst, cfg, rng, dir, &t_stop, &t_counters, &t_partition));
     }
 }
 
@@ -394,13 +474,16 @@ fn sleep_interruptible(ms: u64, stop: &AtomicBool) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pump(
     mut src: TcpStream,
     mut dst: TcpStream,
     cfg: ChaosConfig,
     mut rng: XorShift64,
+    dir: u64,
     stop: &AtomicBool,
     counters: &ChaosCounters,
+    partition: &PartitionState,
 ) {
     let close_both = |src: &TcpStream, dst: &TcpStream| {
         let _ = src.shutdown(Shutdown::Both);
@@ -444,6 +527,19 @@ fn pump(
             }
             None => break,
         };
+        // A partition holds this direction's frame until heal: delayed
+        // delivery in order, nothing dropped — TCP retransmission across
+        // a cut link. The fault roll still runs afterwards, so a seeded
+        // schedule keeps its alignment through a partition window.
+        if partition.blocked(dir) {
+            counters.partition_holds.fetch_add(1, Ordering::Relaxed);
+            while partition.blocked(dir) && !stop.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_millis(5));
+            }
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
         match cfg.decide(rng.next()) {
             Fault::Reset => {
                 counters.resets.fetch_add(1, Ordering::Relaxed);
@@ -695,6 +791,60 @@ mod tests {
         assert!(stats.resets > 0, "chaos never fired: {stats:?}");
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn partitions_hold_frames_and_heal_releases_them() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let proxy = ChaosProxy::start(server.endpoint(), ChaosConfig::default()).unwrap();
+
+        // Partitioned: the request frame is held, so a short-timeout
+        // plan fails without the server ever being damaged.
+        proxy.partition_symmetric();
+        let mut client = Client::connect(proxy.endpoint()).unwrap();
+        client
+            .set_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        assert!(client.plan(&fig1_request()).is_err());
+
+        // Healed: the held frame is delivered (not dropped), the server
+        // answers it, and a fresh request works end to end.
+        proxy.heal();
+        let mut fresh = Client::connect(proxy.endpoint()).unwrap();
+        fresh.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let resp = fresh.plan(&fig1_request()).unwrap();
+        assert_eq!(resp.uov, ivec![1, 1]);
+
+        let stats = proxy.stop();
+        assert!(stats.partition_holds >= 1, "{stats:?}");
+        assert_eq!(stats.resets + stats.truncations + stats.bit_flips, 0);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn asymmetric_partition_delays_only_the_blocked_direction() {
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let proxy = ChaosProxy::start(server.endpoint(), ChaosConfig::default()).unwrap();
+
+        // Requests flow, responses are held: the server executes the
+        // plan but the client times out waiting for it.
+        proxy.partition_asymmetric(false, true);
+        let mut client = Client::connect(proxy.endpoint()).unwrap();
+        client
+            .set_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        assert!(client.plan(&fig1_request()).is_err());
+
+        proxy.heal();
+        let stats = proxy.stop();
+        assert!(stats.partition_holds >= 1, "{stats:?}");
+        server.shutdown();
+        let final_stats = server.join();
+        assert!(
+            final_stats.requests >= 1,
+            "request never crossed the one-way partition: {final_stats:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::Duration;
 use crate::error::{ErrorCode, ServiceError};
 use crate::proto::{
     kind, read_frame, write_frame, ErrorResponse, HealthResponse, PlanRequest, PlanResponse,
-    StatsResponse, WorkUnitRequest, WorkUnitResponse,
+    ReplicateRequest, ReplicateResponse, StatsResponse, WorkUnitRequest, WorkUnitResponse,
 };
 use crate::server::AnyStream;
 
@@ -167,6 +167,58 @@ impl Client {
             ))),
             None => Err(ServiceError::ConnectionClosed),
         }
+    }
+
+    /// Push one certified plan-cache entry to this server (neighbor
+    /// replication). The server re-certifies the answer before storing
+    /// it, so a lying or buggy pusher cannot poison the replica's cache.
+    /// Idempotent: replicating the same entry twice stores the same
+    /// canonical bytes, so the single-reconnect discipline applies.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Rejected`] for typed server errors (notably
+    /// `Malformed` when re-certification fails); the transport taxonomy
+    /// of [`read_frame`] otherwise.
+    pub fn replicate(&mut self, req: &ReplicateRequest) -> Result<ReplicateResponse, ServiceError> {
+        match self.exchange(kind::REQ_REPLICATE, &req.encode())? {
+            Some((kind::RESP_REPLICATE, payload)) => ReplicateResponse::decode(&payload),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected replicate response kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
+    /// Read one pending response frame **without sending anything**,
+    /// waiting at most `wait`. This is the drain half of zombie-socket
+    /// recovery: after a work-unit attempt times out and the unit is
+    /// re-dispatched under a fresh fencing epoch, the old socket may
+    /// still deliver the superseded completion later. The coordinator
+    /// keeps such sockets and drains them here so the late frame is
+    /// observed (and discarded by epoch) instead of leaking.
+    ///
+    /// Returns `Ok(None)` on clean EOF. A read timeout surfaces as
+    /// [`ServiceError::Io`] with kind `WouldBlock`/`TimedOut`.
+    ///
+    /// # Errors
+    ///
+    /// The transport taxonomy of [`read_frame`], plus timeout `Io`
+    /// errors when nothing arrives within `wait`.
+    pub fn recv_pending(&mut self, wait: Duration) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
+        self.stream.set_read_timeout(Some(wait))?;
+        let got = read_frame(&mut self.stream);
+        // Restore the configured timeout even on error paths; a failed
+        // restore on an already-dead socket is not worth surfacing.
+        let _ = self.stream.set_read_timeout(self.timeout);
+        got
     }
 
     /// Probe the server's liveness and readiness. Answered even while

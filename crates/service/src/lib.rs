@@ -59,7 +59,8 @@ pub use mesh::{MeshClient, MeshConfig, MeshEvent, MeshStats, Ring};
 pub use plan_cache::{CacheStats, PlanCache, Planned, WarmCacheError};
 pub use proto::{
     BoundGossip, CacheOutcome, DegradationCode, HealthResponse, ObjectiveSpec, PlanRequest,
-    PlanResponse, StatsResponse, WorkUnitRequest, WorkUnitResponse, FLAG_NO_CACHE,
+    PlanResponse, ReplicateRequest, ReplicateResponse, StatsResponse, WorkUnitRequest,
+    WorkUnitResponse, FLAG_NO_CACHE,
 };
 pub use resilient::{FabricEvent, FailureClass, ResilientClient, ResilientConfig};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

@@ -45,8 +45,36 @@
 //! over-estimate the optimum, and the engine prunes strictly (`>`), so
 //! ties survive to the lexicographic tie-break. A lost or stale gossip
 //! frame costs visits, never correctness.
+//!
+//! # Neighbor replication and lease fencing
+//!
+//! Because a UOV plan is schedule-independent — the certified answer is
+//! a pure function of the canonical problem, byte-identical no matter
+//! which shard computes it — a plan-cache entry is safe to copy
+//! anywhere. The mesh exploits that: after a certified, non-degraded
+//! answer, the coordinator pushes the entry to the
+//! [`MeshConfig::replication_factor`] ring successors of the home shard
+//! (`REQ_REPLICATE`), each of which **re-certifies before storing**, so
+//! the deterministic failover order lands on a warm, certified hit
+//! instead of a cold solve. An anti-entropy sweep on the stats channel
+//! ([`MeshClient::anti_entropy_sweep`]) watches each shard's monotone
+//! connection counter; a decrease means the process restarted with an
+//! empty cache, and every entry it should hold is re-pushed, flagged as
+//! a repair.
+//!
+//! Work-unit leases are *fenced*: every dispatch attempt carries a fresh
+//! monotonic epoch inside the `UOVCKPT1` envelope. The server fences
+//! each problem at the highest epoch seen and rejects older ones
+//! (`StaleEpoch`), so a zombie replica finishing a superseded unit can
+//! never double-report into a merge; the coordinator keeps timed-out
+//! sockets and drains any late completion, discarding it by epoch.
+//! Duplicate or stale completions are *also* harmless algebraically —
+//! the merge is a union of monotone masks plus a canonical minimum, so
+//! re-absorbing a snapshot is a no-op (the property test pins that).
 
 use std::collections::{HashMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
@@ -54,13 +82,14 @@ use uov_core::certify::certify;
 use uov_core::checkpoint::{decode_snapshot, encode_snapshot, Snapshot};
 use uov_core::search::{search_unit, try_cost_of, SearchConfig, SearchStats};
 use uov_core::{fingerprint, Budget, Fnv, SearchResult};
-use uov_isg::IVec;
+use uov_isg::{IVec, Stencil};
 
 use crate::canon::canonicalize;
 use crate::client::Client;
 use crate::error::{ErrorCode, ServiceError};
 use crate::proto::{
-    CacheOutcome, DegradationCode, PlanRequest, PlanResponse, WorkUnitRequest, MAX_PAYLOAD,
+    kind, CacheOutcome, DegradationCode, ObjectiveSpec, PlanRequest, PlanResponse,
+    ReplicateRequest, WorkUnitRequest, WorkUnitResponse, MAX_PAYLOAD,
 };
 use crate::resilient::{Breaker, XorShift64};
 
@@ -166,6 +195,11 @@ pub struct MeshConfig {
     /// Whether to poll shards' stats frames for gossiped incumbent
     /// bounds between rounds.
     pub gossip: bool,
+    /// How many ring successors of the home shard receive a copy of
+    /// every certified, non-degraded answer (`0` disables replication).
+    /// Each receiver re-certifies before storing, so replication can
+    /// warm a failover target but never poison it.
+    pub replication_factor: usize,
 }
 
 impl Default for MeshConfig {
@@ -184,6 +218,7 @@ impl Default for MeshConfig {
             backoff_max: Duration::from_millis(50),
             seed: 0x4D_E5_11,
             gossip: true,
+            replication_factor: 1,
         }
     }
 }
@@ -208,6 +243,15 @@ pub struct MeshStats {
     /// Distributed searches that fell back to a routed single-shard
     /// plan because a unit payload exceeded the frame limit.
     pub oversize_fallbacks: u64,
+    /// Certified answers offered to neighbor replicas (the receiver may
+    /// still refuse to store one that fails re-certification).
+    pub replicas_pushed: u64,
+    /// Late work-unit completions drained from zombie sockets and
+    /// discarded because their fencing epoch was superseded.
+    pub stale_epoch_rejections: u64,
+    /// Replicated entries re-pushed to restarted shards by the
+    /// anti-entropy sweep.
+    pub anti_entropy_repairs: u64,
 }
 
 /// One entry in the mesh's replayable decision log.
@@ -270,6 +314,27 @@ pub enum MeshEvent {
         /// The bound (a genuine UOV's cost).
         cost: u64,
     },
+    /// A certified answer was offered to a neighbor replica.
+    ReplicaPushed {
+        /// The receiving shard.
+        shard: usize,
+        /// Whether the receiver re-certified and stored it.
+        stored: bool,
+    },
+    /// A late work-unit completion under a superseded fencing epoch was
+    /// drained from a zombie socket and discarded before any merge.
+    StaleCompletionDiscarded {
+        /// The shard whose completion arrived too late.
+        shard: usize,
+        /// The superseded epoch the completion carried.
+        epoch: u64,
+    },
+    /// The anti-entropy sweep re-pushed a replicated entry to a shard
+    /// that restarted with an empty cache.
+    AntiEntropyRepair {
+        /// The repaired shard.
+        shard: usize,
+    },
 }
 
 // ---------------------------------------------------------------- client
@@ -285,14 +350,55 @@ pub struct MeshClient {
     rng: XorShift64,
     events: Vec<MeshEvent>,
     stats: MeshStats,
+    /// Monotonic source of work-unit fencing epochs. Every dispatch
+    /// attempt — first try and every re-dispatch — draws a fresh epoch,
+    /// so the server-side fence (highest epoch wins per problem) makes
+    /// superseded attempts rejectable on arrival.
+    epoch: AtomicU64,
+    /// Sockets kept after timed-out work-unit attempts, still owed a
+    /// (superseded) completion. Drained at round boundaries and at the
+    /// fixpoint so late frames are observed and discarded, never merged.
+    zombies: Vec<Zombie>,
+    /// Recent replication pushes, so the anti-entropy sweep can re-offer
+    /// them to a target that restarted with an empty cache.
+    replication_log: Vec<ReplicationRecord>,
+    /// Last-seen `connections` counter per shard; a decrease is the
+    /// restart signature anti-entropy keys on.
+    last_conns: Vec<Option<u64>>,
+}
+
+/// Pushes the anti-entropy sweep remembers. Bounded by
+/// [`REPLICATION_LOG_CAP`]; older entries age out (their home shard can
+/// always recompute and re-replicate on the next miss).
+#[derive(Clone)]
+struct ReplicationRecord {
+    stencil: Stencil,
+    objective: ObjectiveSpec,
+    uov: IVec,
+    cost: u128,
+    targets: Vec<usize>,
+}
+
+/// Cap on [`MeshClient::replication_log`].
+const REPLICATION_LOG_CAP: usize = 64;
+
+/// A socket abandoned by a timed-out work-unit attempt, kept so the late
+/// completion (fenced off server-side by a newer epoch) can be drained
+/// and discarded instead of leaking.
+struct Zombie {
+    client: Client,
+    shard: usize,
+    epoch: u64,
 }
 
 /// What one work-unit dispatch thread reports back: the attempt trail
-/// (shard, success?) in order, and the validated snapshot on success.
+/// (shard, success?) in order, the validated snapshot on success, and
+/// any zombie sockets left behind by timed-out attempts.
 struct UnitOutcome {
     attempts: Vec<(usize, bool)>,
     snapshot: Option<Snapshot>,
     last_error: Option<ServiceError>,
+    zombies: Vec<Zombie>,
 }
 
 impl MeshClient {
@@ -318,6 +424,10 @@ impl MeshClient {
             rng: XorShift64::new(seed),
             events: Vec::new(),
             stats: MeshStats::default(),
+            epoch: AtomicU64::new(0),
+            zombies: Vec::new(),
+            replication_log: Vec::new(),
+            last_conns: vec![None; endpoints.len()],
         })
     }
 
@@ -373,6 +483,22 @@ impl MeshClient {
                     if shard != home {
                         self.stats.failovers += 1;
                         self.events.push(MeshEvent::Failover { home, shard });
+                    }
+                    // Replicate fresh, full-fidelity answers to the ring
+                    // successors. Hits are skipped (their original miss
+                    // already replicated) and degraded answers are never
+                    // offered — a replica must only ever hold entries it
+                    // could re-certify.
+                    if resp.cache != CacheOutcome::Hit && resp.degradation == DegradationCode::None
+                    {
+                        self.push_replicas(
+                            &req.stencil,
+                            &req.objective,
+                            &resp.uov,
+                            resp.cost,
+                            &order,
+                            Some(shard),
+                        );
                     }
                     return Ok(resp);
                 }
@@ -439,29 +565,12 @@ impl MeshClient {
         let (_, snap) = search_unit(None, &req.stencil, objective, &prefix)
             .map_err(|e| ServiceError::Malformed(format!("distributed search setup: {e}")))?;
 
-        // Global merged state. `covered[w]` is the union of PATHSET masks
-        // at which some single engine fully expanded `w`; `checked` holds
-        // offsets that were expanded at the *full* mask (so the candidate
-        // check provably ran). An offset is re-frontiered until its
-        // merged mask is covered and, when full, checked.
-        let mut known: HashMap<IVec, u64> = snap.known.into_iter().collect();
-        let mut incumbent = (
-            snap.incumbent_cost,
-            snap.incumbent.try_norm_sq().unwrap_or(i128::MAX),
-            snap.incumbent,
-        );
+        // Global merged state (see [`MergeState`]): absorbing the local
+        // prefix snapshot seeds `known`/`covered`/`checked` exactly as a
+        // unit completion would, and its frontier becomes the first
+        // round's work.
+        let mut merged = MergeState::seeded(&snap, full);
         let mut frontier: Vec<(u128, IVec, u64)> = snap.frontier;
-        let mut covered: HashMap<IVec, u64> = HashMap::new();
-        let mut checked: HashSet<IVec> = HashSet::new();
-        let in_frontier: HashSet<IVec> = frontier.iter().map(|(_, w, _)| w.clone()).collect();
-        for (w, m) in &known {
-            if !in_frontier.contains(w) {
-                covered.insert(w.clone(), *m);
-                if *m == full {
-                    checked.insert(w.clone());
-                }
-            }
-        }
 
         let key = Self::routing_key(req);
         let order = self.ring.successors(key);
@@ -472,12 +581,17 @@ impl MeshClient {
             on_round(round);
             self.stats.rounds += 1;
 
+            // Give zombie sockets from earlier rounds a brief chance to
+            // surface their superseded completions (discarded by epoch).
+            self.drain_zombies(Duration::from_millis(5), true);
+
             if self.cfg.gossip {
                 self.fold_gossip(fp, &mut hint);
             }
             // The incumbent's own cost is always a sound hint; gossip can
             // only tighten it further.
-            let bound_hint = Some(hint.map_or(incumbent.0, |h| h.min(incumbent.0)));
+            let incumbent_cost = merged.incumbent.0;
+            let bound_hint = Some(hint.map_or(incumbent_cost, |h| h.min(incumbent_cost)));
 
             // Deterministic split: sort the frontier by the engine's
             // queue order, then deal round-robin into unit slices.
@@ -497,18 +611,24 @@ impl MeshClient {
             // Build one work unit per slice. Every unit carries the full
             // merged PATHSET table and the global incumbent, so its seed
             // upholds the snapshot invariants the server re-validates.
-            let known_vec: Vec<(IVec, u64)> = known.iter().map(|(w, m)| (w.clone(), *m)).collect();
-            let mut units: Vec<WorkUnitRequest> = Vec::with_capacity(unit_count);
+            // The snapshot is encoded here (epoch 0) only for the frame
+            // size check; each dispatch attempt re-encodes it under its
+            // own fresh fencing epoch, which cannot change the length
+            // (the EPOCH section is fixed-width).
+            let known_vec: Vec<(IVec, u64)> =
+                merged.known.iter().map(|(w, m)| (w.clone(), *m)).collect();
+            let mut units: Vec<(WorkUnitRequest, Snapshot)> = Vec::with_capacity(unit_count);
             for slice in &slices {
                 let unit_snap = Snapshot {
                     fingerprint: fp,
                     dim: req.stencil.dim(),
-                    incumbent_cost: incumbent.0,
-                    incumbent: incumbent.2.clone(),
+                    incumbent_cost: merged.incumbent.0,
+                    incumbent: merged.incumbent.2.clone(),
                     frontier: slice.clone(),
                     known: known_vec.clone(),
                     nodes_charged: 0,
                     stats: SearchStats::default(),
+                    epoch: 0,
                 };
                 let bytes = encode_snapshot(&unit_snap).map_err(|e| ServiceError::Rejected {
                     code: ErrorCode::Internal,
@@ -528,45 +648,28 @@ impl MeshClient {
                     self.stats.oversize_fallbacks += 1;
                     return self.plan(req);
                 }
-                units.push(unit);
+                units.push((unit, unit_snap));
             }
 
             let outcomes = self.dispatch_round(&order, round, &units, fp)?;
 
             // Merge, in unit order so the log and the state are
             // reproducible. Masks union; the incumbent takes the minimum
-            // under the engine's canonical total order.
-            for snap in &outcomes {
-                if improves(snap.incumbent_cost, &snap.incumbent, &incumbent) {
-                    incumbent = (
-                        snap.incumbent_cost,
-                        snap.incumbent.try_norm_sq().unwrap_or(i128::MAX),
-                        snap.incumbent.clone(),
-                    );
-                }
-                let unit_frontier: HashSet<&IVec> =
-                    snap.frontier.iter().map(|(_, w, _)| w).collect();
-                for (w, m) in &snap.known {
-                    *known.entry(w.clone()).or_insert(0) |= m;
-                    if !unit_frontier.contains(w) {
-                        // Engine invariant: an offset absent from the
-                        // final frontier was fully expanded at its final
-                        // mask — that is this round's coverage evidence.
-                        *covered.entry(w.clone()).or_insert(0) |= m;
-                        if *m == full {
-                            checked.insert(w.clone());
-                        }
-                    }
-                }
+            // under the engine's canonical total order — an idempotent,
+            // order-insensitive fold. Coverage is credited per unit
+            // against its assigned slice only (see
+            // [`MergeState::absorb_unit`]).
+            for (snap, (_, unit_snap)) in outcomes.iter().zip(&units) {
+                merged.absorb_unit(snap, &unit_snap.frontier);
             }
 
             // Re-frontier: any offset whose merged mask nobody expanded
             // (the cross-unit union hazard), and any full-mask offset
             // whose candidate check never ran.
-            for (w, &u) in &known {
-                let cov = covered.get(w).copied().unwrap_or(0);
+            for (w, &u) in &merged.known {
+                let cov = merged.covered.get(w).copied().unwrap_or(0);
                 let needs_children = u & !cov != 0;
-                let needs_check = u == full && !checked.contains(w);
+                let needs_check = u == full && !merged.checked.contains(w);
                 if needs_children || needs_check {
                     if let Ok(cost) = try_cost_of(&objective, w) {
                         frontier.push((cost, w.clone(), u));
@@ -580,12 +683,19 @@ impl MeshClient {
             round += 1;
         }
 
-        // Fixpoint reached: the merged exploration equals a direct
-        // search's, so the incumbent is the optimum under the canonical
-        // order. Certify locally — same path, same transcript hash.
+        // Fixpoint reached. Give every remaining zombie socket a full
+        // lease to surface its superseded completion — observed,
+        // counted, discarded; the merge above never saw it, and this
+        // drain proves nothing arrives after it either.
+        let final_wait = self.cfg.attempt_timeout;
+        self.drain_zombies(final_wait, false);
+
+        // The merged exploration equals a direct search's, so the
+        // incumbent is the optimum under the canonical order. Certify
+        // locally — same path, same transcript hash.
         let as_result = SearchResult {
-            uov: incumbent.2.clone(),
-            cost: incumbent.0,
+            uov: merged.incumbent.2.clone(),
+            cost: merged.incumbent.0,
             stats: SearchStats::default(),
             degradation: None,
             checkpoint_error: None,
@@ -595,6 +705,21 @@ impl MeshClient {
                 code: ErrorCode::Internal,
                 msg: format!("certification failed: {e}"),
             })?;
+        // The answer is certified and non-degraded by construction:
+        // replicate it so failover targets are warm for this problem.
+        // Searches that finished inside the local prefix stay off the
+        // wire entirely — a problem that cheap is cheaper to re-solve
+        // than to replicate.
+        if round > 0 {
+            self.push_replicas(
+                &req.stencil,
+                &req.objective,
+                &as_result.uov,
+                as_result.cost,
+                &order,
+                None,
+            );
+        }
         Ok(PlanResponse {
             uov: as_result.uov,
             cost: as_result.cost,
@@ -613,7 +738,7 @@ impl MeshClient {
         &mut self,
         order: &[usize],
         round: usize,
-        units: &[WorkUnitRequest],
+        units: &[(WorkUnitRequest, Snapshot)],
         expected_fp: u64,
     ) -> Result<Vec<Snapshot>, ServiceError> {
         let open: Vec<bool> = self
@@ -639,18 +764,21 @@ impl MeshClient {
         let max_attempts = self.cfg.max_unit_attempts.max(1) as usize;
         let backoff_base = self.cfg.backoff_base;
         let backoff_max = self.cfg.backoff_max;
+        let epoch_src = &self.epoch;
 
         let outcomes: Vec<UnitOutcome> = thread::scope(|scope| {
             let handles: Vec<_> = units
                 .iter()
                 .enumerate()
-                .map(|(j, unit)| {
+                .map(|(j, (unit, base))| {
                     let prefs = &preferences[j];
                     scope.spawn(move || {
                         run_unit(
                             endpoints,
                             prefs,
                             unit,
+                            base,
+                            epoch_src,
                             expected_fp,
                             timeout,
                             max_attempts,
@@ -669,6 +797,7 @@ impl MeshClient {
                         last_error: Some(ServiceError::Malformed(
                             "work-unit dispatch thread panicked".into(),
                         )),
+                        zombies: Vec::new(),
                     })
                 })
                 .collect()
@@ -678,6 +807,7 @@ impl MeshClient {
         let mut snaps = Vec::with_capacity(outcomes.len());
         for (j, outcome) in outcomes.into_iter().enumerate() {
             self.stats.units_dispatched += 1;
+            self.zombies.extend(outcome.zombies);
             let mut prev: Option<usize> = None;
             for &(shard, ok) in &outcome.attempts {
                 match prev {
@@ -739,6 +869,11 @@ impl MeshClient {
             match client.stats() {
                 Ok(stats) => {
                     self.conns[shard] = Some(client);
+                    // Piggybacked anti-entropy: the same stats frame
+                    // carries the restart signature.
+                    if self.note_connections(shard, stats.server.connections) {
+                        self.repair_shard(shard);
+                    }
                     if let Some(b) = stats.bound {
                         if b.fingerprint == fp && u128::from(b.cost) < hint.unwrap_or(u128::MAX) {
                             *hint = Some(u128::from(b.cost));
@@ -753,6 +888,180 @@ impl MeshClient {
                 Err(_) => {
                     // Stats are advisory; a failed poll is not a breaker
                     // event, just a dropped connection.
+                }
+            }
+        }
+    }
+
+    /// Anti-entropy sweep on the stats channel: poll every shard's
+    /// counters, detect restarts (the monotone `connections` counter
+    /// went backwards), and re-push every replicated entry the restarted
+    /// shard should hold, flagged as a repair. The same detection rides
+    /// along on gossip polls during distributed search; call this
+    /// between planning bursts to repair gaps sooner.
+    pub fn anti_entropy_sweep(&mut self) {
+        for shard in 0..self.endpoints.len() {
+            let mut client = match self.take_conn(shard) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            if let Ok(stats) = client.stats() {
+                self.conns[shard] = Some(client);
+                if self.note_connections(shard, stats.server.connections) {
+                    self.repair_shard(shard);
+                }
+            }
+        }
+    }
+
+    /// Track a shard's monotone `connections` counter; a decrease means
+    /// the process restarted with fresh counters — and an empty cache.
+    fn note_connections(&mut self, shard: usize, connections: u64) -> bool {
+        let prev = self.last_conns[shard];
+        self.last_conns[shard] = Some(connections);
+        prev.is_some_and(|p| connections < p)
+    }
+
+    /// Re-offer every remembered replication this shard was a target of,
+    /// flagged as an anti-entropy repair. Best-effort: the receiver
+    /// re-certifies as always, and a still-down shard is repaired on the
+    /// next sweep instead.
+    fn repair_shard(&mut self, shard: usize) {
+        let records: Vec<ReplicationRecord> = self
+            .replication_log
+            .iter()
+            .filter(|r| r.targets.contains(&shard))
+            .cloned()
+            .collect();
+        for r in records {
+            if let Ok(stored) =
+                self.replicate_to(shard, &r.stencil, &r.objective, &r.uov, r.cost, true)
+            {
+                if stored {
+                    self.stats.anti_entropy_repairs += 1;
+                    self.events.push(MeshEvent::AntiEntropyRepair { shard });
+                }
+            }
+        }
+    }
+
+    /// Best-effort push of a certified answer to the
+    /// [`MeshConfig::replication_factor`] ring successors of the home
+    /// shard, so a deterministic failover lands on a warm, certified
+    /// cache entry. Every receiver re-certifies before storing. The push
+    /// is recorded so anti-entropy can re-offer it after a target
+    /// restarts — including targets that were down for the original push.
+    fn push_replicas(
+        &mut self,
+        stencil: &Stencil,
+        objective: &ObjectiveSpec,
+        uov: &IVec,
+        cost: u128,
+        order: &[usize],
+        served_by: Option<usize>,
+    ) {
+        let k = self
+            .cfg
+            .replication_factor
+            .min(order.len().saturating_sub(1));
+        if k == 0 {
+            return;
+        }
+        let targets: Vec<usize> = order[1..=k].to_vec();
+        for &shard in &targets {
+            if Some(shard) == served_by {
+                continue; // the serving replica already holds the entry
+            }
+            if let Ok(stored) = self.replicate_to(shard, stencil, objective, uov, cost, false) {
+                self.stats.replicas_pushed += 1;
+                self.events.push(MeshEvent::ReplicaPushed { shard, stored });
+            }
+        }
+        self.replication_log.push(ReplicationRecord {
+            stencil: stencil.clone(),
+            objective: objective.clone(),
+            uov: uov.clone(),
+            cost,
+            targets,
+        });
+        if self.replication_log.len() > REPLICATION_LOG_CAP {
+            self.replication_log.remove(0);
+        }
+    }
+
+    /// One replication push to one shard over the pooled connection.
+    fn replicate_to(
+        &mut self,
+        shard: usize,
+        stencil: &Stencil,
+        objective: &ObjectiveSpec,
+        uov: &IVec,
+        cost: u128,
+        repair: bool,
+    ) -> Result<bool, ServiceError> {
+        let mut client = self.take_conn(shard)?;
+        let req = ReplicateRequest {
+            stencil: stencil.clone(),
+            objective: objective.clone(),
+            uov: uov.clone(),
+            cost,
+            repair,
+        };
+        match client.replicate(&req) {
+            Ok(resp) => {
+                self.conns[shard] = Some(client);
+                Ok(resp.stored)
+            }
+            Err(e) => {
+                // A typed rejection travelled over a working transport.
+                if matches!(e, ServiceError::Rejected { .. }) {
+                    self.conns[shard] = Some(client);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain sockets kept after timed-out work-unit attempts. A late
+    /// `RESP_WORKUNIT` surfacing here carries a superseded fencing epoch
+    /// by construction — the attempt was abandoned and the unit
+    /// re-dispatched under a fresh epoch — so it is counted and
+    /// discarded, never merged. With `keep_pending`, sockets that still
+    /// have nothing to say survive to the next drain; otherwise they are
+    /// dropped (the server-side fence and the wedge watchdog make the
+    /// zombie work harmless).
+    fn drain_zombies(&mut self, wait: Duration, keep_pending: bool) {
+        let zombies = std::mem::take(&mut self.zombies);
+        for mut z in zombies {
+            match z.client.recv_pending(wait) {
+                Ok(Some((kind::RESP_WORKUNIT, payload))) => {
+                    let epoch = WorkUnitResponse::decode(&payload)
+                        .ok()
+                        .and_then(|r| decode_snapshot(&r.snapshot).ok())
+                        .map_or(z.epoch, |s| s.epoch);
+                    self.stats.stale_epoch_rejections += 1;
+                    self.events.push(MeshEvent::StaleCompletionDiscarded {
+                        shard: z.shard,
+                        epoch,
+                    });
+                }
+                Ok(_) => {
+                    // An error frame (the server's own fence fired) or a
+                    // clean close: nothing stale escaped.
+                }
+                Err(ServiceError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    if keep_pending {
+                        self.zombies.push(z);
+                    }
+                }
+                Err(_) => {
+                    // Dead socket (reset, torn frame): the replica died
+                    // with the zombie, nothing to discard.
                 }
             }
         }
@@ -874,6 +1183,117 @@ impl MeshClient {
     }
 }
 
+/// The coordinator's merged global state across work-unit completions.
+///
+/// `known[w]` is the union of PATHSET masks seen for offset `w`;
+/// `covered[w]` is the union of masks at which some single engine fully
+/// expanded `w`; `checked` holds offsets expanded at the *full* mask (so
+/// the candidate check provably ran). An offset is re-frontiered until
+/// its merged mask is covered and, when full, checked.
+///
+/// Coverage evidence is earned, never inferred wholesale: a unit is
+/// seeded with the entire merged PATHSET table, but only the offsets in
+/// its *assigned slice* provably pass through its queue — "absent from
+/// the final frontier" means "expanded" only for those. Crediting the
+/// whole table would mark another unit's budget-cut slice entry as
+/// covered and silently drop its subtree (see
+/// [`MergeState::absorb_unit`]). The engine's queue invariant does hold
+/// for every entry of a *fresh* run's table, which is why
+/// [`MergeState::seeded`] may absorb the local prefix in full.
+///
+/// Both folds are **idempotent and order-insensitive**: masks merge by
+/// union and the incumbent by the canonical minimum, so feeding the same
+/// completion twice — or a superseded one whose state is a subset of
+/// what a later completion already contributed — cannot move the
+/// fixpoint. That algebra is the second line of defense behind the
+/// fencing epochs, and the property test below pins it down.
+struct MergeState {
+    known: HashMap<IVec, u64>,
+    incumbent: (u128, i128, IVec),
+    covered: HashMap<IVec, u64>,
+    checked: HashSet<IVec>,
+    full: u64,
+}
+
+impl MergeState {
+    /// Seed the merge from the coordinator's local-prefix snapshot:
+    /// absorbing it contributes its PATHSET table and incumbent exactly
+    /// as a unit completion would (the snapshot's own frontier is the
+    /// first round's work, handled by the caller).
+    fn seeded(snap: &Snapshot, full: u64) -> Self {
+        let mut state = MergeState {
+            known: HashMap::new(),
+            incumbent: (
+                snap.incumbent_cost,
+                snap.incumbent.try_norm_sq().unwrap_or(i128::MAX),
+                snap.incumbent.clone(),
+            ),
+            covered: HashMap::new(),
+            checked: HashSet::new(),
+            full,
+        };
+        state.absorb(snap);
+        state
+    }
+
+    /// Fold a *fresh-run* snapshot in, trusting its whole table: every
+    /// store entry of a from-scratch run passed through the engine's
+    /// queue, so "absent from the final frontier" means "fully expanded
+    /// at its final mask" for all of them. Only [`MergeState::seeded`]
+    /// may use this; resumed units go through
+    /// [`MergeState::absorb_unit`].
+    fn absorb(&mut self, snap: &Snapshot) {
+        self.absorb_incumbent(snap);
+        let unit_frontier: HashSet<&IVec> = snap.frontier.iter().map(|(_, w, _)| w).collect();
+        for (w, m) in &snap.known {
+            *self.known.entry(w.clone()).or_insert(0) |= m;
+            if !unit_frontier.contains(w) {
+                *self.covered.entry(w.clone()).or_insert(0) |= m;
+                if *m == self.full {
+                    self.checked.insert(w.clone());
+                }
+            }
+        }
+    }
+
+    /// Fold one completed work unit in. The discovered paths (`known`)
+    /// and the incumbent merge unconditionally — unions and minima are
+    /// always sound — but coverage is credited only for the unit's
+    /// `assigned` slice: those offsets were queued, so each is either in
+    /// the final frontier (budget cut it short) or was expanded at a
+    /// mask ⊇ its assigned mask (a stale pop only ever yields to a
+    /// grown twin in the same queue, and a superset-mask expansion
+    /// subsumes the subset's children under the PATHSET union).
+    /// Descendants the unit discovered earn no credit here; the
+    /// re-frontier reassigns them until a unit expands them as its own
+    /// slice work, which keeps every claim witnessed.
+    fn absorb_unit(&mut self, snap: &Snapshot, assigned: &[(u128, IVec, u64)]) {
+        self.absorb_incumbent(snap);
+        for (w, m) in &snap.known {
+            *self.known.entry(w.clone()).or_insert(0) |= m;
+        }
+        let unit_frontier: HashSet<&IVec> = snap.frontier.iter().map(|(_, w, _)| w).collect();
+        for (_, w, u) in assigned {
+            if !unit_frontier.contains(w) {
+                *self.covered.entry(w.clone()).or_insert(0) |= u;
+                if *u == self.full {
+                    self.checked.insert(w.clone());
+                }
+            }
+        }
+    }
+
+    fn absorb_incumbent(&mut self, snap: &Snapshot) {
+        if improves(snap.incumbent_cost, &snap.incumbent, &self.incumbent) {
+            self.incumbent = (
+                snap.incumbent_cost,
+                snap.incumbent.try_norm_sq().unwrap_or(i128::MAX),
+                snap.incumbent.clone(),
+            );
+        }
+    }
+}
+
 /// The engine's canonical candidate order (cost, then squared length,
 /// then lexicographic) — the same total order `uov_core`'s engines use,
 /// so the coordinator's incumbent merge is deterministic and agrees with
@@ -897,15 +1317,24 @@ fn improves(cost: u128, w: &IVec, best: &(u128, i128, IVec)) -> bool {
 /// One unit's dispatch loop, run on a scoped thread: try ring successors
 /// in preference order (wrapping) until a replica returns a frame whose
 /// snapshot decodes, CRC-checks, and fingerprints to the right problem.
-/// Each attempt is bounded by the lease (`timeout`); a slow replica is
-/// indistinguishable from a dead one and is simply re-dispatched — work
-/// units are pure functions of their shipped state, so a zombie replica
-/// finishing late changes nothing.
+/// Each attempt is bounded by the lease (`timeout`) and carries a
+/// **fresh fencing epoch** drawn from the coordinator's monotonic
+/// counter, so once a re-dispatch lands, the server rejects any earlier
+/// attempt still executing (`StaleEpoch`) and it can never double-report
+/// into a merge. Units of one search share a fingerprint, so two
+/// *concurrent* units colliding on one shard can fence each other — that
+/// race is benign: `StaleEpoch` is retryable, every retry draws a
+/// strictly higher epoch, and the round's preference rotation sends
+/// first attempts to distinct shards, so progress is never lost, only a
+/// retry spent. A timed-out socket is kept as a zombie for the
+/// coordinator's drain instead of being dropped with a frame in flight.
 #[allow(clippy::too_many_arguments)]
 fn run_unit(
     endpoints: &[String],
     prefs: &[usize],
     unit: &WorkUnitRequest,
+    base: &Snapshot,
+    epoch_src: &AtomicU64,
     expected_fp: u64,
     timeout: Duration,
     max_attempts: usize,
@@ -914,12 +1343,42 @@ fn run_unit(
 ) -> UnitOutcome {
     let mut attempts: Vec<(usize, bool)> = Vec::new();
     let mut last_error: Option<ServiceError> = None;
+    let mut zombies: Vec<Zombie> = Vec::new();
     for attempt in 0..max_attempts {
         let shard = prefs[attempt % prefs.len()];
+        let epoch = epoch_src.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut keep: Option<Client> = None;
         let result = (|| -> Result<Snapshot, ServiceError> {
+            // Re-encode the snapshot under this attempt's lease epoch.
+            // The EPOCH section is fixed-width, so the frame-size check
+            // done at build time (epoch 0) stays valid.
+            let mut leased = base.clone();
+            leased.epoch = epoch;
+            let mut req = unit.clone();
+            req.snapshot = encode_snapshot(&leased).map_err(|e| ServiceError::Rejected {
+                code: ErrorCode::Internal,
+                msg: format!("work-unit re-encode: {e}"),
+            })?;
             let mut client = Client::connect(&endpoints[shard])?;
             client.set_timeout(Some(timeout))?;
-            let resp = client.workunit(unit)?;
+            let resp = match client.workunit(&req) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    // The lease expired with a frame possibly still in
+                    // flight: keep the socket so the coordinator can
+                    // drain (and discard by epoch) the late completion.
+                    if matches!(
+                        &e,
+                        ServiceError::Io(io) if matches!(
+                            io.kind(),
+                            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                        )
+                    ) {
+                        keep = Some(client);
+                    }
+                    return Err(e);
+                }
+            };
             let snap = decode_snapshot(&resp.snapshot).map_err(|e| {
                 ServiceError::Malformed(format!("work-unit response snapshot: {e}"))
             })?;
@@ -928,8 +1387,21 @@ fn run_unit(
                     "work-unit response for a different problem".into(),
                 ));
             }
+            if snap.epoch != epoch {
+                return Err(ServiceError::Malformed(format!(
+                    "work-unit response under lease epoch {} instead of {epoch}",
+                    snap.epoch
+                )));
+            }
             Ok(snap)
         })();
+        if let Some(client) = keep {
+            zombies.push(Zombie {
+                client,
+                shard,
+                epoch,
+            });
+        }
         match result {
             Ok(snap) => {
                 attempts.push((shard, true));
@@ -937,6 +1409,7 @@ fn run_unit(
                     attempts,
                     snapshot: Some(snap),
                     last_error: None,
+                    zombies,
                 };
             }
             Err(e) => {
@@ -971,6 +1444,7 @@ fn run_unit(
         attempts,
         snapshot: None,
         last_error,
+        zombies,
     }
 }
 
@@ -1119,6 +1593,89 @@ mod tests {
             "unit budget too big to test merging"
         );
         replicas.shutdown_all();
+    }
+
+    /// One pseudo-random unit completion over a 2-D, 3-vector problem:
+    /// the snapshot plus the slice the unit was notionally assigned (a
+    /// subset of its table, some of it left unexpanded in the frontier).
+    type UnitFixture = (Snapshot, Vec<(u128, IVec, u64)>);
+
+    fn rand_unit(rng: &mut XorShift64, full: u64) -> UnitFixture {
+        let n = 1 + (rng.next() % 4) as usize;
+        let mut known = Vec::new();
+        let mut frontier = Vec::new();
+        let mut assigned = Vec::new();
+        for _ in 0..n {
+            let w = ivec![(rng.next() % 5) as i64 - 2, (rng.next() % 5) as i64 - 2];
+            let m = 1 + rng.next() % full;
+            if rng.next().is_multiple_of(3) {
+                frontier.push((0u128, w.clone(), m));
+            }
+            if rng.next().is_multiple_of(2) {
+                assigned.push((0u128, w.clone(), m));
+            }
+            known.push((w, m));
+        }
+        let incumbent = ivec![1 + (rng.next() % 3) as i64, (rng.next() % 3) as i64];
+        let incumbent_cost = incumbent.try_norm_sq().unwrap_or(9) as u128;
+        let snap = Snapshot {
+            fingerprint: 42,
+            dim: 2,
+            incumbent_cost,
+            incumbent,
+            frontier,
+            known,
+            nodes_charged: 0,
+            stats: SearchStats::default(),
+            epoch: 0,
+        };
+        (snap, assigned)
+    }
+
+    fn assert_same_fixpoint(a: &MergeState, b: &MergeState) {
+        assert_eq!(a.known, b.known, "PATHSET unions diverged");
+        assert_eq!(a.covered, b.covered, "coverage evidence diverged");
+        assert_eq!(a.checked, b.checked, "candidate checks diverged");
+        assert_eq!(a.incumbent, b.incumbent, "incumbents diverged");
+    }
+
+    /// The fencing epochs' second line of defense: the merge fold is
+    /// idempotent and order-insensitive, so a duplicate or superseded
+    /// completion — even one that somehow slipped past every epoch
+    /// check — leaves the merge fixpoint byte-identical, and with it the
+    /// certified answer and its certificate hash.
+    #[test]
+    fn merge_fold_is_idempotent_under_duplicate_and_stale_completions() {
+        let full = 0b111u64;
+        for case in 0..50u64 {
+            let mut rng = XorShift64::new(0xF3CE_D000 + case);
+            let (prefix, _) = rand_unit(&mut rng, full);
+            let units: Vec<UnitFixture> = (0..5).map(|_| rand_unit(&mut rng, full)).collect();
+
+            // Once each, in order.
+            let mut once = MergeState::seeded(&prefix, full);
+            for (s, a) in &units {
+                once.absorb_unit(s, a);
+            }
+
+            // Every completion delivered twice (a zombie double-report).
+            let mut doubled = MergeState::seeded(&prefix, full);
+            for (s, a) in &units {
+                doubled.absorb_unit(s, a);
+                doubled.absorb_unit(s, a);
+            }
+            assert_same_fixpoint(&once, &doubled);
+
+            // Reversed order, then a stale re-delivery of an early
+            // completion after everything else has merged.
+            let mut reversed = MergeState::seeded(&prefix, full);
+            for (s, a) in units.iter().rev() {
+                reversed.absorb_unit(s, a);
+            }
+            let (s, a) = &units[rng.next() as usize % units.len()];
+            reversed.absorb_unit(s, a);
+            assert_same_fixpoint(&once, &reversed);
+        }
     }
 
     /// A small problem finishes inside the local prefix and never ships

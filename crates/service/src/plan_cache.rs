@@ -21,7 +21,7 @@
 //! are **never** inserted into the LRU: the cache only ever serves answers
 //! that were optimal when computed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,7 +32,7 @@ use uov_core::wire::{crc32, Decoder, Encoder};
 use uov_core::{fingerprint, Degradation, SearchResult, ShardedLru};
 use uov_isg::{IVec, Stencil};
 
-use crate::canon::{canonicalize, lex_min_equivalent, map_back, Canonical};
+use crate::canon::{canonicalize, lex_min_equivalent, map_back, map_to_canonical, Canonical};
 use crate::proto::{CacheOutcome, ObjectiveSpec};
 
 /// Default number of distinct canonical plans the cache retains.
@@ -150,6 +150,12 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries restored from a warm-cache snapshot at startup.
     pub warm_loaded: u64,
+    /// Entries inserted through neighbor replication (`REQ_REPLICATE`),
+    /// i.e. plans this replica holds for problems whose ring home is
+    /// elsewhere.
+    pub replicated_entries: u64,
+    /// Cache hits served from a replicated entry — warm failovers.
+    pub replica_hits: u64,
 }
 
 /// Ensures a flight leader that panics or errors before publishing still
@@ -188,6 +194,11 @@ pub struct PlanCache {
     misses: AtomicU64,
     coalesced: AtomicU64,
     warm_loaded: AtomicU64,
+    /// Canonical keys whose entry arrived by neighbor replication, so a
+    /// hit on one can be attributed to the replication machinery.
+    replica_keys: Mutex<HashSet<u64>>,
+    replicated: AtomicU64,
+    replica_hits: AtomicU64,
 }
 
 impl PlanCache {
@@ -200,6 +211,9 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             warm_loaded: AtomicU64::new(0),
+            replica_keys: Mutex::new(HashSet::new()),
+            replicated: AtomicU64::new(0),
+            replica_hits: AtomicU64::new(0),
         }
     }
 
@@ -210,6 +224,8 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             warm_loaded: self.warm_loaded.load(Ordering::Relaxed),
+            replicated_entries: self.replicated.load(Ordering::Relaxed),
+            replica_hits: self.replica_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -242,6 +258,13 @@ impl PlanCache {
                     self.realize(stencil, objective, &canon, &entry.uov, entry.cost, false)
                 {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    let replicated = {
+                        let keys = self.replica_keys.lock().unwrap_or_else(|p| p.into_inner());
+                        keys.contains(&key)
+                    };
+                    if replicated {
+                        self.replica_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     return Ok(Planned {
                         uov,
                         cost,
@@ -351,6 +374,54 @@ impl PlanCache {
             degradation: result.degradation,
             cache: CacheOutcome::Miss,
         })
+    }
+
+    /// Insert a plan pushed by a peer through neighbor replication.
+    ///
+    /// The answer arrives in the *sender's* coordinates; this
+    /// canonicalizes the problem, maps the answer forward, re-derives the
+    /// cost independently, and — crucially — normalizes to the canonical
+    /// lex-minimum via [`lex_min_equivalent`] before inserting. The LRU
+    /// may only ever hold the canonical tie-break: a hit whose request is
+    /// already in canonical axes skips lex repair, so storing anything
+    /// else would break byte-identity with a direct search. Verification
+    /// failure (or hitting the repair enumeration limit) refuses the
+    /// entry and returns `false` — the replica stays cold, never wrong.
+    pub fn insert_replicated(
+        &self,
+        stencil: &Stencil,
+        objective: &ObjectiveSpec,
+        uov: &IVec,
+        cost: u128,
+    ) -> bool {
+        let canon = canonicalize(stencil, objective);
+        let obj = canon.objective.as_objective();
+        let w_canon = map_to_canonical(uov, &canon.perm);
+        if try_cost_of(&obj, &w_canon) != Ok(cost) {
+            return false;
+        }
+        // `‖w‖²` and cone membership are permutation-invariant, so the
+        // mapped answer is optimal in (cost, norm) for the canonical
+        // problem; the sphere scan both verifies UOV-ness and lands on
+        // the canonical lex-min representative.
+        let Some(canon_uov) = lex_min_equivalent(&canon.stencil, &obj, &w_canon, cost) else {
+            return false;
+        };
+        let key = fingerprint(&canon.stencil, &obj);
+        self.lru.insert(
+            key,
+            CachedPlan {
+                vectors: canon.stencil.vectors().to_vec(),
+                objective: canon.objective.clone(),
+                uov: canon_uov,
+                cost,
+            },
+        );
+        let mut keys = self.replica_keys.lock().unwrap_or_else(|p| p.into_inner());
+        keys.insert(key);
+        drop(keys);
+        self.replicated.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Map a canonical-coordinates answer back into the request's
@@ -799,6 +870,118 @@ mod tests {
             Err(WarmCacheError::UnsupportedVersion(9))
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A neighbor-replicated entry rides the `UOVWARM1` snapshot like
+    /// any other plan and is re-validated from first principles on load
+    /// — a tampered copy (re-CRC'd so the section check passes) is
+    /// skipped, never served.
+    #[test]
+    fn replicated_entries_survive_warm_snapshots_and_tampering_is_skipped() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "uov-warm-replica-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let home = PlanCache::new(16);
+        let calls = AtomicUsize::new(0);
+        let solve = counting_solver(&calls);
+        let planned = home
+            .plan(&fig1(), &ObjectiveSpec::ShortestVector, &solve)
+            .unwrap();
+
+        // The replica accepts the pushed copy and persists it.
+        let replica = PlanCache::new(16);
+        assert!(replica.insert_replicated(
+            &fig1(),
+            &ObjectiveSpec::ShortestVector,
+            &planned.uov,
+            planned.cost,
+        ));
+        assert_eq!(replica.save(&path).unwrap(), 1);
+
+        // A restarted replica restores it and serves without solving.
+        let restarted = PlanCache::new(16);
+        assert_eq!(restarted.load(&path).unwrap(), 1);
+        let calls2 = AtomicUsize::new(0);
+        let solve2 = counting_solver(&calls2);
+        let hit = restarted
+            .plan(&fig1(), &ObjectiveSpec::ShortestVector, &solve2)
+            .unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!(calls2.load(Ordering::SeqCst), 0);
+        assert_eq!((hit.uov, &hit.cost), (planned.uov.clone(), &planned.cost));
+
+        // Tamper with the stored cost and re-CRC the section so only the
+        // semantic re-validation can catch it: the entry must be skipped.
+        let mut bytes = std::fs::read(&path).unwrap();
+        // u128 cost is the last entry field, just before the section CRC.
+        let cost_at = bytes.len() - 4 - 16;
+        bytes[cost_at] ^= 0xFF;
+        let body_len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+        let crc = crc32(&bytes[12..12 + 1 + 8 + body_len]);
+        let crc_at = bytes.len() - 4;
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let tampered = PlanCache::new(16);
+        assert_eq!(
+            tampered.load(&path).unwrap(),
+            0,
+            "a tampered entry must be skipped, not restored"
+        );
+        let calls3 = AtomicUsize::new(0);
+        let solve3 = counting_solver(&calls3);
+        let fresh = tampered
+            .plan(&fig1(), &ObjectiveSpec::ShortestVector, &solve3)
+            .unwrap();
+        assert_eq!(fresh.cache, CacheOutcome::Miss, "tampered entry served");
+        assert_eq!(fresh.cost, planned.cost);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replicated_inserts_hit_byte_identically_and_count() {
+        // Push an answer computed in swapped axes; requests in *either*
+        // axis order must then hit and match their own direct search.
+        let a = Stencil::new(vec![ivec![1, 0], ivec![2, 1]]).unwrap();
+        let b = Stencil::new(vec![ivec![0, 1], ivec![1, 2]]).unwrap();
+        let answer_b =
+            find_best_uov(&b, Objective::ShortestVector, &SearchConfig::default()).unwrap();
+
+        let cache = PlanCache::new(16);
+        assert!(cache.insert_replicated(
+            &b,
+            &ObjectiveSpec::ShortestVector,
+            &answer_b.uov,
+            answer_b.cost
+        ));
+        assert_eq!(cache.stats().replicated_entries, 1);
+
+        for s in [&a, &b] {
+            let calls = AtomicUsize::new(0);
+            let solve = counting_solver(&calls);
+            let served = cache
+                .plan(s, &ObjectiveSpec::ShortestVector, &solve)
+                .unwrap();
+            assert_eq!(served.cache, CacheOutcome::Hit);
+            assert_eq!(calls.load(Ordering::SeqCst), 0);
+            let direct =
+                find_best_uov(s, Objective::ShortestVector, &SearchConfig::default()).unwrap();
+            assert_eq!((served.uov, served.cost), (direct.uov, direct.cost));
+        }
+        assert_eq!(cache.stats().replica_hits, 2);
+
+        // A push with a wrong cost is refused, never served.
+        assert!(!cache.insert_replicated(
+            &fig1(),
+            &ObjectiveSpec::ShortestVector,
+            &ivec![1, 1],
+            999
+        ));
+        assert_eq!(cache.stats().replicated_entries, 1);
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub mod kind {
     pub const REQ_WORKUNIT: u8 = 10;
     /// Shard → coordinator: the unit's final state, as `UOVCKPT1` bytes.
     pub const RESP_WORKUNIT: u8 = 11;
+    /// Peer → replica: store a certified plan for a problem whose ring
+    /// home is elsewhere, so a deterministic failover lands on a warm
+    /// hit. The receiver re-certifies before inserting; degraded answers
+    /// never travel in this frame.
+    pub const REQ_REPLICATE: u8 = 12;
+    /// Replica → peer: whether the replicated plan was stored.
+    pub const RESP_REPLICATE: u8 = 13;
 }
 
 /// What the request wants minimised — an owned mirror of
@@ -314,9 +321,11 @@ pub struct BoundGossip {
 impl StatsResponse {
     /// Serialize the stats payload. Fields travel as a count-prefixed
     /// list of `u64`s in declaration order, so an older client can read
-    /// the counters it knows and skip the rest. The gossip rides as two
-    /// trailing fields (fingerprint, cost); a zero fingerprint means "no
-    /// gossip", which an older decoder reading zeros gets for free.
+    /// the counters it knows and skip the rest. The gossip rides as
+    /// fields 20–21 (fingerprint, cost); a zero fingerprint means "no
+    /// gossip", which an older decoder reading zeros gets for free. The
+    /// replication/fencing counters ride after it, so pre-replication
+    /// decoders skip them as unknown trailing fields.
     pub fn encode(&self) -> Vec<u8> {
         let s = &self.server;
         let c = &self.cache;
@@ -347,6 +356,10 @@ impl StatsResponse {
             s.warm_load_version,
             gossip_fp,
             gossip_cost,
+            c.replicated_entries,
+            c.replica_hits,
+            s.stale_epoch_rejections,
+            s.anti_entropy_repairs,
         ];
         let mut e = Encoder::with_capacity(4 + 8 * fields.len());
         e.u32(fields.len() as u32);
@@ -375,7 +388,7 @@ impl StatsResponse {
                 "declared counters exceed the payload".into(),
             ));
         }
-        let mut fields = [0u64; 22];
+        let mut fields = [0u64; 26];
         for (i, slot) in fields.iter_mut().enumerate() {
             if i < n {
                 *slot = d.u64()?;
@@ -411,12 +424,16 @@ impl StatsResponse {
                 workunits: fields[17],
                 warm_load_corrupt: fields[18],
                 warm_load_version: fields[19],
+                stale_epoch_rejections: fields[24],
+                anti_entropy_repairs: fields[25],
             },
             cache: crate::plan_cache::CacheStats {
                 hits: fields[13],
                 misses: fields[14],
                 coalesced: fields[15],
                 warm_loaded: fields[16],
+                replicated_entries: fields[22],
+                replica_hits: fields[23],
             },
             bound,
         })
@@ -770,6 +787,109 @@ impl WorkUnitResponse {
     }
 }
 
+/// A neighbor-replication push (the frame body of a `REQ_REPLICATE`):
+/// the problem in the *sender's* coordinates plus the certified optimal
+/// answer. The receiver canonicalizes, re-derives the canonical lex-min
+/// answer, re-certifies, and only then inserts — a hostile or damaged
+/// push can cost it a search, never a wrong cached plan. Degraded
+/// answers are never replicated (the plan cache refuses them anyway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateRequest {
+    /// The problem's flow-dependence stencil.
+    pub stencil: Stencil,
+    /// What to minimise.
+    pub objective: ObjectiveSpec,
+    /// The certified optimal UOV, in the sender's coordinates.
+    pub uov: IVec,
+    /// Its objective value.
+    pub cost: u128,
+    /// Whether this push is an anti-entropy repair (a re-push after the
+    /// sender observed the replica restart) rather than a first-time
+    /// replication. Changes accounting only, never semantics.
+    pub repair: bool,
+}
+
+impl ReplicateRequest {
+    /// Serialize the replication payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let dim = self.stencil.dim();
+        let mut e = Encoder::with_capacity(32 + 8 * dim * (self.stencil.len() + 3));
+        encode_problem(&mut e, &self.stencil, &self.objective);
+        e.vec(&self.uov);
+        e.u128(self.cost);
+        e.u8(u8::from(self.repair));
+        e.buf
+    }
+
+    /// Decode a `REQ_REPLICATE` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on any semantic violation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let (stencil, objective) = decode_problem(&mut d)?;
+        let uov = d.vec(stencil.dim())?;
+        let cost = d.u128()?;
+        let repair = match d.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(ServiceError::Malformed(format!("bad repair flag {v}"))),
+        };
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed(
+                "trailing bytes in replication".into(),
+            ));
+        }
+        Ok(ReplicateRequest {
+            stencil,
+            objective,
+            uov,
+            cost,
+            repair,
+        })
+    }
+}
+
+/// A replica's answer to a replication push (the frame body of a
+/// `RESP_REPLICATE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicateResponse {
+    /// Whether the entry passed re-certification and was stored. `false`
+    /// is not an error: the replica may refuse (repair-enumeration limit,
+    /// failed verification) and simply stay cold for this problem.
+    pub stored: bool,
+}
+
+impl ReplicateResponse {
+    /// Serialize the replication-response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![u8::from(self.stored)]
+    }
+
+    /// Decode a `RESP_REPLICATE` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on a non-boolean flag or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let stored = match d.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(ServiceError::Malformed(format!("bad stored flag {v}"))),
+        };
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed(
+                "trailing bytes in replication response".into(),
+            ));
+        }
+        Ok(ReplicateResponse { stored })
+    }
+}
+
 impl PlanResponse {
     /// Serialize the response payload (the frame body of a `RESP_PLAN`).
     pub fn encode(&self) -> Vec<u8> {
@@ -933,12 +1053,16 @@ mod tests {
                 workunits: 18,
                 warm_load_corrupt: 19,
                 warm_load_version: 20,
+                stale_epoch_rejections: 25,
+                anti_entropy_repairs: 26,
             },
             cache: crate::plan_cache::CacheStats {
                 hits: 14,
                 misses: 15,
                 coalesced: 16,
                 warm_loaded: 17,
+                replicated_entries: 23,
+                replica_hits: 24,
             },
             bound: Some(BoundGossip {
                 fingerprint: 0xFEED_F00D,
@@ -948,7 +1072,7 @@ mod tests {
         assert_eq!(StatsResponse::decode(&s.encode()).unwrap(), s);
         // A future server appending a counter must not break this build.
         let mut extended = s.encode();
-        extended[0..4].copy_from_slice(&23u32.to_le_bytes());
+        extended[0..4].copy_from_slice(&27u32.to_le_bytes());
         extended.extend_from_slice(&99u64.to_le_bytes());
         assert_eq!(StatsResponse::decode(&extended).unwrap(), s);
         // A hostile count is rejected before any allocation.
@@ -969,6 +1093,48 @@ mod tests {
         assert_eq!(decoded.server.workunits, 0);
         assert_eq!(decoded.bound, None);
         assert_eq!(decoded.cache.warm_loaded, 17);
+        assert_eq!(decoded.cache.replicated_entries, 0);
+        assert_eq!(decoded.server.stale_epoch_rejections, 0);
+    }
+
+    #[test]
+    fn replicate_round_trips() {
+        for repair in [false, true] {
+            let req = ReplicateRequest {
+                stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap(),
+                objective: ObjectiveSpec::ShortestVector,
+                uov: ivec![1, 1],
+                cost: 2,
+                repair,
+            };
+            assert_eq!(ReplicateRequest::decode(&req.encode()).unwrap(), req);
+        }
+        for stored in [false, true] {
+            let resp = ReplicateResponse { stored };
+            assert_eq!(ReplicateResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+        // Non-boolean flags and trailing bytes are typed errors.
+        assert!(matches!(
+            ReplicateResponse::decode(&[7]),
+            Err(ServiceError::Malformed(_))
+        ));
+        assert!(matches!(
+            ReplicateResponse::decode(&[1, 0]),
+            Err(ServiceError::Malformed(_))
+        ));
+        let req = ReplicateRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1]]).unwrap(),
+            objective: ObjectiveSpec::ShortestVector,
+            uov: ivec![1, 1],
+            cost: 2,
+            repair: false,
+        };
+        let mut bytes = req.encode();
+        bytes.push(0);
+        assert!(matches!(
+            ReplicateRequest::decode(&bytes),
+            Err(ServiceError::Malformed(_))
+        ));
     }
 
     #[test]

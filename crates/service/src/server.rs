@@ -13,7 +13,7 @@
 //! flag are answered `ShuttingDown`, and [`ServerHandle::join`] returns
 //! once every worker has exited.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -36,8 +36,8 @@ use crate::error::{ErrorCode, ServiceError};
 use crate::plan_cache::{CacheStats, PlanCache, Planned, WarmCacheError, DEFAULT_CACHE_CAPACITY};
 use crate::proto::{
     kind, read_frame, write_frame, BoundGossip, DegradationCode, ErrorResponse, HealthResponse,
-    ObjectiveSpec, PlanRequest, PlanResponse, StatsResponse, WorkUnitRequest, WorkUnitResponse,
-    FLAG_NO_CACHE,
+    ObjectiveSpec, PlanRequest, PlanResponse, ReplicateRequest, ReplicateResponse, StatsResponse,
+    WorkUnitRequest, WorkUnitResponse, FLAG_NO_CACHE,
 };
 
 /// Tunables for [`serve`].
@@ -124,6 +124,14 @@ pub struct ServerStats {
     /// Warm-cache snapshots refused at startup because a newer server
     /// wrote them — a rollback signature, not disk damage.
     pub warm_load_version: u64,
+    /// Work units rejected because their fencing epoch was superseded by
+    /// a later lease for the same problem (`StaleEpoch`) — zombie or
+    /// replayed completions that must not reach a merge.
+    pub stale_epoch_rejections: u64,
+    /// Replication pushes flagged as anti-entropy repairs that were
+    /// re-certified and stored (a peer healing this replica's cache
+    /// after it restarted).
+    pub anti_entropy_repairs: u64,
 }
 
 #[derive(Default)]
@@ -144,6 +152,8 @@ struct Counters {
     workunits: AtomicU64,
     warm_load_corrupt: AtomicU64,
     warm_load_version: AtomicU64,
+    stale_epoch_rejections: AtomicU64,
+    anti_entropy_repairs: AtomicU64,
 }
 
 impl Counters {
@@ -165,6 +175,8 @@ impl Counters {
             workunits: self.workunits.load(Ordering::Relaxed),
             warm_load_corrupt: self.warm_load_corrupt.load(Ordering::Relaxed),
             warm_load_version: self.warm_load_version.load(Ordering::Relaxed),
+            stale_epoch_rejections: self.stale_epoch_rejections.load(Ordering::Relaxed),
+            anti_entropy_repairs: self.anti_entropy_repairs.load(Ordering::Relaxed),
         }
     }
 
@@ -387,6 +399,12 @@ struct ServerState {
     /// replicas. Staleness is sound: the value is always the cost of a
     /// genuine UOV, so it can only ever *over*-estimate the optimum.
     gossip: Mutex<Option<(u64, u64)>>,
+    /// The highest work-unit fencing epoch seen per problem fingerprint.
+    /// A unit whose snapshot carries a *lower* epoch than the recorded
+    /// fence was superseded by a re-dispatch and is rejected with
+    /// `StaleEpoch` before any work runs; an equal epoch is the same
+    /// lease resent (idempotent) and is allowed.
+    leases: Mutex<HashMap<u64, u64>>,
 }
 
 impl ServerState {
@@ -521,6 +539,26 @@ impl ServerState {
             code: ErrorCode::Malformed,
             msg: format!("work-unit snapshot: {e}"),
         })?;
+        // Lease fencing: a superseded epoch is a zombie or replay and is
+        // rejected before any search runs. Epoch 0 (unleased) bypasses
+        // the fence for single-coordinator callers and old coordinators.
+        let unit_epoch = snap.epoch;
+        if unit_epoch > 0 {
+            let mut leases = self.leases.lock().unwrap_or_else(|p| p.into_inner());
+            let fence = leases.entry(snap.fingerprint).or_insert(0);
+            if unit_epoch < *fence {
+                let fence = *fence;
+                drop(leases);
+                self.stats
+                    .stale_epoch_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ErrorResponse {
+                    code: ErrorCode::StaleEpoch,
+                    msg: format!("work-unit epoch {unit_epoch} superseded by {fence}"),
+                });
+            }
+            *fence = unit_epoch;
+        }
         let mut budget = Budget::unlimited();
         if req.deadline_ms > 0 {
             budget = budget.with_deadline(Duration::from_millis(u64::from(req.deadline_ms)));
@@ -534,7 +572,7 @@ impl ServerState {
             bound_hint: req.bound_hint,
             ..SearchConfig::default()
         };
-        let (result, out) = search_unit(
+        let (result, mut out) = search_unit(
             Some(snap),
             &req.stencil,
             req.objective.as_objective(),
@@ -545,6 +583,9 @@ impl ServerState {
             msg: e.to_string(),
         })?;
         self.update_gossip(out.fingerprint, result.cost);
+        // Echo the lease epoch so the coordinator can discard responses
+        // from leases it has since superseded, even on a late socket.
+        out.epoch = unit_epoch;
         let snapshot = encode_snapshot(&out).map_err(|e| ErrorResponse {
             code: ErrorCode::Internal,
             msg: e.to_string(),
@@ -553,6 +594,45 @@ impl ServerState {
             degradation: DegradationCode::from_exhausted(result.degradation.map(|d| d.reason)),
             snapshot,
         })
+    }
+
+    /// Accept a neighbor-replication push: re-certify the answer against
+    /// the shipped problem, then hand it to the plan cache's validating
+    /// replicated-insert path (which canonicalizes and re-derives the
+    /// canonical lex-min independently). A push that fails certification
+    /// is a protocol-level `Malformed`; a push the cache *refuses*
+    /// (repair-enumeration limit) is a successful `stored: false` — the
+    /// replica stays cold for that problem, never wrong.
+    fn handle_replicate(&self, req: &ReplicateRequest) -> Result<ReplicateResponse, ErrorResponse> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let as_result = SearchResult {
+            uov: req.uov.clone(),
+            cost: req.cost,
+            stats: SearchStats::default(),
+            degradation: None,
+            checkpoint_error: None,
+        };
+        if let Err(e) = certify(&req.stencil, &req.objective.as_objective(), &as_result) {
+            return Err(ErrorResponse {
+                code: ErrorCode::Malformed,
+                msg: format!("replicated plan failed certification: {e}"),
+            });
+        }
+        let stored = self
+            .cache
+            .insert_replicated(&req.stencil, &req.objective, &req.uov, req.cost);
+        if stored {
+            if req.repair {
+                self.stats
+                    .anti_entropy_repairs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.update_gossip(
+                fingerprint(&req.stencil, &req.objective.as_objective()),
+                req.cost,
+            );
+        }
+        Ok(ReplicateResponse { stored })
     }
 }
 
@@ -663,6 +743,46 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState, slot: &WorkerSlot) {
                             }
                         }
                     }
+                    Err(e) => {
+                        state.stats.protocol_error(&e);
+                        let err = ErrorResponse {
+                            code: ErrorCode::Malformed,
+                            msg: e.to_string(),
+                        };
+                        if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(Some((kind::REQ_REPLICATE, payload))) => {
+                idle = 0;
+                if state.shutdown.load(Ordering::SeqCst) {
+                    state
+                        .stats
+                        .rejected_shutdown
+                        .fetch_add(1, Ordering::Relaxed);
+                    let err = ErrorResponse {
+                        code: ErrorCode::ShuttingDown,
+                        msg: "server is draining".into(),
+                    };
+                    let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
+                    break;
+                }
+                match ReplicateRequest::decode(&payload) {
+                    Ok(req) => match state.handle_replicate(&req) {
+                        Ok(resp) => {
+                            if write_frame(stream, kind::RESP_REPLICATE, &resp.encode()).is_err() {
+                                break;
+                            }
+                            state.stats.responses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(err) => {
+                            if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
+                                break;
+                            }
+                        }
+                    },
                     Err(e) => {
                         state.stats.protocol_error(&e);
                         let err = ErrorResponse {
@@ -853,6 +973,7 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
             .collect(),
         started: Instant::now(),
         gossip: Mutex::new(None),
+        leases: Mutex::new(HashMap::new()),
         config,
     });
 
@@ -1155,6 +1276,135 @@ mod tests {
             }
         );
         assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn replicated_entries_store_after_recertification_and_serve_hits() {
+        let server = start();
+        let direct = find_best_uov(
+            &fig1(),
+            ObjectiveSpec::ShortestVector.as_objective(),
+            &SearchConfig::default(),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.endpoint()).unwrap();
+
+        let resp = client
+            .replicate(&ReplicateRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                uov: direct.uov.clone(),
+                cost: direct.cost,
+                repair: false,
+            })
+            .unwrap();
+        assert!(resp.stored);
+
+        // A push whose cost does not re-certify is refused with a typed
+        // error — a lying peer cannot poison this cache.
+        let err = client
+            .replicate(&ReplicateRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                uov: direct.uov.clone(),
+                cost: direct.cost + 7,
+                repair: false,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::Rejected {
+                    code: ErrorCode::Malformed,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        // The replicated entry serves a byte-identical warm hit, and the
+        // hit is attributed to replication.
+        let plan = client
+            .plan(&PlanRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0,
+                flags: 0,
+            })
+            .unwrap();
+        assert_eq!(plan.cache, CacheOutcome::Hit);
+        assert_eq!(plan.uov, direct.uov);
+        assert_eq!(plan.cost, direct.cost);
+
+        // Repair-flagged stores count as anti-entropy repairs.
+        let rep = client
+            .replicate(&ReplicateRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                uov: direct.uov.clone(),
+                cost: direct.cost,
+                repair: true,
+            })
+            .unwrap();
+        assert!(rep.stored);
+
+        let cache = server.cache_stats();
+        assert_eq!(cache.replicated_entries, 2);
+        assert_eq!(cache.replica_hits, 1);
+        server.shutdown();
+        let stats = server.join();
+        assert_eq!(stats.anti_entropy_repairs, 1);
+    }
+
+    #[test]
+    fn stale_work_unit_epochs_are_fenced() {
+        let server = start();
+        let stencil = fig1();
+        let objective = ObjectiveSpec::ShortestVector;
+        // A legal mid-search snapshot produced by the engine itself.
+        let prefix = SearchConfig {
+            budget: Budget::unlimited().with_max_nodes(2),
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let (_, mut snap) = search_unit(None, &stencil, objective.as_objective(), &prefix).unwrap();
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let send = |client: &mut Client, snap: &uov_core::checkpoint::Snapshot| {
+            client.workunit(&WorkUnitRequest {
+                stencil: stencil.clone(),
+                objective: objective.clone(),
+                deadline_ms: 0,
+                node_budget: 4,
+                bound_hint: None,
+                snapshot: encode_snapshot(snap).unwrap(),
+            })
+        };
+
+        snap.epoch = 5;
+        let first = send(&mut client, &snap).unwrap();
+        let out = decode_snapshot(&first.snapshot).unwrap();
+        assert_eq!(out.epoch, 5, "the lease epoch must be echoed");
+
+        // An equal epoch is an idempotent resend of the same lease.
+        send(&mut client, &snap).unwrap();
+
+        // A lower epoch is a superseded lease: fenced with StaleEpoch.
+        snap.epoch = 3;
+        let err = send(&mut client, &snap).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::Rejected {
+                    code: ErrorCode::StaleEpoch,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        server.shutdown();
+        let stats = server.join();
+        assert_eq!(stats.stale_epoch_rejections, 1);
     }
 
     #[cfg(unix)]

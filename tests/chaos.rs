@@ -375,3 +375,84 @@ fn abrupt_kill_does_not_persist_the_cache() {
     );
     set.shutdown_all();
 }
+
+/// Warm cache × replication: an entry a replica accepted over
+/// `REQ_REPLICATE` (re-certified on receipt) survives a graceful drain
+/// in the `UOVWARM1` snapshot, is re-validated from first principles on
+/// restart, and serves a byte-identical first-request `Hit`. Corrupting
+/// the snapshot flips the restart to a *typed* cold start — the damaged
+/// entry is never served, and the server counts the corrupt load.
+#[test]
+fn replicated_entries_survive_a_warm_restart_and_corruption_starts_cold() {
+    let snapshot =
+        std::env::temp_dir().join(format!("uov_chaos_replwarm_{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let config = ServerConfig {
+        warm_cache: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    };
+    let mut set = ReplicaSet::start(1, config).expect("start replica");
+    let endpoint = set.endpoints()[0].clone();
+    let stencil = problems().remove(1);
+    let (uov, cost, hash) = local_truth(&stencil);
+
+    // Push the entry the way a mesh coordinator would: the replica
+    // re-certifies before storing.
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let stored = client
+        .replicate(&uov::service::ReplicateRequest {
+            stencil: stencil.clone(),
+            objective: ObjectiveSpec::ShortestVector,
+            uov: uov.clone(),
+            cost,
+            repair: false,
+        })
+        .expect("replicate");
+    assert!(stored.stored, "a certified entry must be accepted");
+    assert_eq!(client.stats().expect("stats").cache.replicated_entries, 1);
+
+    // Drain → restart: the replicated entry rides the warm snapshot and
+    // serves the first post-restart request as a byte-identical hit.
+    set.drain(0).expect("replica was up");
+    assert!(snapshot.exists(), "drain must persist the warm cache");
+    set.restart(0).expect("restart");
+    let mut client = Client::connect(&endpoint).expect("reconnect");
+    assert!(
+        client.stats().expect("stats").cache.warm_loaded >= 1,
+        "restart must reload the replicated entry"
+    );
+    let warm = client.plan(&request(&stencil)).expect("warm plan");
+    assert_eq!(warm.cache, CacheOutcome::Hit, "replicated entry lost");
+    assert_eq!(warm.uov, uov);
+    assert_eq!(warm.cost, cost);
+    assert_eq!(warm.certificate_hash, hash);
+
+    // Corrupt the snapshot: flip one byte inside the entry section. The
+    // load fails typed (WarmCacheError::Corrupt on the cache layer, the
+    // `warm_load_corrupt` counter on the wire) and the replica starts
+    // cold — it must still answer correctly, from a fresh solve.
+    set.drain(0).expect("replica was up");
+    let mut bytes = std::fs::read(&snapshot).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snapshot, &bytes).expect("write corrupted snapshot");
+    set.restart(0).expect("restart after corruption");
+    let mut client = Client::connect(&endpoint).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.cache.warm_loaded, 0,
+        "a corrupt snapshot must restore nothing"
+    );
+    assert!(
+        stats.server.warm_load_corrupt >= 1,
+        "the corrupt load must be counted: {stats:?}"
+    );
+    let cold = client.plan(&request(&stencil)).expect("cold plan");
+    assert_eq!(cold.cache, CacheOutcome::Miss, "corrupt entry served");
+    assert_eq!(cold.uov, uov);
+    assert_eq!(cold.cost, cost);
+    assert_eq!(cold.certificate_hash, hash);
+
+    set.shutdown_all();
+    let _ = std::fs::remove_file(&snapshot);
+}

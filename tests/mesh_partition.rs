@@ -1,0 +1,309 @@
+//! The partition differential: the mesh must return byte-identical
+//! answers — and stay available — while the home shard is partitioned
+//! away mid-flight and later heals.
+//!
+//! Every replica sits behind a seeded [`ChaosProxy`], whose partition
+//! mode *holds* frames (delayed, ordered, never dropped — TCP
+//! retransmission across a cut link) until healed. Three properties are
+//! pinned per seed, at server search-thread counts 1 and 8:
+//!
+//! 1. **Warm failover** — a certified answer computed on the home shard
+//!    is replicated to its ring successor; with the home partitioned
+//!    away, the failover request is served from the neighbor's replica
+//!    cache, byte-identical, and the hit is attributed to replication
+//!    (`replica_hits ≥ 1` on the real servers).
+//! 2. **Partitioned distributed solve** — an asymmetric partition
+//!    (requests pass, responses held) makes the home execute a work
+//!    unit whose completion surfaces only after heal. The lease fence
+//!    re-dispatches the unit, the late completion is drained and
+//!    discarded by epoch (`stale_epoch_rejections ≥ 1` on the
+//!    coordinator), and the final `(uov, cost, certificate hash)` is
+//!    byte-identical to a direct in-process search.
+//! 3. **Server-side fence** — replaying a work-unit envelope under a
+//!    superseded epoch is rejected with `StaleEpoch` and counted.
+//!
+//! Seeds come from `UOV_CHAOS_SEED`-style env (`UOV_MESH_SEED`) when
+//! set; CI loops a fixed list over this schedule matrix.
+
+use std::time::Duration;
+
+use uov::core::certify::certify;
+use uov::core::checkpoint::encode_snapshot;
+use uov::core::search::{find_best_uov, search_unit, Objective, SearchConfig};
+use uov::core::Budget;
+use uov::isg::{ivec, IVec, Stencil};
+use uov::service::{
+    CacheOutcome, ChaosConfig, ChaosProxy, Client, ErrorCode, MeshClient, MeshConfig, MeshEvent,
+    ObjectiveSpec, PlanRequest, ReplicaSet, ServerConfig, ServiceError, WorkUnitRequest,
+};
+
+/// Hard enough that a 4-node local prefix leaves a real frontier to
+/// distribute, parameterized so different seeds get different homes.
+fn problem(seed: u64) -> Stencil {
+    let k = 2 + (seed % 5) as i64;
+    Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, k]]).expect("valid stencil")
+}
+
+fn local_truth(stencil: &Stencil) -> (IVec, u128, u64) {
+    let result = find_best_uov(stencil, Objective::ShortestVector, &SearchConfig::default())
+        .expect("local search");
+    let cert = certify(stencil, &Objective::ShortestVector, &result).expect("local certification");
+    (result.uov.clone(), result.cost, cert.transcript_hash)
+}
+
+fn request(stencil: &Stencil) -> PlanRequest {
+    PlanRequest {
+        stencil: stencil.clone(),
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    }
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("UOV_MESH_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("UOV_MESH_SEED must be a u64")],
+        Err(_) => vec![7, 1998],
+    }
+}
+
+/// Mesh over the proxy endpoints. A 1 s lease keeps partition stalls
+/// short; `failure_threshold: 1` opens a partitioned shard's breaker
+/// after one lost lease so routed retries fail over immediately.
+fn mesh_config(seed: u64, gossip: bool) -> MeshConfig {
+    MeshConfig {
+        local_prefix_nodes: 4,
+        unit_node_budget: 12,
+        attempt_timeout: Duration::from_secs(1),
+        failure_threshold: 1,
+        seed,
+        gossip,
+        ..MeshConfig::default()
+    }
+}
+
+struct Fabric {
+    set: ReplicaSet,
+    proxies: Vec<ChaosProxy>,
+    proxy_endpoints: Vec<String>,
+}
+
+impl Fabric {
+    /// Three real replicas, each behind a clean (no fault rates) seeded
+    /// chaos proxy; the mesh sees only the proxy endpoints.
+    fn start(seed: u64, search_threads: usize) -> Fabric {
+        let config = ServerConfig {
+            workers: 2,
+            search_threads,
+            ..ServerConfig::default()
+        };
+        let set = ReplicaSet::start(3, config).expect("start replicas");
+        let proxies: Vec<ChaosProxy> = set
+            .endpoints()
+            .iter()
+            .map(|ep| {
+                ChaosProxy::start(
+                    ep,
+                    ChaosConfig {
+                        seed,
+                        ..ChaosConfig::default()
+                    },
+                )
+                .expect("start proxy")
+            })
+            .collect();
+        let proxy_endpoints = proxies.iter().map(|p| p.endpoint().to_string()).collect();
+        Fabric {
+            set,
+            proxies,
+            proxy_endpoints,
+        }
+    }
+
+    /// Sum a counter over the *real* servers (stats queried off-proxy,
+    /// so a partition cannot hide them).
+    fn sum_real_stats(&self, pick: impl Fn(&uov::service::StatsResponse) -> u64) -> u64 {
+        self.set
+            .endpoints()
+            .iter()
+            .map(|ep| {
+                let mut c = Client::connect(ep).expect("connect real endpoint");
+                pick(&c.stats().expect("stats"))
+            })
+            .sum()
+    }
+}
+
+/// Phase 1: replication warms the ring successor; a symmetric partition
+/// of the home shard forces the failover request onto the neighbor,
+/// which serves the byte-identical answer from its replicated cache.
+fn run_warm_failover(fabric: &Fabric, seed: u64) {
+    let stencil = problem(seed);
+    let (uov, cost, hash) = local_truth(&stencil);
+    let req = request(&stencil);
+    let mut mesh = MeshClient::new(&fabric.proxy_endpoints, mesh_config(seed, true)).expect("mesh");
+    let home = mesh.ring().route(MeshClient::routing_key(&req));
+
+    // Cold plan: computed on the home shard, replicated to its successor.
+    let cold = mesh.plan(&req).expect("cold plan");
+    assert_eq!(cold.uov, uov, "seed {seed}: cold UOV diverged");
+    assert_eq!(cold.cost, cost, "seed {seed}: cold cost diverged");
+    assert_eq!(
+        cold.certificate_hash, hash,
+        "seed {seed}: cold hash diverged"
+    );
+    assert!(
+        mesh.stats().replicas_pushed >= 1,
+        "seed {seed}: nothing was replicated: {:?}",
+        mesh.stats()
+    );
+
+    // Partition the home away; the failover must land on a warm,
+    // certified replica hit — not a cold solve, not a degraded answer.
+    fabric.proxies[home].partition_symmetric();
+    let warm = mesh
+        .plan(&req)
+        .expect("mesh must stay available under partition");
+    fabric.proxies[home].heal();
+    assert_eq!(
+        warm.cache,
+        CacheOutcome::Hit,
+        "seed {seed}: failover missed"
+    );
+    assert_eq!(warm.uov, uov, "seed {seed}: failover UOV diverged");
+    assert_eq!(warm.cost, cost, "seed {seed}: failover cost diverged");
+    assert_eq!(
+        warm.certificate_hash, hash,
+        "seed {seed}: failover hash diverged"
+    );
+    assert!(
+        mesh.stats().failovers >= 1,
+        "seed {seed}: the partition caused no failover: {:?}",
+        mesh.stats()
+    );
+    assert!(
+        fabric.sum_real_stats(|s| s.cache.replica_hits) >= 1,
+        "seed {seed}: the failover hit was not served from a replicated entry"
+    );
+    assert!(
+        fabric.sum_real_stats(|s| s.cache.replicated_entries) >= 1,
+        "seed {seed}: no server stored a replicated entry"
+    );
+}
+
+/// Phase 2: distributed solve with the home shard behind an asymmetric
+/// partition (requests pass, responses held) from round 0, healed at
+/// round 1. The held completion surfaces post-heal as a stale-epoch
+/// frame; the answer stays byte-identical to the direct search.
+fn run_partitioned_distributed(fabric: &Fabric, seed: u64) {
+    let stencil = problem(seed + 1);
+    let (uov, cost, hash) = local_truth(&stencil);
+    let req = request(&stencil);
+    let mut mesh =
+        MeshClient::new(&fabric.proxy_endpoints, mesh_config(seed, false)).expect("mesh");
+    let home = mesh.ring().route(MeshClient::routing_key(&req));
+
+    let proxies = &fabric.proxies;
+    let resp = mesh
+        .plan_distributed_hooked(&req, &mut |round| match round {
+            0 => proxies[home].partition_asymmetric(false, true),
+            1 => proxies[home].heal(),
+            _ => {}
+        })
+        .expect("distributed search must survive the partition");
+    // Belt and braces: never leave the fabric partitioned.
+    proxies[home].heal();
+
+    assert_eq!(resp.uov, uov, "seed {seed}: distributed UOV diverged");
+    assert_eq!(resp.cost, cost, "seed {seed}: distributed cost diverged");
+    assert_eq!(
+        resp.certificate_hash, hash,
+        "seed {seed}: distributed certificate hash diverged"
+    );
+    let stats = mesh.stats();
+    assert!(
+        stats.redispatches >= 1,
+        "seed {seed}: the partition caused no re-dispatch: {stats:?}"
+    );
+    assert!(
+        stats.stale_epoch_rejections >= 1,
+        "seed {seed}: the healed partition surfaced no stale completion: {stats:?}"
+    );
+    let events = mesh.take_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, MeshEvent::StaleCompletionDiscarded { .. })),
+        "seed {seed}: no stale-completion event was logged"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, MeshEvent::RoundMerged { round, .. } if *round >= 1)),
+        "seed {seed}: search finished in one round — budgets too large for the schedule"
+    );
+}
+
+/// Phase 3: the server-side fence. Replay a work-unit envelope under a
+/// superseded epoch straight at a real replica: rejected, typed, counted.
+fn run_stale_replay(fabric: &Fabric, seed: u64) {
+    let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![2, 3]]).expect("valid stencil");
+    let prefix = SearchConfig {
+        budget: Budget::unlimited().with_max_nodes(2),
+        threads: 1,
+        ..SearchConfig::default()
+    };
+    let (_, mut snap) =
+        search_unit(None, &stencil, Objective::ShortestVector, &prefix).expect("prefix search");
+    let mut raw = Client::connect(&fabric.set.endpoints()[0]).expect("connect real endpoint");
+    let mk = |snap: &uov::core::checkpoint::Snapshot| WorkUnitRequest {
+        stencil: stencil.clone(),
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        node_budget: 8,
+        bound_hint: None,
+        snapshot: encode_snapshot(snap).expect("encode"),
+    };
+
+    snap.epoch = 9_000_005;
+    raw.workunit(&mk(&snap)).expect("fresh lease accepted");
+    snap.epoch = 9_000_003;
+    let err = raw
+        .workunit(&mk(&snap))
+        .expect_err("superseded lease must be fenced");
+    assert!(
+        matches!(
+            err,
+            ServiceError::Rejected {
+                code: ErrorCode::StaleEpoch,
+                ..
+            }
+        ),
+        "seed {seed}: wrong rejection for a superseded lease: {err:?}"
+    );
+    assert!(
+        fabric.sum_real_stats(|s| s.server.stale_epoch_rejections) >= 1,
+        "seed {seed}: the fence fired but was not counted"
+    );
+}
+
+/// The acceptance matrix: every seed, at server search-thread counts 1
+/// and 8, runs the full partition schedule — warm failover from a
+/// neighbor replica, a partitioned-and-healed distributed solve, and a
+/// stale-epoch replay — with byte-identity and availability throughout.
+#[test]
+fn mesh_survives_partition_and_heal_byte_identically() {
+    for seed in seeds() {
+        for threads in [1usize, 8] {
+            let fabric = Fabric::start(seed, threads);
+            run_warm_failover(&fabric, seed);
+            run_partitioned_distributed(&fabric, seed);
+            run_stale_replay(&fabric, seed);
+            let Fabric { set, proxies, .. } = fabric;
+            for p in proxies {
+                p.stop();
+            }
+            set.shutdown_all();
+        }
+    }
+}
