@@ -1,0 +1,246 @@
+//! The PR-9 experiment: generated-code autotuning and the
+//! `BENCH_pr9.json` artifact.
+//!
+//! Runs the `uov-codegen` tile-size autotuner on the deep8 zoo kernel
+//! with its UOV `(8,0)` mapping: every `(t0, t1)` candidate is ranked on
+//! the scaled-down memsim proxy, the top K are compiled (`rustc`,
+//! out-of-process, hard timeouts) and wall-clock timed against the
+//! *untiled UOV-mapped* baseline — the paper's §5 claim, on real silicon,
+//! from generated source.
+//!
+//! deep8 is the zoo's bandwidth-bound entry: schedule independence costs
+//! eight live rows, so at [`Scale::Full`] the mapped buffer (`8·L`
+//! doubles, ~256 MB) far exceeds the last-level cache and the untiled
+//! sweep re-streams all of it every time step, while a time-tiled band
+//! keeps its window resident across the tile's rows — which is where
+//! tiling's wall-clock win comes from. The
+//! artifact carries `"scale"`/`"build"` markers like every `BENCH_*.json`
+//! before it and is only written at full scale, so quick/debug runs can
+//! never clobber a full/release measurement; `bench-check` additionally
+//! fails any artifact that reports a `tiled_speedup` from a non-full,
+//! non-release run.
+
+use uov_codegen::{autotune, AutotuneConfig, AutotuneReport, CandidateStatus};
+use uov_kernels::zoo;
+use uov_storage::{Layout, OvMap};
+
+use crate::report::Table;
+use crate::Scale;
+
+use super::perf::build_marker;
+
+/// Run the autotune experiment and (at full scale, in release builds)
+/// write `BENCH_pr9.json`.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let (entry, cfg) = match scale {
+        // Quick: a few thousand points, unoptimised candidate builds —
+        // exercises the whole ladder in seconds.
+        Scale::Quick => (
+            zoo::deep8(6, 2048),
+            AutotuneConfig {
+                tiles0: vec![2, 4],
+                tiles1: vec![64, 256],
+                top_k: 2,
+                seed: 42,
+                reps: 1,
+                optimize: false,
+                ..AutotuneConfig::default()
+            },
+        ),
+        // Full: T=32 time steps over L=2^22 elements. The UOV (8,0)
+        // mapped buffer is 8·L doubles (~256 MB) — far beyond any LLC —
+        // so the untiled baseline re-streams it 32 times while a tiled
+        // band's window stays cache-resident across the band's rows.
+        Scale::Full => (
+            zoo::deep8(32, 1 << 22),
+            AutotuneConfig {
+                tiles0: vec![8, 16, 32],
+                tiles1: vec![1 << 11, 1 << 13, 1 << 15],
+                top_k: 3,
+                seed: 42,
+                reps: 3,
+                optimize: true,
+                ..AutotuneConfig::default()
+            },
+        ),
+    };
+    let maps = entry.maps(Layout::Interleaved);
+    let map_refs: Vec<Option<&OvMap>> = maps.iter().map(|m| m.as_ref()).collect();
+
+    let report = match autotune(entry.name, &entry.nest, &map_refs, entry.skew_f, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            let mut t = Table::new("autotune — failed", vec!["error".into()]);
+            t.push(vec![e.to_string()]);
+            return vec![t];
+        }
+    };
+
+    let mut cand = Table::new(
+        format!(
+            "autotune — {} (skew f={}, seed {}), memsim rank order",
+            report.kernel, report.skew_f, report.seed
+        ),
+        vec![
+            "tile (u×v)".into(),
+            "memsim cycles (proxy)".into(),
+            "wall-clock ns".into(),
+            "status".into(),
+        ],
+    );
+    for c in &report.candidates {
+        cand.push(vec![
+            format!("{}x{}", c.tile[0], c.tile[1]),
+            format!("{}", c.memsim_cycles),
+            c.wall_ns.map_or("-".into(), |ns| format!("{ns}")),
+            status_label(&c.status),
+        ]);
+    }
+
+    let mut summary = Table::new(
+        "autotune — tiled vs untiled UOV-mapped (generated, compiled code)",
+        vec![
+            "baseline (untiled) ns".into(),
+            "best tile".into(),
+            "best ns".into(),
+            "speedup".into(),
+        ],
+    );
+    match (report.baseline_wall_ns, report.best, report.best_speedup()) {
+        (Some(base), Some(bi), Some(s)) => {
+            let b = &report.candidates[bi];
+            summary.push(vec![
+                format!("{base}"),
+                format!("{}x{}", b.tile[0], b.tile[1]),
+                b.wall_ns.map_or("-".into(), |ns| format!("{ns}")),
+                format!("{s:.2}x"),
+            ]);
+        }
+        _ => summary.push(vec![
+            report
+                .degraded
+                .as_ref()
+                .map_or("unavailable".into(), |d| format!("degraded: {d:?}")),
+            "-".into(),
+            "-".into(),
+            "- (memsim ranking only)".into(),
+        ]),
+    }
+
+    let mut wrote = Table::new(
+        "autotune — BENCH_pr9.json",
+        vec!["path".into(), "ok".into()],
+    );
+    match scale {
+        // Quick runs must never clobber the committed full-scale artifact.
+        Scale::Quick => wrote.push(vec!["(skipped at quick scale)".into(), "true".into()]),
+        Scale::Full => {
+            let json = render_json(&report);
+            let path = super::perf::repo_root_dir().join("BENCH_pr9.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => wrote.push(vec![path.display().to_string(), "true".into()]),
+                Err(e) => wrote.push(vec![path.display().to_string(), format!("error: {e}")]),
+            }
+        }
+    }
+
+    vec![cand, summary, wrote]
+}
+
+fn status_label(s: &CandidateStatus) -> String {
+    match s {
+        CandidateStatus::Ranked => "ranked".into(),
+        CandidateStatus::Timed => "timed".into(),
+        CandidateStatus::CompileFailed(why) => format!("compile failed: {why}"),
+        CandidateStatus::RunFailed(why) => format!("run failed: {why}"),
+        CandidateStatus::TimedOut => "timed out".into(),
+    }
+}
+
+/// Hand-rolled JSON with a fixed key order, like every `BENCH_*.json`
+/// before it. The `"scale"`/`"build"` markers come first so the
+/// `bench-check` classifier reads them without a JSON parser.
+fn render_json(report: &AutotuneReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 9,\n");
+    s.push_str("  \"experiment\": \"autotune\",\n");
+    s.push_str("  \"scale\": \"full\",\n");
+    s.push_str(&format!("  \"build\": \"{}\",\n", build_marker()));
+    s.push_str(&format!("  \"kernel\": \"{}\",\n", report.kernel));
+    s.push_str(&format!("  \"seed\": {},\n", report.seed));
+    s.push_str(&format!("  \"skew_f\": {},\n", report.skew_f));
+    if let Some(base) = report.baseline_wall_ns {
+        s.push_str(&format!("  \"baseline_wall_ns\": {base},\n"));
+    }
+    if let (Some(bi), Some(speedup)) = (report.best, report.best_speedup()) {
+        let b = &report.candidates[bi];
+        s.push_str(&format!(
+            "  \"best_tile\": \"{}x{}\",\n",
+            b.tile[0], b.tile[1]
+        ));
+        if let Some(ns) = b.wall_ns {
+            s.push_str(&format!("  \"best_wall_ns\": {ns},\n"));
+        }
+        s.push_str(&format!("  \"tiled_speedup\": {speedup:.4},\n"));
+    }
+    s.push_str("  \"candidates\": [\n");
+    for (i, c) in report.candidates.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"tile\": \"{}x{}\", \"memsim_cycles\": {}, \"wall_ns\": {}, \"status\": \"{}\"}}{}\n",
+            c.tile[0],
+            c.tile[1],
+            c.memsim_cycles,
+            c.wall_ns.map_or("null".to_string(), |ns| ns.to_string()),
+            status_label(&c.status).replace('"', "'"),
+            if i + 1 < report.candidates.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_codegen::CandidateReport;
+
+    #[test]
+    fn json_carries_markers_and_speedup() {
+        let report = AutotuneReport {
+            kernel: "stencil5".into(),
+            seed: 42,
+            skew_f: 2,
+            baseline_wall_ns: Some(3_000),
+            candidates: vec![CandidateReport {
+                tile: [8, 4096],
+                memsim_cycles: 123,
+                wall_ns: Some(2_000),
+                status: CandidateStatus::Timed,
+            }],
+            best: Some(0),
+            degraded: None,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"scale\": \"full\""));
+        assert!(json.contains("\"build\": "));
+        assert!(json.contains("\"tiled_speedup\": 1.5000"));
+        assert!(json.contains("\"best_tile\": \"8x4096\""));
+    }
+
+    #[test]
+    fn degraded_report_renders_without_speedup() {
+        let report = AutotuneReport {
+            kernel: "stencil5".into(),
+            seed: 42,
+            skew_f: 2,
+            baseline_wall_ns: None,
+            candidates: vec![],
+            best: None,
+            degraded: None,
+        };
+        let json = render_json(&report);
+        assert!(!json.contains("tiled_speedup"));
+        assert!(json.contains("\"candidates\": ["));
+    }
+}

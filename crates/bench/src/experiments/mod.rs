@@ -1,6 +1,7 @@
 //! One module per experiment family.
 
 pub mod ablation;
+pub mod autotune;
 pub mod baseline;
 pub mod chaos;
 pub mod extension;
@@ -43,6 +44,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "mesh" => mesh::all(scale),
         "partition" => mesh::partition(scale),
         "perf" => perf::all(scale),
+        "autotune" => autotune::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -78,6 +80,7 @@ pub fn all_names() -> Vec<&'static str> {
         "service",
         "chaos",
         "mesh",
+        "autotune",
         "partition",
         "perf",
         "jacobi",

@@ -33,6 +33,10 @@ use super::mesh;
 const MAX_REGRESSION: f64 = 0.20;
 
 /// The repository root, where every `BENCH_pr*.json` artifact lives.
+pub(crate) fn repo_root_dir() -> PathBuf {
+    repo_root()
+}
+
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -147,6 +151,23 @@ pub fn bench_check_in(root: &Path) -> (Table, bool) {
         };
         let class = artifact_class(&text);
         let class_label = format!("{}/{}", class.0, class.1);
+        // Artifacts reporting a generated-code tiled speedup (PR 9's
+        // autotune) are only meaningful from full-scale release runs —
+        // a quick/debug measurement must fail the gate, not pollute the
+        // trajectory.
+        if extract_f64(&text, "tiled_speedup").is_some()
+            && class != ("full".to_string(), "release".to_string())
+        {
+            t.push(vec![
+                format!("BENCH_pr{pr}.json"),
+                class_label.clone(),
+                "-".into(),
+                "-".into(),
+                "FAIL (tiled_speedup from non-full/release run)".into(),
+            ]);
+            ok = false;
+            continue;
+        }
         let Some(rate) = extract_f64(&text, "nodes_per_sec") else {
             // Not every artifact measures search throughput (the
             // partition-availability artifact doesn't): report, don't

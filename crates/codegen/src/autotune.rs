@@ -1,0 +1,538 @@
+//! Tile-size autotuning: memsim-ranked candidate enumeration with
+//! wall-clock timing of the top K.
+//!
+//! The tuner never guesses blindly and never dies loudly. Every legal
+//! `(t0, t1)` candidate is first *ranked* by replaying its access stream
+//! through a deliberately small [`uov_memsim::Machine`] over a scaled-down
+//! proxy domain — cheap, deterministic, and toolchain-free. Only the top K
+//! by simulated cycles are then emitted, compiled out-of-process, and
+//! wall-clock timed against the untiled baseline. Each rung of the ladder
+//! degrades independently:
+//!
+//! * no `rustc` on the machine → the report still ranks every candidate by
+//!   memsim cycles and says so via [`AutotuneReport::degraded`];
+//! * one candidate fails to compile, crashes, or hangs → that candidate is
+//!   marked ([`CandidateStatus`]) and tuning continues;
+//! * a timed candidate whose schedule-invariant checksum disagrees with
+//!   the baseline is *disqualified*, not trusted.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use uov_isg::{IVec, RectDomain};
+use uov_loopir::emit::MappedIndex;
+use uov_loopir::LoopNest;
+use uov_memsim::{CacheConfig, Machine, MachineConfig, TlbConfig};
+use uov_schedule::LoopSchedule;
+use uov_storage::OvMap;
+
+use crate::compile::{compile_rust, find_tool, run_kernel};
+use crate::error::CodegenError;
+use crate::kernel::{GenSchedule, KernelSpec};
+use crate::rust_src::emit_rust;
+
+/// Knobs for one [`autotune`] run. [`AutotuneConfig::default`] gives a
+/// search suitable for the kernel zoo.
+#[derive(Debug, Clone)]
+pub struct AutotuneConfig {
+    /// Candidate tile extents along the outer (`u = i`) axis.
+    pub tiles0: Vec<i64>,
+    /// Candidate tile extents along the inner (`v = f·i + j`) axis.
+    pub tiles1: Vec<i64>,
+    /// How many memsim-ranked candidates to compile and wall-clock time.
+    pub top_k: usize,
+    /// Input seed passed to every generated binary.
+    pub seed: u64,
+    /// Repetitions per timed run (total time is reported; more reps damp
+    /// scheduler noise).
+    pub reps: u32,
+    /// Explicit `rustc` path; `None` searches `PATH`. Pointing this at a
+    /// nonexistent file forces the memsim-only degradation path (used by
+    /// fault-injection tests).
+    pub rustc: Option<PathBuf>,
+    /// Wall-clock allowance per compile.
+    pub compile_timeout: Duration,
+    /// Wall-clock allowance per kernel run.
+    pub run_timeout: Duration,
+    /// Where to write sources and binaries; a per-process temp dir when
+    /// `None`.
+    pub work_dir: Option<PathBuf>,
+    /// Per-axis caps on the proxy domain used for memsim ranking.
+    pub proxy_extent: [i64; 2],
+    /// Build candidates with optimisation (`-C opt-level=3`).
+    pub optimize: bool,
+    /// Extra provenance lines stamped into every emitted source.
+    pub provenance: Vec<String>,
+}
+
+impl Default for AutotuneConfig {
+    fn default() -> Self {
+        AutotuneConfig {
+            tiles0: vec![4, 8, 16, 32],
+            tiles1: vec![64, 256, 1024, 4096],
+            top_k: 3,
+            seed: 1,
+            reps: 1,
+            rustc: None,
+            compile_timeout: Duration::from_secs(60),
+            run_timeout: Duration::from_secs(120),
+            work_dir: None,
+            proxy_extent: [16, 2048],
+            optimize: true,
+            provenance: Vec::new(),
+        }
+    }
+}
+
+/// What happened to one candidate as it climbed the ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateStatus {
+    /// Ranked by memsim only (below the top-K cut, or toolchain missing).
+    Ranked,
+    /// Compiled, ran, checksum matched the baseline; `wall_ns` is valid.
+    Timed,
+    /// The compiler rejected the generated source.
+    CompileFailed(String),
+    /// The binary crashed, exited nonzero, or produced a checksum that
+    /// disagrees with the untiled baseline.
+    RunFailed(String),
+    /// The compile or run exceeded its allowance and was killed.
+    TimedOut,
+}
+
+/// One candidate's full record.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Tile extents `(t0, t1)` along the transformed `(u, v)` axes.
+    pub tile: [i64; 2],
+    /// Simulated cycles over the proxy domain (the ranking key).
+    pub memsim_cycles: u64,
+    /// Measured wall-clock nanoseconds for `reps` repetitions, when timed.
+    pub wall_ns: Option<u128>,
+    /// Ladder outcome.
+    pub status: CandidateStatus,
+}
+
+/// Why the tuner fell back to memsim-only ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// No usable compiler; the inner string names what was searched for.
+    ToolchainMissing(String),
+}
+
+/// The deterministic result of one [`autotune`] run.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Input seed used for every run.
+    pub seed: u64,
+    /// Skew factor the tiling was legalised with.
+    pub skew_f: i64,
+    /// Wall-clock of the untiled (lexicographic) build, when compiled.
+    pub baseline_wall_ns: Option<u128>,
+    /// All candidates in memsim rank order (best simulated first).
+    pub candidates: Vec<CandidateReport>,
+    /// Index into `candidates` of the fastest *timed* candidate.
+    pub best: Option<usize>,
+    /// Set when wall-clock timing was skipped entirely.
+    pub degraded: Option<DegradeReason>,
+}
+
+impl AutotuneReport {
+    /// Baseline wall-clock divided by the best timed candidate's, when
+    /// both exist. `> 1.0` means tiling won.
+    pub fn best_speedup(&self) -> Option<f64> {
+        let base = self.baseline_wall_ns?;
+        let best = self.candidates.get(self.best?)?.wall_ns?;
+        if best == 0 {
+            return None;
+        }
+        Some(base as f64 / best as f64)
+    }
+}
+
+/// The deliberately small machine the ranking pass simulates. Full-size
+/// cache configs would make every proxy-scale working set resident and
+/// rank all tiles equal; this one keeps capacity effects visible at
+/// [`AutotuneConfig::proxy_extent`] scale.
+fn proxy_machine() -> Machine {
+    Machine::new(MachineConfig {
+        name: "autotune proxy (sim)".into(),
+        l1: CacheConfig {
+            size_bytes: 1 << 10,
+            line_bytes: 32,
+            assoc: 2,
+            hit_cycles: 1,
+        },
+        l2: Some(CacheConfig {
+            size_bytes: 8 << 10,
+            line_bytes: 32,
+            assoc: 4,
+            hit_cycles: 8,
+        }),
+        tlb: TlbConfig {
+            entries: 8,
+            page_bytes: 1 << 10,
+            assoc: 8,
+            miss_cycles: 30,
+        },
+        mem_cycles: 100,
+        mem_capacity_bytes: 1 << 30,
+        disk_cycles: 1_000_000,
+        minor_fault_cycles: 300,
+        alu_cycles: 1,
+        branch_cycles: 2,
+    })
+}
+
+/// Evaluate a lowered buffer index at a concrete iteration point.
+fn eval_index(idx: &MappedIndex, q: &IVec) -> i64 {
+    match idx {
+        MappedIndex::Affine(e) => e.eval(q),
+        MappedIndex::Mod {
+            base,
+            position,
+            g,
+            scale,
+        } => base.eval(q) + position.eval(q).rem_euclid(*g) * scale,
+    }
+}
+
+/// Build the scaled-down twin of `nest` used for ranking: same statements
+/// and arrays, domain clamped to `proxy_extent` per axis.
+fn proxy_nest(nest: &LoopNest, proxy_extent: [i64; 2]) -> Result<LoopNest, CodegenError> {
+    let dom = nest.domain();
+    let lo = dom.lo().clone();
+    let hi: IVec = (0..2)
+        .map(|k| dom.hi()[k].min(lo[k] + proxy_extent[k].max(1) - 1))
+        .collect();
+    LoopNest::new(
+        RectDomain::new(lo, hi),
+        nest.arrays().to_vec(),
+        nest.stmts().to_vec(),
+    )
+    .map_err(|e| CodegenError::BadOutput(format!("proxy nest construction failed: {e}")))
+}
+
+/// Replay one candidate schedule's access stream through the proxy
+/// machine and return the simulated cycle count.
+fn rank_candidate(spec: &KernelSpec, f: i64, tile: [i64; 2]) -> u64 {
+    let mut machine = proxy_machine();
+    // Per-statement buffer base addresses, page-spaced so distinct
+    // buffers never alias in cache sets by accident of adjacency.
+    let mut bases = Vec::with_capacity(spec.storage().len());
+    let mut next: u64 = 1 << 12;
+    for st in spec.storage() {
+        bases.push(next);
+        let bytes = (st.cells as u64).saturating_mul(8);
+        next += bytes.div_ceil(1 << 12).saturating_add(1) << 12;
+    }
+    let boxes: Vec<(IVec, IVec)> = (0..spec.storage().len())
+        .map(|s| spec.written_box(s))
+        .collect();
+    let order = LoopSchedule::skewed_tiled_2d(f, tile.to_vec()).order(spec.nest().domain());
+    for q in &order {
+        for (s, stmt) in spec.nest().stmts().iter().enumerate() {
+            for (array, subscript) in stmt.rhs.reads() {
+                let elem: IVec = subscript.iter().map(|e| e.eval(q)).collect();
+                match spec.writer_of(array) {
+                    Some(ws)
+                        if (0..2)
+                            .all(|k| elem[k] >= boxes[ws].0[k] && elem[k] <= boxes[ws].1[k]) =>
+                    {
+                        let addr = eval_index(&spec.index_expr(ws, subscript), q);
+                        machine.read(bases[ws].wrapping_add((addr as u64).wrapping_mul(8)));
+                    }
+                    // Imported input: generated inline by hashing, no
+                    // memory traffic — charge the hash arithmetic.
+                    _ => machine.alu(4),
+                }
+            }
+            let addr = eval_index(&spec.index_expr(s, &stmt.subscript), q);
+            machine.write(bases[s].wrapping_add((addr as u64).wrapping_mul(8)));
+            machine.alu(2);
+        }
+        machine.branch(1);
+    }
+    machine.cycles()
+}
+
+/// Enumerate, rank, and time tile sizes for `nest` under the skew `f`.
+///
+/// `maps[s]` folds statement `s`'s array through a UOV mapping exactly as
+/// in [`KernelSpec::new`]. All generated programs run with capture off —
+/// capture arrays have the natural footprint and would defeat the mapping
+/// being measured.
+///
+/// # Errors
+///
+/// Spec construction errors ([`CodegenError::UnsupportedDepth`] and
+/// friends) and I/O failures preparing the work directory. A missing
+/// toolchain is *not* an error: the report comes back memsim-ranked with
+/// [`AutotuneReport::degraded`] set. Per-candidate compile/run failures
+/// are recorded in that candidate's [`CandidateStatus`].
+pub fn autotune(
+    name: &str,
+    nest: &LoopNest,
+    maps: &[Option<&OvMap>],
+    f: i64,
+    cfg: &AutotuneConfig,
+) -> Result<AutotuneReport, CodegenError> {
+    // Validate shape once up front (depth, arity, lowering).
+    let base = KernelSpec::new(name, nest, maps, GenSchedule::Lex)?
+        .with_capture(false)
+        .with_provenance(cfg.provenance.clone());
+
+    // Rank every candidate on the proxy twin. Candidate tiles are scaled
+    // onto the proxy domain by the per-axis shrink ratio (in the skewed
+    // `(u, v) = (i, f·i + j)` coordinates): a tile that covers a quarter
+    // of the real `v` extent covers a quarter of the proxy's. Without
+    // this, tiles larger than the proxy extent all collapse to the same
+    // proxy iteration order and rank identically.
+    let pnest = proxy_nest(nest, cfg.proxy_extent)?;
+    let pmaps: Vec<Option<OvMap>> = maps
+        .iter()
+        .map(|m| m.map(|m| OvMap::new(pnest.domain(), m.ov().clone(), m.layout())))
+        .collect();
+    let pmap_refs: Vec<Option<&OvMap>> = pmaps.iter().map(|m| m.as_ref()).collect();
+    let skewed_extents = |n: &LoopNest| -> [i64; 2] {
+        let d = n.domain();
+        let e0 = d.hi()[0] - d.lo()[0] + 1;
+        let e1 = d.hi()[1] - d.lo()[1] + 1;
+        [e0, f.abs() * (e0 - 1) + e1]
+    };
+    let rext = skewed_extents(nest);
+    let pext = skewed_extents(&pnest);
+    let scale_tile = |tile: [i64; 2]| -> [i64; 2] {
+        let mut out = [0i64; 2];
+        for k in 0..2 {
+            out[k] = if rext[k] <= pext[k] {
+                tile[k]
+            } else {
+                ((tile[k] * pext[k]) / rext[k]).max(1)
+            };
+        }
+        out
+    };
+    let mut candidates = Vec::new();
+    for &t0 in &cfg.tiles0 {
+        for &t1 in &cfg.tiles1 {
+            let tile = [t0, t1];
+            let ptile = scale_tile(tile);
+            let pspec = KernelSpec::new(
+                name,
+                &pnest,
+                &pmap_refs,
+                GenSchedule::SkewTiled { f, tile: ptile },
+            )?;
+            candidates.push(CandidateReport {
+                tile,
+                memsim_cycles: rank_candidate(&pspec, f, ptile),
+                wall_ns: None,
+                status: CandidateStatus::Ranked,
+            });
+        }
+    }
+    candidates.sort_by_key(|c| (c.memsim_cycles, c.tile));
+
+    let mut report = AutotuneReport {
+        kernel: name.to_string(),
+        seed: cfg.seed,
+        skew_f: f,
+        baseline_wall_ns: None,
+        candidates,
+        best: None,
+        degraded: None,
+    };
+
+    // Rung two: wall-clock the top K, if a compiler exists at all.
+    let rustc = match find_tool("rustc", cfg.rustc.as_deref()) {
+        Ok(p) => p,
+        Err(CodegenError::ToolchainMissing { tool }) => {
+            report.degraded = Some(DegradeReason::ToolchainMissing(tool));
+            return Ok(report);
+        }
+        Err(e) => return Err(e),
+    };
+    let dir = match &cfg.work_dir {
+        Some(d) => d.clone(),
+        None => std::env::temp_dir().join(format!("uov-autotune-{}-{}", name, std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).map_err(|source| CodegenError::Io {
+        what: format!("creating work dir {}", dir.display()),
+        source,
+    })?;
+
+    // Baseline: untiled, same storage. If even this fails, the whole
+    // timing rung is unusable — report it as a degradation-free error.
+    let base_src = dir.join("baseline.rs");
+    let base_bin = dir.join("baseline");
+    std::fs::write(&base_src, emit_rust(&base)).map_err(|source| CodegenError::Io {
+        what: format!("writing {}", base_src.display()),
+        source,
+    })?;
+    compile_rust(
+        &rustc,
+        &base_src,
+        &base_bin,
+        cfg.optimize,
+        cfg.compile_timeout,
+    )?;
+    let base_run = run_kernel(&base_bin, cfg.seed, cfg.reps, false, cfg.run_timeout)?;
+    report.baseline_wall_ns = Some(base_run.time_ns);
+
+    let k = cfg.top_k.min(report.candidates.len());
+    for idx in 0..k {
+        let tile = report.candidates[idx].tile;
+        let mut spec = base.clone();
+        spec.schedule = GenSchedule::SkewTiled { f, tile };
+        let stem = format!("tile_{}x{}", tile[0], tile[1]);
+        let src_path = dir.join(format!("{stem}.rs"));
+        let bin_path = dir.join(&stem);
+        if let Err(source) = std::fs::write(&src_path, emit_rust(&spec)) {
+            report.candidates[idx].status =
+                CandidateStatus::CompileFailed(format!("writing {}: {source}", src_path.display()));
+            continue;
+        }
+        match compile_rust(
+            &rustc,
+            &src_path,
+            &bin_path,
+            cfg.optimize,
+            cfg.compile_timeout,
+        ) {
+            Ok(()) => {}
+            Err(CodegenError::Timeout { .. }) => {
+                report.candidates[idx].status = CandidateStatus::TimedOut;
+                continue;
+            }
+            Err(e) => {
+                report.candidates[idx].status = CandidateStatus::CompileFailed(e.to_string());
+                continue;
+            }
+        }
+        match run_kernel(&bin_path, cfg.seed, cfg.reps, false, cfg.run_timeout) {
+            Ok(out) if out.check == base_run.check => {
+                report.candidates[idx].wall_ns = Some(out.time_ns);
+                report.candidates[idx].status = CandidateStatus::Timed;
+            }
+            Ok(out) => {
+                report.candidates[idx].status = CandidateStatus::RunFailed(format!(
+                    "checksum {:016x} disagrees with baseline {:016x}",
+                    out.check, base_run.check
+                ));
+            }
+            Err(CodegenError::Timeout { .. }) => {
+                report.candidates[idx].status = CandidateStatus::TimedOut;
+            }
+            Err(e) => {
+                report.candidates[idx].status = CandidateStatus::RunFailed(e.to_string());
+            }
+        }
+    }
+    report.best = report
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.status == CandidateStatus::Timed)
+        .min_by_key(|(_, c)| c.wall_ns.unwrap_or(u128::MAX))
+        .map(|(i, _)| i);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_isg::ivec;
+    use uov_loopir::examples;
+    use uov_storage::Layout;
+
+    fn small_stencil() -> (LoopNest, OvMap) {
+        let nest = examples::stencil5_nest(6, 32);
+        let map = OvMap::new(nest.domain(), ivec![2, 0], Layout::Interleaved);
+        (nest, map)
+    }
+
+    #[test]
+    fn missing_toolchain_degrades_to_memsim_ranking() {
+        let (nest, map) = small_stencil();
+        let cfg = AutotuneConfig {
+            tiles0: vec![2, 4],
+            tiles1: vec![8, 16],
+            rustc: Some(PathBuf::from("/nonexistent/rustc-xyz")),
+            proxy_extent: [6, 32],
+            ..AutotuneConfig::default()
+        };
+        let report = autotune("stencil5", &nest, &[Some(&map)], 2, &cfg).unwrap();
+        assert!(matches!(
+            report.degraded,
+            Some(DegradeReason::ToolchainMissing(_))
+        ));
+        assert_eq!(report.candidates.len(), 4);
+        assert!(report
+            .candidates
+            .iter()
+            .all(|c| c.status == CandidateStatus::Ranked && c.wall_ns.is_none()));
+        // Rank order is non-decreasing in simulated cycles.
+        assert!(report
+            .candidates
+            .windows(2)
+            .all(|w| w[0].memsim_cycles <= w[1].memsim_cycles));
+        assert!(report.baseline_wall_ns.is_none());
+        assert!(report.best.is_none());
+        assert!(report.best_speedup().is_none());
+    }
+
+    #[test]
+    fn memsim_ranking_is_deterministic() {
+        let (nest, map) = small_stencil();
+        let cfg = AutotuneConfig {
+            tiles0: vec![2, 4],
+            tiles1: vec![8, 32],
+            rustc: Some(PathBuf::from("/nonexistent/rustc-xyz")),
+            proxy_extent: [6, 32],
+            ..AutotuneConfig::default()
+        };
+        let a = autotune("stencil5", &nest, &[Some(&map)], 2, &cfg).unwrap();
+        let b = autotune("stencil5", &nest, &[Some(&map)], 2, &cfg).unwrap();
+        let key = |r: &AutotuneReport| -> Vec<([i64; 2], u64)> {
+            r.candidates
+                .iter()
+                .map(|c| (c.tile, c.memsim_cycles))
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn end_to_end_times_top_candidates_when_rustc_present() {
+        if find_tool("rustc", None).is_err() {
+            eprintln!("skipping: no rustc on PATH");
+            return;
+        }
+        let (nest, map) = small_stencil();
+        let dir = std::env::temp_dir().join(format!("uov-autotune-test-{}", std::process::id()));
+        let cfg = AutotuneConfig {
+            tiles0: vec![2],
+            tiles1: vec![8, 16],
+            top_k: 2,
+            optimize: false,
+            proxy_extent: [6, 32],
+            work_dir: Some(dir.clone()),
+            ..AutotuneConfig::default()
+        };
+        let report = autotune("stencil5", &nest, &[Some(&map)], 2, &cfg).unwrap();
+        assert!(report.degraded.is_none());
+        assert!(report.baseline_wall_ns.is_some());
+        let timed = report
+            .candidates
+            .iter()
+            .filter(|c| c.status == CandidateStatus::Timed)
+            .count();
+        assert_eq!(timed, 2, "both top-K candidates should time cleanly");
+        assert!(report.best.is_some());
+        assert!(report.best_speedup().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

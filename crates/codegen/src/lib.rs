@@ -1,0 +1,41 @@
+//! `uov-codegen`: executable tiled-kernel generation from certified
+//! UOV storage plans, plus a memsim-guided tile-size autotuner.
+//!
+//! Where `uov-loopir`'s emitter prints *pseudocode* for inspection, this
+//! crate generates *programs*: standalone Rust (and C99) sources whose
+//! loops realise a legalised skewed tiling and whose array accesses go
+//! through the paper's 1-D `mv·q + shift (+ modterm)` buffer form. The
+//! generated programs are bit-identical to the `uov-loopir` interpreter
+//! over shared deterministic inputs ([`input_value`]), which is what makes
+//! the differential test-suite and the autotuner's checksum cross-checks
+//! possible.
+//!
+//! Pipeline:
+//!
+//! 1. [`KernelSpec`] — nest + per-statement storage decision + schedule;
+//! 2. [`emit_rust`] / [`emit_c`] — render the spec as a source program
+//!    speaking the `TIME_NS`/`CHECK`/`OUT` stdout protocol;
+//! 3. [`compile`] — out-of-process `rustc`/`cc` with hard timeouts and
+//!    typed failures, never a panic or a hang;
+//! 4. [`autotune`] — enumerate legal tile sizes, rank all of them on a
+//!    scaled-down `uov-memsim` machine, wall-clock the top K, and degrade
+//!    to memsim-only ranking when no toolchain exists.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod autotune;
+pub mod c_src;
+pub mod compile;
+pub mod error;
+pub mod kernel;
+pub mod rust_src;
+
+pub use autotune::{
+    autotune, AutotuneConfig, AutotuneReport, CandidateReport, CandidateStatus, DegradeReason,
+};
+pub use c_src::emit_c;
+pub use compile::{compile_c, compile_rust, find_tool, parse_output, run_kernel, RunOutput};
+pub use error::CodegenError;
+pub use kernel::{input_value, GenSchedule, KernelSpec, StmtAccess, StmtStorage};
+pub use rust_src::emit_rust;

@@ -50,5 +50,6 @@ pub mod parallel;
 pub mod psm;
 pub mod stencil5;
 pub mod workloads;
+pub mod zoo;
 
 pub use mem::{Buf, Memory, PlainMemory, TracedMemory};

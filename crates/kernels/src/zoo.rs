@@ -1,0 +1,158 @@
+//! The codegen kernel zoo: every paper kernel as a [`LoopNest`] fixture
+//! with its known-good UOVs and legalising skew factor.
+//!
+//! The zoo is the shared ground truth between the `uov-codegen`
+//! differential tests (compiled output must byte-match the `uov-loopir`
+//! interpreter on every entry), the autotuner examples, and the PR-9
+//! benchmark experiment. Each entry packages what a caller needs to
+//! generate executable code for the kernel at any scale:
+//!
+//! * the nest itself (from [`uov_loopir::examples`]),
+//! * one universal occupancy vector per statement (the paper's §5
+//!   results — validated, not re-searched, so fixtures stay cheap), and
+//! * the skew factor `f` that legalises tiling of `(u, v) = (i, f·i+j)`
+//!   (`0` when rectangular tiling is already legal).
+//!
+//! A test below re-derives all three from first principles
+//! (`flow_stencil` → UOV membership → tiling legality) so the hardcoded
+//! fixtures can never drift from the analysis pipeline.
+
+use uov_isg::{ivec, IVec};
+use uov_loopir::{examples, LoopNest};
+use uov_storage::{Layout, OvMap};
+
+/// One zoo kernel: a nest plus everything needed to map and tile it.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Kernel name (stable across scales; used in reports and artifacts).
+    pub name: &'static str,
+    /// The loop nest at the requested scale.
+    pub nest: LoopNest,
+    /// Per-statement universal occupancy vectors; `None` keeps that
+    /// statement's storage natural (fully expanded).
+    pub ovs: Vec<Option<IVec>>,
+    /// The skew factor legalising tiling (`0` = rectangular already
+    /// legal).
+    pub skew_f: i64,
+}
+
+impl ZooEntry {
+    /// Construct per-statement [`OvMap`]s over this entry's domain.
+    pub fn maps(&self, layout: Layout) -> Vec<Option<OvMap>> {
+        self.ovs
+            .iter()
+            .map(|ov| {
+                ov.as_ref()
+                    .map(|ov| OvMap::new(self.nest.domain(), ov.clone(), layout))
+            })
+            .collect()
+    }
+}
+
+/// The Figure-1 running example: `A[i,j] = f(A[i-1,j], A[i,j-1],
+/// A[i-1,j-1])`, UOV `(1,1)`, rectangular tiling already legal.
+pub fn fig1(n: i64, m: i64) -> ZooEntry {
+    ZooEntry {
+        name: "fig1",
+        nest: examples::fig1_nest(n, m),
+        ovs: vec![Some(ivec![1, 1])],
+        skew_f: 0,
+    }
+}
+
+/// The §5 five-point stencil: UOV `(2,0)`, tiling legal only after the
+/// skew `v = 2i + j`.
+pub fn stencil5(t_steps: i64, len: i64) -> ZooEntry {
+    ZooEntry {
+        name: "stencil5",
+        nest: examples::stencil5_nest(t_steps, len),
+        ovs: vec![Some(ivec![2, 0])],
+        skew_f: 2,
+    }
+}
+
+/// The deep-time stencil: eight collinear `(k, 0)` flow dependences, UOV
+/// `(8, 0)`, rectangular tiling already legal. Schedule independence here
+/// costs eight live rows (`~8·len` mapped cells), which makes this the
+/// zoo's bandwidth-bound entry — the kernel where time-tiling's wall-clock
+/// win is largest.
+pub fn deep8(t_steps: i64, len: i64) -> ZooEntry {
+    ZooEntry {
+        name: "deep8",
+        nest: examples::deep8_nest(t_steps, len),
+        ovs: vec![Some(ivec![8, 0])],
+        skew_f: 0,
+    }
+}
+
+/// Protein string matching (Gotoh recurrence, §5): two regular
+/// statements with UOVs `(1,1)` (H) and `(1,0)` (E); rectangular tiling
+/// already legal.
+pub fn psm(n1: i64, n0: i64) -> ZooEntry {
+    ZooEntry {
+        name: "psm",
+        nest: examples::psm_nest(n1, n0),
+        ovs: vec![Some(ivec![1, 1]), Some(ivec![1, 0])],
+        skew_f: 0,
+    }
+}
+
+/// Every zoo kernel at a small, test-friendly scale (hundreds of
+/// iteration points — differential tests compile and run each entry
+/// several times).
+pub fn all_small() -> Vec<ZooEntry> {
+    vec![fig1(8, 6), stencil5(6, 24), deep8(12, 10), psm(7, 9)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uov_core::oracle::DoneOracle;
+    use uov_isg::Stencil;
+    use uov_loopir::analysis::flow_stencil;
+    use uov_schedule::legality;
+    use uov_storage::StorageMap as _;
+
+    /// The fixtures' hardcoded OVs and skews must agree with what the
+    /// analysis pipeline derives from the nests themselves.
+    #[test]
+    fn fixtures_agree_with_analysis() {
+        for entry in all_small() {
+            let mut union: Vec<IVec> = Vec::new();
+            for (s, ov) in entry.ovs.iter().enumerate() {
+                let stencil = flow_stencil(&entry.nest, s).unwrap();
+                union.extend(stencil.vectors().iter().cloned());
+                if let Some(ov) = ov {
+                    assert!(
+                        DoneOracle::new(&stencil).is_uov(ov),
+                        "{}: stmt {s} fixture OV {ov:?} is not universal",
+                        entry.name
+                    );
+                }
+            }
+            let all = Stencil::new(union).unwrap();
+            if entry.skew_f == 0 {
+                assert!(
+                    legality::rectangular_tiling_legal(&all),
+                    "{}: claims rectangular tiling is legal",
+                    entry.name
+                );
+            } else {
+                assert!(!legality::rectangular_tiling_legal(&all));
+                let f = legality::skew_factor_for_tiling(&all).unwrap();
+                assert_eq!(f, entry.skew_f, "{}: wrong skew fixture", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn maps_cover_every_statement() {
+        for entry in all_small() {
+            let maps = entry.maps(Layout::Interleaved);
+            assert_eq!(maps.len(), entry.nest.stmts().len());
+            for map in maps.into_iter().flatten() {
+                assert!(map.size() > 0);
+            }
+        }
+    }
+}

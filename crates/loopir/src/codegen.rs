@@ -6,68 +6,21 @@
 //! the 2-D array access rewritten into a one-dimensional buffer indexed
 //! by `mv·q + shift + modterm` — so the storage transformation can be
 //! inspected (and pasted into a C file) rather than only executed.
+//!
+//! The index algebra itself (producer-iteration reconstruction, mapping
+//! vector, shift, modterm) lives in [`crate::emit`], shared with the
+//! executable source generation of `uov-codegen`; this module only decides
+//! pseudocode surface syntax.
 
 use std::fmt::Write as _;
 
-use uov_isg::{IVec, IterationDomain as _};
-use uov_storage::{Layout, OvMap, StorageMap as _};
+use uov_storage::OvMap;
 
+use crate::emit::{index_name, render_affine, MappedIndex, OvAccess};
 use crate::expr::{AffineExpr, Expr};
 use crate::nest::LoopNest;
 
-/// Index-variable names used for emitted loops (`i0`, `i1`, … beyond 3).
-fn index_name(k: usize) -> String {
-    match k {
-        0 => "i".to_string(),
-        1 => "j".to_string(),
-        2 => "k".to_string(),
-        _ => format!("i{k}"),
-    }
-}
-
-fn affine_to_c(e: &AffineExpr) -> String {
-    let mut out = String::new();
-    let mut first = true;
-    for (k, &c) in e.coeffs().iter().enumerate() {
-        if c == 0 {
-            continue;
-        }
-        match (first, c) {
-            (true, 1) => out.push_str(&index_name(k)),
-            (true, -1) => {
-                out.push('-');
-                out.push_str(&index_name(k));
-            }
-            (true, c) => {
-                let _ = write!(out, "{c}*{}", index_name(k));
-            }
-            (false, 1) => {
-                let _ = write!(out, " + {}", index_name(k));
-            }
-            (false, -1) => {
-                let _ = write!(out, " - {}", index_name(k));
-            }
-            (false, c) if c > 0 => {
-                let _ = write!(out, " + {c}*{}", index_name(k));
-            }
-            (false, c) => {
-                let _ = write!(out, " - {}*{}", -c, index_name(k));
-            }
-        }
-        first = false;
-    }
-    let c = e.constant_term();
-    if first {
-        let _ = write!(out, "{c}");
-    } else if c > 0 {
-        let _ = write!(out, " + {c}");
-    } else if c < 0 {
-        let _ = write!(out, " - {}", -c);
-    }
-    out
-}
-
-fn expr_to_c(e: &Expr, nest: &LoopNest, mapped: Option<(usize, &OvMapCode)>) -> String {
+fn expr_to_c(e: &Expr, nest: &LoopNest, mapped: Option<&OvAccess>) -> String {
     match e {
         Expr::Const(c) => format!("{c:?}f"),
         Expr::Index(k) => format!("(float){}", index_name(*k)),
@@ -99,70 +52,43 @@ fn access_to_c(
     nest: &LoopNest,
     array: usize,
     subscript: &[AffineExpr],
-    mapped: Option<(usize, &OvMapCode)>,
+    mapped: Option<&OvAccess>,
 ) -> String {
     let name = &nest.arrays()[array].name;
-    if let Some((mapped_array, code)) = mapped {
-        if array == mapped_array {
-            // The producing iteration of A[s(i)] is p = s(i) − c_w for the
-            // uniform write A[i + c_w]; apply SMov to p.
-            return code.apply(name, subscript);
+    if let Some(acc) = mapped {
+        if array == acc.array() {
+            return mapped_index_to_c(name, &acc.index_of(subscript));
         }
     }
-    let idx: Vec<String> = subscript.iter().map(affine_to_c).collect();
+    let idx: Vec<String> = subscript.iter().map(render_affine).collect();
     format!("{name}[{}]", idx.join("]["))
 }
 
-/// Precomputed symbolic pieces of an OV mapping `SMov(q) = mv·q + shift
-/// (+ modterm)` for emission.
-struct OvMapCode {
-    mv: IVec,
-    shift: i64,
-    g: i64,
-    position_form: IVec,
-    layout: Layout,
-    block: i64,
-    /// Constant offset turning a read subscript into its producer
-    /// iteration (the write offset `c_w`, negated per dimension).
-    write_offset: IVec,
-}
-
-impl OvMapCode {
-    fn apply(&self, name: &str, subscript: &[AffineExpr]) -> String {
-        // Producer iteration p_k = subscript_k − c_w[k]; then index =
-        // Σ mv[k]·p_k + shift (+ modterm from position_form·p mod g).
-        let mut linear = AffineExpr::constant(subscript[0].depth(), self.shift);
-        let mut position = AffineExpr::constant(subscript[0].depth(), 0);
-        for (k, sub) in subscript.iter().enumerate() {
-            let p_k = sub.clone() + -self.write_offset[k];
-            linear = linear.add_scaled(&p_k, self.mv[k]);
-            position = position.add_scaled(&p_k, self.position_form[k]);
-        }
-        if self.g <= 1 {
-            return format!("{name}[{}]", affine_to_c(&linear));
-        }
-        match self.layout {
-            Layout::Interleaved => {
-                // class·g + residue with class = mv·p − lo: scale the
-                // whole linear form (whose constant already folds −lo in
-                // via `shift`) by g.
-                let scaled =
-                    AffineExpr::constant(subscript[0].depth(), 0).add_scaled(&linear, self.g);
-                format!(
-                    "{name}[{} + mod({}, {})]",
-                    affine_to_c(&scaled),
-                    affine_to_c(&position),
-                    self.g
-                )
-            }
-            Layout::Blocked => format!(
-                "{name}[{} + mod({}, {})*{}]",
-                affine_to_c(&linear),
-                affine_to_c(&position),
-                self.g,
-                self.block
-            ),
-        }
+/// Render a [`MappedIndex`] as a pseudocode access, `mod(x, g)` denoting
+/// the mathematical (non-negative) modulus.
+fn mapped_index_to_c(name: &str, idx: &MappedIndex) -> String {
+    match idx {
+        MappedIndex::Affine(e) => format!("{name}[{}]", render_affine(e)),
+        MappedIndex::Mod {
+            base,
+            position,
+            g,
+            scale: 1,
+        } => format!(
+            "{name}[{} + mod({}, {g})]",
+            render_affine(base),
+            render_affine(position)
+        ),
+        MappedIndex::Mod {
+            base,
+            position,
+            g,
+            scale,
+        } => format!(
+            "{name}[{} + mod({}, {g})*{scale}]",
+            render_affine(base),
+            render_affine(position)
+        ),
     }
 }
 
@@ -189,61 +115,17 @@ pub fn emit_natural(nest: &LoopNest) -> String {
 ///
 /// # Panics
 ///
-/// Panics if the statement's subscripts are not uniform (`i_k + c`).
+/// Panics if the statement's subscripts are not uniform (`i_k + c`) or the
+/// mapping is not 2-D; [`OvAccess::new`] is the non-panicking entry point.
 pub fn emit_ov_mapped(nest: &LoopNest, stmt: usize, map: &OvMap) -> String {
-    let write = &nest.stmts()[stmt].subscript;
-    let depth = nest.depth();
-    let mut write_offset = vec![0i64; write.len()];
-    for (pos, e) in write.iter().enumerate() {
-        let Some((_, c)) = e.index_offset() else {
-            panic!("write subscript {pos} of statement {stmt} is not uniform (i_k + c)")
-        };
-        write_offset[pos] = c;
-    }
-    // Reconstruct the symbolic pieces from the mapping.
-    let Some(mv) = map.mapping_vector_2d() else {
-        panic!(
-            "codegen currently supports 2-D mappings; got ov {}",
-            map.ov()
-        )
+    let acc = match OvAccess::new(nest, stmt, map) {
+        Ok(acc) => acc,
+        Err(e) => panic!("{e}"),
     };
-    let dom = nest.domain();
-    // Domains are non-empty by construction; an empty hull needs no shift.
-    let shift = -(dom
-        .extreme_points()
-        .iter()
-        .map(|p| mv.dot(p))
-        .min()
-        .unwrap_or(0));
-    let g = map.ov().content();
-    let code = OvMapCode {
-        shift,
-        g,
-        position_form: position_form_of(map, depth),
-        layout: map.layout(),
-        block: (map.size() as i64) / g.max(1),
-        mv,
-        write_offset: IVec::from(write_offset),
-    };
-    emit(nest, Some((nest.stmts()[stmt].array, &code)))
+    emit(nest, Some(&acc))
 }
 
-fn position_form_of(map: &OvMap, _depth: usize) -> IVec {
-    // The position row of the reduction: reconstruct from the OV — any
-    // form with form·ov = g works for the modterm; use the one the map
-    // itself uses via residue probing on unit vectors.
-    let d = map.ov().dim();
-    let zero = IVec::zero(d);
-    let base = map.residue(&zero);
-    (0..d)
-        .map(|k| {
-            let r = map.residue(&IVec::unit(d, k)) - base;
-            r.rem_euclid(map.ov().content().max(1))
-        })
-        .collect()
-}
-
-fn emit(nest: &LoopNest, mapped: Option<(usize, &OvMapCode)>) -> String {
+fn emit(nest: &LoopNest, mapped: Option<&OvAccess>) -> String {
     let mut out = String::new();
     let dom = nest.domain();
     for k in 0..nest.depth() {
@@ -307,6 +189,7 @@ mod tests {
     fn ov_mapped_code_indices_agree_with_map() {
         // The emitted affine index must equal OvMap::map at every point.
         use uov_isg::IterationDomain as _;
+        use uov_storage::StorageMap as _;
         let nest = examples::fig1_nest(5, 4);
         let map = OvMap::new(nest.domain(), ivec![1, 1], Layout::Interleaved);
         let mv = map.mapping_vector_2d().unwrap();

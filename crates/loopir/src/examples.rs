@@ -87,6 +87,48 @@ pub fn stencil5_nest(t_steps: i64, len: i64) -> LoopNest {
     .unwrap_or_else(|e| panic!("stencil5 nest is well-formed: {e}"))
 }
 
+/// A deep-time 1-D stencil: `A[t,x] = Σ_{k=1..8} w_k · A[t-k, x]` over
+/// `t ∈ 1..=T`, `x ∈ 0..=L-1` (reads below `t = 1` touch the imported
+/// halo). All eight flow dependences are collinear `(k, 0)` vectors, so
+/// the UOV is `(8, 0)` and rectangular tiling is already legal — but the
+/// *storage* cost of schedule independence is eight live rows, which makes
+/// this the zoo's bandwidth-bound kernel: an untiled sweep re-streams the
+/// whole `8·L`-cell mapped buffer every time step, while a time-tiled band
+/// keeps its window resident across the tile's rows.
+///
+/// # Panics
+///
+/// Panics if `t_steps < 1` or `len < 1`.
+pub fn deep8_nest(t_steps: i64, len: i64) -> LoopNest {
+    let d = 2;
+    let mut rhs = Expr::Const(0.0);
+    for k in 1i64..=8 {
+        rhs = Expr::add(
+            rhs,
+            Expr::mul(
+                Expr::Const(0.125),
+                Expr::read(0, vec![idx(d, 0, -k), idx(d, 1, 0)]),
+            ),
+        );
+    }
+    LoopNest::new(
+        RectDomain::new(
+            uov_isg::IVec::from([1, 0]),
+            uov_isg::IVec::from([t_steps, len - 1]),
+        ),
+        vec![ArrayDecl {
+            name: "A".into(),
+            rank: 2,
+        }],
+        vec![Assign {
+            array: 0,
+            subscript: vec![idx(d, 0, 0), idx(d, 1, 0)],
+            rhs,
+        }],
+    )
+    .unwrap_or_else(|e| panic!("deep8 nest is well-formed: {e}"))
+}
+
 /// Protein string matching as IR: a linear-gap local-alignment score `H`
 /// plus a vertical-gap helper `E` — two assignments whose temporaries get
 /// *disjoint* OV-mapped storage (paper §3, first paragraph).
@@ -160,5 +202,6 @@ mod tests {
         assert_eq!(fig1_nest(3, 3).stmts().len(), 1);
         assert_eq!(stencil5_nest(4, 16).depth(), 2);
         assert_eq!(psm_nest(3, 4).arrays().len(), 2);
+        assert_eq!(deep8_nest(10, 16).stmts().len(), 1);
     }
 }

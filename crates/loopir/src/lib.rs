@@ -39,10 +39,12 @@
 
 pub mod analysis;
 pub mod codegen;
+pub mod emit;
 pub mod examples;
 pub mod expr;
 pub mod interp;
 pub mod nest;
 
+pub use emit::{EmitError, MappedIndex, OvAccess};
 pub use expr::{AffineExpr, Expr};
 pub use nest::{ArrayDecl, Assign, LoopNest, NestError};

@@ -434,6 +434,91 @@ fn plan_remote(
     })
 }
 
+/// A planned kernel rendered as compilable source, ready for
+/// [`uov_codegen::compile`] or the autotuner.
+#[derive(Debug)]
+pub struct EmittedKernel {
+    /// The generation spec (nest + per-statement storage + schedule).
+    pub spec: uov_codegen::KernelSpec,
+    /// Standalone Rust program speaking the `TIME_NS`/`CHECK`/`OUT`
+    /// protocol.
+    pub rust_source: String,
+    /// The C99 twin, bit-identical to the Rust program and the
+    /// interpreter.
+    pub c_source: String,
+    /// The storage plan the spec was derived from.
+    pub plan: TransformPlan,
+}
+
+/// Plan `nest` and lower the result to executable source in one call:
+/// §2–§4 (stencils, UOVs, mappings) followed by §5 made runnable (tiled
+/// loops over the mapped buffers).
+///
+/// Regular statements get their planned [`OvMap`]; statements the
+/// analysis rejects keep natural (fully expanded) storage — the emitted
+/// kernel still runs. With `tile = Some([t0, t1])` the loops are tiled in
+/// the skewed space `(u, v) = (i, f·i + j)` using the plan's legalising
+/// skew factor. Each statement's certificate transcript hash is stamped
+/// into the generated sources' provenance header, so an artifact can be
+/// traced back to the exact certified plan that produced it.
+///
+/// # Errors
+///
+/// Planning errors as in [`plan`]; [`Error::Codegen`] when tiling is
+/// requested but no skew factor legalises it, or when the nest shape is
+/// outside the generator's support (non-2-deep, non-uniform writes).
+pub fn plan_and_emit(
+    name: &str,
+    nest: &LoopNest,
+    layout: Layout,
+    tile: Option<[i64; 2]>,
+) -> Result<EmittedKernel, Error> {
+    use uov_codegen::{emit_c, emit_rust, CodegenError, GenSchedule, KernelSpec};
+
+    let plan = plan(nest, layout)?;
+    let maps: Vec<Option<&OvMap>> = plan
+        .statements
+        .iter()
+        .map(|s| s.as_ref().ok().map(|p| &p.map))
+        .collect();
+    let schedule = match tile {
+        None => GenSchedule::Lex,
+        Some(tile) => {
+            let f = plan
+                .skew_factor
+                .ok_or_else(|| Error::from(CodegenError::TilingNotLegalized))?;
+            GenSchedule::SkewTiled { f, tile }
+        }
+    };
+    let mut provenance = vec![format!(
+        "plan: {layout:?} layout, {} statement(s), skew {:?}",
+        plan.statements.len(),
+        plan.skew_factor
+    )];
+    for (s, st) in plan.statements.iter().enumerate() {
+        match st {
+            Ok(p) => {
+                let cert = match &p.certificate {
+                    Some(c) => format!("certificate {:016x}", c.transcript_hash),
+                    None => "uncertified".to_string(),
+                };
+                provenance.push(format!(
+                    "stmt {s}: uov {}, {} -> {} cells, {cert}",
+                    p.uov, p.natural_cells, p.mapped_cells
+                ));
+            }
+            Err(e) => provenance.push(format!("stmt {s}: natural storage ({e})")),
+        }
+    }
+    let spec = KernelSpec::new(name, nest, &maps, schedule)?.with_provenance(provenance);
+    Ok(EmittedKernel {
+        rust_source: emit_rust(&spec),
+        c_source: emit_c(&spec),
+        spec,
+        plan,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +526,42 @@ mod tests {
     use uov_core::budget::Exhausted;
     use uov_core::DoneOracle;
     use uov_loopir::examples;
+
+    #[test]
+    fn plan_and_emit_stamps_certificate_and_tiles() {
+        let nest = examples::stencil5_nest(5, 16);
+        let ek = plan_and_emit("stencil5", &nest, Layout::Interleaved, Some([2, 8])).unwrap();
+        let hash = format!(
+            "{:016x}",
+            ek.plan.statements[0]
+                .as_ref()
+                .unwrap()
+                .certificate
+                .as_ref()
+                .unwrap()
+                .transcript_hash
+        );
+        assert!(
+            ek.rust_source.contains(&hash),
+            "certificate hash in Rust source"
+        );
+        assert!(ek.c_source.contains(&hash), "certificate hash in C source");
+        assert!(ek.rust_source.contains("for tu in"), "tiled loops emitted");
+        assert!(matches!(
+            ek.spec.schedule,
+            uov_codegen::GenSchedule::SkewTiled { f: 2, tile: [2, 8] }
+        ));
+    }
+
+    #[test]
+    fn plan_and_emit_rejects_tiling_without_skew() {
+        // An untileable union has no legalising skew; emitting untiled
+        // still works, tiling is a typed refusal.
+        let nest = examples::stencil5_nest(4, 12);
+        let ok = plan_and_emit("stencil5", &nest, Layout::Blocked, None).unwrap();
+        assert!(ok.rust_source.contains("fn main"));
+        assert!(!ok.rust_source.contains("for tu in"));
+    }
 
     #[test]
     fn fig1_plan() {

@@ -33,6 +33,12 @@ pub enum Error {
     /// or a remote answer whose locally recomputed certificate did not
     /// match the server's transcript hash.
     Service(String),
+    /// Executable code generation, compilation or autotuning failed.
+    ///
+    /// Carries the rendered [`uov_codegen::CodegenError`] (stringified so
+    /// this enum stays `Clone + Eq`; the typed value is available from
+    /// `uov_codegen` APIs directly).
+    Codegen(String),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +50,7 @@ impl fmt::Display for Error {
             Error::Mapping(e) => write!(f, "storage mapping failed: {e}"),
             Error::Certify(e) => write!(f, "result certification failed: {e}"),
             Error::Service(msg) => write!(f, "planning service failed: {msg}"),
+            Error::Codegen(msg) => write!(f, "code generation failed: {msg}"),
         }
     }
 }
@@ -56,7 +63,7 @@ impl std::error::Error for Error {
             Error::Search(e) => Some(e),
             Error::Mapping(e) => Some(e),
             Error::Certify(e) => Some(e),
-            Error::Service(_) => None,
+            Error::Service(_) | Error::Codegen(_) => None,
         }
     }
 }
@@ -86,6 +93,12 @@ impl From<SearchError> for Error {
 impl From<CertifyError> for Error {
     fn from(e: CertifyError) -> Self {
         Error::Certify(e)
+    }
+}
+
+impl From<uov_codegen::CodegenError> for Error {
+    fn from(e: uov_codegen::CodegenError) -> Self {
+        Error::Codegen(e.to_string())
     }
 }
 

@@ -63,6 +63,7 @@ pub mod error;
 pub use error::Error;
 
 pub use uov_bench as bench;
+pub use uov_codegen as codegen;
 pub use uov_core as core;
 pub use uov_isg as isg;
 pub use uov_kernels as kernels;
