@@ -8,6 +8,7 @@ pub mod extension;
 pub mod mesh;
 pub mod npc;
 pub mod overhead;
+pub mod overload;
 pub mod perf;
 pub mod resilience;
 pub mod scaling;
@@ -45,6 +46,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "partition" => mesh::partition(scale),
         "perf" => perf::all(scale),
         "autotune" => autotune::all(scale),
+        "overload" => overload::all(scale),
         "jacobi" => vec![extension::jacobi(scale)],
         "tiles" => vec![extension::tile_sweep(scale)],
         "baseline" => vec![
@@ -83,6 +85,7 @@ pub fn all_names() -> Vec<&'static str> {
         "autotune",
         "partition",
         "perf",
+        "overload",
         "jacobi",
         "tiles",
         "baseline",

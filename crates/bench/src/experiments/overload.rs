@@ -1,0 +1,504 @@
+//! The PR-10 experiment: the event-driven service core under heavy
+//! traffic, and the `BENCH_pr10.json` artifact.
+//!
+//! Three figures, all against one live server per scenario:
+//!
+//! 1. **Connection scaling** — closed-loop throughput as the number of
+//!    concurrent connections grows; the readiness loop must hold
+//!    throughput roughly flat per connection instead of degrading with
+//!    thread-per-connection overheads.
+//! 2. **Batch amortization** — the same entry stream as singleton
+//!    `REQ_PLAN` frames vs `REQ_BATCH` frames of 16: per-entry wire
+//!    latency must drop when framing is amortized.
+//! 3. **Hog isolation** — an open-loop compliant tenant with and
+//!    without a 10×-quota hog tenant alongside: compliant availability
+//!    must stay 1.0, and its p50/p99 shift is the cost of sharing.
+//!
+//! The artifact carries `"scale"`/`"build"` markers like every
+//! `BENCH_*.json` before it and is only written at full scale, so
+//! quick/debug runs can never clobber a full/release measurement.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use uov_isg::{ivec, Stencil};
+use uov_service::{
+    run_loadgen, run_open_loop, serve, BatchRequest, Client, LoadGenConfig, ObjectiveSpec,
+    OpenLoopConfig, PlanRequest, QuotaConfig, ServerConfig, ServerHandle, TenantQuota,
+};
+
+use crate::report::Table;
+use crate::Scale;
+
+use super::perf::build_marker;
+
+const HOG: u32 = 9;
+
+/// Run the overload experiment and (at full scale) write
+/// `BENCH_pr10.json`.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let conn = connection_scaling(scale);
+    let batch = batch_amortization(scale);
+    let hog = hog_isolation(scale);
+
+    let mut t = Table::new(
+        "overload — BENCH_pr10.json",
+        vec!["path".into(), "ok".into()],
+    );
+    match scale {
+        // Quick runs (the test suite, smoke passes) must never clobber
+        // the committed artifact with reduced-scale figures.
+        Scale::Quick => t.push(vec!["(skipped at quick scale)".into(), "true".into()]),
+        Scale::Full => {
+            let json = render_json(&conn, &batch, &hog);
+            let path = bench_json_path("BENCH_pr10.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => t.push(vec![path.display().to_string(), "true".into()]),
+                Err(e) => t.push(vec![path.display().to_string(), format!("error: {e}")]),
+            }
+        }
+    }
+    vec![conn.table, batch.table, hog.table, t]
+}
+
+/// `BENCH_pr*.json` artifacts live at the repository root, next to
+/// EXPERIMENTS.md.
+fn bench_json_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+fn overload_server(quotas: Option<QuotaConfig>) -> Result<ServerHandle, String> {
+    serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            queue_depth: 256,
+            degrade_watermark: 64,
+            quotas,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn failed(title: &str, e: String) -> Table {
+    let mut t = Table::new(format!("{title} — failed"), vec!["error".into()]);
+    t.push(vec![e]);
+    t
+}
+
+struct ConnFigures {
+    /// `(connections, completed, throughput_rps, p50_us, p99_us)` rows.
+    points: Vec<(usize, u64, f64, u64, u64)>,
+    table: Table,
+}
+
+/// Closed-loop throughput as connections grow: every connection is one
+/// registered socket in the readiness loop, never a dedicated thread.
+fn connection_scaling(scale: Scale) -> ConnFigures {
+    let (counts, per_client): (Vec<usize>, usize) = match scale {
+        Scale::Quick => (vec![2, 8], 20),
+        Scale::Full => (vec![4, 16, 64, 128], 100),
+    };
+    let mut table = Table::new(
+        "overload — connection scaling (closed loop, warm cache)",
+        vec![
+            "connections".into(),
+            "completed".into(),
+            "errors".into(),
+            "throughput (req/s)".into(),
+            "p50 (µs)".into(),
+            "p99 (µs)".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    let server = match overload_server(None) {
+        Ok(s) => s,
+        Err(e) => {
+            return ConnFigures {
+                points,
+                table: failed("overload — connection scaling", e),
+            }
+        }
+    };
+    let endpoint = server.endpoint().to_string();
+    for &clients in &counts {
+        let cfg = LoadGenConfig {
+            clients,
+            requests_per_client: per_client,
+            distinct_stencils: 8,
+            permute: true,
+            ..LoadGenConfig::default()
+        };
+        match run_loadgen(&endpoint, &cfg) {
+            Ok(r) => {
+                table.push(vec![
+                    format!("{clients}"),
+                    format!("{}", r.completed),
+                    format!("{}", r.errors),
+                    format!("{:.1}", r.throughput_rps),
+                    format!("{}", r.p50_us),
+                    format!("{}", r.p99_us),
+                ]);
+                points.push((clients, r.completed, r.throughput_rps, r.p50_us, r.p99_us));
+            }
+            Err(e) => table.push(vec![
+                format!("{clients}"),
+                e.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    server.shutdown();
+    server.join();
+    ConnFigures { points, table }
+}
+
+struct BatchFigures {
+    entries: u64,
+    singleton_us_per_entry: f64,
+    batch_us_per_entry: f64,
+    amortization: f64,
+    table: Table,
+}
+
+/// The same warmed entry stream as singletons vs 16-entry batches: the
+/// per-entry round-trip cost must drop when framing is amortized.
+fn batch_amortization(scale: Scale) -> BatchFigures {
+    let entries: usize = match scale {
+        Scale::Quick => 64,
+        Scale::Full => 2048,
+    };
+    let batch_size = 16usize;
+    let mut table = Table::new(
+        "overload — batch amortization (warm cache)",
+        vec![
+            "mode".into(),
+            "entries".into(),
+            "frames".into(),
+            "elapsed (ms)".into(),
+            "per-entry (µs)".into(),
+        ],
+    );
+    let empty = BatchFigures {
+        entries: entries as u64,
+        singleton_us_per_entry: 0.0,
+        batch_us_per_entry: 0.0,
+        amortization: 0.0,
+        table: Table::new(
+            "overload — batch amortization — failed",
+            vec!["error".into()],
+        ),
+    };
+    let server = match overload_server(None) {
+        Ok(s) => s,
+        Err(e) => {
+            return BatchFigures {
+                table: failed("overload — batch amortization", e),
+                ..empty
+            }
+        }
+    };
+    let stencil = Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).expect("valid");
+    let req = PlanRequest {
+        stencil,
+        objective: ObjectiveSpec::ShortestVector,
+        deadline_ms: 0,
+        flags: 0,
+    };
+    let run = || -> Result<(f64, f64), String> {
+        let mut client = Client::connect(server.endpoint()).map_err(|e| e.to_string())?;
+        // Warm the cache so both modes measure wire cost, not search.
+        client.plan(&req).map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        for _ in 0..entries {
+            client.plan(&req).map_err(|e| e.to_string())?;
+        }
+        let singleton = t0.elapsed();
+        let t1 = Instant::now();
+        for _ in 0..entries / batch_size {
+            let b = BatchRequest {
+                entries: vec![req.clone(); batch_size],
+            };
+            let resp = client.plan_batch(&b).map_err(|e| e.to_string())?;
+            if resp.entries.iter().any(|e| e.is_err()) {
+                return Err("batch entry failed".into());
+            }
+        }
+        let batched = t1.elapsed();
+        Ok((
+            singleton.as_secs_f64() * 1e6 / entries as f64,
+            batched.as_secs_f64() * 1e6 / entries as f64,
+        ))
+    };
+    let out = run();
+    server.shutdown();
+    server.join();
+    match out {
+        Ok((singleton_us, batch_us)) => {
+            table.push(vec![
+                "singleton REQ_PLAN".into(),
+                format!("{entries}"),
+                format!("{entries}"),
+                format!("{:.1}", singleton_us * entries as f64 / 1e3),
+                format!("{singleton_us:.2}"),
+            ]);
+            table.push(vec![
+                format!("REQ_BATCH × {batch_size}"),
+                format!("{entries}"),
+                format!("{}", entries / batch_size),
+                format!("{:.1}", batch_us * entries as f64 / 1e3),
+                format!("{batch_us:.2}"),
+            ]);
+            BatchFigures {
+                entries: entries as u64,
+                singleton_us_per_entry: singleton_us,
+                batch_us_per_entry: batch_us,
+                amortization: if batch_us > 0.0 {
+                    singleton_us / batch_us
+                } else {
+                    0.0
+                },
+                table,
+            }
+        }
+        Err(e) => BatchFigures {
+            table: failed("overload — batch amortization", e),
+            ..empty
+        },
+    }
+}
+
+struct HogFigures {
+    baseline_p50_us: u64,
+    baseline_p99_us: u64,
+    hogged_p50_us: u64,
+    hogged_p99_us: u64,
+    compliant_availability: f64,
+    hog_availability: f64,
+    hog_shed: u64,
+    table: Table,
+}
+
+/// Open-loop compliant tenants with and without a hog offering 10× its
+/// quota: availability must hold at 1.0 and the latency shift is the
+/// whole cost of sharing the server.
+fn hog_isolation(scale: Scale) -> HogFigures {
+    let (rps, duration_ms): (u64, u64) = match scale {
+        Scale::Quick => (20, 800),
+        Scale::Full => (50, 4000),
+    };
+    let mut table = Table::new(
+        "overload — compliant tenant with/without a 10×-quota hog (open loop)",
+        vec![
+            "scenario".into(),
+            "tenant".into(),
+            "offered".into(),
+            "completed".into(),
+            "shed".into(),
+            "availability".into(),
+            "p50 (µs)".into(),
+            "p99 (µs)".into(),
+        ],
+    );
+    let empty = HogFigures {
+        baseline_p50_us: 0,
+        baseline_p99_us: 0,
+        hogged_p50_us: 0,
+        hogged_p99_us: 0,
+        compliant_availability: 0.0,
+        hog_availability: 0.0,
+        hog_shed: 0,
+        table: Table::new("overload — hog isolation — failed", vec!["error".into()]),
+    };
+    // The hog's quota admits ~1/10 of its offered rate; compliant
+    // tenants keep the generous default.
+    let mut tenants = HashMap::new();
+    tenants.insert(
+        HOG,
+        TenantQuota {
+            tokens_per_sec: rps,
+            burst: rps / 2 + 1,
+            max_inflight: 8,
+            weight: 1,
+        },
+    );
+    let quotas = QuotaConfig {
+        default: TenantQuota::default(),
+        tenants,
+    };
+    let base_cfg = OpenLoopConfig {
+        arrival_rps: rps,
+        duration_ms,
+        tenants: 2,
+        hog_tenant: None,
+        hog_multiplier: 10,
+        distinct_stencils: 8,
+        deadline_ms: 0,
+        batch: 1,
+        conns_per_tenant: 2,
+        ..OpenLoopConfig::default()
+    };
+    let scenario = |hog: Option<u32>| -> Result<uov_service::OpenLoopReport, String> {
+        let server = overload_server(Some(quotas.clone()))?;
+        let cfg = OpenLoopConfig {
+            hog_tenant: hog,
+            ..base_cfg.clone()
+        };
+        let out = run_open_loop(server.endpoint(), &cfg).map_err(|e| e.to_string());
+        server.shutdown();
+        server.join();
+        out
+    };
+    let baseline = match scenario(None) {
+        Ok(r) => r,
+        Err(e) => {
+            return HogFigures {
+                table: failed("overload — hog isolation", e),
+                ..empty
+            }
+        }
+    };
+    let hogged = match scenario(Some(HOG)) {
+        Ok(r) => r,
+        Err(e) => {
+            return HogFigures {
+                table: failed("overload — hog isolation", e),
+                ..empty
+            }
+        }
+    };
+    for (name, report) in [("no hog", &baseline), ("with 10× hog", &hogged)] {
+        for t in &report.tenants {
+            table.push(vec![
+                name.into(),
+                format!("{}", t.tenant),
+                format!("{}", t.offered),
+                format!("{}", t.completed),
+                format!("{}", t.shed),
+                format!("{:.4}", t.availability()),
+                format!("{}", t.p50_us),
+                format!("{}", t.p99_us),
+            ]);
+        }
+    }
+    let worst = |r: &uov_service::OpenLoopReport, pick: fn(&uov_service::TenantLoad) -> u64| {
+        r.tenants
+            .iter()
+            .filter(|t| t.tenant != HOG)
+            .map(pick)
+            .max()
+            .unwrap_or(0)
+    };
+    HogFigures {
+        baseline_p50_us: worst(&baseline, |t| t.p50_us),
+        baseline_p99_us: worst(&baseline, |t| t.p99_us),
+        hogged_p50_us: worst(&hogged, |t| t.p50_us),
+        hogged_p99_us: worst(&hogged, |t| t.p99_us),
+        compliant_availability: hogged.compliant_availability(Some(HOG)),
+        hog_availability: hogged.tenant(HOG).map_or(0.0, |t| t.availability()),
+        hog_shed: hogged.tenant(HOG).map_or(0, |t| t.shed),
+        table,
+    }
+}
+
+/// Hand-rolled JSON with a fixed key order, like every `BENCH_pr*.json`
+/// before it. Carries no `nodes_per_sec` figure — it measures the
+/// service layer, not the search engine — so the `bench-check` gate
+/// reports it without scoring it.
+fn render_json(conn: &ConnFigures, batch: &BatchFigures, hog: &HogFigures) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"uov-bench-pr10-v1\",\n");
+    s.push_str("  \"scale\": \"full\",\n");
+    s.push_str(&format!("  \"build\": \"{}\",\n", build_marker()));
+    s.push_str("  \"connection_scaling\": [\n");
+    for (i, (clients, completed, rps, p50, p99)) in conn.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"connections\": {clients}, \"completed\": {completed}, \"throughput_rps\": {rps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}}}{}\n",
+            if i + 1 < conn.points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"batch\": {\n");
+    s.push_str(&format!("    \"entries\": {},\n", batch.entries));
+    s.push_str(&format!(
+        "    \"singleton_us_per_entry\": {:.2},\n",
+        batch.singleton_us_per_entry
+    ));
+    s.push_str(&format!(
+        "    \"batch_us_per_entry\": {:.2},\n",
+        batch.batch_us_per_entry
+    ));
+    s.push_str(&format!(
+        "    \"amortization\": {:.3}\n",
+        batch.amortization
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"hog_isolation\": {\n");
+    s.push_str(&format!(
+        "    \"baseline_p50_us\": {},\n",
+        hog.baseline_p50_us
+    ));
+    s.push_str(&format!(
+        "    \"baseline_p99_us\": {},\n",
+        hog.baseline_p99_us
+    ));
+    s.push_str(&format!("    \"hogged_p50_us\": {},\n", hog.hogged_p50_us));
+    s.push_str(&format!("    \"hogged_p99_us\": {},\n", hog.hogged_p99_us));
+    s.push_str(&format!(
+        "    \"compliant_availability\": {:.4},\n",
+        hog.compliant_availability
+    ));
+    s.push_str(&format!(
+        "    \"hog_availability\": {:.4},\n",
+        hog.hog_availability
+    ));
+    s.push_str(&format!("    \"hog_shed\": {}\n", hog.hog_shed));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The JSON renderer emits the fixed schema keys in order with the
+    /// required scale/build markers.
+    #[test]
+    fn rendered_json_carries_schema_and_markers() {
+        let conn = ConnFigures {
+            points: vec![(2, 10, 100.0, 50, 90)],
+            table: Table::new("t", vec!["c".into()]),
+        };
+        let batch = BatchFigures {
+            entries: 64,
+            singleton_us_per_entry: 10.0,
+            batch_us_per_entry: 5.0,
+            amortization: 2.0,
+            table: Table::new("t", vec!["c".into()]),
+        };
+        let hog = HogFigures {
+            baseline_p50_us: 1,
+            baseline_p99_us: 2,
+            hogged_p50_us: 3,
+            hogged_p99_us: 4,
+            compliant_availability: 1.0,
+            hog_availability: 0.1,
+            hog_shed: 100,
+            table: Table::new("t", vec!["c".into()]),
+        };
+        let json = render_json(&conn, &batch, &hog);
+        assert!(json.contains("\"schema\": \"uov-bench-pr10-v1\""));
+        assert!(json.contains("\"scale\": \"full\""));
+        assert!(json.contains("\"build\""));
+        assert!(json.contains("\"compliant_availability\": 1.0000"));
+        assert!(json.contains("\"amortization\": 2.000"));
+    }
+}

@@ -23,8 +23,9 @@ use std::time::Duration;
 
 use uov_isg::{IVec, RectDomain, Stencil};
 use uov_service::{
-    serve, Client, LoadGenConfig, MeshClient, MeshConfig, ObjectiveSpec, PlanRequest,
-    ResilientClient, ResilientConfig, ServerConfig, FLAG_NO_CACHE,
+    serve, Client, LoadGenConfig, MeshClient, MeshConfig, ObjectiveSpec, OpenLoopConfig,
+    PlanRequest, QuotaConfig, ResilientClient, ResilientConfig, ServerConfig, TenantQuota,
+    FLAG_NO_CACHE,
 };
 
 fn main() -> ExitCode {
@@ -54,8 +55,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   uov-service serve  <endpoint> [--workers N] [--queue N] [--cache N] [--search-threads N] [--warm-cache PATH] [--wedge-timeout MS]
+                                [--degrade-watermark N] [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
+                                [--tenant-quota T:RATE:BURST:INFLIGHT[:WEIGHT] …]
   uov-service query  <endpoint[,endpoint…]> --stencil \"1,0;0,1;1,1\" [--grid N,M] [--deadline MS] [--no-cache] [--mesh [--replication K]]
   uov-service bench  <endpoint> [--clients N] [--requests N] [--seed S] [--distinct N] [--deadline MS] [--csv]
+                                [--open-loop [--rps N] [--duration MS] [--tenants N] [--hog T] [--hog-multiplier N] [--batch N]]
   uov-service smoke  <endpoint>
   uov-service health <endpoint>
   uov-service stats  <endpoint>
@@ -110,8 +114,66 @@ fn parse_grid(spec: &str) -> Result<RectDomain, String> {
     Ok(RectDomain::grid(n as i64, m as i64))
 }
 
+/// Parse one `--tenant-quota T:RATE:BURST:INFLIGHT[:WEIGHT]` spec.
+fn parse_tenant_quota(spec: &str) -> Result<(u32, TenantQuota), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(4..=5).contains(&parts.len()) {
+        return Err(format!(
+            "--tenant-quota wants T:RATE:BURST:INFLIGHT[:WEIGHT], got `{spec}`"
+        ));
+    }
+    let field = |i: usize| -> Result<u64, String> {
+        parts[i]
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid --tenant-quota field `{}`", parts[i]))
+    };
+    Ok((
+        field(0)? as u32,
+        TenantQuota {
+            tokens_per_sec: field(1)?,
+            burst: field(2)?,
+            max_inflight: field(3)?,
+            weight: if parts.len() == 5 {
+                field(4)? as u32
+            } else {
+                1
+            },
+        },
+    ))
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let endpoint = endpoint_of(args)?;
+    let base = TenantQuota::default();
+    let default_quota = TenantQuota {
+        tokens_per_sec: opt_parse(args, "--tenant-rate", base.tokens_per_sec)?,
+        burst: opt_parse(args, "--tenant-burst", base.burst)?,
+        max_inflight: opt_parse(args, "--tenant-inflight", base.max_inflight)?,
+        weight: base.weight,
+    };
+    let mut tenants = std::collections::HashMap::new();
+    let mut i = 0;
+    while let Some(pos) = args[i..].iter().position(|a| a == "--tenant-quota") {
+        let at = i + pos;
+        let spec = args
+            .get(at + 1)
+            .ok_or_else(|| "--tenant-quota needs a value".to_string())?;
+        let (tenant, quota) = parse_tenant_quota(spec)?;
+        tenants.insert(tenant, quota);
+        i = at + 2;
+    }
+    let quota_flags = ["--tenant-rate", "--tenant-burst", "--tenant-inflight"]
+        .iter()
+        .any(|f| args.iter().any(|a| a == f));
+    let quotas = if quota_flags || !tenants.is_empty() {
+        Some(QuotaConfig {
+            default: default_quota,
+            tenants,
+        })
+    } else {
+        None
+    };
     let config = ServerConfig {
         workers: opt_parse(args, "--workers", ServerConfig::default().workers)?,
         queue_depth: opt_parse(args, "--queue", ServerConfig::default().queue_depth)?,
@@ -119,6 +181,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_capacity: opt_parse(args, "--cache", ServerConfig::default().cache_capacity)?,
         warm_cache: opt(args, "--warm-cache")?.map(std::path::PathBuf::from),
         wedge_timeout: Duration::from_millis(opt_parse(args, "--wedge-timeout", 0u64)?),
+        degrade_watermark: opt_parse(args, "--degrade-watermark", 0usize)?,
+        quotas,
         ..ServerConfig::default()
     };
     let server = serve(endpoint, config).map_err(|e| e.to_string())?;
@@ -216,6 +280,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let endpoint = endpoint_of(args)?;
+    if args.iter().any(|a| a == "--open-loop") {
+        return cmd_bench_open_loop(endpoint, args);
+    }
     let defaults = LoadGenConfig::default();
     let cfg = LoadGenConfig {
         clients: opt_parse(args, "--clients", defaults.clients)?,
@@ -257,6 +324,69 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         println!("| cache misses | {} |", report.misses);
         println!("| coalesced | {} |", report.coalesced);
         println!("| hit rate | {:.1}% |", report.hit_rate() * 100.0);
+    }
+    Ok(())
+}
+
+/// Open-loop overload bench: fixed per-tenant arrival rates (optionally
+/// with a hog tenant offering a multiple of everyone else's rate) and a
+/// per-tenant availability table.
+fn cmd_bench_open_loop(endpoint: &str, args: &[String]) -> Result<(), String> {
+    let defaults = OpenLoopConfig::default();
+    let hog = opt(args, "--hog")?
+        .map(|s| s.parse::<u32>().map_err(|_| format!("invalid --hog `{s}`")))
+        .transpose()?;
+    let cfg = OpenLoopConfig {
+        arrival_rps: opt_parse(args, "--rps", defaults.arrival_rps)?,
+        duration_ms: opt_parse(args, "--duration", defaults.duration_ms)?,
+        seed: opt_parse(args, "--seed", defaults.seed)?,
+        tenants: opt_parse(args, "--tenants", defaults.tenants)?,
+        hog_tenant: hog,
+        hog_multiplier: opt_parse(args, "--hog-multiplier", defaults.hog_multiplier)?,
+        distinct_stencils: opt_parse(args, "--distinct", defaults.distinct_stencils)?,
+        deadline_ms: opt_parse(args, "--deadline", defaults.deadline_ms)?,
+        batch: opt_parse(args, "--batch", defaults.batch)?,
+        conns_per_tenant: opt_parse(args, "--conns", defaults.conns_per_tenant)?,
+    };
+    let report = uov_service::run_open_loop(endpoint, &cfg).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--csv") {
+        println!("tenant,offered,completed,degraded,shed,errors,availability,p50_us,p99_us");
+        for t in &report.tenants {
+            println!(
+                "{},{},{},{},{},{},{:.4},{},{}",
+                t.tenant,
+                t.offered,
+                t.completed,
+                t.degraded,
+                t.shed,
+                t.errors,
+                t.availability(),
+                t.p50_us,
+                t.p99_us
+            );
+        }
+    } else {
+        println!("| tenant | offered | completed | degraded | shed | errors | availability | p50 µs | p99 µs |");
+        println!("|---|---|---|---|---|---|---|---|---|");
+        for t in &report.tenants {
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {:.4} | {} | {} |",
+                t.tenant,
+                t.offered,
+                t.completed,
+                t.degraded,
+                t.shed,
+                t.errors,
+                t.availability(),
+                t.p50_us,
+                t.p99_us
+            );
+        }
+        println!(
+            "compliant availability: {:.4} over {:.1} ms",
+            report.compliant_availability(hog),
+            report.elapsed.as_secs_f64() * 1e3
+        );
     }
     Ok(())
 }
@@ -376,6 +506,13 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     );
     println!("| warm-load corrupt | {} |", s.server.warm_load_corrupt);
     println!("| warm-load version | {} |", s.server.warm_load_version);
+    println!("| shed over quota | {} |", s.server.shed_over_quota);
+    println!(
+        "| degraded under pressure | {} |",
+        s.server.degraded_under_pressure
+    );
+    println!("| batch frames | {} |", s.server.batch_frames);
+    println!("| idle timeouts | {} |", s.server.idle_timeouts);
     println!("| cache hits | {} |", s.cache.hits);
     println!("| cache misses | {} |", s.cache.misses);
     println!("| cache coalesced | {} |", s.cache.coalesced);
@@ -391,6 +528,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             b.cost, b.fingerprint
         ),
         None => println!("| gossip bound | none |"),
+    }
+    for g in &s.tenants {
+        println!("| tenant {} in-flight | {} |", g.tenant, g.inflight);
     }
     Ok(())
 }

@@ -5,8 +5,9 @@ use std::time::Duration;
 
 use crate::error::{ErrorCode, ServiceError};
 use crate::proto::{
-    kind, read_frame, write_frame, ErrorResponse, HealthResponse, PlanRequest, PlanResponse,
-    ReplicateRequest, ReplicateResponse, StatsResponse, WorkUnitRequest, WorkUnitResponse,
+    kind, read_frame, write_frame_tenant, BatchRequest, BatchResponse, ErrorResponse,
+    HealthResponse, PlanRequest, PlanResponse, ReplicateRequest, ReplicateResponse, StatsResponse,
+    WorkUnitRequest, WorkUnitResponse,
 };
 use crate::server::AnyStream;
 
@@ -25,6 +26,12 @@ pub struct Client {
     stream: AnyStream,
     endpoint: String,
     timeout: Option<Duration>,
+    /// Tenant id stamped into request frame headers for the server's
+    /// admission quotas. Tenant 0 (the default) keeps the version-1
+    /// frame layout byte-for-byte; any other tenant upgrades request
+    /// frames to the version-2 tenant header. Responses are always
+    /// version 1 either way.
+    tenant: u32,
 }
 
 impl Client {
@@ -40,12 +47,25 @@ impl Client {
             stream,
             endpoint: endpoint.to_string(),
             timeout: None,
+            tenant: 0,
         })
     }
 
     /// The endpoint this client dials.
     pub fn endpoint(&self) -> &str {
         &self.endpoint
+    }
+
+    /// Identify as `tenant` for quota accounting on every subsequent
+    /// request. Tenant 0 is the anonymous default and keeps the v1
+    /// frame layout on the wire.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant id stamped into this client's request frames.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 
     /// Cap how long [`Client::plan`] waits for a response frame.
@@ -115,7 +135,7 @@ impl Client {
         req_kind: u8,
         payload: &[u8],
     ) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
-        write_frame(&mut self.stream, req_kind, payload)?;
+        write_frame_tenant(&mut self.stream, req_kind, self.tenant, payload)?;
         read_frame(&mut self.stream)
     }
 
@@ -138,6 +158,35 @@ impl Client {
             }
             Some((other, _)) => Err(ServiceError::Malformed(format!(
                 "unexpected response frame kind {other}"
+            ))),
+            None => Err(ServiceError::ConnectionClosed),
+        }
+    }
+
+    /// Send a multi-plan batch — one frame, one round trip, one answer
+    /// per entry — amortizing framing and syscalls across a whole
+    /// program's loop nests. Entries succeed or fail independently;
+    /// the whole frame is rejected only by admission control (quota,
+    /// overload, drain) or a malformed batch envelope. Idempotent like
+    /// [`Client::plan`], so the single-reconnect discipline applies.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Rejected`] when the server sheds the whole batch
+    /// with a typed error frame; the transport taxonomy of
+    /// [`read_frame`] otherwise.
+    pub fn plan_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, ServiceError> {
+        match self.exchange(kind::REQ_BATCH, &req.encode())? {
+            Some((kind::RESP_BATCH, payload)) => BatchResponse::decode(&payload),
+            Some((kind::RESP_ERROR, payload)) => {
+                let err = ErrorResponse::decode(&payload)?;
+                Err(ServiceError::Rejected {
+                    code: err.code,
+                    msg: err.msg,
+                })
+            }
+            Some((other, _)) => Err(ServiceError::Malformed(format!(
+                "unexpected batch response frame kind {other}"
             ))),
             None => Err(ServiceError::ConnectionClosed),
         }

@@ -8,10 +8,13 @@
 //! * [`proto`] — a length-prefixed, CRC-checked binary protocol
 //!   (`PlanRequest` → `PlanResponse`) built on the same
 //!   [`uov_core::wire`] primitives as the checkpoint format.
-//! * [`server`] — a fixed worker pool behind a bounded queue with typed
-//!   admission control (`Overloaded`), per-request deadline budgets that
-//!   degrade to a legal UOV instead of erroring, panic isolation per
-//!   connection, and graceful drain on shutdown.
+//! * [`server`] — an event-driven readiness loop (epoll on Linux, poll
+//!   elsewhere) feeding a fixed compute pool through a weighted-fair
+//!   per-tenant scheduler: typed admission control (`Overloaded`),
+//!   per-tenant token-bucket quotas and in-flight caps, idle/slow-loris
+//!   read deadlines, degrade-under-pressure to the certified `Σvᵢ` fast
+//!   path, per-request deadline budgets, panic isolation, and graceful
+//!   drain on shutdown.
 //! * [`plan_cache`] — a canonicalizing plan cache: requests are reduced
 //!   modulo coordinate permutation ([`canon`]) and keyed by the
 //!   workspace-standard fingerprint into a sharded LRU, with
@@ -54,13 +57,16 @@ pub mod server;
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, ReplicaSet};
 pub use client::Client;
 pub use error::{ErrorCode, ServiceError};
-pub use loadgen::{coalescing_burst, run as run_loadgen, BurstReport, LoadGenConfig, LoadReport};
+pub use loadgen::{
+    coalescing_burst, run as run_loadgen, run_open_loop, BurstReport, LoadGenConfig, LoadReport,
+    OpenLoopConfig, OpenLoopReport, TenantLoad,
+};
 pub use mesh::{MeshClient, MeshConfig, MeshEvent, MeshStats, Ring};
 pub use plan_cache::{CacheStats, PlanCache, Planned, WarmCacheError};
 pub use proto::{
-    BoundGossip, CacheOutcome, DegradationCode, HealthResponse, ObjectiveSpec, PlanRequest,
-    PlanResponse, ReplicateRequest, ReplicateResponse, StatsResponse, WorkUnitRequest,
-    WorkUnitResponse, FLAG_NO_CACHE,
+    BatchRequest, BatchResponse, BoundGossip, CacheOutcome, DegradationCode, HealthResponse,
+    ObjectiveSpec, PlanRequest, PlanResponse, ReplicateRequest, ReplicateResponse, StatsResponse,
+    TenantGauge, WorkUnitRequest, WorkUnitResponse, FLAG_NO_CACHE, MAX_BATCH_ENTRIES,
 };
 pub use resilient::{FabricEvent, FailureClass, ResilientClient, ResilientConfig};
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use server::{serve, QuotaConfig, ServerConfig, ServerHandle, ServerStats, TenantQuota};

@@ -1,12 +1,24 @@
-//! A deterministic closed-loop load generator for the planning service.
+//! Deterministic load generators for the planning service.
 //!
-//! `clients` threads each run a fixed number of requests back-to-back
-//! (closed loop: the next request starts when the previous one answers).
-//! The workload is fully determined by the seed: every client draws from
-//! its own xorshift64 stream, picking stencils from a fixed pool —
-//! optionally resubmitting axis-permuted variants to exercise the
-//! canonicalizing cache — so two runs with the same seed issue the same
-//! requests in the same per-client order.
+//! Two workload shapes:
+//!
+//! * **Closed loop** ([`run`]): `clients` threads each run a fixed
+//!   number of requests back-to-back (the next request starts when the
+//!   previous one answers). Measures service latency under bounded
+//!   concurrency.
+//! * **Open loop** ([`run_open_loop`]): requests arrive on a fixed
+//!   schedule derived from the seed — per-tenant arrival rates, an
+//!   optional *hog* tenant offering a multiple of everyone else's rate,
+//!   and optional batching — regardless of how fast the server answers.
+//!   Measures overload behavior: per-tenant availability, sheds, and
+//!   pressure degradations.
+//!
+//! Both are fully determined by the seed: every stream draws from its
+//! own xorshift64 state, picking stencils from a fixed pool — optionally
+//! resubmitting axis-permuted variants to exercise the canonicalizing
+//! cache — so two runs with the same seed issue the same requests in the
+//! same per-stream order (open-loop arrival *times* are scheduled
+//! deterministically; actual service timing is the system under test).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,8 +28,8 @@ use std::time::{Duration, Instant};
 use uov_isg::{IVec, RectDomain, Stencil};
 
 use crate::client::Client;
-use crate::error::ServiceError;
-use crate::proto::{CacheOutcome, ObjectiveSpec, PlanRequest};
+use crate::error::{ErrorCode, ServiceError};
+use crate::proto::{BatchRequest, CacheOutcome, DegradationCode, ObjectiveSpec, PlanRequest};
 
 /// Workload shape for [`run`].
 #[derive(Debug, Clone)]
@@ -376,6 +388,371 @@ pub fn run(endpoint: &str, cfg: &LoadGenConfig) -> Result<LoadReport, ServiceErr
     })
 }
 
+// -------------------------------------------------------------- open loop
+
+/// Workload shape for [`run_open_loop`].
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Arrivals per second offered by each compliant tenant.
+    pub arrival_rps: u64,
+    /// Length of the arrival schedule, milliseconds.
+    pub duration_ms: u64,
+    /// Seed for the deterministic streams (stencil picks and phases).
+    pub seed: u64,
+    /// Compliant tenants, ids `1..=tenants`, each offering `arrival_rps`.
+    pub tenants: usize,
+    /// Optional hog: this tenant offers `hog_multiplier ×` the compliant
+    /// rate. Use an id outside `1..=tenants` to add a pure aggressor.
+    pub hog_tenant: Option<u32>,
+    /// The hog's rate multiple (≥ 1).
+    pub hog_multiplier: u64,
+    /// Distinct stencils in the shared pool.
+    pub distinct_stencils: usize,
+    /// Per-request deadline in ms (0 = unlimited).
+    pub deadline_ms: u32,
+    /// Entries per wire frame: 1 sends singleton `REQ_PLAN`s, larger
+    /// values group consecutive arrivals into `REQ_BATCH` frames.
+    pub batch: usize,
+    /// Concurrent sender connections per tenant (arrivals are dealt to
+    /// senders round-robin so one slow answer cannot stall the stream).
+    pub conns_per_tenant: usize,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            arrival_rps: 50,
+            duration_ms: 1000,
+            seed: 0x0BE4_10AD,
+            tenants: 3,
+            hog_tenant: None,
+            hog_multiplier: 10,
+            distinct_stencils: 8,
+            deadline_ms: 0,
+            batch: 1,
+            conns_per_tenant: 2,
+        }
+    }
+}
+
+/// One tenant's slice of an open-loop run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantLoad {
+    /// The tenant id these counters describe.
+    pub tenant: u32,
+    /// Plan entries offered (batch entries count individually).
+    pub offered: u64,
+    /// Entries answered with a certified plan (full-fidelity or
+    /// degraded — both are served, legal answers).
+    pub completed: u64,
+    /// Completed entries that were degraded (deadline or pressure).
+    pub degraded: u64,
+    /// Entries shed with a typed `Overloaded` rejection.
+    pub shed: u64,
+    /// Entries lost to transport faults or other typed errors.
+    pub errors: u64,
+    /// Median entry latency, microseconds (batch entries share their
+    /// frame's round-trip time).
+    pub p50_us: u64,
+    /// 99th-percentile entry latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl TenantLoad {
+    /// Served fraction of offered entries, in `[0, 1]`: sheds and
+    /// errors count against availability, degraded answers do not (they
+    /// are certified, legal plans).
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+}
+
+/// Aggregate results of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Per-tenant outcomes, sorted by tenant id.
+    pub tenants: Vec<TenantLoad>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// The slice for one tenant, if it offered any traffic.
+    pub fn tenant(&self, id: u32) -> Option<&TenantLoad> {
+        self.tenants.iter().find(|t| t.tenant == id)
+    }
+
+    /// Worst availability over every tenant except `hog`: the headline
+    /// overload-safety number (1.0 = no compliant entry was refused).
+    pub fn compliant_availability(&self, hog: Option<u32>) -> f64 {
+        self.tenants
+            .iter()
+            .filter(|t| Some(t.tenant) != hog)
+            .map(TenantLoad::availability)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// One scheduled arrival: a stencil pick due `at_ms` after the start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arrival {
+    at_ms: u64,
+    pool_idx: usize,
+    permuted: bool,
+}
+
+/// Build the deterministic arrival schedule: for each tenant, evenly
+/// spaced arrivals over the run with a seed-derived phase, and
+/// seed-derived stencil picks. Pure function of the config.
+fn arrival_schedule(cfg: &OpenLoopConfig, pool_len: usize) -> Vec<(u32, Vec<Arrival>)> {
+    let mut tenants: Vec<(u32, u64)> = (1..=cfg.tenants.max(1) as u32)
+        .map(|t| (t, cfg.arrival_rps.max(1)))
+        .collect();
+    if let Some(hog) = cfg.hog_tenant {
+        let rate = cfg.arrival_rps.max(1) * cfg.hog_multiplier.max(1);
+        match tenants.iter_mut().find(|(t, _)| *t == hog) {
+            Some(slot) => slot.1 = rate,
+            None => tenants.push((hog, rate)),
+        }
+    }
+    tenants.sort_unstable_by_key(|&(t, _)| t);
+    tenants
+        .into_iter()
+        .map(|(tenant, rate)| {
+            let mut rng =
+                XorShift64::new(cfg.seed ^ u64::from(tenant).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let count = (rate * cfg.duration_ms.max(1)).div_ceil(1000).max(1);
+            let phase = rng.below(1000 / rate.clamp(1, 1000));
+            let arrivals = (0..count)
+                .map(|k| Arrival {
+                    at_ms: phase + k * cfg.duration_ms.max(1) / count,
+                    pool_idx: rng.below(pool_len as u64) as usize,
+                    permuted: rng.below(2) == 1,
+                })
+                .collect();
+            (tenant, arrivals)
+        })
+        .collect()
+}
+
+/// Run the open-loop workload against a live server.
+///
+/// Arrivals are dealt round-robin to `conns_per_tenant` sender threads
+/// per tenant; each sender sleeps until an arrival's scheduled time and
+/// issues it (late if the previous answer on that connection was slow —
+/// the schedule itself never shrinks, which is what makes the load
+/// *open* loop). With `batch > 1`, each sender groups its consecutive
+/// arrivals into `REQ_BATCH` frames.
+///
+/// # Errors
+///
+/// [`ServiceError`] only if no sender could ever connect; per-entry
+/// failures are counted in the report instead.
+pub fn run_open_loop(endpoint: &str, cfg: &OpenLoopConfig) -> Result<OpenLoopReport, ServiceError> {
+    let pool = Arc::new(stencil_pool(cfg.distinct_stencils.max(1)));
+    let schedule = arrival_schedule(cfg, pool.len());
+    let connected = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    type SenderResult = (TenantLoad, Vec<u64>);
+    let mut handles: Vec<(u32, thread::JoinHandle<SenderResult>)> = Vec::new();
+    for (tenant, arrivals) in schedule {
+        let senders = cfg.conns_per_tenant.max(1);
+        for s in 0..senders {
+            let mine: Vec<Arrival> = arrivals.iter().copied().skip(s).step_by(senders).collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let pool = Arc::clone(&pool);
+            let connected = Arc::clone(&connected);
+            let endpoint = endpoint.to_string();
+            let cfg = cfg.clone();
+            handles.push((
+                tenant,
+                thread::spawn(move || {
+                    run_sender(&endpoint, tenant, &mine, &pool, &cfg, start, &connected)
+                }),
+            ));
+        }
+    }
+    let mut merged: Vec<TenantLoad> = Vec::new();
+    let mut latencies: Vec<(u32, Vec<u64>)> = Vec::new();
+    for (tenant, h) in handles {
+        let (part, lats) = match h.join() {
+            Ok(r) => r,
+            Err(_) => (
+                TenantLoad {
+                    tenant,
+                    ..TenantLoad::default()
+                },
+                Vec::new(),
+            ),
+        };
+        if !merged.iter().any(|t| t.tenant == tenant) {
+            merged.push(TenantLoad {
+                tenant,
+                ..TenantLoad::default()
+            });
+            latencies.push((tenant, Vec::new()));
+        }
+        if let Some(slot) = merged.iter_mut().find(|t| t.tenant == tenant) {
+            slot.offered += part.offered;
+            slot.completed += part.completed;
+            slot.degraded += part.degraded;
+            slot.shed += part.shed;
+            slot.errors += part.errors;
+        }
+        if let Some((_, all)) = latencies.iter_mut().find(|(t, _)| *t == tenant) {
+            all.extend(lats);
+        }
+    }
+    if connected.load(Ordering::Relaxed) == 0 && merged.iter().any(|t| t.errors > 0) {
+        return Err(ServiceError::ConnectionClosed);
+    }
+    for slot in &mut merged {
+        if let Some((_, lats)) = latencies.iter_mut().find(|(t, _)| *t == slot.tenant) {
+            lats.sort_unstable();
+            let pct = |p: f64| -> u64 {
+                if lats.is_empty() {
+                    return 0;
+                }
+                let idx = ((lats.len() - 1) as f64 * p).round() as usize;
+                lats[idx.min(lats.len() - 1)]
+            };
+            slot.p50_us = pct(0.50);
+            slot.p99_us = pct(0.99);
+        }
+    }
+    merged.sort_unstable_by_key(|t| t.tenant);
+    Ok(OpenLoopReport {
+        tenants: merged,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// One sender thread's share of a tenant's schedule: issue each arrival
+/// at its due time over one connection, grouping `cfg.batch` consecutive
+/// arrivals into a `REQ_BATCH` frame when batching is on.
+fn run_sender(
+    endpoint: &str,
+    tenant: u32,
+    arrivals: &[Arrival],
+    pool: &[Stencil],
+    cfg: &OpenLoopConfig,
+    start: Instant,
+    connected: &AtomicU64,
+) -> (TenantLoad, Vec<u64>) {
+    let mut load = TenantLoad {
+        tenant,
+        ..TenantLoad::default()
+    };
+    let mut lats: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut client: Option<Client> = None;
+    let batch = cfg.batch.max(1);
+    for group in arrivals.chunks(batch) {
+        // Open loop: wait for the *scheduled* time of the group's first
+        // arrival, regardless of how long earlier answers took.
+        let due = start + Duration::from_millis(group[0].at_ms);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            if !wait.is_zero() {
+                thread::sleep(wait);
+            }
+        }
+        load.offered += group.len() as u64;
+        let c = match &mut client {
+            Some(c) => c,
+            None => match Client::connect(endpoint) {
+                Ok(mut c) => {
+                    c.set_tenant(tenant);
+                    connected.fetch_add(1, Ordering::Relaxed);
+                    client.insert(c)
+                }
+                Err(_) => {
+                    load.errors += group.len() as u64;
+                    continue;
+                }
+            },
+        };
+        let entries: Vec<PlanRequest> = group
+            .iter()
+            .map(|a| {
+                let base = &pool[a.pool_idx % pool.len()];
+                PlanRequest {
+                    stencil: if a.permuted {
+                        axis_swapped(base)
+                    } else {
+                        base.clone()
+                    },
+                    objective: ObjectiveSpec::ShortestVector,
+                    deadline_ms: cfg.deadline_ms,
+                    flags: 0,
+                }
+            })
+            .collect();
+        let sent = Instant::now();
+        if batch == 1 {
+            match c.plan(&entries[0]) {
+                Ok(resp) => {
+                    load.completed += 1;
+                    if resp.degradation != DegradationCode::None {
+                        load.degraded += 1;
+                    }
+                    lats.push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
+                Err(e) => count_entry_error(&e, 1, &mut load, &mut client),
+            }
+        } else {
+            let req = BatchRequest { entries };
+            match c.plan_batch(&req) {
+                Ok(resp) => {
+                    let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    for entry in &resp.entries {
+                        match entry {
+                            Ok(plan) => {
+                                load.completed += 1;
+                                if plan.degradation != DegradationCode::None {
+                                    load.degraded += 1;
+                                }
+                                lats.push(us);
+                            }
+                            Err(err) if err.code == ErrorCode::Overloaded => load.shed += 1,
+                            Err(_) => load.errors += 1,
+                        }
+                    }
+                    // Short answers (should not happen) count as errors.
+                    load.errors += (req.entries.len().saturating_sub(resp.entries.len())) as u64;
+                }
+                Err(e) => count_entry_error(&e, req.entries.len() as u64, &mut load, &mut client),
+            }
+        }
+    }
+    (load, lats)
+}
+
+/// Attribute a frame-level failure to its entries and drop the
+/// connection when the transport may be unusable.
+fn count_entry_error(
+    e: &ServiceError,
+    entries: u64,
+    load: &mut TenantLoad,
+    client: &mut Option<Client>,
+) {
+    match e {
+        ServiceError::Rejected {
+            code: ErrorCode::Overloaded,
+            ..
+        } => load.shed += entries,
+        ServiceError::Rejected { .. } => load.errors += entries,
+        _ => {
+            load.errors += entries;
+            // The connection may be unusable now; redial next arrival.
+            *client = None;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +780,74 @@ mod tests {
         // Seed 0 must not absorb.
         let mut z = XorShift64::new(0);
         assert_ne!(z.next(), 0);
+    }
+
+    #[test]
+    fn arrival_schedule_is_deterministic_and_hog_rate_scales() {
+        let cfg = OpenLoopConfig {
+            arrival_rps: 40,
+            duration_ms: 2000,
+            tenants: 3,
+            hog_tenant: Some(9),
+            hog_multiplier: 10,
+            ..OpenLoopConfig::default()
+        };
+        let a = arrival_schedule(&cfg, 8);
+        let b = arrival_schedule(&cfg, 8);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_eq!(a.len(), 4, "three compliant tenants plus the hog");
+        let compliant = a.iter().find(|(t, _)| *t == 1).map(|(_, v)| v.len());
+        let hog = a.iter().find(|(t, _)| *t == 9).map(|(_, v)| v.len());
+        assert_eq!(compliant, Some(80), "40 rps × 2 s");
+        assert_eq!(hog, Some(800), "hog offers 10× the compliant rate");
+        for (_, arrivals) in &a {
+            assert!(arrivals.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+            assert!(arrivals.iter().all(|x| x.pool_idx < 8));
+        }
+    }
+
+    #[test]
+    fn hog_id_inside_compliant_range_replaces_that_tenant_rate() {
+        let cfg = OpenLoopConfig {
+            arrival_rps: 10,
+            duration_ms: 1000,
+            tenants: 2,
+            hog_tenant: Some(2),
+            hog_multiplier: 5,
+            ..OpenLoopConfig::default()
+        };
+        let sched = arrival_schedule(&cfg, 4);
+        assert_eq!(sched.len(), 2, "hog replaces tenant 2, not added");
+        let t2 = sched.iter().find(|(t, _)| *t == 2).map(|(_, v)| v.len());
+        assert_eq!(t2, Some(50), "tenant 2 offers 5× the base rate");
+    }
+
+    #[test]
+    fn availability_counts_sheds_against_and_degrades_for() {
+        let t = TenantLoad {
+            tenant: 1,
+            offered: 10,
+            completed: 8,
+            degraded: 3,
+            shed: 1,
+            errors: 1,
+            ..TenantLoad::default()
+        };
+        assert!((t.availability() - 0.8).abs() < 1e-9);
+        let clean = TenantLoad {
+            tenant: 2,
+            offered: 4,
+            completed: 4,
+            degraded: 4,
+            ..TenantLoad::default()
+        };
+        assert!((clean.availability() - 1.0).abs() < 1e-9);
+        let report = OpenLoopReport {
+            tenants: vec![t, clean],
+            elapsed: Duration::from_millis(1),
+        };
+        assert!((report.compliant_availability(Some(1)) - 1.0).abs() < 1e-9);
+        assert!((report.compliant_availability(None) - 0.8).abs() < 1e-9);
     }
 
     #[test]

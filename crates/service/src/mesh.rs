@@ -88,8 +88,9 @@ use crate::canon::canonicalize;
 use crate::client::Client;
 use crate::error::{ErrorCode, ServiceError};
 use crate::proto::{
-    kind, CacheOutcome, DegradationCode, ObjectiveSpec, PlanRequest, PlanResponse,
-    ReplicateRequest, WorkUnitRequest, WorkUnitResponse, MAX_PAYLOAD,
+    kind, BatchRequest, BatchResponse, CacheOutcome, DegradationCode, ErrorResponse, ObjectiveSpec,
+    PlanRequest, PlanResponse, ReplicateRequest, WorkUnitRequest, WorkUnitResponse,
+    MAX_BATCH_ENTRIES, MAX_PAYLOAD,
 };
 use crate::resilient::{Breaker, XorShift64};
 
@@ -252,6 +253,14 @@ pub struct MeshStats {
     /// Replicated entries re-pushed to restarted shards by the
     /// anti-entropy sweep.
     pub anti_entropy_repairs: u64,
+    /// Batch requests routed (each may fan out to several shards).
+    pub batches_routed: u64,
+    /// Per-shard sub-batches sent beyond the first for a single batch:
+    /// the extra frames paid because entries hashed to different homes.
+    pub batch_splits: u64,
+    /// Batch entries that fell back to individual routed plans after a
+    /// shard's sub-batch attempt failed.
+    pub batch_fallbacks: u64,
 }
 
 /// One entry in the mesh's replayable decision log.
@@ -519,6 +528,153 @@ impl MeshClient {
             attempts: max_attempts,
             last: Box::new(last.unwrap_or(ServiceError::ConnectionClosed)),
         })
+    }
+
+    /// Plan a whole batch through the mesh.
+    ///
+    /// Entries are grouped by home shard — the consistent-hash route of
+    /// each entry's canonical fingerprint — so a batch whose entries
+    /// hash to different homes is split client-side into one sub-batch
+    /// frame per shard, then the per-entry outcomes are merged back
+    /// into the caller's original order. When a shard's sub-batch
+    /// attempt fails, its entries fall back to individual
+    /// [`MeshClient::plan`] calls (failover, breakers, and backoff then
+    /// apply per entry), so one sick shard cannot sink the whole batch.
+    ///
+    /// Fresh, full-fidelity answers are replicated to ring successors
+    /// exactly as [`MeshClient::plan`] replicates them; cache hits and
+    /// degraded answers are never offered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Malformed`] for an empty batch or one larger
+    /// than [`MAX_BATCH_ENTRIES`]. Per-entry failures are reported in
+    /// the returned [`BatchResponse`], never by sinking the call: an
+    /// entry whose fabric attempts were all exhausted carries a typed
+    /// [`ErrorCode::Overloaded`] entry error.
+    pub fn plan_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, ServiceError> {
+        if req.entries.is_empty() {
+            return Err(ServiceError::Malformed("empty batch".into()));
+        }
+        if req.entries.len() > MAX_BATCH_ENTRIES as usize {
+            return Err(ServiceError::Malformed(format!(
+                "batch of {} entries exceeds the limit of {MAX_BATCH_ENTRIES}",
+                req.entries.len()
+            )));
+        }
+        self.stats.batches_routed += 1;
+
+        // Group entry indices by home shard, preserving request order
+        // within each group.
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, entry) in req.entries.iter().enumerate() {
+            let home = self.ring.route(Self::routing_key(entry));
+            groups.entry(home).or_default().push(i);
+        }
+        self.stats.batch_splits += groups.len() as u64 - 1;
+
+        let mut out: Vec<Option<Result<PlanResponse, ErrorResponse>>> =
+            (0..req.entries.len()).map(|_| None).collect();
+        let mut shards: Vec<usize> = groups.keys().copied().collect();
+        shards.sort_unstable();
+        for shard in shards {
+            let idxs = &groups[&shard];
+            let sub = BatchRequest {
+                entries: idxs.iter().map(|&i| req.entries[i].clone()).collect(),
+            };
+            let attempt = if matches!(self.breakers[shard], Breaker::Open { .. }) {
+                // Don't burn the whole sub-batch on a shard we already
+                // believe is down; the per-entry path probes it.
+                Err(ServiceError::ConnectionClosed)
+            } else {
+                self.attempt_plan_batch(shard, &sub)
+            };
+            match attempt {
+                Ok(resp) if resp.entries.len() == idxs.len() => {
+                    self.on_success(shard);
+                    for (&i, r) in idxs.iter().zip(resp.entries) {
+                        if let Ok(ref plan) = r {
+                            if plan.cache != CacheOutcome::Hit
+                                && plan.degradation == DegradationCode::None
+                            {
+                                let order =
+                                    self.ring.successors(Self::routing_key(&req.entries[i]));
+                                self.push_replicas(
+                                    &req.entries[i].stencil,
+                                    &req.entries[i].objective,
+                                    &plan.uov,
+                                    plan.cost,
+                                    &order,
+                                    Some(shard),
+                                );
+                            }
+                        }
+                        out[i] = Some(r);
+                    }
+                }
+                other => {
+                    let e = match other {
+                        Ok(short) => ServiceError::Malformed(format!(
+                            "shard answered {} entries for a {}-entry sub-batch",
+                            short.entries.len(),
+                            idxs.len()
+                        )),
+                        Err(e) => e,
+                    };
+                    self.on_failure(shard, &e);
+                    // Fall back entry by entry: plan() retries across
+                    // ring successors, so these entries survive a dead
+                    // home shard.
+                    for &i in idxs {
+                        self.stats.batch_fallbacks += 1;
+                        out[i] = Some(match self.plan(&req.entries[i]) {
+                            Ok(resp) => Ok(resp),
+                            Err(ServiceError::Rejected { code, msg }) => {
+                                Err(ErrorResponse { code, msg })
+                            }
+                            Err(e) => Err(ErrorResponse {
+                                code: ErrorCode::Overloaded,
+                                msg: format!("mesh batch entry exhausted the fabric: {e}"),
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        let entries = out
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(ErrorResponse {
+                        code: ErrorCode::Internal,
+                        msg: "batch entry was never answered".into(),
+                    })
+                })
+            })
+            .collect();
+        Ok(BatchResponse { entries })
+    }
+
+    fn attempt_plan_batch(
+        &mut self,
+        shard: usize,
+        req: &BatchRequest,
+    ) -> Result<BatchResponse, ServiceError> {
+        let mut client = self.take_conn(shard)?;
+        client.set_timeout(Some(self.cfg.attempt_timeout))?;
+        match client.plan_batch(req) {
+            Ok(resp) => {
+                self.conns[shard] = Some(client);
+                Ok(resp)
+            }
+            Err(e) => {
+                // A typed rejection travelled over a working transport.
+                if matches!(e, ServiceError::Rejected { .. }) {
+                    self.conns[shard] = Some(client);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Distribute one search across the mesh and certify the merged

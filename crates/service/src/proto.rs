@@ -1,10 +1,10 @@
 //! The length-prefixed binary planning protocol.
 //!
-//! Every message travels as one self-checking frame:
+//! Every message travels as one self-checking frame. Version 1 frames:
 //!
 //! ```text
 //! magic   b"UOVS"                      4 bytes
-//! version u16 LE (currently 1)         2 bytes
+//! version u16 LE (= 1)                 2 bytes
 //! kind    u8                           1 byte
 //! len     u32 LE payload length        4 bytes   (≤ MAX_PAYLOAD)
 //! payload len bytes
@@ -12,12 +12,27 @@
 //!         magic ‖ version ‖ kind ‖ len ‖ payload
 //! ```
 //!
-//! The header is fixed-size, so a reader always knows how much to pull
-//! before trusting anything; `len` is validated against [`MAX_PAYLOAD`]
-//! *before* any allocation, so a hostile length prefix cannot balloon
-//! memory. The CRC covers the header too — a bit flip anywhere in the
-//! frame is detected. Encoding reuses the same [`uov_core::wire`]
-//! primitives as the checkpoint format.
+//! Version 2 frames carry a tenant id in the header, between `kind` and
+//! `len`, for per-tenant admission control:
+//!
+//! ```text
+//! magic   b"UOVS"                      4 bytes
+//! version u16 LE (= 2)                 2 bytes
+//! kind    u8                           1 byte
+//! tenant  u32 LE tenant id             4 bytes
+//! len     u32 LE payload length        4 bytes   (≤ MAX_PAYLOAD)
+//! payload len bytes
+//! crc     u32 LE CRC-32 over the whole header ‖ payload
+//! ```
+//!
+//! Readers accept both versions; a version-1 frame is tenant 0 (the
+//! anonymous tenant). The header is fixed-size per version and the
+//! version field sits at a fixed offset, so a reader always knows how
+//! much to pull before trusting anything; `len` is validated against
+//! [`MAX_PAYLOAD`] *before* any allocation, so a hostile length prefix
+//! cannot balloon memory. The CRC covers the header too — a bit flip
+//! anywhere in the frame is detected. Encoding reuses the same
+//! [`uov_core::wire`] primitives as the checkpoint format.
 
 use std::io::{self, Read, Write};
 
@@ -29,14 +44,24 @@ use crate::error::{ErrorCode, ServiceError};
 
 /// Frame magic: "UOV service".
 pub const MAGIC: &[u8; 4] = b"UOVS";
-/// Current protocol version.
+/// Base protocol version: no tenant id in the header (tenant 0).
 pub const VERSION: u16 = 1;
+/// Tenant-tagged protocol version: the header carries a `u32` tenant id
+/// between `kind` and `len`.
+pub const VERSION_TENANT: u16 = 2;
 /// Hard cap on a frame's payload. Generous for any realistic stencil
 /// (a request of 1 MiB holds ~16k stencil vectors in 8 dimensions) and
 /// small enough that a hostile length prefix cannot exhaust memory.
 pub const MAX_PAYLOAD: u32 = 1 << 20;
-/// Bytes of the fixed frame header (magic, version, kind, len).
+/// Bytes of the fixed version-1 frame header (magic, version, kind, len).
 pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+/// Bytes of the version-2 frame header (magic, version, kind, tenant,
+/// len).
+pub const HEADER_LEN_TENANT: usize = 4 + 2 + 1 + 4 + 4;
+/// Hard cap on entries in one `REQ_BATCH` frame. Small enough that a
+/// hostile count cannot balloon per-entry bookkeeping, large enough for
+/// any realistic compiler invocation (one entry per loop nest).
+pub const MAX_BATCH_ENTRIES: u32 = 128;
 
 /// Frame kinds. The numeric values are wire format; never reassign them.
 pub mod kind {
@@ -71,6 +96,11 @@ pub mod kind {
     pub const REQ_REPLICATE: u8 = 12;
     /// Replica → peer: whether the replicated plan was stored.
     pub const RESP_REPLICATE: u8 = 13;
+    /// Client → server: plan a whole batch of stencils in one round
+    /// trip (N `(stencil, objective)` entries under a single CRC).
+    pub const REQ_BATCH: u8 = 14;
+    /// Server → client: per-entry statuses for a batch request.
+    pub const RESP_BATCH: u8 = 15;
 }
 
 /// What the request wants minimised — an owned mirror of
@@ -158,6 +188,10 @@ pub enum DegradationCode {
     Memo,
     /// The request was cancelled.
     Cancelled,
+    /// The server was under load pressure and served the always-legal
+    /// `Σvᵢ` fast path instead of running a full search. The answer is
+    /// certified and legal, possibly not optimal, and is never cached.
+    Pressure,
 }
 
 impl DegradationCode {
@@ -168,6 +202,7 @@ impl DegradationCode {
             DegradationCode::Nodes => 2,
             DegradationCode::Memo => 3,
             DegradationCode::Cancelled => 4,
+            DegradationCode::Pressure => 5,
         }
     }
 
@@ -178,6 +213,7 @@ impl DegradationCode {
             2 => Some(DegradationCode::Nodes),
             3 => Some(DegradationCode::Memo),
             4 => Some(DegradationCode::Cancelled),
+            5 => Some(DegradationCode::Pressure),
             _ => None,
         }
     }
@@ -291,7 +327,7 @@ impl HealthResponse {
 /// traffic and fault counters plus the plan cache's counters, so chaos
 /// tests can assert on *server-observed* fault counts instead of
 /// inferring them from client-side behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsResponse {
     /// The server's monotone traffic/fault counters.
     pub server: crate::server::ServerStats,
@@ -299,6 +335,20 @@ pub struct StatsResponse {
     pub cache: crate::plan_cache::CacheStats,
     /// Best-effort incumbent-bound gossip piggybacked on the stats frame.
     pub bound: Option<BoundGossip>,
+    /// Per-tenant in-flight gauges (tenants with at least one admitted
+    /// request currently queued or running), sorted by tenant id so the
+    /// encoding is deterministic.
+    pub tenants: Vec<TenantGauge>,
+}
+
+/// One tenant's instantaneous in-flight gauge, carried on stats frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantGauge {
+    /// The tenant id from the frame header.
+    pub tenant: u32,
+    /// Requests admitted for this tenant that have not yet been answered
+    /// (queued in the compute pool or running).
+    pub inflight: u64,
 }
 
 /// An incumbent bound a replica is willing to share: the canonical
@@ -324,8 +374,11 @@ impl StatsResponse {
     /// the counters it knows and skip the rest. The gossip rides as
     /// fields 20–21 (fingerprint, cost); a zero fingerprint means "no
     /// gossip", which an older decoder reading zeros gets for free. The
-    /// replication/fencing counters ride after it, so pre-replication
-    /// decoders skip them as unknown trailing fields.
+    /// replication/fencing counters ride after it, the overload counters
+    /// (shed/degraded/batch/idle) as fields 26–29, field 30 is the count
+    /// of per-tenant gauge *pairs*, and each gauge rides as two trailing
+    /// `u64`s `(tenant, inflight)` — all skipped by older decoders as
+    /// unknown trailing fields.
     pub fn encode(&self) -> Vec<u8> {
         let s = &self.server;
         let c = &self.cache;
@@ -360,11 +413,21 @@ impl StatsResponse {
             c.replica_hits,
             s.stale_epoch_rejections,
             s.anti_entropy_repairs,
+            s.shed_over_quota,
+            s.degraded_under_pressure,
+            s.batch_frames,
+            s.idle_timeouts,
+            self.tenants.len() as u64,
         ];
-        let mut e = Encoder::with_capacity(4 + 8 * fields.len());
-        e.u32(fields.len() as u32);
+        let total = fields.len() + 2 * self.tenants.len();
+        let mut e = Encoder::with_capacity(4 + 8 * total);
+        e.u32(total as u32);
         for v in fields {
             e.u64(v);
+        }
+        for g in &self.tenants {
+            e.u64(u64::from(g.tenant));
+            e.u64(g.inflight);
         }
         e.buf
     }
@@ -388,14 +451,28 @@ impl StatsResponse {
                 "declared counters exceed the payload".into(),
             ));
         }
-        let mut fields = [0u64; 26];
+        let mut fields = [0u64; 31];
         for (i, slot) in fields.iter_mut().enumerate() {
             if i < n {
                 *slot = d.u64()?;
             }
         }
+        let mut consumed = n.min(fields.len());
+        // Per-tenant gauge pairs follow the scalar counters; the pair
+        // count travels as field 30 and is implicitly bounded by the
+        // declared total (itself validated against the payload above).
+        let mut tenants = Vec::new();
+        for _ in 0..fields[30] {
+            if consumed + 2 > n {
+                break;
+            }
+            let tenant = u32::try_from(d.u64()?).unwrap_or(u32::MAX);
+            let inflight = d.u64()?;
+            consumed += 2;
+            tenants.push(TenantGauge { tenant, inflight });
+        }
         // Skip counters this build does not know about.
-        for _ in fields.len()..n {
+        for _ in consumed..n {
             let _ = d.u64()?;
         }
         let bound = if fields[20] != 0 && fields[21] != u64::MAX {
@@ -426,6 +503,10 @@ impl StatsResponse {
                 warm_load_version: fields[19],
                 stale_epoch_rejections: fields[24],
                 anti_entropy_repairs: fields[25],
+                shed_over_quota: fields[26],
+                degraded_under_pressure: fields[27],
+                batch_frames: fields[28],
+                idle_timeouts: fields[29],
             },
             cache: crate::plan_cache::CacheStats {
                 hits: fields[13],
@@ -436,13 +517,15 @@ impl StatsResponse {
                 replica_hits: fields[23],
             },
             bound,
+            tenants,
         })
     }
 }
 
 // ---------------------------------------------------------------- frames
 
-/// Encode one frame: header, payload, trailing CRC.
+/// Encode one version-1 frame (anonymous tenant): header, payload,
+/// trailing CRC.
 pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
     let mut e = Encoder::with_capacity(HEADER_LEN + payload.len() + 4);
     e.buf.extend_from_slice(MAGIC);
@@ -455,13 +538,49 @@ pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
     e.buf
 }
 
-/// Write one frame to a stream.
+/// Encode one version-2 frame carrying a tenant id in the header.
+pub fn encode_frame_tenant(kind: u8, tenant: u32, payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(HEADER_LEN_TENANT + payload.len() + 4);
+    e.buf.extend_from_slice(MAGIC);
+    e.u16(VERSION_TENANT);
+    e.u8(kind);
+    e.u32(tenant);
+    e.u32(payload.len() as u32);
+    e.buf.extend_from_slice(payload);
+    let crc = crc32(&e.buf);
+    e.u32(crc);
+    e.buf
+}
+
+/// Write one version-1 frame to a stream.
 ///
 /// # Errors
 ///
 /// [`ServiceError::Io`] on any socket failure.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), ServiceError> {
     let frame = encode_frame(kind, payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write one frame, as version 1 for tenant 0 (byte-identical to the
+/// pre-tenant protocol) and version 2 otherwise.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] on any socket failure.
+pub fn write_frame_tenant(
+    w: &mut impl Write,
+    kind: u8,
+    tenant: u32,
+    payload: &[u8],
+) -> Result<(), ServiceError> {
+    let frame = if tenant == 0 {
+        encode_frame(kind, payload)
+    } else {
+        encode_frame_tenant(kind, tenant, payload)
+    };
     w.write_all(&frame)?;
     w.flush()?;
     Ok(())
@@ -482,7 +601,19 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), S
 /// [`ServiceError::CrcMismatch`], [`ServiceError::ConnectionClosed`], or
 /// [`ServiceError::Io`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
-    let mut header = [0u8; HEADER_LEN];
+    Ok(read_frame_tenant(r)?.map(|(kind, _tenant, payload)| (kind, payload)))
+}
+
+/// Read one frame from a stream, accepting both protocol versions and
+/// surfacing the tenant id (0 for version-1 frames). Otherwise identical
+/// to [`read_frame`].
+///
+/// # Errors
+///
+/// The protocol taxonomy of [`read_frame`].
+pub fn read_frame_tenant(r: &mut impl Read) -> Result<Option<(u8, u32, Vec<u8>)>, ServiceError> {
+    // Magic ‖ version ‖ kind first: the version decides the header size.
+    let mut prefix = [0u8; 7];
     // First byte separately: EOF here is a clean close, not an error.
     let mut first = [0u8; 1];
     loop {
@@ -493,20 +624,29 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ServiceErr
             Err(e) => return Err(ServiceError::Io(e)),
         }
     }
-    header[0] = first[0];
-    read_exact_or_closed(r, &mut header[1..])?;
+    prefix[0] = first[0];
+    read_exact_or_closed(r, &mut prefix[1..])?;
 
-    let mut d = Decoder::new(&header);
-    let magic = d.take(4)?;
-    if magic != MAGIC {
+    if &prefix[..4] != MAGIC {
         return Err(ServiceError::BadMagic);
     }
-    let version = d.u16()?;
-    if version != VERSION {
-        return Err(ServiceError::UnsupportedVersion(version));
-    }
-    let kind = d.u8()?;
-    let len = d.u32()?;
+    let version = u16::from_le_bytes([prefix[4], prefix[5]]);
+    let kind = prefix[6];
+    let rest_len = match version {
+        VERSION => 4,
+        VERSION_TENANT => 8,
+        other => return Err(ServiceError::UnsupportedVersion(other)),
+    };
+    let mut rest = [0u8; 8];
+    read_exact_or_closed(r, &mut rest[..rest_len])?;
+    let (tenant, len) = if version == VERSION {
+        (0, u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]))
+    } else {
+        (
+            u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]),
+            u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]),
+        )
+    };
     if len > MAX_PAYLOAD {
         return Err(ServiceError::FrameTooLarge(len));
     }
@@ -516,13 +656,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ServiceErr
     read_exact_or_closed(r, &mut crc_bytes)?;
     let declared = u32::from_le_bytes(crc_bytes);
 
-    let mut h = Encoder::with_capacity(HEADER_LEN + payload.len());
-    h.buf.extend_from_slice(&header);
+    let mut h = Encoder::with_capacity(prefix.len() + rest_len + payload.len());
+    h.buf.extend_from_slice(&prefix);
+    h.buf.extend_from_slice(&rest[..rest_len]);
     h.buf.extend_from_slice(&payload);
     if crc32(&h.buf) != declared {
         return Err(ServiceError::CrcMismatch);
     }
-    Ok(Some((kind, payload)))
+    Ok(Some((kind, tenant, payload)))
 }
 
 /// `read_exact` mapping an EOF mid-structure to `ConnectionClosed` — the
@@ -968,6 +1109,142 @@ impl ErrorResponse {
     }
 }
 
+/// A multi-plan batch request (the frame body of a `REQ_BATCH`): N
+/// independent `(stencil, objective)` entries under one header and one
+/// CRC — one round trip per loop-nest *program* instead of per nest.
+/// Each entry is a full [`PlanRequest`], length-prefixed so a decoder
+/// can validate entry boundaries before parsing entry contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The entries, answered position-for-position in `RESP_BATCH`.
+    pub entries: Vec<PlanRequest>,
+}
+
+impl BatchRequest {
+    /// Serialize the batch payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(8 + 64 * self.entries.len());
+        e.u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            let bytes = entry.encode();
+            e.u32(bytes.len() as u32);
+            e.buf.extend_from_slice(&bytes);
+        }
+        e.buf
+    }
+
+    /// Decode a `REQ_BATCH` payload. The entry count is validated against
+    /// [`MAX_BATCH_ENTRIES`] and each declared entry length against the
+    /// remaining payload *before* any entry is parsed, so a hostile count
+    /// or length cannot balloon memory.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on an empty or oversized batch, hostile lengths, any invalid
+    /// entry, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let count = d.u32()?;
+        if count == 0 {
+            return Err(ServiceError::Malformed("empty batch".into()));
+        }
+        if count > MAX_BATCH_ENTRIES {
+            return Err(ServiceError::Malformed(format!(
+                "batch of {count} entries exceeds the {MAX_BATCH_ENTRIES}-entry limit"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let len = d.u32()? as usize;
+            if len > d.remaining() {
+                return Err(ServiceError::Malformed(format!(
+                    "batch entry {i} declares {len} bytes beyond the payload"
+                )));
+            }
+            let bytes = d.take(len)?;
+            entries.push(
+                PlanRequest::decode(bytes)
+                    .map_err(|e| ServiceError::Malformed(format!("batch entry {i}: {e}")))?,
+            );
+        }
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed("trailing bytes in batch".into()));
+        }
+        Ok(BatchRequest { entries })
+    }
+}
+
+/// A batch response (the frame body of a `RESP_BATCH`): one status per
+/// request entry, position-for-position — a plan or a typed error, so
+/// one malformed or shed entry never poisons its siblings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResponse {
+    /// Per-entry outcomes, in request order.
+    pub entries: Vec<Result<PlanResponse, ErrorResponse>>,
+}
+
+impl BatchResponse {
+    /// Serialize the batch-response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(8 + 64 * self.entries.len());
+        e.u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            let (tag, bytes) = match entry {
+                Ok(plan) => (0u8, plan.encode()),
+                Err(err) => (1u8, err.encode()),
+            };
+            e.u8(tag);
+            e.u32(bytes.len() as u32);
+            e.buf.extend_from_slice(&bytes);
+        }
+        e.buf
+    }
+
+    /// Decode a `RESP_BATCH` payload with the same hostile-length guards
+    /// as [`BatchRequest::decode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] on truncation, [`ServiceError::Malformed`]
+    /// on unknown tags, hostile counts or lengths, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let mut d = Decoder::new(payload);
+        let count = d.u32()?;
+        if count > MAX_BATCH_ENTRIES {
+            return Err(ServiceError::Malformed(format!(
+                "batch response of {count} entries exceeds the {MAX_BATCH_ENTRIES}-entry limit"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let tag = d.u8()?;
+            let len = d.u32()? as usize;
+            if len > d.remaining() {
+                return Err(ServiceError::Malformed(format!(
+                    "batch response entry {i} declares {len} bytes beyond the payload"
+                )));
+            }
+            let bytes = d.take(len)?;
+            entries.push(match tag {
+                0 => Ok(PlanResponse::decode(bytes)?),
+                1 => Err(ErrorResponse::decode(bytes)?),
+                other => {
+                    return Err(ServiceError::Malformed(format!(
+                        "unknown batch entry tag {other}"
+                    )))
+                }
+            });
+        }
+        if d.remaining() != 0 {
+            return Err(ServiceError::Malformed(
+                "trailing bytes in batch response".into(),
+            ));
+        }
+        Ok(BatchResponse { entries })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1055,6 +1332,10 @@ mod tests {
                 warm_load_version: 20,
                 stale_epoch_rejections: 25,
                 anti_entropy_repairs: 26,
+                shed_over_quota: 27,
+                degraded_under_pressure: 28,
+                batch_frames: 29,
+                idle_timeouts: 30,
             },
             cache: crate::plan_cache::CacheStats {
                 hits: 14,
@@ -1068,11 +1349,22 @@ mod tests {
                 fingerprint: 0xFEED_F00D,
                 cost: 42,
             }),
+            tenants: vec![
+                TenantGauge {
+                    tenant: 7,
+                    inflight: 3,
+                },
+                TenantGauge {
+                    tenant: 42,
+                    inflight: 1,
+                },
+            ],
         };
         assert_eq!(StatsResponse::decode(&s.encode()).unwrap(), s);
         // A future server appending a counter must not break this build.
         let mut extended = s.encode();
-        extended[0..4].copy_from_slice(&27u32.to_le_bytes());
+        let declared = u32::from_le_bytes(extended[0..4].try_into().unwrap());
+        extended[0..4].copy_from_slice(&(declared + 1).to_le_bytes());
         extended.extend_from_slice(&99u64.to_le_bytes());
         assert_eq!(StatsResponse::decode(&extended).unwrap(), s);
         // A hostile count is rejected before any allocation.
@@ -1083,7 +1375,10 @@ mod tests {
             Err(ServiceError::Malformed(_))
         ));
         // No gossip travels as zeros, which an old decoder reads as none.
-        let none = StatsResponse { bound: None, ..s };
+        let none = StatsResponse {
+            bound: None,
+            ..s.clone()
+        };
         assert_eq!(StatsResponse::decode(&none.encode()).unwrap().bound, None);
         // An older (17-field) frame decodes with zeroed new counters.
         let mut old = s.encode();
@@ -1095,6 +1390,24 @@ mod tests {
         assert_eq!(decoded.cache.warm_loaded, 17);
         assert_eq!(decoded.cache.replicated_entries, 0);
         assert_eq!(decoded.server.stale_epoch_rejections, 0);
+        assert_eq!(decoded.server.shed_over_quota, 0);
+        assert_eq!(decoded.tenants, Vec::new());
+        // A 26-field (pre-overload) frame zeroes the new counters too.
+        let mut pre = s.encode();
+        pre.truncate(4 + 8 * 26);
+        pre[0..4].copy_from_slice(&26u32.to_le_bytes());
+        let decoded = StatsResponse::decode(&pre).unwrap();
+        assert_eq!(decoded.server.anti_entropy_repairs, 26);
+        assert_eq!(decoded.server.idle_timeouts, 0);
+        assert_eq!(decoded.tenants, Vec::new());
+        // A gauge-pair count cut off by the declared total is clamped,
+        // never read past the payload.
+        let mut torn = s.encode();
+        let full = u32::from_le_bytes(torn[0..4].try_into().unwrap());
+        torn.truncate(torn.len() - 8);
+        torn[0..4].copy_from_slice(&(full - 1).to_le_bytes());
+        let decoded = StatsResponse::decode(&torn).unwrap();
+        assert_eq!(decoded.tenants.len(), 1);
     }
 
     #[test]
@@ -1312,5 +1625,173 @@ mod tests {
             read_frame(&mut cursor),
             Err(ServiceError::UnsupportedVersion(9))
         ));
+    }
+
+    #[test]
+    fn tenant_frames_round_trip_and_interoperate() {
+        let payload = fig1_request().encode();
+        // A v2 frame carries its tenant id through intact.
+        let frame = encode_frame_tenant(kind::REQ_PLAN, 7, &payload);
+        let mut cursor = io::Cursor::new(frame);
+        let (k, tenant, back) = read_frame_tenant(&mut cursor).unwrap().unwrap();
+        assert_eq!((k, tenant), (kind::REQ_PLAN, 7));
+        assert_eq!(back, payload);
+        assert!(read_frame_tenant(&mut cursor).unwrap().is_none());
+        // A v1 frame reads as tenant 0 through the same entry point.
+        let mut cursor = io::Cursor::new(encode_frame(kind::REQ_PLAN, &payload));
+        let (k, tenant, back) = read_frame_tenant(&mut cursor).unwrap().unwrap();
+        assert_eq!((k, tenant), (kind::REQ_PLAN, 0));
+        assert_eq!(back, payload);
+        // Tenant 0 writes the v1 layout byte for byte, so old servers
+        // never see a version they cannot parse.
+        let mut wire = Vec::new();
+        write_frame_tenant(&mut wire, kind::REQ_PLAN, 0, &payload).unwrap();
+        assert_eq!(wire, encode_frame(kind::REQ_PLAN, &payload));
+        let mut wire = Vec::new();
+        write_frame_tenant(&mut wire, kind::REQ_PLAN, 9, &payload).unwrap();
+        assert_eq!(wire, encode_frame_tenant(kind::REQ_PLAN, 9, &payload));
+    }
+
+    #[test]
+    fn every_tenant_frame_bit_flip_is_detected() {
+        let frame = encode_frame_tenant(kind::REQ_PLAN, 0xABCD, &fig1_request().encode());
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                let mut cursor = io::Cursor::new(flipped);
+                assert!(
+                    read_frame_tenant(&mut cursor).is_err(),
+                    "undetected flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_tenant_frame_truncation_is_clean() {
+        let frame = encode_frame_tenant(kind::REQ_PLAN, 3, &fig1_request().encode());
+        for cut in 1..frame.len() {
+            let mut cursor = io::Cursor::new(frame[..cut].to_vec());
+            match read_frame_tenant(&mut cursor) {
+                Err(ServiceError::ConnectionClosed) => {}
+                other => panic!("cut at {cut}: expected ConnectionClosed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_tenant_frame_is_rejected_from_the_header_alone() {
+        let mut frame = encode_frame_tenant(kind::REQ_PLAN, 1, &[]);
+        // len field sits after magic(4) + version(2) + kind(1) + tenant(4).
+        frame[11..15].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        match read_frame_tenant(&mut cursor) {
+            Err(ServiceError::FrameTooLarge(n)) => assert_eq!(n, 3 << 30),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_request_round_trips() {
+        let one = fig1_request();
+        let two = PlanRequest {
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 10,
+            ..one.clone()
+        };
+        let batch = BatchRequest {
+            entries: vec![one, two],
+        };
+        assert_eq!(BatchRequest::decode(&batch.encode()).unwrap(), batch);
+    }
+
+    #[test]
+    fn batch_response_round_trips() {
+        let resp = BatchResponse {
+            entries: vec![
+                Ok(PlanResponse {
+                    uov: ivec![1, 1],
+                    cost: 2,
+                    certificate_hash: 0xF00D,
+                    degradation: DegradationCode::Pressure,
+                    cache: CacheOutcome::Miss,
+                }),
+                Err(ErrorResponse {
+                    code: ErrorCode::Overloaded,
+                    msg: "tenant over quota".into(),
+                }),
+            ],
+        };
+        assert_eq!(BatchResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn hostile_batches_are_typed_errors() {
+        // Empty batches carry no work and are rejected.
+        let empty = BatchRequest { entries: vec![] };
+        assert!(matches!(
+            BatchRequest::decode(&empty.encode()),
+            Err(ServiceError::Malformed(_))
+        ));
+        // A count beyond the limit is rejected before any allocation.
+        let mut e = Encoder::new();
+        e.u32(MAX_BATCH_ENTRIES + 1);
+        assert!(matches!(
+            BatchRequest::decode(&e.buf),
+            Err(ServiceError::Malformed(_))
+        ));
+        let mut e = Encoder::new();
+        e.u32(u32::MAX);
+        assert!(matches!(
+            BatchRequest::decode(&e.buf),
+            Err(ServiceError::Malformed(_))
+        ));
+        // A hostile per-entry length is bounded by the payload size.
+        let batch = BatchRequest {
+            entries: vec![fig1_request()],
+        };
+        let mut bytes = batch.encode();
+        bytes[4..8].copy_from_slice(&(2u32 << 30).to_le_bytes());
+        assert!(matches!(
+            BatchRequest::decode(&bytes),
+            Err(ServiceError::Malformed(_))
+        ));
+        // Trailing bytes after the declared entries are rejected.
+        let mut bytes = batch.encode();
+        bytes.push(0);
+        assert!(matches!(
+            BatchRequest::decode(&bytes),
+            Err(ServiceError::Malformed(_))
+        ));
+        // An unknown status tag in a response is rejected.
+        let resp = BatchResponse {
+            entries: vec![Err(ErrorResponse {
+                code: ErrorCode::Internal,
+                msg: "x".into(),
+            })],
+        };
+        let mut bytes = resp.encode();
+        bytes[4] = 9;
+        assert!(matches!(
+            BatchResponse::decode(&bytes),
+            Err(ServiceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn pressure_degradation_round_trips() {
+        assert_eq!(
+            DegradationCode::from_u8(DegradationCode::Pressure.to_u8()).unwrap(),
+            DegradationCode::Pressure
+        );
+        let resp = PlanResponse {
+            uov: ivec![1, 1],
+            cost: 2,
+            certificate_hash: 1,
+            degradation: DegradationCode::Pressure,
+            cache: CacheOutcome::Miss,
+        };
+        assert_eq!(PlanResponse::decode(&resp.encode()).unwrap(), resp);
     }
 }

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use crate::client::Client;
 use crate::error::{ErrorCode, ServiceError};
-use crate::proto::{PlanRequest, PlanResponse};
+use crate::proto::{BatchRequest, BatchResponse, PlanRequest, PlanResponse};
 
 /// Tunables for [`ResilientClient`].
 #[derive(Debug, Clone)]
@@ -201,6 +201,8 @@ pub struct ResilientClient {
     cfg: ResilientConfig,
     rng: XorShift64,
     events: Vec<FabricEvent>,
+    /// Tenant id stamped into every request frame (0 = anonymous).
+    tenant: u32,
 }
 
 impl ResilientClient {
@@ -228,7 +230,20 @@ impl ResilientClient {
             cfg,
             rng: XorShift64::new(seed),
             events: Vec::new(),
+            tenant: 0,
         })
+    }
+
+    /// Identify as `tenant` for quota accounting on every subsequent
+    /// request. Cached connections are dropped so the change takes
+    /// effect immediately on every replica.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+        for r in &mut self.replicas {
+            if let Some(c) = &mut r.conn {
+                c.set_tenant(tenant);
+            }
+        }
     }
 
     /// The decision log accumulated so far.
@@ -291,6 +306,73 @@ impl ResilientClient {
             attempts: max_attempts,
             last: Box::new(last.unwrap_or(ServiceError::ConnectionClosed)),
         })
+    }
+
+    /// Plan a whole batch through the fabric: the same breaker-aware
+    /// replica selection, per-attempt timeouts, and deterministic
+    /// backoff as [`ResilientClient::plan`], without hedging (a batch is
+    /// retried as a unit; entries still succeed or fail independently
+    /// inside a delivered response). Safe to retry for the same reason
+    /// single plans are — a batch is a pure function of its entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::FabricExhausted`] when every attempt failed; a
+    /// non-retryable rejection immediately as [`ServiceError::Rejected`].
+    pub fn plan_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, ServiceError> {
+        let max_attempts = self.cfg.max_attempts.max(1);
+        let mut last: Option<ServiceError> = None;
+        for attempt in 0..max_attempts {
+            let primary = self.select_replica();
+            self.events.push(FabricEvent::Attempt {
+                attempt,
+                replica: primary,
+            });
+            match self.attempt_single_batch(primary, req) {
+                Ok(resp) => {
+                    self.on_success(primary);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.on_failure(primary, FailureClass::of(&e));
+                    if Self::is_hard(&e) {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+            if attempt + 1 < max_attempts {
+                let ms = self.backoff_ms(attempt);
+                self.events.push(FabricEvent::Backoff { attempt, ms });
+                if ms > 0 {
+                    thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+        Err(ServiceError::FabricExhausted {
+            attempts: max_attempts,
+            last: Box::new(last.unwrap_or(ServiceError::ConnectionClosed)),
+        })
+    }
+
+    fn attempt_single_batch(
+        &mut self,
+        idx: usize,
+        req: &BatchRequest,
+    ) -> Result<BatchResponse, ServiceError> {
+        let mut client = self.take_conn(idx)?;
+        client.set_timeout(Some(self.cfg.attempt_timeout))?;
+        match client.plan_batch(req) {
+            Ok(resp) => {
+                self.put_conn(idx, client, true);
+                Ok(resp)
+            }
+            Err(e) => {
+                let healthy = matches!(e, ServiceError::Rejected { .. });
+                self.put_conn(idx, client, healthy);
+                Err(e)
+            }
+        }
     }
 
     /// Whether retrying cannot possibly help: the server understood the
@@ -356,6 +438,7 @@ impl ResilientClient {
             None => {
                 let mut c = Client::connect(&self.replicas[idx].endpoint)?;
                 c.set_timeout(Some(self.cfg.attempt_timeout))?;
+                c.set_tenant(self.tenant);
                 Ok(c)
             }
         }
@@ -442,10 +525,12 @@ impl ResilientClient {
         let sreq = req.clone();
         let sidx = secondary;
         let sendpoint = self.replicas[secondary].endpoint.clone();
+        let stenant = self.tenant;
         thread::spawn(move || {
             let r = (|| {
                 let mut c = Client::connect(&sendpoint)?;
                 c.set_timeout(Some(timeout))?;
+                c.set_tenant(stenant);
                 let resp = c.plan(&sreq);
                 Ok::<Arrival, ServiceError>((sidx, resp, Some(c)))
             })();

@@ -1,17 +1,33 @@
-//! The planning server: a fixed worker pool behind a bounded accept
-//! queue, speaking the framed protocol of [`crate::proto`].
+//! The planning server: a nonblocking readiness loop (epoll on Linux,
+//! `poll(2)` on other Unixes, a timed scan elsewhere) feeding a bounded
+//! compute pool, speaking the framed protocol of [`crate::proto`].
 //!
-//! Admission control is explicit and typed. The accept loop never blocks
-//! on a slow worker: connections land in a bounded queue, and when the
-//! queue is full the connection is answered with one `Overloaded` error
-//! frame and closed — load-shedding at the door instead of unbounded
-//! buffering. Each worker isolates connection handling behind
-//! `catch_unwind`, so a panic poisons one connection, not the pool.
+//! One event thread owns every socket. Connections are per-connection
+//! state machines: bytes accumulate in a read buffer and frames are
+//! parsed incrementally, so a thousand idle or slow connections cost no
+//! threads and a slow-loris sender (one byte per second) is reaped by
+//! the read deadline like any other stalled peer. Parsed compute frames
+//! are admitted — or shed — on the event thread and executed on a fixed
+//! pool of worker threads, with per-tenant weighted-fair dequeue so one
+//! hog tenant cannot starve compliant ones.
 //!
-//! Shutdown is a drain, not a kill: the shutdown flag stops the accept
-//! loop, in-flight requests run to completion, frames arriving after the
-//! flag are answered `ShuttingDown`, and [`ServerHandle::join`] returns
-//! once every worker has exited.
+//! Admission control is explicit, typed, and tiered. Tier 1: a tenant
+//! over its token-bucket rate or in-flight cap is shed with
+//! `Overloaded` (`shed_over_quota`). Tier 2: once the compute queue
+//! reaches [`ServerConfig::degrade_watermark`], in-budget plan requests
+//! are served through the certified always-legal `Σvᵢ` fast path
+//! (`degraded_under_pressure`, never cached) instead of queuing a full
+//! search. Tier 3: a full queue rejects with `Overloaded`
+//! (`rejected_overloaded`). Compliant traffic is only dropped after
+//! both shedding tiers.
+//!
+//! Shutdown is a drain, not a kill: the drain flag stops the accept
+//! path, in-flight searches run to completion, queued-but-unstarted
+//! work and frames arriving after the flag are answered `ShuttingDown`,
+//! and [`ServerHandle::join`] returns once the event thread and every
+//! worker have exited. Health and stats probes are answered inline on
+//! the event thread — even mid-drain, and even while every worker is
+//! busy or wedged.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -21,39 +37,93 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use uov_core::certify::certify;
 use uov_core::checkpoint::{decode_snapshot, encode_snapshot};
-use uov_core::search::{find_best_uov, search_unit, SearchConfig, SearchStats};
+use uov_core::search::{
+    find_best_uov, initial_uov, search_unit, try_cost_of, SearchConfig, SearchStats,
+};
+use uov_core::wire::crc32;
 use uov_core::{fingerprint, Budget, SearchResult};
 use uov_isg::Stencil;
 
 use crate::error::{ErrorCode, ServiceError};
 use crate::plan_cache::{CacheStats, PlanCache, Planned, WarmCacheError, DEFAULT_CACHE_CAPACITY};
 use crate::proto::{
-    kind, read_frame, write_frame, BoundGossip, DegradationCode, ErrorResponse, HealthResponse,
-    ObjectiveSpec, PlanRequest, PlanResponse, ReplicateRequest, ReplicateResponse, StatsResponse,
-    WorkUnitRequest, WorkUnitResponse, FLAG_NO_CACHE,
+    encode_frame, kind, BatchRequest, BatchResponse, BoundGossip, CacheOutcome, DegradationCode,
+    ErrorResponse, HealthResponse, ObjectiveSpec, PlanRequest, PlanResponse, ReplicateRequest,
+    ReplicateResponse, StatsResponse, TenantGauge, WorkUnitRequest, WorkUnitResponse,
+    FLAG_NO_CACHE, HEADER_LEN, HEADER_LEN_TENANT, MAGIC, MAX_BATCH_ENTRIES, MAX_PAYLOAD, VERSION,
+    VERSION_TENANT,
 };
+
+/// Admission quota for one tenant: a token bucket for sustained rate, a
+/// concurrency cap, and a weighted-fair-dequeue share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Sustained admission rate, in requests per second (a batch of N
+    /// entries charges N tokens). `0` means no sustained refill — only
+    /// the initial `burst` is ever admitted.
+    pub tokens_per_sec: u64,
+    /// Bucket capacity: how many requests may arrive at once before the
+    /// rate limit bites. `0` sheds everything from this tenant.
+    pub burst: u64,
+    /// Maximum frames from this tenant admitted but not yet answered.
+    pub max_inflight: u64,
+    /// Weighted-fair-dequeue share: a tenant with weight `w` may take
+    /// `w` consecutive items from the compute queue before the next
+    /// tenant's turn. Minimum effective weight is 1.
+    pub weight: u32,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            tokens_per_sec: 10_000,
+            burst: 10_000,
+            max_inflight: 1024,
+            weight: 1,
+        }
+    }
+}
+
+/// Per-tenant admission control for [`ServerConfig::quotas`]. Tenants
+/// not listed in `tenants` fall back to `default`.
+#[derive(Debug, Clone, Default)]
+pub struct QuotaConfig {
+    /// Quota applied to tenants without an explicit entry.
+    pub default: TenantQuota,
+    /// Explicit per-tenant overrides, keyed by the tenant id carried in
+    /// version-2 `UOVS` frame headers (version-1 frames are tenant 0).
+    pub tenants: HashMap<u32, TenantQuota>,
+}
+
+impl QuotaConfig {
+    fn for_tenant(&self, tenant: u32) -> &TenantQuota {
+        self.tenants.get(&tenant).unwrap_or(&self.default)
+    }
+}
 
 /// Tunables for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections (and running searches).
+    /// Compute-pool threads running searches (the event thread that owns
+    /// the sockets is separate and never runs a search).
     pub workers: usize,
-    /// Bounded connection queue depth between accept and the workers.
-    /// A full queue rejects new connections with `Overloaded`.
+    /// Bounded compute-queue depth between admission and the workers.
+    /// A full queue sheds further requests with `Overloaded`.
     pub queue_depth: usize,
     /// Branch-and-bound threads per search (`0`/`1` = sequential).
     pub search_threads: usize,
     /// Distinct canonical plans retained by the cache.
     pub cache_capacity: usize,
-    /// Consecutive ~100 ms idle polls tolerated on a connection before it
-    /// is dropped (half-open peer protection). Default ≈ 30 s.
+    /// Read deadline in ~100 ms ticks: a connection that completes no
+    /// frame for this long (idle, half-open, or slow-loris) is dropped.
+    /// Default ≈ 30 s. Connections with a response in flight or output
+    /// still buffered are never reaped.
     pub idle_ticks: u32,
     /// Warm-cache snapshot path. When set, the plan cache is restored
     /// from this file on startup (a missing or corrupt snapshot starts
@@ -66,6 +136,16 @@ pub struct ServerConfig {
     /// `Duration::ZERO` (the default) disables wedge detection —
     /// legitimate unbounded searches are never cut.
     pub wedge_timeout: Duration,
+    /// Per-tenant admission quotas (token-bucket rate, in-flight cap,
+    /// weighted-fair share). `None` (the default) disables quota
+    /// enforcement entirely; the weighted-fair dequeue still applies
+    /// with uniform weight 1.
+    pub quotas: Option<QuotaConfig>,
+    /// Compute-queue length at which in-budget plan requests stop
+    /// queuing full searches and are served through the certified
+    /// always-legal `Σvᵢ` fast path instead (`DegradationCode::
+    /// Pressure`, never cached). `0` (the default) disables the tier.
+    pub degrade_watermark: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +158,8 @@ impl Default for ServerConfig {
             idle_ticks: 300,
             warm_cache: None,
             wedge_timeout: Duration::ZERO,
+            quotas: None,
+            degrade_watermark: 0,
         }
     }
 }
@@ -85,20 +167,21 @@ impl Default for ServerConfig {
 /// A snapshot of the server's monotone traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Connections accepted into the queue.
+    /// Connections accepted by the event loop.
     pub connections: u64,
-    /// Connections rejected at the door with `Overloaded`.
+    /// Requests shed with `Overloaded` because the compute queue was
+    /// full (load-shedding tier 3).
     pub rejected_overloaded: u64,
     /// Plan requests admitted to a worker.
     pub requests: u64,
-    /// Plan responses successfully written.
+    /// Response frames fully written back to a client.
     pub responses: u64,
     /// Frames rejected for protocol violations (bad magic, CRC, torn
     /// frames, malformed payloads).
     pub protocol_errors: u64,
     /// Requests answered `ShuttingDown` during the drain.
     pub rejected_shutdown: u64,
-    /// Connection handlers that panicked (isolated; the worker survived).
+    /// Worker executions that panicked (isolated; the pool survived).
     pub panics: u64,
     /// Frames whose CRC32 did not match their contents (bit damage in
     /// transit). A subset of `protocol_errors`.
@@ -132,6 +215,17 @@ pub struct ServerStats {
     /// re-certified and stored (a peer healing this replica's cache
     /// after it restarted).
     pub anti_entropy_repairs: u64,
+    /// Requests shed with `Overloaded` because their tenant exceeded its
+    /// admission quota — rate tokens or in-flight cap (tier 1).
+    pub shed_over_quota: u64,
+    /// In-budget plan requests served through the certified `Σvᵢ` fast
+    /// path because the compute queue reached the degrade watermark
+    /// (tier 2; such answers are never cached).
+    pub degraded_under_pressure: u64,
+    /// `REQ_BATCH` frames received (before admission).
+    pub batch_frames: u64,
+    /// Connections reaped by the idle/slow-loris read deadline.
+    pub idle_timeouts: u64,
 }
 
 #[derive(Default)]
@@ -154,6 +248,10 @@ struct Counters {
     warm_load_version: AtomicU64,
     stale_epoch_rejections: AtomicU64,
     anti_entropy_repairs: AtomicU64,
+    shed_over_quota: AtomicU64,
+    degraded_under_pressure: AtomicU64,
+    batch_frames: AtomicU64,
+    idle_timeouts: AtomicU64,
 }
 
 impl Counters {
@@ -177,6 +275,10 @@ impl Counters {
             warm_load_version: self.warm_load_version.load(Ordering::Relaxed),
             stale_epoch_rejections: self.stale_epoch_rejections.load(Ordering::Relaxed),
             anti_entropy_repairs: self.anti_entropy_repairs.load(Ordering::Relaxed),
+            shed_over_quota: self.shed_over_quota.load(Ordering::Relaxed),
+            degraded_under_pressure: self.degraded_under_pressure.load(Ordering::Relaxed),
+            batch_frames: self.batch_frames.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -263,6 +365,20 @@ impl AnyListener {
             }
         }
     }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            AnyListener::Tcp(l) => l.as_raw_fd(),
+            AnyListener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn raw_fd(&self) -> i32 {
+        -1
+    }
 }
 
 impl AnyStream {
@@ -308,6 +424,20 @@ impl AnyStream {
             }
         }
     }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            AnyStream::Tcp(s) => s.as_raw_fd(),
+            AnyStream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn raw_fd(&self) -> i32 {
+        -1
+    }
 }
 
 impl Read for AnyStream {
@@ -338,6 +468,559 @@ impl Write for AnyStream {
     }
 }
 
+// ------------------------------------------------------------- readiness
+
+/// One readiness report from the poller.
+struct PollEvent {
+    token: u64,
+    readable: bool,
+    writable: bool,
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Linux: epoll plus a self-pipe for compute-pool wakeups. Raw FFI —
+/// std already links libc, so no new dependency.
+#[cfg(target_os = "linux")]
+mod poller {
+    use super::{PollEvent, TOKEN_WAKE};
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(crate) struct Poller {
+        epfd: c_int,
+        wake_rd: c_int,
+    }
+
+    /// The write end of the self-pipe; cloned into every worker so a
+    /// finished computation can interrupt `epoll_wait` immediately.
+    pub(crate) struct Notifier {
+        wake_wr: c_int,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<(Poller, Notifier)> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let mut fds: [c_int; 2] = [0; 2];
+            if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+                let e = io::Error::last_os_error();
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+            let p = Poller {
+                epfd,
+                wake_rd: fds[0],
+            };
+            p.ctl(EPOLL_CTL_ADD, fds[0], TOKEN_WAKE, EPOLLIN)?;
+            Ok((p, Notifier { wake_wr: fds[1] }))
+        }
+
+        fn ctl(&self, op: c_int, fd: c_int, token: u64, events: u32) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn mask(readable: bool, writable: bool) -> u32 {
+            let mut m = 0;
+            if readable {
+                m |= EPOLLIN;
+            }
+            if writable {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        pub(crate) fn add(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, Self::mask(readable, writable))
+        }
+
+        pub(crate) fn set(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, Self::mask(readable, writable))
+        }
+
+        pub(crate) fn del(&self, fd: i32) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        pub(crate) fn wait(&self, timeout_ms: i32) -> Vec<PollEvent> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                if io::Error::last_os_error().kind() != io::ErrorKind::Interrupted {
+                    break 0;
+                }
+            };
+            buf[..n]
+                .iter()
+                .map(|ev| {
+                    let bits = ev.events;
+                    PollEvent {
+                        token: ev.data,
+                        readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                    }
+                })
+                .collect()
+        }
+
+        pub(crate) fn drain_wake(&self) {
+            let mut sink = [0u8; 256];
+            loop {
+                let n =
+                    unsafe { read(self.wake_rd, sink.as_mut_ptr().cast::<c_void>(), sink.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_rd);
+                close(self.epfd);
+            }
+        }
+    }
+
+    impl Notifier {
+        pub(crate) fn notify(&self) {
+            let byte = 1u8;
+            unsafe {
+                let _ = write(self.wake_wr, (&raw const byte).cast::<c_void>(), 1);
+            }
+        }
+    }
+
+    impl Drop for Notifier {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_wr);
+            }
+        }
+    }
+}
+
+/// Other Unixes: `poll(2)` over a registry rebuilt per wait, plus a
+/// self-pipe. Slower than epoll but identical semantics.
+#[cfg(all(unix, not(target_os = "linux")))]
+mod poller {
+    use super::{PollEvent, TOKEN_WAKE};
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(crate) struct Poller {
+        registry: Mutex<Vec<(c_int, u64, bool, bool)>>,
+        wake_rd: c_int,
+    }
+
+    pub(crate) struct Notifier {
+        wake_wr: c_int,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<(Poller, Notifier)> {
+            let mut fds: [c_int; 2] = [0; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok((
+                Poller {
+                    registry: Mutex::new(Vec::new()),
+                    wake_rd: fds[0],
+                },
+                Notifier { wake_wr: fds[1] },
+            ))
+        }
+
+        pub(crate) fn add(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap_or_else(|p| p.into_inner());
+            reg.push((fd, token, readable, writable));
+            Ok(())
+        }
+
+        pub(crate) fn set(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap_or_else(|p| p.into_inner());
+            for slot in reg.iter_mut() {
+                if slot.0 == fd {
+                    *slot = (fd, token, readable, writable);
+                    return Ok(());
+                }
+            }
+            reg.push((fd, token, readable, writable));
+            Ok(())
+        }
+
+        pub(crate) fn del(&self, fd: i32) {
+            let mut reg = self.registry.lock().unwrap_or_else(|p| p.into_inner());
+            reg.retain(|slot| slot.0 != fd);
+        }
+
+        pub(crate) fn wait(&self, timeout_ms: i32) -> Vec<PollEvent> {
+            let entries: Vec<(c_int, u64, bool, bool)> = {
+                let reg = self.registry.lock().unwrap_or_else(|p| p.into_inner());
+                reg.clone()
+            };
+            let mut fds: Vec<PollFd> = Vec::with_capacity(entries.len() + 1);
+            fds.push(PollFd {
+                fd: self.wake_rd,
+                events: POLLIN,
+                revents: 0,
+            });
+            for &(fd, _, readable, writable) in &entries {
+                let mut events = 0;
+                if readable {
+                    events |= POLLIN;
+                }
+                if writable {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events,
+                    revents: 0,
+                });
+            }
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n <= 0 {
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            if fds[0].revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+                out.push(PollEvent {
+                    token: TOKEN_WAKE,
+                    readable: true,
+                    writable: false,
+                });
+            }
+            for (slot, &(_, token, _, _)) in fds[1..].iter().zip(entries.iter()) {
+                let r = slot.revents;
+                if r != 0 {
+                    out.push(PollEvent {
+                        token,
+                        readable: r & (POLLIN | POLLERR | POLLHUP) != 0,
+                        writable: r & (POLLOUT | POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            out
+        }
+
+        pub(crate) fn drain_wake(&self) {
+            let mut sink = [0u8; 256];
+            unsafe {
+                let _ = read(self.wake_rd, sink.as_mut_ptr().cast::<c_void>(), sink.len());
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_rd);
+            }
+        }
+    }
+
+    impl Notifier {
+        pub(crate) fn notify(&self) {
+            let byte = 1u8;
+            unsafe {
+                let _ = write(self.wake_wr, (&raw const byte).cast::<c_void>(), 1);
+            }
+        }
+    }
+
+    impl Drop for Notifier {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_wr);
+            }
+        }
+    }
+}
+
+/// Non-Unix fallback: a timed scan. Every registered token is reported
+/// ready each tick; spurious readiness is harmless on nonblocking
+/// sockets (reads/writes just return `WouldBlock`).
+#[cfg(not(unix))]
+mod poller {
+    use super::PollEvent;
+    use std::io;
+    use std::sync::Mutex;
+
+    pub(crate) struct Poller {
+        tokens: Mutex<Vec<u64>>,
+    }
+
+    pub(crate) struct Notifier;
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<(Poller, Notifier)> {
+            Ok((
+                Poller {
+                    tokens: Mutex::new(Vec::new()),
+                },
+                Notifier,
+            ))
+        }
+
+        pub(crate) fn add(
+            &self,
+            _fd: i32,
+            token: u64,
+            _readable: bool,
+            _writable: bool,
+        ) -> io::Result<()> {
+            let mut reg = self.tokens.lock().unwrap_or_else(|p| p.into_inner());
+            if !reg.contains(&token) {
+                reg.push(token);
+            }
+            Ok(())
+        }
+
+        pub(crate) fn set(
+            &self,
+            _fd: i32,
+            token: u64,
+            _readable: bool,
+            _writable: bool,
+        ) -> io::Result<()> {
+            self.add(_fd, token, _readable, _writable)
+        }
+
+        pub(crate) fn del(&self, _fd: i32) {
+            // Tokens are cheap; stale ones simply stop matching a
+            // connection and are ignored by the event loop.
+        }
+
+        pub(crate) fn wait(&self, timeout_ms: i32) -> Vec<PollEvent> {
+            std::thread::sleep(std::time::Duration::from_millis(
+                (timeout_ms.max(1) as u64).min(10),
+            ));
+            let reg = self.tokens.lock().unwrap_or_else(|p| p.into_inner());
+            reg.iter()
+                .map(|&token| PollEvent {
+                    token,
+                    readable: true,
+                    writable: true,
+                })
+                .collect()
+        }
+
+        pub(crate) fn drain_wake(&self) {}
+    }
+
+    impl Notifier {
+        pub(crate) fn notify(&self) {}
+    }
+}
+
+// ------------------------------------------------------------- scheduler
+
+/// One admitted compute frame, queued for a worker.
+struct WorkItem {
+    token: u64,
+    tenant: u32,
+    kind: u8,
+    payload: Vec<u8>,
+    /// Serve through the certified `Σvᵢ` pressure fast path instead of a
+    /// full search (load-shedding tier 2).
+    degrade: bool,
+    weight: u32,
+}
+
+/// A finished computation, handed back to the event thread for writing.
+struct Completion {
+    token: u64,
+    kind: u8,
+    payload: Vec<u8>,
+    counts_response: bool,
+    close: bool,
+}
+
+#[derive(Default)]
+struct SchedInner {
+    queues: HashMap<u32, VecDeque<WorkItem>>,
+    /// Round-robin order of tenants with queued work. Invariant: a
+    /// tenant is present here iff its queue exists and is non-empty.
+    order: VecDeque<u32>,
+    /// Consecutive items already taken from the front tenant this turn.
+    deficit: u32,
+    closed: bool,
+}
+
+/// Weighted-fair compute queue: tenants with queued work take turns, and
+/// a tenant with weight `w` takes `w` consecutive items per turn. A hog
+/// tenant with a thousand queued frames still yields the pool to a
+/// compliant tenant after at most `w` dequeues.
+struct Scheduler {
+    inner: Mutex<SchedInner>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        Scheduler {
+            inner: Mutex::new(SchedInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        let tenant = item.tenant;
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let was_empty = {
+            let q = inner.queues.entry(tenant).or_default();
+            let was = q.is_empty();
+            q.push_back(item);
+            was
+        };
+        if was_empty {
+            inner.order.push_back(tenant);
+        }
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Blocking weighted-fair dequeue; `None` once closed and drained.
+    fn pop(&self) -> Option<WorkItem> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(&tenant) = inner.order.front() {
+                let item = inner.queues.get_mut(&tenant).and_then(|q| q.pop_front());
+                let Some(item) = item else {
+                    // Defensive: a stale order entry is dropped, never
+                    // served.
+                    inner.queues.remove(&tenant);
+                    inner.order.pop_front();
+                    inner.deficit = 0;
+                    continue;
+                };
+                let now_empty = inner.queues.get(&tenant).is_none_or(|q| q.is_empty());
+                inner.deficit += 1;
+                if now_empty {
+                    inner.queues.remove(&tenant);
+                    inner.order.pop_front();
+                    inner.deficit = 0;
+                } else if inner.deficit >= item.weight.max(1) {
+                    inner.order.rotate_left(1);
+                    inner.deficit = 0;
+                }
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
 // ----------------------------------------------------------------- server
 
 /// What one worker is doing right now, read and written under one lock so
@@ -356,7 +1039,7 @@ struct BusyState {
 #[derive(Default)]
 struct WorkerSlot {
     /// Milliseconds (since server start) of the worker's last sign of
-    /// life — updated on every connection event and request boundary.
+    /// life — updated on every dequeue and request boundary.
     heartbeat_ms: AtomicU64,
     /// The in-flight request, if any.
     busy: Mutex<BusyState>,
@@ -385,7 +1068,7 @@ struct ServerState {
     cache: PlanCache,
     shutdown: AtomicBool,
     stats: Counters,
-    /// Connections sitting in the bounded queue right now.
+    /// Work items sitting in the compute queue right now.
     queue_len: AtomicU64,
     /// Worker threads currently running their loop.
     workers_alive: AtomicU64,
@@ -405,11 +1088,43 @@ struct ServerState {
     /// `StaleEpoch` before any work runs; an equal epoch is the same
     /// lease resent (idempotent) and is allowed.
     leases: Mutex<HashMap<u64, u64>>,
+    /// Frames admitted but not yet answered, per tenant — the in-flight
+    /// gauge behind the quota cap and the `REQ_STATS` tenant rows.
+    tenant_inflight: Mutex<HashMap<u32, u64>>,
 }
 
 impl ServerState {
     fn now_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
+    }
+
+    fn gauge_add(&self, tenant: u32) {
+        let mut g = self
+            .tenant_inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        *g.entry(tenant).or_insert(0) += 1;
+    }
+
+    fn gauge_sub(&self, tenant: u32) {
+        let mut g = self
+            .tenant_inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(v) = g.get_mut(&tenant) {
+            *v = v.saturating_sub(1);
+            if *v == 0 {
+                g.remove(&tenant);
+            }
+        }
+    }
+
+    fn gauge_of(&self, tenant: u32) -> u64 {
+        let g = self
+            .tenant_inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        g.get(&tenant).copied().unwrap_or(0)
     }
 
     /// Record a proven incumbent bound for gossip. Costs that do not fit
@@ -450,6 +1165,27 @@ impl ServerState {
             workers_alive,
             queue_len,
             queue_depth,
+        }
+    }
+
+    /// The full stats frame, including per-tenant in-flight gauges
+    /// (sorted by tenant id for a deterministic wire image).
+    fn stats_response(&self) -> StatsResponse {
+        let mut tenants: Vec<TenantGauge> = {
+            let g = self
+                .tenant_inflight
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            g.iter()
+                .map(|(&tenant, &inflight)| TenantGauge { tenant, inflight })
+                .collect()
+        };
+        tenants.sort_by_key(|t| t.tenant);
+        StatsResponse {
+            server: self.stats.snapshot(),
+            cache: self.cache.stats(),
+            bound: self.gossip_bound(),
+            tenants,
         }
     }
 
@@ -518,6 +1254,45 @@ impl ServerState {
             certificate_hash: cert.transcript_hash,
             degradation: DegradationCode::from_exhausted(planned.degradation.map(|d| d.reason)),
             cache: planned.cache,
+        })
+    }
+
+    /// Serve one plan request through the always-legal `Σvᵢ` fast path
+    /// (load-shedding tier 2). No search runs: the sum of the dependence
+    /// vectors is a universal occupancy vector for *any* stencil (the
+    /// paper's fallback), so the answer is computed, costed, and
+    /// certified in microseconds. The response is marked
+    /// `DegradationCode::Pressure` and is never cached — a later
+    /// uncontended request must get the real optimum.
+    fn handle_plan_pressure(&self, req: &PlanRequest) -> Result<PlanResponse, ErrorResponse> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .degraded_under_pressure
+            .fetch_add(1, Ordering::Relaxed);
+        let objective = req.objective.as_objective();
+        let uov = initial_uov(&req.stencil);
+        let cost = try_cost_of(&objective, &uov).map_err(|e| ErrorResponse {
+            code: ErrorCode::Internal,
+            msg: format!("pressure fast path: {e}"),
+        })?;
+        let as_result = SearchResult {
+            uov: uov.clone(),
+            cost,
+            stats: SearchStats::default(),
+            degradation: None,
+            checkpoint_error: None,
+        };
+        let cert = certify(&req.stencil, &objective, &as_result).map_err(|e| ErrorResponse {
+            code: ErrorCode::Internal,
+            msg: format!("certification failed: {e}"),
+        })?;
+        self.update_gossip(fingerprint(&req.stencil, &objective), cost);
+        Ok(PlanResponse {
+            uov,
+            cost,
+            certificate_hash: cert.transcript_hash,
+            degradation: DegradationCode::Pressure,
+            cache: CacheOutcome::Miss,
         })
     }
 
@@ -636,232 +1411,784 @@ impl ServerState {
     }
 }
 
-fn is_idle_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+// -------------------------------------------------------- frame parsing
+
+/// One complete inbound frame: `(kind, tenant, payload, bytes consumed)`.
+type ParsedFrame = (u8, u32, Vec<u8>, usize);
+
+/// Incrementally parse one frame from the front of `buf`, zero-copy up
+/// to the final payload extraction. `Ok(None)` means "need more bytes";
+/// `Ok(Some((kind, tenant, payload, consumed)))` is one complete,
+/// CRC-verified frame; `Err` means the stream is no longer at a
+/// trustable frame boundary. An oversized declared length is rejected
+/// from the header alone — before the payload arrives and before any
+/// allocation.
+fn parse_frame(buf: &[u8]) -> Result<Option<ParsedFrame>, ServiceError> {
+    if buf.len() < 7 {
+        return Ok(None);
+    }
+    if &buf[..4] != MAGIC {
+        return Err(ServiceError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    let header_len = match version {
+        VERSION => HEADER_LEN,
+        VERSION_TENANT => HEADER_LEN_TENANT,
+        other => return Err(ServiceError::UnsupportedVersion(other)),
+    };
+    if buf.len() < header_len {
+        return Ok(None);
+    }
+    let frame_kind = buf[6];
+    let tenant = if version == VERSION_TENANT {
+        u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]])
+    } else {
+        0
+    };
+    let len = u32::from_le_bytes([
+        buf[header_len - 4],
+        buf[header_len - 3],
+        buf[header_len - 2],
+        buf[header_len - 1],
+    ]);
+    if len > MAX_PAYLOAD {
+        return Err(ServiceError::FrameTooLarge(len));
+    }
+    let body_end = header_len + len as usize;
+    let total = body_end + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let expect = u32::from_le_bytes([
+        buf[total - 4],
+        buf[total - 3],
+        buf[total - 2],
+        buf[total - 1],
+    ]);
+    if crc32(&buf[..body_end]) != expect {
+        return Err(ServiceError::CrcMismatch);
+    }
+    Ok(Some((
+        frame_kind,
+        tenant,
+        buf[header_len..body_end].to_vec(),
+        total,
+    )))
 }
 
-/// Serve one connection until EOF, protocol failure, idle expiry, or
-/// drain. Never panics outward; the caller wraps it in `catch_unwind`
-/// anyway for defence in depth. Health and stats probes are answered even
-/// during a drain, so orchestrators can watch a replica all the way down.
-fn handle_conn(stream: &mut AnyStream, state: &ServerState, slot: &WorkerSlot) {
-    // A short read timeout doubles as the shutdown/idle poll interval.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut idle: u32 = 0;
+// ------------------------------------------------------------ event loop
+
+/// One response (or error) frame queued for write, with a resume offset
+/// for partial writes.
+struct WriteBuf {
+    bytes: Vec<u8>,
+    off: usize,
+    /// Count this frame in `responses` once fully written (plan/workunit/
+    /// replicate/batch answers do; errors and probes don't).
+    counts_response: bool,
+}
+
+/// Per-connection state machine owned by the event thread.
+struct Conn {
+    stream: AnyStream,
+    token: u64,
+    /// Unparsed input. Bounded: reads stop once a full max-size frame
+    /// could be buffered, so a flooding peer cannot balloon memory.
+    rbuf: Vec<u8>,
+    wqueue: VecDeque<WriteBuf>,
+    /// Parsed frames not yet dispatched, as `(kind, tenant, payload)`.
+    pending: VecDeque<(u8, u32, Vec<u8>)>,
+    /// A compute frame from this connection is on a worker. One frame in
+    /// flight per connection keeps responses in request order.
+    inflight: bool,
+    /// A fatal protocol error to report — deferred until in-flight work
+    /// has been answered, so a valid frame's response is flushed before
+    /// the error reply and close.
+    poisoned: Option<(ErrorCode, String)>,
+    /// Close once the write queue drains.
+    closing: bool,
+    eof: bool,
+    dead: bool,
+    /// `now_ms` of the last *completed* frame, response write progress,
+    /// or completion. A slow-loris peer trickling header bytes never
+    /// resets it, so the idle deadline reaps it on schedule.
+    progress_ms: u64,
+    reg_read: bool,
+    reg_write: bool,
+}
+
+/// Token-bucket balance for one tenant, in nano-tokens so fractional
+/// refill per millisecond tick is exact.
+struct Bucket {
+    nanos: u128,
+    last_ms: u64,
+}
+
+const NANO: u128 = 1_000_000_000;
+
+/// Debit `charge` tokens from `tenant`'s bucket, refilling for elapsed
+/// time first. Buckets start full (a fresh tenant gets its burst).
+fn take_tokens(
+    buckets: &mut HashMap<u32, Bucket>,
+    tenant: u32,
+    quota: &TenantQuota,
+    charge: u64,
+    now_ms: u64,
+) -> bool {
+    let cap = u128::from(quota.burst) * NANO;
+    let b = buckets.entry(tenant).or_insert(Bucket {
+        nanos: cap,
+        last_ms: now_ms,
+    });
+    let elapsed = now_ms.saturating_sub(b.last_ms);
+    b.last_ms = now_ms;
+    b.nanos =
+        (b.nanos + u128::from(elapsed) * u128::from(quota.tokens_per_sec) * 1_000_000).min(cap);
+    let need = u128::from(charge) * NANO;
+    if b.nanos >= need {
+        b.nanos -= need;
+        true
+    } else {
+        false
+    }
+}
+
+/// The rate-token charge a batch frame declares: its entry count. `None`
+/// for counts the decoder will reject anyway (zero, hostile, or a
+/// truncated prefix) — those skip quota accounting and fail as
+/// `Malformed` on the worker.
+fn batch_charge(payload: &[u8]) -> Option<u64> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+    if n == 0 || n > MAX_BATCH_ENTRIES {
+        return None;
+    }
+    Some(u64::from(n))
+}
+
+fn enqueue_frame(conn: &mut Conn, frame_kind: u8, payload: &[u8], counts_response: bool) {
+    conn.wqueue.push_back(WriteBuf {
+        bytes: encode_frame(frame_kind, payload),
+        off: 0,
+        counts_response,
+    });
+}
+
+/// Drain the socket into `rbuf` until `WouldBlock`, EOF, or the buffer
+/// bound. Never parses — that is `service_conn`'s job.
+fn read_conn(conn: &mut Conn) {
+    if conn.poisoned.is_some() || conn.closing || conn.eof || conn.dead {
+        return;
+    }
+    let mut tmp = [0u8; 16384];
     loop {
-        slot.beat(state.now_ms());
-        match read_frame(stream) {
-            Ok(None) => break,
-            Ok(Some((kind::REQ_PLAN, payload))) => {
-                idle = 0;
-                if state.shutdown.load(Ordering::SeqCst) {
-                    state
-                        .stats
-                        .rejected_shutdown
-                        .fetch_add(1, Ordering::Relaxed);
-                    let err = ErrorResponse {
-                        code: ErrorCode::ShuttingDown,
-                        msg: "server is draining".into(),
-                    };
-                    let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
-                    break;
-                }
-                match PlanRequest::decode(&payload) {
-                    Ok(req) => {
-                        // Register the request with the watchdog before
-                        // the (potentially long) search, clear it after.
-                        let cancel = Arc::new(AtomicBool::new(false));
-                        slot.begin_request(state.now_ms(), Arc::clone(&cancel));
-                        let outcome = state.handle_plan(&req, cancel);
-                        slot.end_request();
-                        slot.beat(state.now_ms());
-                        match outcome {
-                            Ok(resp) => {
-                                if write_frame(stream, kind::RESP_PLAN, &resp.encode()).is_err() {
-                                    break;
-                                }
-                                state.stats.responses.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(err) => {
-                                if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        // The frame itself was intact (CRC passed), so the
-                        // stream stays at a frame boundary: report and
-                        // keep the connection.
-                        state.stats.protocol_error(&e);
-                        let err = ErrorResponse {
-                            code: ErrorCode::Malformed,
-                            msg: e.to_string(),
-                        };
-                        if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            Ok(Some((kind::REQ_WORKUNIT, payload))) => {
-                idle = 0;
-                if state.shutdown.load(Ordering::SeqCst) {
-                    state
-                        .stats
-                        .rejected_shutdown
-                        .fetch_add(1, Ordering::Relaxed);
-                    let err = ErrorResponse {
-                        code: ErrorCode::ShuttingDown,
-                        msg: "server is draining".into(),
-                    };
-                    let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
-                    break;
-                }
-                match WorkUnitRequest::decode(&payload) {
-                    Ok(req) => {
-                        let cancel = Arc::new(AtomicBool::new(false));
-                        slot.begin_request(state.now_ms(), Arc::clone(&cancel));
-                        let outcome = state.handle_workunit(&req, cancel);
-                        slot.end_request();
-                        slot.beat(state.now_ms());
-                        match outcome {
-                            Ok(resp) => {
-                                if write_frame(stream, kind::RESP_WORKUNIT, &resp.encode()).is_err()
-                                {
-                                    break;
-                                }
-                                state.stats.responses.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(err) => {
-                                if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        state.stats.protocol_error(&e);
-                        let err = ErrorResponse {
-                            code: ErrorCode::Malformed,
-                            msg: e.to_string(),
-                        };
-                        if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            Ok(Some((kind::REQ_REPLICATE, payload))) => {
-                idle = 0;
-                if state.shutdown.load(Ordering::SeqCst) {
-                    state
-                        .stats
-                        .rejected_shutdown
-                        .fetch_add(1, Ordering::Relaxed);
-                    let err = ErrorResponse {
-                        code: ErrorCode::ShuttingDown,
-                        msg: "server is draining".into(),
-                    };
-                    let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
-                    break;
-                }
-                match ReplicateRequest::decode(&payload) {
-                    Ok(req) => match state.handle_replicate(&req) {
-                        Ok(resp) => {
-                            if write_frame(stream, kind::RESP_REPLICATE, &resp.encode()).is_err() {
-                                break;
-                            }
-                            state.stats.responses.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(err) => {
-                            if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                                break;
-                            }
-                        }
-                    },
-                    Err(e) => {
-                        state.stats.protocol_error(&e);
-                        let err = ErrorResponse {
-                            code: ErrorCode::Malformed,
-                            msg: e.to_string(),
-                        };
-                        if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            Ok(Some((kind::REQ_HEALTH, _))) => {
-                idle = 0;
-                let health = state.health();
-                if write_frame(stream, kind::RESP_HEALTH, &health.encode()).is_err() {
-                    break;
-                }
-            }
-            Ok(Some((kind::REQ_STATS, _))) => {
-                idle = 0;
-                let stats = StatsResponse {
-                    server: state.stats.snapshot(),
-                    cache: state.cache.stats(),
-                    bound: state.gossip_bound(),
-                };
-                if write_frame(stream, kind::RESP_STATS, &stats.encode()).is_err() {
-                    break;
-                }
-            }
-            Ok(Some((kind::REQ_SHUTDOWN, _))) => {
-                state.shutdown.store(true, Ordering::SeqCst);
-                let _ = write_frame(stream, kind::RESP_SHUTDOWN_ACK, &[]);
+        if conn.rbuf.len() >= MAX_PAYLOAD as usize + HEADER_LEN_TENANT + 8 {
+            break;
+        }
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                conn.eof = true;
                 break;
             }
-            Ok(Some((other, _))) => {
-                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let err = ErrorResponse {
-                    code: ErrorCode::Unsupported,
-                    msg: format!("unknown frame kind {other}"),
-                };
-                if write_frame(stream, kind::RESP_ERROR, &err.encode()).is_err() {
-                    break;
-                }
-            }
-            Err(ServiceError::Io(e)) if is_idle_timeout(&e) => {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                idle += 1;
-                if idle > state.config.idle_ticks {
-                    break;
-                }
-            }
-            Err(ServiceError::Io(_)) => break,
-            Err(e) => {
-                // Bad magic, wrong version, oversized prefix, CRC
-                // mismatch, torn frame: the stream position is no longer
-                // trustworthy, so answer (best-effort) and drop. The
-                // reply distinguishes transit damage (`Corrupted`, safe
-                // to resend verbatim) from version skew (`Unsupported`).
-                state.stats.protocol_error(&e);
-                let code = match e {
-                    ServiceError::UnsupportedVersion(_) => ErrorCode::Unsupported,
-                    ServiceError::CrcMismatch
-                    | ServiceError::BadMagic
-                    | ServiceError::ConnectionClosed => ErrorCode::Corrupted,
-                    _ => ErrorCode::Malformed,
-                };
-                let err = ErrorResponse {
-                    code,
-                    msg: e.to_string(),
-                };
-                let _ = write_frame(stream, kind::RESP_ERROR, &err.encode());
+            Ok(n) => conn.rbuf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Reset mid-stream: nothing to answer, nobody listening.
+                conn.dead = true;
                 break;
             }
         }
     }
-    stream.close();
+}
+
+/// Write queued frames until `WouldBlock` or the queue drains.
+fn flush_conn(conn: &mut Conn, state: &ServerState) {
+    if conn.dead {
+        return;
+    }
+    while let Some(front) = conn.wqueue.front_mut() {
+        match conn.stream.write(&front.bytes[front.off..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                front.off += n;
+                conn.progress_ms = state.now_ms();
+                if front.off >= front.bytes.len() {
+                    if front.counts_response {
+                        state.stats.responses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn.wqueue.pop_front();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Admit, shed, or answer one parsed frame. Probes (health/stats) and
+/// shutdown are answered inline on the event thread — even mid-drain,
+/// even with every worker wedged. Compute frames pass the three-tier
+/// admission gate and land on the weighted-fair queue.
+fn dispatch_frame(
+    conn: &mut Conn,
+    frame_kind: u8,
+    tenant: u32,
+    payload: Vec<u8>,
+    state: &ServerState,
+    sched: &Scheduler,
+    buckets: &mut HashMap<u32, Bucket>,
+) {
+    match frame_kind {
+        kind::REQ_HEALTH => {
+            enqueue_frame(conn, kind::RESP_HEALTH, &state.health().encode(), false);
+        }
+        kind::REQ_STATS => {
+            enqueue_frame(
+                conn,
+                kind::RESP_STATS,
+                &state.stats_response().encode(),
+                false,
+            );
+        }
+        kind::REQ_SHUTDOWN => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            enqueue_frame(conn, kind::RESP_SHUTDOWN_ACK, &[], false);
+            conn.closing = true;
+        }
+        kind::REQ_PLAN | kind::REQ_WORKUNIT | kind::REQ_REPLICATE | kind::REQ_BATCH => {
+            if frame_kind == kind::REQ_BATCH {
+                state.stats.batch_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            if state.shutdown.load(Ordering::SeqCst) {
+                state
+                    .stats
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ErrorResponse {
+                    code: ErrorCode::ShuttingDown,
+                    msg: "server is draining".into(),
+                };
+                enqueue_frame(conn, kind::RESP_ERROR, &err.encode(), false);
+                conn.closing = true;
+                return;
+            }
+            // Tier 1: per-tenant quotas. A batch charges one rate token
+            // per entry; a hostile count skips quota accounting and is
+            // rejected as `Malformed` by the worker's decoder instead.
+            let charge = if frame_kind == kind::REQ_BATCH {
+                batch_charge(&payload)
+            } else {
+                Some(1)
+            };
+            let quota = state.config.quotas.as_ref().map(|q| *q.for_tenant(tenant));
+            if let (Some(q), Some(charge)) = (quota, charge) {
+                if state.gauge_of(tenant) >= q.max_inflight {
+                    state.stats.shed_over_quota.fetch_add(1, Ordering::Relaxed);
+                    let err = ErrorResponse {
+                        code: ErrorCode::Overloaded,
+                        msg: format!("tenant {tenant} is over its in-flight cap"),
+                    };
+                    enqueue_frame(conn, kind::RESP_ERROR, &err.encode(), false);
+                    return;
+                }
+                if !take_tokens(buckets, tenant, &q, charge, state.now_ms()) {
+                    state.stats.shed_over_quota.fetch_add(1, Ordering::Relaxed);
+                    let err = ErrorResponse {
+                        code: ErrorCode::Overloaded,
+                        msg: format!("tenant {tenant} is over its rate quota"),
+                    };
+                    enqueue_frame(conn, kind::RESP_ERROR, &err.encode(), false);
+                    return;
+                }
+            }
+            // Tier 3: a full compute queue sheds whatever remains.
+            let qlen = state.queue_len.load(Ordering::Relaxed) as usize;
+            if qlen >= state.config.queue_depth.max(1) {
+                state
+                    .stats
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ErrorResponse {
+                    code: ErrorCode::Overloaded,
+                    msg: "request queue is full".into(),
+                };
+                enqueue_frame(conn, kind::RESP_ERROR, &err.encode(), false);
+                return;
+            }
+            // Tier 2: between the watermark and the cap, plan-shaped
+            // work degrades to the certified Σvᵢ fast path. Work units
+            // and replication pushes never degrade — the mesh's
+            // byte-identity depends on them running for real.
+            let dw = state.config.degrade_watermark;
+            let degrade =
+                dw > 0 && qlen >= dw && matches!(frame_kind, kind::REQ_PLAN | kind::REQ_BATCH);
+            let weight = quota.map_or(1, |q| q.weight);
+            state.gauge_add(tenant);
+            state.queue_len.fetch_add(1, Ordering::Relaxed);
+            sched.push(WorkItem {
+                token: conn.token,
+                tenant,
+                kind: frame_kind,
+                payload,
+                degrade,
+                weight,
+            });
+            conn.inflight = true;
+        }
+        other => {
+            // The frame itself was intact (CRC passed), so the stream
+            // stays at a frame boundary: report and keep the connection.
+            state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let err = ErrorResponse {
+                code: ErrorCode::Unsupported,
+                msg: format!("unknown frame kind {other}"),
+            };
+            enqueue_frame(conn, kind::RESP_ERROR, &err.encode(), false);
+        }
+    }
+}
+
+/// Advance one connection's state machine: parse buffered bytes into
+/// frames, dispatch them in order, finalize poison/EOF once in-flight
+/// work has drained, flush output, and resync poller interest.
+fn service_conn(
+    conn: &mut Conn,
+    state: &ServerState,
+    sched: &Scheduler,
+    poller: &poller::Poller,
+    buckets: &mut HashMap<u32, Bucket>,
+) {
+    if conn.poisoned.is_none() && !conn.closing {
+        let mut consumed = 0;
+        loop {
+            match parse_frame(&conn.rbuf[consumed..]) {
+                Ok(Some((frame_kind, tenant, payload, used))) => {
+                    consumed += used;
+                    conn.progress_ms = state.now_ms();
+                    conn.pending.push_back((frame_kind, tenant, payload));
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Bad magic, wrong version, oversized prefix, CRC
+                    // mismatch: the stream position is no longer
+                    // trustworthy. Stop reading; the typed reply goes
+                    // out once already-admitted work is answered. The
+                    // reply distinguishes transit damage (`Corrupted`,
+                    // safe to resend verbatim) from version skew
+                    // (`Unsupported`).
+                    state.stats.protocol_error(&e);
+                    let code = match e {
+                        ServiceError::UnsupportedVersion(_) => ErrorCode::Unsupported,
+                        ServiceError::CrcMismatch
+                        | ServiceError::BadMagic
+                        | ServiceError::ConnectionClosed => ErrorCode::Corrupted,
+                        _ => ErrorCode::Malformed,
+                    };
+                    conn.poisoned = Some((code, e.to_string()));
+                    conn.rbuf.clear();
+                    consumed = 0;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            conn.rbuf.drain(..consumed);
+        }
+    }
+    // EOF with a partial frame still buffered is a torn frame.
+    if conn.eof && !conn.rbuf.is_empty() && conn.poisoned.is_none() && !conn.closing {
+        let e = ServiceError::ConnectionClosed;
+        state.stats.protocol_error(&e);
+        conn.poisoned = Some((ErrorCode::Corrupted, e.to_string()));
+        conn.rbuf.clear();
+    }
+    // Dispatch in arrival order, one compute frame in flight at a time
+    // (pipelining happens across connections, ordering within one).
+    while !conn.inflight && !conn.closing && !conn.dead {
+        let Some((frame_kind, tenant, payload)) = conn.pending.pop_front() else {
+            break;
+        };
+        dispatch_frame(conn, frame_kind, tenant, payload, state, sched, buckets);
+    }
+    // Poison / EOF finalization waits for in-flight work so a valid
+    // frame's answer is flushed before the error reply and the close.
+    if !conn.inflight && conn.pending.is_empty() && !conn.closing {
+        if let Some((code, msg)) = conn.poisoned.take() {
+            let err = ErrorResponse { code, msg };
+            enqueue_frame(conn, kind::RESP_ERROR, &err.encode(), false);
+            conn.closing = true;
+        } else if conn.eof {
+            conn.closing = true;
+        }
+    }
+    flush_conn(conn, state);
+    let want_read = conn.poisoned.is_none() && !conn.closing && !conn.eof && !conn.dead;
+    let want_write = !conn.wqueue.is_empty() && !conn.dead;
+    if !conn.dead && (want_read != conn.reg_read || want_write != conn.reg_write) {
+        conn.reg_read = want_read;
+        conn.reg_write = want_write;
+        let _ = poller.set(conn.stream.raw_fd(), conn.token, want_read, want_write);
+    }
+    if conn.closing && conn.wqueue.is_empty() && !conn.inflight {
+        conn.dead = true;
+    }
+}
+
+/// The event thread: owns the listener, every connection, the poller,
+/// and the admission buckets. Exits once a drain has begun and the last
+/// connection is gone, then closes the scheduler so workers drain and
+/// exit.
+fn event_loop(
+    listener: &AnyListener,
+    poller: &poller::Poller,
+    state: &Arc<ServerState>,
+    sched: &Arc<Scheduler>,
+    completions: &Mutex<Vec<Completion>>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut buckets: HashMap<u32, Bucket> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let _ = poller.add(listener.raw_fd(), TOKEN_LISTENER, true, false);
+    loop {
+        for ev in poller.wait(100) {
+            match ev.token {
+                TOKEN_WAKE => poller.drain_wake(),
+                TOKEN_LISTENER => {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    loop {
+                        match listener.accept() {
+                            Ok(stream) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    stream.close();
+                                    continue;
+                                }
+                                let token = next_token;
+                                next_token += 1;
+                                state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                                if poller.add(stream.raw_fd(), token, true, false).is_err() {
+                                    stream.close();
+                                    continue;
+                                }
+                                conns.insert(
+                                    token,
+                                    Conn {
+                                        stream,
+                                        token,
+                                        rbuf: Vec::new(),
+                                        wqueue: VecDeque::new(),
+                                        pending: VecDeque::new(),
+                                        inflight: false,
+                                        poisoned: None,
+                                        closing: false,
+                                        eof: false,
+                                        dead: false,
+                                        progress_ms: state.now_ms(),
+                                        reg_read: true,
+                                        reg_write: false,
+                                    },
+                                );
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                token => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if ev.readable {
+                            read_conn(conn);
+                        }
+                        if ev.writable {
+                            flush_conn(conn, state);
+                        }
+                        service_conn(conn, state, sched, poller, &mut buckets);
+                    }
+                }
+            }
+        }
+        // Completions from the pool: queue the response and resume the
+        // connection's dispatch loop.
+        let done: Vec<Completion> = {
+            let mut guard = completions.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for comp in done {
+            if let Some(conn) = conns.get_mut(&comp.token) {
+                conn.inflight = false;
+                conn.progress_ms = state.now_ms();
+                enqueue_frame(conn, comp.kind, &comp.payload, comp.counts_response);
+                if comp.close {
+                    conn.poisoned = None;
+                    conn.closing = true;
+                }
+                service_conn(conn, state, sched, poller, &mut buckets);
+            }
+        }
+        // Read-deadline and drain reaping. A connection with work in
+        // flight is never reaped — its answer is still owed.
+        let now = state.now_ms();
+        let deadline_ms = u64::from(state.config.idle_ticks) * 100;
+        let draining = state.shutdown.load(Ordering::SeqCst);
+        for conn in conns.values_mut() {
+            if conn.dead || conn.inflight {
+                continue;
+            }
+            let expired = now.saturating_sub(conn.progress_ms) > deadline_ms;
+            let quiescent = conn.wqueue.is_empty() && conn.pending.is_empty() && !conn.closing;
+            if draining && quiescent {
+                conn.dead = true;
+            } else if expired && quiescent {
+                state.stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                conn.dead = true;
+            } else if expired && !conn.wqueue.is_empty() {
+                // The peer stopped reading: a write stalled past the
+                // deadline is dropped like a stalled read.
+                state.stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                conn.dead = true;
+            }
+        }
+        conns.retain(|_, conn| {
+            if conn.dead {
+                poller.del(conn.stream.raw_fd());
+                conn.stream.close();
+                false
+            } else {
+                true
+            }
+        });
+        if draining && conns.is_empty() {
+            break;
+        }
+    }
+    sched.close();
+}
+
+// ------------------------------------------------------------ compute pool
+
+/// Everything a worker thread needs, bundled so the watchdog can respawn
+/// a dead worker with one `Arc` clone.
+struct WorkerCtx {
+    state: Arc<ServerState>,
+    sched: Arc<Scheduler>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    notifier: Arc<poller::Notifier>,
+}
+
+fn malformed(state: &ServerState, e: &ServiceError) -> (u8, Vec<u8>, bool) {
+    state.stats.protocol_error(e);
+    let err = ErrorResponse {
+        code: ErrorCode::Malformed,
+        msg: e.to_string(),
+    };
+    (kind::RESP_ERROR, err.encode(), false)
+}
+
+/// Execute one admitted work item, returning the response frame as
+/// `(kind, payload, counts_response)`.
+fn execute_item(item: &WorkItem, state: &ServerState, slot: &WorkerSlot) -> (u8, Vec<u8>, bool) {
+    // Queued-but-unstarted work admitted before the drain flag went up
+    // is answered `ShuttingDown`, matching the old pool's behavior.
+    if state.shutdown.load(Ordering::SeqCst) {
+        state
+            .stats
+            .rejected_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+        let err = ErrorResponse {
+            code: ErrorCode::ShuttingDown,
+            msg: "server is draining".into(),
+        };
+        return (kind::RESP_ERROR, err.encode(), false);
+    }
+    match item.kind {
+        kind::REQ_PLAN => match PlanRequest::decode(&item.payload) {
+            Ok(req) => {
+                let outcome = if item.degrade {
+                    state.handle_plan_pressure(&req)
+                } else {
+                    // Register with the watchdog before the (potentially
+                    // long) search, clear after.
+                    let cancel = Arc::new(AtomicBool::new(false));
+                    slot.begin_request(state.now_ms(), Arc::clone(&cancel));
+                    let r = state.handle_plan(&req, cancel);
+                    slot.end_request();
+                    r
+                };
+                match outcome {
+                    Ok(resp) => (kind::RESP_PLAN, resp.encode(), true),
+                    Err(err) => (kind::RESP_ERROR, err.encode(), false),
+                }
+            }
+            Err(e) => malformed(state, &e),
+        },
+        kind::REQ_WORKUNIT => match WorkUnitRequest::decode(&item.payload) {
+            Ok(req) => {
+                let cancel = Arc::new(AtomicBool::new(false));
+                slot.begin_request(state.now_ms(), Arc::clone(&cancel));
+                let outcome = state.handle_workunit(&req, cancel);
+                slot.end_request();
+                match outcome {
+                    Ok(resp) => (kind::RESP_WORKUNIT, resp.encode(), true),
+                    Err(err) => (kind::RESP_ERROR, err.encode(), false),
+                }
+            }
+            Err(e) => malformed(state, &e),
+        },
+        kind::REQ_REPLICATE => match ReplicateRequest::decode(&item.payload) {
+            Ok(req) => match state.handle_replicate(&req) {
+                Ok(resp) => (kind::RESP_REPLICATE, resp.encode(), true),
+                Err(err) => (kind::RESP_ERROR, err.encode(), false),
+            },
+            Err(e) => malformed(state, &e),
+        },
+        kind::REQ_BATCH => match BatchRequest::decode(&item.payload) {
+            Ok(req) => {
+                // One watchdog registration and one cancel token cover
+                // the whole batch: a wedged batch degrades as a unit,
+                // and canonicalization/certification state stays warm
+                // across entries of the same program.
+                let cancel = Arc::new(AtomicBool::new(false));
+                slot.begin_request(state.now_ms(), Arc::clone(&cancel));
+                let entries = req
+                    .entries
+                    .iter()
+                    .map(|entry| {
+                        if item.degrade {
+                            state.handle_plan_pressure(entry)
+                        } else {
+                            state.handle_plan(entry, Arc::clone(&cancel))
+                        }
+                    })
+                    .collect();
+                slot.end_request();
+                let resp = BatchResponse { entries };
+                (kind::RESP_BATCH, resp.encode(), true)
+            }
+            Err(e) => malformed(state, &e),
+        },
+        other => {
+            state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let err = ErrorResponse {
+                code: ErrorCode::Unsupported,
+                msg: format!("unknown frame kind {other}"),
+            };
+            (kind::RESP_ERROR, err.encode(), false)
+        }
+    }
+}
+
+fn worker_loop(index: usize, ctx: &WorkerCtx) {
+    let state = &ctx.state;
+    state.workers_alive.fetch_add(1, Ordering::Relaxed);
+    // Readiness must drop even if this loop unwinds or is replaced.
+    struct Alive<'a>(&'a AtomicU64);
+    impl Drop for Alive<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _alive = Alive(&state.workers_alive);
+    let slot = Arc::clone(&state.slots[index % state.slots.len().max(1)]);
+    while let Some(item) = ctx.sched.pop() {
+        state.queue_len.fetch_sub(1, Ordering::Relaxed);
+        slot.beat(state.now_ms());
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_item(&item, state, &slot)));
+        // A panic can escape mid-request: clear the watchdog registration
+        // so a dead request's cancel token is never tripped later.
+        slot.end_request();
+        slot.beat(state.now_ms());
+        state.gauge_sub(item.tenant);
+        let comp = match outcome {
+            Ok((frame_kind, payload, counts_response)) => Completion {
+                token: item.token,
+                kind: frame_kind,
+                payload,
+                counts_response,
+                close: false,
+            },
+            Err(_) => {
+                state.stats.panics.fetch_add(1, Ordering::Relaxed);
+                let err = ErrorResponse {
+                    code: ErrorCode::Internal,
+                    msg: "internal panic; request isolated".into(),
+                };
+                Completion {
+                    token: item.token,
+                    kind: kind::RESP_ERROR,
+                    payload: err.encode(),
+                    counts_response: false,
+                    close: true,
+                }
+            }
+        };
+        {
+            let mut guard = ctx.completions.lock().unwrap_or_else(|p| p.into_inner());
+            guard.push(comp);
+        }
+        ctx.notifier.notify();
+    }
+}
+
+fn spawn_worker(index: usize, ctx: &Arc<WorkerCtx>) -> Result<JoinHandle<()>, ServiceError> {
+    let ctx = Arc::clone(ctx);
+    thread::Builder::new()
+        .name(format!("uov-service-worker-{index}"))
+        .spawn(move || worker_loop(index, &ctx))
+        .map_err(ServiceError::Io)
+}
+
+/// Poll the worker pool: cancel requests stuck past the wedge timeout
+/// (degrading them to certified legal answers via their budgets) and
+/// respawn worker threads that died outright. Exits once the drain flag
+/// is up — the pool is winding down then anyway.
+fn watchdog_loop(ctx: &Arc<WorkerCtx>, workers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let state = &ctx.state;
+    let wedge_ms = state.config.wedge_timeout.as_millis() as u64;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+
+        if wedge_ms > 0 {
+            let now = state.now_ms();
+            for slot in &state.slots {
+                let busy = slot.busy.lock().unwrap_or_else(|p| p.into_inner());
+                if let (Some(since), Some(cancel)) = (busy.since_ms, busy.cancel.as_ref()) {
+                    if now.saturating_sub(since) > wedge_ms && !cancel.swap(true, Ordering::SeqCst)
+                    {
+                        state.stats.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        // A worker thread that is gone (its panic isolation itself failed,
+        // or it was killed by the OS) is replaced in place so the pool
+        // never shrinks below its configured size.
+        let mut ws = workers.lock().unwrap_or_else(|p| p.into_inner());
+        for (i, handle) in ws.iter_mut().enumerate() {
+            if handle.is_finished() && !state.shutdown.load(Ordering::SeqCst) {
+                if let Ok(fresh) = spawn_worker(i, ctx) {
+                    let dead = std::mem::replace(handle, fresh);
+                    let _ = dead.join();
+                    state.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 /// A running server. Dropping the handle does *not* stop the server;
@@ -869,7 +2196,7 @@ fn handle_conn(stream: &mut AnyStream, state: &ServerState, slot: &WorkerSlot) {
 pub struct ServerHandle {
     endpoint: String,
     state: Arc<ServerState>,
-    accept_thread: Option<JoinHandle<()>>,
+    event_thread: Option<JoinHandle<()>>,
     /// Shared with the watchdog, which replaces dead handles in place.
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     watchdog: Option<JoinHandle<()>>,
@@ -910,7 +2237,7 @@ impl ServerHandle {
         self.state.health()
     }
 
-    /// Wait for the drain to finish: the accept loop, the watchdog, and
+    /// Wait for the drain to finish: the event loop, the watchdog, and
     /// every worker exit, in-flight connections included. On a graceful
     /// drain the plan cache is persisted to the configured warm-cache
     /// path (atomically; best-effort — a full disk loses warmth, not
@@ -928,7 +2255,10 @@ impl ServerHandle {
     }
 
     fn join_inner(mut self, save_warm: bool) -> ServerStats {
-        if let Some(t) = self.accept_thread.take() {
+        // The event thread exits once the drain empties the connection
+        // table, closing both the listener and the scheduler — which in
+        // turn lets the workers drain the queue and exit.
+        if let Some(t) = self.event_thread.take() {
             let _ = t.join();
         }
         if let Some(t) = self.watchdog.take() {
@@ -955,10 +2285,10 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// [`ServiceError::Io`] if the endpoint cannot be bound.
+/// [`ServiceError::Io`] if the endpoint cannot be bound or the readiness
+/// poller cannot be created.
 pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, ServiceError> {
     let workers = config.workers.max(1);
-    let queue_depth = config.queue_depth.max(1);
     let (listener, bound) = AnyListener::bind(endpoint)?;
     listener.set_nonblocking(true)?;
 
@@ -974,6 +2304,7 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
         started: Instant::now(),
         gossip: Mutex::new(None),
         leases: Mutex::new(HashMap::new()),
+        tenant_inflight: Mutex::new(HashMap::new()),
         config,
     });
 
@@ -1001,187 +2332,72 @@ pub fn serve(endpoint: &str, config: ServerConfig) -> Result<ServerHandle, Servi
         }
     }
 
-    let (tx, rx) = sync_channel::<AnyStream>(queue_depth);
-    let rx = Arc::new(Mutex::new(rx));
+    let (poller, notifier) = poller::Poller::new().map_err(ServiceError::Io)?;
+    let sched = Arc::new(Scheduler::new());
+    let completions = Arc::new(Mutex::new(Vec::new()));
+    let ctx = Arc::new(WorkerCtx {
+        state: Arc::clone(&state),
+        sched: Arc::clone(&sched),
+        completions: Arc::clone(&completions),
+        notifier: Arc::new(notifier),
+    });
 
     let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
-        worker_handles.push(spawn_worker(i, &rx, &state)?);
+        worker_handles.push(spawn_worker(i, &ctx)?);
     }
     let worker_handles = Arc::new(Mutex::new(worker_handles));
 
-    let accept_state = Arc::clone(&state);
-    let accept_thread = thread::Builder::new()
-        .name("uov-service-accept".into())
-        .spawn(move || accept_loop(&listener, tx, &accept_state))
+    let ev_state = Arc::clone(&state);
+    let ev_sched = Arc::clone(&sched);
+    let ev_completions = Arc::clone(&completions);
+    let event_thread = thread::Builder::new()
+        .name("uov-service-event".into())
+        .spawn(move || event_loop(&listener, &poller, &ev_state, &ev_sched, &ev_completions))
         .map_err(ServiceError::Io)?;
 
-    let watchdog_state = Arc::clone(&state);
+    let watchdog_ctx = Arc::clone(&ctx);
     let watchdog_workers = Arc::clone(&worker_handles);
-    let watchdog_rx = Arc::clone(&rx);
     let watchdog = thread::Builder::new()
         .name("uov-service-watchdog".into())
-        .spawn(move || watchdog_loop(&watchdog_state, &watchdog_workers, &watchdog_rx))
+        .spawn(move || watchdog_loop(&watchdog_ctx, &watchdog_workers))
         .map_err(ServiceError::Io)?;
 
     Ok(ServerHandle {
         endpoint: bound,
         state,
-        accept_thread: Some(accept_thread),
+        event_thread: Some(event_thread),
         workers: worker_handles,
         watchdog: Some(watchdog),
     })
-}
-
-fn spawn_worker(
-    index: usize,
-    rx: &Arc<Mutex<Receiver<AnyStream>>>,
-    state: &Arc<ServerState>,
-) -> Result<JoinHandle<()>, ServiceError> {
-    let rx = Arc::clone(rx);
-    let state = Arc::clone(state);
-    thread::Builder::new()
-        .name(format!("uov-service-worker-{index}"))
-        .spawn(move || worker_loop(index, &rx, &state))
-        .map_err(ServiceError::Io)
-}
-
-/// Poll the worker pool: cancel requests stuck past the wedge timeout
-/// (degrading them to certified legal answers via their budgets) and
-/// respawn worker threads that died outright. Exits once the drain flag
-/// is up — the pool is winding down then anyway.
-fn watchdog_loop(
-    state: &Arc<ServerState>,
-    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    rx: &Arc<Mutex<Receiver<AnyStream>>>,
-) {
-    let wedge_ms = state.config.wedge_timeout.as_millis() as u64;
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        thread::sleep(Duration::from_millis(20));
-
-        if wedge_ms > 0 {
-            let now = state.now_ms();
-            for slot in &state.slots {
-                let busy = slot.busy.lock().unwrap_or_else(|p| p.into_inner());
-                if let (Some(since), Some(cancel)) = (busy.since_ms, busy.cancel.as_ref()) {
-                    if now.saturating_sub(since) > wedge_ms && !cancel.swap(true, Ordering::SeqCst)
-                    {
-                        state.stats.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-        }
-
-        // A worker thread that is gone (its panic isolation itself failed,
-        // or it was killed by the OS) is replaced in place so the pool
-        // never shrinks below its configured size.
-        let mut ws = workers.lock().unwrap_or_else(|p| p.into_inner());
-        for (i, handle) in ws.iter_mut().enumerate() {
-            if handle.is_finished() && !state.shutdown.load(Ordering::SeqCst) {
-                if let Ok(fresh) = spawn_worker(i, rx, state) {
-                    let dead = std::mem::replace(handle, fresh);
-                    let _ = dead.join();
-                    state.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-    }
-}
-
-fn accept_loop(
-    listener: &AnyListener,
-    tx: std::sync::mpsc::SyncSender<AnyStream>,
-    state: &ServerState,
-) {
-    // Connections the queue refused, kept just long enough to answer
-    // `Overloaded` without blocking the accept path.
-    let mut to_reject: VecDeque<AnyStream> = VecDeque::new();
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        while let Some(mut conn) = to_reject.pop_front() {
-            state
-                .stats
-                .rejected_overloaded
-                .fetch_add(1, Ordering::Relaxed);
-            let err = ErrorResponse {
-                code: ErrorCode::Overloaded,
-                msg: "request queue is full".into(),
-            };
-            let _ = conn.set_nonblocking(false);
-            let _ = write_frame(&mut conn, kind::RESP_ERROR, &err.encode());
-            conn.close();
-        }
-        match listener.accept() {
-            Ok(conn) => {
-                let _ = conn.set_nonblocking(false);
-                match tx.try_send(conn) {
-                    Ok(()) => {
-                        state.stats.connections.fetch_add(1, Ordering::Relaxed);
-                        state.queue_len.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(TrySendError::Full(conn)) => to_reject.push_back(conn),
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
-            Err(e) if is_idle_timeout(&e) => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
-        }
-    }
-    // Dropping `tx` lets workers drain the queue and then exit.
-}
-
-fn worker_loop(index: usize, rx: &Mutex<Receiver<AnyStream>>, state: &ServerState) {
-    state.workers_alive.fetch_add(1, Ordering::Relaxed);
-    // Readiness must drop even if this loop unwinds or is replaced.
-    struct Alive<'a>(&'a AtomicU64);
-    impl Drop for Alive<'_> {
-        fn drop(&mut self) {
-            self.0.fetch_sub(1, Ordering::Relaxed);
-        }
-    }
-    let _alive = Alive(&state.workers_alive);
-    let slot = Arc::clone(&state.slots[index % state.slots.len().max(1)]);
-    loop {
-        slot.beat(state.now_ms());
-        let conn = {
-            let guard = match rx.lock() {
-                Ok(g) => g,
-                Err(p) => p.into_inner(),
-            };
-            guard.recv()
-        };
-        let mut conn = match conn {
-            Ok(c) => c,
-            Err(_) => break, // accept loop gone and queue drained
-        };
-        state.queue_len.fetch_sub(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_conn(&mut conn, state, &slot)));
-        // A panic can escape mid-request: clear the watchdog registration
-        // so a dead request's cancel token is never tripped later.
-        slot.end_request();
-        if outcome.is_err() {
-            state.stats.panics.fetch_add(1, Ordering::Relaxed);
-            conn.close();
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::Client;
-    use crate::proto::CacheOutcome;
+    use uov_core::npc::PartitionInstance;
     use uov_isg::{ivec, RectDomain};
 
     fn fig1() -> Stencil {
         Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]]).unwrap()
+    }
+
+    /// An effectively unbounded search instance (NP-hard reduction),
+    /// used to pin a worker busy for a deadline's worth of time.
+    fn wedge() -> Stencil {
+        let inst = PartitionInstance::new(vec![5, 5, 4, 3, 2, 1]).unwrap();
+        let (stencil, _) = inst.reduce().unwrap();
+        stencil
+    }
+
+    fn plain(stencil: Stencil) -> PlanRequest {
+        PlanRequest {
+            stencil,
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        }
     }
 
     fn start() -> ServerHandle {
@@ -1192,14 +2408,7 @@ mod tests {
     fn round_trip_plan_over_tcp() {
         let server = start();
         let mut client = Client::connect(server.endpoint()).unwrap();
-        let resp = client
-            .plan(&PlanRequest {
-                stencil: fig1(),
-                objective: ObjectiveSpec::ShortestVector,
-                deadline_ms: 0,
-                flags: 0,
-            })
-            .unwrap();
+        let resp = client.plan(&plain(fig1())).unwrap();
         assert_eq!(resp.uov, ivec![1, 1]);
         assert_eq!(resp.cost, 2);
         assert_eq!(resp.degradation, DegradationCode::None);
@@ -1266,13 +2475,7 @@ mod tests {
                 // The OS may still accept into the dead listener's backlog;
                 // a plan over such a connection must then fail.
                 let mut c = Client::connect(&endpoint).unwrap();
-                c.plan(&PlanRequest {
-                    stencil: fig1(),
-                    objective: ObjectiveSpec::ShortestVector,
-                    deadline_ms: 0,
-                    flags: 0,
-                })
-                .is_err()
+                c.plan(&plain(fig1())).is_err()
             }
         );
         assert_eq!(stats.panics, 0);
@@ -1324,14 +2527,7 @@ mod tests {
 
         // The replicated entry serves a byte-identical warm hit, and the
         // hit is attributed to replication.
-        let plan = client
-            .plan(&PlanRequest {
-                stencil: fig1(),
-                objective: ObjectiveSpec::ShortestVector,
-                deadline_ms: 0,
-                flags: 0,
-            })
-            .unwrap();
+        let plan = client.plan(&plain(fig1())).unwrap();
         assert_eq!(plan.cache, CacheOutcome::Hit);
         assert_eq!(plan.uov, direct.uov);
         assert_eq!(plan.cost, direct.cost);
@@ -1415,17 +2611,208 @@ mod tests {
         let endpoint = format!("unix:{}", path.display());
         let server = serve(&endpoint, ServerConfig::default()).unwrap();
         let mut client = Client::connect(server.endpoint()).unwrap();
-        let resp = client
-            .plan(&PlanRequest {
-                stencil: fig1(),
-                objective: ObjectiveSpec::ShortestVector,
-                deadline_ms: 0,
-                flags: 0,
-            })
-            .unwrap();
+        let resp = client.plan(&plain(fig1())).unwrap();
         assert_eq!(resp.uov, ivec![1, 1]);
         server.shutdown();
         server.join();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn weighted_fair_dequeue_interleaves_tenants() {
+        let sched = Scheduler::new();
+        let item = |tenant: u32, weight: u32| WorkItem {
+            token: 0,
+            tenant,
+            kind: kind::REQ_PLAN,
+            payload: Vec::new(),
+            degrade: false,
+            weight,
+        };
+        for _ in 0..4 {
+            sched.push(item(1, 1));
+        }
+        for _ in 0..4 {
+            sched.push(item(2, 1));
+        }
+        let order: Vec<u32> = (0..8).map(|_| sched.pop().unwrap().tenant).collect();
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+
+        // A weight-2 tenant takes two consecutive slots per turn.
+        for _ in 0..4 {
+            sched.push(item(1, 2));
+        }
+        for _ in 0..2 {
+            sched.push(item(2, 1));
+        }
+        let order: Vec<u32> = (0..6).map(|_| sched.pop().unwrap().tenant).collect();
+        assert_eq!(order, vec![1, 1, 2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn batched_plans_round_trip_with_per_entry_status() {
+        let server = start();
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let req = BatchRequest {
+            entries: vec![
+                plain(fig1()),
+                PlanRequest {
+                    stencil: fig1(),
+                    objective: ObjectiveSpec::KnownBounds(RectDomain::grid(6, 6)),
+                    deadline_ms: 0,
+                    flags: 0,
+                },
+            ],
+        };
+        let resp = client.plan_batch(&req).unwrap();
+        assert_eq!(resp.entries.len(), 2);
+        let first = resp.entries[0].as_ref().unwrap();
+        assert_eq!(first.uov, ivec![1, 1]);
+        assert_eq!(first.cost, 2);
+        assert_ne!(first.certificate_hash, 0);
+        assert!(resp.entries[1].is_ok());
+        server.shutdown();
+        let stats = server.join();
+        assert_eq!(stats.batch_frames, 1);
+        assert_eq!(stats.requests, 2, "each batch entry is one request");
+        assert_eq!(stats.responses, 1, "but one response frame");
+    }
+
+    #[test]
+    fn over_quota_tenants_are_shed_with_typed_overloaded() {
+        let mut quotas = QuotaConfig::default();
+        quotas.tenants.insert(
+            7,
+            TenantQuota {
+                tokens_per_sec: 0,
+                burst: 1,
+                max_inflight: 8,
+                weight: 1,
+            },
+        );
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                quotas: Some(quotas),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut hog = Client::connect(server.endpoint()).unwrap();
+        hog.set_tenant(7);
+        hog.plan(&plain(fig1())).unwrap();
+        let err = hog.plan(&plain(fig1())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::Rejected {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // The compliant (default-quota) tenant is untouched.
+        let mut compliant = Client::connect(server.endpoint()).unwrap();
+        compliant.plan(&plain(fig1())).unwrap();
+        server.shutdown();
+        let stats = server.join();
+        assert_eq!(stats.shed_over_quota, 1);
+    }
+
+    #[test]
+    fn queue_pressure_degrades_to_certified_sum_fast_path() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                degrade_watermark: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let endpoint = server.endpoint().to_string();
+        // Occupy the single worker with an effectively unbounded search…
+        let ep = endpoint.clone();
+        let busy = std::thread::spawn(move || {
+            let mut c = Client::connect(&ep).unwrap();
+            let _ = c.plan(&PlanRequest {
+                stencil: wedge(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 1500,
+                flags: 0,
+            });
+        });
+        // …queue one more so the compute queue is non-empty…
+        let ep = endpoint.clone();
+        let queued = std::thread::spawn(move || {
+            let mut c = Client::connect(&ep).unwrap();
+            let _ = c.plan(&PlanRequest {
+                stencil: fig1(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 0,
+                flags: 0,
+            });
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.health().queue_len < 1 {
+            assert!(Instant::now() < deadline, "queue never filled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // …then a third request must be served through the Σvᵢ path,
+        // still certified, never cached.
+        let mut c = Client::connect(&endpoint).unwrap();
+        let resp = c.plan(&plain(fig1())).unwrap();
+        assert_eq!(resp.degradation, DegradationCode::Pressure);
+        assert_eq!(resp.cache, CacheOutcome::Miss);
+        assert_eq!(resp.uov, ivec![2, 2], "Σvᵢ of fig1");
+        assert_ne!(resp.certificate_hash, 0);
+        busy.join().unwrap();
+        queued.join().unwrap();
+        server.shutdown();
+        let stats = server.join();
+        assert!(stats.degraded_under_pressure >= 1);
+    }
+
+    #[test]
+    fn tenant_inflight_gauges_are_visible_in_stats() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let ep = server.endpoint().to_string();
+        let busy = std::thread::spawn(move || {
+            let mut c = Client::connect(&ep).unwrap();
+            c.set_tenant(9);
+            let _ = c.plan(&PlanRequest {
+                stencil: wedge(),
+                objective: ObjectiveSpec::ShortestVector,
+                deadline_ms: 800,
+                flags: 0,
+            });
+        });
+        let mut probe = Client::connect(server.endpoint()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut seen = false;
+        while Instant::now() < deadline {
+            let stats = probe.stats().unwrap();
+            if stats
+                .tenants
+                .iter()
+                .any(|g| g.tenant == 9 && g.inflight >= 1)
+            {
+                seen = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(seen, "tenant 9's in-flight gauge never appeared");
+        busy.join().unwrap();
+        server.shutdown();
+        server.join();
     }
 }

@@ -456,3 +456,80 @@ fn replicated_entries_survive_a_warm_restart_and_corruption_starts_cold() {
     set.shutdown_all();
     let _ = std::fs::remove_file(&snapshot);
 }
+
+/// A chaos stall crossed with the server's idle deadline: the proxy
+/// holds every frame silent far past the server's read horizon, so each
+/// stalled connection must be reaped by the idle deadline (and counted
+/// as an idle timeout) while the client sees only typed errors — and
+/// direct traffic to the same server keeps flowing, byte-identical to a
+/// local solve, with zero panics.
+#[test]
+fn stalled_connections_meet_the_idle_deadline_as_typed_errors() {
+    let server = uov::service::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            // ~0.5 s idle horizon, far below the proxy's stall.
+            idle_ticks: 5,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let proxy = ChaosProxy::start(
+        server.endpoint(),
+        ChaosConfig {
+            seed: 1998,
+            reset_per_mille: 0,
+            stall_per_mille: 1000, // every frame stalls
+            truncate_per_mille: 0,
+            flip_per_mille: 0,
+            delay_per_mille: 0,
+            stall_ms: 3_000,
+            delay_ms: 0,
+        },
+    )
+    .expect("start proxy");
+
+    let stencil = problems()[0].clone();
+    for attempt in 0..2 {
+        let mut client = Client::connect(proxy.endpoint()).expect("connect through proxy");
+        client
+            // Longer than the server's idle horizon: the server reaps
+            // the silent connection while we are still waiting.
+            .set_timeout(Some(Duration::from_millis(1_500)))
+            .expect("set timeout");
+        let out = client.plan(&request(&stencil));
+        assert!(
+            out.is_err(),
+            "attempt {attempt}: a fully stalled proxy cannot deliver a plan: {out:?}"
+        );
+    }
+    assert!(proxy.stats().stalls >= 1, "the proxy must have stalled");
+
+    // The stalled (silent) server-side connections are cut by the idle
+    // deadline and counted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().idle_timeouts == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        server.stats().idle_timeouts >= 1,
+        "stalled connections must be counted as idle timeouts: {:?}",
+        server.stats()
+    );
+
+    // Direct traffic is unaffected: same answer as a local solve.
+    let (uov, cost, hash) = local_truth(&stencil);
+    let mut direct = Client::connect(server.endpoint()).expect("direct connect");
+    let resp = direct
+        .plan(&request(&stencil))
+        .expect("direct traffic keeps flowing during the attack");
+    assert_eq!(resp.uov, uov);
+    assert_eq!(resp.cost, cost);
+    assert_eq!(resp.certificate_hash, hash);
+
+    proxy.stop();
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.panics, 0, "a worker panicked under stalled load");
+}

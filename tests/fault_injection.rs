@@ -758,6 +758,104 @@ mod service_faults {
             Ok(n) => panic!("unexpected {n} bytes from a silent connection"),
             Err(e) => panic!("connection not reaped within the idle horizon: {e}"),
         }
+        assert!(
+            server.stats().idle_timeouts >= 1,
+            "the reap must be counted as an idle timeout"
+        );
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// A slow-loris peer trickling one header byte at a time slower than
+    /// a full frame can form is cut by the read deadline: progress is
+    /// only *completed frames*, so the drip never refreshes the idle
+    /// clock, and the connection is reaped while a well-formed client on
+    /// the same server keeps being served.
+    #[test]
+    fn slow_loris_header_drip_is_cut_by_the_read_deadline() {
+        let server = test_server(); // idle_ticks = 5 ⇒ ~0.5 s deadline
+        let frame = valid_request_frame();
+        let mut conn = raw_conn(&server);
+        let start = std::time::Instant::now();
+        let mut cut = false;
+        for byte in frame.iter().take(8) {
+            if conn.write_all(std::slice::from_ref(byte)).is_err() {
+                cut = true; // server already closed on us — the defense worked
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(250));
+            if start.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+        }
+        if !cut {
+            // The drip finished its 8 bytes; the server must still have
+            // reaped us (EOF on read), not parked the partial header.
+            conn.set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("set timeout");
+            let mut sink = [0u8; 8];
+            match conn.read(&mut sink) {
+                Ok(0) => {} // EOF — reaped
+                Ok(_) => {} // error frame — also a cut
+                Err(e) => panic!("slow-loris drip was not reaped: {e}"),
+            }
+        }
+        assert!(
+            server.stats().idle_timeouts >= 1,
+            "the slow-loris cut must be counted as an idle timeout"
+        );
+        assert_still_serving(&server);
+        server.shutdown();
+        server.join();
+    }
+
+    /// A batch frame whose entry count exceeds `MAX_BATCH_ENTRIES` is a
+    /// typed `Malformed` rejection — counted, never allocated for, never
+    /// a panic — both as a lying raw count and as a genuinely oversized
+    /// well-formed batch.
+    #[test]
+    fn oversized_batch_counts_are_typed_malformed_rejections() {
+        use uov::service::proto::{BatchRequest, MAX_BATCH_ENTRIES};
+        use uov::service::{ErrorCode, ServiceError};
+
+        let server = test_server();
+
+        // A lying count with no entry bytes behind it.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(MAX_BATCH_ENTRIES + 1).to_le_bytes());
+        let frame = encode_frame(proto::kind::REQ_BATCH, &payload);
+        let mut conn = raw_conn(&server);
+        conn.write_all(&frame).expect("write oversized count");
+        match read_frame(&mut conn).expect("typed reply") {
+            Some((kind, _)) => assert_eq!(
+                kind,
+                proto::kind::RESP_ERROR,
+                "a lying batch count must be rejected"
+            ),
+            None => panic!("connection dropped without a typed error"),
+        }
+
+        // A well-formed but oversized batch through the real client.
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        let req = PlanRequest {
+            stencil: Stencil::new(vec![ivec![1, 0], ivec![0, 1], ivec![1, 1]])
+                .expect("valid stencil"),
+            objective: ObjectiveSpec::ShortestVector,
+            deadline_ms: 0,
+            flags: 0,
+        };
+        let batch = BatchRequest {
+            entries: vec![req; MAX_BATCH_ENTRIES as usize + 1],
+        };
+        match client.plan_batch(&batch) {
+            Err(ServiceError::Rejected { code, .. }) => assert_eq!(
+                code,
+                ErrorCode::Malformed,
+                "an oversized batch must be a typed Malformed rejection"
+            ),
+            other => panic!("oversized batch was not rejected: {other:?}"),
+        }
         assert_still_serving(&server);
         server.shutdown();
         server.join();
